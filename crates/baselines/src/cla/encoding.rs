@@ -1,0 +1,399 @@
+//! CLA group encodings: DDC, OLE, RLE, UC.
+//!
+//! Every encoding supports the two compressed-domain kernels CLA uses:
+//! right multiplication (one dot product per distinct tuple, scattered to
+//! that tuple's rows) and left multiplication (aggregate `y` per tuple,
+//! scatter to the group's columns).
+
+use gcm_encodings::HeapSize;
+use gcm_matrix::DenseMatrix;
+
+use super::grouping::build_dictionary;
+
+/// Physical encoding of one column group.
+#[derive(Debug, Clone)]
+pub enum GroupEncoding {
+    /// Dense dictionary coding: one code per row (1 or 2 bytes).
+    Ddc {
+        /// Flattened tuple dictionary (`tuples × group_cols`).
+        dict: Vec<f64>,
+        /// Row codes; width 1 if ≤ 256 tuples else 2 bytes conceptually.
+        codes: Vec<u32>,
+        /// Bytes per stored code (1, 2, or 4).
+        code_bytes: usize,
+    },
+    /// Offset lists: per non-zero tuple, the sorted list of row ids.
+    Ole {
+        /// Flattened tuple dictionary.
+        dict: Vec<f64>,
+        /// `lists[t]` = rows containing non-zero tuple `t + 1`.
+        lists: Vec<Vec<u32>>,
+    },
+    /// Run-length: per non-zero tuple, (start, len) runs of rows.
+    Rle {
+        /// Flattened tuple dictionary.
+        dict: Vec<f64>,
+        /// `runs[t]` = runs of non-zero tuple `t + 1`.
+        runs: Vec<Vec<(u32, u32)>>,
+    },
+    /// Uncompressed column-major values.
+    Uc {
+        /// Column-major `group_cols × rows` values.
+        data: Vec<f64>,
+        /// Rows (for size accounting).
+        rows: usize,
+    },
+}
+
+impl GroupEncoding {
+    /// Builds the cheapest encoding for the group `cols` of `matrix`.
+    pub fn build(matrix: &DenseMatrix, cols: &[usize]) -> Self {
+        let n = matrix.rows();
+        let g = cols.len();
+        let (dict, codes) = build_dictionary(matrix, cols);
+        let tuples = dict.len() / g.max(1);
+        let nonzero_tuples = tuples.saturating_sub(1);
+
+        // Occurrence and run statistics for the non-zero tuples.
+        let mut occurrences = 0usize;
+        let mut runs = 0usize;
+        let mut prev_code = u32::MAX;
+        for &c in &codes {
+            if c != 0 {
+                occurrences += 1;
+                if c != prev_code {
+                    runs += 1;
+                }
+            }
+            prev_code = c;
+        }
+
+        let dict_bytes = nonzero_tuples * g * 8;
+        let code_bytes = if tuples <= 256 {
+            1
+        } else if tuples <= 65_536 {
+            2
+        } else {
+            4
+        };
+        let ddc_size = dict_bytes + g * 8 + n * code_bytes;
+        let ole_size = dict_bytes + occurrences * 4 + nonzero_tuples * 8;
+        let rle_size = dict_bytes + runs * 8 + nonzero_tuples * 8;
+        let uc_size = n * g * 8;
+
+        let min = ddc_size.min(ole_size).min(rle_size).min(uc_size);
+        if min == uc_size && uc_size < ddc_size {
+            let mut data = Vec::with_capacity(n * g);
+            for &c in cols {
+                for r in 0..n {
+                    data.push(matrix.get(r, c));
+                }
+            }
+            return GroupEncoding::Uc { data, rows: n };
+        }
+        if min == ddc_size {
+            return GroupEncoding::Ddc { dict, codes, code_bytes };
+        }
+        if min == rle_size {
+            let mut run_lists: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nonzero_tuples];
+            let mut r = 0usize;
+            while r < codes.len() {
+                let c = codes[r];
+                if c == 0 {
+                    r += 1;
+                    continue;
+                }
+                let start = r;
+                while r < codes.len() && codes[r] == c {
+                    r += 1;
+                }
+                run_lists[(c - 1) as usize].push((start as u32, (r - start) as u32));
+            }
+            return GroupEncoding::Rle { dict, runs: run_lists };
+        }
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nonzero_tuples];
+        for (r, &c) in codes.iter().enumerate() {
+            if c != 0 {
+                lists[(c - 1) as usize].push(r as u32);
+            }
+        }
+        GroupEncoding::Ole { dict, lists }
+    }
+
+    /// Human-readable encoding name (diagnostics / tests).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupEncoding::Ddc { .. } => "DDC",
+            GroupEncoding::Ole { .. } => "OLE",
+            GroupEncoding::Rle { .. } => "RLE",
+            GroupEncoding::Uc { .. } => "UC",
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            GroupEncoding::Ddc { dict, codes, code_bytes } => {
+                dict.len() * 8 + codes.len() * code_bytes
+            }
+            GroupEncoding::Ole { dict, lists } => {
+                dict.len() * 8
+                    + lists.iter().map(|l| l.len() * 4 + 8).sum::<usize>()
+            }
+            GroupEncoding::Rle { dict, runs } => {
+                dict.len() * 8 + runs.iter().map(|r| r.len() * 8 + 8).sum::<usize>()
+            }
+            GroupEncoding::Uc { data, .. } => data.len() * 8,
+        }
+    }
+
+    /// Adds this group's contribution to `y += M_group · x`.
+    pub fn right_multiply(&self, cols: &[usize], x: &[f64], y: &mut [f64]) {
+        let g = cols.len();
+        match self {
+            GroupEncoding::Ddc { dict, codes, .. } => {
+                let tuples = dict.len() / g.max(1);
+                let mut dot = vec![0.0f64; tuples];
+                for (t, d) in dot.iter_mut().enumerate() {
+                    let base = t * g;
+                    let mut acc = 0.0;
+                    for (k, &c) in cols.iter().enumerate() {
+                        acc += dict[base + k] * x[c];
+                    }
+                    *d = acc;
+                }
+                for (r, &code) in codes.iter().enumerate() {
+                    y[r] += dot[code as usize];
+                }
+            }
+            GroupEncoding::Ole { dict, lists } => {
+                for (t, list) in lists.iter().enumerate() {
+                    let base = (t + 1) * g;
+                    let mut dot = 0.0;
+                    for (k, &c) in cols.iter().enumerate() {
+                        dot += dict[base + k] * x[c];
+                    }
+                    if dot != 0.0 {
+                        for &r in list {
+                            y[r as usize] += dot;
+                        }
+                    }
+                }
+            }
+            GroupEncoding::Rle { dict, runs } => {
+                for (t, run_list) in runs.iter().enumerate() {
+                    let base = (t + 1) * g;
+                    let mut dot = 0.0;
+                    for (k, &c) in cols.iter().enumerate() {
+                        dot += dict[base + k] * x[c];
+                    }
+                    if dot != 0.0 {
+                        for &(start, len) in run_list {
+                            for yr in &mut y[start as usize..(start + len) as usize] {
+                                *yr += dot;
+                            }
+                        }
+                    }
+                }
+            }
+            GroupEncoding::Uc { data, rows } => {
+                for (k, &c) in cols.iter().enumerate() {
+                    let col = &data[k * rows..(k + 1) * rows];
+                    let xc = x[c];
+                    if xc != 0.0 {
+                        for (yr, &v) in y.iter_mut().zip(col) {
+                            *yr += v * xc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds this group's contribution to `x += yᵗ · M_group`.
+    pub fn left_multiply(&self, cols: &[usize], y: &[f64], x: &mut [f64]) {
+        let g = cols.len();
+        match self {
+            GroupEncoding::Ddc { dict, codes, .. } => {
+                let tuples = dict.len() / g.max(1);
+                let mut agg = vec![0.0f64; tuples];
+                for (r, &code) in codes.iter().enumerate() {
+                    agg[code as usize] += y[r];
+                }
+                for (t, &s) in agg.iter().enumerate() {
+                    if s != 0.0 {
+                        let base = t * g;
+                        for (k, &c) in cols.iter().enumerate() {
+                            x[c] += s * dict[base + k];
+                        }
+                    }
+                }
+            }
+            GroupEncoding::Ole { dict, lists } => {
+                for (t, list) in lists.iter().enumerate() {
+                    let mut s = 0.0;
+                    for &r in list {
+                        s += y[r as usize];
+                    }
+                    if s != 0.0 {
+                        let base = (t + 1) * g;
+                        for (k, &c) in cols.iter().enumerate() {
+                            x[c] += s * dict[base + k];
+                        }
+                    }
+                }
+            }
+            GroupEncoding::Rle { dict, runs } => {
+                for (t, run_list) in runs.iter().enumerate() {
+                    let mut s = 0.0;
+                    for &(start, len) in run_list {
+                        for &yr in &y[start as usize..(start + len) as usize] {
+                            s += yr;
+                        }
+                    }
+                    if s != 0.0 {
+                        let base = (t + 1) * g;
+                        for (k, &c) in cols.iter().enumerate() {
+                            x[c] += s * dict[base + k];
+                        }
+                    }
+                }
+            }
+            GroupEncoding::Uc { data, rows } => {
+                for (k, &c) in cols.iter().enumerate() {
+                    let col = &data[k * rows..(k + 1) * rows];
+                    let mut acc = 0.0;
+                    for (&yr, &v) in y.iter().zip(col) {
+                        acc += yr * v;
+                    }
+                    x[c] += acc;
+                }
+            }
+        }
+    }
+}
+
+impl HeapSize for GroupEncoding {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            GroupEncoding::Ddc { dict, codes, .. } => {
+                dict.heap_bytes() + codes.heap_bytes()
+            }
+            GroupEncoding::Ole { dict, lists } => {
+                dict.heap_bytes() + lists.iter().map(HeapSize::heap_bytes).sum::<usize>()
+            }
+            GroupEncoding::Rle { dict, runs } => {
+                dict.heap_bytes() + runs.iter().map(HeapSize::heap_bytes).sum::<usize>()
+            }
+            GroupEncoding::Uc { data, .. } => data.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_mvm(matrix: &DenseMatrix, cols: &[usize], enc: &GroupEncoding) {
+        let n = matrix.rows();
+        let m = matrix.cols();
+        let x: Vec<f64> = (0..m).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut y = vec![0.0; n];
+        enc.right_multiply(cols, &x, &mut y);
+        for r in 0..n {
+            let expect: f64 = cols.iter().map(|&c| matrix.get(r, c) * x[c]).sum();
+            assert!((y[r] - expect).abs() < 1e-9, "{} right row {r}", enc.name());
+        }
+        let yv: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut xo = vec![0.0; m];
+        enc.left_multiply(cols, &yv, &mut xo);
+        for &c in cols {
+            let expect: f64 = (0..n).map(|r| matrix.get(r, c) * yv[r]).sum();
+            assert!((xo[c] - expect).abs() < 1e-9, "{} left col {c}", enc.name());
+        }
+    }
+
+    /// Build each encoding variant explicitly by shaping the data.
+    #[test]
+    fn ddc_chosen_for_dense_categorical() {
+        let mut m = DenseMatrix::zeros(300, 2);
+        for r in 0..300 {
+            m.set(r, 0, ((r % 5) + 1) as f64);
+            m.set(r, 1, ((r % 5) + 10) as f64);
+        }
+        let enc = GroupEncoding::build(&m, &[0, 1]);
+        assert_eq!(enc.name(), "DDC");
+        check_mvm(&m, &[0, 1], &enc);
+    }
+
+    #[test]
+    fn sparse_data_prefers_offset_lists() {
+        // 2% dense: OLE beats DDC (codes per row) on size.
+        let mut m = DenseMatrix::zeros(2000, 1);
+        for r in (0..2000).step_by(53) {
+            m.set(r, 0, ((r % 3) + 1) as f64);
+        }
+        let enc = GroupEncoding::build(&m, &[0]);
+        assert_eq!(enc.name(), "OLE");
+        check_mvm(&m, &[0], &enc);
+    }
+
+    #[test]
+    fn runs_prefer_rle() {
+        // Long runs of a repeated tuple.
+        let mut m = DenseMatrix::zeros(3000, 1);
+        for r in 0..1500 {
+            m.set(r, 0, 7.0);
+        }
+        for r in 2000..2600 {
+            m.set(r, 0, 3.0);
+        }
+        let enc = GroupEncoding::build(&m, &[0]);
+        assert_eq!(enc.name(), "RLE");
+        check_mvm(&m, &[0], &enc);
+    }
+
+    #[test]
+    fn high_cardinality_falls_back_to_uc() {
+        let mut m = DenseMatrix::zeros(500, 1);
+        for r in 0..500 {
+            m.set(r, 0, r as f64 + 0.25);
+        }
+        let enc = GroupEncoding::build(&m, &[0]);
+        assert_eq!(enc.name(), "UC");
+        check_mvm(&m, &[0], &enc);
+    }
+
+    #[test]
+    fn all_zero_group() {
+        let m = DenseMatrix::zeros(100, 2);
+        let enc = GroupEncoding::build(&m, &[0, 1]);
+        check_mvm(&m, &[0, 1], &enc);
+        // An all-zero group should be nearly free.
+        assert!(enc.stored_bytes() < 600, "{}", enc.stored_bytes());
+    }
+
+    #[test]
+    fn multi_column_group_ole() {
+        let mut m = DenseMatrix::zeros(1000, 3);
+        for r in (0..1000).step_by(37) {
+            m.set(r, 0, 1.5);
+            m.set(r, 1, 2.5);
+            m.set(r, 2, 3.5);
+        }
+        let enc = GroupEncoding::build(&m, &[0, 1, 2]);
+        check_mvm(&m, &[0, 1, 2], &enc);
+    }
+
+    #[test]
+    fn stored_bytes_reflect_choice() {
+        // DDC on 300 rows, 5 tuples, 2 cols: dict 5*2*8 + codes 300.
+        let mut m = DenseMatrix::zeros(300, 2);
+        for r in 0..300 {
+            m.set(r, 0, ((r % 5) + 1) as f64);
+            m.set(r, 1, ((r % 5) + 10) as f64);
+        }
+        let enc = GroupEncoding::build(&m, &[0, 1]);
+        assert!(enc.stored_bytes() <= 5 * 2 * 8 + 300 + 16);
+    }
+}

@@ -1,0 +1,421 @@
+//! A DEFLATE-style compressor: LZSS over a 32 KiB window plus canonical
+//! Huffman coding (the `gzip` stand-in of Table 1).
+//!
+//! Token stream per 256 KiB input block:
+//! * literal bytes (symbols 0–255),
+//! * end-of-block (symbol 256),
+//! * match lengths 3–258 (symbols 257–285, DEFLATE's base+extra-bits
+//!   layout) paired with distances 1–32768 (30 base codes + extra bits).
+//!
+//! Two dynamic Huffman codes per block (literal/length + distance), with
+//! the code lengths stored via a small varint header. A hash-chain match
+//! finder with bounded chain walks gives zlib-level match quality.
+
+use gcm_encodings::bitio::{BitReader, BitWriter};
+use gcm_encodings::huffman::{CanonicalCode, MAX_CODE_LEN};
+use gcm_encodings::varint;
+
+/// Window size (32 KiB, as in DEFLATE).
+const WINDOW: usize = 1 << 15;
+/// Input block size.
+const BLOCK: usize = 256 * 1024;
+/// Minimum/maximum match lengths.
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+/// Hash-chain search depth.
+const MAX_CHAIN: usize = 64;
+
+/// Length code table: (symbol, base, extra_bits) per DEFLATE.
+const LEN_BASES: [(u16, u16, u8); 29] = [
+    (257, 3, 0),
+    (258, 4, 0),
+    (259, 5, 0),
+    (260, 6, 0),
+    (261, 7, 0),
+    (262, 8, 0),
+    (263, 9, 0),
+    (264, 10, 0),
+    (265, 11, 1),
+    (266, 13, 1),
+    (267, 15, 1),
+    (268, 17, 1),
+    (269, 19, 2),
+    (270, 23, 2),
+    (271, 27, 2),
+    (272, 31, 2),
+    (273, 35, 3),
+    (274, 43, 3),
+    (275, 51, 3),
+    (276, 59, 3),
+    (277, 67, 4),
+    (278, 83, 4),
+    (279, 99, 4),
+    (280, 115, 4),
+    (281, 131, 5),
+    (282, 163, 5),
+    (283, 195, 5),
+    (284, 227, 5),
+    (285, 258, 0),
+];
+
+/// Distance code table: (base, extra_bits).
+const DIST_BASES: [(u32, u8); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Maps a match length (3..=258) to (symbol, extra_bits, extra_value).
+fn length_code(len: usize) -> (usize, u8, u32) {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    // Last entry (258) is exact.
+    if len == MAX_MATCH {
+        return (285, 0, 0);
+    }
+    let mut idx = 0;
+    while idx + 1 < LEN_BASES.len() && LEN_BASES[idx + 1].1 as usize <= len {
+        idx += 1;
+    }
+    let (sym, base, extra) = LEN_BASES[idx];
+    (sym as usize, extra, (len - base as usize) as u32)
+}
+
+/// Maps a distance (1..=32768) to (code, extra_bits, extra_value).
+fn dist_code(dist: usize) -> (usize, u8, u32) {
+    debug_assert!((1..=WINDOW).contains(&dist));
+    let mut idx = 0;
+    while idx + 1 < DIST_BASES.len() && DIST_BASES[idx + 1].0 as usize <= dist {
+        idx += 1;
+    }
+    let (base, extra) = DIST_BASES[idx];
+    (idx, extra, (dist - base as usize) as u32)
+}
+
+/// Decodes a length symbol back to a length given its extra bits.
+fn decode_length(sym: usize, r: &mut BitReader<'_>) -> usize {
+    let (_, base, extra) = LEN_BASES[sym - 257];
+    base as usize + r.read_bits(extra as u32) as usize
+}
+
+/// Decodes a distance code back to a distance.
+fn decode_distance(code: usize, r: &mut BitReader<'_>) -> usize {
+    let (base, extra) = DIST_BASES[code];
+    base as usize + r.read_bits(extra as u32) as usize
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Token {
+    Literal(u8),
+    Match { len: usize, dist: usize },
+}
+
+/// Greedy LZSS tokenisation of one block with a hash-chain match finder.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    const HASH_BITS: usize = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    let hash = |d: &[u8]| -> usize {
+        ((d[0] as usize) << 10 ^ (d[1] as usize) << 5 ^ d[2] as usize)
+            .wrapping_mul(2654435761)
+            >> (32 - HASH_BITS)
+            & (HASH_SIZE - 1)
+    };
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < data.len() {
+        if i + MIN_MATCH > data.len() {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash(&data[i..]);
+        // Walk the chain for the best match.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut cand = head[h];
+        let mut chain = 0usize;
+        while cand != usize::MAX && chain < MAX_CHAIN {
+            if i - cand > WINDOW {
+                break;
+            }
+            let max_len = (data.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max_len && data[cand + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - cand;
+                if l == max_len {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len, dist: best_dist });
+            // Insert hash entries for every covered position.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            let mut p = i;
+            while p < end {
+                let hp = hash(&data[p..]);
+                prev[p] = head[hp];
+                head[hp] = p;
+                p += 1;
+            }
+            i += best_len;
+        } else {
+            prev[i] = head[h];
+            head[h] = i;
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Serialises Huffman code lengths: varint count then bytes.
+fn write_lengths(out: &mut Vec<u8>, lengths: &[u32]) {
+    varint::write_u32(out, lengths.len() as u32);
+    for &l in lengths {
+        out.push(l as u8);
+    }
+}
+
+fn read_lengths(data: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
+    let n = varint::read_u32(data, pos)? as usize;
+    if *pos + n > data.len() {
+        return None;
+    }
+    let lengths = data[*pos..*pos + n].iter().map(|&b| b as u32).collect();
+    *pos += n;
+    Some(lengths)
+}
+
+/// Compresses `data`.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, data.len() as u64);
+    for block in data.chunks(BLOCK).filter(|b| !b.is_empty()) {
+        let tokens = tokenize(block);
+        // Histogram the two alphabets.
+        let mut lit_freq = vec![0u64; 286];
+        let mut dist_freq = vec![0u64; 30];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[length_code(len).0] += 1;
+                    dist_freq[dist_code(dist).0] += 1;
+                }
+            }
+        }
+        lit_freq[256] = 1; // end of block
+        let lit_code = CanonicalCode::from_frequencies(&lit_freq, MAX_CODE_LEN);
+        let dist_code_tbl = CanonicalCode::from_frequencies(&dist_freq, MAX_CODE_LEN);
+        write_lengths(&mut out, lit_code.lengths());
+        write_lengths(&mut out, dist_code_tbl.lengths());
+        let mut w = BitWriter::with_capacity(block.len() / 2);
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_code.encode(&mut w, b as usize),
+                Token::Match { len, dist } => {
+                    let (sym, le, lv) = length_code(len);
+                    lit_code.encode(&mut w, sym);
+                    w.write_bits(lv as u64, le as u32);
+                    let (dc, de, dv) = dist_code(dist);
+                    dist_code_tbl.encode(&mut w, dc);
+                    w.write_bits(dv as u64, de as u32);
+                }
+            }
+        }
+        lit_code.encode(&mut w, 256);
+        let payload = w.finish();
+        varint::write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+///
+/// Returns `None` on malformed input.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let total = varint::read_u64(data, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let lit_lengths = read_lengths(data, &mut pos)?;
+        let dist_lengths = read_lengths(data, &mut pos)?;
+        let lit_code = CanonicalCode::from_lengths(&lit_lengths);
+        let dist_code_tbl = CanonicalCode::from_lengths(&dist_lengths);
+        let payload_len = varint::read_u64(data, &mut pos)? as usize;
+        if pos + payload_len > data.len() {
+            return None;
+        }
+        let mut r = BitReader::new(&data[pos..pos + payload_len]);
+        pos += payload_len;
+        let block_start = out.len();
+        loop {
+            let sym = lit_code.decode(&mut r);
+            match sym {
+                0..=255 => out.push(sym as u8),
+                256 => break,
+                257..=285 => {
+                    let len = decode_length(sym, &mut r);
+                    let dc = dist_code_tbl.decode(&mut r);
+                    let dist = decode_distance(dc, &mut r);
+                    let start = out.len().checked_sub(dist)?;
+                    if start < block_start.saturating_sub(WINDOW) {
+                        return None;
+                    }
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+    (out.len() == total).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data, "roundtrip mismatch ({} bytes)", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(500);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 10, "{} vs {}", size, data.len());
+    }
+
+    #[test]
+    fn incompressible_random_stays_near_raw() {
+        let mut state = 0xABCDEFu64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let size = roundtrip(&data);
+        assert!(size < data.len() + data.len() / 8 + 1024);
+        assert!(size > data.len() / 2);
+    }
+
+    #[test]
+    fn long_runs() {
+        let data = vec![7u8; 100_000];
+        let size = roundtrip(&data);
+        assert!(size < 2_000, "run compressed to {size}");
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let mut data = Vec::new();
+        for i in 0..(300 * 1024) {
+            data.push(((i / 7) % 251) as u8);
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn doubles_like_matrix_payload() {
+        // What Table 1 actually compresses: little-endian f64s with
+        // repeated values.
+        let mut data = Vec::new();
+        for i in 0..20_000 {
+            let v = ((i % 45) as f64) * 1.5;
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 4, "{} vs {}", size, data.len());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let mut c = compress(&data);
+        c.truncate(c.len() / 2);
+        assert!(decompress(&c).is_none());
+    }
+
+    #[test]
+    fn match_at_max_distance() {
+        // A repeated phrase separated by ~32 KiB of noise.
+        let mut state = 1u64;
+        let mut data: Vec<u8> = Vec::new();
+        data.extend_from_slice(b"SIGNATURE-PHRASE-0123456789");
+        for _ in 0..(WINDOW - 100) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((state >> 33) as u8);
+        }
+        data.extend_from_slice(b"SIGNATURE-PHRASE-0123456789");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn length_and_distance_tables_cover_ranges() {
+        for len in MIN_MATCH..=MAX_MATCH {
+            let (sym, extra, val) = length_code(len);
+            assert!((257..=285).contains(&sym));
+            let base = LEN_BASES[sym - 257].1 as usize;
+            assert_eq!(base + val as usize, len);
+            assert!(val < (1 << extra) || extra == 0);
+        }
+        for dist in 1..=WINDOW {
+            let (code, extra, val) = dist_code(dist);
+            assert!(code < 30);
+            let base = DIST_BASES[code].0 as usize;
+            assert_eq!(base + val as usize, dist);
+            assert!(val < (1 << extra) || extra == 0);
+        }
+    }
+}

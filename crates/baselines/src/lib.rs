@@ -1,0 +1,22 @@
+//! Baseline compressors the paper compares against.
+//!
+//! * [`gzipish`] — a DEFLATE-family byte compressor (LZSS over a 32 KiB
+//!   window + canonical Huffman coding), standing in for `gzip` in Table 1.
+//! * [`xzish`] — an LZMA-family byte compressor (large window, hash-chain
+//!   match finder, adaptive binary range coder with order-1 literal
+//!   contexts), standing in for `xz`.
+//! * [`cla`] — a self-contained reimplementation of Compressed Linear
+//!   Algebra (Elgohary et al., VLDB'16/'18): sample-based column co-coding
+//!   with OLE / RLE / DDC / UC group encodings and compressed-domain
+//!   matrix-vector multiplication (§5.4's comparator).
+//!
+//! The two byte compressors are *honest substitutes*, not bindings: they
+//! share the algorithm family, the qualitative compression ratios, and the
+//! operational limitation the paper highlights — linear algebra requires
+//! full decompression first (both provide only `compress`/`decompress`).
+
+pub mod cla;
+pub mod gzipish;
+pub mod xzish;
+
+pub use cla::ClaMatrix;

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the compressors themselves: RePair on CSRV
+//! streams, and the gzip-like / xz-like byte compressors on matrix bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gcm_baselines::{gzipish, xzish};
+use gcm_datagen::Dataset;
+use gcm_matrix::{CsrvMatrix, SEPARATOR};
+use gcm_repair::RePair;
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_compress");
+    for ds in [Dataset::Census, Dataset::Covtype, Dataset::Susy] {
+        let dense = ds.generate(5_000, 3);
+        let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+        group.throughput(Throughput::Elements(csrv.symbols().len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.spec().name),
+            &csrv,
+            |b, csrv| {
+                b.iter(|| {
+                    RePair::new().compress(
+                        csrv.symbols(),
+                        csrv.terminal_limit(),
+                        Some(SEPARATOR),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_byte_compressors(c: &mut Criterion) {
+    let dense = Dataset::Census.generate(5_000, 3);
+    let bytes = dense.to_le_bytes();
+    let mut group = c.benchmark_group("byte_compressors");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("gzipish", |b| b.iter(|| gzipish::compress(&bytes)));
+    group.bench_function("xzish", |b| b.iter(|| xzish::compress(&bytes)));
+    let gz = gzipish::compress(&bytes);
+    let xz = xzish::compress(&bytes);
+    group.bench_function("gzipish_decompress", |b| {
+        b.iter(|| gzipish::decompress(&gz).unwrap())
+    });
+    group.bench_function("xzish_decompress", |b| {
+        b.iter(|| xzish::decompress(&xz).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repair, bench_byte_compressors
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the multiplication kernels: right/left
+//! MVM across representations (dense, csrv, re_32, re_iv, re_ans, CLA) on
+//! a Census-like matrix — the per-operation view behind Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gcm_baselines::ClaMatrix;
+use gcm_core::{CompressedMatrix, Encoding};
+use gcm_datagen::Dataset;
+use gcm_matrix::{CsrvMatrix, MatVec};
+
+fn bench_mvm(c: &mut Criterion) {
+    let rows = 10_000;
+    let dense = Dataset::Census.generate(rows, 42);
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let cla = ClaMatrix::compress(&dense);
+    let mats: Vec<(&str, Box<dyn MatVec>)> = vec![
+        ("dense", Box::new(dense.clone())),
+        ("csrv", Box::new(csrv.clone())),
+        (
+            "re_32",
+            Box::new(CompressedMatrix::compress(&csrv, Encoding::Re32)),
+        ),
+        (
+            "re_iv",
+            Box::new(CompressedMatrix::compress(&csrv, Encoding::ReIv)),
+        ),
+        (
+            "re_ans",
+            Box::new(CompressedMatrix::compress(&csrv, Encoding::ReAns)),
+        ),
+        ("cla", Box::new(cla)),
+    ];
+
+    let x: Vec<f64> = (0..dense.cols()).map(|i| (i as f64) * 0.1).collect();
+    let yv: Vec<f64> = (0..rows).map(|i| ((i % 9) as f64) - 4.0).collect();
+
+    let mut group = c.benchmark_group("right_multiply");
+    group.throughput(Throughput::Elements(csrv.nnz() as u64));
+    for (name, m) in &mats {
+        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| {
+            let mut y = vec![0.0; rows];
+            b.iter(|| m.right_multiply(&x, &mut y).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("left_multiply");
+    group.throughput(Throughput::Elements(csrv.nnz() as u64));
+    for (name, m) in &mats {
+        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| {
+            let mut xo = vec![0.0; dense.cols()];
+            b.iter(|| m.left_multiply(&yv, &mut xo).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mvm
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Figure 4**: relative peak-memory improvement of blockwise column
+//! reordering, `(p_o − p_r)/p_o`, per matrix and encoding (re_iv, re_ans).
+//!
+//! Usage: `cargo run --release -p gcm-bench --bin fig4
+//!         [--scale S] [--iters N] [--threads T]`
+
+use gcm_bench::report::{iters_arg, scale_arg, scaled_rows, threads_arg};
+use gcm_bench::runner::measure_iterations;
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_datagen::Dataset;
+use gcm_encodings::HeapSize;
+use gcm_matrix::CsrvMatrix;
+use gcm_reorder::{reorder_blocks, CsmConfig, ReorderAlgorithm};
+
+#[global_allocator]
+static ALLOC: gcm_bench::TrackingAlloc = gcm_bench::TrackingAlloc::new();
+
+fn main() {
+    let scale = scale_arg();
+    let iters = iters_arg();
+    let threads = threads_arg();
+    println!("== Figure 4: relative peak-memory improvement from reordering ==");
+    println!("scale {scale}, {iters} iterations, {threads} blocks; (p_o - p_r) / p_o\n");
+    println!("{:<10} {:>12} {:>12}", "matrix", "re_iv", "re_ans");
+    for ds in Dataset::ALL {
+        let spec = ds.spec();
+        let rows = scaled_rows(spec.default_rows, scale);
+        let dense = ds.generate(rows, 1);
+        let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+
+        let mut cells = Vec::new();
+        for enc in [Encoding::ReIv, Encoding::ReAns] {
+            // p_o: original blockwise pipeline.
+            let original = BlockedMatrix::compress(&csrv, enc, threads);
+            let p_o = measure_iterations(
+                &original,
+                iters,
+                original.heap_bytes(),
+                original.working_bytes(),
+            )
+            .analytic_peak_bytes;
+
+            // p_r: best-of-PathCover/MWM blockwise reordering (k = 16).
+            let mut best: Option<BlockedMatrix> = None;
+            for algo in [ReorderAlgorithm::PathCover, ReorderAlgorithm::Mwm] {
+                let blocks =
+                    reorder_blocks(&csrv, threads, algo, CsmConfig::default(), 16);
+                let compressed: Vec<CompressedMatrix> = blocks
+                    .iter()
+                    .map(|b| CompressedMatrix::compress(b, enc))
+                    .collect();
+                let bm = BlockedMatrix::from_blocks(compressed, csrv.cols());
+                if best
+                    .as_ref()
+                    .map_or(true, |b| bm.stored_bytes() < b.stored_bytes())
+                {
+                    best = Some(bm);
+                }
+            }
+            let reordered = best.unwrap();
+            let p_r = measure_iterations(
+                &reordered,
+                iters,
+                reordered.heap_bytes(),
+                reordered.working_bytes(),
+            )
+            .analytic_peak_bytes;
+
+            let improvement = 100.0 * (p_o as f64 - p_r as f64) / p_o as f64;
+            cells.push(format!("{improvement:.2}%"));
+        }
+        println!("{:<10} {:>12} {:>12}", spec.name, cells[0], cells[1]);
+    }
+    println!();
+    println!("expected shape (paper): significant reductions (up to ~16%) for the highly");
+    println!("compressible matrices (Airline78, Covtype, Census); ~0 for Mnist2m; slightly");
+    println!("negative possible for Susy.");
+}

@@ -1,0 +1,72 @@
+//! Output formatting shared by the harness binaries.
+
+/// Formats bytes as a percentage of `dense` bytes (the paper's convention).
+pub fn pct(bytes: usize, dense: usize) -> String {
+    format!("{:.2}%", 100.0 * bytes as f64 / dense.max(1) as f64)
+}
+
+/// Formats seconds-per-iteration like the paper's tables (seconds, two or
+/// three significant decimals).
+pub fn time_s(secs: f64) -> String {
+    if secs >= 0.1 {
+        format!("{secs:.2}")
+    } else if secs >= 0.001 {
+        format!("{secs:.3}")
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+/// Parses `--flag value` style arguments: returns the value after `flag`.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Row-count scale factor from `--scale` (default 1.0 = each dataset's
+/// default laptop rows).
+pub fn scale_arg() -> f64 {
+    arg_value("--scale").and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Iteration count from `--iters` (default 50; the paper uses 500).
+pub fn iters_arg() -> usize {
+    arg_value("--iters").and_then(|v| v.parse().ok()).unwrap_or(50)
+}
+
+/// Thread count from `--threads` (default 8).
+pub fn threads_arg() -> usize {
+    arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or(8)
+}
+
+/// Scaled row count for a dataset.
+pub fn scaled_rows(default_rows: usize, scale: f64) -> usize {
+    ((default_rows as f64 * scale) as usize).max(200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(50, 100), "50.00%");
+        assert_eq!(pct(1, 0), "100.00%"); // degenerate dense=0 guarded
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(time_s(1.234), "1.23");
+        assert_eq!(time_s(0.01234), "0.012");
+        assert_eq!(time_s(0.0000123), "12.3us");
+    }
+
+    #[test]
+    fn scaled_rows_floor() {
+        assert_eq!(scaled_rows(40_000, 0.001), 200);
+        assert_eq!(scaled_rows(40_000, 0.5), 20_000);
+    }
+}

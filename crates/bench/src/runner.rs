@@ -1,0 +1,66 @@
+//! Timing and memory measurement of the Eq. (4) iteration workload.
+
+use std::time::Instant;
+
+use gcm_core::power_iterations;
+use gcm_matrix::MatVec;
+
+use crate::alloc;
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredRun {
+    /// Average wall-clock seconds per iteration.
+    pub secs_per_iter: f64,
+    /// Analytic peak bytes: representation + multiplication working space
+    /// + the three vectors of Eq. (4).
+    pub analytic_peak_bytes: usize,
+    /// Live-heap peak observed during the run (0 when the tracking
+    /// allocator is not installed).
+    pub live_peak_bytes: usize,
+}
+
+/// Runs `iters` iterations of Eq. (4) on `matrix`, measuring time and peak
+/// memory.
+///
+/// `repr_bytes` is the size of the matrix representation;
+/// `working_bytes` the auxiliary space of one multiplication (the `W`
+/// arrays). Vector space (`x`, `y`, `z`) is added automatically.
+pub fn measure_iterations(
+    matrix: &dyn MatVec,
+    iters: usize,
+    repr_bytes: usize,
+    working_bytes: usize,
+) -> MeasuredRun {
+    let x0 = vec![1.0f64; matrix.cols()];
+    // Warm-up round (fills caches, first-touch pages).
+    let _ = power_iterations(matrix, &x0, 1).expect("warm-up failed");
+
+    alloc::reset_peak();
+    let live_before = alloc::live_bytes();
+    let t0 = Instant::now();
+    let _ = power_iterations(matrix, &x0, iters).expect("iteration failed");
+    let dt = t0.elapsed();
+    let live_peak = alloc::peak_bytes().saturating_sub(live_before);
+
+    let vectors = (matrix.cols() * 2 + matrix.rows()) * 8;
+    MeasuredRun {
+        secs_per_iter: dt.as_secs_f64() / iters.max(1) as f64,
+        analytic_peak_bytes: repr_bytes + working_bytes + vectors,
+        live_peak_bytes: live_peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_matrix::DenseMatrix;
+
+    #[test]
+    fn measures_a_small_run() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let run = measure_iterations(&m, 3, 32, 0);
+        assert!(run.secs_per_iter >= 0.0);
+        assert_eq!(run.analytic_peak_bytes, 32 + (2 * 2 + 2) * 8);
+    }
+}

@@ -1,0 +1,427 @@
+//! The grammar-compressed matrix `(C, R, V)`.
+
+use std::sync::Arc;
+
+use gcm_encodings::rans::RansSequence;
+use gcm_encodings::{HeapSize, IntVector};
+use gcm_matrix::{CsrvMatrix, MatVec, MatrixError, SEPARATOR};
+use gcm_repair::{RePair, RePairConfig, Slp};
+
+use crate::encoding::{Encoding, RuleStore, SeqStore};
+use crate::mvm;
+
+/// A matrix compressed as `(C, R, V)` (§3), in one of the three physical
+/// encodings of §4.
+#[derive(Debug, Clone)]
+pub struct CompressedMatrix {
+    rows: usize,
+    cols: usize,
+    values: Arc<Vec<f64>>,
+    /// Exclusive upper bound of the terminal alphabet (`1 + |V|·m`).
+    first_nt: u32,
+    encoding: Encoding,
+    seq: SeqStore,
+    rules: RuleStore,
+}
+
+impl CompressedMatrix {
+    /// Compresses a CSRV matrix with RePair and encodes it as `encoding`.
+    pub fn compress(csrv: &CsrvMatrix, encoding: Encoding) -> Self {
+        Self::compress_with(csrv, encoding, RePairConfig::default())
+    }
+
+    /// Compresses with an explicit RePair configuration.
+    pub fn compress_with(
+        csrv: &CsrvMatrix,
+        encoding: Encoding,
+        config: RePairConfig,
+    ) -> Self {
+        let first_nt = csrv.terminal_limit();
+        let slp = RePair::with_config(config).compress(
+            csrv.symbols(),
+            first_nt,
+            Some(SEPARATOR),
+        );
+        Self::from_slp(csrv, &slp, encoding)
+    }
+
+    /// Encodes an already-computed SLP (lets callers build all three
+    /// encodings from a single RePair run, as the Table 1 harness does).
+    pub fn from_slp(csrv: &CsrvMatrix, slp: &Slp, encoding: Encoding) -> Self {
+        debug_assert_eq!(slp.first_nonterminal(), csrv.terminal_limit());
+        debug_assert!(slp.rules_avoid_terminal(SEPARATOR));
+        let flat_rules: Vec<u32> = slp
+            .rules()
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        let max_symbol = slp.max_symbol().max(1) as u64;
+        let (seq, rules) = match encoding {
+            Encoding::Re32 => (
+                SeqStore::Raw(slp.sequence().to_vec()),
+                RuleStore::Raw(flat_rules),
+            ),
+            Encoding::ReIv => {
+                let width = IntVector::width_for(max_symbol);
+                let seq: Vec<u64> = slp.sequence().iter().map(|&s| s as u64).collect();
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Packed(IntVector::from_slice_with_width(&seq, width)),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+            Encoding::ReAns => {
+                let width = IntVector::width_for(max_symbol);
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Ans(RansSequence::encode(slp.sequence())),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+        };
+        Self {
+            rows: csrv.rows(),
+            cols: csrv.cols(),
+            values: csrv.values_arc(),
+            first_nt: csrv.terminal_limit(),
+            encoding,
+            seq,
+            rules,
+        }
+    }
+
+    /// Reassembles a matrix from raw storage parts (deserialisation),
+    /// validating every structural invariant: rule right-hand sides only
+    /// reference earlier symbols, sequence symbols are in range, and the
+    /// separator count equals the row count. Returns `None` on any
+    /// violation, so corrupt input can never panic the kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        values: Arc<Vec<f64>>,
+        first_nt: u32,
+        encoding: Encoding,
+        seq: SeqStore,
+        rules: RuleStore,
+    ) -> Option<Self> {
+        let q = rules.num_rules();
+        let limit = first_nt as u64 + q as u64;
+        if limit > u32::MAX as u64 {
+            return None;
+        }
+        for k in 0..q {
+            let (a, b) = rules.rule(k);
+            let own = first_nt as u64 + k as u64;
+            if a as u64 >= own || b as u64 >= own {
+                return None;
+            }
+            if a == SEPARATOR || b == SEPARATOR {
+                return None;
+            }
+        }
+        let mut seps = 0usize;
+        let mut ok = true;
+        seq.for_each(|s| {
+            if s as u64 >= limit {
+                ok = false;
+            }
+            if s == SEPARATOR {
+                seps += 1;
+            }
+        });
+        if !ok || seps != rows {
+            return None;
+        }
+        Some(Self { rows, cols, values, first_nt, encoding, seq, rules })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The encoding variant.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// The shared value dictionary `V`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of grammar rules `|R|`.
+    pub fn num_rules(&self) -> usize {
+        self.rules.num_rules()
+    }
+
+    /// Length of the final string `|C|`.
+    pub fn sequence_len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// First nonterminal id.
+    pub fn first_nonterminal(&self) -> u32 {
+        self.first_nt
+    }
+
+    /// The final string storage.
+    pub fn seq_store(&self) -> &SeqStore {
+        &self.seq
+    }
+
+    /// The rule storage.
+    pub fn rule_store(&self) -> &RuleStore {
+        &self.rules
+    }
+
+    /// Serialized size in bytes: `C` + `R` + `8·|V|` (the paper's "size"
+    /// columns; `V` is stored as raw doubles in all variants).
+    pub fn stored_bytes(&self) -> usize {
+        self.seq.stored_bytes() + self.rules.stored_bytes() + self.values.len() * 8
+    }
+
+    /// Auxiliary working space of one multiplication: the `W` array of
+    /// `|R|` doubles (Thms 3.4 / 3.10).
+    pub fn working_bytes(&self) -> usize {
+        self.num_rules() * 8
+    }
+
+    /// Decompresses back to the CSRV symbol stream (testing / export).
+    pub fn decompress_symbols(&self) -> Vec<u32> {
+        let flat = match &self.rules {
+            RuleStore::Raw(v) => v.clone(),
+            RuleStore::Packed(iv) => iv.iter().map(|s| s as u32).collect(),
+        };
+        let pairs: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let slp = Slp::new(self.first_nt, pairs, self.seq.to_vec());
+        slp.expand()
+    }
+
+    /// Reconstructs the CSRV matrix (testing / export).
+    pub fn to_csrv(&self) -> CsrvMatrix {
+        CsrvMatrix::from_parts(
+            self.rows,
+            self.cols,
+            Arc::clone(&self.values),
+            self.decompress_symbols(),
+        )
+    }
+}
+
+impl HeapSize for CompressedMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.seq.heap_bytes() + self.rules.heap_bytes() + self.values.heap_bytes()
+    }
+}
+
+impl MatVec for CompressedMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        let mut w = vec![0.0f64; self.num_rules()];
+        mvm::right_multiply(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            x,
+            y,
+            &mut w,
+        );
+        Ok(())
+    }
+
+    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        let mut w = vec![0.0f64; self.num_rules()];
+        mvm::left_multiply(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            y,
+            x,
+            &mut w,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_matrix::DenseMatrix;
+
+    fn fig1() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[1.2, 3.4, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 1.7],
+            &[1.2, 3.4, 2.3, 4.5, 0.0],
+            &[3.4, 0.0, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 0.0],
+            &[1.2, 3.4, 2.3, 4.5, 3.4],
+        ])
+    }
+
+    /// A repetitive block matrix where RePair has real work to do.
+    fn repetitive(rows: usize, cols: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = match (r % 4, c % 3) {
+                    (0, 0) => 1.5,
+                    (1, 1) => 2.5,
+                    (2, _) => 0.5,
+                    (3, 2) => 7.25,
+                    _ => 0.0,
+                };
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn decompression_recovers_symbols_all_encodings() {
+        let csrv = CsrvMatrix::from_dense(&fig1()).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            assert_eq!(cm.decompress_symbols(), csrv.symbols(), "{}", enc.name());
+            assert_eq!(cm.to_csrv().to_dense(), fig1());
+        }
+    }
+
+    #[test]
+    fn right_multiply_matches_dense_all_encodings() {
+        let dense = repetitive(64, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let x: Vec<f64> = (0..9).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let mut y_ref = vec![0.0; 64];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let mut y = vec![0.0; 64];
+            cm.right_multiply(&x, &mut y).unwrap();
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert!((a - b).abs() < 1e-9, "{}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn left_multiply_matches_dense_all_encodings() {
+        let dense = repetitive(64, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let y: Vec<f64> = (0..64).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut x_ref = vec![0.0; 9];
+        dense.left_multiply(&y, &mut x_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let mut x = vec![0.0; 9];
+            cm.left_multiply(&y, &mut x).unwrap();
+            for (a, b) in x.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "{}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn size_ordering_matches_paper() {
+        // On a repetitive matrix: re_ans <= re_iv <= re_32 <= csrv.
+        let dense = repetitive(512, 12);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let re32 = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let reiv = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let reans = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        assert!(re32.stored_bytes() <= csrv.csrv_bytes());
+        assert!(reiv.stored_bytes() <= re32.stored_bytes());
+        assert!(reans.stored_bytes() <= reiv.stored_bytes());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csrv = CsrvMatrix::from_dense(&DenseMatrix::zeros(3, 4)).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let mut y = vec![1.0; 3];
+            cm.right_multiply(&[1.0, 2.0, 3.0, 4.0], &mut y).unwrap();
+            assert_eq!(y, vec![0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let csrv = CsrvMatrix::from_dense(&fig1()).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let mut y = vec![0.0; 6];
+        assert!(cm.right_multiply(&[0.0; 2], &mut y).is_err());
+        let mut x = vec![0.0; 5];
+        assert!(cm.left_multiply(&[0.0; 4], &mut x).is_err());
+    }
+
+    #[test]
+    fn working_bytes_is_rule_count_words() {
+        let csrv = CsrvMatrix::from_dense(&repetitive(128, 6)).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        assert_eq!(cm.working_bytes(), cm.num_rules() * 8);
+    }
+
+    #[test]
+    fn single_row_and_single_column() {
+        let row = DenseMatrix::from_rows(&[&[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]]);
+        let csrv = CsrvMatrix::from_dense(&row).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        let mut y = vec![0.0; 1];
+        cm.right_multiply(&[1.0; 6], &mut y).unwrap();
+        assert!((y[0] - 9.0).abs() < 1e-12);
+
+        let col = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[1.0], &[2.0]]);
+        let csrv = CsrvMatrix::from_dense(&col).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let mut x = vec![0.0; 1];
+        cm.left_multiply(&[1.0, 1.0, 1.0, 1.0], &mut x).unwrap();
+        assert!((x[0] - 6.0).abs() < 1e-12);
+    }
+}

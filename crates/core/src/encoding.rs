@@ -1,0 +1,202 @@
+//! Physical encodings of the grammar's final string `C` and rule set `R`.
+
+use gcm_encodings::rans::RansSequence;
+use gcm_encodings::{HeapSize, IntVector};
+
+/// Which physical encoding a [`crate::CompressedMatrix`] uses (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// `C` and `R` as raw 32-bit integer arrays (fastest).
+    Re32,
+    /// `C` and `R` as packed arrays of `1 + ⌊log₂ N_max⌋` bits per entry.
+    ReIv,
+    /// `R` packed, `C` entropy-coded with folded rANS (smallest).
+    ReAns,
+}
+
+impl Encoding {
+    /// All three variants, in the paper's column order.
+    pub const ALL: [Encoding; 3] = [Encoding::Re32, Encoding::ReIv, Encoding::ReAns];
+
+    /// The paper's name for the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Encoding::Re32 => "re_32",
+            Encoding::ReIv => "re_iv",
+            Encoding::ReAns => "re_ans",
+        }
+    }
+}
+
+/// Storage of the final string `C`.
+#[derive(Debug, Clone)]
+pub enum SeqStore {
+    /// Raw 32-bit symbols.
+    Raw(Vec<u32>),
+    /// Bit-packed symbols.
+    Packed(IntVector),
+    /// Entropy-coded symbols (forward streaming decode).
+    Ans(RansSequence),
+}
+
+impl SeqStore {
+    /// Number of symbols in `C`.
+    pub fn len(&self) -> usize {
+        match self {
+            SeqStore::Raw(v) => v.len(),
+            SeqStore::Packed(iv) => iv.len(),
+            SeqStore::Ans(r) => r.len(),
+        }
+    }
+
+    /// Whether `C` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams every symbol of `C`, in order, into `f`.
+    ///
+    /// This is the only access pattern the multiplication kernels need, and
+    /// the one every encoding supports at full speed.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        match self {
+            SeqStore::Raw(v) => {
+                for &s in v {
+                    f(s);
+                }
+            }
+            SeqStore::Packed(iv) => {
+                for s in iv.iter() {
+                    f(s as u32);
+                }
+            }
+            SeqStore::Ans(r) => {
+                for s in r.decoder() {
+                    f(s);
+                }
+            }
+        }
+    }
+
+    /// Serialized (on-disk) size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            SeqStore::Raw(v) => v.len() * 4,
+            SeqStore::Packed(iv) => (iv.len() * iv.width() as usize).div_ceil(8),
+            SeqStore::Ans(r) => r.compressed_bytes(),
+        }
+    }
+
+    /// Decodes into a plain vector (testing convenience).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|s| out.push(s));
+        out
+    }
+}
+
+impl HeapSize for SeqStore {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            SeqStore::Raw(v) => v.heap_bytes(),
+            SeqStore::Packed(iv) => iv.heap_bytes(),
+            SeqStore::Ans(r) => r.heap_bytes(),
+        }
+    }
+}
+
+/// Storage of the rule set `R` (flattened `(A, B)` pairs).
+///
+/// Rules are read forward (right multiplication) and backward (left
+/// multiplication), so both variants provide O(1) random access.
+#[derive(Debug, Clone)]
+pub enum RuleStore {
+    /// Raw 32-bit pairs, `2q` entries.
+    Raw(Vec<u32>),
+    /// Bit-packed pairs, `2q` entries.
+    Packed(IntVector),
+}
+
+impl RuleStore {
+    /// Number of rules `q`.
+    pub fn num_rules(&self) -> usize {
+        match self {
+            RuleStore::Raw(v) => v.len() / 2,
+            RuleStore::Packed(iv) => iv.len() / 2,
+        }
+    }
+
+    /// The `(A, B)` right-hand side of rule `k`.
+    #[inline]
+    pub fn rule(&self, k: usize) -> (u32, u32) {
+        match self {
+            RuleStore::Raw(v) => (v[2 * k], v[2 * k + 1]),
+            RuleStore::Packed(iv) => (iv.get(2 * k) as u32, iv.get(2 * k + 1) as u32),
+        }
+    }
+
+    /// Serialized (on-disk) size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            RuleStore::Raw(v) => v.len() * 4,
+            RuleStore::Packed(iv) => (iv.len() * iv.width() as usize).div_ceil(8),
+        }
+    }
+}
+
+impl HeapSize for RuleStore {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            RuleStore::Raw(v) => v.heap_bytes(),
+            RuleStore::Packed(iv) => iv.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_store_roundtrips_all_variants() {
+        let data: Vec<u32> = (0..500).map(|i| i * 13 % 997).collect();
+        let raw = SeqStore::Raw(data.clone());
+        let packed = SeqStore::Packed(IntVector::from_u32s(&data));
+        let ans = SeqStore::Ans(RansSequence::encode(&data));
+        for store in [&raw, &packed, &ans] {
+            assert_eq!(store.len(), 500);
+            assert_eq!(store.to_vec(), data);
+        }
+    }
+
+    #[test]
+    fn stored_bytes_ordering() {
+        // Skewed data: ans < packed < raw.
+        let data: Vec<u32> = (0..10_000).map(|i| if i % 17 == 0 { 300 } else { 2 }).collect();
+        let raw = SeqStore::Raw(data.clone());
+        let packed = SeqStore::Packed(IntVector::from_u32s(&data));
+        let ans = SeqStore::Ans(RansSequence::encode(&data));
+        assert!(packed.stored_bytes() < raw.stored_bytes());
+        assert!(ans.stored_bytes() < packed.stored_bytes());
+    }
+
+    #[test]
+    fn rule_store_access() {
+        let flat = vec![1u32, 2, 3, 4, 5, 6];
+        let raw = RuleStore::Raw(flat.clone());
+        let packed = RuleStore::Packed(IntVector::from_u32s(&flat));
+        for store in [&raw, &packed] {
+            assert_eq!(store.num_rules(), 3);
+            assert_eq!(store.rule(0), (1, 2));
+            assert_eq!(store.rule(2), (5, 6));
+        }
+    }
+
+    #[test]
+    fn encoding_names_match_paper() {
+        assert_eq!(Encoding::Re32.name(), "re_32");
+        assert_eq!(Encoding::ReIv.name(), "re_iv");
+        assert_eq!(Encoding::ReAns.name(), "re_ans");
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's benchmark kernel, Eq. (4):
+//!
+//! ```text
+//! yᵢ = M·xᵢ,   zᵢᵗ = yᵢᵗ·M,   xᵢ₊₁ = zᵢ / ‖zᵢ‖∞
+//! ```
+//!
+//! 500 alternated right and left multiplications, mimicking the inner loop
+//! of conjugate-gradient–style least-squares solvers. The same kernel runs
+//! over every representation via [`MatVec`].
+
+use gcm_matrix::{MatVec, MatrixError};
+
+/// Infinity norm `max |zᵢ|`.
+pub fn inf_norm(z: &[f64]) -> f64 {
+    z.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// Outcome of a run of [`power_iterations`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationStats {
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Final normalised vector `x`.
+    pub x: Vec<f64>,
+    /// Infinity norm of the last un-normalised `z` (Rayleigh-style scale;
+    /// converges to the dominant singular value squared for generic `M`).
+    pub last_norm: f64,
+}
+
+/// Runs `iterations` rounds of Eq. (4) starting from `x0`.
+///
+/// # Errors
+/// Fails on dimension mismatches, or if the iterate collapses to the zero
+/// vector (norm 0), which would make normalisation undefined.
+pub fn power_iterations(
+    matrix: &(impl MatVec + ?Sized),
+    x0: &[f64],
+    iterations: usize,
+) -> Result<IterationStats, MatrixError> {
+    let (n, m) = (matrix.rows(), matrix.cols());
+    if x0.len() != m {
+        return Err(MatrixError::DimensionMismatch {
+            expected: m,
+            actual: x0.len(),
+            what: "x0 length",
+        });
+    }
+    let mut x = x0.to_vec();
+    let mut y = vec![0.0f64; n];
+    let mut z = vec![0.0f64; m];
+    let mut last_norm = 0.0;
+    for it in 0..iterations {
+        matrix.right_multiply(&x, &mut y)?;
+        matrix.left_multiply(&y, &mut z)?;
+        last_norm = inf_norm(&z);
+        if last_norm == 0.0 {
+            return Err(MatrixError::Parse(format!(
+                "iterate collapsed to zero at iteration {it}"
+            )));
+        }
+        for (xi, zi) in x.iter_mut().zip(&z) {
+            *xi = zi / last_norm;
+        }
+    }
+    Ok(IterationStats { iterations, x, last_norm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockedMatrix, CompressedMatrix, Encoding};
+    use gcm_matrix::{CsrvMatrix, DenseMatrix};
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 2.0],
+            &[1.0, 0.0, 1.0],
+        ])
+    }
+
+    #[test]
+    fn inf_norm_basics() {
+        assert_eq!(inf_norm(&[]), 0.0);
+        assert_eq!(inf_norm(&[-3.0, 2.0]), 3.0);
+        assert_eq!(inf_norm(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn converges_to_dominant_direction() {
+        let m = sample();
+        let stats = power_iterations(&m, &[1.0, 1.0, 1.0], 50).unwrap();
+        // x converges to the dominant eigenvector of MᵗM; the largest
+        // component is normalised to 1.
+        assert!((inf_norm(&stats.x) - 1.0).abs() < 1e-12);
+        // One more iteration barely changes the direction.
+        let more = power_iterations(&m, &stats.x, 1).unwrap();
+        for (a, b) in stats.x.iter().zip(&more.x) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn identical_results_across_representations() {
+        let dense = sample();
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let reference = power_iterations(&dense, &[0.5, -0.25, 1.0], 20).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let got = power_iterations(&cm, &[0.5, -0.25, 1.0], 20).unwrap();
+            for (a, b) in reference.x.iter().zip(&got.x) {
+                assert!((a - b).abs() < 1e-9, "{}", enc.name());
+            }
+            let bm = BlockedMatrix::compress(&csrv, enc, 2);
+            let got = power_iterations(&bm, &[0.5, -0.25, 1.0], 20).unwrap();
+            for (a, b) in reference.x.iter().zip(&got.x) {
+                assert!((a - b).abs() < 1e-9, "blocked {}", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_collapses() {
+        let dense = DenseMatrix::zeros(3, 3);
+        assert!(power_iterations(&dense, &[1.0, 1.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn dimension_check() {
+        let dense = sample();
+        assert!(power_iterations(&dense, &[1.0, 1.0], 1).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Grammar-compressed matrices with compressed-domain matrix-vector
+//! multiplication — the paper's primary contribution (§3–§4).
+//!
+//! A [`CompressedMatrix`] is the triple `(C, R, V)`: the RePair-compressed
+//! CSRV stream (`C` = final string, `R` = rule set) plus the shared value
+//! dictionary `V`. Three physical encodings mirror the paper's variants:
+//!
+//! * **re_32** ([`Encoding::Re32`]) — `C` and `R` as raw 32-bit arrays;
+//!   fastest, least compact;
+//! * **re_iv** ([`Encoding::ReIv`]) — both packed at `1 + ⌊log₂ N_max⌋`
+//!   bits per symbol (sdsl-style `int_vector`);
+//! * **re_ans** ([`Encoding::ReAns`]) — `R` packed, `C` entropy-coded with
+//!   the folded rANS coder (forward streaming decode).
+//!
+//! Right multiplication (Thm 3.4) runs one forward pass over `R` then one
+//! over `C`; left multiplication (Thm 3.10) one forward pass over `C` then
+//! one *backward* pass over `R` — which is why `R` is never entropy-coded:
+//! the paper keeps it in a packed array precisely because "only a few
+//! compressors provide fast right-to-left access".
+//!
+//! [`BlockedMatrix`] implements §4.1: the matrix is split into row blocks,
+//! each compressed independently, and both multiplications parallelise
+//! across blocks with `std::thread`.
+
+pub mod blocked;
+pub mod compressed;
+pub mod encoding;
+pub mod iteration;
+pub mod mvm;
+pub mod serial;
+
+pub use blocked::BlockedMatrix;
+pub use compressed::CompressedMatrix;
+pub use encoding::Encoding;
+pub use iteration::{power_iterations, IterationStats};

@@ -1,0 +1,215 @@
+//! The compressed-domain multiplication kernels (Thms 3.4 and 3.10).
+//!
+//! Both kernels run in `O(|C| + |R|)` time with `O(|R|)` words of auxiliary
+//! space (the `W` array), regardless of the uncompressed matrix size —
+//! the paper's central complexity claim.
+//!
+//! RePair's final string is handled in full generality: it may contain
+//! terminals as well as nonterminals, and a row may be spread over several
+//! symbols; the separator `$` (symbol 0) delimits rows.
+
+use gcm_matrix::SEPARATOR;
+
+use crate::encoding::{RuleStore, SeqStore};
+
+/// Evaluates a terminal `⟨ℓ, j⟩` against `x`: `V[ℓ]·x[j]` (Def. 3.1).
+#[inline(always)]
+fn eval_terminal(sym: u32, cols: u32, values: &[f64], x: &[f64]) -> f64 {
+    let p = sym - 1;
+    let l = (p / cols) as usize;
+    let j = (p % cols) as usize;
+    values[l] * x[j]
+}
+
+/// Right multiplication `y = M·x` (Thm 3.4).
+///
+/// First a single forward pass over the rules fills `w[k] = eval_x(N_k)`
+/// (each right-hand symbol is either a terminal, evaluated directly, or an
+/// earlier nonterminal whose value is already in `w`). Then one streaming
+/// pass over `C` accumulates row sums, advancing on each separator.
+///
+/// `w` must have length `rules.num_rules()`; it is used as scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn right_multiply(
+    seq: &SeqStore,
+    rules: &RuleStore,
+    values: &[f64],
+    first_nt: u32,
+    cols: u32,
+    x: &[f64],
+    y: &mut [f64],
+    w: &mut [f64],
+) {
+    debug_assert_eq!(w.len(), rules.num_rules());
+    let q = rules.num_rules();
+    for k in 0..q {
+        let (a, b) = rules.rule(k);
+        let va = if a < first_nt {
+            eval_terminal(a, cols, values, x)
+        } else {
+            w[(a - first_nt) as usize]
+        };
+        let vb = if b < first_nt {
+            eval_terminal(b, cols, values, x)
+        } else {
+            w[(b - first_nt) as usize]
+        };
+        w[k] = va + vb;
+    }
+    let mut r = 0usize;
+    let mut acc = 0.0f64;
+    seq.for_each(|s| {
+        if s == SEPARATOR {
+            y[r] = acc;
+            acc = 0.0;
+            r += 1;
+        } else if s < first_nt {
+            acc += eval_terminal(s, cols, values, x);
+        } else {
+            acc += w[(s - first_nt) as usize];
+        }
+    });
+    debug_assert_eq!(r, y.len(), "separator count mismatch");
+}
+
+/// Left multiplication `xᵗ = yᵗ·M` (Thm 3.10).
+///
+/// One streaming pass over `C` seeds `w[k] = sum_y(N_k)` for nonterminals
+/// appearing at the top level (and scatters terminals directly into `x`);
+/// then a *backward* pass over the rules pushes each `sum_y` weight down to
+/// the two right-hand symbols, accumulating terminals into `x`.
+///
+/// `x` is zeroed here. `w` must have length `rules.num_rules()`.
+#[allow(clippy::too_many_arguments)]
+pub fn left_multiply(
+    seq: &SeqStore,
+    rules: &RuleStore,
+    values: &[f64],
+    first_nt: u32,
+    cols: u32,
+    y: &[f64],
+    x: &mut [f64],
+    w: &mut [f64],
+) {
+    debug_assert_eq!(w.len(), rules.num_rules());
+    x.fill(0.0);
+    w.fill(0.0);
+    let mut r = 0usize;
+    seq.for_each(|s| {
+        if s == SEPARATOR {
+            r += 1;
+        } else {
+            let yr = y[r];
+            if s < first_nt {
+                let p = s - 1;
+                x[(p % cols) as usize] += values[(p / cols) as usize] * yr;
+            } else {
+                w[(s - first_nt) as usize] += yr;
+            }
+        }
+    });
+    debug_assert_eq!(r, y.len(), "separator count mismatch");
+    for k in (0..rules.num_rules()).rev() {
+        let wk = w[k];
+        if wk == 0.0 {
+            continue;
+        }
+        let (a, b) = rules.rule(k);
+        if a < first_nt {
+            let p = a - 1;
+            x[(p % cols) as usize] += values[(p / cols) as usize] * wk;
+        } else {
+            w[(a - first_nt) as usize] += wk;
+        }
+        if b < first_nt {
+            let p = b - 1;
+            x[(p % cols) as usize] += values[(p / cols) as usize] * wk;
+        } else {
+            w[(b - first_nt) as usize] += wk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::compressed::CompressedMatrix;
+    use crate::encoding::Encoding;
+    use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
+
+    /// Exhaustive small-matrix check across encodings and shapes.
+    #[test]
+    fn kernels_match_dense_on_varied_shapes() {
+        let shapes = [(1usize, 1usize), (1, 8), (8, 1), (5, 5), (17, 3), (3, 17), (32, 32)];
+        let mut seed = 0x1234_5678_9ABC_DEFu64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+        for &(n, m) in &shapes {
+            let mut dense = DenseMatrix::zeros(n, m);
+            for r in 0..n {
+                for c in 0..m {
+                    let v = next();
+                    if v % 3 != 0 {
+                        // Small value domain to give RePair repetition.
+                        dense.set(r, c, ((v >> 32) % 5 + 1) as f64 * 0.5);
+                    }
+                }
+            }
+            let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+            let x: Vec<f64> = (0..m).map(|i| (i as f64) - 1.0).collect();
+            let yv: Vec<f64> = (0..n).map(|i| ((i * 3 % 5) as f64) - 2.0).collect();
+            let mut y_ref = vec![0.0; n];
+            let mut x_ref = vec![0.0; m];
+            dense.right_multiply(&x, &mut y_ref).unwrap();
+            dense.left_multiply(&yv, &mut x_ref).unwrap();
+            for enc in Encoding::ALL {
+                let cm = CompressedMatrix::compress(&csrv, enc);
+                let mut y = vec![0.0; n];
+                cm.right_multiply(&x, &mut y).unwrap();
+                let mut x_out = vec![0.0; m];
+                cm.left_multiply(&yv, &mut x_out).unwrap();
+                for (a, b) in y.iter().zip(&y_ref) {
+                    assert!((a - b).abs() < 1e-9, "{n}x{m} {} right", enc.name());
+                }
+                for (a, b) in x_out.iter().zip(&x_ref) {
+                    assert!((a - b).abs() < 1e-9, "{n}x{m} {} left", enc.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn left_multiply_zero_weight_rows_short_circuit() {
+        // Rows with y = 0 contribute nothing; kernel must still be exact.
+        let dense = DenseMatrix::from_rows(&[
+            &[1.0, 2.0, 1.0, 2.0],
+            &[1.0, 2.0, 1.0, 2.0],
+            &[3.0, 0.0, 3.0, 0.0],
+        ]);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let mut x = vec![0.0; 4];
+        cm.left_multiply(&[0.0, 1.0, 0.0], &mut x).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn deep_grammar_right_left() {
+        // One long repetitive row: deep rule hierarchy; y = row sum dot x.
+        let cols = 64;
+        let mut dense = DenseMatrix::zeros(1, cols);
+        for c in 0..cols {
+            dense.set(0, c, ((c % 2) + 1) as f64);
+        }
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let x = vec![1.0; cols];
+            let mut y = vec![0.0; 1];
+            cm.right_multiply(&x, &mut y).unwrap();
+            assert!((y[0] - 96.0).abs() < 1e-9, "{}", enc.name());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! On-disk serialisation of grammar-compressed matrices.
+//!
+//! The paper motivates lossless compression partly by storage and
+//! transmission costs ("server-to-client transmissions"). This module
+//! defines a compact container for `(C, R, V)`:
+//!
+//! ```text
+//! magic "GCMMAT1\0"  | encoding tag u8 | varint rows, cols, first_nt
+//! varint |V| + V as little-endian f64
+//! R: IntVector bytes (ReIv/ReAns) or raw u32 LE (Re32)
+//! C: IntVector bytes / raw u32 LE / RansSequence bytes
+//! ```
+//!
+//! Deserialisation is validating: truncated or corrupt input yields
+//! `None`, never a panic or an out-of-bounds grammar.
+
+use std::sync::Arc;
+
+use gcm_encodings::rans::RansSequence;
+use gcm_encodings::{varint, IntVector};
+
+use crate::compressed::CompressedMatrix;
+use crate::encoding::{Encoding, RuleStore, SeqStore};
+
+const MAGIC: &[u8; 8] = b"GCMMAT1\0";
+
+fn encoding_tag(e: Encoding) -> u8 {
+    match e {
+        Encoding::Re32 => 0,
+        Encoding::ReIv => 1,
+        Encoding::ReAns => 2,
+    }
+}
+
+fn tag_encoding(t: u8) -> Option<Encoding> {
+    match t {
+        0 => Some(Encoding::Re32),
+        1 => Some(Encoding::ReIv),
+        2 => Some(Encoding::ReAns),
+        _ => None,
+    }
+}
+
+fn write_u32s(out: &mut Vec<u8>, values: &[u32]) {
+    varint::write_u64(out, values.len() as u64);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_u32s(data: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
+    let n = varint::read_u64(data, pos)? as usize;
+    let need = n.checked_mul(4)?;
+    if *pos + need > data.len() {
+        return None;
+    }
+    let out = data[*pos..*pos + need]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    *pos += need;
+    Some(out)
+}
+
+/// Serialises a compressed matrix to bytes.
+pub fn to_bytes(m: &CompressedMatrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(m.stored_bytes() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(encoding_tag(m.encoding()));
+    varint::write_u64(&mut out, m.rows() as u64);
+    varint::write_u64(&mut out, m.cols() as u64);
+    varint::write_u32(&mut out, m.first_nonterminal());
+    varint::write_u64(&mut out, m.values().len() as u64);
+    for &v in m.values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    match m.rule_store() {
+        RuleStore::Raw(v) => write_u32s(&mut out, v),
+        RuleStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
+    }
+    match m.seq_store() {
+        SeqStore::Raw(v) => write_u32s(&mut out, v),
+        SeqStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
+        SeqStore::Ans(r) => out.extend_from_slice(&r.to_bytes()),
+    }
+    out
+}
+
+/// Deserialises a compressed matrix. Returns `None` on malformed input.
+pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
+    if data.len() < 9 || &data[..8] != MAGIC {
+        return None;
+    }
+    let encoding = tag_encoding(data[8])?;
+    let mut pos = 9usize;
+    let rows = varint::read_u64(data, &mut pos)? as usize;
+    let cols = varint::read_u64(data, &mut pos)? as usize;
+    let first_nt = varint::read_u32(data, &mut pos)?;
+    let n_values = varint::read_u64(data, &mut pos)? as usize;
+    let need = n_values.checked_mul(8)?;
+    if pos + need > data.len() {
+        return None;
+    }
+    let values: Vec<f64> = data[pos..pos + need]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    pos += need;
+    // Sanity: the terminal alphabet must match the header.
+    if cols == 0 && n_values > 0 {
+        return None;
+    }
+    if cols > 0 {
+        let expect = 1u64 + n_values as u64 * cols as u64;
+        if expect != first_nt as u64 {
+            return None;
+        }
+    }
+    let rules = match encoding {
+        Encoding::Re32 => RuleStore::Raw(read_u32s(data, &mut pos)?),
+        Encoding::ReIv | Encoding::ReAns => {
+            RuleStore::Packed(IntVector::from_bytes(data, &mut pos)?)
+        }
+    };
+    if rules_len(&rules) % 2 != 0 {
+        return None;
+    }
+    let seq = match encoding {
+        Encoding::Re32 => SeqStore::Raw(read_u32s(data, &mut pos)?),
+        Encoding::ReIv => SeqStore::Packed(IntVector::from_bytes(data, &mut pos)?),
+        Encoding::ReAns => SeqStore::Ans(RansSequence::from_bytes(data, &mut pos)?),
+    };
+    CompressedMatrix::from_raw_parts(
+        rows,
+        cols,
+        Arc::new(values),
+        first_nt,
+        encoding,
+        seq,
+        rules,
+    )
+}
+
+fn rules_len(r: &RuleStore) -> usize {
+    match r {
+        RuleStore::Raw(v) => v.len(),
+        RuleStore::Packed(iv) => iv.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
+
+    fn sample() -> CsrvMatrix {
+        let mut dense = DenseMatrix::zeros(40, 7);
+        for r in 0..40 {
+            for c in 0..7 {
+                if (r + c) % 3 != 0 {
+                    dense.set(r, c, (((r * 2 + c) % 6) + 1) as f64 * 0.5);
+                }
+            }
+        }
+        CsrvMatrix::from_dense(&dense).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_all_encodings() {
+        let csrv = sample();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let bytes = to_bytes(&cm);
+            let back = from_bytes(&bytes).expect("deserialise");
+            assert_eq!(back.rows(), cm.rows());
+            assert_eq!(back.cols(), cm.cols());
+            assert_eq!(back.encoding(), enc);
+            assert_eq!(back.decompress_symbols(), cm.decompress_symbols());
+            // Multiplication equivalence.
+            let x: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
+            let mut y_a = vec![0.0; 40];
+            let mut y_b = vec![0.0; 40];
+            cm.right_multiply(&x, &mut y_a).unwrap();
+            back.right_multiply(&x, &mut y_b).unwrap();
+            assert_eq!(y_a, y_b, "{}", enc.name());
+        }
+    }
+
+    #[test]
+    fn serialized_size_close_to_stored_bytes() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let bytes = to_bytes(&cm);
+        // Container overhead should be tiny.
+        assert!(bytes.len() <= cm.stored_bytes() + 64);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(from_bytes(b"NOTMAGIC rest of data").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_tag_and_truncation() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        let mut bytes = to_bytes(&cm);
+        bytes[8] = 77; // invalid encoding tag
+        assert!(from_bytes(&bytes).is_none());
+
+        let bytes = to_bytes(&cm);
+        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_header_mismatch() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let mut bytes = to_bytes(&cm);
+        // Corrupt the first_nt varint region: find it right after rows/cols.
+        // (Byte 9 is the rows varint; patch a value byte in the f64 payload
+        // region instead to keep the structure parseable but inconsistent.)
+        bytes[9] = bytes[9].wrapping_add(1); // rows changed -> separator count mismatch
+        // Either parse fails, or the matrix is structurally inconsistent —
+        // both acceptable, but it must not panic.
+        let _ = from_bytes(&bytes);
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let csrv = CsrvMatrix::from_dense(&DenseMatrix::zeros(3, 2)).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        let bytes = to_bytes(&cm);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.rows(), 3);
+        assert_eq!(back.decompress_symbols(), csrv.symbols());
+    }
+}

@@ -1,0 +1,494 @@
+//! The seven synthetic datasets (Table 1 stand-ins).
+
+use gcm_matrix::DenseMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{approx_normal, Zipf};
+
+/// One of the seven evaluation matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// SUSY particle physics (dense, continuous, incompressible).
+    Susy,
+    /// HIGGS particle physics (dense, lightly quantised).
+    Higgs,
+    /// Airline on-time performance 1978 (categorical, row templates).
+    Airline78,
+    /// Forest cover type (numeric + one-hot groups, sparse).
+    Covtype,
+    /// US census (categorical, tiny alphabet, highly compressible).
+    Census,
+    /// Optical interconnection network (dense sensor readings).
+    Optical,
+    /// Infinite-MNIST digits (byte-valued images, sparse).
+    Mnist2m,
+}
+
+/// Static description of a dataset (paper statistics + default scale).
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper's tables.
+    pub name: &'static str,
+    /// Rows in the paper's full dataset.
+    pub paper_rows: usize,
+    /// Columns (exact).
+    pub cols: usize,
+    /// Fraction of non-zero cells in the paper's dataset.
+    pub paper_density: f64,
+    /// Distinct non-zero values in the paper's dataset.
+    pub paper_distinct: usize,
+    /// Default row count for laptop-scale runs.
+    pub default_rows: usize,
+}
+
+impl Dataset {
+    /// All seven datasets in the paper's table order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Susy,
+        Dataset::Higgs,
+        Dataset::Airline78,
+        Dataset::Covtype,
+        Dataset::Census,
+        Dataset::Optical,
+        Dataset::Mnist2m,
+    ];
+
+    /// Paper statistics and default generation scale.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::Susy => DatasetSpec {
+                name: "Susy",
+                paper_rows: 5_000_000,
+                cols: 18,
+                paper_density: 0.9882,
+                paper_distinct: 20_352_142,
+                default_rows: 40_000,
+            },
+            Dataset::Higgs => DatasetSpec {
+                name: "Higgs",
+                paper_rows: 11_000_000,
+                cols: 28,
+                paper_density: 0.9211,
+                paper_distinct: 8_083_943,
+                default_rows: 40_000,
+            },
+            Dataset::Airline78 => DatasetSpec {
+                name: "Airline78",
+                paper_rows: 14_462_943,
+                cols: 29,
+                paper_density: 0.7266,
+                paper_distinct: 7_794,
+                default_rows: 40_000,
+            },
+            Dataset::Covtype => DatasetSpec {
+                name: "Covtype",
+                paper_rows: 581_012,
+                cols: 54,
+                paper_density: 0.22,
+                paper_distinct: 6_682,
+                default_rows: 30_000,
+            },
+            Dataset::Census => DatasetSpec {
+                name: "Census",
+                paper_rows: 2_458_285,
+                cols: 68,
+                paper_density: 0.4303,
+                paper_distinct: 45,
+                default_rows: 30_000,
+            },
+            Dataset::Optical => DatasetSpec {
+                name: "Optical",
+                paper_rows: 325_834,
+                cols: 174,
+                paper_density: 0.975,
+                paper_distinct: 897_176,
+                default_rows: 10_000,
+            },
+            Dataset::Mnist2m => DatasetSpec {
+                name: "Mnist2m",
+                paper_rows: 2_000_000,
+                cols: 784,
+                paper_density: 0.2525,
+                paper_distinct: 255,
+                default_rows: 5_000,
+            },
+        }
+    }
+
+    /// Generates the dataset at its default laptop scale.
+    pub fn generate_default(&self, seed: u64) -> DenseMatrix {
+        self.generate(self.spec().default_rows, seed)
+    }
+
+    /// Generates `rows` rows with the dataset's column structure.
+    pub fn generate(&self, rows: usize, seed: u64) -> DenseMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        match self {
+            Dataset::Susy => continuous_matrix(&mut rng, rows, 18, 0.9882, 4.4, 0.0),
+            Dataset::Higgs => continuous_matrix(&mut rng, rows, 28, 0.9211, 35.0, 0.05),
+            Dataset::Airline78 => airline(&mut rng, rows),
+            Dataset::Covtype => covtype(&mut rng, rows),
+            Dataset::Census => census(&mut rng, rows),
+            Dataset::Optical => continuous_matrix(&mut rng, rows, 174, 0.975, 61.0, 0.18),
+            Dataset::Mnist2m => mnist(&mut rng, rows),
+        }
+    }
+}
+
+/// Continuous-feature matrices (Susy / Higgs / Optical).
+///
+/// Per column, values live on a private quantisation grid sized so that the
+/// whole matrix has ≈ `nnz / reuse` distinct values — the statistic that
+/// determines the csrv dictionary size. `copy_prob` controls how often a
+/// row copies a contiguous span of the previous row (the only source of
+/// adjacent-pair repetition, hence of RePair gain): 0 for Susy (the paper
+/// measures no grammar gain), small for Higgs, larger for Optical.
+fn continuous_matrix(
+    rng: &mut SmallRng,
+    rows: usize,
+    cols: usize,
+    density: f64,
+    reuse: f64,
+    copy_prob: f64,
+) -> DenseMatrix {
+    // Distinct levels per column so total distinct ≈ t / reuse.
+    let levels_per_col =
+        (((rows as f64) * density / reuse).round() as u32).clamp(4, 1 << 20);
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        if r > 0 && copy_prob > 0.0 && rng.gen::<f64>() < copy_prob {
+            // Copy a contiguous column span from the previous row.
+            let span = rng.gen_range(2..=(cols / 2).max(2));
+            let start = rng.gen_range(0..cols.saturating_sub(span).max(1));
+            for c in 0..cols {
+                let v = if (start..start + span).contains(&c) {
+                    m.get(r - 1, c)
+                } else {
+                    draw_continuous(rng, c, density, levels_per_col)
+                };
+                m.set(r, c, v);
+            }
+        } else {
+            for c in 0..cols {
+                m.set(r, c, draw_continuous(rng, c, density, levels_per_col));
+            }
+        }
+    }
+    m
+}
+
+fn draw_continuous(rng: &mut SmallRng, col: usize, density: f64, levels: u32) -> f64 {
+    if rng.gen::<f64>() >= density {
+        return 0.0;
+    }
+    // A bell-shaped draw over the column's private grid, offset per column
+    // so different columns never share values (as in real feature tables).
+    let z = approx_normal(rng).clamp(-3.0, 3.0);
+    let k = (((z + 3.0) / 6.0) * (levels - 1) as f64).round() as u32;
+    (col as f64 + 1.0) * 100.0 + (k + 1) as f64 * 1e-4
+}
+
+/// Airline78: 29 categorical-ish columns with strong row-template reuse.
+fn airline(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
+    // Per-column domain sizes, totalling ≈ 7.8k distinct values.
+    const DOMAINS: [u32; 29] = [
+        12, 31, 7, 24, 60, 60, 24, 60, 2, 365, 2400, 2000, 500, 200, 144, 96, 64, 48, 32,
+        24, 16, 12, 12, 8, 8, 6, 4, 4, 2,
+    ];
+    let zero_prob = 0.2734;
+    let pool = (rows / 10).clamp(1, 4000);
+    let zipf = Zipf::new(pool, 1.05);
+    // Template pool: full rows that later get partially mutated.
+    let mut templates: Vec<Vec<f64>> = Vec::with_capacity(pool);
+    for _ in 0..pool {
+        let row: Vec<f64> = (0..29)
+            .map(|c| draw_categorical(rng, c, DOMAINS[c], zero_prob))
+            .collect();
+        templates.push(row);
+    }
+    let mut m = DenseMatrix::zeros(rows, 29);
+    for r in 0..rows {
+        let t = &templates[zipf.sample(rng)];
+        for c in 0..29 {
+            m.set(r, c, t[c]);
+        }
+        // Mutate a few columns (delays, times vary per flight).
+        for _ in 0..3 {
+            let c = rng.gen_range(0..29);
+            m.set(r, c, draw_categorical(rng, c, DOMAINS[c], zero_prob));
+        }
+    }
+    m
+}
+
+fn draw_categorical(rng: &mut SmallRng, col: usize, domain: u32, zero_prob: f64) -> f64 {
+    if rng.gen::<f64>() < zero_prob {
+        return 0.0;
+    }
+    let code = rng.gen_range(0..domain);
+    (col as f64 + 1.0) * 10_000.0 + (code + 1) as f64
+}
+
+/// Covtype: 10 numeric columns plus two one-hot groups (4 wilderness areas,
+/// 40 soil types); soil correlates with wilderness, elevation with both.
+fn covtype(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
+    const NUMERIC_DOMAINS: [u32; 10] = [1978, 361, 67, 551, 198, 258, 256, 256, 255, 1400];
+    let mut m = DenseMatrix::zeros(rows, 54);
+    let wilderness_zipf = Zipf::new(4, 0.9);
+    // Survey cells are spatially clustered: many rows are near-copies of a
+    // recent "site profile", which is what gives the real Covtype its
+    // strong adjacent-pair repetition (paper: re_32 at 60% of csrv).
+    let pool = (rows / 12).clamp(1, 2000);
+    let site_zipf = Zipf::new(pool, 1.1);
+    let mut sites: Vec<[u32; 10]> = Vec::with_capacity(pool);
+    for _ in 0..pool {
+        let w = wilderness_zipf.sample(rng);
+        let mut codes = [0u32; 10];
+        for (c, &dom) in NUMERIC_DOMAINS.iter().enumerate() {
+            let bias = if c == 0 { w as f64 / 4.0 } else { 0.0 };
+            let z = (approx_normal(rng) * 0.25 + 0.5 + bias).clamp(0.0, 1.0);
+            codes[c] = (z * (dom - 1) as f64).round() as u32;
+        }
+        sites.push(codes);
+    }
+    for r in 0..rows {
+        let w = wilderness_zipf.sample(rng);
+        // Soil type clusters by wilderness area: each area uses a band of
+        // 10 soil types, Zipf-weighted inside the band.
+        let soil_band = w * 10;
+        let soil_in_band = (approx_normal(rng).abs() * 3.0) as usize % 10;
+        let soil = soil_band + soil_in_band;
+        let site = &sites[site_zipf.sample(rng)];
+        for (c, &dom) in NUMERIC_DOMAINS.iter().enumerate() {
+            // Mostly the site profile; occasionally a fresh local reading.
+            let code = if rng.gen::<f64>() < 0.85 {
+                site[c]
+            } else {
+                let z = (approx_normal(rng) * 0.25 + 0.5).clamp(0.0, 1.0);
+                (z * (dom - 1) as f64).round() as u32
+            };
+            m.set(r, c, (c as f64 + 1.0) * 10_000.0 + (code + 1) as f64);
+        }
+        m.set(r, 10 + w, 1.0);
+        m.set(r, 14 + soil, 1.0);
+    }
+    m
+}
+
+/// Census: 68 categorical columns over a 45-value alphabet; rows are noisy
+/// copies of cluster prototypes — the paper's most compressible dataset.
+fn census(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
+    const COLS: usize = 68;
+    const ALPHABET: u32 = 45;
+    let density = 0.4303;
+    // Each column uses a small subset of the global alphabet.
+    let col_domains: Vec<Vec<u32>> = (0..COLS)
+        .map(|c| {
+            let size = 2 + (c * 7) % 12;
+            (0..size as u32)
+                .map(|k| (k * 5 + c as u32 * 3) % ALPHABET + 1)
+                .collect()
+        })
+        .collect();
+    let pool = 200.min(rows.max(1));
+    let zipf = Zipf::new(pool, 1.1);
+    let mut prototypes: Vec<Vec<f64>> = Vec::with_capacity(pool);
+    for _ in 0..pool {
+        let row: Vec<f64> = (0..COLS)
+            .map(|c| {
+                if rng.gen::<f64>() < density {
+                    let dom = &col_domains[c];
+                    dom[rng.gen_range(0..dom.len())] as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        prototypes.push(row);
+    }
+    let mut m = DenseMatrix::zeros(rows, COLS);
+    for r in 0..rows {
+        let p = &prototypes[zipf.sample(rng)];
+        for c in 0..COLS {
+            let v = if rng.gen::<f64>() < 0.03 {
+                // Mutation: redraw (possibly to zero).
+                if rng.gen::<f64>() < density {
+                    let dom = &col_domains[c];
+                    dom[rng.gen_range(0..dom.len())] as f64
+                } else {
+                    0.0
+                }
+            } else {
+                p[c]
+            };
+            m.set(r, c, v);
+        }
+    }
+    m
+}
+
+/// Mnist2m: 28×28 images, each a jittered copy of one of ten digit-blob
+/// prototypes; pixel values on the 255-level byte grid.
+fn mnist(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
+    const SIDE: usize = 28;
+    const COLS: usize = SIDE * SIDE;
+    // Ten prototypes: random strokes on the grid.
+    let mut prototypes = Vec::with_capacity(10);
+    for _ in 0..10 {
+        let mut img = vec![0u8; COLS];
+        let strokes = rng.gen_range(6..9);
+        for _ in 0..strokes {
+            let mut x = rng.gen_range(4..SIDE - 4) as i32;
+            let mut y = rng.gen_range(4..SIDE - 4) as i32;
+            let len = rng.gen_range(14..30);
+            for _ in 0..len {
+                for dx in -1i32..=1 {
+                    for dy in -1i32..=1 {
+                        let (px, py) = (x + dx, y + dy);
+                        if (0..SIDE as i32).contains(&px) && (0..SIDE as i32).contains(&py)
+                        {
+                            let idx = py as usize * SIDE + px as usize;
+                            let level =
+                                if dx == 0 && dy == 0 { 224u8 } else { 128 };
+                            img[idx] = img[idx].max(level);
+                        }
+                    }
+                }
+                match rng.gen_range(0..4) {
+                    0 => x += 1,
+                    1 => x -= 1,
+                    2 => y += 1,
+                    _ => y -= 1,
+                }
+                x = x.clamp(1, SIDE as i32 - 2);
+                y = y.clamp(1, SIDE as i32 - 2);
+            }
+        }
+        prototypes.push(img);
+    }
+    let mut m = DenseMatrix::zeros(rows, COLS);
+    for r in 0..rows {
+        let proto = &prototypes[rng.gen_range(0..10)];
+        let (dx, dy) = (rng.gen_range(-1i32..=1), rng.gen_range(-1i32..=1));
+        for y in 0..SIDE as i32 {
+            for x in 0..SIDE as i32 {
+                let (sx, sy) = (x - dx, y - dy);
+                if !(0..SIDE as i32).contains(&sx) || !(0..SIDE as i32).contains(&sy) {
+                    continue;
+                }
+                let v = proto[sy as usize * SIDE + sx as usize];
+                if v == 0 {
+                    continue;
+                }
+                // Quantised intensity jitter keeps values on the byte grid.
+                let jitter = rng.gen_range(-2i32..=2) * 8;
+                let level = (v as i32 + jitter).clamp(1, 255) as u8;
+                m.set(r, (y * SIDE as i32 + x) as usize, level as f64 / 255.0);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_matrix::CsrvMatrix;
+
+    fn density(m: &DenseMatrix) -> f64 {
+        m.nnz() as f64 / (m.rows() * m.cols()) as f64
+    }
+
+    fn distinct(m: &DenseMatrix) -> usize {
+        CsrvMatrix::from_dense(m).unwrap().values().len()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        for ds in [Dataset::Census, Dataset::Covtype] {
+            let a = ds.generate(200, 42);
+            let b = ds.generate(200, 42);
+            assert_eq!(a, b, "{:?}", ds);
+            let c = ds.generate(200, 43);
+            assert_ne!(a, c, "{:?} should vary by seed", ds);
+        }
+    }
+
+    #[test]
+    fn shapes_match_specs() {
+        for ds in Dataset::ALL {
+            let spec = ds.spec();
+            let m = ds.generate(100, 1);
+            assert_eq!(m.rows(), 100, "{}", spec.name);
+            assert_eq!(m.cols(), spec.cols, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn densities_track_paper() {
+        for ds in Dataset::ALL {
+            let spec = ds.spec();
+            let m = ds.generate(3000, 7);
+            let d = density(&m);
+            assert!(
+                (d - spec.paper_density).abs() < 0.08,
+                "{}: density {d:.3} vs paper {:.3}",
+                spec.name,
+                spec.paper_density
+            );
+        }
+    }
+
+    #[test]
+    fn census_tiny_alphabet() {
+        let m = Dataset::Census.generate(3000, 3);
+        assert!(distinct(&m) <= 45, "distinct {}", distinct(&m));
+    }
+
+    #[test]
+    fn mnist_byte_alphabet() {
+        let m = Dataset::Mnist2m.generate(500, 3);
+        assert!(distinct(&m) <= 255, "distinct {}", distinct(&m));
+    }
+
+    #[test]
+    fn airline_bounded_alphabet() {
+        let m = Dataset::Airline78.generate(5000, 3);
+        let d = distinct(&m);
+        assert!(d <= 7_900, "distinct {d}");
+        assert!(d >= 1_000, "distinct {d}");
+    }
+
+    #[test]
+    fn covtype_one_hot_groups() {
+        let m = Dataset::Covtype.generate(500, 9);
+        for r in 0..500 {
+            let wilderness: f64 = (10..14).map(|c| m.get(r, c)).sum();
+            let soil: f64 = (14..54).map(|c| m.get(r, c)).sum();
+            assert_eq!(wilderness, 1.0, "row {r}: exactly one wilderness");
+            assert_eq!(soil, 1.0, "row {r}: exactly one soil type");
+        }
+    }
+
+    #[test]
+    fn susy_low_value_reuse() {
+        // Susy's defining trait: values hardly repeat (ratio ≈ 4.4).
+        let m = Dataset::Susy.generate(4000, 5);
+        let reuse = m.nnz() as f64 / distinct(&m) as f64;
+        assert!(reuse < 10.0, "reuse {reuse}");
+    }
+
+    #[test]
+    fn census_highly_repetitive_rows() {
+        // Prototype-based rows: many identical rows must appear.
+        let m = Dataset::Census.generate(2000, 11);
+        let mut seen = std::collections::HashMap::new();
+        for r in 0..2000 {
+            let key: Vec<u64> = m.row(r).iter().map(|v| v.to_bits()).collect();
+            *seen.entry(key).or_insert(0usize) += 1;
+        }
+        let max_dup = seen.values().copied().max().unwrap();
+        assert!(max_dup >= 5, "max duplicate row count {max_dup}");
+    }
+}

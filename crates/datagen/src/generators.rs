@@ -1,0 +1,136 @@
+//! Low-level building blocks for the dataset generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Samples from a Zipf-like distribution over `0..n` with exponent `s`
+/// via a precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler (`n >= 1`).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws a rank in `0..n` (0 = most frequent).
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// An approximately normal deviate (sum of uniforms — adequate for shaping
+/// value distributions; we never test normality).
+pub fn approx_normal(rng: &mut SmallRng) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..6 {
+        acc += rng.gen::<f64>();
+    }
+    (acc - 3.0) * std::f64::consts::SQRT_2
+}
+
+/// Quantises `v` onto a grid of `levels` steps in `[lo, hi]`, guaranteeing
+/// a bounded number of distinct outputs.
+pub fn quantise(v: f64, lo: f64, hi: f64, levels: u32) -> f64 {
+    let clamped = v.clamp(lo, hi);
+    let step = (hi - lo) / levels as f64;
+    let q = ((clamped - lo) / step).round();
+    lo + q * step
+}
+
+/// Generates a pool of sparse row templates over `cols` columns.
+///
+/// Each template lists `(col, value)` pairs; values are drawn from the
+/// provided per-column samplers via `sample_value(col, rng)`.
+pub fn make_templates(
+    rng: &mut SmallRng,
+    count: usize,
+    cols: usize,
+    density: f64,
+    mut sample_value: impl FnMut(usize, &mut SmallRng) -> f64,
+) -> Vec<Vec<(usize, f64)>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut row = Vec::new();
+        for c in 0..cols {
+            if rng.gen::<f64>() < density {
+                let v = sample_value(c, rng);
+                if v != 0.0 {
+                    row.push((c, v));
+                }
+            }
+        }
+        out.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn quantise_bounds_distinct_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            let v = quantise(approx_normal(&mut rng), -3.0, 3.0, 64);
+            seen.insert(v.to_bits());
+        }
+        assert!(seen.len() <= 65);
+        assert!(seen.len() > 30);
+    }
+
+    #[test]
+    fn approx_normal_centred() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mean: f64 =
+            (0..10_000).map(|_| approx_normal(&mut rng)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn templates_respect_density() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = make_templates(&mut rng, 50, 100, 0.3, |_, r| r.gen::<f64>() + 0.1);
+        let avg: f64 =
+            t.iter().map(|row| row.len() as f64).sum::<f64>() / (50.0 * 100.0);
+        assert!((avg - 0.3).abs() < 0.05, "avg density {avg}");
+    }
+}

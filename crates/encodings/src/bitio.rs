@@ -1,0 +1,269 @@
+//! MSB-first bit-oriented readers and writers.
+//!
+//! Both ends agree on the convention that bits are emitted from the most
+//! significant position of each byte first, so a stream written as
+//! `write_bits(0b101, 3)` starts with the bit `1`.
+
+/// Accumulates bits MSB-first into a byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bit accumulator; the `filled` most significant bits are valid.
+    acc: u64,
+    /// Number of valid bits currently in `acc` (0..=7 after `flush_acc`).
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { buf: Vec::with_capacity(bytes), acc: 0, filled: 0 }
+    }
+
+    /// Appends the `n` least-significant bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// Panics if `n > 57` (the accumulator guarantee) or if `value` has bits
+    /// set above position `n`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 57, "write_bits supports at most 57 bits per call");
+        debug_assert!(n == 64 || value < (1u64 << n), "value wider than n bits");
+        if n == 0 {
+            return;
+        }
+        self.acc |= value << (64 - n - self.filled);
+        self.filled += n;
+        while self.filled >= 8 {
+            self.buf.push((self.acc >> 56) as u8);
+            self.acc <<= 8;
+            self.filled -= 8;
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Appends an arbitrary-width value (up to 64 bits) by splitting it.
+    #[inline]
+    pub fn write_bits_long(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n > 32 {
+            self.write_bits(value >> 32, n - 32);
+            self.write_bits(value & 0xFFFF_FFFF, 32);
+        } else {
+            self.write_bits(value, n);
+        }
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.filled as usize
+    }
+
+    /// Pads with zero bits to a byte boundary and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.buf.push((self.acc >> 56) as u8);
+            self.acc = 0;
+            self.filled = 0;
+        }
+        self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Index of the next unread byte.
+    pos: usize,
+    acc: u64,
+    filled: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, filled: 0 }
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.filled <= 56 && self.pos < self.data.len() {
+            self.acc |= (self.data[self.pos] as u64) << (56 - self.filled);
+            self.pos += 1;
+            self.filled += 8;
+        }
+    }
+
+    /// Reads `n` bits (`n <= 57`), returning them in the low bits.
+    ///
+    /// Reading past the end of the stream yields zero bits, matching the
+    /// writer's zero padding.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        if n == 0 {
+            return 0;
+        }
+        if self.filled < n {
+            self.refill();
+        }
+        let v = self.acc >> (64 - n);
+        self.acc <<= n;
+        self.filled = self.filled.saturating_sub(n);
+        v
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        self.read_bits(1) == 1
+    }
+
+    /// Reads an arbitrary-width value (up to 64 bits).
+    #[inline]
+    pub fn read_bits_long(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n > 32 {
+            let hi = self.read_bits(n - 32);
+            let lo = self.read_bits(32);
+            (hi << 32) | lo
+        } else {
+            self.read_bits(n)
+        }
+    }
+
+    /// Peeks at the next `n` bits without consuming them.
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        if self.filled < n {
+            self.refill();
+        }
+        if n == 0 {
+            0
+        } else {
+            self.acc >> (64 - n)
+        }
+    }
+
+    /// Consumes `n` already-peeked bits.
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) {
+        debug_assert!(n <= self.filled, "skip_bits beyond refilled window");
+        self.acc <<= n;
+        self.filled -= n;
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        self.pos * 8 - self.filled as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFF, 8);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(8), 0xFF);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.read_bits(16), 0x1234);
+    }
+
+    #[test]
+    fn roundtrip_long_values() {
+        let vals = [u64::MAX, 0, 1, 0xDEAD_BEEF_CAFE_F00D, 42];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_bits_long(v, 64);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.read_bits_long(64), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        let mut expect = Vec::new();
+        for i in 0..2000u64 {
+            let n = (i % 57) as u32 + 1;
+            let v = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << n) - 1).max(1);
+            let v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+            w.write_bits_long(v, n);
+            expect.push((v, n));
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for (v, n) in expect {
+            assert_eq!(r.read_bits_long(n), v, "width {n}");
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_written_bits() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0x7F, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(3, 2);
+        assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn peek_then_skip_matches_read() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101_0110, 8);
+        w.write_bits(0b001, 3);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(5), 0b11010);
+        r.skip_bits(5);
+        assert_eq!(r.read_bits(3), 0b110);
+        assert_eq!(r.read_bits(3), 0b001);
+    }
+
+    #[test]
+    fn reading_past_end_yields_zeros() {
+        let bytes = BitWriter::new().finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(20), 0);
+    }
+
+    #[test]
+    fn zero_width_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        w.write_bits(0b11, 2);
+        w.write_bits(0, 0);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0), 0);
+        assert_eq!(r.read_bits(2), 0b11);
+    }
+}

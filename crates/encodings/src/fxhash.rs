@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hash (the FxHash algorithm used by rustc).
+//!
+//! The RePair compressor and the CLA encoder hash hundreds of millions of
+//! small integer keys; the standard library's SipHash is a measurable
+//! bottleneck there (see the Rust Performance Book's hashing chapter), so we
+//! ship the classic multiply-rotate Fx construction ourselves.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash hasher state.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ i).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche step: Fx on its own leaves the low bits weak,
+        // which hurts hashbrown's 7-bit control tags.
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        // Not a strong statistical test, just a sanity check that the
+        // hasher is not degenerate on small integers.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_works_with_pair_keys() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999, 999u32.wrapping_mul(7))), Some(&999));
+    }
+
+    #[test]
+    fn write_bytes_consistent_with_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is a test");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is a test");
+        assert_eq!(a.finish(), b.finish());
+    }
+}

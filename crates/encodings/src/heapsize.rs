@@ -1,0 +1,74 @@
+//! Exact owned-heap accounting.
+//!
+//! The paper reports peak memory as a percentage of the uncompressed matrix
+//! size. For deterministic, allocator-independent numbers, every compressed
+//! representation in this workspace implements [`HeapSize`], which reports
+//! the bytes of heap memory a value owns. The benchmark harness additionally
+//! installs a tracking allocator for live-heap measurements; the two agree
+//! to within allocator slack.
+
+/// Reports the number of heap bytes owned by a value (excluding the
+/// inline/stack part of the value itself).
+pub trait HeapSize {
+    /// Owned heap bytes, counting capacity actually reserved.
+    fn heap_bytes(&self) -> usize;
+
+    /// Total footprint: heap bytes plus the inline size of `Self`.
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        self.heap_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+impl<T: Copy> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Copy> HeapSize for Box<[T]> {
+    fn heap_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 16 * 8);
+        assert_eq!(v.total_bytes(), 16 * 8 + std::mem::size_of::<Vec<u64>>());
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u32]> = vec![1, 2, 3].into_boxed_slice();
+        assert_eq!(b.heap_bytes(), 12);
+    }
+
+    #[test]
+    fn option_none_is_free() {
+        let o: Option<Vec<u8>> = None;
+        assert_eq!(o.heap_bytes(), 0);
+        let o = Some(vec![0u8; 100]);
+        assert_eq!(o.heap_bytes(), 100);
+    }
+}

@@ -1,0 +1,386 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Used by the gzip-like baseline compressor (literal/length and distance
+//! alphabets) and available as an entropy-coding building block. Codes are
+//! canonical so only the code *lengths* need to be transmitted.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Maximum supported code length. 15 matches DEFLATE and keeps the decode
+/// table at 2^15 entries.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Computes optimal code lengths for `freqs`, limited to `max_len` bits.
+///
+/// Symbols with zero frequency receive length 0 (no code). If only one
+/// symbol has nonzero frequency it gets a 1-bit code.
+///
+/// The limiting step uses the classic overflow-repair algorithm (as in
+/// zlib): overlong codes are shortened to `max_len` and the Kraft deficit is
+/// repaid by lengthening the cheapest shorter codes.
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
+    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    let n = freqs.len();
+    let mut lengths = vec![0u32; n];
+    let mut live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match live.len() {
+        0 => return lengths,
+        1 => {
+            lengths[live[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        (live.len() as u64) <= (1u64 << max_len),
+        "alphabet too large for max_len"
+    );
+
+    // Standard two-queue Huffman on sorted leaves.
+    live.sort_by_key(|&i| freqs[i]);
+    #[derive(Clone, Copy)]
+    struct Node {
+        weight: u64,
+        // leaf: symbol index; internal: children indices into `nodes`.
+        left: usize,
+        right: usize,
+        symbol: usize, // usize::MAX for internal
+    }
+    let mut nodes: Vec<Node> = live
+        .iter()
+        .map(|&i| Node { weight: freqs[i], left: 0, right: 0, symbol: i })
+        .collect();
+    let mut leaf_q: std::collections::VecDeque<usize> = (0..nodes.len()).collect();
+    let mut int_q: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    let take_min =
+        |nodes: &Vec<Node>,
+         leaf_q: &mut std::collections::VecDeque<usize>,
+         int_q: &mut std::collections::VecDeque<usize>| {
+            match (leaf_q.front(), int_q.front()) {
+                (Some(&l), Some(&i)) => {
+                    if nodes[l].weight <= nodes[i].weight {
+                        leaf_q.pop_front().unwrap()
+                    } else {
+                        int_q.pop_front().unwrap()
+                    }
+                }
+                (Some(_), None) => leaf_q.pop_front().unwrap(),
+                (None, Some(_)) => int_q.pop_front().unwrap(),
+                (None, None) => unreachable!(),
+            }
+        };
+
+    let mut root = 0;
+    while leaf_q.len() + int_q.len() > 1 {
+        let a = take_min(&nodes, &mut leaf_q, &mut int_q);
+        let b = take_min(&nodes, &mut leaf_q, &mut int_q);
+        let w = nodes[a].weight + nodes[b].weight;
+        nodes.push(Node { weight: w, left: a, right: b, symbol: usize::MAX });
+        root = nodes.len() - 1;
+        int_q.push_back(root);
+    }
+
+    // Depth-first traversal to assign depths.
+    let mut stack = vec![(root, 0u32)];
+    while let Some((idx, depth)) = stack.pop() {
+        let node = nodes[idx];
+        if node.symbol != usize::MAX {
+            lengths[node.symbol] = depth.max(1);
+        } else {
+            stack.push((node.left, depth + 1));
+            stack.push((node.right, depth + 1));
+        }
+    }
+
+    // Length limiting: clamp and repair the Kraft sum.
+    let kraft_one = 1u64 << max_len; // sum of 2^(max_len - len) must equal this
+    let mut kraft: u64 = 0;
+    for l in lengths.iter_mut().filter(|l| **l > 0) {
+        if *l > max_len {
+            *l = max_len;
+        }
+        kraft += 1u64 << (max_len - *l);
+    }
+    if kraft > kraft_one {
+        // Over-subscribed: lengthen the shortest-frequency (longest-length)
+        // codes that are still below max_len... classic approach: repeatedly
+        // take a symbol with len < max_len and the *largest* length, and
+        // increment it; each increment frees 2^(max_len-len-1).
+        let mut order: Vec<usize> =
+            (0..n).filter(|&i| lengths[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(lengths[i]));
+        'outer: while kraft > kraft_one {
+            for &i in &order {
+                if lengths[i] < max_len && lengths[i] > 0 {
+                    kraft -= 1u64 << (max_len - lengths[i] - 1);
+                    lengths[i] += 1;
+                    if kraft <= kraft_one {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    if kraft < kraft_one {
+        // Under-subscribed (possible after clamping): shorten the cheapest
+        // codes greedily where it fits.
+        let mut order: Vec<usize> = (0..n).filter(|&i| lengths[i] > 0).collect();
+        order.sort_by_key(|&i| (lengths[i], std::cmp::Reverse(freqs[i])));
+        let mut changed = true;
+        while kraft < kraft_one && changed {
+            changed = false;
+            for &i in order.iter().rev() {
+                let gain = 1u64 << (max_len - lengths[i]);
+                if lengths[i] > 1 && kraft + gain <= kraft_one {
+                    kraft += gain;
+                    lengths[i] -= 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum::<u64>()
+            .min(kraft_one + 1),
+        kraft_one,
+        "Kraft equality violated"
+    );
+    lengths
+}
+
+/// A canonical Huffman code built from code lengths.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    /// Code length per symbol (0 = absent).
+    lengths: Vec<u32>,
+    /// Canonical code per symbol, MSB-aligned to its length.
+    codes: Vec<u32>,
+    max_len: u32,
+    /// Decode table: index by the next `max_len` bits, yields
+    /// `(symbol << 4) | length`.
+    table: Vec<u32>,
+}
+
+impl CanonicalCode {
+    /// Builds the canonical code for the given lengths.
+    ///
+    /// # Panics
+    /// Panics if the lengths violate the Kraft inequality or exceed
+    /// [`MAX_CODE_LEN`].
+    pub fn from_lengths(lengths: &[u32]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        assert!(max_len <= MAX_CODE_LEN, "code length {max_len} too long");
+        let mut bl_count = vec![0u32; (max_len + 1) as usize];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        // next_code per length, canonical construction (RFC 1951 style).
+        let mut next_code = vec![0u32; (max_len + 2) as usize];
+        let mut code = 0u32;
+        for bits in 1..=max_len {
+            code = (code + bl_count[(bits - 1) as usize]) << 1;
+            next_code[bits as usize] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = next_code[l as usize];
+                next_code[l as usize] += 1;
+                assert!(
+                    codes[sym] < (1u32 << l),
+                    "Kraft inequality violated at symbol {sym}"
+                );
+            }
+        }
+        // Full decode table (only if there is anything to decode).
+        let table = if max_len == 0 {
+            Vec::new()
+        } else {
+            let mut t = vec![u32::MAX; 1usize << max_len];
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == 0 {
+                    continue;
+                }
+                let code = codes[sym];
+                let shift = max_len - l;
+                let base = (code as usize) << shift;
+                let entry = ((sym as u32) << 4) | l;
+                for slot in &mut t[base..base + (1usize << shift)] {
+                    *slot = entry;
+                }
+            }
+            t
+        };
+        Self { lengths: lengths.to_vec(), codes, max_len, table }
+    }
+
+    /// Convenience: optimal length-limited code for `freqs`.
+    pub fn from_frequencies(freqs: &[u64], max_len: u32) -> Self {
+        Self::from_lengths(&code_lengths(freqs, max_len))
+    }
+
+    /// Code length of `sym` (0 if absent).
+    #[inline]
+    pub fn length(&self, sym: usize) -> u32 {
+        self.lengths[sym]
+    }
+
+    /// All code lengths (for header serialisation).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Encodes one symbol.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the symbol has no code.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, sym: usize) {
+        let l = self.lengths[sym];
+        debug_assert!(l > 0, "encoding absent symbol {sym}");
+        w.write_bits(self.codes[sym] as u64, l);
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Panics
+    /// Panics on an invalid bit pattern (possible only with corrupt input).
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> usize {
+        let bits = r.peek_bits(self.max_len) as usize;
+        let entry = self.table[bits];
+        assert_ne!(entry, u32::MAX, "invalid Huffman bit pattern");
+        let len = entry & 0xF;
+        r.skip_bits(len);
+        (entry >> 4) as usize
+    }
+
+    /// Expected compressed size in bits for the given frequencies.
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], data: &[usize]) {
+        let code = CanonicalCode::from_frequencies(freqs, MAX_CODE_LEN);
+        let mut w = BitWriter::new();
+        for &s in data {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in data {
+            assert_eq!(code.decode(&mut r), s);
+        }
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[10, 1], &[0, 1, 0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 5, 0], MAX_CODE_LEN);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        roundtrip(&[0, 5, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freqs: Vec<u64> = (0..64).map(|i| 1u64 << (i % 20)).collect();
+        let data: Vec<usize> = (0..2000).map(|i| i % 64).collect();
+        roundtrip(&freqs, &data);
+    }
+
+    #[test]
+    fn kraft_equality_holds() {
+        let freqs: Vec<u64> = (1..=300).map(|i| i * i).collect();
+        let lengths = code_lengths(&freqs, MAX_CODE_LEN);
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_CODE_LEN - l))
+            .sum();
+        assert_eq!(kraft, 1u64 << MAX_CODE_LEN);
+    }
+
+    #[test]
+    fn length_limiting_kicks_in() {
+        // Fibonacci-like frequencies force deep trees without limiting.
+        let mut freqs = vec![1u64, 1];
+        for i in 2..40 {
+            let next = freqs[i - 1] + freqs[i - 2];
+            freqs.push(next);
+        }
+        let lengths = code_lengths(&freqs, 12);
+        assert!(lengths.iter().all(|&l| l <= 12 && l >= 1));
+        let kraft: u64 = lengths.iter().map(|&l| 1u64 << (12 - l)).sum();
+        assert_eq!(kraft, 1u64 << 12);
+        // Round-trip with the limited code.
+        let code = CanonicalCode::from_lengths(&lengths);
+        let data: Vec<usize> = (0..freqs.len()).collect();
+        let mut w = BitWriter::new();
+        for &s in &data {
+            code.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &data {
+            assert_eq!(code.decode(&mut r), s);
+        }
+    }
+
+    #[test]
+    fn shorter_codes_for_frequent_symbols() {
+        let lengths = code_lengths(&[1000, 10, 10, 10], MAX_CODE_LEN);
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[0] <= lengths[2]);
+    }
+
+    #[test]
+    fn cost_bits_matches_actual_output() {
+        let freqs = vec![7u64, 3, 1, 9, 0, 2];
+        let code = CanonicalCode::from_frequencies(&freqs, MAX_CODE_LEN);
+        let mut data = Vec::new();
+        for (s, &f) in freqs.iter().enumerate() {
+            for _ in 0..f {
+                data.push(s);
+            }
+        }
+        let mut w = BitWriter::new();
+        for &s in &data {
+            code.encode(&mut w, s);
+        }
+        assert_eq!(w.bit_len() as u64, code.cost_bits(&freqs));
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let lengths = code_lengths(&[0, 0, 0], MAX_CODE_LEN);
+        assert_eq!(lengths, vec![0, 0, 0]);
+        let _ = CanonicalCode::from_lengths(&lengths); // must not panic
+    }
+
+    #[test]
+    fn large_alphabet_roundtrip() {
+        let freqs: Vec<u64> = (0..5000u64).map(|i| (i % 97) + 1).collect();
+        let data: Vec<usize> = (0..5000).step_by(7).collect();
+        roundtrip(&freqs, &data);
+    }
+}

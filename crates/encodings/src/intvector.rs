@@ -1,0 +1,315 @@
+//! A packed fixed-width integer vector.
+//!
+//! This plays the role of sdsl-lite's `int_vector` in the paper's `re_iv`
+//! encoder: the final string `C` and rule set `R` are stored with
+//! `1 + ⌊log₂ N_max⌋` bits per entry instead of 32, trading a small amount
+//! of decode work for a large space saving.
+
+use crate::heapsize::HeapSize;
+
+/// A vector of unsigned integers stored in `width` bits each, packed into
+/// `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntVector {
+    words: Box<[u64]>,
+    len: usize,
+    width: u32,
+}
+
+impl IntVector {
+    /// Smallest width able to represent `max_value` (at least 1 bit).
+    ///
+    /// Matches the paper's choice of `w = 1 + ⌊log₂ N_max⌋`.
+    pub fn width_for(max_value: u64) -> u32 {
+        64 - max_value.max(1).leading_zeros()
+    }
+
+    /// Creates a zero-initialised vector of `len` entries of `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let bits = len.checked_mul(width as usize).expect("IntVector too large");
+        let words = vec![0u64; bits.div_ceil(64)].into_boxed_slice();
+        Self { words, len, width }
+    }
+
+    /// Packs a slice, choosing the minimal width for its maximum element.
+    pub fn from_slice(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        Self::from_slice_with_width(values, Self::width_for(max))
+    }
+
+    /// Packs a slice with an explicit width.
+    ///
+    /// # Panics
+    /// Panics if any value does not fit in `width` bits.
+    pub fn from_slice_with_width(values: &[u64], width: u32) -> Self {
+        let mut iv = Self::new(values.len(), width);
+        for (i, &v) in values.iter().enumerate() {
+            iv.set(i, v);
+        }
+        iv
+    }
+
+    /// Packs an iterator of `u32` symbols (common case for grammar output).
+    pub fn from_u32s(values: &[u32]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0) as u64;
+        let mut iv = Self::new(values.len(), Self::width_for(max));
+        for (i, &v) in values.iter().enumerate() {
+            iv.set(i, v as u64);
+        }
+        iv
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per entry.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug) on out-of-bounds access.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "IntVector index {i} out of bounds {}", self.len);
+        let w = self.width as usize;
+        let bit = i * w;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        if off + self.width <= 64 {
+            (self.words[word] >> off) & mask
+        } else {
+            let lo = self.words[word] >> off;
+            let hi = self.words[word + 1] << (64 - off);
+            (lo | hi) & mask
+        }
+    }
+
+    /// Writes entry `i`.
+    ///
+    /// # Panics
+    /// Panics (in debug) on out-of-bounds access or an oversized value.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        debug_assert!(i < self.len);
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        debug_assert!(value <= mask, "value {value} exceeds width {}", self.width);
+        let w = self.width as usize;
+        let bit = i * w;
+        let word = bit >> 6;
+        let off = (bit & 63) as u32;
+        if off + self.width <= 64 {
+            self.words[word] = (self.words[word] & !(mask << off)) | (value << off);
+        } else {
+            let lo_bits = 64 - off;
+            self.words[word] =
+                (self.words[word] & !(mask << off)) | ((value << off) & u64::MAX);
+            let hi_mask = mask >> lo_bits;
+            self.words[word + 1] =
+                (self.words[word + 1] & !hi_mask) | (value >> lo_bits);
+        }
+    }
+
+    /// Sequential iterator over all entries.
+    pub fn iter(&self) -> IntVectorIter<'_> {
+        IntVectorIter { iv: self, pos: 0 }
+    }
+
+    /// Unpacks into a `Vec<u64>`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// Serialises to bytes: varint len, width byte, packed LE words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8 + 10);
+        crate::varint::write_u64(&mut out, self.len as u64);
+        out.push(self.width as u8);
+        for w in self.words.iter() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises from [`to_bytes`](Self::to_bytes) output, advancing
+    /// `pos`. Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = crate::varint::read_u64(data, pos)? as usize;
+        let width = *data.get(*pos)? as u32;
+        *pos += 1;
+        if !(1..=64).contains(&width) {
+            return None;
+        }
+        let n_words = len.checked_mul(width as usize)?.div_ceil(64);
+        let need = n_words.checked_mul(8)?;
+        if *pos + need > data.len() {
+            return None;
+        }
+        let words: Vec<u64> = data[*pos..*pos + need]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        *pos += need;
+        Some(Self { words: words.into_boxed_slice(), len, width })
+    }
+}
+
+impl HeapSize for IntVector {
+    fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator returned by [`IntVector::iter`].
+#[derive(Debug, Clone)]
+pub struct IntVectorIter<'a> {
+    iv: &'a IntVector,
+    pos: usize,
+}
+
+impl Iterator for IntVectorIter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.pos < self.iv.len {
+            let v = self.iv.get(self.pos);
+            self.pos += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.iv.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for IntVectorIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_matches_paper_formula() {
+        assert_eq!(IntVector::width_for(0), 1);
+        assert_eq!(IntVector::width_for(1), 1);
+        assert_eq!(IntVector::width_for(2), 2);
+        assert_eq!(IntVector::width_for(3), 2);
+        assert_eq!(IntVector::width_for(255), 8);
+        assert_eq!(IntVector::width_for(256), 9);
+        assert_eq!(IntVector::width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_widths() {
+        for width in 1..=64u32 {
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let n = 129;
+            let mut iv = IntVector::new(n, width);
+            for i in 0..n {
+                let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+                iv.set(i, v);
+            }
+            for i in 0..n {
+                let v = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask;
+                assert_eq!(iv.get(i), v, "width {width}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overwrite_does_not_disturb_neighbours() {
+        let mut iv = IntVector::new(100, 7);
+        for i in 0..100 {
+            iv.set(i, (i % 128) as u64);
+        }
+        iv.set(50, 0);
+        iv.set(50, 127);
+        for i in 0..100 {
+            let expect = if i == 50 { 127 } else { (i % 128) as u64 };
+            assert_eq!(iv.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn from_slice_uses_minimal_width() {
+        let iv = IntVector::from_slice(&[3, 7, 1, 0]);
+        assert_eq!(iv.width(), 3);
+        assert_eq!(iv.to_vec(), vec![3, 7, 1, 0]);
+    }
+
+    #[test]
+    fn from_u32s_roundtrip() {
+        let data: Vec<u32> = (0..1000).map(|i| i * 37 % 5000).collect();
+        let iv = IntVector::from_u32s(&data);
+        let back: Vec<u32> = iv.iter().map(|v| v as u32).collect();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let iv = IntVector::from_slice(&[]);
+        assert!(iv.is_empty());
+        assert_eq!(iv.iter().count(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_is_word_count() {
+        let iv = IntVector::new(64, 9); // 576 bits -> 9 words
+        assert_eq!(iv.heap_bytes(), 9 * 8);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let data: Vec<u64> = (0..777).map(|i| i * 31 % 1023).collect();
+        let iv = IntVector::from_slice(&data);
+        let bytes = iv.to_bytes();
+        let mut pos = 0;
+        let back = IntVector::from_bytes(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, iv);
+    }
+
+    #[test]
+    fn bytes_rejects_truncation_and_bad_width() {
+        let iv = IntVector::from_slice(&[1, 2, 3, 4, 5]);
+        let mut bytes = iv.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        let mut pos = 0;
+        assert!(IntVector::from_bytes(&bytes, &mut pos).is_none());
+        let mut bytes = iv.to_bytes();
+        bytes[1] = 0; // width 0 invalid
+        let mut pos = 0;
+        assert!(IntVector::from_bytes(&bytes, &mut pos).is_none());
+    }
+
+    #[test]
+    fn space_saving_vs_u32() {
+        // 1000 entries with max 511 -> 10 bits each vs 32 bits.
+        let data: Vec<u64> = (0..1000).map(|i| i % 512).collect();
+        let iv = IntVector::from_slice(&data);
+        assert_eq!(iv.width(), 9);
+        assert!(iv.heap_bytes() < 1000 * 4 / 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Bit-level codecs used throughout the grammar-compressed-matrix stack.
+//!
+//! This crate is the lowest layer of the workspace: it has no dependencies
+//! and provides
+//!
+//! * [`BitWriter`] / [`BitReader`] — MSB-first bit streams,
+//! * [`IntVector`] — a packed fixed-width integer array (the role played by
+//!   sdsl-lite's `int_vector` in the paper's `re_iv` encoder),
+//! * [`huffman`] — canonical, length-limited Huffman coding,
+//! * [`rans`] — a large-alphabet semi-static rANS coder with magnitude
+//!   folding (the role played by the *ans-fold* coder of Moffat & Petri in
+//!   the paper's `re_ans` encoder),
+//! * [`rangecoder`] — an adaptive binary range coder (used by the xz-like
+//!   baseline compressor),
+//! * [`varint`] — LEB128 variable-length integers,
+//! * [`fxhash`] — a fast non-cryptographic hasher for internal hash tables,
+//! * [`HeapSize`] — exact owned-heap accounting used for the paper's
+//!   peak-memory experiments.
+
+pub mod bitio;
+pub mod fxhash;
+pub mod heapsize;
+pub mod huffman;
+pub mod intvector;
+pub mod rangecoder;
+pub mod rans;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use heapsize::HeapSize;
+pub use intvector::IntVector;

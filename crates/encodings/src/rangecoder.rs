@@ -1,0 +1,367 @@
+//! Adaptive binary range coder (LZMA-style).
+//!
+//! This is the entropy back-end of the xz-like baseline compressor: a
+//! carry-aware arithmetic coder over binary decisions, each driven by an
+//! adaptive 11-bit probability model, plus a raw "direct bits" mode for
+//! near-uniform fields.
+
+/// Number of probability bits (probabilities live in `0..2048`).
+const PROB_BITS: u32 = 11;
+/// Initial probability: one half.
+const PROB_INIT: u16 = (1 << PROB_BITS) / 2;
+/// Adaptation shift: larger = slower adaptation.
+const MOVE_BITS: u32 = 5;
+/// Renormalisation threshold.
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability for one binary context.
+#[derive(Debug, Clone, Copy)]
+pub struct Prob(u16);
+
+impl Default for Prob {
+    fn default() -> Self {
+        Prob(PROB_INIT)
+    }
+}
+
+impl Prob {
+    /// A fresh, unbiased probability.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn update(&mut self, bit: u32) {
+        if bit == 0 {
+            self.0 += ((1 << PROB_BITS) - self.0) >> MOVE_BITS;
+        } else {
+            self.0 -= self.0 >> MOVE_BITS;
+        }
+    }
+}
+
+/// Range encoder writing to an internal byte buffer.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > u32::MAX as u64 {
+            let carry = (self.low >> 32) as u8;
+            let mut first = true;
+            while self.cache_size > 0 {
+                let byte = if first {
+                    self.cache.wrapping_add(carry)
+                } else {
+                    0xFFu8.wrapping_add(carry)
+                };
+                self.out.push(byte);
+                first = false;
+                self.cache_size -= 1;
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn encode_bit(&mut self, prob: &mut Prob, bit: u32) {
+        let bound = (self.range >> PROB_BITS) * prob.0 as u32;
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        prob.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encodes `n` raw bits of `value` (MSB first) at probability one half.
+    #[inline]
+    pub fn encode_direct(&mut self, value: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.range >>= 1;
+            let bit = (value >> i) & 1;
+            if bit == 1 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flushes and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+
+    /// Bytes produced so far (lower bound on final size).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been produced yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Range decoder reading from a byte slice.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    range: u32,
+    code: u32,
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder over bytes produced by [`RangeEncoder::finish`].
+    pub fn new(data: &'a [u8]) -> Self {
+        let mut d = Self { range: u32::MAX, code: 0, data, pos: 1 };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
+        let bound = (self.range >> PROB_BITS) * prob.0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1
+        };
+        prob.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+
+    /// Decodes `n` raw bits (MSB first).
+    #[inline]
+    pub fn decode_direct(&mut self, n: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..n {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | self.next_byte() as u32;
+            }
+        }
+        value
+    }
+}
+
+/// A tree of adaptive probabilities coding an `n_bits` value MSB-first.
+///
+/// The classic LZMA "bit tree": context index is the path prefix, so each
+/// node adapts to its own conditional distribution.
+#[derive(Debug, Clone)]
+pub struct BitTree {
+    probs: Vec<Prob>,
+    n_bits: u32,
+}
+
+impl BitTree {
+    /// Creates a tree coding values in `0..(1 << n_bits)`.
+    pub fn new(n_bits: u32) -> Self {
+        Self { probs: vec![Prob::new(); 1 << n_bits], n_bits }
+    }
+
+    /// Encodes `value` (must fit in `n_bits`).
+    #[inline]
+    pub fn encode(&mut self, enc: &mut RangeEncoder, value: u32) {
+        debug_assert!(value < (1 << self.n_bits));
+        let mut ctx = 1usize;
+        for i in (0..self.n_bits).rev() {
+            let bit = (value >> i) & 1;
+            enc.encode_bit(&mut self.probs[ctx], bit);
+            ctx = (ctx << 1) | bit as usize;
+        }
+    }
+
+    /// Decodes a value.
+    #[inline]
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
+        let mut ctx = 1usize;
+        for _ in 0..self.n_bits {
+            let bit = dec.decode_bit(&mut self.probs[ctx]);
+            ctx = (ctx << 1) | bit as usize;
+        }
+        (ctx as u32) - (1 << self.n_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_biased_bits() {
+        let bits: Vec<u32> = (0..10_000).map(|i| u32::from(i % 13 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::new();
+        for &b in &bits {
+            enc.encode_bit(&mut p, b);
+        }
+        let data = enc.finish();
+        // Biased stream should compress well below 1 bit per symbol.
+        assert!(data.len() < 10_000 / 8);
+        let mut dec = RangeDecoder::new(&data);
+        let mut p = Prob::new();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut p), b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_direct_bits() {
+        let vals: Vec<(u32, u32)> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 65536, 16))
+            .collect();
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &vals {
+            enc.encode_direct(v, n);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        for &(v, n) in &vals {
+            assert_eq!(dec.decode_direct(n), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_contexts() {
+        let mut enc = RangeEncoder::new();
+        let mut probs = vec![Prob::new(); 16];
+        let bits: Vec<(usize, u32)> = (0..50_000)
+            .map(|i| {
+                let ctx = i % 16;
+                let bit = u32::from((i / 16) % (ctx + 2) == 0);
+                (ctx, bit)
+            })
+            .collect();
+        for &(ctx, bit) in &bits {
+            enc.encode_bit(&mut probs[ctx], bit);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut probs = vec![Prob::new(); 16];
+        for &(ctx, bit) in &bits {
+            assert_eq!(dec.decode_bit(&mut probs[ctx]), bit, "ctx {ctx}");
+        }
+    }
+
+    #[test]
+    fn bittree_roundtrip() {
+        let vals: Vec<u32> = (0..5000).map(|i| i % 256).collect();
+        let mut enc = RangeEncoder::new();
+        let mut tree = BitTree::new(8);
+        for &v in &vals {
+            tree.encode(&mut enc, v);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut tree = BitTree::new(8);
+        for &v in &vals {
+            assert_eq!(tree.decode(&mut dec), v);
+        }
+    }
+
+    #[test]
+    fn bittree_skewed_compresses() {
+        // Mostly value 3: the tree should learn the distribution.
+        let vals: Vec<u32> = (0..20_000).map(|i| if i % 20 == 0 { i % 32 } else { 3 }).collect();
+        let mut enc = RangeEncoder::new();
+        let mut tree = BitTree::new(5);
+        for &v in &vals {
+            tree.encode(&mut enc, v);
+        }
+        let data = enc.finish();
+        assert!(data.len() < 20_000 * 5 / 8 / 3, "got {}", data.len());
+        let mut dec = RangeDecoder::new(&data);
+        let mut tree = BitTree::new(5);
+        for &v in &vals {
+            assert_eq!(tree.decode(&mut dec), v);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = RangeEncoder::new();
+        let data = enc.finish();
+        let _ = RangeDecoder::new(&data); // must not panic
+    }
+
+    #[test]
+    fn carry_propagation_stress() {
+        // Alternating highly-certain bits push `low` close to overflow,
+        // exercising the carry path.
+        let mut enc = RangeEncoder::new();
+        let mut p0 = Prob::new();
+        let mut p1 = Prob::new();
+        let bits: Vec<u32> = (0..100_000).map(|i| u32::from(i % 2 == 0)).collect();
+        for &b in &bits {
+            enc.encode_bit(if b == 0 { &mut p0 } else { &mut p1 }, b);
+        }
+        let data = enc.finish();
+        let mut dec = RangeDecoder::new(&data);
+        let mut p0 = Prob::new();
+        let mut p1 = Prob::new();
+        for &b in &bits {
+            let got = dec.decode_bit(if b == 0 { &mut p0 } else { &mut p1 });
+            assert_eq!(got, b);
+        }
+    }
+}

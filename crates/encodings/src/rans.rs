@@ -1,0 +1,535 @@
+//! Large-alphabet semi-static rANS with magnitude folding ("ans-fold").
+//!
+//! The paper's `re_ans` variant compresses the grammar's final string `C`
+//! with the ans-fold entropy coder of Moffat & Petri (ACM TOIS 2020). The
+//! essential ideas, reproduced here:
+//!
+//! * the (potentially huge) symbol alphabet is *folded*: small symbols get
+//!   their own bucket, large symbols share a bucket per binary magnitude
+//!   class and spell out their offset with raw bits;
+//! * bucket frequencies are gathered in a first pass (semi-static), encoded
+//!   in a compact header, and normalised to a power-of-two total;
+//! * the bucket stream is entropy-coded with rANS (64-bit state, 32-bit
+//!   renormalisation), which decodes strictly *forward* — exactly what the
+//!   matrix-vector multiplication scan of `C` requires.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::heapsize::HeapSize;
+use crate::varint;
+
+/// Lower bound of the rANS state interval.
+const RANS_L: u64 = 1 << 31;
+
+/// Parameters of the folded-alphabet rANS coder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RansParams {
+    /// Symbols `< (1 << direct_bits)` map to their own bucket.
+    pub direct_bits: u32,
+    /// Frequencies are normalised to `1 << scale_bits`.
+    pub scale_bits: u32,
+}
+
+impl Default for RansParams {
+    fn default() -> Self {
+        Self { direct_bits: 9, scale_bits: 12 }
+    }
+}
+
+impl RansParams {
+    fn direct(&self) -> u32 {
+        1 << self.direct_bits
+    }
+
+    /// Maps a symbol to `(bucket, extra_bit_count, extra_value)`.
+    #[inline]
+    fn fold(&self, s: u32) -> (u32, u32, u32) {
+        let d = self.direct();
+        if s < d {
+            (s, 0, 0)
+        } else {
+            let b = 32 - s.leading_zeros(); // s in [2^(b-1), 2^b)
+            let bucket = d + (b - self.direct_bits - 1);
+            (bucket, b - 1, s - (1 << (b - 1)))
+        }
+    }
+
+    /// Inverse of [`fold`] given the bucket and an extra-bits reader.
+    #[inline]
+    fn unfold(&self, bucket: u32, extra: &mut BitReader<'_>) -> u32 {
+        let d = self.direct();
+        if bucket < d {
+            bucket
+        } else {
+            let b = bucket - d + self.direct_bits + 1;
+            (1u32 << (b - 1)) + extra.read_bits(b - 1) as u32
+        }
+    }
+
+    /// Number of buckets needed for 32-bit symbols.
+    fn bucket_count(&self) -> usize {
+        (self.direct() + (32 - self.direct_bits)) as usize
+    }
+}
+
+/// Normalises `freqs` so they sum to `1 << scale_bits`, keeping every
+/// nonzero frequency at least 1.
+fn normalise(freqs: &[u64], scale_bits: u32) -> Vec<u32> {
+    let target = 1u64 << scale_bits;
+    let total: u64 = freqs.iter().sum();
+    assert!(total > 0, "cannot normalise an empty distribution");
+    let nonzero = freqs.iter().filter(|&&f| f > 0).count() as u64;
+    assert!(nonzero <= target, "more symbols than frequency slots");
+
+    let mut out = vec![0u32; freqs.len()];
+    let mut assigned: u64 = 0;
+    for (o, &f) in out.iter_mut().zip(freqs) {
+        if f > 0 {
+            let scaled = ((f as u128 * target as u128) / total as u128) as u64;
+            *o = scaled.max(1) as u32;
+            assigned += *o as u64;
+        }
+    }
+    // Repair the sum: shave from / add to the largest entries, which
+    // perturbs the distribution least in relative terms.
+    if assigned != target {
+        let mut order: Vec<usize> =
+            (0..freqs.len()).filter(|&i| out[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(out[i]));
+        let mut idx = 0;
+        while assigned > target {
+            let i = order[idx % order.len()];
+            if out[i] > 1 {
+                out[i] -= 1;
+                assigned -= 1;
+            }
+            idx += 1;
+        }
+        while assigned < target {
+            let i = order[idx % order.len()];
+            out[i] += 1;
+            assigned += 1;
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// A compressed sequence of `u32` symbols.
+///
+/// Owns the rANS word stream, the raw extra-bits stream for folded symbols,
+/// and the normalised bucket frequency table. Decoding is forward and
+/// allocation-free per symbol.
+#[derive(Debug, Clone)]
+pub struct RansSequence {
+    params: RansParams,
+    len: usize,
+    /// Normalised frequencies, truncated at the last used bucket.
+    freqs: Vec<u32>,
+    /// Cumulative frequencies (freqs.len() + 1 entries).
+    cum: Vec<u32>,
+    /// Slot -> bucket lookup (size `1 << scale_bits`).
+    slot_to_bucket: Vec<u16>,
+    /// rANS words, in decode order.
+    words: Vec<u32>,
+    /// Extra (folded-offset) bits, in decode order.
+    extra: Vec<u8>,
+}
+
+impl RansSequence {
+    /// Compresses `symbols` with default parameters.
+    pub fn encode(symbols: &[u32]) -> Self {
+        Self::encode_with(symbols, RansParams::default())
+    }
+
+    /// Compresses `symbols` with explicit parameters.
+    pub fn encode_with(symbols: &[u32], params: RansParams) -> Self {
+        if symbols.is_empty() {
+            return Self {
+                params,
+                len: 0,
+                freqs: Vec::new(),
+                cum: vec![0],
+                slot_to_bucket: Vec::new(),
+                words: Vec::new(),
+                extra: Vec::new(),
+            };
+        }
+        // Pass 1: bucket histogram + forward extra bits.
+        let mut hist = vec![0u64; params.bucket_count()];
+        let mut extra_w = BitWriter::new();
+        let mut buckets = Vec::with_capacity(symbols.len());
+        for &s in symbols {
+            let (b, nbits, ev) = params.fold(s);
+            hist[b as usize] += 1;
+            if nbits > 0 {
+                extra_w.write_bits(ev as u64, nbits);
+            }
+            buckets.push(b);
+        }
+        let used = hist.iter().rposition(|&f| f > 0).unwrap() + 1;
+        hist.truncate(used);
+        let freqs = normalise(&hist, params.scale_bits);
+        let mut cum = vec![0u32; used + 1];
+        for i in 0..used {
+            cum[i + 1] = cum[i] + freqs[i];
+        }
+        let mut slot_to_bucket = vec![0u16; 1usize << params.scale_bits];
+        for b in 0..used {
+            for s in cum[b]..cum[b + 1] {
+                slot_to_bucket[s as usize] = b as u16;
+            }
+        }
+        // Pass 2: rANS encode in reverse so decode runs forward.
+        let scale = params.scale_bits;
+        let mut words: Vec<u32> = Vec::new();
+        let mut x: u64 = RANS_L;
+        for &b in buckets.iter().rev() {
+            let f = freqs[b as usize] as u64;
+            let c = cum[b as usize] as u64;
+            let x_max = ((RANS_L >> scale) << 32) * f;
+            while x >= x_max {
+                words.push(x as u32);
+                x >>= 32;
+            }
+            x = ((x / f) << scale) + (x % f) + c;
+        }
+        // Final state, high word first so the decoder can rebuild it.
+        words.push(x as u32);
+        words.push((x >> 32) as u32);
+        words.reverse();
+        Self {
+            params,
+            len: symbols.len(),
+            freqs,
+            cum,
+            slot_to_bucket,
+            words,
+            extra: extra_w.finish(),
+        }
+    }
+
+    /// Number of encoded symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed payload size in bytes (words + extra bits + frequency
+    /// table), i.e. what would be written to disk.
+    pub fn compressed_bytes(&self) -> usize {
+        let mut header = Vec::new();
+        varint::write_u64(&mut header, self.len as u64);
+        varint::write_u32(&mut header, self.freqs.len() as u32);
+        for &f in &self.freqs {
+            varint::write_u32(&mut header, f);
+        }
+        header.len() + self.words.len() * 4 + self.extra.len()
+    }
+
+    /// Serialises the sequence: params, length, frequency table, words,
+    /// extra bits.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.compressed_bytes() + 16);
+        out.push(self.params.direct_bits as u8);
+        out.push(self.params.scale_bits as u8);
+        varint::write_u64(&mut out, self.len as u64);
+        varint::write_u32(&mut out, self.freqs.len() as u32);
+        for &f in &self.freqs {
+            varint::write_u32(&mut out, f);
+        }
+        varint::write_u64(&mut out, self.words.len() as u64);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        varint::write_u64(&mut out, self.extra.len() as u64);
+        out.extend_from_slice(&self.extra);
+        out
+    }
+
+    /// Deserialises from [`to_bytes`](Self::to_bytes) output, advancing
+    /// `pos`. Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8], pos: &mut usize) -> Option<Self> {
+        let direct_bits = *data.get(*pos)? as u32;
+        let scale_bits = *data.get(*pos + 1)? as u32;
+        *pos += 2;
+        if direct_bits > 30 || scale_bits == 0 || scale_bits > 24 {
+            return None;
+        }
+        let params = RansParams { direct_bits, scale_bits };
+        let len = varint::read_u64(data, pos)? as usize;
+        let n_freqs = varint::read_u32(data, pos)? as usize;
+        if n_freqs > params.bucket_count() {
+            return None;
+        }
+        let mut freqs = Vec::with_capacity(n_freqs);
+        for _ in 0..n_freqs {
+            freqs.push(varint::read_u32(data, pos)?);
+        }
+        let total: u64 = freqs.iter().map(|&f| f as u64).sum();
+        if len > 0 && total != 1u64 << scale_bits {
+            return None;
+        }
+        let mut cum = vec![0u32; n_freqs + 1];
+        for i in 0..n_freqs {
+            cum[i + 1] = cum[i] + freqs[i];
+        }
+        let mut slot_to_bucket = vec![0u16; if len == 0 { 0 } else { 1usize << scale_bits }];
+        if len > 0 {
+            for b in 0..n_freqs {
+                for s in cum[b]..cum[b + 1] {
+                    slot_to_bucket[s as usize] = b as u16;
+                }
+            }
+        }
+        let n_words = varint::read_u64(data, pos)? as usize;
+        if *pos + n_words * 4 > data.len() {
+            return None;
+        }
+        let words: Vec<u32> = data[*pos..*pos + n_words * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        *pos += n_words * 4;
+        let n_extra = varint::read_u64(data, pos)? as usize;
+        if *pos + n_extra > data.len() {
+            return None;
+        }
+        let extra = data[*pos..*pos + n_extra].to_vec();
+        *pos += n_extra;
+        if len > 0 && words.len() < 2 {
+            return None;
+        }
+        Some(Self { params, len, freqs, cum, slot_to_bucket, words, extra })
+    }
+
+    /// Forward decoder over the sequence.
+    pub fn decoder(&self) -> RansDecoder<'_> {
+        let mut words = self.words.iter();
+        let x = if self.len == 0 {
+            RANS_L
+        } else {
+            let hi = *words.next().unwrap() as u64;
+            let lo = *words.next().unwrap() as u64;
+            (hi << 32) | lo
+        };
+        RansDecoder {
+            seq: self,
+            x,
+            words,
+            extra: BitReader::new(&self.extra),
+            remaining: self.len,
+        }
+    }
+
+    /// Decodes the entire sequence (convenience / testing).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.decoder().collect()
+    }
+}
+
+impl HeapSize for RansSequence {
+    fn heap_bytes(&self) -> usize {
+        self.freqs.heap_bytes()
+            + self.cum.heap_bytes()
+            + self.slot_to_bucket.heap_bytes()
+            + self.words.heap_bytes()
+            + self.extra.heap_bytes()
+    }
+}
+
+/// Streaming forward decoder produced by [`RansSequence::decoder`].
+#[derive(Debug, Clone)]
+pub struct RansDecoder<'a> {
+    seq: &'a RansSequence,
+    x: u64,
+    words: std::slice::Iter<'a, u32>,
+    extra: BitReader<'a>,
+    remaining: usize,
+}
+
+impl Iterator for RansDecoder<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let params = self.seq.params;
+        let mask = (1u64 << params.scale_bits) - 1;
+        let slot = (self.x & mask) as usize;
+        let b = self.seq.slot_to_bucket[slot] as usize;
+        let f = self.seq.freqs[b] as u64;
+        let c = self.seq.cum[b] as u64;
+        self.x = f * (self.x >> params.scale_bits) + (self.x & mask) - c;
+        while self.x < RANS_L {
+            let w = *self.words.next().expect("rANS stream truncated") as u64;
+            self.x = (self.x << 32) | w;
+        }
+        Some(params.unfold(b as u32, &mut self.extra))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RansDecoder<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_unfold_inverse() {
+        let p = RansParams::default();
+        for s in [0u32, 1, 511, 512, 513, 1024, 65535, 1 << 20, u32::MAX] {
+            let (b, nbits, ev) = p.fold(s);
+            let mut w = BitWriter::new();
+            if nbits > 0 {
+                w.write_bits(ev as u64, nbits);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(p.unfold(b, &mut r), s, "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn normalise_sums_to_target() {
+        let freqs = vec![100u64, 1, 1, 50, 0, 3];
+        let out = normalise(&freqs, 12);
+        assert_eq!(out.iter().map(|&f| f as u64).sum::<u64>(), 1 << 12);
+        assert!(out[4] == 0);
+        assert!(out.iter().zip(&freqs).all(|(&o, &f)| (f == 0) == (o == 0)));
+    }
+
+    #[test]
+    fn normalise_many_rare_symbols() {
+        // 4000 symbols with frequency 1 and one hot symbol: every live
+        // symbol must keep freq >= 1 within the 4096 budget.
+        let mut freqs = vec![1u64; 4000];
+        freqs.push(1_000_000);
+        let out = normalise(&freqs, 12);
+        assert_eq!(out.iter().map(|&f| f as u64).sum::<u64>(), 1 << 12);
+        assert!(out.iter().all(|&f| f >= 1));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let seq = RansSequence::encode(&[]);
+        assert!(seq.is_empty());
+        assert_eq!(seq.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let seq = RansSequence::encode(&[42]);
+        assert_eq!(seq.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn roundtrip_uniform_small() {
+        let data: Vec<u32> = (0..10_000).map(|i| i % 200).collect();
+        let seq = RansSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_large_symbols() {
+        let data: Vec<u32> =
+            (0..5_000).map(|i| (i * 2_654_435_761u64 % (1 << 30)) as u32).collect();
+        let seq = RansSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_skewed() {
+        // Zipf-ish distribution, the realistic case for grammar symbols.
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            let r = (i.wrapping_mul(2_654_435_761)) % 1000;
+            let s = if r < 700 {
+                r % 8
+            } else if r < 950 {
+                r % 256
+            } else {
+                1000 + r * 917
+            };
+            data.push(s);
+        }
+        let seq = RansSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn compresses_skewed_below_raw() {
+        let data: Vec<u32> = (0..100_000).map(|i| if i % 10 == 0 { 7 } else { 3 }).collect();
+        let seq = RansSequence::encode(&data);
+        // ~0.47 bits/symbol entropy; raw would be 400 KB.
+        assert!(
+            seq.compressed_bytes() < 100_000 / 8 * 2,
+            "got {} bytes",
+            seq.compressed_bytes()
+        );
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_max_value() {
+        let data = vec![u32::MAX, 0, u32::MAX, 12345, u32::MAX];
+        let seq = RansSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn decoder_is_exact_size() {
+        let data: Vec<u32> = (0..1234).collect();
+        let seq = RansSequence::encode(&data);
+        let dec = seq.decoder();
+        assert_eq!(dec.len(), 1234);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let data: Vec<u32> = (0..5000).map(|i| i * 7 % 300 + (i % 13) * 1000).collect();
+        let seq = RansSequence::encode(&data);
+        let bytes = seq.to_bytes();
+        let mut pos = 0;
+        let back = RansSequence::from_bytes(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back.to_vec(), data);
+    }
+
+    #[test]
+    fn bytes_roundtrip_empty() {
+        let seq = RansSequence::encode(&[]);
+        let bytes = seq.to_bytes();
+        let mut pos = 0;
+        let back = RansSequence::from_bytes(&bytes, &mut pos).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bytes_rejects_corruption() {
+        let data: Vec<u32> = (0..100).collect();
+        let seq = RansSequence::encode(&data);
+        let mut bytes = seq.to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        let mut pos = 0;
+        assert!(RansSequence::from_bytes(&bytes, &mut pos).is_none());
+    }
+
+    #[test]
+    fn custom_params_roundtrip() {
+        let params = RansParams { direct_bits: 4, scale_bits: 10 };
+        let data: Vec<u32> = (0..3000).map(|i| i * 7 % 1024).collect();
+        let seq = RansSequence::encode_with(&data, params);
+        assert_eq!(seq.to_vec(), data);
+    }
+}

@@ -1,0 +1,105 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Used for compact headers (frequency tables, rule counts) in the
+//! serialised formats.
+
+/// Appends `value` to `out` as LEB128.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a `u32`.
+#[inline]
+pub fn write_u32(out: &mut Vec<u8>, value: u32) {
+    write_u64(out, value as u64);
+}
+
+/// Reads a LEB128 value from `data` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` on truncated input or overlong (>10 byte) encodings.
+#[inline]
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // overflow
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Reads a `u32`, rejecting values that do not fit.
+#[inline]
+pub fn read_u32(data: &[u8], pos: &mut usize) -> Option<u32> {
+    read_u64(data, pos).and_then(|v| u32::try_from(v).ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_values() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let buf = vec![0x80, 0x80]; // continuation bits with no terminator
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn u32_overflow_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u32::MAX as u64 + 1);
+        let mut pos = 0;
+        assert_eq!(read_u32(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Classical Compressed Sparse Row (CSR) representation (§2).
+//!
+//! Included both as a conversion waypoint and as the reference point the
+//! paper uses when observing that CSR (12 bytes per non-zero) can exceed
+//! the dense size for near-dense matrices such as Susy.
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use gcm_encodings::HeapSize;
+
+/// A CSR matrix: `values`/`col_idx` per non-zero, `row_ptr` of length
+/// `rows + 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+    col_idx: Vec<u32>,
+    row_ptr: Vec<usize>,
+}
+
+impl CsrMatrix {
+    /// Converts a dense matrix.
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        row_ptr.push(0);
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    values.push(v);
+                    col_idx.push(c as u32);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Self { rows: m.rows(), cols: m.cols(), values, col_idx, row_ptr }
+    }
+
+    /// Builds from (row, col, value) triplets; duplicate cells are rejected.
+    ///
+    /// # Errors
+    /// Fails if a triplet is out of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, MatrixError> {
+        let mut sorted: Vec<&(usize, usize, f64)> = triplets.iter().collect();
+        sorted.sort_by_key(|t| (t.0, t.1));
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut prev: Option<(usize, usize)> = None;
+        for &&(r, c, v) in &sorted {
+            if r >= rows || c >= cols {
+                return Err(MatrixError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            }
+            if prev == Some((r, c)) {
+                return Err(MatrixError::Parse(format!("duplicate cell ({r},{c})")));
+            }
+            prev = Some((r, c));
+            if v == 0.0 {
+                continue;
+            }
+            values.push(v);
+            col_idx.push(c as u32);
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Ok(Self { rows, cols, values, col_idx, row_ptr })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeroes.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(columns, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[range.clone()], &self.values[range])
+    }
+
+    /// Size of the classical CSR encoding: 8 bytes per value, 4 per column
+    /// index, 8 per row pointer.
+    pub fn csr_bytes(&self) -> usize {
+        self.values.len() * 8 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+
+    /// Right multiplication `y = M·x`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(())
+    }
+
+    /// Left multiplication `xᵗ = yᵗ·M`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        x.fill(0.0);
+        for r in 0..self.rows {
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                x[c as usize] += yr * v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts back to dense (testing convenience).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                m.set(r, c as usize, v);
+            }
+        }
+        m
+    }
+}
+
+impl HeapSize for CsrMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.values.heap_bytes() + self.col_idx.heap_bytes() + self.row_ptr.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[1.2, 3.4, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 1.7],
+            &[0.0, 0.0, 0.0, 0.0, 0.0],
+            &[3.4, 0.0, 5.6, 0.0, 2.3],
+        ])
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample();
+        let csr = CsrMatrix::from_dense(&d);
+        assert_eq!(csr.nnz(), 11);
+        assert_eq!(csr.to_dense(), d);
+    }
+
+    #[test]
+    fn empty_row_handled() {
+        let csr = CsrMatrix::from_dense(&sample());
+        let (cols, vals) = csr.row(2);
+        assert!(cols.is_empty() && vals.is_empty());
+    }
+
+    #[test]
+    fn multiplication_matches_dense() {
+        let d = sample();
+        let csr = CsrMatrix::from_dense(&d);
+        let x = [0.5, -1.0, 2.0, 0.0, 3.0];
+        let mut y_d = vec![0.0; 4];
+        let mut y_s = vec![0.0; 4];
+        d.right_multiply(&x, &mut y_d).unwrap();
+        csr.right_multiply(&x, &mut y_s).unwrap();
+        assert_eq!(y_d, y_s);
+
+        let y = [1.0, -2.0, 0.5, 0.0];
+        let mut x_d = vec![0.0; 5];
+        let mut x_s = vec![0.0; 5];
+        d.left_multiply(&y, &mut x_d).unwrap();
+        csr.left_multiply(&y, &mut x_s).unwrap();
+        assert_eq!(x_d, x_s);
+    }
+
+    #[test]
+    fn from_triplets_sorted_and_checked() {
+        let csr =
+            CsrMatrix::from_triplets(3, 3, &[(2, 1, 5.0), (0, 0, 1.0), (0, 2, 2.0)]).unwrap();
+        assert_eq!(csr.to_dense().get(2, 1), 5.0);
+        assert_eq!(csr.to_dense().get(0, 2), 2.0);
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn triplets_drop_explicit_zeros() {
+        let csr = CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 3.0)]).unwrap();
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn csr_bytes_exceeds_dense_for_dense_input() {
+        // The paper's observation: CSR on a ~99% dense matrix is larger
+        // than the dense form.
+        let mut d = DenseMatrix::zeros(50, 50);
+        for r in 0..50 {
+            for c in 0..50 {
+                if (r + c) % 100 != 0 {
+                    d.set(r, c, (r * 50 + c) as f64 + 0.5);
+                }
+            }
+        }
+        let csr = CsrMatrix::from_dense(&d);
+        assert!(csr.csr_bytes() > d.uncompressed_bytes());
+    }
+}

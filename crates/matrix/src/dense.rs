@@ -1,0 +1,279 @@
+//! Row-major dense matrices: the uncompressed baseline.
+//!
+//! Every size in the paper's tables is reported as a percentage of
+//! `rows × cols × 8` bytes — the size of this representation.
+
+use crate::error::MatrixError;
+use gcm_encodings::HeapSize;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    /// Fails if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+                what: "data length",
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n = rows.len();
+        let m = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n * m);
+        for r in rows {
+            assert_eq!(r.len(), m, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: n, cols: m, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw buffer as little-endian bytes (what gzip/xz compress in
+    /// Table 1).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 8);
+        for &v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Size of the uncompressed representation in bytes: `rows × cols × 8`.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.rows * self.cols * 8
+    }
+
+    /// Reference right multiplication `y = M·x`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        Ok(())
+    }
+
+    /// Reference left multiplication `xᵗ = yᵗ·M`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+                what: "x length",
+            });
+        }
+        x.fill(0.0);
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for (xc, &m) in x.iter_mut().zip(row) {
+                *xc += yr * m;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a column order: new column `j` is old column `order[j]`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..cols`.
+    pub fn with_column_order(&self, order: &[usize]) -> Self {
+        assert_eq!(order.len(), self.cols, "order length");
+        let mut seen = vec![false; self.cols];
+        for &c in order {
+            assert!(!seen[c], "order is not a permutation");
+            seen[c] = true;
+        }
+        let mut out = Self::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (new_c, &old_c) in order.iter().enumerate() {
+                out.set(r, new_c, self.get(r, old_c));
+            }
+        }
+        out
+    }
+}
+
+impl HeapSize for DenseMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        // The matrix of Figure 1 of the paper.
+        DenseMatrix::from_rows(&[
+            &[1.2, 3.4, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 1.7],
+            &[1.2, 3.4, 2.3, 4.5, 0.0],
+            &[3.4, 0.0, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 0.0],
+            &[1.2, 3.4, 2.3, 4.5, 3.4],
+        ])
+    }
+
+    #[test]
+    fn dims_and_nnz() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols()), (6, 5));
+        assert_eq!(m.nnz(), 23);
+        assert_eq!(m.uncompressed_bytes(), 6 * 5 * 8);
+    }
+
+    #[test]
+    fn right_multiply_reference() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![0.0; 6];
+        m.right_multiply(&x, &mut y).unwrap();
+        assert!((y[0] - (1.2 + 6.8 + 16.8 + 11.5)).abs() < 1e-12);
+        assert!((y[1] - (2.3 + 6.9 + 18.0 + 8.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn left_multiply_reference() {
+        let m = sample();
+        let y = [1.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        let mut x = vec![0.0; 5];
+        m.left_multiply(&y, &mut x).unwrap();
+        assert!((x[0] - (1.2 + 1.2)).abs() < 1e-12);
+        assert!((x[4] - (2.3 + 3.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_dimension_checks() {
+        let m = sample();
+        let mut y = vec![0.0; 6];
+        assert!(m.right_multiply(&[0.0; 4], &mut y).is_err());
+        let mut x = vec![0.0; 5];
+        assert!(m.left_multiply(&[0.0; 5], &mut x).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn column_reorder_is_permutation() {
+        let m = sample();
+        let order = [4, 3, 2, 1, 0];
+        let p = m.with_column_order(&order);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(p.get(r, c), m.get(r, order[c]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn column_reorder_rejects_duplicates() {
+        sample().with_column_order(&[0, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn le_bytes_length() {
+        let m = sample();
+        assert_eq!(m.to_le_bytes().len(), 6 * 5 * 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dictionary of distinct non-zero matrix values (the array `V` of §2).
+
+use gcm_encodings::fxhash::FxHashMap;
+use gcm_encodings::HeapSize;
+
+/// Maps distinct non-zero `f64` values to dense indices and back.
+///
+/// Indices are assigned in first-seen order; the paper notes (§2) that any
+/// ordering of `V` works. Values are keyed by their bit pattern, so `-0.0`
+/// would be distinct from `0.0` — irrelevant in practice because exact
+/// zeroes are never inserted.
+#[derive(Debug, Clone, Default)]
+pub struct ValueDict {
+    values: Vec<f64>,
+    index: FxHashMap<u64, u32>,
+}
+
+impl ValueDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the index of `v`, inserting it if new.
+    ///
+    /// # Panics
+    /// Panics if `v == 0.0` (zeroes are implicit in sparse formats) or if
+    /// `v` is NaN (which has no well-defined equality).
+    #[inline]
+    pub fn intern(&mut self, v: f64) -> u32 {
+        assert!(v != 0.0, "zero values are implicit");
+        assert!(!v.is_nan(), "NaN values are not supported");
+        let bits = v.to_bits();
+        if let Some(&i) = self.index.get(&bits) {
+            return i;
+        }
+        let i = u32::try_from(self.values.len()).expect("more than 2^32 distinct values");
+        self.values.push(v);
+        self.index.insert(bits, i);
+        i
+    }
+
+    /// Looks up the index of `v` without inserting.
+    pub fn get(&self, v: f64) -> Option<u32> {
+        self.index.get(&v.to_bits()).copied()
+    }
+
+    /// The value stored at `idx`.
+    #[inline]
+    pub fn value(&self, idx: u32) -> f64 {
+        self.values[idx as usize]
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The dictionary as a value slice (index order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the dictionary, keeping only the value array (the lookup
+    /// index is construction-time scaffolding and should not count against
+    /// the compressed footprint).
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl HeapSize for ValueDict {
+    fn heap_bytes(&self) -> usize {
+        // The hash index is transient; `V` itself is values only.
+        self.values.heap_bytes() + self.index.capacity() * (8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = ValueDict::new();
+        let a = d.intern(1.5);
+        let b = d.intern(2.5);
+        let a2 = d.intern(1.5);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(a), 1.5);
+        assert_eq!(d.value(b), 2.5);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = ValueDict::new();
+        d.intern(3.0);
+        assert_eq!(d.get(3.0), Some(0));
+        assert_eq!(d.get(4.0), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero values")]
+    fn zero_rejected() {
+        ValueDict::new().intern(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        ValueDict::new().intern(f64::NAN);
+    }
+
+    #[test]
+    fn negative_values_distinct() {
+        let mut d = ValueDict::new();
+        let a = d.intern(1.0);
+        let b = d.intern(-1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn first_seen_ordering() {
+        let mut d = ValueDict::new();
+        for (i, v) in [9.0, 7.0, 8.0].iter().enumerate() {
+            assert_eq!(d.intern(*v), i as u32);
+        }
+        assert_eq!(d.values(), &[9.0, 7.0, 8.0]);
+    }
+}

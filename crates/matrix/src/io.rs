@@ -1,0 +1,174 @@
+//! Simple matrix IO: a MatrixMarket-like text format and a compact binary
+//! format for dense matrices.
+//!
+//! The paper's datasets ship as numeric tables; these readers/writers make
+//! the examples and harnesses self-contained without external parsers.
+
+use std::io::{self, BufRead, Write};
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+
+/// Writes a dense matrix as text: a header line `rows cols`, then one line
+/// of space-separated values per row.
+pub fn write_dense_text<W: Write>(m: &DenseMatrix, mut w: W) -> io::Result<()> {
+    writeln!(w, "{} {}", m.rows(), m.cols())?;
+    let mut line = String::new();
+    for r in 0..m.rows() {
+        line.clear();
+        for (c, v) in m.row(r).iter().enumerate() {
+            if c > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{v}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads the text format produced by [`write_dense_text`].
+///
+/// # Errors
+/// Fails on malformed headers, rows of the wrong length, or unparsable
+/// numbers.
+pub fn read_dense_text<R: BufRead>(r: R) -> Result<DenseMatrix, MatrixError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| MatrixError::Parse("empty input".into()))?
+        .map_err(|e| MatrixError::Parse(e.to_string()))?;
+    let mut parts = header.split_whitespace();
+    let rows: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| MatrixError::Parse("bad row count".into()))?;
+    let cols: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| MatrixError::Parse("bad column count".into()))?;
+    let mut data = Vec::with_capacity(rows * cols);
+    for (i, line) in lines.enumerate() {
+        let line = line.map_err(|e| MatrixError::Parse(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let before = data.len();
+        for tok in line.split_whitespace() {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| MatrixError::Parse(format!("bad number {tok:?} on row {i}")))?;
+            data.push(v);
+        }
+        if data.len() - before != cols {
+            return Err(MatrixError::Parse(format!(
+                "row {i} has {} values, expected {cols}",
+                data.len() - before
+            )));
+        }
+    }
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+/// Magic bytes of the binary dense format.
+const MAGIC: &[u8; 8] = b"GCMDNSE1";
+
+/// Writes a dense matrix in a compact little-endian binary format.
+pub fn write_dense_binary<W: Write>(m: &DenseMatrix, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(m.rows() as u64).to_le_bytes())?;
+    w.write_all(&(m.cols() as u64).to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads the binary format produced by [`write_dense_binary`].
+///
+/// # Errors
+/// Fails on bad magic or truncated payloads.
+pub fn read_dense_binary(data: &[u8]) -> Result<DenseMatrix, MatrixError> {
+    if data.len() < 24 || &data[..8] != MAGIC {
+        return Err(MatrixError::Parse("bad magic".into()));
+    }
+    let rows = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+    let cols = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
+    let need = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| MatrixError::Parse("size overflow".into()))?;
+    let payload = &data[24..];
+    if payload.len() < need {
+        return Err(MatrixError::Parse(format!(
+            "truncated payload: need {need} bytes, have {}",
+            payload.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(rows * cols);
+    for chunk in payload[..need].chunks_exact(8) {
+        values.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    DenseMatrix::from_vec(rows, cols, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.25, 0.0, -3.5], &[0.0, 2.75, 0.0]])
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_dense_text(&m, &mut buf).unwrap();
+        let back = read_dense_text(&buf[..]).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_dense_binary(&m, &mut buf).unwrap();
+        let back = read_dense_binary(&buf).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn text_rejects_ragged_rows() {
+        let input = "2 3\n1 2 3\n4 5\n";
+        assert!(read_dense_text(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn text_rejects_bad_numbers() {
+        let input = "1 2\n1 abc\n";
+        assert!(read_dense_text(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let m = sample();
+        let mut buf = Vec::new();
+        write_dense_binary(&m, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_dense_binary(&buf).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        assert!(read_dense_binary(b"NOTMAGIC________________").is_err());
+    }
+
+    #[test]
+    fn empty_matrix_roundtrips() {
+        let m = DenseMatrix::zeros(0, 3);
+        let mut buf = Vec::new();
+        write_dense_text(&m, &mut buf).unwrap();
+        let back = read_dense_text(&buf[..]).unwrap();
+        assert_eq!(back.rows(), 0);
+        assert_eq!(back.cols(), 3);
+    }
+}

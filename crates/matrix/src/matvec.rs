@@ -1,0 +1,164 @@
+//! A common interface for everything that can multiply by a vector.
+//!
+//! The paper benchmarks the same iterative kernel (Eq. 4) over several
+//! representations (csrv, re_32, re_iv, re_ans, CLA, dense); this trait is
+//! what lets the harness treat them uniformly.
+
+use crate::csr::CsrMatrix;
+use crate::csrv::CsrvMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+
+/// Matrix-vector multiplication from both sides.
+pub trait MatVec {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Right multiplication `y = M·x`.
+    ///
+    /// # Errors
+    /// Implementations fail on dimension mismatches.
+    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError>;
+
+    /// Left multiplication `xᵗ = yᵗ·M`.
+    ///
+    /// # Errors
+    /// Implementations fail on dimension mismatches.
+    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError>;
+
+    /// Matrix-matrix product `Y = M·B` by repeated right multiplication
+    /// over `B`'s columns (the MVM-chain pattern of ML scoring loops).
+    ///
+    /// # Errors
+    /// Fails if `B` has a different row count than `M` has columns.
+    fn right_multiply_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+        if b.rows() != self.cols() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols(),
+                actual: b.rows(),
+                what: "B rows",
+            });
+        }
+        let (n, k) = (self.rows(), b.cols());
+        let mut out = DenseMatrix::zeros(n, k);
+        let mut x = vec![0.0f64; self.cols()];
+        let mut y = vec![0.0f64; n];
+        for j in 0..k {
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi = b.get(i, j);
+            }
+            self.right_multiply(&x, &mut y)?;
+            for (i, &yi) in y.iter().enumerate() {
+                out.set(i, j, yi);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl MatVec for DenseMatrix {
+    fn rows(&self) -> usize {
+        DenseMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DenseMatrix::cols(self)
+    }
+
+    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        DenseMatrix::right_multiply(self, x, y)
+    }
+
+    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        DenseMatrix::left_multiply(self, y, x)
+    }
+}
+
+impl MatVec for CsrMatrix {
+    fn rows(&self) -> usize {
+        CsrMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        CsrMatrix::cols(self)
+    }
+
+    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        CsrMatrix::right_multiply(self, x, y)
+    }
+
+    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        CsrMatrix::left_multiply(self, y, x)
+    }
+}
+
+impl MatVec for CsrvMatrix {
+    fn rows(&self) -> usize {
+        CsrvMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        CsrvMatrix::cols(self)
+    }
+
+    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        CsrvMatrix::right_multiply(self, x, y)
+    }
+
+    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        CsrvMatrix::left_multiply(self, y, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]])
+    }
+
+    fn check_impl(m: &dyn MatVec, reference: &DenseMatrix) {
+        let x = [1.0, 2.0, 3.0];
+        let mut y_ref = vec![0.0; 2];
+        let mut y = vec![0.0; 2];
+        reference.right_multiply(&x, &mut y_ref).unwrap();
+        m.right_multiply(&x, &mut y).unwrap();
+        assert_eq!(y, y_ref);
+
+        let yy = [1.0, -1.0];
+        let mut x_ref = vec![0.0; 3];
+        let mut x_out = vec![0.0; 3];
+        reference.left_multiply(&yy, &mut x_ref).unwrap();
+        m.left_multiply(&yy, &mut x_out).unwrap();
+        assert_eq!(x_out, x_ref);
+    }
+
+    #[test]
+    fn trait_objects_work_for_all_formats() {
+        let d = sample();
+        let csr = CsrMatrix::from_dense(&d);
+        let csrv = CsrvMatrix::from_dense(&d).unwrap();
+        check_impl(&d, &d);
+        check_impl(&csr, &d);
+        check_impl(&csrv, &d);
+    }
+
+    #[test]
+    fn matrix_matrix_product() {
+        let m = sample(); // 2x3
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]); // 3x2
+        let y = m.right_multiply_matrix(&b).unwrap();
+        // [[1,0,2],[0,3,0]] * [[1,0],[0,1],[1,1]] = [[3,2],[0,3]]
+        assert_eq!(y.get(0, 0), 3.0);
+        assert_eq!(y.get(0, 1), 2.0);
+        assert_eq!(y.get(1, 0), 0.0);
+        assert_eq!(y.get(1, 1), 3.0);
+        // Dimension check.
+        let bad = DenseMatrix::zeros(2, 2);
+        assert!(m.right_multiply_matrix(&bad).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The column-column similarity matrix (§5.1).
+//!
+//! For columns `i ≠ j`, build the row-wise sequence of value pairs
+//! `P_ij = ⟨M[1][i],M[1][j]⟩ … ⟨M[n][i],M[n][j]⟩`, keep only pairs with
+//! both components non-zero, and let `RPNZ_ij` be the number of
+//! *repetitions* among them (occurrences minus distinct pairs — the
+//! reading consistent with the paper's `RPNZ₁₂ = 2` example; the text's
+//! `RPNZ₁₃` walk-through is internally inconsistent, see DESIGN.md). Then
+//! `CSM[i][j] = RPNZ_ij / n`.
+//!
+//! Computation is the paper's sorting approach: per column pair, collect
+//! the combined 64-bit keys, sort, count duplicates. Cost is `O(m²·n log n)`
+//! worst case; a row-sampling knob caps `n` for wide matrices (Mnist2m).
+
+use gcm_matrix::CsrvMatrix;
+
+/// Configuration for CSM computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CsmConfig {
+    /// Use at most this many rows (deterministic stride sampling).
+    /// `None` = all rows.
+    pub sample_rows: Option<usize>,
+}
+
+impl Default for CsmConfig {
+    fn default() -> Self {
+        Self { sample_rows: Some(4096) }
+    }
+}
+
+impl CsmConfig {
+    /// Use every row (the paper's exact definition).
+    pub fn exact() -> Self {
+        Self { sample_rows: None }
+    }
+}
+
+/// The dense `m × m` similarity matrix.
+#[derive(Debug, Clone)]
+pub struct Csm {
+    m: usize,
+    /// Row-major upper-triangular-mirrored scores.
+    scores: Vec<f64>,
+}
+
+/// A sparse similarity graph: undirected weighted edges `(i, j, w)` with
+/// `i < j` and `w > 0`.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityGraph {
+    /// Number of columns (nodes).
+    pub nodes: usize,
+    /// Edges, arbitrary order.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl Csm {
+    /// Computes the CSM of `matrix` under `config`.
+    pub fn compute(matrix: &CsrvMatrix, config: CsmConfig) -> Self {
+        let m = matrix.cols();
+        let n = matrix.rows();
+        // Column-major value-id table: 0 = zero cell, else value-id + 1.
+        // Sampling keeps every stride-th row (deterministic, seed-free).
+        let codec = matrix.codec();
+        let (sampled_rows, stride) = match config.sample_rows {
+            Some(cap) if cap > 0 && n > cap => {
+                let stride = n.div_ceil(cap);
+                (n.div_ceil(stride), stride)
+            }
+            _ => (n, 1),
+        };
+        let mut table = vec![0u32; sampled_rows * m];
+        for (r, row) in matrix.row_slices().enumerate() {
+            if r % stride != 0 {
+                continue;
+            }
+            let sr = r / stride;
+            for &s in row {
+                let (l, j) = codec.decode(s);
+                table[sr * m + j as usize] = l + 1;
+            }
+        }
+        let denominator = sampled_rows.max(1) as f64;
+        let mut scores = vec![0.0f64; m * m];
+        let mut scratch: Vec<u64> = Vec::with_capacity(sampled_rows);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                scratch.clear();
+                for r in 0..sampled_rows {
+                    let a = table[r * m + i];
+                    let b = table[r * m + j];
+                    if a != 0 && b != 0 {
+                        scratch.push(((a as u64) << 32) | b as u64);
+                    }
+                }
+                if scratch.len() < 2 {
+                    continue;
+                }
+                scratch.sort_unstable();
+                let mut distinct = 1usize;
+                for w in scratch.windows(2) {
+                    if w[0] != w[1] {
+                        distinct += 1;
+                    }
+                }
+                let rpnz = (scratch.len() - distinct) as f64;
+                let score = rpnz / denominator;
+                scores[i * m + j] = score;
+                scores[j * m + i] = score;
+            }
+        }
+        Self { m, scores }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// The similarity of columns `i` and `j` (0 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.scores[i * self.m + j]
+    }
+
+    /// The full graph: one edge per positive-similarity pair (Θ(m²) worst
+    /// case).
+    pub fn full_graph(&self) -> SimilarityGraph {
+        let mut edges = Vec::new();
+        for i in 0..self.m {
+            for j in (i + 1)..self.m {
+                let w = self.get(i, j);
+                if w > 0.0 {
+                    edges.push((i as u32, j as u32, w));
+                }
+            }
+        }
+        SimilarityGraph { nodes: self.m, edges }
+    }
+
+    /// Locally-pruned CSM (`CSMᴾ`, §5.1): keep the `k` best-scoring
+    /// partners of each column.
+    pub fn locally_pruned(&self, k: usize) -> SimilarityGraph {
+        let mut keep = vec![false; self.m * self.m];
+        let mut partners: Vec<(f64, usize)> = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            partners.clear();
+            for j in 0..self.m {
+                if j != i {
+                    let w = self.get(i, j);
+                    if w > 0.0 {
+                        partners.push((w, j));
+                    }
+                }
+            }
+            partners.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            for &(_, j) in partners.iter().take(k) {
+                let (a, b) = (i.min(j), i.max(j));
+                keep[a * self.m + b] = true;
+            }
+        }
+        let mut edges = Vec::new();
+        for i in 0..self.m {
+            for j in (i + 1)..self.m {
+                if keep[i * self.m + j] {
+                    edges.push((i as u32, j as u32, self.get(i, j)));
+                }
+            }
+        }
+        SimilarityGraph { nodes: self.m, edges }
+    }
+
+    /// Globally-pruned CSM (§5.1): keep the `m·k` best-scoring entries
+    /// overall.
+    pub fn globally_pruned(&self, k: usize) -> SimilarityGraph {
+        let mut graph = self.full_graph();
+        graph
+            .edges
+            .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        graph.edges.truncate(self.m * k);
+        graph
+    }
+}
+
+impl SimilarityGraph {
+    /// Adjacency lists `(neighbour, weight)` per node.
+    pub fn adjacency(&self) -> Vec<Vec<(u32, f64)>> {
+        let mut adj = vec![Vec::new(); self.nodes];
+        for &(i, j, w) in &self.edges {
+            adj[i as usize].push((j, w));
+            adj[j as usize].push((i, w));
+        }
+        adj
+    }
+
+    /// Weight lookup as a dense matrix (testing / small graphs).
+    pub fn dense_weights(&self) -> Vec<f64> {
+        let m = self.nodes;
+        let mut w = vec![0.0; m * m];
+        for &(i, j, wt) in &self.edges {
+            w[i as usize * m + j as usize] = wt;
+            w[j as usize * m + i as usize] = wt;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcm_matrix::DenseMatrix;
+
+    /// The matrix of Figure 1.
+    fn fig1() -> CsrvMatrix {
+        CsrvMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1.2, 3.4, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 1.7],
+            &[1.2, 3.4, 2.3, 4.5, 0.0],
+            &[3.4, 0.0, 5.6, 0.0, 2.3],
+            &[2.3, 0.0, 2.3, 4.5, 0.0],
+            &[1.2, 3.4, 2.3, 4.5, 3.4],
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_rpnz12() {
+        // The paper: CSM[1][2] = 2/6 (columns 0 and 1 here).
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        assert!((csm.get(0, 1) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_column_pair_0_2() {
+        // Columns 0 and 2: pairs (1.2,5.6) x1, (2.3,2.3) x2, (1.2,2.3) x2,
+        // (3.4,5.6) x1 -> repetitions = (2-1)+(2-1) = 2 -> 2/6.
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        assert!((csm.get(0, 2) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_and_zero_diagonal() {
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        for i in 0..5 {
+            assert_eq!(csm.get(i, i), 0.0);
+            for j in 0..5 {
+                assert_eq!(csm.get(i, j), csm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn identical_columns_have_max_similarity() {
+        // Two identical non-zero columns: every pair repeats after the
+        // first distinct one.
+        let mut rows = Vec::new();
+        for r in 0..10 {
+            let v = ((r % 2) + 1) as f64;
+            rows.push([v, v, (r + 1) as f64]);
+        }
+        let slices: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
+        let m = CsrvMatrix::from_dense(&DenseMatrix::from_rows(&slices)).unwrap();
+        let csm = Csm::compute(&m, CsmConfig::exact());
+        // Columns 0,1: 10 pairs, 2 distinct -> 8/10.
+        assert!((csm.get(0, 1) - 0.8).abs() < 1e-12);
+        // Column 2 is unique-valued: no repetitions with anyone.
+        assert_eq!(csm.get(0, 2), 0.0);
+        assert_eq!(csm.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn zeros_are_ignored() {
+        // Pairs with a zero component never count.
+        let m = CsrvMatrix::from_dense(&DenseMatrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 0.0],
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+        ]))
+        .unwrap();
+        let csm = Csm::compute(&m, CsmConfig::exact());
+        // Only rows 2,3 have both non-zero: (1,2) twice -> 1 repetition.
+        assert!((csm.get(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_approximates_exact() {
+        let mut rows = Vec::new();
+        for r in 0..400 {
+            let v = ((r % 3) + 1) as f64;
+            rows.push([v, v * 2.0, ((r % 5) + 1) as f64]);
+        }
+        let slices: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
+        let m = CsrvMatrix::from_dense(&DenseMatrix::from_rows(&slices)).unwrap();
+        let exact = Csm::compute(&m, CsmConfig::exact());
+        let sampled = Csm::compute(&m, CsmConfig { sample_rows: Some(100) });
+        // Scores are normalised by the (sampled) row count, so they should
+        // be close.
+        assert!((exact.get(0, 1) - sampled.get(0, 1)).abs() < 0.05);
+    }
+
+    #[test]
+    fn local_pruning_keeps_k_per_column() {
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        let g1 = csm.locally_pruned(1);
+        let g4 = csm.locally_pruned(4);
+        assert!(g1.edges.len() <= g4.edges.len());
+        // k=1: at most one kept partner per column (union over columns).
+        assert!(g1.edges.len() <= 5);
+        for &(i, j, w) in &g1.edges {
+            assert!(i < j);
+            assert!(w > 0.0);
+        }
+    }
+
+    #[test]
+    fn global_pruning_keeps_top_mk() {
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        let full = csm.full_graph();
+        let pruned = csm.globally_pruned(1);
+        assert!(pruned.edges.len() <= 5);
+        // The kept edges are the heaviest ones.
+        let min_kept = pruned.edges.iter().map(|e| e.2).fold(f64::MAX, f64::min);
+        let dropped = full.edges.len() - pruned.edges.len();
+        if dropped > 0 {
+            let mut all: Vec<f64> = full.edges.iter().map(|e| e.2).collect();
+            all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            assert!(min_kept >= all[pruned.edges.len() - 1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let csm = Csm::compute(&fig1(), CsmConfig::exact());
+        let g = csm.full_graph();
+        let adj = g.adjacency();
+        let total: usize = adj.iter().map(|a| a.len()).sum();
+        assert_eq!(total, 2 * g.edges.len());
+    }
+}

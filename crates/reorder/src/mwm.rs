@@ -1,0 +1,255 @@
+//! Maximum-weight matching column reordering (§5.2).
+//!
+//! The paper builds a bipartite graph with `2m` nodes: choosing edge
+//! `(i, j)` with `i < j` means "column `i` immediately precedes column `j`"
+//! in the final order. A maximum-weight matching then gives every column at
+//! most one successor and at most one predecessor; because edges are
+//! oriented `i < j`, no cycles can arise, so the matching decomposes into
+//! chains, which are concatenated (in arbitrary order) into the final
+//! permutation.
+//!
+//! Where the paper calls Boost's `maximum_weight_matching`, we solve the
+//! bipartite problem exactly with the Hungarian algorithm (O(m³) — the
+//! same asymptotic class as the Θ(m³) algorithm the paper cites).
+
+use crate::csm::SimilarityGraph;
+
+/// Exact maximum-weight bipartite assignment (Hungarian / Jonker-Volgenant
+/// potentials).
+///
+/// `weight[i * n + j]` is the (non-negative) benefit of assigning left node
+/// `i` to right node `j`. Returns for each left node its assigned right
+/// node. Zero-weight assignments are as good as "unmatched".
+pub fn hungarian_max(weight: &[f64], n: usize) -> Vec<usize> {
+    assert_eq!(weight.len(), n * n);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Convert to min-cost: cost = max_w - w  (all costs >= 0).
+    let max_w = weight.iter().cloned().fold(0.0f64, f64::max);
+    let cost = |i: usize, j: usize| max_w - weight[i * n + j];
+
+    // Classic O(n³) Hungarian with potentials; 1-based helper arrays.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = left node matched to right j (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// MWM column reordering: chains from the predecessor/successor matching.
+pub fn mwm_order(graph: &SimilarityGraph) -> Vec<usize> {
+    let m = graph.nodes;
+    if m == 0 {
+        return Vec::new();
+    }
+    // Bipartite weights: left = predecessor role, right = successor role;
+    // only i < j edges carry weight (the paper's orientation trick).
+    let mut weight = vec![0.0f64; m * m];
+    for &(i, j, w) in &graph.edges {
+        let (a, b) = (i.min(j) as usize, i.max(j) as usize);
+        weight[a * m + b] = w;
+    }
+    let assignment = hungarian_max(&weight, m);
+    // successor[i] = j iff the matched pair carries positive weight.
+    let mut successor = vec![usize::MAX; m];
+    let mut has_pred = vec![false; m];
+    for i in 0..m {
+        let j = assignment[i];
+        if weight[i * m + j] > 0.0 {
+            successor[i] = j;
+            has_pred[j] = true;
+        }
+    }
+    // Walk chains from their heads.
+    let mut order = Vec::with_capacity(m);
+    let mut visited = vec![false; m];
+    for start in 0..m {
+        if has_pred[start] || visited[start] {
+            continue;
+        }
+        let mut cur = start;
+        while cur != usize::MAX && !visited[cur] {
+            visited[cur] = true;
+            order.push(cur);
+            cur = successor[cur];
+        }
+    }
+    // Any columns missed (can only happen under degenerate weights) are
+    // appended to keep the permutation total.
+    for c in 0..m {
+        if !visited[c] {
+            order.push(c);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_permutation(order: &[usize], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &c in order {
+            assert!(!seen[c], "duplicate {c} in {order:?}");
+            seen[c] = true;
+        }
+    }
+
+    /// Brute-force max-weight assignment for validation.
+    fn brute_force(weight: &[f64], n: usize) -> f64 {
+        fn rec(weight: &[f64], n: usize, i: usize, used: &mut [bool]) -> f64 {
+            if i == n {
+                return 0.0;
+            }
+            let mut best = f64::MIN;
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    let v = weight[i * n + j] + rec(weight, n, i + 1, used);
+                    used[j] = false;
+                    best = best.max(v);
+                }
+            }
+            best
+        }
+        rec(weight, n, 0, &mut vec![false; n])
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force() {
+        let mut state = 123456789u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        for n in [1usize, 2, 3, 5, 6] {
+            for _ in 0..5 {
+                let weight: Vec<f64> = (0..n * n).map(|_| rng()).collect();
+                let assignment = hungarian_max(&weight, n);
+                let total: f64 =
+                    (0..n).map(|i| weight[i * n + assignment[i]]).sum();
+                let best = brute_force(&weight, n);
+                assert!(
+                    (total - best).abs() < 1e-9,
+                    "n={n}: hungarian {total} vs brute {best}"
+                );
+                // Assignment must be a permutation.
+                assert_permutation(&assignment, n);
+            }
+        }
+    }
+
+    #[test]
+    fn mwm_chains_heavy_pairs() {
+        let g = SimilarityGraph {
+            nodes: 6,
+            edges: vec![(0, 1, 0.9), (2, 3, 0.8), (4, 5, 0.7), (1, 2, 0.2)],
+        };
+        let order = mwm_order(&g);
+        assert_permutation(&order, 6);
+        let adjacent = |a: usize, b: usize| {
+            order
+                .windows(2)
+                .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+        };
+        assert!(adjacent(0, 1));
+        assert!(adjacent(2, 3));
+        assert!(adjacent(4, 5));
+    }
+
+    #[test]
+    fn mwm_builds_longer_chains_via_distinct_roles() {
+        // 0->1 and 1->2 can coexist: 1 is a successor once and a
+        // predecessor once.
+        let g = SimilarityGraph {
+            nodes: 3,
+            edges: vec![(0, 1, 0.9), (1, 2, 0.9)],
+        };
+        let order = mwm_order(&g);
+        assert_permutation(&order, 3);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_identity_like() {
+        let g = SimilarityGraph { nodes: 4, edges: vec![] };
+        let order = mwm_order(&g);
+        assert_permutation(&order, 4);
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let g = SimilarityGraph { nodes: 0, edges: vec![] };
+        assert!(mwm_order(&g).is_empty());
+    }
+
+    #[test]
+    fn no_cycles_possible() {
+        // Dense pairwise similarities: the i<j orientation must still yield
+        // a valid (acyclic) permutation.
+        let mut edges = Vec::new();
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                edges.push((i, j, 1.0 / (1.0 + (j - i) as f64)));
+            }
+        }
+        let order = mwm_order(&SimilarityGraph { nodes: 8, edges });
+        assert_permutation(&order, 8);
+    }
+}

@@ -1,0 +1,314 @@
+//! PathCover and PathCover+ column-reordering algorithms (§5.2).
+//!
+//! **PathCover** scans the similarity edges by decreasing weight and keeps
+//! an edge iff it extends a set of vertex-disjoint simple paths (both
+//! endpoints have degree < 2 and lie in different components) — a
+//! Kruskal-style greedy reminiscent of single-linkage clustering. The
+//! resulting paths (plus isolated columns) are concatenated into a full
+//! column order.
+//!
+//! **PathCover+** additionally *coalesces* a grown path into a macro-node:
+//! after an edge extends path `P`, the weight from any outside node `v` to
+//! `P` becomes `min_{u ∈ P} w(v, u)` (the paper's pessimistic update, in
+//! the spirit of Sibeyn's MST algorithm). The paper reports PathCover+
+//! always compresses worse than PathCover; we implement it to reproduce
+//! that ablation.
+
+use crate::csm::SimilarityGraph;
+
+/// Disjoint-set over columns.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.parent[ra as usize] = rb;
+    }
+}
+
+/// Assembles the chosen path edges (+ isolated nodes) into a column order.
+///
+/// `degree`/`neighbors` describe the union of disjoint simple paths.
+fn chain_order(nodes: usize, neighbors: &[Vec<u32>]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(nodes);
+    let mut visited = vec![false; nodes];
+    // Walk each path from one endpoint (degree <= 1).
+    for start in 0..nodes {
+        if visited[start] || neighbors[start].len() > 1 {
+            continue;
+        }
+        let mut cur = start as u32;
+        let mut prev = u32::MAX;
+        loop {
+            visited[cur as usize] = true;
+            order.push(cur as usize);
+            let next = neighbors[cur as usize]
+                .iter()
+                .copied()
+                .find(|&n| n != prev && !visited[n as usize]);
+            match next {
+                Some(n) => {
+                    prev = cur;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+    }
+    // Safety net: cycles cannot occur by construction, but make sure every
+    // node is emitted.
+    for v in 0..nodes {
+        if !visited[v] {
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// PathCover: greedy maximum-weight disjoint-path cover.
+///
+/// Returns a permutation `order` with `order[k]` = original column at new
+/// position `k`.
+pub fn path_cover(graph: &SimilarityGraph) -> Vec<usize> {
+    let n = graph.nodes;
+    let mut edges = graph.edges.clone();
+    edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    let mut degree = vec![0u8; n];
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut uf = UnionFind::new(n);
+    for (i, j, _) in edges {
+        let (iu, ju) = (i as usize, j as usize);
+        if degree[iu] >= 2 || degree[ju] >= 2 {
+            continue;
+        }
+        if uf.find(i) == uf.find(j) {
+            continue; // would close a cycle
+        }
+        degree[iu] += 1;
+        degree[ju] += 1;
+        neighbors[iu].push(j);
+        neighbors[ju].push(i);
+        uf.union(i, j);
+    }
+    chain_order(n, &neighbors)
+}
+
+/// PathCover+: PathCover with path coalescing (minimum-weight update).
+pub fn path_cover_plus(graph: &SimilarityGraph) -> Vec<usize> {
+    let n = graph.nodes;
+    // Inter-component weights start as the edge weights and are updated to
+    // the *minimum* across merged components (the paper's coalescing rule).
+    use gcm_encodings::fxhash::FxHashMap;
+    let mut comp_weight: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let mut uf = UnionFind::new(n);
+    let mut degree = vec![0u8; n];
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // Deterministic round-based implementation: iterate rounds, each round
+    // picking the globally heaviest valid component-pair edge. Component
+    // count shrinks every round, so at most n-1 rounds; with the pruned
+    // graphs of §5.1 this is fast enough for m ≤ 784.
+    for &(i, j, w) in &graph.edges {
+        let key = (i.min(j), i.max(j));
+        let e = comp_weight.entry(key).or_insert(w);
+        if w < *e {
+            *e = w;
+        }
+    }
+    loop {
+        // Find the heaviest endpoint-valid edge between components, using
+        // the coalesced (minimum) component weight.
+        let mut best: Option<(f64, u32, u32)> = None;
+        let mut comp_min: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for (&(i, j), &w) in &comp_weight {
+            if degree[i as usize] >= 2 || degree[j as usize] >= 2 {
+                continue;
+            }
+            let (ci, cj) = (uf.find(i), uf.find(j));
+            if ci == cj {
+                continue;
+            }
+            let ckey = (ci.min(cj), ci.max(cj));
+            let e = comp_min.entry(ckey).or_insert(w);
+            if w < *e {
+                *e = w;
+            }
+        }
+        for (&(i, j), _) in &comp_weight {
+            if degree[i as usize] >= 2 || degree[j as usize] >= 2 {
+                continue;
+            }
+            let (ci, cj) = (uf.find(i), uf.find(j));
+            if ci == cj {
+                continue;
+            }
+            let ckey = (ci.min(cj), ci.max(cj));
+            let cw = comp_min[&ckey];
+            match best {
+                Some((bw, bi, bj)) => {
+                    if cw > bw || (cw == bw && (i, j) < (bi, bj)) {
+                        best = Some((cw, i, j));
+                    }
+                }
+                None => best = Some((cw, i, j)),
+            }
+        }
+        let Some((_, i, j)) = best else { break };
+        degree[i as usize] += 1;
+        degree[j as usize] += 1;
+        neighbors[i as usize].push(j);
+        neighbors[j as usize].push(i);
+        uf.union(i, j);
+    }
+    chain_order(n, &neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(nodes: usize, edges: &[(u32, u32, f64)]) -> SimilarityGraph {
+        SimilarityGraph { nodes, edges: edges.to_vec() }
+    }
+
+    fn assert_permutation(order: &[usize], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &c in order {
+            assert!(!seen[c], "duplicate column {c}");
+            seen[c] = true;
+        }
+    }
+
+    fn adjacent(order: &[usize], a: usize, b: usize) -> bool {
+        order
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    }
+
+    #[test]
+    fn empty_graph_identity_cover() {
+        let order = path_cover(&graph(4, &[]));
+        assert_permutation(&order, 4);
+    }
+
+    #[test]
+    fn single_heavy_edge_becomes_adjacent() {
+        let order = path_cover(&graph(5, &[(1, 3, 0.9), (0, 2, 0.1)]));
+        assert_permutation(&order, 5);
+        assert!(adjacent(&order, 1, 3));
+        assert!(adjacent(&order, 0, 2));
+    }
+
+    #[test]
+    fn degree_constraint_respected() {
+        // Star graph: centre 0 similar to everyone; only two of the spokes
+        // can be adjacent to 0.
+        let order = path_cover(&graph(
+            5,
+            &[(0, 1, 0.9), (0, 2, 0.8), (0, 3, 0.7), (0, 4, 0.6)],
+        ));
+        assert_permutation(&order, 5);
+        let pos0 = order.iter().position(|&c| c == 0).unwrap();
+        let mut adj_count = 0;
+        if pos0 > 0 && [1, 2, 3, 4].contains(&order[pos0 - 1]) {
+            adj_count += 1;
+        }
+        if pos0 + 1 < 5 && [1, 2, 3, 4].contains(&order[pos0 + 1]) {
+            adj_count += 1;
+        }
+        assert!(adj_count <= 2);
+        // The two heaviest spokes (1 and 2) win.
+        assert!(adjacent(&order, 0, 1));
+        assert!(adjacent(&order, 0, 2));
+    }
+
+    #[test]
+    fn cycle_is_refused() {
+        // Triangle: only two of the three edges may be taken.
+        let order = path_cover(&graph(3, &[(0, 1, 0.9), (1, 2, 0.8), (0, 2, 0.7)]));
+        assert_permutation(&order, 3);
+        assert!(adjacent(&order, 0, 1));
+        assert!(adjacent(&order, 1, 2));
+        assert!(!adjacent(&order, 0, 2));
+    }
+
+    #[test]
+    fn chain_graph_reconstructed() {
+        let order = path_cover(&graph(
+            6,
+            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5), (4, 5, 0.5)],
+        ));
+        assert_permutation(&order, 6);
+        for w in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            assert!(adjacent(&order, w.0, w.1), "{w:?} not adjacent in {order:?}");
+        }
+    }
+
+    #[test]
+    fn path_cover_plus_valid_permutation() {
+        let g = graph(
+            6,
+            &[
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (2, 3, 0.7),
+                (3, 4, 0.2),
+                (4, 5, 0.95),
+                (0, 5, 0.3),
+            ],
+        );
+        let order = path_cover_plus(&g);
+        assert_permutation(&order, 6);
+        // The heaviest edge must be taken first in both variants.
+        assert!(adjacent(&order, 4, 5));
+    }
+
+    #[test]
+    fn plus_coalescing_can_differ_from_plain() {
+        // Construct a case where coalescing (min weight to a path) changes
+        // a later choice: after (0,1), node 2's weight to the path is
+        // min(w(2,0), w(2,1)).
+        let g = graph(
+            4,
+            &[(0, 1, 1.0), (1, 2, 0.9), (0, 2, 0.1), (2, 3, 0.85), (1, 3, 0.05)],
+        );
+        let plain = path_cover(&g);
+        let plus = path_cover_plus(&g);
+        assert_permutation(&plain, 4);
+        assert_permutation(&plus, 4);
+        // Plain takes (0,1) then (1,2) then (2,3): chain 0-1-2-3.
+        assert!(adjacent(&plain, 1, 2));
+        // Plus evaluates (1,2) at min(0.9, w(0,2)=0.1) = 0.1 < (2,3)=0.85,
+        // so (2,3) is taken before (1,2).
+        assert!(adjacent(&plus, 2, 3));
+    }
+
+    #[test]
+    fn isolated_nodes_appended() {
+        let order = path_cover(&graph(7, &[(2, 5, 0.4)]));
+        assert_permutation(&order, 7);
+        assert!(adjacent(&order, 2, 5));
+    }
+}

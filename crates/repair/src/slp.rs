@@ -1,0 +1,277 @@
+//! Straight-line programs: the output of grammar compression.
+
+use gcm_encodings::HeapSize;
+
+/// A straight-line program over a `u32` terminal alphabet.
+///
+/// * Terminals are the symbols `< first_nt`.
+/// * Rule `k` defines nonterminal `first_nt + k` and rewrites to the two
+///   symbols `rules[k]`; each may be a terminal or an *earlier* nonterminal
+///   (so a single forward pass can evaluate all rules, Thm 3.4).
+/// * `sequence` is the final string `C`. With RePair it may freely mix
+///   terminals and nonterminals (§4: "RePair's final string is usually
+///   longer and may even include terminals").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slp {
+    first_nt: u32,
+    rules: Vec<(u32, u32)>,
+    sequence: Vec<u32>,
+}
+
+impl Slp {
+    /// Assembles an SLP from parts.
+    ///
+    /// # Panics
+    /// Panics if any rule references a symbol at or above its own id
+    /// (which would break the forward-evaluation order), or if ids overflow.
+    pub fn new(first_nt: u32, rules: Vec<(u32, u32)>, sequence: Vec<u32>) -> Self {
+        let limit = first_nt as u64 + rules.len() as u64;
+        assert!(limit <= u32::MAX as u64, "nonterminal ids overflow u32");
+        for (k, &(a, b)) in rules.iter().enumerate() {
+            let own = first_nt + k as u32;
+            assert!(a < own && b < own, "rule {k} references a later symbol");
+        }
+        for &s in &sequence {
+            assert!((s as u64) < limit, "sequence references undefined symbol {s}");
+        }
+        Self { first_nt, rules, sequence }
+    }
+
+    /// First nonterminal id (= exclusive upper bound of the terminals).
+    #[inline]
+    pub fn first_nonterminal(&self) -> u32 {
+        self.first_nt
+    }
+
+    /// The rule set `R`.
+    #[inline]
+    pub fn rules(&self) -> &[(u32, u32)] {
+        &self.rules
+    }
+
+    /// The final string `C`.
+    #[inline]
+    pub fn sequence(&self) -> &[u32] {
+        &self.sequence
+    }
+
+    /// Number of rules `|R|`.
+    #[inline]
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether `s` is a terminal under this grammar.
+    #[inline]
+    pub fn is_terminal(&self, s: u32) -> bool {
+        s < self.first_nt
+    }
+
+    /// Largest symbol id in use (`N_max` in the paper's `re_iv` encoding).
+    pub fn max_symbol(&self) -> u32 {
+        let from_rules = self.first_nt + self.rules.len() as u32;
+        if self.rules.is_empty() {
+            self.sequence.iter().copied().max().unwrap_or(0)
+        } else {
+            from_rules - 1
+        }
+    }
+
+    /// The paper's grammar size measure: total length of rule right-hand
+    /// sides plus the final string.
+    pub fn grammar_size(&self) -> usize {
+        2 * self.rules.len() + self.sequence.len()
+    }
+
+    /// Appends the expansion of `symbol` (terminal string) to `out`.
+    ///
+    /// Iterative with an explicit stack, so deep grammars cannot overflow
+    /// the call stack.
+    pub fn expand_symbol_into(&self, symbol: u32, out: &mut Vec<u32>) {
+        let mut stack = vec![symbol];
+        while let Some(s) = stack.pop() {
+            if s < self.first_nt {
+                out.push(s);
+            } else {
+                let (a, b) = self.rules[(s - self.first_nt) as usize];
+                stack.push(b);
+                stack.push(a);
+            }
+        }
+    }
+
+    /// Expansion of a single symbol as a fresh vector.
+    pub fn expand_symbol(&self, symbol: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.expand_symbol_into(symbol, &mut out);
+        out
+    }
+
+    /// Full expansion of the final string — the original input sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.expanded_len());
+        for &s in &self.sequence {
+            self.expand_symbol_into(s, &mut out);
+        }
+        out
+    }
+
+    /// Length of every nonterminal's expansion, computed in one forward
+    /// pass (the same dynamic-programming order as Thm 3.4).
+    pub fn expansion_lengths(&self) -> Vec<u64> {
+        let mut lens = Vec::with_capacity(self.rules.len());
+        for &(a, b) in &self.rules {
+            let la = if a < self.first_nt { 1 } else { lens[(a - self.first_nt) as usize] };
+            let lb = if b < self.first_nt { 1 } else { lens[(b - self.first_nt) as usize] };
+            lens.push(la + lb);
+        }
+        lens
+    }
+
+    /// Length of the full expansion without materialising it.
+    pub fn expanded_len(&self) -> usize {
+        let lens = self.expansion_lengths();
+        self.sequence
+            .iter()
+            .map(|&s| {
+                if s < self.first_nt {
+                    1u64
+                } else {
+                    lens[(s - self.first_nt) as usize]
+                }
+            })
+            .sum::<u64>() as usize
+    }
+
+    /// Checks structural invariants, returning a human-readable violation
+    /// if any (used by tests and debug assertions).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let limit = self.first_nt as u64 + self.rules.len() as u64;
+        for (k, &(a, b)) in self.rules.iter().enumerate() {
+            let own = self.first_nt as u64 + k as u64;
+            if a as u64 >= own || b as u64 >= own {
+                return Err(format!("rule {k} references symbol >= its own id"));
+            }
+        }
+        for &s in &self.sequence {
+            if s as u64 >= limit {
+                return Err(format!("sequence symbol {s} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that no rule (transitively) contains `forbidden` — used to
+    /// verify the `$`-protection invariant of §3.
+    pub fn rules_avoid_terminal(&self, forbidden: u32) -> bool {
+        self.rules
+            .iter()
+            .all(|&(a, b)| a != forbidden && b != forbidden)
+    }
+}
+
+impl HeapSize for Slp {
+    fn heap_bytes(&self) -> usize {
+        self.rules.heap_bytes() + self.sequence.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The grammar of Figure 2 of the paper (0 = `$`; terminals are mapped
+    /// to small ids for readability).
+    ///
+    /// Terminal key: `<3,3>`=1 `<5,4>`=2 `<1,1>`=3 `<4,2>`=4 `<3,1>`=5
+    /// `<6,3>`=6 `<3,5>`=7 `<2,5>`=8 `<4,1>`=9 `<4,5>`=10.
+    fn fig2() -> Slp {
+        let first_nt = 11;
+        // N1..N9 -> ids 11..19
+        let rules = vec![
+            (1, 2),   // N1 -> <3,3> <5,4>
+            (3, 4),   // N2 -> <1,1> <4,2>
+            (5, 11),  // N3 -> <3,1> N1
+            (6, 7),   // N4 -> <6,3> <3,5>
+            (12, 14), // N5 -> N2 N4
+            (13, 8),  // N6 -> N3 <2,5>
+            (12, 11), // N7 -> N2 N1
+            (9, 14),  // N8 -> <4,1> N4
+            (17, 10), // N9 -> N7 <4,5>
+        ];
+        let sequence = vec![15, 0, 16, 0, 17, 0, 18, 0, 13, 0, 19, 0];
+        Slp::new(first_nt, rules, sequence)
+    }
+
+    #[test]
+    fn fig2_expansion_matches_fig1() {
+        let slp = fig2();
+        // Expected S from Figure 1, in the same terminal key.
+        let expected = vec![
+            3, 4, 6, 7, 0, // row 1: <1,1><4,2><6,3><3,5> $
+            5, 1, 2, 8, 0, // row 2: <3,1><3,3><5,4><2,5> $
+            3, 4, 1, 2, 0, // row 3: <1,1><4,2><3,3><5,4> $
+            9, 6, 7, 0, // row 4: <4,1><6,3><3,5> $
+            5, 1, 2, 0, // row 5: <3,1><3,3><5,4> $
+            3, 4, 1, 2, 10, 0, // row 6: <1,1><4,2><3,3><5,4><4,5> $
+        ];
+        assert_eq!(slp.expand(), expected);
+        assert_eq!(slp.expanded_len(), expected.len());
+    }
+
+    #[test]
+    fn fig2_stats() {
+        let slp = fig2();
+        assert_eq!(slp.num_rules(), 9);
+        assert_eq!(slp.grammar_size(), 2 * 9 + 12);
+        assert_eq!(slp.max_symbol(), 19);
+        assert!(slp.rules_avoid_terminal(0));
+        assert!(slp.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn expansion_lengths_forward_pass() {
+        let slp = fig2();
+        let lens = slp.expansion_lengths();
+        assert_eq!(lens[0], 2); // N1
+        assert_eq!(lens[4], 4); // N5 = N2 N4
+        assert_eq!(lens[8], 5); // N9 = N7 <4,5>
+    }
+
+    #[test]
+    fn expand_single_terminal() {
+        let slp = Slp::new(5, vec![], vec![3, 1, 0]);
+        assert_eq!(slp.expand(), vec![3, 1, 0]);
+        assert_eq!(slp.expand_symbol(4), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a later symbol")]
+    fn forward_reference_rejected() {
+        // Rule 0 (id 10) references id 11 (rule 1): invalid.
+        Slp::new(10, vec![(11, 0), (1, 2)], vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined symbol")]
+    fn sequence_out_of_range_rejected() {
+        Slp::new(4, vec![(0, 1)], vec![9]);
+    }
+
+    #[test]
+    fn deep_grammar_expands_iteratively() {
+        // A left-leaning chain 20k deep: recursive expansion would blow the
+        // stack.
+        let first_nt = 2;
+        let mut rules = vec![(0u32, 1u32)];
+        for k in 1..20_000u32 {
+            rules.push((first_nt + k - 1, 1));
+        }
+        let seq = vec![first_nt + 19_999];
+        let slp = Slp::new(first_nt, rules, seq);
+        let expansion = slp.expand();
+        assert_eq!(expansion.len(), 20_001);
+        assert_eq!(expansion[0], 0);
+        assert!(expansion[1..].iter().all(|&s| s == 1));
+    }
+}

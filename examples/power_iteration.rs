@@ -1,0 +1,60 @@
+//! The paper's benchmark workload (Eq. 4): 500 alternated right/left
+//! multiplications with infinity-norm normalisation, run over several
+//! representations of a Census-like matrix — single-threaded and with
+//! row-block parallelism (§4.1).
+//!
+//! Run with: `cargo run --release --example power_iteration`
+
+use std::time::Instant;
+
+use mm_repair::prelude::*;
+
+fn run(name: &str, matrix: &dyn MatVec, iters: usize, bytes: usize, dense_bytes: usize) {
+    let x0 = vec![1.0; matrix.cols()];
+    let t0 = Instant::now();
+    let stats = power_iterations(matrix, &x0, iters).expect("iterations");
+    let dt = t0.elapsed();
+    println!(
+        "{name:<22} {:>9.3} ms/iter   size {:>6.2}%   ‖z‖∞ = {:.4}",
+        dt.as_secs_f64() * 1e3 / iters as f64,
+        100.0 * bytes as f64 / dense_bytes as f64,
+        stats.last_norm,
+    );
+}
+
+fn main() {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let iters = 50;
+    println!("generating Census-like matrix with {rows} rows…");
+    let dense = Dataset::Census.generate(rows, 42);
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let dense_bytes = dense.uncompressed_bytes();
+    println!(
+        "dense: {:.1} MiB, {} distinct values, {:.1}% non-zero\n",
+        dense_bytes as f64 / (1 << 20) as f64,
+        csrv.values().len(),
+        100.0 * csrv.nnz() as f64 / (rows * dense.cols()) as f64,
+    );
+
+    println!("-- single thread ----------------------------------------------");
+    run("csrv", &csrv, iters, csrv.csrv_bytes(), dense_bytes);
+    for enc in Encoding::ALL {
+        let cm = CompressedMatrix::compress(&csrv, enc);
+        run(enc.name(), &cm, iters, cm.stored_bytes(), dense_bytes);
+    }
+
+    println!("-- 8 row blocks / threads (§4.1) ------------------------------");
+    for enc in Encoding::ALL {
+        let bm = BlockedMatrix::compress(&csrv, enc, 8);
+        run(
+            &format!("{} x8", enc.name()),
+            &bm,
+            iters,
+            bm.stored_bytes(),
+            dense_bytes,
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! `mmr` — command-line front-end for grammar-compressed matrices.
+//!
+//! ```text
+//! mmr gen <dataset> <rows> <out.txt> [seed]      generate a synthetic matrix
+//! mmr compress <in.txt> <out.gcm> [encoding]     text matrix -> compressed file
+//! mmr decompress <in.gcm> <out.txt>              compressed file -> text matrix
+//! mmr info <in.gcm>                              show compressed statistics
+//! mmr multiply <in.gcm> [--left] [vector.txt]    multiply (vector of ones by default)
+//! ```
+//!
+//! Encodings: `re_32`, `re_iv`, `re_ans` (default `re_ans`).
+
+use std::fs;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use mm_repair::core::serial;
+use mm_repair::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  mmr gen <dataset> <rows> <out.txt> [seed]\n  mmr compress <in.txt> <out.gcm> [re_32|re_iv|re_ans]\n  mmr decompress <in.gcm> <out.txt>\n  mmr info <in.gcm>\n  mmr multiply <in.gcm> [--left] [vector.txt]\n\ndatasets: susy higgs airline78 covtype census optical mnist2m"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "susy" => Some(Dataset::Susy),
+        "higgs" => Some(Dataset::Higgs),
+        "airline78" => Some(Dataset::Airline78),
+        "covtype" => Some(Dataset::Covtype),
+        "census" => Some(Dataset::Census),
+        "optical" => Some(Dataset::Optical),
+        "mnist2m" => Some(Dataset::Mnist2m),
+        _ => None,
+    }
+}
+
+fn parse_encoding(name: &str) -> Option<Encoding> {
+    match name {
+        "re_32" => Some(Encoding::Re32),
+        "re_iv" => Some(Encoding::ReIv),
+        "re_ans" => Some(Encoding::ReAns),
+        _ => None,
+    }
+}
+
+fn load_compressed(path: &str) -> Result<CompressedMatrix, String> {
+    let bytes = fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    serial::from_bytes(&bytes).ok_or_else(|| format!("{path}: not a valid .gcm file"))
+}
+
+fn read_vector(path: &str, expect: usize) -> Result<Vec<f64>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse).collect();
+    let v = v.map_err(|e| format!("{path}: bad number: {e}"))?;
+    if v.len() != expect {
+        return Err(format!("{path}: expected {expect} numbers, got {}", v.len()));
+    }
+    Ok(v)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let [_, ds, rows, out] = &args[..4.min(args.len())] else {
+                return Err("gen needs <dataset> <rows> <out.txt>".into());
+            };
+            let ds = parse_dataset(ds).ok_or_else(|| format!("unknown dataset {ds}"))?;
+            let rows: usize = rows.parse().map_err(|_| "bad row count".to_string())?;
+            let seed: u64 =
+                args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let dense = ds.generate(rows, seed);
+            let file = fs::File::create(out).map_err(|e| e.to_string())?;
+            mm_repair::matrix::io::write_dense_text(&dense, std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {out}: {}x{} ({} non-zeroes)",
+                dense.rows(),
+                dense.cols(),
+                dense.nnz()
+            );
+            Ok(())
+        }
+        Some("compress") => {
+            let [_, input, output] = &args[..3.min(args.len())] else {
+                return Err("compress needs <in.txt> <out.gcm>".into());
+            };
+            let enc = match args.get(3) {
+                Some(e) => parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?,
+                None => Encoding::ReAns,
+            };
+            let file = fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+            let dense = mm_repair::matrix::io::read_dense_text(BufReader::new(file))
+                .map_err(|e| e.to_string())?;
+            let csrv = CsrvMatrix::from_dense(&dense).map_err(|e| e.to_string())?;
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let bytes = serial::to_bytes(&cm);
+            fs::write(output, &bytes).map_err(|e| e.to_string())?;
+            println!(
+                "{input}: {} bytes dense -> {} bytes {} ({:.2}%)",
+                dense.uncompressed_bytes(),
+                bytes.len(),
+                enc.name(),
+                100.0 * bytes.len() as f64 / dense.uncompressed_bytes() as f64,
+            );
+            Ok(())
+        }
+        Some("decompress") => {
+            let [_, input, output] = &args[..3.min(args.len())] else {
+                return Err("decompress needs <in.gcm> <out.txt>".into());
+            };
+            let cm = load_compressed(input)?;
+            let dense = cm.to_csrv().to_dense();
+            let file = fs::File::create(output).map_err(|e| e.to_string())?;
+            mm_repair::matrix::io::write_dense_text(&dense, std::io::BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            println!("wrote {output}: {}x{}", dense.rows(), dense.cols());
+            Ok(())
+        }
+        Some("info") => {
+            let [_, input] = &args[..2.min(args.len())] else {
+                return Err("info needs <in.gcm>".into());
+            };
+            let cm = load_compressed(input)?;
+            println!("{input}:");
+            println!("  dimensions : {} x {}", cm.rows(), cm.cols());
+            println!("  encoding   : {}", cm.encoding().name());
+            println!("  |V|        : {} distinct values", cm.values().len());
+            println!("  |R|        : {} rules", cm.num_rules());
+            println!("  |C|        : {} symbols", cm.sequence_len());
+            println!("  stored     : {} bytes", cm.stored_bytes());
+            println!(
+                "  vs dense   : {:.2}%",
+                100.0 * cm.stored_bytes() as f64
+                    / (cm.rows() * cm.cols() * 8).max(1) as f64
+            );
+            println!("  mvm space  : {} bytes of working memory", cm.working_bytes());
+            Ok(())
+        }
+        Some("multiply") => {
+            let [_, input] = &args[..2.min(args.len())] else {
+                return Err("multiply needs <in.gcm>".into());
+            };
+            let left = args.iter().any(|a| a == "--left");
+            let vec_path = args.iter().skip(2).find(|a| *a != "--left");
+            let cm = load_compressed(input)?;
+            if left {
+                let y = match vec_path {
+                    Some(p) => read_vector(p, cm.rows())?,
+                    None => vec![1.0; cm.rows()],
+                };
+                let mut x = vec![0.0; cm.cols()];
+                cm.left_multiply(&y, &mut x).map_err(|e| e.to_string())?;
+                print_vector(&x);
+            } else {
+                let x = match vec_path {
+                    Some(p) => read_vector(p, cm.cols())?,
+                    None => vec![1.0; cm.cols()],
+                };
+                let mut y = vec![0.0; cm.rows()];
+                cm.right_multiply(&x, &mut y).map_err(|e| e.to_string())?;
+                print_vector(&y);
+            }
+            Ok(())
+        }
+        _ => Err("unknown command".into()),
+    }
+}
+
+/// Prints one number per line, stopping quietly if stdout closes (e.g.
+/// piped through `head`).
+fn print_vector(v: &[f64]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for x in v {
+        if writeln!(out, "{x}").is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

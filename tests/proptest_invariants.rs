@@ -1,0 +1,147 @@
+//! Property-based tests of the core invariants:
+//!
+//! * RePair expansion is the identity (lossless grammar compression),
+//! * protected separators never appear inside rules,
+//! * compressed-domain MVM equals dense MVM for every encoding,
+//! * column reordering is a permutation and preserves MVM results,
+//! * the byte compressors round-trip arbitrary inputs.
+
+use proptest::prelude::*;
+
+use mm_repair::prelude::*;
+
+/// Strategy: a small random sparse matrix with a bounded value alphabet
+/// (bounded alphabets are what make the formats interesting).
+fn matrix_strategy() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..24, 1usize..12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            prop_oneof![
+                3 => Just(0.0f64),
+                2 => (1u32..6).prop_map(|v| v as f64 * 0.5),
+                1 => (-4i32..4).prop_map(|v| v as f64 + 0.25),
+            ],
+            rows * cols,
+        )
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data).unwrap())
+    })
+}
+
+fn vector_for(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((-8i32..8).prop_map(|v| v as f64 * 0.5), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn repair_roundtrips_symbol_streams(
+        symbols in proptest::collection::vec(0u32..12, 0..300)
+    ) {
+        let slp = RePair::new().compress(&symbols, 100, Some(0));
+        prop_assert_eq!(slp.expand(), symbols);
+        prop_assert!(slp.rules_avoid_terminal(0));
+        prop_assert!(slp.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn grammar_mvm_equals_dense(m in matrix_strategy()) {
+        let csrv = CsrvMatrix::from_dense(&m).unwrap();
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64) - 1.5).collect();
+        let yv: Vec<f64> = (0..m.rows()).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let mut y_ref = vec![0.0; m.rows()];
+        let mut x_ref = vec![0.0; m.cols()];
+        m.right_multiply(&x, &mut y_ref).unwrap();
+        m.left_multiply(&yv, &mut x_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let mut y = vec![0.0; m.rows()];
+            cm.right_multiply(&x, &mut y).unwrap();
+            for (a, b) in y_ref.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+            let mut xo = vec![0.0; m.cols()];
+            cm.left_multiply(&yv, &mut xo).unwrap();
+            for (a, b) in x_ref.iter().zip(&xo) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_equals_unblocked(m in matrix_strategy(), blocks in 1usize..6) {
+        let csrv = CsrvMatrix::from_dense(&m).unwrap();
+        let bm = BlockedMatrix::compress(&csrv, Encoding::ReIv, blocks);
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64) * 0.25).collect();
+        let mut y_a = vec![0.0; m.rows()];
+        let mut y_b = vec![0.0; m.rows()];
+        cm.right_multiply(&x, &mut y_a).unwrap();
+        bm.right_multiply(&x, &mut y_b).unwrap();
+        for (a, b) in y_a.iter().zip(&y_b) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reordering_is_permutation_preserving_mvm(
+        m in matrix_strategy(),
+        k in 1usize..6
+    ) {
+        let csrv = CsrvMatrix::from_dense(&m).unwrap();
+        for algo in [
+            ReorderAlgorithm::PathCover,
+            ReorderAlgorithm::Mwm,
+            ReorderAlgorithm::Lkh,
+        ] {
+            let order = reorder_columns(&csrv, algo, CsmConfig::exact(), k);
+            // Permutation check.
+            let mut seen = vec![false; m.cols()];
+            prop_assert_eq!(order.len(), m.cols());
+            for &c in &order {
+                prop_assert!(!seen[c]);
+                seen[c] = true;
+            }
+            // Reordered matrix is the same matrix.
+            let reordered = csrv.with_column_order(&order);
+            prop_assert_eq!(reordered.to_dense(), m.clone());
+        }
+    }
+
+    #[test]
+    fn gzipish_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = mm_repair::baselines::gzipish::compress(&data);
+        prop_assert_eq!(mm_repair::baselines::gzipish::decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn xzish_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = mm_repair::baselines::xzish::compress(&data);
+        prop_assert_eq!(mm_repair::baselines::xzish::decompress(&c), Some(data));
+    }
+
+    #[test]
+    fn rans_roundtrip(data in proptest::collection::vec(0u32..100_000, 0..2000)) {
+        let seq = mm_repair::encodings::rans::RansSequence::encode(&data);
+        prop_assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn intvector_roundtrip(data in proptest::collection::vec(any::<u32>(), 0..500)) {
+        let iv = mm_repair::encodings::IntVector::from_u32s(&data);
+        let back: Vec<u32> = iv.iter().map(|v| v as u32).collect();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn cla_mvm_equals_dense(m in matrix_strategy()) {
+        let cla = ClaMatrix::compress(&m);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut y_ref = vec![0.0; m.rows()];
+        let mut y = vec![0.0; m.rows()];
+        m.right_multiply(&x, &mut y_ref).unwrap();
+        cla.right_multiply(&x, &mut y).unwrap();
+        for (a, b) in y_ref.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
