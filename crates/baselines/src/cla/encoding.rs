@@ -92,7 +92,11 @@ impl GroupEncoding {
             return GroupEncoding::Uc { data, rows: n };
         }
         if min == ddc_size {
-            return GroupEncoding::Ddc { dict, codes, code_bytes };
+            return GroupEncoding::Ddc {
+                dict,
+                codes,
+                code_bytes,
+            };
         }
         if min == rle_size {
             let mut run_lists: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nonzero_tuples];
@@ -109,7 +113,10 @@ impl GroupEncoding {
                 }
                 run_lists[(c - 1) as usize].push((start as u32, (r - start) as u32));
             }
-            return GroupEncoding::Rle { dict, runs: run_lists };
+            return GroupEncoding::Rle {
+                dict,
+                runs: run_lists,
+            };
         }
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nonzero_tuples];
         for (r, &c) in codes.iter().enumerate() {
@@ -133,12 +140,13 @@ impl GroupEncoding {
     /// Serialized size in bytes.
     pub fn stored_bytes(&self) -> usize {
         match self {
-            GroupEncoding::Ddc { dict, codes, code_bytes } => {
-                dict.len() * 8 + codes.len() * code_bytes
-            }
+            GroupEncoding::Ddc {
+                dict,
+                codes,
+                code_bytes,
+            } => dict.len() * 8 + codes.len() * code_bytes,
             GroupEncoding::Ole { dict, lists } => {
-                dict.len() * 8
-                    + lists.iter().map(|l| l.len() * 4 + 8).sum::<usize>()
+                dict.len() * 8 + lists.iter().map(|l| l.len() * 4 + 8).sum::<usize>()
             }
             GroupEncoding::Rle { dict, runs } => {
                 dict.len() * 8 + runs.iter().map(|r| r.len() * 8 + 8).sum::<usize>()
@@ -276,9 +284,7 @@ impl GroupEncoding {
 impl HeapSize for GroupEncoding {
     fn heap_bytes(&self) -> usize {
         match self {
-            GroupEncoding::Ddc { dict, codes, .. } => {
-                dict.heap_bytes() + codes.heap_bytes()
-            }
+            GroupEncoding::Ddc { dict, codes, .. } => dict.heap_bytes() + codes.heap_bytes(),
             GroupEncoding::Ole { dict, lists } => {
                 dict.heap_bytes() + lists.iter().map(HeapSize::heap_bytes).sum::<usize>()
             }

@@ -27,7 +27,10 @@ pub struct GroupingConfig {
 
 impl Default for GroupingConfig {
     fn default() -> Self {
-        Self { sample_rows: 4096, max_group_size: 8 }
+        Self {
+            sample_rows: 4096,
+            max_group_size: 8,
+        }
     }
 }
 
@@ -124,7 +127,10 @@ pub fn plan_groups(matrix: &DenseMatrix, config: GroupingConfig) -> Vec<Vec<usiz
                 groups[gi].cols.push(c);
                 groups[gi].cardinality = joint;
             }
-            None => groups.push(OpenGroup { cols: vec![c], cardinality: col_card }),
+            None => groups.push(OpenGroup {
+                cols: vec![c],
+                cardinality: col_card,
+            }),
         }
     }
     groups.into_iter().map(|g| g.cols).collect()
@@ -227,19 +233,17 @@ mod tests {
                 m.set(r, c, ((r % 3) + 1) as f64);
             }
         }
-        let cfg = GroupingConfig { max_group_size: 4, sample_rows: 4096 };
+        let cfg = GroupingConfig {
+            max_group_size: 4,
+            sample_rows: 4096,
+        };
         let groups = plan_groups(&m, cfg);
         assert!(groups.iter().all(|g| g.len() <= 4));
     }
 
     #[test]
     fn dictionary_zero_tuple_is_code_zero() {
-        let m = DenseMatrix::from_rows(&[
-            &[0.0, 0.0],
-            &[1.0, 2.0],
-            &[0.0, 0.0],
-            &[1.0, 2.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 2.0], &[0.0, 0.0], &[1.0, 2.0]]);
         let (dict, codes) = build_dictionary(&m, &[0, 1]);
         assert_eq!(codes, vec![0, 1, 0, 1]);
         assert_eq!(&dict[0..2], &[0.0, 0.0]);

@@ -63,7 +63,11 @@ impl ClaMatrix {
                 CompressedGroup { cols, encoding }
             })
             .collect();
-        Self { rows: matrix.rows(), cols: matrix.cols(), groups: compressed }
+        Self {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            groups: compressed,
+        }
     }
 
     /// The column groups.
@@ -169,7 +173,7 @@ mod tests {
                 m.set(r, 3, 1.0);
             }
             m.set(r, 4, ((r * 13) % 97 + 100) as f64); // high cardinality
-            // col 5 stays zero (empty column).
+                                                       // col 5 stays zero (empty column).
         }
         m
     }

@@ -141,8 +141,7 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
     const HASH_BITS: usize = 15;
     const HASH_SIZE: usize = 1 << HASH_BITS;
     let hash = |d: &[u8]| -> usize {
-        ((d[0] as usize) << 10 ^ (d[1] as usize) << 5 ^ d[2] as usize)
-            .wrapping_mul(2654435761)
+        ((d[0] as usize) << 10 ^ (d[1] as usize) << 5 ^ d[2] as usize).wrapping_mul(2654435761)
             >> (32 - HASH_BITS)
             & (HASH_SIZE - 1)
     };
@@ -182,7 +181,10 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
             chain += 1;
         }
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { len: best_len, dist: best_dist });
+            tokens.push(Token::Match {
+                len: best_len,
+                dist: best_dist,
+            });
             // Insert hash entries for every covered position.
             let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
             let mut p = i;

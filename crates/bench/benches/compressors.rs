@@ -19,11 +19,7 @@ fn bench_repair(c: &mut Criterion) {
             &csrv,
             |b, csrv| {
                 b.iter(|| {
-                    RePair::new().compress(
-                        csrv.symbols(),
-                        csrv.terminal_limit(),
-                        Some(SEPARATOR),
-                    )
+                    RePair::new().compress(csrv.symbols(), csrv.terminal_limit(), Some(SEPARATOR))
                 });
             },
         );

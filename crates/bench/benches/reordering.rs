@@ -39,9 +39,7 @@ fn bench_algorithms(c: &mut Criterion) {
     });
     group.bench_function("mwm", |b| b.iter(|| gcm_reorder::mwm::mwm_order(&graph)));
     group.bench_function("lkh_style_tsp", |b| {
-        b.iter(|| {
-            gcm_reorder::tsp::tsp_order(&graph, gcm_reorder::tsp::TspConfig::default())
-        })
+        b.iter(|| gcm_reorder::tsp::tsp_order(&graph, gcm_reorder::tsp::TspConfig::default()))
     });
     group.finish();
 }

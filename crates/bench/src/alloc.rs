@@ -38,8 +38,7 @@ fn add(size: usize) {
     // Racy max is fine for benchmarking purposes.
     let mut peak = PEAK.load(Ordering::Relaxed);
     while cur > peak {
-        match PEAK.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match PEAK.compare_exchange_weak(peak, cur, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => break,
             Err(p) => peak = p,
         }

@@ -15,9 +15,9 @@ use gcm_bench::report::{pct, scale_arg, scaled_rows};
 use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
 use gcm_datagen::Dataset;
 use gcm_matrix::{CsrvMatrix, SEPARATOR};
+use gcm_reorder::{Csm, CsmConfig};
 use gcm_repair::stats::empirical_entropy;
 use gcm_repair::RePair;
-use gcm_reorder::{Csm, CsmConfig};
 
 #[global_allocator]
 static ALLOC: gcm_bench::TrackingAlloc = gcm_bench::TrackingAlloc::new();
@@ -27,7 +27,10 @@ fn main() {
     let datasets = [Dataset::Airline78, Dataset::Covtype, Dataset::Census];
 
     println!("== Ablation 1: local vs global CSM pruning (k = 8, PathCover + re_ans) ==");
-    println!("{:<10} {:>12} {:>12} {:>12}", "matrix", "full", "local", "global");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "matrix", "full", "local", "global"
+    );
     for ds in datasets {
         let spec = ds.spec();
         let rows = scaled_rows(spec.default_rows, scale).min(10_000);
@@ -36,11 +39,14 @@ fn main() {
         let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
         let csm = Csm::compute(&csrv, CsmConfig::default());
         let mut cells = Vec::new();
-        for graph in [csm.full_graph(), csm.locally_pruned(8), csm.globally_pruned(8)] {
+        for graph in [
+            csm.full_graph(),
+            csm.locally_pruned(8),
+            csm.globally_pruned(8),
+        ] {
             let order = gcm_reorder::pathcover::path_cover(&graph);
             let reordered = csrv.with_column_order(&order);
-            let size =
-                CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
+            let size = CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
             cells.push(pct(size, dense_bytes));
         }
         println!(
@@ -65,8 +71,7 @@ fn main() {
             gcm_reorder::pathcover::path_cover_plus(&graph),
         ] {
             let reordered = csrv.with_column_order(&order);
-            let size =
-                CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
+            let size = CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
             cells.push(pct(size, dense_bytes));
         }
         println!("{:<10} {:>12} {:>12}", spec.name, cells[0], cells[1]);
@@ -83,13 +88,11 @@ fn main() {
         let dense = ds.generate(rows, 1);
         let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
         let s = csrv.symbols();
-        let slp =
-            RePair::new().compress(s, csrv.terminal_limit(), Some(SEPARATOR));
+        let slp = RePair::new().compress(s, csrv.terminal_limit(), Some(SEPARATOR));
         let cm = CompressedMatrix::from_slp(&csrv, &slp, Encoding::ReIv);
         // bits/symbol spent on C and R (dictionary excluded: the entropy
         // bound speaks about the sequence S, not V).
-        let payload_bits =
-            8.0 * (cm.stored_bytes() - csrv.values().len() * 8) as f64;
+        let payload_bits = 8.0 * (cm.stored_bytes() - csrv.values().len() * 8) as f64;
         println!(
             "{:<10} {:>12} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
             spec.name,
@@ -133,9 +136,8 @@ fn main() {
         let dense = ds.generate(rows, 1);
         let dense_bytes = dense.uncompressed_bytes();
         let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
-        let size_of = |m: &CsrvMatrix| {
-            CompressedMatrix::compress(m, Encoding::ReAns).stored_bytes()
-        };
+        let size_of =
+            |m: &CsrvMatrix| CompressedMatrix::compress(m, Encoding::ReAns).stored_bytes();
         let baseline = size_of(&csrv);
         let canonical = size_of(&gcm_reorder::canonical_row_order(&csrv));
         let frequency = size_of(&gcm_reorder::frequency_row_order(&csrv));

@@ -37,15 +37,15 @@ fn main() {
             let mut time = Vec::new();
             for &t in &THREADS {
                 let bm = BlockedMatrix::compress(&csrv, enc, t);
-                let run =
-                    measure_iterations(&bm, iters, bm.heap_bytes(), bm.working_bytes());
+                let run = measure_iterations(&bm, iters, bm.heap_bytes(), bm.working_bytes());
                 mem.push(run.analytic_peak_bytes as f64);
                 time.push(run.secs_per_iter);
             }
-            let mem_r: Vec<String> =
-                mem.iter().map(|&m| format!("{:.2}", m / mem[0])).collect();
-            let time_r: Vec<String> =
-                time.iter().map(|&t| format!("{:.2}", time[0] / t)).collect();
+            let mem_r: Vec<String> = mem.iter().map(|&m| format!("{:.2}", m / mem[0])).collect();
+            let time_r: Vec<String> = time
+                .iter()
+                .map(|&t| format!("{:.2}", time[0] / t))
+                .collect();
             println!(
                 "{:<10} {:>24} {:>24}",
                 spec.name,

@@ -43,8 +43,7 @@ fn main() {
             // p_r: best-of-PathCover/MWM blockwise reordering (k = 16).
             let mut best: Option<BlockedMatrix> = None;
             for algo in [ReorderAlgorithm::PathCover, ReorderAlgorithm::Mwm] {
-                let blocks =
-                    reorder_blocks(&csrv, threads, algo, CsmConfig::default(), 16);
+                let blocks = reorder_blocks(&csrv, threads, algo, CsmConfig::default(), 16);
                 let compressed: Vec<CompressedMatrix> = blocks
                     .iter()
                     .map(|b| CompressedMatrix::compress(b, enc))

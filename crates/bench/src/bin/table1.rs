@@ -43,8 +43,7 @@ fn main() {
         let gz = gzipish::compress(&bytes).len();
         let xz = xzish::compress(&bytes).len();
         let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
-        let slp =
-            RePair::new().compress(csrv.symbols(), csrv.terminal_limit(), Some(SEPARATOR));
+        let slp = RePair::new().compress(csrv.symbols(), csrv.terminal_limit(), Some(SEPARATOR));
         let re: Vec<usize> = Encoding::ALL
             .iter()
             .map(|&e| CompressedMatrix::from_slp(&csrv, &slp, e).stored_bytes())

@@ -33,7 +33,9 @@ fn main() {
     let iters = iters_arg();
     let threads = threads_arg();
     println!("== Table 2: Eq.(4) peak memory & time/iter ==");
-    println!("scale {scale}, {iters} iterations, {threads} threads (paper: 500 iters, 16 threads)\n");
+    println!(
+        "scale {scale}, {iters} iterations, {threads} threads (paper: 500 iters, 16 threads)\n"
+    );
     println!(
         "{:<10} | {:>18} {:>18} | {:>18} {:>18} {:>18} {:>18}",
         "matrix",
@@ -46,7 +48,12 @@ fn main() {
     );
     println!(
         "{:<10} | {:>18} {:>18} | {:>18} {:>18} {:>18} {:>18}",
-        "", "mem% | time", "mem% | time", "mem% | time", "mem% | time", "mem% | time",
+        "",
+        "mem% | time",
+        "mem% | time",
+        "mem% | time",
+        "mem% | time",
+        "mem% | time",
         "mem% | time"
     );
     for (idx, ds) in Dataset::ALL.iter().enumerate() {
@@ -60,12 +67,7 @@ fn main() {
         // Single-thread re_iv / re_ans.
         for enc in [Encoding::ReIv, Encoding::ReAns] {
             let cm = CompressedMatrix::compress(&csrv, enc);
-            let run = measure_iterations(
-                &cm,
-                iters,
-                cm.heap_bytes(),
-                cm.working_bytes(),
-            );
+            let run = measure_iterations(&cm, iters, cm.heap_bytes(), cm.working_bytes());
             cells.push(format!(
                 "{} | {}",
                 pct(run.analytic_peak_bytes, dense_bytes),
@@ -75,12 +77,7 @@ fn main() {
         // Multithreaded csrv.
         {
             let par = ParallelCsrv::split(&csrv, threads);
-            let run = measure_iterations(
-                &par,
-                iters,
-                par.stored_bytes(),
-                par.working_bytes(),
-            );
+            let run = measure_iterations(&par, iters, par.stored_bytes(), par.working_bytes());
             cells.push(format!(
                 "{} | {}",
                 pct(run.analytic_peak_bytes, dense_bytes),
@@ -90,12 +87,7 @@ fn main() {
         // Multithreaded grammar encodings.
         for enc in Encoding::ALL {
             let bm = BlockedMatrix::compress(&csrv, enc, threads);
-            let run = measure_iterations(
-                &bm,
-                iters,
-                bm.heap_bytes(),
-                bm.working_bytes(),
-            );
+            let run = measure_iterations(&bm, iters, bm.heap_bytes(), bm.working_bytes());
             cells.push(format!(
                 "{} | {}",
                 pct(run.analytic_peak_bytes, dense_bytes),

@@ -38,16 +38,15 @@ fn main() {
                 let order = reorder_columns(&csrv, algo, CsmConfig::default(), k);
                 let reorder_secs = t0.elapsed().as_secs_f64();
                 let reordered = csrv.with_column_order(&order);
-                let size = CompressedMatrix::compress(&reordered, Encoding::ReAns)
-                    .stored_bytes();
-                cells.push(format!(
-                    "{} ({:.2}s)",
-                    pct(size, dense_bytes),
-                    reorder_secs
-                ));
+                let size = CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
+                cells.push(format!("{} ({:.2}s)", pct(size, dense_bytes), reorder_secs));
             }
             let name = if k == 4 { spec.name } else { "" };
-            let base = if k == 4 { pct(baseline, dense_bytes) } else { String::new() };
+            let base = if k == 4 {
+                pct(baseline, dense_bytes)
+            } else {
+                String::new()
+            };
             println!(
                 "{:<10} {:>4} {:>22} {:>22} {:>22} | {:>10}",
                 name, k, cells[0], cells[1], cells[2], base

@@ -24,11 +24,7 @@ use gcm_reorder::{reorder_blocks, CsmConfig, ReorderAlgorithm};
 static ALLOC: gcm_bench::TrackingAlloc = gcm_bench::TrackingAlloc::new();
 
 /// Builds the best-of-PathCover/MWM blockwise-reordered matrix (§5.3).
-fn reordered_blocked(
-    csrv: &CsrvMatrix,
-    blocks: usize,
-    enc: Encoding,
-) -> BlockedMatrix {
+fn reordered_blocked(csrv: &CsrvMatrix, blocks: usize, enc: Encoding) -> BlockedMatrix {
     let k = 16;
     let candidates = [ReorderAlgorithm::PathCover, ReorderAlgorithm::Mwm].map(|algo| {
         let reordered = reorder_blocks(csrv, blocks, algo, CsmConfig::default(), k);
@@ -87,8 +83,7 @@ fn main() {
             let t0 = Instant::now();
             let cla = ClaMatrix::compress(&dense);
             let compress_secs = t0.elapsed().as_secs_f64();
-            let run =
-                measure_iterations(&cla, iters, cla.heap_bytes(), 0);
+            let run = measure_iterations(&cla, iters, cla.heap_bytes(), 0);
             cells.push(format!(
                 "{} | {} | {}",
                 pct(cla.stored_bytes(), dense_bytes),

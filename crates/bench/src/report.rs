@@ -29,17 +29,23 @@ pub fn arg_value(flag: &str) -> Option<String> {
 /// Row-count scale factor from `--scale` (default 1.0 = each dataset's
 /// default laptop rows).
 pub fn scale_arg() -> f64 {
-    arg_value("--scale").and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Iteration count from `--iters` (default 50; the paper uses 500).
 pub fn iters_arg() -> usize {
-    arg_value("--iters").and_then(|v| v.parse().ok()).unwrap_or(50)
+    arg_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
 }
 
 /// Thread count from `--threads` (default 8).
 pub fn threads_arg() -> usize {
-    arg_value("--threads").and_then(|v| v.parse().ok()).unwrap_or(8)
+    arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
 }
 
 /// Scaled row count for a dataset.

@@ -71,7 +71,13 @@ impl BlockedMatrix {
             rows += b.rows();
         }
         let threads = blocks.len().max(1);
-        Self { blocks, row_offsets, rows, cols, threads }
+        Self {
+            blocks,
+            row_offsets,
+            rows,
+            cols,
+            threads,
+        }
     }
 
     /// The compressed blocks.
@@ -87,10 +93,7 @@ impl BlockedMatrix {
     /// Total serialized size of all blocks (bytes). The value dictionary is
     /// shared, so it is counted once.
     pub fn stored_bytes(&self) -> usize {
-        let values_bytes = self
-            .blocks
-            .first()
-            .map_or(0, |b| b.values().len() * 8);
+        let values_bytes = self.blocks.first().map_or(0, |b| b.values().len() * 8);
         let per_block: usize = self
             .blocks
             .iter()
@@ -103,7 +106,11 @@ impl BlockedMatrix {
     /// (`Σ |R_i|` doubles, plus a partial `x` vector per block for the left
     /// multiplication).
     pub fn working_bytes(&self) -> usize {
-        let w: usize = self.blocks.iter().map(CompressedMatrix::working_bytes).sum();
+        let w: usize = self
+            .blocks
+            .iter()
+            .map(CompressedMatrix::working_bytes)
+            .sum();
         w + self.blocks.len() * self.cols * 8
     }
 
@@ -141,7 +148,10 @@ impl BlockedMatrix {
                 .zip(slices)
                 .map(|(block, slice)| scope.spawn(move || block.right_multiply(x, slice)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         results.into_iter().collect()
     }
@@ -187,7 +197,10 @@ impl BlockedMatrix {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         x.fill(0.0);
         for part in partials {

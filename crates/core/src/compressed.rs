@@ -31,17 +31,9 @@ impl CompressedMatrix {
     }
 
     /// Compresses with an explicit RePair configuration.
-    pub fn compress_with(
-        csrv: &CsrvMatrix,
-        encoding: Encoding,
-        config: RePairConfig,
-    ) -> Self {
+    pub fn compress_with(csrv: &CsrvMatrix, encoding: Encoding, config: RePairConfig) -> Self {
         let first_nt = csrv.terminal_limit();
-        let slp = RePair::with_config(config).compress(
-            csrv.symbols(),
-            first_nt,
-            Some(SEPARATOR),
-        );
+        let slp = RePair::with_config(config).compress(csrv.symbols(), first_nt, Some(SEPARATOR));
         Self::from_slp(csrv, &slp, encoding)
     }
 
@@ -50,11 +42,7 @@ impl CompressedMatrix {
     pub fn from_slp(csrv: &CsrvMatrix, slp: &Slp, encoding: Encoding) -> Self {
         debug_assert_eq!(slp.first_nonterminal(), csrv.terminal_limit());
         debug_assert!(slp.rules_avoid_terminal(SEPARATOR));
-        let flat_rules: Vec<u32> = slp
-            .rules()
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let flat_rules: Vec<u32> = slp.rules().iter().flat_map(|&(a, b)| [a, b]).collect();
         let max_symbol = slp.max_symbol().max(1) as u64;
         let (seq, rules) = match encoding {
             Encoding::Re32 => (
@@ -133,7 +121,15 @@ impl CompressedMatrix {
         if !ok || seps != rows {
             return None;
         }
-        Some(Self { rows, cols, values, first_nt, encoding, seq, rules })
+        Some(Self {
+            rows,
+            cols,
+            values,
+            first_nt,
+            encoding,
+            seq,
+            rules,
+        })
     }
 
     /// Number of rows.

@@ -173,7 +173,9 @@ mod tests {
     #[test]
     fn stored_bytes_ordering() {
         // Skewed data: ans < packed < raw.
-        let data: Vec<u32> = (0..10_000).map(|i| if i % 17 == 0 { 300 } else { 2 }).collect();
+        let data: Vec<u32> = (0..10_000)
+            .map(|i| if i % 17 == 0 { 300 } else { 2 })
+            .collect();
         let raw = SeqStore::Raw(data.clone());
         let packed = SeqStore::Packed(IntVector::from_u32s(&data));
         let ans = SeqStore::Ans(RansSequence::encode(&data));

@@ -62,7 +62,11 @@ pub fn power_iterations(
             *xi = zi / last_norm;
         }
     }
-    Ok(IterationStats { iterations, x, last_norm })
+    Ok(IterationStats {
+        iterations,
+        x,
+        last_norm,
+    })
 }
 
 #[cfg(test)]

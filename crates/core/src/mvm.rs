@@ -140,10 +140,20 @@ mod tests {
     /// Exhaustive small-matrix check across encodings and shapes.
     #[test]
     fn kernels_match_dense_on_varied_shapes() {
-        let shapes = [(1usize, 1usize), (1, 8), (8, 1), (5, 5), (17, 3), (3, 17), (32, 32)];
+        let shapes = [
+            (1usize, 1usize),
+            (1, 8),
+            (8, 1),
+            (5, 5),
+            (17, 3),
+            (3, 17),
+            (32, 32),
+        ];
         let mut seed = 0x1234_5678_9ABC_DEFu64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed
         };
         for &(n, m) in &shapes {

@@ -130,15 +130,7 @@ pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
         Encoding::ReIv => SeqStore::Packed(IntVector::from_bytes(data, &mut pos)?),
         Encoding::ReAns => SeqStore::Ans(RansSequence::from_bytes(data, &mut pos)?),
     };
-    CompressedMatrix::from_raw_parts(
-        rows,
-        cols,
-        Arc::new(values),
-        first_nt,
-        encoding,
-        seq,
-        rules,
-    )
+    CompressedMatrix::from_raw_parts(rows, cols, Arc::new(values), first_nt, encoding, seq, rules)
 }
 
 fn rules_len(r: &RuleStore) -> usize {
@@ -223,8 +215,8 @@ mod tests {
         // (Byte 9 is the rows varint; patch a value byte in the f64 payload
         // region instead to keep the structure parseable but inconsistent.)
         bytes[9] = bytes[9].wrapping_add(1); // rows changed -> separator count mismatch
-        // Either parse fails, or the matrix is structurally inconsistent —
-        // both acceptable, but it must not panic.
+                                             // Either parse fails, or the matrix is structurally inconsistent —
+                                             // both acceptable, but it must not panic.
         let _ = from_bytes(&bytes);
     }
 

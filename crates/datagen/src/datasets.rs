@@ -153,8 +153,7 @@ fn continuous_matrix(
     copy_prob: f64,
 ) -> DenseMatrix {
     // Distinct levels per column so total distinct ≈ t / reuse.
-    let levels_per_col =
-        (((rows as f64) * density / reuse).round() as u32).clamp(4, 1 << 20);
+    let levels_per_col = (((rows as f64) * density / reuse).round() as u32).clamp(4, 1 << 20);
     let mut m = DenseMatrix::zeros(rows, cols);
     for r in 0..rows {
         if r > 0 && copy_prob > 0.0 && rng.gen::<f64>() < copy_prob {
@@ -193,8 +192,8 @@ fn draw_continuous(rng: &mut SmallRng, col: usize, density: f64, levels: u32) ->
 fn airline(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
     // Per-column domain sizes, totalling ≈ 7.8k distinct values.
     const DOMAINS: [u32; 29] = [
-        12, 31, 7, 24, 60, 60, 24, 60, 2, 365, 2400, 2000, 500, 200, 144, 96, 64, 48, 32,
-        24, 16, 12, 12, 8, 8, 6, 4, 4, 2,
+        12, 31, 7, 24, 60, 60, 24, 60, 2, 365, 2400, 2000, 500, 200, 144, 96, 64, 48, 32, 24, 16,
+        12, 12, 8, 8, 6, 4, 4, 2,
     ];
     let zero_prob = 0.2734;
     let pool = (rows / 10).clamp(1, 4000);
@@ -346,11 +345,9 @@ fn mnist(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
                 for dx in -1i32..=1 {
                     for dy in -1i32..=1 {
                         let (px, py) = (x + dx, y + dy);
-                        if (0..SIDE as i32).contains(&px) && (0..SIDE as i32).contains(&py)
-                        {
+                        if (0..SIDE as i32).contains(&px) && (0..SIDE as i32).contains(&py) {
                             let idx = py as usize * SIDE + px as usize;
-                            let level =
-                                if dx == 0 && dy == 0 { 224u8 } else { 128 };
+                            let level = if dx == 0 && dy == 0 { 224u8 } else { 128 };
                             img[idx] = img[idx].max(level);
                         }
                     }
@@ -369,7 +366,7 @@ fn mnist(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
     }
     let mut m = DenseMatrix::zeros(rows, COLS);
     for r in 0..rows {
-        let proto = &prototypes[rng.gen_range(0..10)];
+        let proto = &prototypes[rng.gen_range(0..10usize)];
         let (dx, dy) = (rng.gen_range(-1i32..=1), rng.gen_range(-1i32..=1));
         for y in 0..SIDE as i32 {
             for x in 0..SIDE as i32 {

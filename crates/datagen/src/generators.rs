@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn approx_normal_centred() {
         let mut rng = SmallRng::seed_from_u64(11);
-        let mean: f64 =
-            (0..10_000).map(|_| approx_normal(&mut rng)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|_| approx_normal(&mut rng)).sum::<f64>() / 10_000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
     }
 
@@ -129,8 +128,7 @@ mod tests {
     fn templates_respect_density() {
         let mut rng = SmallRng::seed_from_u64(5);
         let t = make_templates(&mut rng, 50, 100, 0.3, |_, r| r.gen::<f64>() + 0.1);
-        let avg: f64 =
-            t.iter().map(|row| row.len() as f64).sum::<f64>() / (50.0 * 100.0);
+        let avg: f64 = t.iter().map(|row| row.len() as f64).sum::<f64>() / (50.0 * 100.0);
         assert!((avg - 0.3).abs() < 0.05, "avg density {avg}");
     }
 }

@@ -22,7 +22,11 @@ impl BitWriter {
 
     /// Creates an empty writer with room for `bytes` output bytes.
     pub fn with_capacity(bytes: usize) -> Self {
-        Self { buf: Vec::with_capacity(bytes), acc: 0, filled: 0 }
+        Self {
+            buf: Vec::with_capacity(bytes),
+            acc: 0,
+            filled: 0,
+        }
     }
 
     /// Appends the `n` least-significant bits of `value`, MSB first.
@@ -93,7 +97,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, filled: 0 }
+        Self {
+            data,
+            pos: 0,
+            acc: 0,
+            filled: 0,
+        }
     }
 
     #[inline]

@@ -48,35 +48,44 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
     }
     let mut nodes: Vec<Node> = live
         .iter()
-        .map(|&i| Node { weight: freqs[i], left: 0, right: 0, symbol: i })
+        .map(|&i| Node {
+            weight: freqs[i],
+            left: 0,
+            right: 0,
+            symbol: i,
+        })
         .collect();
     let mut leaf_q: std::collections::VecDeque<usize> = (0..nodes.len()).collect();
     let mut int_q: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
 
-    let take_min =
-        |nodes: &Vec<Node>,
-         leaf_q: &mut std::collections::VecDeque<usize>,
-         int_q: &mut std::collections::VecDeque<usize>| {
-            match (leaf_q.front(), int_q.front()) {
-                (Some(&l), Some(&i)) => {
-                    if nodes[l].weight <= nodes[i].weight {
-                        leaf_q.pop_front().unwrap()
-                    } else {
-                        int_q.pop_front().unwrap()
-                    }
+    let take_min = |nodes: &Vec<Node>,
+                    leaf_q: &mut std::collections::VecDeque<usize>,
+                    int_q: &mut std::collections::VecDeque<usize>| {
+        match (leaf_q.front(), int_q.front()) {
+            (Some(&l), Some(&i)) => {
+                if nodes[l].weight <= nodes[i].weight {
+                    leaf_q.pop_front().unwrap()
+                } else {
+                    int_q.pop_front().unwrap()
                 }
-                (Some(_), None) => leaf_q.pop_front().unwrap(),
-                (None, Some(_)) => int_q.pop_front().unwrap(),
-                (None, None) => unreachable!(),
             }
-        };
+            (Some(_), None) => leaf_q.pop_front().unwrap(),
+            (None, Some(_)) => int_q.pop_front().unwrap(),
+            (None, None) => unreachable!(),
+        }
+    };
 
     let mut root = 0;
     while leaf_q.len() + int_q.len() > 1 {
         let a = take_min(&nodes, &mut leaf_q, &mut int_q);
         let b = take_min(&nodes, &mut leaf_q, &mut int_q);
         let w = nodes[a].weight + nodes[b].weight;
-        nodes.push(Node { weight: w, left: a, right: b, symbol: usize::MAX });
+        nodes.push(Node {
+            weight: w,
+            left: a,
+            right: b,
+            symbol: usize::MAX,
+        });
         root = nodes.len() - 1;
         int_q.push_back(root);
     }
@@ -107,8 +116,7 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
         // codes that are still below max_len... classic approach: repeatedly
         // take a symbol with len < max_len and the *largest* length, and
         // increment it; each increment frees 2^(max_len-len-1).
-        let mut order: Vec<usize> =
-            (0..n).filter(|&i| lengths[i] > 0).collect();
+        let mut order: Vec<usize> = (0..n).filter(|&i| lengths[i] > 0).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(lengths[i]));
         'outer: while kraft > kraft_one {
             for &i in &order {
@@ -218,7 +226,12 @@ impl CanonicalCode {
             }
             t
         };
-        Self { lengths: lengths.to_vec(), codes, max_len, table }
+        Self {
+            lengths: lengths.to_vec(),
+            codes,
+            max_len,
+            table,
+        }
     }
 
     /// Convenience: optimal length-limited code for `freqs`.

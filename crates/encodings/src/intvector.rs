@@ -30,7 +30,9 @@ impl IntVector {
     /// Panics if `width` is 0 or exceeds 64.
     pub fn new(len: usize, width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
-        let bits = len.checked_mul(width as usize).expect("IntVector too large");
+        let bits = len
+            .checked_mul(width as usize)
+            .expect("IntVector too large");
         let words = vec![0u64; bits.div_ceil(64)].into_boxed_slice();
         Self { words, len, width }
     }
@@ -87,12 +89,20 @@ impl IntVector {
     /// Panics (in debug) on out-of-bounds access.
     #[inline]
     pub fn get(&self, i: usize) -> u64 {
-        debug_assert!(i < self.len, "IntVector index {i} out of bounds {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "IntVector index {i} out of bounds {}",
+            self.len
+        );
         let w = self.width as usize;
         let bit = i * w;
         let word = bit >> 6;
         let off = (bit & 63) as u32;
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         if off + self.width <= 64 {
             (self.words[word] >> off) & mask
         } else {
@@ -109,7 +119,11 @@ impl IntVector {
     #[inline]
     pub fn set(&mut self, i: usize, value: u64) {
         debug_assert!(i < self.len);
-        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
         debug_assert!(value <= mask, "value {value} exceeds width {}", self.width);
         let w = self.width as usize;
         let bit = i * w;
@@ -119,11 +133,9 @@ impl IntVector {
             self.words[word] = (self.words[word] & !(mask << off)) | (value << off);
         } else {
             let lo_bits = 64 - off;
-            self.words[word] =
-                (self.words[word] & !(mask << off)) | ((value << off) & u64::MAX);
+            self.words[word] = (self.words[word] & !(mask << off)) | ((value << off) & u64::MAX);
             let hi_mask = mask >> lo_bits;
-            self.words[word + 1] =
-                (self.words[word + 1] & !hi_mask) | (value >> lo_bits);
+            self.words[word + 1] = (self.words[word + 1] & !hi_mask) | (value >> lo_bits);
         }
     }
 
@@ -167,7 +179,11 @@ impl IntVector {
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
         *pos += need;
-        Some(Self { words: words.into_boxed_slice(), len, width })
+        Some(Self {
+            words: words.into_boxed_slice(),
+            len,
+            width,
+        })
     }
 }
 
@@ -224,7 +240,11 @@ mod tests {
     #[test]
     fn set_get_roundtrip_all_widths() {
         for width in 1..=64u32 {
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let n = 129;
             let mut iv = IntVector::new(n, width);
             for i in 0..n {

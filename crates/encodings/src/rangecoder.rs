@@ -59,7 +59,13 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// Creates an encoder.
     pub fn new() -> Self {
-        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
     }
 
     #[inline]
@@ -147,7 +153,12 @@ pub struct RangeDecoder<'a> {
 impl<'a> RangeDecoder<'a> {
     /// Creates a decoder over bytes produced by [`RangeEncoder::finish`].
     pub fn new(data: &'a [u8]) -> Self {
-        let mut d = Self { range: u32::MAX, code: 0, data, pos: 1 };
+        let mut d = Self {
+            range: u32::MAX,
+            code: 0,
+            data,
+            pos: 1,
+        };
         for _ in 0..4 {
             d.code = (d.code << 8) | d.next_byte() as u32;
         }
@@ -216,7 +227,10 @@ pub struct BitTree {
 impl BitTree {
     /// Creates a tree coding values in `0..(1 << n_bits)`.
     pub fn new(n_bits: u32) -> Self {
-        Self { probs: vec![Prob::new(); 1 << n_bits], n_bits }
+        Self {
+            probs: vec![Prob::new(); 1 << n_bits],
+            n_bits,
+        }
     }
 
     /// Encodes `value` (must fit in `n_bits`).
@@ -322,7 +336,9 @@ mod tests {
     #[test]
     fn bittree_skewed_compresses() {
         // Mostly value 3: the tree should learn the distribution.
-        let vals: Vec<u32> = (0..20_000).map(|i| if i % 20 == 0 { i % 32 } else { 3 }).collect();
+        let vals: Vec<u32> = (0..20_000)
+            .map(|i| if i % 20 == 0 { i % 32 } else { 3 })
+            .collect();
         let mut enc = RangeEncoder::new();
         let mut tree = BitTree::new(5);
         for &v in &vals {

@@ -31,7 +31,10 @@ pub struct RansParams {
 
 impl Default for RansParams {
     fn default() -> Self {
-        Self { direct_bits: 9, scale_bits: 12 }
+        Self {
+            direct_bits: 9,
+            scale_bits: 12,
+        }
     }
 }
 
@@ -92,8 +95,7 @@ fn normalise(freqs: &[u64], scale_bits: u32) -> Vec<u32> {
     // Repair the sum: shave from / add to the largest entries, which
     // perturbs the distribution least in relative terms.
     if assigned != target {
-        let mut order: Vec<usize> =
-            (0..freqs.len()).filter(|&i| out[i] > 0).collect();
+        let mut order: Vec<usize> = (0..freqs.len()).filter(|&i| out[i] > 0).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(out[i]));
         let mut idx = 0;
         while assigned > target {
@@ -259,7 +261,10 @@ impl RansSequence {
         if direct_bits > 30 || scale_bits == 0 || scale_bits > 24 {
             return None;
         }
-        let params = RansParams { direct_bits, scale_bits };
+        let params = RansParams {
+            direct_bits,
+            scale_bits,
+        };
         let len = varint::read_u64(data, pos)? as usize;
         let n_freqs = varint::read_u32(data, pos)? as usize;
         if n_freqs > params.bucket_count() {
@@ -303,7 +308,15 @@ impl RansSequence {
         if len > 0 && words.len() < 2 {
             return None;
         }
-        Some(Self { params, len, freqs, cum, slot_to_bucket, words, extra })
+        Some(Self {
+            params,
+            len,
+            freqs,
+            cum,
+            slot_to_bucket,
+            words,
+            extra,
+        })
     }
 
     /// Forward decoder over the sequence.
@@ -442,8 +455,9 @@ mod tests {
 
     #[test]
     fn roundtrip_large_symbols() {
-        let data: Vec<u32> =
-            (0..5_000).map(|i| (i * 2_654_435_761u64 % (1 << 30)) as u32).collect();
+        let data: Vec<u32> = (0..5_000)
+            .map(|i| (i * 2_654_435_761u64 % (1 << 30)) as u32)
+            .collect();
         let seq = RansSequence::encode(&data);
         assert_eq!(seq.to_vec(), data);
     }
@@ -469,7 +483,9 @@ mod tests {
 
     #[test]
     fn compresses_skewed_below_raw() {
-        let data: Vec<u32> = (0..100_000).map(|i| if i % 10 == 0 { 7 } else { 3 }).collect();
+        let data: Vec<u32> = (0..100_000)
+            .map(|i| if i % 10 == 0 { 7 } else { 3 })
+            .collect();
         let seq = RansSequence::encode(&data);
         // ~0.47 bits/symbol entropy; raw would be 400 KB.
         assert!(
@@ -527,7 +543,10 @@ mod tests {
 
     #[test]
     fn custom_params_roundtrip() {
-        let params = RansParams { direct_bits: 4, scale_bits: 10 };
+        let params = RansParams {
+            direct_bits: 4,
+            scale_bits: 10,
+        };
         let data: Vec<u32> = (0..3000).map(|i| i * 7 % 1024).collect();
         let seq = RansSequence::encode_with(&data, params);
         assert_eq!(seq.to_vec(), data);

@@ -1,0 +1,354 @@
+//! Byte-level round-trip tests for every codec in the crate, concentrating
+//! on the boundary inputs the in-module unit tests touch only lightly:
+//! empty streams, single-symbol streams, and adversarial shapes (maximal
+//! values, pathological skew, truncated or corrupted byte buffers).
+
+use gcm_encodings::huffman::CanonicalCode;
+use gcm_encodings::rangecoder::{BitTree, Prob, RangeDecoder, RangeEncoder};
+use gcm_encodings::rans::RansSequence;
+use gcm_encodings::varint;
+use gcm_encodings::{BitReader, BitWriter, IntVector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------- bitio --
+
+#[test]
+fn bitio_empty_stream_is_zero_bytes() {
+    let w = BitWriter::new();
+    let bytes = w.finish();
+    assert!(bytes.is_empty());
+    let mut r = BitReader::new(&bytes);
+    // Reading past the end is defined to yield zeros, never panic.
+    assert_eq!(r.read_bits(17), 0);
+}
+
+#[test]
+fn bitio_single_bit_roundtrip() {
+    let mut w = BitWriter::new();
+    w.write_bit(true);
+    let bytes = w.finish();
+    assert_eq!(bytes.len(), 1);
+    let mut r = BitReader::new(&bytes);
+    assert!(r.read_bit());
+    assert!(!r.read_bit());
+}
+
+#[test]
+fn bitio_adversarial_width_schedule_roundtrips() {
+    // Every legal width 1..=57 with a value of all-ones at that width,
+    // interleaved with 64-bit writes — exercises the accumulator flush at
+    // every alignment.
+    let mut w = BitWriter::new();
+    for n in 1..=57u32 {
+        w.write_bits((1u64 << n) - 1, n);
+        w.write_bits_long(u64::MAX, 64);
+        w.write_bits(0, n.min(13));
+    }
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for n in 1..=57u32 {
+        assert_eq!(r.read_bits(n), (1u64 << n) - 1, "width {n}");
+        assert_eq!(r.read_bits_long(64), u64::MAX, "width {n} + 64");
+        assert_eq!(r.read_bits(n.min(13)), 0, "width {n} zeros");
+    }
+}
+
+#[test]
+fn bitio_peek_does_not_consume() {
+    let mut w = BitWriter::new();
+    w.write_bits(0b1011_0101, 8);
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.peek_bits(5), 0b10110);
+    assert_eq!(r.peek_bits(5), 0b10110);
+    assert_eq!(r.read_bits(8), 0b1011_0101);
+}
+
+// --------------------------------------------------------------- varint --
+
+#[test]
+fn varint_empty_buffer_returns_none() {
+    let mut pos = 0;
+    assert_eq!(varint::read_u64(&[], &mut pos), None);
+    assert_eq!(varint::read_u32(&[], &mut pos), None);
+}
+
+#[test]
+fn varint_single_extreme_values_roundtrip() {
+    for v in [0u64, 1, 127, 128, u32::MAX as u64, u64::MAX] {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let mut pos = 0;
+        assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len(), "value {v} must consume exactly its bytes");
+    }
+}
+
+#[test]
+fn varint_truncated_and_overlong_inputs_fail_cleanly() {
+    let mut buf = Vec::new();
+    varint::write_u64(&mut buf, u64::MAX);
+    for cut in 0..buf.len() {
+        let mut pos = 0;
+        assert_eq!(varint::read_u64(&buf[..cut], &mut pos), None, "cut {cut}");
+    }
+    // Eleven continuation bytes can never encode a u64.
+    let adversarial = [0xFFu8; 11];
+    let mut pos = 0;
+    assert_eq!(varint::read_u64(&adversarial, &mut pos), None);
+}
+
+#[test]
+fn varint_back_to_back_values_share_one_buffer() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let values: Vec<u64> = (0..500)
+        .map(|_| rng.gen::<u64>() >> (rng.gen::<u64>() % 64))
+        .collect();
+    let mut buf = Vec::new();
+    for &v in &values {
+        varint::write_u64(&mut buf, v);
+    }
+    let mut pos = 0;
+    for &v in &values {
+        assert_eq!(varint::read_u64(&buf, &mut pos), Some(v));
+    }
+    assert_eq!(pos, buf.len());
+}
+
+// -------------------------------------------------------------- huffman --
+
+#[test]
+fn huffman_single_symbol_stream_roundtrips() {
+    // One-symbol alphabets are the degenerate case: the code still must
+    // emit at least one bit per symbol to be decodable.
+    let code = CanonicalCode::from_frequencies(&[42], 15);
+    let mut w = BitWriter::new();
+    for _ in 0..100 {
+        code.encode(&mut w, 0);
+    }
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for _ in 0..100 {
+        assert_eq!(code.decode(&mut r), 0);
+    }
+}
+
+#[test]
+fn huffman_adversarial_skew_roundtrips_bytes() {
+    // Fibonacci-ish frequencies force maximal code-length spread; the
+    // length limit must rebalance without breaking decodability.
+    let mut freqs = vec![0u64; 40];
+    let (mut a, mut b) = (1u64, 1u64);
+    for f in freqs.iter_mut() {
+        *f = a;
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    let code = CanonicalCode::from_frequencies(&freqs, 12);
+    assert!(code.lengths().iter().all(|&l| l <= 12));
+    let mut rng = SmallRng::seed_from_u64(3);
+    let data: Vec<usize> = (0..4000)
+        .map(|_| (rng.gen::<u64>() % 40) as usize)
+        .collect();
+    let mut w = BitWriter::new();
+    for &s in &data {
+        code.encode(&mut w, s);
+    }
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for &s in &data {
+        assert_eq!(code.decode(&mut r), s);
+    }
+}
+
+#[test]
+fn huffman_unused_symbols_get_no_code() {
+    let code = CanonicalCode::from_frequencies(&[10, 0, 3, 0, 0, 1], 15);
+    assert_eq!(code.length(1), 0);
+    assert_eq!(code.length(3), 0);
+    assert!(code.length(0) >= 1);
+}
+
+// ----------------------------------------------------------------- rans --
+
+#[test]
+fn rans_empty_to_bytes_roundtrips() {
+    let seq = RansSequence::encode(&[]);
+    let bytes = seq.to_bytes();
+    let mut pos = 0;
+    let back = RansSequence::from_bytes(&bytes, &mut pos).expect("decode");
+    assert_eq!(pos, bytes.len());
+    assert!(back.to_vec().is_empty());
+}
+
+#[test]
+fn rans_single_symbol_to_bytes_roundtrips() {
+    for v in [0u32, 1, 255, 100_000, u32::MAX] {
+        let seq = RansSequence::encode(&[v]);
+        let bytes = seq.to_bytes();
+        let mut pos = 0;
+        let back = RansSequence::from_bytes(&bytes, &mut pos).expect("decode");
+        assert_eq!(back.to_vec(), vec![v], "value {v}");
+    }
+}
+
+#[test]
+fn rans_constant_and_alternating_extremes_roundtrip() {
+    let constant = vec![77u32; 10_000];
+    let seq = RansSequence::encode(&constant);
+    assert_eq!(seq.to_vec(), constant);
+
+    let alternating: Vec<u32> = (0..5_000)
+        .map(|i| if i % 2 == 0 { 0 } else { u32::MAX })
+        .collect();
+    let seq = RansSequence::encode(&alternating);
+    let bytes = seq.to_bytes();
+    let mut pos = 0;
+    let back = RansSequence::from_bytes(&bytes, &mut pos).expect("decode");
+    assert_eq!(back.to_vec(), alternating);
+}
+
+#[test]
+fn rans_from_bytes_rejects_truncation() {
+    let seq = RansSequence::encode(&[1u32, 2, 3, 4, 5, 1, 2, 3]);
+    let bytes = seq.to_bytes();
+    for cut in 0..bytes.len() {
+        let mut pos = 0;
+        assert!(
+            RansSequence::from_bytes(&bytes[..cut], &mut pos).is_none(),
+            "cut {cut} of {} must not decode",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn rans_from_bytes_leaves_trailing_bytes_untouched() {
+    let seq = RansSequence::encode(&[9u32, 9, 8, 7]);
+    let mut bytes = seq.to_bytes();
+    let real_len = bytes.len();
+    bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+    let mut pos = 0;
+    let back = RansSequence::from_bytes(&bytes, &mut pos).expect("decode");
+    assert_eq!(pos, real_len);
+    assert_eq!(back.to_vec(), vec![9, 9, 8, 7]);
+}
+
+// ----------------------------------------------------------- rangecoder --
+
+#[test]
+fn rangecoder_single_bit_each_way_roundtrips() {
+    for bit in [0u32, 1] {
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::new();
+        enc.encode_bit(&mut p, bit);
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut p = Prob::new();
+        assert_eq!(dec.decode_bit(&mut p), bit);
+    }
+}
+
+#[test]
+fn rangecoder_adversarial_bit_pattern_roundtrips() {
+    // Long runs push the adaptive probability to saturation, then the
+    // pattern flips — the classic carry/renormalisation stress shape.
+    let mut bits = Vec::new();
+    bits.extend(std::iter::repeat(1u32).take(3000));
+    bits.extend(std::iter::repeat(0u32).take(3000));
+    let mut rng = SmallRng::seed_from_u64(11);
+    bits.extend((0..3000).map(|_| (rng.gen::<u64>() & 1) as u32));
+
+    let mut enc = RangeEncoder::new();
+    let mut p = Prob::new();
+    for &b in &bits {
+        enc.encode_bit(&mut p, b);
+    }
+    let bytes = enc.finish();
+    let mut dec = RangeDecoder::new(&bytes);
+    let mut p = Prob::new();
+    for (i, &b) in bits.iter().enumerate() {
+        assert_eq!(dec.decode_bit(&mut p), b, "bit {i}");
+    }
+}
+
+#[test]
+fn rangecoder_direct_bits_boundary_values_roundtrip() {
+    let values: Vec<(u32, u32)> = vec![
+        (0, 1),
+        (1, 1),
+        (0, 32),
+        (u32::MAX, 32),
+        (0x8000_0000, 32),
+        (0x7FFF_FFFF, 31),
+        (5, 3),
+    ];
+    let mut enc = RangeEncoder::new();
+    for &(v, n) in &values {
+        enc.encode_direct(v, n);
+    }
+    let bytes = enc.finish();
+    let mut dec = RangeDecoder::new(&bytes);
+    for &(v, n) in &values {
+        assert_eq!(dec.decode_direct(n), v, "value {v} width {n}");
+    }
+}
+
+#[test]
+fn rangecoder_bittree_full_domain_roundtrips() {
+    let mut enc = RangeEncoder::new();
+    let mut tree = BitTree::new(6);
+    for v in 0..64u32 {
+        tree.encode(&mut enc, v);
+    }
+    let bytes = enc.finish();
+    let mut dec = RangeDecoder::new(&bytes);
+    let mut tree = BitTree::new(6);
+    for v in 0..64u32 {
+        assert_eq!(tree.decode(&mut dec), v);
+    }
+}
+
+// ------------------------------------------------------------ intvector --
+
+#[test]
+fn intvector_empty_to_bytes_roundtrips() {
+    let iv = IntVector::from_slice(&[]);
+    let bytes = iv.to_bytes();
+    let mut pos = 0;
+    let back = IntVector::from_bytes(&bytes, &mut pos).expect("decode");
+    assert_eq!(pos, bytes.len());
+    assert!(back.is_empty());
+}
+
+#[test]
+fn intvector_single_max_value_roundtrips() {
+    let iv = IntVector::from_slice(&[u64::MAX >> 1]);
+    let bytes = iv.to_bytes();
+    let mut pos = 0;
+    let back = IntVector::from_bytes(&bytes, &mut pos).expect("decode");
+    assert_eq!(back.len(), 1);
+    assert_eq!(back.get(0), u64::MAX >> 1);
+}
+
+#[test]
+fn intvector_adversarial_mixed_magnitudes_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let values: Vec<u64> = (0..2_000)
+        .map(|i| {
+            if i % 17 == 0 {
+                (1u64 << 40) - 1
+            } else {
+                rng.gen::<u64>() & 0xFF
+            }
+        })
+        .collect();
+    let iv = IntVector::from_slice(&values);
+    let bytes = iv.to_bytes();
+    let mut pos = 0;
+    let back = IntVector::from_bytes(&bytes, &mut pos).expect("decode");
+    let decoded: Vec<u64> = back.iter().collect();
+    assert_eq!(decoded, values);
+}

@@ -59,7 +59,12 @@ impl RowBlocks {
             blocks.push(CsrvMatrix::from_parts(0, cols, values, Vec::new()));
             row_offsets.push(0);
         }
-        Self { blocks, row_offsets, rows, cols }
+        Self {
+            blocks,
+            row_offsets,
+            rows,
+            cols,
+        }
     }
 
     /// The blocks, in row order.
@@ -161,7 +166,8 @@ mod tests {
         let mut x_blocked = vec![0.0; 4];
         for (off, bl) in blocks.iter() {
             let mut part = vec![0.0; 4];
-            bl.left_multiply(&y[off..off + bl.rows()], &mut part).unwrap();
+            bl.left_multiply(&y[off..off + bl.rows()], &mut part)
+                .unwrap();
             for (a, p) in x_blocked.iter_mut().zip(&part) {
                 *a += p;
             }

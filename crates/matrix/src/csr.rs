@@ -35,7 +35,13 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len());
         }
-        Self { rows: m.rows(), cols: m.cols(), values, col_idx, row_ptr }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            values,
+            col_idx,
+            row_ptr,
+        }
     }
 
     /// Builds from (row, col, value) triplets; duplicate cells are rejected.
@@ -55,7 +61,12 @@ impl CsrMatrix {
         let mut prev: Option<(usize, usize)> = None;
         for &&(r, c, v) in &sorted {
             if r >= rows || c >= cols {
-                return Err(MatrixError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(MatrixError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
             if prev == Some((r, c)) {
                 return Err(MatrixError::Parse(format!("duplicate cell ({r},{c})")));
@@ -71,7 +82,13 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Ok(Self { rows, cols, values, col_idx, row_ptr })
+        Ok(Self {
+            rows,
+            cols,
+            values,
+            col_idx,
+            row_ptr,
+        })
     }
 
     /// Number of rows.
@@ -236,8 +253,7 @@ mod tests {
 
     #[test]
     fn from_triplets_sorted_and_checked() {
-        let csr =
-            CsrMatrix::from_triplets(3, 3, &[(2, 1, 5.0), (0, 0, 1.0), (0, 2, 2.0)]).unwrap();
+        let csr = CsrMatrix::from_triplets(3, 3, &[(2, 1, 5.0), (0, 0, 1.0), (0, 2, 2.0)]).unwrap();
         assert_eq!(csr.to_dense().get(2, 1), 5.0);
         assert_eq!(csr.to_dense().get(0, 2), 2.0);
         assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());

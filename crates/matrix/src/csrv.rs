@@ -35,7 +35,9 @@ impl SymbolCodec {
     /// Panics if `cols == 0`.
     pub fn new(cols: usize) -> Self {
         assert!(cols > 0, "matrix must have at least one column");
-        Self { cols: u32::try_from(cols).expect("too many columns") }
+        Self {
+            cols: u32::try_from(cols).expect("too many columns"),
+        }
     }
 
     /// Encodes pair `⟨value_idx, col⟩` as `1 + value_idx·m + col`.
@@ -147,19 +149,20 @@ impl CsrvMatrix {
     ///
     /// # Panics
     /// Panics (in debug) if the separator count does not match `rows`.
-    pub fn from_parts(
-        rows: usize,
-        cols: usize,
-        values: Arc<Vec<f64>>,
-        symbols: Vec<u32>,
-    ) -> Self {
+    pub fn from_parts(rows: usize, cols: usize, values: Arc<Vec<f64>>, symbols: Vec<u32>) -> Self {
         debug_assert_eq!(
             symbols.iter().filter(|&&s| s == SEPARATOR).count(),
             rows,
             "separator count must equal row count"
         );
         let nnz = symbols.len() - rows;
-        Self { rows, cols, values, symbols, nnz }
+        Self {
+            rows,
+            cols,
+            values,
+            symbols,
+            nnz,
+        }
     }
 
     /// Number of rows.
@@ -215,7 +218,10 @@ impl CsrvMatrix {
 
     /// Iterates over rows as symbol slices (separator excluded).
     pub fn row_slices(&self) -> RowSlices<'_> {
-        RowSlices { symbols: &self.symbols, pos: 0 }
+        RowSlices {
+            symbols: &self.symbols,
+            pos: 0,
+        }
     }
 
     /// Right multiplication `y = M·x` by a single scan of `S` (§2).
@@ -303,7 +309,10 @@ impl CsrvMatrix {
         assert_eq!(order.len(), self.cols, "order length");
         let mut rank = vec![usize::MAX; self.cols];
         for (pos, &c) in order.iter().enumerate() {
-            assert!(c < self.cols && rank[c] == usize::MAX, "order is not a permutation");
+            assert!(
+                c < self.cols && rank[c] == usize::MAX,
+                "order is not a permutation"
+            );
             rank[c] = pos;
         }
         let m = self.cols as u32;

@@ -17,7 +17,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -47,7 +51,11 @@ impl DenseMatrix {
             assert_eq!(r.len(), m, "ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: n, cols: m, data }
+        Self {
+            rows: n,
+            cols: m,
+            data,
+        }
     }
 
     /// Number of rows.

@@ -62,9 +62,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = MatrixError::DimensionMismatch { expected: 3, actual: 5, what: "x length" };
+        let e = MatrixError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+            what: "x length",
+        };
         assert!(e.to_string().contains("expected 3"));
-        let e = MatrixError::SymbolOverflow { distinct_values: 1 << 30, cols: 1 << 10 };
+        let e = MatrixError::SymbolOverflow {
+            distinct_values: 1 << 30,
+            cols: 1 << 10,
+        };
         assert!(e.to_string().contains("overflow"));
     }
 }

@@ -24,7 +24,9 @@ pub struct CsmConfig {
 
 impl Default for CsmConfig {
     fn default() -> Self {
-        Self { sample_rows: Some(4096) }
+        Self {
+            sample_rows: Some(4096),
+        }
     }
 }
 
@@ -134,7 +136,10 @@ impl Csm {
                 }
             }
         }
-        SimilarityGraph { nodes: self.m, edges }
+        SimilarityGraph {
+            nodes: self.m,
+            edges,
+        }
     }
 
     /// Locally-pruned CSM (`CSMᴾ`, §5.1): keep the `k` best-scoring
@@ -166,16 +171,17 @@ impl Csm {
                 }
             }
         }
-        SimilarityGraph { nodes: self.m, edges }
+        SimilarityGraph {
+            nodes: self.m,
+            edges,
+        }
     }
 
     /// Globally-pruned CSM (§5.1): keep the `m·k` best-scoring entries
     /// overall.
     pub fn globally_pruned(&self, k: usize) -> SimilarityGraph {
         let mut graph = self.full_graph();
-        graph
-            .edges
-            .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        graph.edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
         graph.edges.truncate(self.m * k);
         graph
     }
@@ -292,7 +298,12 @@ mod tests {
         let slices: Vec<&[f64]> = rows.iter().map(|r| &r[..]).collect();
         let m = CsrvMatrix::from_dense(&DenseMatrix::from_rows(&slices)).unwrap();
         let exact = Csm::compute(&m, CsmConfig::exact());
-        let sampled = Csm::compute(&m, CsmConfig { sample_rows: Some(100) });
+        let sampled = Csm::compute(
+            &m,
+            CsmConfig {
+                sample_rows: Some(100),
+            },
+        );
         // Scores are normalised by the (sampled) row count, so they should
         // be close.
         assert!((exact.get(0, 1) - sampled.get(0, 1)).abs() < 0.05);

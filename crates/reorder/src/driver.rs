@@ -164,8 +164,7 @@ mod tests {
     fn reordering_preserves_matrix_content() {
         let dense = correlated();
         let csrv = CsrvMatrix::from_dense(&dense).unwrap();
-        let order =
-            reorder_columns(&csrv, ReorderAlgorithm::PathCover, CsmConfig::exact(), 4);
+        let order = reorder_columns(&csrv, ReorderAlgorithm::PathCover, CsmConfig::exact(), 4);
         let reordered = csrv.with_column_order(&order);
         assert_eq!(reordered.to_dense(), dense);
     }
@@ -173,8 +172,7 @@ mod tests {
     #[test]
     fn block_reordering_covers_all_rows() {
         let csrv = CsrvMatrix::from_dense(&correlated()).unwrap();
-        let blocks =
-            reorder_blocks(&csrv, 4, ReorderAlgorithm::Mwm, CsmConfig::exact(), 4);
+        let blocks = reorder_blocks(&csrv, 4, ReorderAlgorithm::Mwm, CsmConfig::exact(), 4);
         assert_eq!(blocks.len(), 4);
         let total: usize = blocks.iter().map(CsrvMatrix::rows).sum();
         assert_eq!(total, 60);
@@ -189,11 +187,9 @@ mod tests {
         use gcm_core::{CompressedMatrix, Encoding};
         let csrv = CsrvMatrix::from_dense(&correlated()).unwrap();
         let baseline = CompressedMatrix::compress(&csrv, Encoding::ReAns).stored_bytes();
-        let order =
-            reorder_columns(&csrv, ReorderAlgorithm::PathCover, CsmConfig::exact(), 4);
+        let order = reorder_columns(&csrv, ReorderAlgorithm::PathCover, CsmConfig::exact(), 4);
         let reordered = csrv.with_column_order(&order);
-        let improved =
-            CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
+        let improved = CompressedMatrix::compress(&reordered, Encoding::ReAns).stored_bytes();
         assert!(
             improved <= baseline,
             "reordered {improved} should be <= baseline {baseline}"

@@ -182,8 +182,7 @@ mod tests {
             for _ in 0..5 {
                 let weight: Vec<f64> = (0..n * n).map(|_| rng()).collect();
                 let assignment = hungarian_max(&weight, n);
-                let total: f64 =
-                    (0..n).map(|i| weight[i * n + assignment[i]]).sum();
+                let total: f64 = (0..n).map(|i| weight[i * n + assignment[i]]).sum();
                 let best = brute_force(&weight, n);
                 assert!(
                     (total - best).abs() < 1e-9,
@@ -228,14 +227,20 @@ mod tests {
 
     #[test]
     fn empty_graph_identity_like() {
-        let g = SimilarityGraph { nodes: 4, edges: vec![] };
+        let g = SimilarityGraph {
+            nodes: 4,
+            edges: vec![],
+        };
         let order = mwm_order(&g);
         assert_permutation(&order, 4);
     }
 
     #[test]
     fn zero_nodes() {
-        let g = SimilarityGraph { nodes: 0, edges: vec![] };
+        let g = SimilarityGraph {
+            nodes: 0,
+            edges: vec![],
+        };
         assert!(mwm_order(&g).is_empty());
     }
 

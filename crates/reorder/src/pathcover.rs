@@ -24,7 +24,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect() }
+        Self {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -94,7 +96,12 @@ fn chain_order(nodes: usize, neighbors: &[Vec<u32>]) -> Vec<usize> {
 pub fn path_cover(graph: &SimilarityGraph) -> Vec<usize> {
     let n = graph.nodes;
     let mut edges = graph.edges.clone();
-    edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    edges.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap()
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
     let mut degree = vec![0u8; n];
     let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut uf = UnionFind::new(n);
@@ -189,7 +196,10 @@ mod tests {
     use super::*;
 
     fn graph(nodes: usize, edges: &[(u32, u32, f64)]) -> SimilarityGraph {
-        SimilarityGraph { nodes, edges: edges.to_vec() }
+        SimilarityGraph {
+            nodes,
+            edges: edges.to_vec(),
+        }
     }
 
     fn assert_permutation(order: &[usize], n: usize) {
@@ -258,11 +268,20 @@ mod tests {
     fn chain_graph_reconstructed() {
         let order = path_cover(&graph(
             6,
-            &[(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5), (4, 5, 0.5)],
+            &[
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+                (2, 3, 0.5),
+                (3, 4, 0.5),
+                (4, 5, 0.5),
+            ],
         ));
         assert_permutation(&order, 6);
         for w in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)] {
-            assert!(adjacent(&order, w.0, w.1), "{w:?} not adjacent in {order:?}");
+            assert!(
+                adjacent(&order, w.0, w.1),
+                "{w:?} not adjacent in {order:?}"
+            );
         }
     }
 
@@ -292,7 +311,13 @@ mod tests {
         // min(w(2,0), w(2,1)).
         let g = graph(
             4,
-            &[(0, 1, 1.0), (1, 2, 0.9), (0, 2, 0.1), (2, 3, 0.85), (1, 3, 0.05)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 0.9),
+                (0, 2, 0.1),
+                (2, 3, 0.85),
+                (1, 3, 0.05),
+            ],
         );
         let plain = path_cover(&g);
         let plus = path_cover_plus(&g);

@@ -24,7 +24,10 @@ pub struct TspConfig {
 
 impl Default for TspConfig {
     fn default() -> Self {
-        Self { neighbors: 12, max_sweeps: 64 }
+        Self {
+            neighbors: 12,
+            max_sweeps: 64,
+        }
     }
 }
 
@@ -48,8 +51,7 @@ pub fn tsp_order(graph: &SimilarityGraph, config: TspConfig) -> Vec<usize> {
                     partners.push((s(i, j), j as u32));
                 }
             }
-            partners
-                .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            partners.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
             c.extend(partners.iter().take(config.neighbors).map(|&(_, j)| j));
         }
     }
@@ -66,13 +68,17 @@ pub fn tsp_order(graph: &SimilarityGraph, config: TspConfig) -> Vec<usize> {
             .iter()
             .map(|&j| j as usize)
             .find(|&j| !in_tour[j])
-            .or_else(|| (0..n).max_by(|&a, &b| {
-                let (sa, sb) = (
-                    if in_tour[a] { f64::MIN } else { s(cur, a) },
-                    if in_tour[b] { f64::MIN } else { s(cur, b) },
-                );
-                sa.partial_cmp(&sb).unwrap()
-            }).filter(|&j| !in_tour[j]))
+            .or_else(|| {
+                (0..n)
+                    .max_by(|&a, &b| {
+                        let (sa, sb) = (
+                            if in_tour[a] { f64::MIN } else { s(cur, a) },
+                            if in_tour[b] { f64::MIN } else { s(cur, b) },
+                        );
+                        sa.partial_cmp(&sb).unwrap()
+                    })
+                    .filter(|&j| !in_tour[j])
+            })
             .unwrap_or_else(|| (0..n).find(|&j| !in_tour[j]).unwrap());
         tour.push(next);
         in_tour[next] = true;
@@ -150,8 +156,7 @@ pub fn tsp_order(graph: &SimilarityGraph, config: TspConfig) -> Vec<usize> {
                     if within(seg_start, seg_len, pos[t_next], n) {
                         continue;
                     }
-                    let insertion =
-                        s(t, seg_first) + s(seg_last, t_next) - s(t, t_next);
+                    let insertion = s(t, seg_first) + s(seg_last, t_next) - s(t, t_next);
                     if insertion > removal + 1e-15 {
                         move_segment(&mut tour, &mut pos, seg_start, seg_len, pt);
                         dont_look[a] = false;
@@ -257,16 +262,16 @@ mod tests {
 
     fn order_score(order: &[usize], g: &SimilarityGraph) -> f64 {
         let w = g.dense_weights();
-        order
-            .windows(2)
-            .map(|p| w[p[0] * g.nodes + p[1]])
-            .sum()
+        order.windows(2).map(|p| w[p[0] * g.nodes + p[1]]).sum()
     }
 
     #[test]
     fn trivial_sizes() {
         for n in 0..=2 {
-            let g = SimilarityGraph { nodes: n, edges: vec![] };
+            let g = SimilarityGraph {
+                nodes: n,
+                edges: vec![],
+            };
             let order = tsp_order(&g, TspConfig::default());
             assert_permutation(&order, n);
         }

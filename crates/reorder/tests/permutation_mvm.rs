@@ -1,0 +1,154 @@
+//! Integration tests for the reordering stack: every algorithm, on every
+//! test matrix, must (a) return a valid permutation of the columns and
+//! (b) leave both matrix-vector products bit-for-bit unchanged — including
+//! after grammar compression of the reordered matrix.
+
+use gcm_core::{CompressedMatrix, Encoding};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
+use gcm_reorder::{reorder_blocks, reorder_columns, CsmConfig, ReorderAlgorithm};
+
+const ALL_ALGORITHMS: [ReorderAlgorithm; 4] = [
+    ReorderAlgorithm::Lkh,
+    ReorderAlgorithm::PathCover,
+    ReorderAlgorithm::PathCoverPlus,
+    ReorderAlgorithm::Mwm,
+];
+
+/// A deterministic family of matrices with varied shapes: repeated column
+/// pairs, sparse rows, a single column, and an all-zero matrix.
+fn test_matrices() -> Vec<DenseMatrix> {
+    let mut out = Vec::new();
+
+    // Correlated pairs far apart (the case reordering exists for).
+    let mut m = DenseMatrix::zeros(40, 8);
+    for r in 0..40 {
+        let a = ((r % 5) + 1) as f64;
+        let b = ((r % 7) + 10) as f64;
+        m.set(r, 0, a);
+        m.set(r, 6, a);
+        m.set(r, 2, b);
+        m.set(r, 7, b);
+        if r % 3 == 0 {
+            m.set(r, 4, 99.0);
+        }
+    }
+    out.push(m);
+
+    // Sparse with empty rows and empty columns.
+    let mut m = DenseMatrix::zeros(20, 10);
+    for r in (0..20).step_by(4) {
+        m.set(r, r % 10, (r + 1) as f64 * 0.5);
+        m.set(r, (r + 3) % 10, -1.25);
+    }
+    out.push(m);
+
+    // Single column.
+    let mut m = DenseMatrix::zeros(12, 1);
+    for r in 0..12 {
+        m.set(r, 0, ((r % 4) + 1) as f64);
+    }
+    out.push(m);
+
+    // All zeros (no pairs at all — the degenerate CSM).
+    out.push(DenseMatrix::zeros(6, 5));
+
+    out
+}
+
+fn assert_permutation(order: &[usize], n: usize, what: &str) {
+    assert_eq!(order.len(), n, "{what}: wrong length");
+    let mut seen = vec![false; n];
+    for &c in order {
+        assert!(c < n, "{what}: column {c} out of range");
+        assert!(!seen[c], "{what}: column {c} repeated");
+        seen[c] = true;
+    }
+}
+
+fn assert_same_products(dense: &DenseMatrix, reordered: &CsrvMatrix, what: &str) {
+    let (rows, cols) = (dense.rows(), dense.cols());
+    let x: Vec<f64> = (0..cols).map(|i| ((i % 5) as f64) - 1.5).collect();
+    let yv: Vec<f64> = (0..rows).map(|i| ((i % 3) as f64) + 0.25).collect();
+
+    let mut y_ref = vec![0.0; rows];
+    let mut x_ref = vec![0.0; cols];
+    dense.right_multiply(&x, &mut y_ref).unwrap();
+    dense.left_multiply(&yv, &mut x_ref).unwrap();
+
+    let mut y = vec![0.0; rows];
+    let mut xo = vec![0.0; cols];
+    reordered.right_multiply(&x, &mut y).unwrap();
+    reordered.left_multiply(&yv, &mut xo).unwrap();
+    for (a, b) in y_ref.iter().zip(&y) {
+        assert!((a - b).abs() < 1e-9, "{what}: right product diverged");
+    }
+    for (a, b) in x_ref.iter().zip(&xo) {
+        assert!((a - b).abs() < 1e-9, "{what}: left product diverged");
+    }
+
+    // The same must hold after grammar compression of the reordered matrix.
+    let cm = CompressedMatrix::compress(reordered, Encoding::ReAns);
+    let mut y = vec![0.0; rows];
+    cm.right_multiply(&x, &mut y).unwrap();
+    for (a, b) in y_ref.iter().zip(&y) {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "{what}: compressed right product diverged"
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_returns_a_valid_permutation() {
+    for (mi, dense) in test_matrices().iter().enumerate() {
+        let csrv = CsrvMatrix::from_dense(dense).unwrap();
+        for algo in ALL_ALGORITHMS {
+            for config in [CsmConfig::exact(), CsmConfig::default()] {
+                let order = reorder_columns(&csrv, algo, config, 4);
+                let what = format!("matrix {mi}, {}", algo.name());
+                assert_permutation(&order, dense.cols(), &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_preserves_mvm_results() {
+    for (mi, dense) in test_matrices().iter().enumerate() {
+        let csrv = CsrvMatrix::from_dense(dense).unwrap();
+        for algo in ALL_ALGORITHMS {
+            let order = reorder_columns(&csrv, algo, CsmConfig::exact(), 4);
+            let reordered = csrv.with_column_order(&order);
+            let what = format!("matrix {mi}, {}", algo.name());
+            assert_same_products(dense, &reordered, &what);
+            assert_eq!(reordered.to_dense(), *dense, "{what}: content changed");
+        }
+    }
+}
+
+#[test]
+fn per_block_reordering_preserves_mvm_results() {
+    let dense = &test_matrices()[0];
+    let csrv = CsrvMatrix::from_dense(dense).unwrap();
+    for algo in ALL_ALGORITHMS {
+        let blocks = reorder_blocks(&csrv, 3, algo, CsmConfig::default(), 4);
+        // Stack the per-block products back together.
+        let x: Vec<f64> = (0..dense.cols()).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut y_ref = vec![0.0; dense.rows()];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        let mut y = Vec::new();
+        for b in &blocks {
+            let mut part = vec![0.0; b.rows()];
+            b.right_multiply(&x, &mut part).unwrap();
+            y.extend(part);
+        }
+        assert_eq!(y.len(), dense.rows(), "{}: row count", algo.name());
+        for (a, b) in y_ref.iter().zip(&y) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{}: blocked product diverged",
+                algo.name()
+            );
+        }
+    }
+}

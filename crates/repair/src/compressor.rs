@@ -37,7 +37,10 @@ pub struct RePairConfig {
 
 impl Default for RePairConfig {
     fn default() -> Self {
-        Self { max_rules: None, min_count: 2 }
+        Self {
+            max_rules: None,
+            min_count: 2,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ struct PairRec {
 impl Default for PairRec {
     fn default() -> Self {
         // An empty occurrence list: `NONE`, not 0 (0 is a valid position).
-        Self { count: 0, head: NONE }
+        Self {
+            count: 0,
+            head: NONE,
+        }
     }
 }
 
@@ -372,7 +378,10 @@ mod tests {
         assert_eq!(slp.expand(), input, "expansion must equal input");
         assert!(slp.check_invariants().is_ok());
         if let Some(p) = protected {
-            assert!(slp.rules_avoid_terminal(p), "protected symbol leaked into a rule");
+            assert!(
+                slp.rules_avoid_terminal(p),
+                "protected symbol leaked into a rule"
+            );
         }
         slp
     }
@@ -489,7 +498,10 @@ mod tests {
     #[test]
     fn max_rules_cap_respected() {
         let input: Vec<u32> = (0..1000).map(|i| (i % 4) as u32 + 1).collect();
-        let cfg = RePairConfig { max_rules: Some(3), min_count: 2 };
+        let cfg = RePairConfig {
+            max_rules: Some(3),
+            min_count: 2,
+        };
         let slp = RePair::with_config(cfg).compress(&input, 10, None);
         assert!(slp.num_rules() <= 3);
         assert_eq!(slp.expand(), input);
@@ -499,7 +511,10 @@ mod tests {
     fn min_count_threshold() {
         // Pair (1,2) occurs twice; with min_count 3 nothing is replaced.
         let input = vec![1, 2, 9, 1, 2];
-        let cfg = RePairConfig { max_rules: None, min_count: 3 };
+        let cfg = RePairConfig {
+            max_rules: None,
+            min_count: 3,
+        };
         let slp = RePair::with_config(cfg).compress(&input, 10, None);
         assert_eq!(slp.num_rules(), 0);
         assert_eq!(slp.expand(), input);
@@ -516,7 +531,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let input: Vec<u32> = (0..5000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 8) as u32
             })
             .collect();
@@ -531,11 +548,15 @@ mod tests {
         for _ in 0..400 {
             let row_len = (x >> 60) as usize % 6;
             for _ in 0..row_len {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 input.push(((x >> 33) % 10 + 1) as u32);
             }
             input.push(0);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         roundtrip(&input, 100, Some(0));
     }

@@ -32,9 +32,16 @@ impl Slp {
             assert!(a < own && b < own, "rule {k} references a later symbol");
         }
         for &s in &sequence {
-            assert!((s as u64) < limit, "sequence references undefined symbol {s}");
+            assert!(
+                (s as u64) < limit,
+                "sequence references undefined symbol {s}"
+            );
         }
-        Self { first_nt, rules, sequence }
+        Self {
+            first_nt,
+            rules,
+            sequence,
+        }
     }
 
     /// First nonterminal id (= exclusive upper bound of the terminals).
@@ -121,8 +128,16 @@ impl Slp {
     pub fn expansion_lengths(&self) -> Vec<u64> {
         let mut lens = Vec::with_capacity(self.rules.len());
         for &(a, b) in &self.rules {
-            let la = if a < self.first_nt { 1 } else { lens[(a - self.first_nt) as usize] };
-            let lb = if b < self.first_nt { 1 } else { lens[(b - self.first_nt) as usize] };
+            let la = if a < self.first_nt {
+                1
+            } else {
+                lens[(a - self.first_nt) as usize]
+            };
+            let lb = if b < self.first_nt {
+                1
+            } else {
+                lens[(b - self.first_nt) as usize]
+            };
             lens.push(la + lb);
         }
         lens

@@ -38,8 +38,7 @@ fn main() {
         let reorder_time = t0.elapsed();
         let reordered = csrv.with_column_order(&order);
         let cm = CompressedMatrix::compress(&reordered, Encoding::ReAns);
-        let delta = 100.0
-            * (baseline.stored_bytes() as f64 - cm.stored_bytes() as f64)
+        let delta = 100.0 * (baseline.stored_bytes() as f64 - cm.stored_bytes() as f64)
             / baseline.stored_bytes() as f64;
         println!(
             "{:<11} {:>8} bytes ({:>6.2}% of dense)  Δ vs unordered: {delta:>6.2}%  ({:.1} ms to reorder)",
@@ -60,7 +59,11 @@ fn main() {
             .zip(&y_b)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_err < 1e-9, "{}: reordering changed results!", algo.name());
+        assert!(
+            max_err < 1e-9,
+            "{}: reordering changed results!",
+            algo.name()
+        );
     }
     println!("\nall reorderings preserved multiplication results exactly.");
 }

@@ -6,8 +6,8 @@
 //! (`rows_scale` scales the default dataset sizes; 0.25 by default so the
 //! example finishes quickly).
 
-use mm_repair::prelude::*;
 use mm_repair::baselines::{gzipish, xzish};
+use mm_repair::prelude::*;
 use mm_repair::repair::slp::Slp;
 
 fn pct(bytes: usize, dense: usize) -> f64 {

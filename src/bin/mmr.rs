@@ -56,7 +56,10 @@ fn read_vector(path: &str, expect: usize) -> Result<Vec<f64>, String> {
     let v: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse).collect();
     let v = v.map_err(|e| format!("{path}: bad number: {e}"))?;
     if v.len() != expect {
-        return Err(format!("{path}: expected {expect} numbers, got {}", v.len()));
+        return Err(format!(
+            "{path}: expected {expect} numbers, got {}",
+            v.len()
+        ));
     }
     Ok(v)
 }
@@ -70,8 +73,7 @@ fn run() -> Result<(), String> {
             };
             let ds = parse_dataset(ds).ok_or_else(|| format!("unknown dataset {ds}"))?;
             let rows: usize = rows.parse().map_err(|_| "bad row count".to_string())?;
-            let seed: u64 =
-                args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(42);
             let dense = ds.generate(rows, seed);
             let file = fs::File::create(out).map_err(|e| e.to_string())?;
             mm_repair::matrix::io::write_dense_text(&dense, std::io::BufWriter::new(file))
@@ -134,10 +136,12 @@ fn run() -> Result<(), String> {
             println!("  stored     : {} bytes", cm.stored_bytes());
             println!(
                 "  vs dense   : {:.2}%",
-                100.0 * cm.stored_bytes() as f64
-                    / (cm.rows() * cm.cols() * 8).max(1) as f64
+                100.0 * cm.stored_bytes() as f64 / (cm.rows() * cm.cols() * 8).max(1) as f64
             );
-            println!("  mvm space  : {} bytes of working memory", cm.working_bytes());
+            println!(
+                "  mvm space  : {} bytes of working memory",
+                cm.working_bytes()
+            );
             Ok(())
         }
         Some("multiply") => {

@@ -70,12 +70,10 @@ pub mod prelude {
     };
     pub use gcm_datagen::Dataset;
     pub use gcm_encodings::HeapSize;
-    pub use gcm_matrix::{
-        CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, RowBlocks,
-    };
+    pub use gcm_matrix::{CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, RowBlocks};
     pub use gcm_reorder::{
-        canonical_row_order, frequency_row_order, reorder_blocks, reorder_columns, Csm,
-        CsmConfig, ReorderAlgorithm,
+        canonical_row_order, frequency_row_order, reorder_blocks, reorder_columns, Csm, CsmConfig,
+        ReorderAlgorithm,
     };
     pub use gcm_repair::{RePair, RePairConfig, Slp};
 }

@@ -5,7 +5,10 @@
 use mm_repair::prelude::*;
 
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// Relative tolerance: compressed kernels reassociate sums, so allow tiny
@@ -87,7 +90,10 @@ fn compression_sizes_follow_paper_ordering() {
     let reans = CompressedMatrix::compress(&csrv, Encoding::ReAns);
     assert!(reans.stored_bytes() <= reiv.stored_bytes());
     assert!(reiv.stored_bytes() <= re32.stored_bytes());
-    assert!(re32.stored_bytes() * 3 < csrv.csrv_bytes(), "grammar gain too small");
+    assert!(
+        re32.stored_bytes() * 3 < csrv.csrv_bytes(),
+        "grammar gain too small"
+    );
     assert!(csrv.csrv_bytes() < dense.uncompressed_bytes());
 }
 
@@ -99,7 +105,10 @@ fn susy_like_data_gets_no_grammar_gain() {
     let csrv = CsrvMatrix::from_dense(&dense).unwrap();
     let re32 = CompressedMatrix::compress(&csrv, Encoding::Re32);
     let ratio = re32.stored_bytes() as f64 / csrv.csrv_bytes() as f64;
-    assert!(ratio > 0.9, "unexpected grammar gain on Susy-like data: {ratio}");
+    assert!(
+        ratio > 0.9,
+        "unexpected grammar gain on Susy-like data: {ratio}"
+    );
 }
 
 #[test]

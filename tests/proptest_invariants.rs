@@ -44,6 +44,28 @@ proptest! {
     }
 
     #[test]
+    fn csrv_from_dense_to_dense_is_identity(
+        (m, x) in matrix_strategy().prop_flat_map(|m| {
+            let cols = m.cols();
+            (Just(m), vector_for(cols))
+        }),
+    ) {
+        // Losslessness of the CSRV format itself (before any grammar
+        // compression): decompressing straight back to dense recovers the
+        // exact matrix, bit for bit.
+        let csrv = CsrvMatrix::from_dense(&m).unwrap();
+        prop_assert_eq!(csrv.to_dense(), m.clone());
+        // And the format change alone never perturbs the products.
+        let mut y_ref = vec![0.0; m.rows()];
+        let mut y = vec![0.0; m.rows()];
+        m.right_multiply(&x, &mut y_ref).unwrap();
+        csrv.right_multiply(&x, &mut y).unwrap();
+        for (a, b) in y_ref.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn grammar_mvm_equals_dense(m in matrix_strategy()) {
         let csrv = CsrvMatrix::from_dense(&m).unwrap();
         let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64) - 1.5).collect();
