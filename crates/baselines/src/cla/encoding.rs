@@ -306,9 +306,9 @@ mod tests {
         let x: Vec<f64> = (0..m).map(|i| (i as f64) * 0.5 - 1.0).collect();
         let mut y = vec![0.0; n];
         enc.right_multiply(cols, &x, &mut y);
-        for r in 0..n {
+        for (r, &yr) in y.iter().enumerate() {
             let expect: f64 = cols.iter().map(|&c| matrix.get(r, c) * x[c]).sum();
-            assert!((y[r] - expect).abs() < 1e-9, "{} right row {r}", enc.name());
+            assert!((yr - expect).abs() < 1e-9, "{} right row {r}", enc.name());
         }
         let yv: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
         let mut xo = vec![0.0; m];

@@ -118,7 +118,7 @@ pub fn plan_groups(matrix: &DenseMatrix, config: GroupingConfig) -> Vec<Vec<usiz
             let before = estimated_size(n, g.cols.len(), est_card(g.cardinality)) + col_size;
             let after = estimated_size(n, g.cols.len() + 1, est_card(joint));
             let saving = before - after;
-            if saving > 0.0 && best.map_or(true, |(bs, _, _)| saving > bs) {
+            if saving > 0.0 && best.is_none_or(|(bs, _, _)| saving > bs) {
                 best = Some((saving, gi, joint));
             }
         }
@@ -150,7 +150,7 @@ pub fn build_dictionary(matrix: &DenseMatrix, cols: &[usize]) -> (Vec<f64>, Vec<
     // Reserve code 0 for the all-zero tuple so sparse encodings can skip it.
     let zero_key: Vec<u64> = vec![0f64.to_bits(); g];
     index.insert(zero_key, 0);
-    dict.extend(std::iter::repeat(0.0).take(g));
+    dict.extend(std::iter::repeat_n(0.0, g));
     let mut key = Vec::with_capacity(g);
     for r in 0..n {
         key.clear();
@@ -214,7 +214,7 @@ mod tests {
             }
         }
         let groups = plan_groups(&m, GroupingConfig::default());
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for g in &groups {
             for &c in g {
                 assert!(!seen[c]);

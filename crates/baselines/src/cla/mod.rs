@@ -25,7 +25,7 @@ pub mod encoding;
 pub mod grouping;
 
 use gcm_encodings::HeapSize;
-use gcm_matrix::{DenseMatrix, MatVec, MatrixError};
+use gcm_matrix::{DenseMatrix, MatVec, MatrixError, Workspace};
 
 use encoding::GroupEncoding;
 use grouping::{plan_groups, GroupingConfig};
@@ -111,7 +111,12 @@ impl MatVec for ClaMatrix {
         self.cols
     }
 
-    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+    fn right_multiply_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         if x.len() != self.cols {
             return Err(MatrixError::DimensionMismatch {
                 expected: self.cols,
@@ -133,7 +138,12 @@ impl MatVec for ClaMatrix {
         Ok(())
     }
 
-    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+    fn left_multiply_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         if y.len() != self.rows {
             return Err(MatrixError::DimensionMismatch {
                 expected: self.rows,
@@ -216,7 +226,7 @@ mod tests {
     fn groups_cover_all_columns_once() {
         let dense = categorical(300);
         let cla = ClaMatrix::compress(&dense);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for g in cla.groups() {
             for &c in &g.cols {
                 assert!(!seen[c], "column {c} in two groups");

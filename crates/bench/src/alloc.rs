@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static OPS: AtomicUsize = AtomicUsize::new(0);
 
 /// System allocator wrapper that tracks live and peak heap bytes.
 pub struct TrackingAlloc;
@@ -56,6 +57,7 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         let p = System.alloc(layout);
         if !p.is_null() {
             add(layout.size());
+            OPS.fetch_add(1, Ordering::Relaxed);
         }
         p
     }
@@ -70,6 +72,7 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         if !p.is_null() {
             sub(layout.size());
             add(new_size);
+            OPS.fetch_add(1, Ordering::Relaxed);
         }
         p
     }
@@ -83,6 +86,14 @@ pub fn live_bytes() -> usize {
 /// Peak live heap bytes since start / last reset.
 pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
+}
+
+/// Number of allocation operations (alloc + realloc) since process start.
+/// Lets tests assert that a steady-state loop performs **zero** heap
+/// allocation, which live/peak byte counters cannot distinguish from
+/// balanced alloc/free churn.
+pub fn alloc_ops() -> usize {
+    OPS.load(Ordering::Relaxed)
 }
 
 /// Resets the peak to the current live size and returns the live size.

@@ -51,7 +51,7 @@ fn main() {
                 let bm = BlockedMatrix::from_blocks(compressed, csrv.cols());
                 if best
                     .as_ref()
-                    .map_or(true, |b| bm.stored_bytes() < b.stored_bytes())
+                    .is_none_or(|b| bm.stored_bytes() < b.stored_bytes())
                 {
                     best = Some(bm);
                 }

@@ -1,155 +1,6 @@
-//! Multi-threaded CSRV multiplication (the paper's `csrv 16 threads`
-//! column in Table 2): plain row-block parallelism over the uncompressed
-//! CSRV representation.
+//! Compatibility shim: [`ParallelCsrv`] was promoted into `gcm-matrix`
+//! (ported to the persistent pool + workspace API) so library users get
+//! the parallel uncompressed baseline; the old `gcm_bench::parcsrv` path
+//! keeps working via this re-export.
 
-use gcm_matrix::{CsrvMatrix, MatVec, MatrixError, RowBlocks};
-
-/// A CSRV matrix partitioned into row blocks, multiplied with one thread
-/// per block.
-#[derive(Debug, Clone)]
-pub struct ParallelCsrv {
-    blocks: Vec<CsrvMatrix>,
-    row_offsets: Vec<usize>,
-    rows: usize,
-    cols: usize,
-}
-
-impl ParallelCsrv {
-    /// Splits `matrix` into `b` row blocks.
-    pub fn split(matrix: &CsrvMatrix, b: usize) -> Self {
-        let parts = RowBlocks::split(matrix, b);
-        let row_offsets = (0..parts.len()).map(|i| parts.row_offset(i)).collect();
-        Self {
-            blocks: parts.blocks().to_vec(),
-            row_offsets,
-            rows: matrix.rows(),
-            cols: matrix.cols(),
-        }
-    }
-
-    /// Total bytes of the representation (dictionary counted once).
-    pub fn stored_bytes(&self) -> usize {
-        let values = self.blocks.first().map_or(0, |b| b.values().len() * 8);
-        self.blocks
-            .iter()
-            .map(|b| b.symbols().len() * 4)
-            .sum::<usize>()
-            + values
-    }
-
-    /// Working space of the parallel left multiplication: one partial `x`
-    /// per block.
-    pub fn working_bytes(&self) -> usize {
-        self.blocks.len() * self.cols * 8
-    }
-}
-
-impl MatVec for ParallelCsrv {
-    fn rows(&self) -> usize {
-        self.rows
-    }
-
-    fn cols(&self) -> usize {
-        self.cols
-    }
-
-    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
-        if x.len() != self.cols || y.len() != self.rows {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.cols,
-                actual: x.len(),
-                what: "x/y length",
-            });
-        }
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());
-        let mut rest = y;
-        for block in &self.blocks {
-            let (head, tail) = rest.split_at_mut(block.rows());
-            slices.push(head);
-            rest = tail;
-        }
-        let results: Vec<Result<(), MatrixError>> = std::thread::scope(|scope| {
-            self.blocks
-                .iter()
-                .zip(slices)
-                .map(|(block, slice)| scope.spawn(move || block.right_multiply(x, slice)))
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
-    }
-
-    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
-        if y.len() != self.rows || x.len() != self.cols {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.rows,
-                actual: y.len(),
-                what: "x/y length",
-            });
-        }
-        let cols = self.cols;
-        let partials: Vec<Result<Vec<f64>, MatrixError>> = std::thread::scope(|scope| {
-            self.blocks
-                .iter()
-                .enumerate()
-                .map(|(i, block)| {
-                    let off = self.row_offsets[i];
-                    let y_slice = &y[off..off + block.rows()];
-                    scope.spawn(move || {
-                        let mut part = vec![0.0f64; cols];
-                        block.left_multiply(y_slice, &mut part)?;
-                        Ok(part)
-                    })
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        x.fill(0.0);
-        for part in partials {
-            let part = part?;
-            for (acc, p) in x.iter_mut().zip(&part) {
-                *acc += p;
-            }
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gcm_matrix::DenseMatrix;
-
-    #[test]
-    fn parallel_csrv_matches_sequential() {
-        let mut dense = DenseMatrix::zeros(57, 7);
-        for r in 0..57 {
-            for c in 0..7 {
-                if (r + c) % 3 != 0 {
-                    dense.set(r, c, ((r * c) % 5 + 1) as f64);
-                }
-            }
-        }
-        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
-        let par = ParallelCsrv::split(&csrv, 4);
-        let x: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
-        let mut y_ref = vec![0.0; 57];
-        let mut y = vec![0.0; 57];
-        csrv.right_multiply(&x, &mut y_ref).unwrap();
-        par.right_multiply(&x, &mut y).unwrap();
-        assert_eq!(y_ref, y);
-
-        let yv: Vec<f64> = (0..57).map(|i| (i % 4) as f64).collect();
-        let mut x_ref = vec![0.0; 7];
-        let mut xo = vec![0.0; 7];
-        csrv.left_multiply(&yv, &mut x_ref).unwrap();
-        par.left_multiply(&yv, &mut xo).unwrap();
-        for (a, b) in x_ref.iter().zip(&xo) {
-            assert!((a - b).abs() < 1e-12);
-        }
-    }
-}
+pub use gcm_matrix::ParallelCsrv;

@@ -6,9 +6,21 @@
 //! multiplication is `b` independent block multiplications followed by a
 //! `b`-way sum of the partial result vectors — exactly the scheme the paper
 //! uses for its 4/8/12/16-thread measurements.
+//!
+//! Parallel paths run on the **persistent scoped pool** (the vendored
+//! `rayon` stand-in), so repeated multiplications reuse the same worker
+//! threads instead of spawning per call, and all per-block scratch (`w`
+//! arrays, partial vectors, batch panels) comes from the caller's
+//! [`Workspace`]. Dispatching onto the pool still allocates small
+//! per-task control structures (job boxes, handle vectors) each call —
+//! only the single-threaded paths are strictly allocation-free. The
+//! batched products compose batching with row-block parallelism: each
+//! block runs the `k`-wide panel kernel on its own contiguous chunk of
+//! the output panel.
 
 use gcm_encodings::HeapSize;
-use gcm_matrix::{CsrvMatrix, MatVec, MatrixError, RowBlocks};
+use gcm_matrix::matvec::{check_left_batch, check_right_batch};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, RowBlocks, Workspace};
 use gcm_repair::RePairConfig;
 
 use crate::compressed::CompressedMatrix;
@@ -103,15 +115,24 @@ impl BlockedMatrix {
     }
 
     /// Auxiliary multiplication working space across all concurrent blocks
-    /// (`Σ |R_i|` doubles, plus a partial `x` vector per block for the left
-    /// multiplication).
-    pub fn working_bytes(&self) -> usize {
+    /// with batch width `k`: the `k`-wide `W` panels (`Σ |R_i|·k` doubles)
+    /// plus a partial `cols × k` output panel per block for the left
+    /// multiplication's reduction.
+    pub fn working_bytes_for_batch(&self, k: usize) -> usize {
+        let k = k.max(1);
         let w: usize = self
             .blocks
             .iter()
-            .map(CompressedMatrix::working_bytes)
+            .map(|b| b.working_bytes_for_batch(k))
             .sum();
-        w + self.blocks.len() * self.cols * 8
+        w + self.blocks.len() * self.cols * 8 * k
+    }
+
+    /// Auxiliary multiplication working space for single-vector calls
+    /// (`Σ |R_i|` doubles, plus a partial `x` vector per block for the left
+    /// multiplication).
+    pub fn working_bytes(&self) -> usize {
+        self.working_bytes_for_batch(1)
     }
 
     /// Sequential right multiplication (single thread over all blocks).
@@ -119,41 +140,51 @@ impl BlockedMatrix {
     /// # Errors
     /// Fails on dimension mismatch.
     pub fn right_multiply_seq(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        let mut ws = Workspace::new();
+        self.right_multiply_seq_into(x, y, &mut ws)
+    }
+
+    /// Sequential right multiplication drawing scratch from `ws`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn right_multiply_seq_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         self.check_right(x, y)?;
         for (i, block) in self.blocks.iter().enumerate() {
             let off = self.row_offsets[i];
-            block.right_multiply(x, &mut y[off..off + block.rows()])?;
+            block.right_multiply_into(x, &mut y[off..off + block.rows()], ws)?;
         }
         Ok(())
     }
 
-    /// Parallel right multiplication: one thread per block.
+    /// Parallel right multiplication: one pool task per block.
     ///
     /// # Errors
     /// Fails on dimension mismatch.
     pub fn right_multiply_par(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+        let mut ws = Workspace::new();
+        self.right_multiply_par_into(x, y, &mut ws)
+    }
+
+    /// Parallel right multiplication on the persistent pool, drawing each
+    /// block's `w` scratch from `ws`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn right_multiply_par_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         self.check_right(x, y)?;
-        // Hand each block its own disjoint slice of y.
-        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(self.blocks.len());
-        let mut rest = y;
-        for block in &self.blocks {
-            let (head, tail) = rest.split_at_mut(block.rows());
-            slices.push(head);
-            rest = tail;
-        }
-        let results: Vec<Result<(), MatrixError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .blocks
-                .iter()
-                .zip(slices)
-                .map(|(block, slice)| scope.spawn(move || block.right_multiply(x, slice)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
+        self.right_panel_par(1, x, y, ws);
+        Ok(())
     }
 
     /// Sequential left multiplication.
@@ -161,55 +192,161 @@ impl BlockedMatrix {
     /// # Errors
     /// Fails on dimension mismatch.
     pub fn left_multiply_seq(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        let mut ws = Workspace::new();
+        self.left_multiply_seq_into(y, x, &mut ws)
+    }
+
+    /// Sequential left multiplication drawing scratch from `ws`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn left_multiply_seq_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         self.check_left(y, x)?;
         x.fill(0.0);
-        let mut part = vec![0.0f64; self.cols];
+        let mut part = ws.take(self.cols);
         for (i, block) in self.blocks.iter().enumerate() {
             let off = self.row_offsets[i];
-            block.left_multiply(&y[off..off + block.rows()], &mut part)?;
+            block.left_multiply_into(&y[off..off + block.rows()], &mut part, ws)?;
             for (acc, p) in x.iter_mut().zip(&part) {
                 *acc += p;
             }
         }
+        ws.put(part);
         Ok(())
     }
 
-    /// Parallel left multiplication: one thread per block, then the partial
-    /// vectors are summed (§4.1).
+    /// Parallel left multiplication: one pool task per block, then the
+    /// partial vectors are summed (§4.1).
     ///
     /// # Errors
     /// Fails on dimension mismatch.
     pub fn left_multiply_par(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+        let mut ws = Workspace::new();
+        self.left_multiply_par_into(y, x, &mut ws)
+    }
+
+    /// Parallel left multiplication on the persistent pool, drawing each
+    /// block's `w` scratch and partial vector from `ws`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatch.
+    pub fn left_multiply_par_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         self.check_left(y, x)?;
-        let cols = self.cols;
-        let partials: Vec<Result<Vec<f64>, MatrixError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .blocks
-                .iter()
-                .enumerate()
-                .map(|(i, block)| {
-                    let off = self.row_offsets[i];
-                    let y_slice = &y[off..off + block.rows()];
-                    scope.spawn(move || {
-                        let mut part = vec![0.0f64; cols];
-                        block.left_multiply(y_slice, &mut part)?;
-                        Ok(part)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        x.fill(0.0);
-        for part in partials {
-            let part = part?;
-            for (acc, p) in x.iter_mut().zip(&part) {
+        self.left_panel_par(1, y, x, ws);
+        Ok(())
+    }
+
+    /// Sequential batched right product (single thread over all blocks,
+    /// one `w` panel reused across them).
+    fn right_panel_seq(&self, k: usize, x_panel: &[f64], y_panel: &mut [f64], ws: &mut Workspace) {
+        for (i, block) in self.blocks.iter().enumerate() {
+            let off = self.row_offsets[i] * k;
+            let mut w = ws.take(block.num_rules() * k);
+            block
+                .right_multiply_panel_with(
+                    k,
+                    x_panel,
+                    &mut y_panel[off..off + block.rows() * k],
+                    &mut w,
+                )
+                .expect("block dimensions are consistent by construction");
+            ws.put(w);
+        }
+    }
+
+    /// Sequential batched left product.
+    fn left_panel_seq(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], ws: &mut Workspace) {
+        x_panel.fill(0.0);
+        let mut part = ws.take(self.cols * k);
+        for (i, block) in self.blocks.iter().enumerate() {
+            let off = self.row_offsets[i] * k;
+            let mut w = ws.take(block.num_rules() * k);
+            block
+                .left_multiply_panel_with(
+                    k,
+                    &y_panel[off..off + block.rows() * k],
+                    &mut part,
+                    &mut w,
+                )
+                .expect("block dimensions are consistent by construction");
+            ws.put(w);
+            for (acc, &p) in x_panel.iter_mut().zip(&part) {
                 *acc += p;
             }
         }
-        Ok(())
+        ws.put(part);
+    }
+
+    /// Parallel batched right product over row-major panels: hands each
+    /// block its contiguous `rows_i × k` chunk of `y_panel` plus its own
+    /// `w` panel, so batching and row-block parallelism compose. Panel
+    /// shapes are the caller's responsibility (checked by the `MatVec`
+    /// entry points).
+    fn right_panel_par(&self, k: usize, x_panel: &[f64], y_panel: &mut [f64], ws: &mut Workspace) {
+        let mut w_panels: Vec<Vec<f64>> = self
+            .blocks
+            .iter()
+            .map(|b| ws.take(b.num_rules() * k))
+            .collect();
+        let mut tasks: Vec<(&CompressedMatrix, &mut [f64])> = Vec::with_capacity(self.blocks.len());
+        let mut rest = y_panel;
+        for block in &self.blocks {
+            let (head, tail) = rest.split_at_mut(block.rows() * k);
+            tasks.push((block, head));
+            rest = tail;
+        }
+        rayon::scope(|scope| {
+            for ((block, slice), w) in tasks.into_iter().zip(w_panels.iter_mut()) {
+                scope.spawn(move |_| {
+                    block
+                        .right_multiply_panel_with(k, x_panel, slice, w)
+                        .expect("block dimensions are consistent by construction");
+                });
+            }
+        });
+        for w in w_panels {
+            ws.put(w);
+        }
+    }
+
+    /// Parallel batched left product over row-major panels: each block
+    /// fills a partial `cols × k` panel, then the partials are reduced
+    /// into `x_panel`.
+    fn left_panel_par(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], ws: &mut Workspace) {
+        let mut scratch: Vec<(Vec<f64>, Vec<f64>)> = self
+            .blocks
+            .iter()
+            .map(|b| (ws.take(self.cols * k), ws.take(b.num_rules() * k)))
+            .collect();
+        rayon::scope(|scope| {
+            for ((i, block), (part, w)) in self.blocks.iter().enumerate().zip(scratch.iter_mut()) {
+                let off = self.row_offsets[i] * k;
+                let y_slice = &y_panel[off..off + block.rows() * k];
+                scope.spawn(move |_| {
+                    block
+                        .left_multiply_panel_with(k, y_slice, part, w)
+                        .expect("block dimensions are consistent by construction");
+                });
+            }
+        });
+        x_panel.fill(0.0);
+        for (part, w) in scratch {
+            for (acc, &p) in x_panel.iter_mut().zip(&part) {
+                *acc += p;
+            }
+            ws.put(part);
+            ws.put(w);
+        }
     }
 
     fn check_right(&self, x: &[f64], y: &[f64]) -> Result<(), MatrixError> {
@@ -270,20 +407,66 @@ impl MatVec for BlockedMatrix {
         self.cols
     }
 
-    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
+    fn right_multiply_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         if self.threads > 1 {
-            self.right_multiply_par(x, y)
+            self.right_multiply_par_into(x, y, ws)
         } else {
-            self.right_multiply_seq(x, y)
+            self.right_multiply_seq_into(x, y, ws)
         }
     }
 
-    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
+    fn left_multiply_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
         if self.threads > 1 {
-            self.left_multiply_par(y, x)
+            self.left_multiply_par_into(y, x, ws)
         } else {
-            self.left_multiply_seq(y, x)
+            self.left_multiply_seq_into(y, x, ws)
         }
+    }
+
+    fn right_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_right_batch(self.rows, self.cols, b, out)?;
+        if b.cols() == 0 {
+            return Ok(());
+        }
+        if self.threads > 1 {
+            self.right_panel_par(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
+        } else {
+            self.right_panel_seq(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
+        }
+        Ok(())
+    }
+
+    fn left_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_left_batch(self.rows, self.cols, b, out)?;
+        if b.cols() == 0 {
+            return Ok(());
+        }
+        if self.threads > 1 {
+            self.left_panel_par(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
+        } else {
+            self.left_panel_seq(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
+        }
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{HeapSize, IntVector};
-use gcm_matrix::{CsrvMatrix, MatVec, MatrixError, SEPARATOR};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace, SEPARATOR};
 use gcm_repair::{RePair, RePairConfig, Slp};
 
 use crate::encoding::{Encoding, RuleStore, SeqStore};
@@ -186,7 +186,172 @@ impl CompressedMatrix {
     /// Auxiliary working space of one multiplication: the `W` array of
     /// `|R|` doubles (Thms 3.4 / 3.10).
     pub fn working_bytes(&self) -> usize {
-        self.num_rules() * 8
+        self.working_bytes_for_batch(1)
+    }
+
+    /// Auxiliary working space of one multiplication with batch width
+    /// `k`: the `k`-wide `W` panel of `|R|·k` doubles.
+    pub fn working_bytes_for_batch(&self, k: usize) -> usize {
+        self.num_rules() * 8 * k.max(1)
+    }
+
+    /// Right multiplication with caller-provided scratch (`w` must have
+    /// length `|R|`). Used by the row-block parallel paths, which hand
+    /// each concurrent block its own `w` from one [`Workspace`].
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `w`).
+    pub fn right_multiply_with(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        w: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.check_vectors(x.len(), y.len())?;
+        self.check_scratch(w.len(), 1)?;
+        mvm::right_multiply(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            x,
+            y,
+            w,
+        );
+        Ok(())
+    }
+
+    /// Left multiplication with caller-provided scratch (`w` must have
+    /// length `|R|`).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `w`).
+    pub fn left_multiply_with(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        w: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.check_vectors(x.len(), y.len())?;
+        self.check_scratch(w.len(), 1)?;
+        mvm::left_multiply(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            y,
+            x,
+            w,
+        );
+        Ok(())
+    }
+
+    /// Batched right multiplication `Y = M·X` over row-major panels with
+    /// caller-provided scratch: `x_panel` is `cols × k`, `y_panel` is
+    /// `rows × k`, `w_panel` is `|R| · k`. One `(C, R)` traversal serves
+    /// all `k` right-hand sides (Thm 3.4 amortised).
+    ///
+    /// # Errors
+    /// Fails if any panel length is inconsistent with `k`.
+    pub fn right_multiply_panel_with(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        w_panel: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.check_scratch(w_panel.len(), k)?;
+        mvm::right_multiply_batch(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            k,
+            x_panel,
+            y_panel,
+            w_panel,
+        );
+        Ok(())
+    }
+
+    /// Batched left multiplication `X = Mᵗ·Y` over row-major panels with
+    /// caller-provided scratch (`y_panel` is `rows × k`, `x_panel` is
+    /// `cols × k`, `w_panel` is `|R| · k`; Thm 3.10 amortised).
+    ///
+    /// # Errors
+    /// Fails if any panel length is inconsistent with `k`.
+    pub fn left_multiply_panel_with(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        w_panel: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.check_scratch(w_panel.len(), k)?;
+        mvm::left_multiply_batch(
+            &self.seq,
+            &self.rules,
+            &self.values,
+            self.first_nt,
+            self.cols as u32,
+            k,
+            y_panel,
+            x_panel,
+            w_panel,
+        );
+        Ok(())
+    }
+
+    fn check_vectors(&self, x_len: usize, y_len: usize) -> Result<(), MatrixError> {
+        if x_len != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols,
+                actual: x_len,
+                what: "x length",
+            });
+        }
+        if y_len != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y_len,
+                what: "y length",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_panels(&self, x_len: usize, y_len: usize, k: usize) -> Result<(), MatrixError> {
+        if x_len != self.cols * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols * k,
+                actual: x_len,
+                what: "x panel length",
+            });
+        }
+        if y_len != self.rows * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows * k,
+                actual: y_len,
+                what: "y panel length",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_scratch(&self, w_len: usize, k: usize) -> Result<(), MatrixError> {
+        if w_len != self.num_rules() * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.num_rules() * k,
+                actual: w_len,
+                what: "w scratch length",
+            });
+        }
+        Ok(())
     }
 
     /// Decompresses back to the CSRV symbol stream (testing / export).
@@ -226,62 +391,56 @@ impl MatVec for CompressedMatrix {
         self.cols
     }
 
-    fn right_multiply(&self, x: &[f64], y: &mut [f64]) -> Result<(), MatrixError> {
-        if x.len() != self.cols {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.cols,
-                actual: x.len(),
-                what: "x length",
-            });
-        }
-        if y.len() != self.rows {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.rows,
-                actual: y.len(),
-                what: "y length",
-            });
-        }
-        let mut w = vec![0.0f64; self.num_rules()];
-        mvm::right_multiply(
-            &self.seq,
-            &self.rules,
-            &self.values,
-            self.first_nt,
-            self.cols as u32,
-            x,
-            y,
-            &mut w,
-        );
-        Ok(())
+    fn right_multiply_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        let mut w = ws.take(self.num_rules());
+        let result = self.right_multiply_with(x, y, &mut w);
+        ws.put(w);
+        result
     }
 
-    fn left_multiply(&self, y: &[f64], x: &mut [f64]) -> Result<(), MatrixError> {
-        if y.len() != self.rows {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.rows,
-                actual: y.len(),
-                what: "y length",
-            });
-        }
-        if x.len() != self.cols {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.cols,
-                actual: x.len(),
-                what: "x length",
-            });
-        }
-        let mut w = vec![0.0f64; self.num_rules()];
-        mvm::left_multiply(
-            &self.seq,
-            &self.rules,
-            &self.values,
-            self.first_nt,
-            self.cols as u32,
-            y,
-            x,
-            &mut w,
-        );
-        Ok(())
+    fn left_multiply_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        let mut w = ws.take(self.num_rules());
+        let result = self.left_multiply_with(y, x, &mut w);
+        ws.put(w);
+        result
+    }
+
+    fn right_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        gcm_matrix::matvec::check_right_batch(self.rows, self.cols, b, out)?;
+        let k = b.cols();
+        let mut w = ws.take(self.num_rules() * k);
+        let result = self.right_multiply_panel_with(k, b.as_slice(), out.as_mut_slice(), &mut w);
+        ws.put(w);
+        result
+    }
+
+    fn left_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        gcm_matrix::matvec::check_left_batch(self.rows, self.cols, b, out)?;
+        let k = b.cols();
+        let mut w = ws.take(self.num_rules() * k);
+        let result = self.left_multiply_panel_with(k, b.as_slice(), out.as_mut_slice(), &mut w);
+        ws.put(w);
+        result
     }
 }
 

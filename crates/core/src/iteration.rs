@@ -8,7 +8,7 @@
 //! of conjugate-gradient–style least-squares solvers. The same kernel runs
 //! over every representation via [`MatVec`].
 
-use gcm_matrix::{MatVec, MatrixError};
+use gcm_matrix::{MatVec, MatrixError, Workspace};
 
 /// Infinity norm `max |zᵢ|`.
 pub fn inf_norm(z: &[f64]) -> f64 {
@@ -48,10 +48,13 @@ pub fn power_iterations(
     let mut x = x0.to_vec();
     let mut y = vec![0.0f64; n];
     let mut z = vec![0.0f64; m];
+    // One workspace for the whole run: after the first iteration warms its
+    // buffers, every subsequent multiplication is allocation-free.
+    let mut ws = Workspace::new();
     let mut last_norm = 0.0;
     for it in 0..iterations {
-        matrix.right_multiply(&x, &mut y)?;
-        matrix.left_multiply(&y, &mut z)?;
+        matrix.right_multiply_into(&x, &mut y, &mut ws)?;
+        matrix.left_multiply_into(&y, &mut z, &mut ws)?;
         last_norm = inf_norm(&z);
         if last_norm == 0.0 {
             return Err(MatrixError::Parse(format!(

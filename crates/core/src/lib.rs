@@ -20,7 +20,19 @@
 //!
 //! [`BlockedMatrix`] implements §4.1: the matrix is split into row blocks,
 //! each compressed independently, and both multiplications parallelise
-//! across blocks with `std::thread`.
+//! across blocks on the **persistent scoped thread pool** (the vendored
+//! `rayon` stand-in) — workers are reused across calls, never spawned per
+//! multiply.
+//!
+//! All backends multiply through the execution layer of
+//! [`gcm_matrix::MatVec`]: the `*_into` methods draw the `w` rule array,
+//! per-block partials, and batch panels from a caller-owned
+//! [`gcm_matrix::Workspace`] (zero steady-state allocation), and the
+//! batched `right_multiply_matrix` / `left_multiply_matrix` products
+//! traverse `(C, R)` **once per batch** of `k` vectors
+//! ([`mvm::right_multiply_batch`] / [`mvm::left_multiply_batch`]) instead
+//! of once per column — the amortisation that makes compressed serving
+//! loops fast.
 
 pub mod blocked;
 pub mod compressed;

@@ -130,6 +130,164 @@ pub fn left_multiply(
     }
 }
 
+/// Batched right multiplication `Y = M·X` for `k` right-hand sides
+/// (Thm 3.4, amortised over a batch).
+///
+/// A single forward pass over the rules fills the `k`-wide panel row
+/// `w[q·k..q·k+k]` with `eval_x(N_q)` against all `k` inputs at once, and
+/// a single streaming pass over `C` accumulates all `k` row sums — one
+/// grammar traversal for the whole batch, instead of one per column.
+///
+/// Panels are row-major: `x_panel` is `cols × k` (row `j` holds the `k`
+/// values of input coordinate `j`), `y_panel` is `rows × k` (zeroed
+/// here), and `w_panel` must have length `rules.num_rules() · k`.
+#[allow(clippy::too_many_arguments)]
+pub fn right_multiply_batch(
+    seq: &SeqStore,
+    rules: &RuleStore,
+    values: &[f64],
+    first_nt: u32,
+    cols: u32,
+    k: usize,
+    x_panel: &[f64],
+    y_panel: &mut [f64],
+    w_panel: &mut [f64],
+) {
+    debug_assert_eq!(w_panel.len(), rules.num_rules() * k);
+    debug_assert_eq!(x_panel.len() % k.max(1), 0);
+    y_panel.fill(0.0);
+    if k == 0 {
+        return;
+    }
+    let q = rules.num_rules();
+    for idx in 0..q {
+        let (a, b) = rules.rule(idx);
+        let (done, rest) = w_panel.split_at_mut(idx * k);
+        let dst = &mut rest[..k];
+        if a < first_nt {
+            let p = a - 1;
+            let v = values[(p / cols) as usize];
+            let src = &x_panel[(p % cols) as usize * k..][..k];
+            for (d, &xv) in dst.iter_mut().zip(src) {
+                *d = v * xv;
+            }
+        } else {
+            let src = &done[(a - first_nt) as usize * k..][..k];
+            dst.copy_from_slice(src);
+        }
+        if b < first_nt {
+            let p = b - 1;
+            let v = values[(p / cols) as usize];
+            let src = &x_panel[(p % cols) as usize * k..][..k];
+            for (d, &xv) in dst.iter_mut().zip(src) {
+                *d += v * xv;
+            }
+        } else {
+            let src = &done[(b - first_nt) as usize * k..][..k];
+            for (d, &wv) in dst.iter_mut().zip(src) {
+                *d += wv;
+            }
+        }
+    }
+    let mut r = 0usize;
+    seq.for_each(|s| {
+        if s == SEPARATOR {
+            r += 1;
+        } else {
+            let dst = &mut y_panel[r * k..(r + 1) * k];
+            if s < first_nt {
+                let p = s - 1;
+                let v = values[(p / cols) as usize];
+                let src = &x_panel[(p % cols) as usize * k..][..k];
+                for (d, &xv) in dst.iter_mut().zip(src) {
+                    *d += v * xv;
+                }
+            } else {
+                let src = &w_panel[(s - first_nt) as usize * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(src) {
+                    *d += wv;
+                }
+            }
+        }
+    });
+    debug_assert_eq!(r * k, y_panel.len(), "separator count mismatch");
+}
+
+/// Batched left multiplication `X = Mᵗ·Y` for `k` left-hand sides
+/// (Thm 3.10, amortised over a batch).
+///
+/// One streaming pass over `C` seeds the `k`-wide `sum_y` panel rows,
+/// then one *backward* pass over the rules pushes each panel row down to
+/// the two right-hand symbols — again a single grammar traversal for the
+/// whole batch.
+///
+/// Panels are row-major: `y_panel` is `rows × k`, `x_panel` is `cols × k`
+/// (zeroed here), `w_panel` must have length `rules.num_rules() · k`.
+#[allow(clippy::too_many_arguments)]
+pub fn left_multiply_batch(
+    seq: &SeqStore,
+    rules: &RuleStore,
+    values: &[f64],
+    first_nt: u32,
+    cols: u32,
+    k: usize,
+    y_panel: &[f64],
+    x_panel: &mut [f64],
+    w_panel: &mut [f64],
+) {
+    debug_assert_eq!(w_panel.len(), rules.num_rules() * k);
+    x_panel.fill(0.0);
+    w_panel.fill(0.0);
+    if k == 0 {
+        return;
+    }
+    let mut r = 0usize;
+    seq.for_each(|s| {
+        if s == SEPARATOR {
+            r += 1;
+        } else {
+            let src = &y_panel[r * k..(r + 1) * k];
+            if s < first_nt {
+                let p = s - 1;
+                let v = values[(p / cols) as usize];
+                let dst = &mut x_panel[(p % cols) as usize * k..][..k];
+                for (d, &yv) in dst.iter_mut().zip(src) {
+                    *d += v * yv;
+                }
+            } else {
+                let dst = &mut w_panel[(s - first_nt) as usize * k..][..k];
+                for (d, &yv) in dst.iter_mut().zip(src) {
+                    *d += yv;
+                }
+            }
+        }
+    });
+    debug_assert_eq!(r * k, y_panel.len(), "separator count mismatch");
+    for idx in (0..rules.num_rules()).rev() {
+        let (earlier, rest) = w_panel.split_at_mut(idx * k);
+        let wk = &rest[..k];
+        if wk.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        let (a, b) = rules.rule(idx);
+        for sym in [a, b] {
+            if sym < first_nt {
+                let p = sym - 1;
+                let v = values[(p / cols) as usize];
+                let dst = &mut x_panel[(p % cols) as usize * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(wk) {
+                    *d += v * wv;
+                }
+            } else {
+                let dst = &mut earlier[(sym - first_nt) as usize * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(wk) {
+                    *d += wv;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
 
@@ -149,7 +307,7 @@ mod tests {
             (3, 17),
             (32, 32),
         ];
-        let mut seed = 0x1234_5678_9ABC_DEFu64;
+        let mut seed = 0x0123_4567_89AB_CDEF_u64;
         let mut next = move || {
             seed = seed
                 .wrapping_mul(6364136223846793005)
@@ -185,6 +343,88 @@ mod tests {
                 }
                 for (a, b) in x_out.iter().zip(&x_ref) {
                     assert!((a - b).abs() < 1e-9, "{n}x{m} {} left", enc.name());
+                }
+            }
+        }
+    }
+
+    /// The batched kernels must equal `k` independent single-vector calls
+    /// for every encoding (the defining property of the batch panel).
+    #[test]
+    fn batched_kernels_equal_column_at_a_time() {
+        let mut dense = DenseMatrix::zeros(23, 7);
+        let mut seed = 0xBEEFu64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed
+        };
+        for r in 0..23 {
+            for c in 0..7 {
+                let v = next();
+                if v % 4 != 0 {
+                    dense.set(r, c, ((v >> 32) % 4 + 1) as f64 * 0.75);
+                }
+            }
+        }
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            for k in [1usize, 3, 8] {
+                // Row-major cols×k input panel.
+                let x_panel: Vec<f64> = (0..7 * k).map(|i| (i % 11) as f64 - 5.0).collect();
+                let mut y_panel = vec![0.0; 23 * k];
+                let mut w_panel = vec![0.0; cm.num_rules() * k];
+                super::right_multiply_batch(
+                    cm.seq_store(),
+                    cm.rule_store(),
+                    cm.values(),
+                    cm.first_nonterminal(),
+                    7,
+                    k,
+                    &x_panel,
+                    &mut y_panel,
+                    &mut w_panel,
+                );
+                for j in 0..k {
+                    let x: Vec<f64> = (0..7).map(|i| x_panel[i * k + j]).collect();
+                    let mut y = vec![0.0; 23];
+                    cm.right_multiply(&x, &mut y).unwrap();
+                    for (i, &yi) in y.iter().enumerate() {
+                        assert!(
+                            (y_panel[i * k + j] - yi).abs() < 1e-9,
+                            "{} right k={k} col={j}",
+                            enc.name()
+                        );
+                    }
+                }
+
+                let y_panel_in: Vec<f64> =
+                    (0..23 * k).map(|i| ((i * 5) % 9) as f64 - 4.0).collect();
+                let mut x_panel_out = vec![0.0; 7 * k];
+                super::left_multiply_batch(
+                    cm.seq_store(),
+                    cm.rule_store(),
+                    cm.values(),
+                    cm.first_nonterminal(),
+                    7,
+                    k,
+                    &y_panel_in,
+                    &mut x_panel_out,
+                    &mut w_panel,
+                );
+                for j in 0..k {
+                    let y: Vec<f64> = (0..23).map(|i| y_panel_in[i * k + j]).collect();
+                    let mut x = vec![0.0; 7];
+                    cm.left_multiply(&y, &mut x).unwrap();
+                    for (i, &xi) in x.iter().enumerate() {
+                        assert!(
+                            (x_panel_out[i * k + j] - xi).abs() < 1e-9,
+                            "{} left k={k} col={j}",
+                            enc.name()
+                        );
+                    }
                 }
             }
         }

@@ -122,7 +122,7 @@ pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
             RuleStore::Packed(IntVector::from_bytes(data, &mut pos)?)
         }
     };
-    if rules_len(&rules) % 2 != 0 {
+    if !rules_len(&rules).is_multiple_of(2) {
         return None;
     }
     let seq = match encoding {

@@ -209,8 +209,8 @@ fn airline(rng: &mut SmallRng, rows: usize) -> DenseMatrix {
     let mut m = DenseMatrix::zeros(rows, 29);
     for r in 0..rows {
         let t = &templates[zipf.sample(rng)];
-        for c in 0..29 {
-            m.set(r, c, t[c]);
+        for (c, &v) in t.iter().enumerate() {
+            m.set(r, c, v);
         }
         // Mutate a few columns (delays, times vary per flight).
         for _ in 0..3 {

@@ -19,7 +19,7 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// zlib): overlong codes are shortened to `max_len` and the Kraft deficit is
 /// repaid by lengthening the cheapest shorter codes.
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u32> {
-    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
     let n = freqs.len();
     let mut lengths = vec![0u32; n];
     let mut live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
@@ -342,7 +342,7 @@ mod tests {
             freqs.push(next);
         }
         let lengths = code_lengths(&freqs, 12);
-        assert!(lengths.iter().all(|&l| l <= 12 && l >= 1));
+        assert!(lengths.iter().all(|&l| (1..=12).contains(&l)));
         let kraft: u64 = lengths.iter().map(|&l| 1u64 << (12 - l)).sum();
         assert_eq!(kraft, 1u64 << 12);
         // Round-trip with the limited code.

@@ -133,7 +133,7 @@ impl IntVector {
             self.words[word] = (self.words[word] & !(mask << off)) | (value << off);
         } else {
             let lo_bits = 64 - off;
-            self.words[word] = (self.words[word] & !(mask << off)) | ((value << off) & u64::MAX);
+            self.words[word] = (self.words[word] & !(mask << off)) | (value << off);
             let hi_mask = mask >> lo_bits;
             self.words[word + 1] = (self.words[word + 1] & !hi_mask) | (value >> lo_bits);
         }

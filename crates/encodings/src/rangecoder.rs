@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn roundtrip_mixed_contexts() {
         let mut enc = RangeEncoder::new();
-        let mut probs = vec![Prob::new(); 16];
+        let mut probs = [Prob::new(); 16];
         let bits: Vec<(usize, u32)> = (0..50_000)
             .map(|i| {
                 let ctx = i % 16;
@@ -311,7 +311,7 @@ mod tests {
         }
         let data = enc.finish();
         let mut dec = RangeDecoder::new(&data);
-        let mut probs = vec![Prob::new(); 16];
+        let mut probs = [Prob::new(); 16];
         for &(ctx, bit) in &bits {
             assert_eq!(dec.decode_bit(&mut probs[ctx]), bit, "ctx {ctx}");
         }

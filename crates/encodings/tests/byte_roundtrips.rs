@@ -256,8 +256,8 @@ fn rangecoder_adversarial_bit_pattern_roundtrips() {
     // Long runs push the adaptive probability to saturation, then the
     // pattern flips — the classic carry/renormalisation stress shape.
     let mut bits = Vec::new();
-    bits.extend(std::iter::repeat(1u32).take(3000));
-    bits.extend(std::iter::repeat(0u32).take(3000));
+    bits.extend(std::iter::repeat_n(1u32, 3000));
+    bits.extend(std::iter::repeat_n(0u32, 3000));
     let mut rng = SmallRng::seed_from_u64(11);
     bits.extend((0..3000).map(|_| (rng.gen::<u64>() & 1) as u32));
 

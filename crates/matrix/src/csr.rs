@@ -141,13 +141,13 @@ impl CsrMatrix {
                 what: "y length",
             });
         }
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         Ok(())
     }
@@ -172,8 +172,7 @@ impl CsrMatrix {
             });
         }
         x.fill(0.0);
-        for r in 0..self.rows {
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }

@@ -296,6 +296,112 @@ impl CsrvMatrix {
         Ok(())
     }
 
+    /// Batched right multiplication `Y = M·X` for `k` right-hand sides in
+    /// one scan of `S`.
+    ///
+    /// `x_panel` is the row-major `cols × k` panel (row `j` holds the `k`
+    /// values of input coordinate `j`); `y_panel` is the row-major
+    /// `rows × k` output panel. One traversal of the symbol stream serves
+    /// the whole batch, which is what makes batching profitable.
+    ///
+    /// # Errors
+    /// Fails if the panel lengths do not match `cols·k` / `rows·k`.
+    pub fn right_multiply_panel(
+        &self,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        k: usize,
+    ) -> Result<(), MatrixError> {
+        if x_panel.len() != self.cols * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols * k,
+                actual: x_panel.len(),
+                what: "x panel length",
+            });
+        }
+        if y_panel.len() != self.rows * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows * k,
+                actual: y_panel.len(),
+                what: "y panel length",
+            });
+        }
+        y_panel.fill(0.0);
+        if k == 0 {
+            return Ok(());
+        }
+        let m = self.cols as u32;
+        let values = &self.values[..];
+        let mut r = 0usize;
+        for &s in &self.symbols {
+            if s == SEPARATOR {
+                r += 1;
+            } else {
+                let p = s - 1;
+                let (l, j) = ((p / m) as usize, (p % m) as usize);
+                let v = values[l];
+                let src = &x_panel[j * k..(j + 1) * k];
+                let dst = &mut y_panel[r * k..(r + 1) * k];
+                for (d, &xv) in dst.iter_mut().zip(src) {
+                    *d += v * xv;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched left multiplication `X = Mᵗ·Y` for `k` left-hand sides in
+    /// one scan of `S` (panels as in
+    /// [`right_multiply_panel`](Self::right_multiply_panel), with
+    /// `y_panel` the `rows × k` input and `x_panel` the `cols × k`
+    /// output).
+    ///
+    /// # Errors
+    /// Fails if the panel lengths do not match `rows·k` / `cols·k`.
+    pub fn left_multiply_panel(
+        &self,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        k: usize,
+    ) -> Result<(), MatrixError> {
+        if y_panel.len() != self.rows * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows * k,
+                actual: y_panel.len(),
+                what: "y panel length",
+            });
+        }
+        if x_panel.len() != self.cols * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols * k,
+                actual: x_panel.len(),
+                what: "x panel length",
+            });
+        }
+        x_panel.fill(0.0);
+        if k == 0 {
+            return Ok(());
+        }
+        let m = self.cols as u32;
+        let values = &self.values[..];
+        let mut r = 0usize;
+        for &s in &self.symbols {
+            if s == SEPARATOR {
+                r += 1;
+            } else {
+                let p = s - 1;
+                let (l, j) = ((p / m) as usize, (p % m) as usize);
+                let v = values[l];
+                let src = &y_panel[r * k..(r + 1) * k];
+                let dst = &mut x_panel[j * k..(j + 1) * k];
+                for (d, &yv) in dst.iter_mut().zip(src) {
+                    *d += v * yv;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Reorders the pairs of every row so columns appear in the order given
     /// by `order` (new position `k` holds old column `order[k]`).
     ///

@@ -93,6 +93,12 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Mutable access to the raw row-major buffer (used by the batched
+    /// kernels, which write whole `rows × k` panels in place).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// The raw buffer as little-endian bytes (what gzip/xz compress in
     /// Table 1).
     pub fn to_le_bytes(&self) -> Vec<u8> {
@@ -267,8 +273,8 @@ mod tests {
         let order = [4, 3, 2, 1, 0];
         let p = m.with_column_order(&order);
         for r in 0..m.rows() {
-            for c in 0..m.cols() {
-                assert_eq!(p.get(r, c), m.get(r, order[c]));
+            for (c, &old_c) in order.iter().enumerate() {
+                assert_eq!(p.get(r, c), m.get(r, old_c));
             }
         }
     }

@@ -130,8 +130,8 @@ pub fn mwm_order(graph: &SimilarityGraph) -> Vec<usize> {
     }
     // Any columns missed (can only happen under degenerate weights) are
     // appended to keep the permutation total.
-    for c in 0..m {
-        if !visited[c] {
+    for (c, &seen) in visited.iter().enumerate() {
+        if !seen {
             order.push(c);
         }
     }

@@ -81,8 +81,8 @@ fn chain_order(nodes: usize, neighbors: &[Vec<u32>]) -> Vec<usize> {
     }
     // Safety net: cycles cannot occur by construction, but make sure every
     // node is emitted.
-    for v in 0..nodes {
-        if !visited[v] {
+    for (v, &seen) in visited.iter().enumerate() {
+        if !seen {
             order.push(v);
         }
     }
@@ -162,7 +162,7 @@ pub fn path_cover_plus(graph: &SimilarityGraph) -> Vec<usize> {
                 *e = w;
             }
         }
-        for (&(i, j), _) in &comp_weight {
+        for &(i, j) in comp_weight.keys() {
             if degree[i as usize] >= 2 || degree[j as usize] >= 2 {
                 continue;
             }

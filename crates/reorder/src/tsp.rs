@@ -228,9 +228,9 @@ fn move_segment(
     let after_node = tour[after];
     // Rebuild the tour without the segment, then splice it back in.
     let mut rest = Vec::with_capacity(n - seg_len);
-    for p in 0..n {
+    for (p, &node) in tour.iter().enumerate() {
         if !within(seg_start, seg_len, p, n) {
-            rest.push(tour[p]);
+            rest.push(node);
         }
     }
     let mut out = Vec::with_capacity(n);

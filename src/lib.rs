@@ -70,7 +70,9 @@ pub mod prelude {
     };
     pub use gcm_datagen::Dataset;
     pub use gcm_encodings::HeapSize;
-    pub use gcm_matrix::{CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, RowBlocks};
+    pub use gcm_matrix::{
+        CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, RowBlocks, Workspace,
+    };
     pub use gcm_reorder::{
         canonical_row_order, frequency_row_order, reorder_blocks, reorder_columns, Csm, CsmConfig,
         ReorderAlgorithm,

@@ -147,6 +147,60 @@ fn grammar_beats_cla_on_census_like_data() {
     );
 }
 
+/// End-to-end batched serving loop: `Y = M·X` through the execution layer
+/// (one grammar traversal per batch, scratch from a reused workspace)
+/// equals the dense reference for every dataset × encoding, including the
+/// blocked backend and the parallel CSRV baseline.
+#[test]
+fn batched_serving_loop_matches_dense() {
+    let k = 6;
+    for ds in [Dataset::Census, Dataset::Covtype] {
+        let dense = ds.generate(250, 7);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cols = dense.cols();
+        let mut b = DenseMatrix::zeros(cols, k);
+        for i in 0..cols {
+            for j in 0..k {
+                b.set(i, j, ((i * k + j) % 11) as f64 * 0.25 - 1.0);
+            }
+        }
+        let want = dense.right_multiply_matrix(&b).unwrap();
+        let mut ws = Workspace::new();
+        let backends: Vec<(&str, Box<dyn MatVec>)> = vec![
+            ("csrv", Box::new(csrv.clone())),
+            ("parcsrv", Box::new(ParallelCsrv::split(&csrv, 4))),
+            (
+                "re_32",
+                Box::new(CompressedMatrix::compress(&csrv, Encoding::Re32)),
+            ),
+            (
+                "re_iv",
+                Box::new(CompressedMatrix::compress(&csrv, Encoding::ReIv)),
+            ),
+            (
+                "re_ans",
+                Box::new(CompressedMatrix::compress(&csrv, Encoding::ReAns)),
+            ),
+            (
+                "blocked",
+                Box::new(BlockedMatrix::compress(&csrv, Encoding::ReIv, 4)),
+            ),
+        ];
+        for (name, m) in &backends {
+            let mut out = DenseMatrix::zeros(250, k);
+            // Twice through the same workspace: the serving-loop pattern.
+            for _ in 0..2 {
+                m.right_multiply_matrix_into(&b, &mut out, &mut ws).unwrap();
+            }
+            assert_close(
+                want.as_slice(),
+                out.as_slice(),
+                &format!("{ds:?} {name} batched right"),
+            );
+        }
+    }
+}
+
 #[test]
 fn byte_compressors_roundtrip_dataset_payloads() {
     use mm_repair::baselines::{gzipish, xzish};

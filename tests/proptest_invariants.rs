@@ -104,6 +104,61 @@ proptest! {
         }
     }
 
+    /// The batched multi-vector product must equal `k` independent
+    /// `right_multiply` calls (and the left-multiply analogue) for all
+    /// three encodings — the defining property of the batch kernels.
+    #[test]
+    fn batched_product_equals_independent_calls(
+        (m, k) in matrix_strategy().prop_flat_map(|m| (Just(m), 1usize..9)),
+    ) {
+        let csrv = CsrvMatrix::from_dense(&m).unwrap();
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut b = DenseMatrix::zeros(cols, k);
+        for i in 0..cols {
+            for j in 0..k {
+                b.set(i, j, ((i * k + j) % 13) as f64 * 0.5 - 3.0);
+            }
+        }
+        let mut by = DenseMatrix::zeros(rows, k);
+        for i in 0..rows {
+            for j in 0..k {
+                by.set(i, j, ((i + 3 * j) % 7) as f64 - 2.0);
+            }
+        }
+        let mut ws = Workspace::new();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+
+            let mut out = DenseMatrix::zeros(rows, k);
+            cm.right_multiply_matrix_into(&b, &mut out, &mut ws).unwrap();
+            for j in 0..k {
+                let x: Vec<f64> = (0..cols).map(|i| b.get(i, j)).collect();
+                let mut y = vec![0.0; rows];
+                cm.right_multiply(&x, &mut y).unwrap();
+                for (i, &yi) in y.iter().enumerate() {
+                    prop_assert!(
+                        (out.get(i, j) - yi).abs() < 1e-9,
+                        "{} right k={} col={}", enc.name(), k, j
+                    );
+                }
+            }
+
+            let mut outl = DenseMatrix::zeros(cols, k);
+            cm.left_multiply_matrix_into(&by, &mut outl, &mut ws).unwrap();
+            for j in 0..k {
+                let y: Vec<f64> = (0..rows).map(|i| by.get(i, j)).collect();
+                let mut x = vec![0.0; cols];
+                cm.left_multiply(&y, &mut x).unwrap();
+                for (i, &xi) in x.iter().enumerate() {
+                    prop_assert!(
+                        (outl.get(i, j) - xi).abs() < 1e-9,
+                        "{} left k={} col={}", enc.name(), k, j
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn reordering_is_permutation_preserving_mvm(
         m in matrix_strategy(),

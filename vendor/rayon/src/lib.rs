@@ -1,0 +1,513 @@
+//! Offline, API-compatible subset of the `rayon` crate: a **persistent
+//! scoped thread pool**.
+//!
+//! The build environment has no network access, so this vendored stand-in
+//! provides the part of rayon's surface the workspace needs — a global
+//! pool plus explicit [`ThreadPool`]s with [`scope`]/[`Scope::spawn`] —
+//! with none of rayon's work stealing, parallel iterators, or join
+//! primitives. Swap it for the real crate if registry access ever
+//! appears: every API here (except the two introspection helpers noted
+//! below) is a drop-in subset of rayon's.
+//!
+//! Why it exists at all: the multiplication hot paths used to
+//! `std::thread::scope`-spawn fresh OS threads on *every* multiply, which
+//! is exactly the per-call overhead a serving loop cannot afford. Workers
+//! here are spawned once (lazily, on first use for the global pool) and
+//! blocked on a condvar between multiplications.
+//!
+//! Extensions over real rayon, used only by tests and diagnostics:
+//!
+//! * [`threads_ever_spawned`] — a process-wide counter of OS threads ever
+//!   started by any pool, which lets tests assert that repeated
+//!   multiplications do **not** spawn per-call threads;
+//! * [`global_pool`] — direct access to the lazily-built global pool.
+//!
+//! # Panics
+//!
+//! A panic inside a spawned closure is caught on the worker (so the
+//! worker survives for the next job) and re-raised from the enclosing
+//! [`scope`] call on the caller's thread, mirroring rayon's behaviour.
+//! If several closures panic, one payload is propagated and the rest are
+//! dropped.
+//!
+//! # Deadlock caveat
+//!
+//! Like rayon, waiting on a scope from *inside* a pool job of the same
+//! pool can deadlock if every worker is blocked the same way. The caller
+//! thread helps drain the queue while it waits, so the common pattern —
+//! scopes opened from non-pool threads — cannot deadlock even on a pool
+//! with a single worker.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-wide count of OS threads ever spawned by any [`ThreadPool`].
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Total OS threads ever spawned by pools in this process (extension over
+/// real rayon; lets tests verify that multiplications reuse workers).
+pub fn threads_ever_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    job_ready: Condvar,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("pool mutex poisoned");
+        st.queue.push_back(job);
+        drop(st);
+        self.job_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.state
+            .lock()
+            .expect("pool mutex poisoned")
+            .queue
+            .pop_front()
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.job_ready.wait(st).expect("pool mutex poisoned");
+            }
+        };
+        // Scope jobs catch their own panics; a raw panic would only kill
+        // this worker, never poison the queue.
+        job();
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (for rayon API
+/// compatibility; building this pool cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default thread count (`RAYON_NUM_THREADS` if set
+    /// and positive, otherwise the machine's available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its workers immediately.
+    ///
+    /// # Errors
+    /// Never fails; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+                thread::Builder::new()
+                    .name(format!("gcm-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Ok(ThreadPool {
+            shared,
+            workers,
+            num_threads: n,
+        })
+    }
+}
+
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A persistent pool of worker threads. Workers are spawned once at
+/// construction and parked between jobs; dropping the pool joins them.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with a [`Scope`] on which borrowing closures can be
+    /// spawned; returns once `op` *and* every spawned closure finished.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let sync = Arc::new(ScopeSync {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = Scope {
+            pool: Arc::clone(&self.shared),
+            sync: Arc::clone(&sync),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        self.wait_scope(&sync);
+        let job_panic = sync.panic.lock().expect("scope mutex poisoned").take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = job_panic {
+                    resume_unwind(payload);
+                }
+                r
+            }
+        }
+    }
+
+    /// Blocks until `sync.pending` drops to zero, helping to drain the
+    /// queue so a scope completes even when every worker is busy.
+    fn wait_scope(&self, sync: &ScopeSync) {
+        loop {
+            if *sync.pending.lock().expect("scope mutex poisoned") == 0 {
+                return;
+            }
+            match self.shared.try_pop() {
+                Some(job) => job(),
+                None => {
+                    // Remaining jobs are running on workers. Sleep until
+                    // any job of this scope completes, then loop back to
+                    // helping: a running job may have nest-spawned new
+                    // work that would otherwise be stranded in the queue
+                    // (job_done signals every decrement, not just the
+                    // last, precisely so this wakes up).
+                    let pending = sync.pending.lock().expect("scope mutex poisoned");
+                    if *pending != 0 {
+                        drop(sync.all_done.wait(pending).expect("scope mutex poisoned"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ScopeSync {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeSync {
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope mutex poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    fn job_done(&self) {
+        let mut pending = self.pending.lock().expect("scope mutex poisoned");
+        *pending -= 1;
+        // Notify on *every* completion, not only the last: a scope waiter
+        // parked in `wait_scope` must wake to pick up jobs that were
+        // nest-spawned after it went to sleep.
+        self.all_done.notify_all();
+    }
+}
+
+/// Handle for spawning borrowing closures inside a [`ThreadPool::scope`]
+/// (or the global [`scope`]) call.
+pub struct Scope<'scope> {
+    pool: Arc<PoolShared>,
+    sync: Arc<ScopeSync>,
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. The closure may borrow from the
+    /// enclosing scope; the scope call does not return until it finishes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        {
+            let mut pending = self.sync.pending.lock().expect("scope mutex poisoned");
+            *pending += 1;
+        }
+        let pool = Arc::clone(&self.pool);
+        let sync = Arc::clone(&self.sync);
+        let f: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(f);
+        // SAFETY: the closure only changes its *lifetime* parameter, never
+        // its layout, and `ThreadPool::scope` blocks until `pending` hits
+        // zero before returning, so every borrow captured by `f` outlives
+        // its execution (the standard scoped-thread-pool argument).
+        let f: Box<dyn FnOnce(&Scope<'static>) + Send + 'static> =
+            unsafe { std::mem::transmute(f) };
+        let job: Job = Box::new(move || {
+            let inner = Scope {
+                pool: Arc::clone(&pool),
+                sync: Arc::clone(&sync),
+                _marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&inner))) {
+                sync.record_panic(payload);
+            }
+            sync.job_done();
+        });
+        self.pool.push(job);
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The lazily-built global pool (extension over real rayon, which hides
+/// it behind free functions).
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build global pool")
+    })
+}
+
+/// Number of workers in the global pool.
+pub fn current_num_threads() -> usize {
+    global_pool().current_num_threads()
+}
+
+/// Runs `op` with a scope on the **global** pool; see
+/// [`ThreadPool::scope`].
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    global_pool().scope(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_borrowing_closures() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = vec![0u64; 16];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        });
+        let expect: Vec<u64> = (1..=16).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn scope_returns_value_and_waits() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicU64::new(0);
+        let r = pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            "done"
+        });
+        assert_eq!(r, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_scopes() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let spawned = threads_ever_spawned();
+        for round in 0..100 {
+            let total = AtomicU64::new(0);
+            let total_ref = &total;
+            pool.scope(|s| {
+                for i in 0..8u64 {
+                    s.spawn(move |_| {
+                        total_ref.fetch_add(i + round, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 28 + 8 * round);
+        }
+        assert_eq!(
+            threads_ever_spawned(),
+            spawned,
+            "scopes must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn nested_spawn_from_job() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|inner| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                inner.spawn(|_| {
+                    counter.fetch_add(10, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn concurrent_scopes_with_nested_spawns_do_not_deadlock() {
+        // Regression: a scope waiter that had gone to sleep on `all_done`
+        // must wake on every job completion and resume helping, or jobs
+        // nest-spawned after it slept can be stranded forever.
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(1).build().unwrap());
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let total = &total;
+                        pool.scope(|s| {
+                            s.spawn(move |inner| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                                inner.spawn(move |inner2| {
+                                    total.fetch_add(1, Ordering::SeqCst);
+                                    inner2.spawn(move |_| {
+                                        total.fetch_add(1, Ordering::SeqCst);
+                                    });
+                                });
+                            });
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 3 * 50 * 3);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The worker that caught the panic is still alive and usable.
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn global_scope_works() {
+        let mut out = [0u32; 4];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 * 2);
+            }
+        });
+        assert_eq!(out, [0, 2, 4, 6]);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let r = pool.scope(|_| 7);
+        assert_eq!(r, 7);
+    }
+}
