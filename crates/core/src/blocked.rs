@@ -19,7 +19,7 @@
 //! the output panel.
 
 use gcm_encodings::HeapSize;
-use gcm_matrix::matvec::{check_left_batch, check_right_batch};
+use gcm_matrix::matvec::{check_left_batch, check_panels, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, RowBlocks, Workspace};
 use gcm_repair::RePairConfig;
 
@@ -243,6 +243,59 @@ impl BlockedMatrix {
     ) -> Result<(), MatrixError> {
         self.check_left(y, x)?;
         self.left_panel_par(1, y, x, ws);
+        Ok(())
+    }
+
+    /// Batched right product over explicit row-major `k`-wide panel
+    /// slices (`x_panel` is `cols × k`, `y_panel` is `rows × k`): the
+    /// serve-layer entry point, which hands shards raw sub-panels of a
+    /// larger output without wrapping them in a `DenseMatrix`. Runs
+    /// parallel across blocks when the matrix was built with more than
+    /// one.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn right_multiply_panel_into(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 {
+            return Ok(());
+        }
+        if self.threads > 1 {
+            self.right_panel_par(k, x_panel, y_panel, ws);
+        } else {
+            self.right_panel_seq(k, x_panel, y_panel, ws);
+        }
+        Ok(())
+    }
+
+    /// Batched left product over explicit row-major panel slices
+    /// (`y_panel` is `rows × k`, `x_panel` is `cols × k`); see
+    /// [`right_multiply_panel_into`](Self::right_multiply_panel_into).
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn left_multiply_panel_into(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 {
+            return Ok(());
+        }
+        if self.threads > 1 {
+            self.left_panel_par(k, y_panel, x_panel, ws);
+        } else {
+            self.left_panel_seq(k, y_panel, x_panel, ws);
+        }
         Ok(())
     }
 

@@ -116,6 +116,11 @@ impl CompressedMatrix {
             }
             if s == SEPARATOR {
                 seps += 1;
+            } else if seps >= rows {
+                // Every row ends with `$`, so no pair may trail the final
+                // separator — the left kernels index `y[row]` per pair and
+                // would run out of bounds otherwise.
+                ok = false;
             }
         });
         if !ok || seps != rows {

@@ -11,6 +11,18 @@
 //! C: IntVector bytes / raw u32 LE / RansSequence bytes
 //! ```
 //!
+//! and a **v2 bundle** extending it with the row-block structure of §4.1
+//! and reorder-permutation metadata of §5 — what the serve layer persists
+//! so a model survives restarts with its parallel layout and provenance:
+//!
+//! ```text
+//! magic "GCMMAT2\0"  | encoding tag u8 | varint cols
+//! varint order_len (+ order as u32 LE)      -- 0 = no column reorder
+//! varint |V| + V as little-endian f64       -- dictionary shared by all blocks
+//! varint num_blocks
+//! per block: varint rows | R bytes | C bytes
+//! ```
+//!
 //! Deserialisation is validating: truncated or corrupt input yields
 //! `None`, never a panic or an out-of-bounds grammar.
 
@@ -50,16 +62,7 @@ fn write_u32s(out: &mut Vec<u8>, values: &[u32]) {
 
 fn read_u32s(data: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
     let n = varint::read_u64(data, pos)? as usize;
-    let need = n.checked_mul(4)?;
-    if *pos + need > data.len() {
-        return None;
-    }
-    let out = data[*pos..*pos + need]
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
-    *pos += need;
-    Some(out)
+    read_exact_u32s(data, pos, n)
 }
 
 /// Serialises a compressed matrix to bytes.
@@ -74,15 +77,7 @@ pub fn to_bytes(m: &CompressedMatrix) -> Vec<u8> {
     for &v in m.values() {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    match m.rule_store() {
-        RuleStore::Raw(v) => write_u32s(&mut out, v),
-        RuleStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
-    }
-    match m.seq_store() {
-        SeqStore::Raw(v) => write_u32s(&mut out, v),
-        SeqStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
-        SeqStore::Ans(r) => out.extend_from_slice(&r.to_bytes()),
-    }
+    write_stores(&mut out, m);
     out
 }
 
@@ -93,43 +88,34 @@ pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
     }
     let encoding = tag_encoding(data[8])?;
     let mut pos = 9usize;
-    let rows = varint::read_u64(data, &mut pos)? as usize;
-    let cols = varint::read_u64(data, &mut pos)? as usize;
+    let rows = varint::read_u64(data, &mut pos)?;
+    let cols = varint::read_u64(data, &mut pos)?;
+    if rows > u64::from(u32::MAX) || cols > u64::from(u32::MAX) {
+        // The kernels address columns (and rows via separators) as u32;
+        // larger headers can only be forged.
+        return None;
+    }
+    let (rows, cols) = (rows as usize, cols as usize);
     let first_nt = varint::read_u32(data, &mut pos)?;
     let n_values = varint::read_u64(data, &mut pos)? as usize;
     let need = n_values.checked_mul(8)?;
-    if pos + need > data.len() {
-        return None;
-    }
-    let values: Vec<f64> = data[pos..pos + need]
+    let end = pos.checked_add(need).filter(|&e| e <= data.len())?;
+    let values: Vec<f64> = data[pos..end]
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect();
-    pos += need;
+    pos = end;
     // Sanity: the terminal alphabet must match the header.
     if cols == 0 && n_values > 0 {
         return None;
     }
     if cols > 0 {
-        let expect = 1u64 + n_values as u64 * cols as u64;
+        let expect = (n_values as u64).checked_mul(cols as u64)?.checked_add(1)?;
         if expect != first_nt as u64 {
             return None;
         }
     }
-    let rules = match encoding {
-        Encoding::Re32 => RuleStore::Raw(read_u32s(data, &mut pos)?),
-        Encoding::ReIv | Encoding::ReAns => {
-            RuleStore::Packed(IntVector::from_bytes(data, &mut pos)?)
-        }
-    };
-    if !rules_len(&rules).is_multiple_of(2) {
-        return None;
-    }
-    let seq = match encoding {
-        Encoding::Re32 => SeqStore::Raw(read_u32s(data, &mut pos)?),
-        Encoding::ReIv => SeqStore::Packed(IntVector::from_bytes(data, &mut pos)?),
-        Encoding::ReAns => SeqStore::Ans(RansSequence::from_bytes(data, &mut pos)?),
-    };
+    let (rules, seq) = read_stores(data, &mut pos, encoding)?;
     CompressedMatrix::from_raw_parts(rows, cols, Arc::new(values), first_nt, encoding, seq, rules)
 }
 
@@ -138,6 +124,186 @@ fn rules_len(r: &RuleStore) -> usize {
         RuleStore::Raw(v) => v.len(),
         RuleStore::Packed(iv) => iv.len(),
     }
+}
+
+const MAGIC_V2: &[u8; 8] = b"GCMMAT2\0";
+
+fn write_stores(out: &mut Vec<u8>, m: &CompressedMatrix) {
+    match m.rule_store() {
+        RuleStore::Raw(v) => write_u32s(out, v),
+        RuleStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
+    }
+    match m.seq_store() {
+        SeqStore::Raw(v) => write_u32s(out, v),
+        SeqStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
+        SeqStore::Ans(r) => out.extend_from_slice(&r.to_bytes()),
+    }
+}
+
+fn read_stores(data: &[u8], pos: &mut usize, encoding: Encoding) -> Option<(RuleStore, SeqStore)> {
+    let rules = match encoding {
+        Encoding::Re32 => RuleStore::Raw(read_u32s(data, pos)?),
+        Encoding::ReIv | Encoding::ReAns => RuleStore::Packed(IntVector::from_bytes(data, pos)?),
+    };
+    if !rules_len(&rules).is_multiple_of(2) {
+        return None;
+    }
+    let seq = match encoding {
+        Encoding::Re32 => SeqStore::Raw(read_u32s(data, pos)?),
+        Encoding::ReIv => SeqStore::Packed(IntVector::from_bytes(data, pos)?),
+        Encoding::ReAns => SeqStore::Ans(RansSequence::from_bytes(data, pos)?),
+    };
+    Some((rules, seq))
+}
+
+/// Serialises row blocks (sharing one value dictionary) plus optional
+/// column-reorder metadata as a v2 bundle. A single-element slice is the
+/// plain-matrix case; more elements persist a [`crate::BlockedMatrix`]'s
+/// layout.
+///
+/// # Panics
+/// Panics if `blocks` is empty, if the blocks disagree on encoding,
+/// column count, or value dictionary, or if `col_order` is not a
+/// permutation of the columns.
+pub fn bundle_to_bytes(blocks: &[CompressedMatrix], col_order: Option<&[u32]>) -> Vec<u8> {
+    let first = blocks.first().expect("bundle needs at least one block");
+    let encoding = first.encoding();
+    let cols = first.cols();
+    for b in blocks {
+        assert_eq!(b.encoding(), encoding, "bundle blocks disagree on encoding");
+        assert_eq!(b.cols(), cols, "bundle blocks disagree on columns");
+        assert_eq!(b.values(), first.values(), "bundle blocks disagree on V");
+    }
+    if let Some(order) = col_order {
+        assert!(
+            is_permutation(order, cols),
+            "col_order is not a permutation"
+        );
+    }
+    let total: usize = blocks.iter().map(|b| b.stored_bytes()).sum();
+    let mut out = Vec::with_capacity(total + 64);
+    out.extend_from_slice(MAGIC_V2);
+    out.push(encoding_tag(encoding));
+    varint::write_u64(&mut out, cols as u64);
+    let order = col_order.unwrap_or(&[]);
+    varint::write_u64(&mut out, order.len() as u64);
+    for &c in order {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    varint::write_u64(&mut out, first.values().len() as u64);
+    for &v in first.values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    varint::write_u64(&mut out, blocks.len() as u64);
+    for b in blocks {
+        varint::write_u64(&mut out, b.rows() as u64);
+        write_stores(&mut out, b);
+    }
+    out
+}
+
+/// Deserialises a v2 bundle into its row blocks (sharing one `Arc`'d
+/// dictionary, like [`crate::BlockedMatrix`] builds them) and the
+/// column-reorder metadata. Returns `None` on malformed input; every
+/// block passes the full structural validation of
+/// [`CompressedMatrix::from_raw_parts`].
+#[allow(clippy::type_complexity)]
+pub fn bundle_from_bytes(data: &[u8]) -> Option<(Vec<CompressedMatrix>, Option<Vec<u32>>)> {
+    if data.len() < 9 || &data[..8] != MAGIC_V2 {
+        return None;
+    }
+    let encoding = tag_encoding(data[8])?;
+    let mut pos = 9usize;
+    let cols = varint::read_u64(data, &mut pos)?;
+    if cols > u64::from(u32::MAX) {
+        // The kernels address columns as u32; larger is forged.
+        return None;
+    }
+    let cols = cols as usize;
+    let order_len = varint::read_u64(data, &mut pos)? as usize;
+    let col_order = if order_len == 0 {
+        None
+    } else {
+        if order_len != cols {
+            return None;
+        }
+        let order = read_exact_u32s(data, &mut pos, order_len)?;
+        if !is_permutation(&order, cols) {
+            return None;
+        }
+        Some(order)
+    };
+    let n_values = varint::read_u64(data, &mut pos)? as usize;
+    let need = n_values.checked_mul(8)?;
+    let end = pos.checked_add(need).filter(|&e| e <= data.len())?;
+    let values: Vec<f64> = data[pos..end]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    pos = end;
+    // The terminal alphabet is derived from the header, as in v1.
+    if cols == 0 && n_values > 0 {
+        return None;
+    }
+    let first_nt = (n_values as u64).checked_mul(cols as u64)?.checked_add(1)?;
+    let first_nt = u32::try_from(first_nt).ok()?;
+    let num_blocks = varint::read_u64(data, &mut pos)? as usize;
+    // Each block needs at least a row varint and two store headers
+    // (three bytes), which bounds the claimable block count by the
+    // remaining payload — and the upfront reservation with it.
+    if num_blocks == 0 || num_blocks > data.len().saturating_sub(pos) / 3 + 1 {
+        return None;
+    }
+    let values = Arc::new(values);
+    let mut blocks = Vec::with_capacity(num_blocks);
+    for _ in 0..num_blocks {
+        let rows = varint::read_u64(data, &mut pos)? as usize;
+        let (rules, seq) = read_stores(data, &mut pos, encoding)?;
+        blocks.push(CompressedMatrix::from_raw_parts(
+            rows,
+            cols,
+            Arc::clone(&values),
+            first_nt,
+            encoding,
+            seq,
+            rules,
+        )?);
+    }
+    Some((blocks, col_order))
+}
+
+/// Reads exactly `n` little-endian u32s, advancing `pos`; `None` on
+/// truncation or length overflow. Shared by every container reader that
+/// embeds u32 arrays (the serve layer included) so untrusted-input
+/// hardening lives in one place.
+pub fn read_exact_u32s(data: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u32>> {
+    let need = n.checked_mul(4)?;
+    let end = pos.checked_add(need).filter(|&e| e <= data.len())?;
+    let out = data[*pos..end]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    *pos = end;
+    Some(out)
+}
+
+/// Whether `order` is a permutation of `0..cols` (the validity test for
+/// deserialised column-reorder metadata).
+pub fn is_permutation(order: &[u32], cols: usize) -> bool {
+    if order.len() != cols {
+        return false;
+    }
+    let mut seen = vec![false; cols];
+    for &c in order {
+        let Some(slot) = seen.get_mut(c as usize) else {
+            return false;
+        };
+        if *slot {
+            return false;
+        }
+        *slot = true;
+    }
+    true
 }
 
 #[cfg(test)]
@@ -228,5 +394,71 @@ mod tests {
         let back = from_bytes(&bytes).unwrap();
         assert_eq!(back.rows(), 3);
         assert_eq!(back.decompress_symbols(), csrv.symbols());
+    }
+
+    #[test]
+    fn bundle_roundtrips_blocked_layout_all_encodings() {
+        use crate::blocked::BlockedMatrix;
+        let csrv = sample();
+        let order: Vec<u32> = (0..7).rev().collect();
+        for enc in Encoding::ALL {
+            let bm = BlockedMatrix::compress(&csrv, enc, 4);
+            let bytes = bundle_to_bytes(bm.blocks(), Some(&order));
+            let (blocks, back_order) = bundle_from_bytes(&bytes).expect("bundle");
+            assert_eq!(back_order.as_deref(), Some(&order[..]), "{}", enc.name());
+            assert_eq!(blocks.len(), bm.num_blocks());
+            let back = BlockedMatrix::from_blocks(blocks, csrv.cols());
+            let x: Vec<f64> = (0..7).map(|i| i as f64 * 0.5 - 1.0).collect();
+            let mut y_a = vec![0.0; 40];
+            let mut y_b = vec![0.0; 40];
+            bm.right_multiply_seq(&x, &mut y_a).unwrap();
+            back.right_multiply_seq(&x, &mut y_b).unwrap();
+            assert_eq!(y_a, y_b, "{}", enc.name());
+        }
+    }
+
+    #[test]
+    fn bundle_single_block_equals_matrix() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let bytes = bundle_to_bytes(std::slice::from_ref(&cm), None);
+        let (blocks, order) = bundle_from_bytes(&bytes).unwrap();
+        assert!(order.is_none());
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].decompress_symbols(), cm.decompress_symbols());
+    }
+
+    #[test]
+    fn bundle_blocks_share_one_dictionary_arc() {
+        use crate::blocked::BlockedMatrix;
+        let csrv = sample();
+        let bm = BlockedMatrix::compress(&csrv, Encoding::Re32, 3);
+        let bytes = bundle_to_bytes(bm.blocks(), None);
+        let (blocks, _) = bundle_from_bytes(&bytes).unwrap();
+        for pair in blocks.windows(2) {
+            assert!(std::ptr::eq(
+                pair[0].values().as_ptr(),
+                pair[1].values().as_ptr()
+            ));
+        }
+    }
+
+    #[test]
+    fn bundle_rejects_bad_order_and_truncation() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let order: Vec<u32> = (0..7).collect();
+        let bytes = bundle_to_bytes(std::slice::from_ref(&cm), Some(&order));
+        // Corrupt one order entry into a duplicate: no longer a permutation.
+        let mut bad = bytes.clone();
+        // Order entries start right after magic(8) + tag(1) + cols varint(1)
+        // + order_len varint(1) = offset 11.
+        bad[11..15].copy_from_slice(&1u32.to_le_bytes());
+        bad[15..19].copy_from_slice(&1u32.to_le_bytes());
+        assert!(bundle_from_bytes(&bad).is_none());
+        for cut in [8, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(bundle_from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        assert!(bundle_from_bytes(b"GCMMAT2\0").is_none());
     }
 }

@@ -291,20 +291,17 @@ impl RansSequence {
             }
         }
         let n_words = varint::read_u64(data, pos)? as usize;
-        if *pos + n_words * 4 > data.len() {
-            return None;
-        }
-        let words: Vec<u32> = data[*pos..*pos + n_words * 4]
+        let need = n_words.checked_mul(4)?;
+        let end = pos.checked_add(need).filter(|&e| e <= data.len())?;
+        let words: Vec<u32> = data[*pos..end]
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        *pos += n_words * 4;
+        *pos = end;
         let n_extra = varint::read_u64(data, pos)? as usize;
-        if *pos + n_extra > data.len() {
-            return None;
-        }
-        let extra = data[*pos..*pos + n_extra].to_vec();
-        *pos += n_extra;
+        let end = pos.checked_add(n_extra).filter(|&e| e <= data.len())?;
+        let extra = data[*pos..end].to_vec();
+        *pos = end;
         if len > 0 && words.len() < 2 {
             return None;
         }
@@ -381,8 +378,18 @@ impl Iterator for RansDecoder<'_> {
         let c = self.seq.cum[b] as u64;
         self.x = f * (self.x >> params.scale_bits) + (self.x & mask) - c;
         while self.x < RANS_L {
-            let w = *self.words.next().expect("rANS stream truncated") as u64;
-            self.x = (self.x << 32) | w;
+            // A well-formed stream always has a renormalisation word
+            // here. A corrupt one (which can reach a decoder through a
+            // mutated container that passed the static header checks)
+            // must not panic a serving kernel: keep decoding
+            // deterministically on an under-renormalised state. The
+            // output is garbage but stays bounded, and the container
+            // validation layer rejects it when symbol ranges or
+            // separator counts no longer line up.
+            match self.words.next() {
+                Some(&w) => self.x = (self.x << 32) | w as u64,
+                None => break,
+            }
         }
         Some(params.unfold(b as u32, &mut self.extra))
     }
@@ -539,6 +546,21 @@ mod tests {
         bytes.truncate(bytes.len() / 2);
         let mut pos = 0;
         assert!(RansSequence::from_bytes(&bytes, &mut pos).is_none());
+    }
+
+    #[test]
+    fn truncated_word_stream_decodes_without_panicking() {
+        // A corrupted container can hand the decoder fewer
+        // renormalisation words than the state machine wants; decoding
+        // must stay total (garbage output is fine, panics are not).
+        let data: Vec<u32> = (0..2000).map(|i| i * 31 % 700).collect();
+        let seq = RansSequence::encode(&data);
+        for keep in [2usize, 3, seq.words.len().saturating_sub(1)] {
+            let mut crippled = seq.clone();
+            crippled.words.truncate(keep.min(crippled.words.len()));
+            let out = crippled.to_vec();
+            assert_eq!(out.len(), data.len(), "keep={keep}");
+        }
     }
 
     #[test]

@@ -244,6 +244,37 @@ pub fn check_left_batch(
     Ok(())
 }
 
+/// Validates row-major panel slice lengths for a `rows × cols` operator
+/// with batch width `k`: `x_panel` must hold `cols·k` values and
+/// `y_panel` `rows·k`. Shared by every backend exposing raw panel-slice
+/// entry points (`BlockedMatrix`, `ParallelCsrv`, the serve layer).
+///
+/// # Errors
+/// Fails on either length mismatch.
+pub fn check_panels(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    x_len: usize,
+    y_len: usize,
+) -> Result<(), MatrixError> {
+    if x_len != cols * k {
+        return Err(MatrixError::DimensionMismatch {
+            expected: cols * k,
+            actual: x_len,
+            what: "x panel length",
+        });
+    }
+    if y_len != rows * k {
+        return Err(MatrixError::DimensionMismatch {
+            expected: rows * k,
+            actual: y_len,
+            what: "y panel length",
+        });
+    }
+    Ok(())
+}
+
 impl MatVec for DenseMatrix {
     fn rows(&self) -> usize {
         DenseMatrix::rows(self)

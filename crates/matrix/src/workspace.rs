@@ -69,6 +69,26 @@ impl Workspace {
         self.free.push(buf);
     }
 
+    /// Pre-grows the free list so that any subsequent `take`/`put`
+    /// sequence holding at most `count` buffers at once, each of at most
+    /// `max_len` elements, performs **no heap allocation** — including
+    /// on its very first iteration.
+    ///
+    /// The serve layer calls this when a model is loaded, so a freshly
+    /// restarted server is allocation-free from the first request rather
+    /// than from the second (the warm-up a cold `Workspace` otherwise
+    /// needs).
+    pub fn warm(&mut self, count: usize, max_len: usize) {
+        while self.free.len() < count {
+            self.free.push(Vec::new());
+        }
+        for buf in self.free.iter_mut() {
+            if buf.capacity() < max_len {
+                buf.reserve(max_len - buf.len());
+            }
+        }
+    }
+
     /// Number of buffers currently parked in the free list.
     pub fn retained_buffers(&self) -> usize {
         self.free.len()
@@ -137,6 +157,39 @@ mod tests {
         assert_eq!(buf.len(), 64);
         assert_eq!(buf.capacity(), cap);
         ws.put(buf);
+    }
+
+    #[test]
+    fn warm_makes_first_take_sequence_allocation_free() {
+        let mut ws = Workspace::new();
+        ws.warm(3, 256);
+        assert_eq!(ws.retained_buffers(), 3);
+        assert!(ws.retained_bytes() >= 3 * 256 * 8);
+        // Any take/put pattern within the warmed budget reuses the same
+        // allocations (pointer-stable), even on the first iteration.
+        let a = ws.take(256);
+        let b = ws.take(100);
+        let c = ws.take(1);
+        let ptrs = [a.as_ptr(), b.as_ptr(), c.as_ptr()];
+        let caps = [a.capacity(), b.capacity(), c.capacity()];
+        ws.put(c);
+        ws.put(b);
+        ws.put(a);
+        for _ in 0..4 {
+            let a = ws.take(199);
+            let b = ws.take(256);
+            let c = ws.take(7);
+            assert!(ptrs.contains(&a.as_ptr()));
+            assert!(ptrs.contains(&b.as_ptr()));
+            assert!(ptrs.contains(&c.as_ptr()));
+            assert!(caps.contains(&a.capacity()));
+            ws.put(a);
+            ws.put(b);
+            ws.put(c);
+        }
+        // Warming an already-warm workspace is idempotent.
+        ws.warm(3, 128);
+        assert_eq!(ws.retained_buffers(), 3);
     }
 
     #[test]

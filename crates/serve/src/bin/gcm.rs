@@ -1,0 +1,540 @@
+//! `gcm` — the model-store command line: build, persist, inspect, and
+//! serve sharded grammar-compressed matrices.
+//!
+//! ```text
+//! gcm gen <dataset> <rows> <out.txt> [--seed S]
+//! gcm compress <in.txt> <out.gcms> [--backend B] [--encoding E]
+//!              [--shards N] [--blocks B] [--reorder ALGO]
+//! gcm inspect <model.gcms>
+//! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
+//! gcm selftest [--rows R] [--cols C] [--shards N]
+//! ```
+//!
+//! Backends: `csrv`, `parcsrv`, `compressed` (default), `blocked`.
+//! Encodings: `re_32`, `re_iv`, `re_ans` (default).
+//! Reorder algorithms: `pathcover`, `pathcover+`, `mwm`, `lkh`.
+//!
+//! `multiply` defaults to the all-ones input; with `--batch K` the input
+//! is a `cols × K` (or `rows × K` for `--left`) dense text panel read
+//! from `--vector`, or all-ones when omitted. `selftest` drives the full
+//! pipeline — generate, compress to a temp container for every backend,
+//! reload, multiply sharded — and exits non-zero unless every product
+//! matches the dense oracle to 1e-9; CI runs it so the end-to-end path
+//! gates every change.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::Path;
+use std::process::ExitCode;
+
+use gcm_core::Encoding;
+use gcm_datagen::Dataset;
+use gcm_matrix::io as mio;
+use gcm_matrix::{DenseMatrix, MatVec};
+use gcm_reorder::ReorderAlgorithm;
+use gcm_serve::{Backend, BuildOptions, ShardTable, ShardedModel};
+
+/// `println!` that tolerates a closed stdout (e.g. piped through
+/// `head`) instead of panicking on the broken pipe.
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, $($arg)*);
+    }};
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         gcm gen <dataset> <rows> <out.txt> [--seed S]\n  \
+         gcm compress <in.txt> <out.gcms> [--backend csrv|parcsrv|compressed|blocked]\n               \
+         [--encoding re_32|re_iv|re_ans] [--shards N] [--blocks B]\n               \
+         [--reorder pathcover|pathcover+|mwm|lkh]\n  \
+         gcm inspect <model.gcms>\n  \
+         gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n  \
+         gcm selftest [--rows R] [--cols C] [--shards N]\n\n\
+         datasets: susy higgs airline78 covtype census optical mnist2m"
+    );
+    ExitCode::FAILURE
+}
+
+/// Minimal flag parser: positional args plus `--flag value` / `--left`.
+/// Flags outside the command's `known` list are hard errors — a typo'd
+/// flag must never silently fall back to a default.
+#[derive(Debug)]
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String], known: &[&str]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if !known.contains(&name) {
+                    return Err(format!(
+                        "unknown flag --{name} (this command accepts: {})",
+                        if known.is_empty() {
+                            "no flags".to_string()
+                        } else {
+                            known
+                                .iter()
+                                .map(|f| format!("--{f}"))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        }
+                    ));
+                }
+                let takes_value = !matches!(name, "left");
+                let value = if takes_value {
+                    Some(
+                        it.next()
+                            .ok_or_else(|| format!("--{name} needs a value"))?
+                            .clone(),
+                    )
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parsed_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
+        }
+    }
+}
+
+fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "susy" => Some(Dataset::Susy),
+        "higgs" => Some(Dataset::Higgs),
+        "airline78" => Some(Dataset::Airline78),
+        "covtype" => Some(Dataset::Covtype),
+        "census" => Some(Dataset::Census),
+        "optical" => Some(Dataset::Optical),
+        "mnist2m" => Some(Dataset::Mnist2m),
+        _ => None,
+    }
+}
+
+fn parse_encoding(name: &str) -> Option<Encoding> {
+    match name {
+        "re_32" => Some(Encoding::Re32),
+        "re_iv" => Some(Encoding::ReIv),
+        "re_ans" => Some(Encoding::ReAns),
+        _ => None,
+    }
+}
+
+fn parse_reorder(name: &str) -> Option<ReorderAlgorithm> {
+    match name.to_ascii_lowercase().as_str() {
+        "pathcover" => Some(ReorderAlgorithm::PathCover),
+        "pathcover+" => Some(ReorderAlgorithm::PathCoverPlus),
+        "mwm" => Some(ReorderAlgorithm::Mwm),
+        "lkh" => Some(ReorderAlgorithm::Lkh),
+        _ => None,
+    }
+}
+
+/// Reads a dense matrix: binary (`GCMDNSE1`) or text, by sniffing magic.
+fn read_dense(path: &str) -> Result<DenseMatrix, String> {
+    let bytes = fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    if bytes.starts_with(b"GCMDNSE1") {
+        mio::read_dense_binary(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        mio::read_dense_text(BufReader::new(&bytes[..])).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn build_options(args: &Args) -> Result<BuildOptions, String> {
+    let mut opts = BuildOptions::default();
+    if let Some(b) = args.flag("backend") {
+        opts.backend = Backend::parse(b).ok_or_else(|| format!("unknown backend {b}"))?;
+    }
+    if let Some(e) = args.flag("encoding") {
+        opts.encoding = parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?;
+    }
+    opts.shards = args.parsed_flag("shards", 1usize)?.max(1);
+    opts.blocks = args.parsed_flag("blocks", 4usize)?.max(1);
+    if let Some(r) = args.flag("reorder") {
+        opts.reorder = Some(parse_reorder(r).ok_or_else(|| format!("unknown reorder {r}"))?);
+    }
+    Ok(opts)
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let [ds, rows, out] = &args.positional[..] else {
+        return Err("gen needs <dataset> <rows> <out.txt>".into());
+    };
+    let ds = parse_dataset(ds).ok_or_else(|| format!("unknown dataset {ds}"))?;
+    let rows: usize = rows.parse().map_err(|_| "bad row count".to_string())?;
+    let seed: u64 = args.parsed_flag("seed", 42u64)?;
+    let dense = ds.generate(rows, seed);
+    let file = fs::File::create(out).map_err(|e| e.to_string())?;
+    mio::write_dense_text(&dense, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    say!(
+        "wrote {out}: {}x{} ({} non-zeroes)",
+        dense.rows(),
+        dense.cols(),
+        dense.nnz()
+    );
+    Ok(())
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let [input, output] = &args.positional[..] else {
+        return Err("compress needs <in.txt> <out.gcms>".into());
+    };
+    let opts = build_options(args)?;
+    let dense = read_dense(input)?;
+    let model = ShardedModel::from_dense(&dense, &opts).map_err(|e| e.to_string())?;
+    model.save(Path::new(output)).map_err(|e| e.to_string())?;
+    let container_len = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    say!(
+        "{input}: {} bytes dense -> {} bytes container ({} x {}, {} backend, {} shard(s), {:.2}%)",
+        dense.uncompressed_bytes(),
+        container_len,
+        model.rows(),
+        model.cols(),
+        model.backend().name(),
+        model.num_shards(),
+        100.0 * container_len as f64 / dense.uncompressed_bytes().max(1) as f64,
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let [input] = &args.positional[..] else {
+        return Err("inspect needs <model.gcms>".into());
+    };
+    let bytes = fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let model = ShardedModel::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    say!("{input}:");
+    say!("  container  : {} bytes", bytes.len());
+    say!("  dimensions : {} x {}", model.rows(), model.cols());
+    say!("  backend    : {}", model.backend().name());
+    if let Some(enc) = model.encoding() {
+        say!("  encoding   : {}", enc.name());
+    }
+    say!(
+        "  reorder    : {}",
+        if model.col_order().is_some() {
+            "column permutation recorded"
+        } else {
+            "none"
+        }
+    );
+    say!("  shards     : {}", model.num_shards());
+    if let Ok(table) = ShardTable::parse(&bytes) {
+        for (i, range) in table.shard_ranges.iter().enumerate() {
+            say!(
+                "    shard {i:>3}: {:>8} rows, {:>10} payload bytes",
+                model.shard_rows(i),
+                range.len()
+            );
+        }
+    }
+    say!(
+        "  stored     : {} bytes (representation)",
+        model.stored_bytes()
+    );
+    say!(
+        "  vs dense   : {:.2}%",
+        100.0 * model.stored_bytes() as f64 / (model.rows() * model.cols() * 8).max(1) as f64
+    );
+    Ok(())
+}
+
+fn read_panel(path: &str, rows: usize, k: usize) -> Result<Vec<f64>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse).collect();
+    let v = v.map_err(|e| format!("{path}: bad number: {e}"))?;
+    if v.len() != rows * k {
+        return Err(format!(
+            "{path}: expected {rows} x {k} = {} numbers, got {}",
+            rows * k,
+            v.len()
+        ));
+    }
+    Ok(v)
+}
+
+fn write_panel(path: Option<&str>, rows: usize, k: usize, data: &[f64]) -> Result<(), String> {
+    use std::io::Write;
+    let mut out: Box<dyn Write> = match path {
+        Some(p) => Box::new(std::io::BufWriter::new(
+            fs::File::create(p).map_err(|e| format!("create {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout().lock())),
+    };
+    let mut line = String::new();
+    for r in 0..rows {
+        line.clear();
+        for j in 0..k {
+            if j > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{}", data[r * k + j]));
+        }
+        if writeln!(out, "{line}").is_err() {
+            return Ok(()); // stdout closed (e.g. piped through head)
+        }
+    }
+    let _ = out.flush();
+    Ok(())
+}
+
+fn cmd_multiply(args: &Args) -> Result<(), String> {
+    let [input] = &args.positional[..] else {
+        return Err("multiply needs <model.gcms>".into());
+    };
+    let left = args.has("left");
+    let k: usize = args.parsed_flag("batch", 1usize)?.max(1);
+    let model = ShardedModel::load(Path::new(input)).map_err(|e| e.to_string())?;
+    model.prewarm(k);
+    let (in_len, out_len) = if left {
+        (model.rows(), model.cols())
+    } else {
+        (model.cols(), model.rows())
+    };
+    let x = match args.flag("vector") {
+        Some(p) => read_panel(p, in_len, k)?,
+        None => vec![1.0; in_len * k],
+    };
+    let mut y = vec![0.0; out_len * k];
+    if left {
+        model
+            .left_multiply_panel(k, &x, &mut y)
+            .map_err(|e| e.to_string())?;
+    } else {
+        model
+            .right_multiply_panel(k, &x, &mut y)
+            .map_err(|e| e.to_string())?;
+    }
+    write_panel(args.flag("out"), out_len, k, &y)
+}
+
+/// One selftest case: build, save, reload, multiply, compare to oracle.
+#[allow(clippy::too_many_arguments)]
+fn selftest_case(
+    dense: &DenseMatrix,
+    dir: &Path,
+    backend: Backend,
+    encoding: Encoding,
+    shards: usize,
+    k: usize,
+    y_oracle: &DenseMatrix,
+    x_oracle: &DenseMatrix,
+    b_right: &DenseMatrix,
+    b_left: &DenseMatrix,
+) -> Result<(), String> {
+    let tag = format!("{}-{}-s{shards}", backend.name(), encoding.name());
+    let opts = BuildOptions {
+        backend,
+        encoding,
+        shards,
+        blocks: 2,
+        reorder: None,
+    };
+    let built = ShardedModel::from_dense(dense, &opts).map_err(|e| format!("{tag}: {e}"))?;
+    let path = dir.join(format!("{tag}.gcms"));
+    built.save(&path).map_err(|e| format!("{tag}: save: {e}"))?;
+    drop(built);
+    // Everything below runs against the on-disk container, not the
+    // in-memory build: the round-trip is the point.
+    let model = ShardedModel::load(&path).map_err(|e| format!("{tag}: load: {e}"))?;
+    if model.num_shards() != shards.min(dense.rows().max(1)) {
+        return Err(format!("{tag}: shard count not preserved"));
+    }
+    model.prewarm(k);
+    let mut y = DenseMatrix::zeros(dense.rows(), k);
+    model
+        .right_multiply_batch(b_right, &mut y)
+        .map_err(|e| format!("{tag}: right: {e}"))?;
+    let mut x = DenseMatrix::zeros(dense.cols(), k);
+    model
+        .left_multiply_batch(b_left, &mut x)
+        .map_err(|e| format!("{tag}: left: {e}"))?;
+    for (got, want, what) in [(&y, y_oracle, "right"), (&x, x_oracle, "left")] {
+        for i in 0..want.rows() {
+            for j in 0..k {
+                let (g, w) = (got.get(i, j), want.get(i, j));
+                if (g - w).abs() > 1e-9 {
+                    return Err(format!(
+                        "{tag}: {what} product mismatch at ({i},{j}): {g} vs oracle {w}"
+                    ));
+                }
+            }
+        }
+    }
+    say!(
+        "  ok {tag} ({} container bytes)",
+        fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn cmd_selftest(args: &Args) -> Result<(), String> {
+    let rows: usize = args.parsed_flag("rows", 96usize)?.max(1);
+    let cols: usize = args.parsed_flag("cols", 12usize)?.max(1);
+    let shards: usize = args.parsed_flag("shards", 3usize)?.max(2);
+    let dir = std::env::temp_dir().join(format!("gcm-selftest-{}", std::process::id()));
+    fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let result = run_selftest(rows, cols, shards, &dir);
+    let _ = fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_selftest(rows: usize, cols: usize, shards: usize, dir: &Path) -> Result<(), String> {
+    // A repetitive synthetic matrix (so compression has real work), via
+    // the same text file path a user would take.
+    let mut dense = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = match (r % 4, c % 3) {
+                (0, 0) => 1.5,
+                (1, 1) => 2.5,
+                (2, _) => 0.5,
+                (3, 2) => 7.25,
+                _ => 0.0,
+            };
+            dense.set(r, c, v);
+        }
+    }
+    let txt = dir.join("matrix.txt");
+    let file = fs::File::create(&txt).map_err(|e| e.to_string())?;
+    mio::write_dense_text(&dense, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let dense = read_dense(txt.to_str().expect("utf-8 temp path"))?;
+
+    // Oracle products from the dense representation.
+    let k = 4usize;
+    let mut b_right = DenseMatrix::zeros(cols, k);
+    for i in 0..cols {
+        for j in 0..k {
+            b_right.set(i, j, (i * k + j) as f64 * 0.5 - 3.0);
+        }
+    }
+    let mut b_left = DenseMatrix::zeros(rows, k);
+    for i in 0..rows {
+        for j in 0..k {
+            b_left.set(i, j, ((i + 2 * j) % 7) as f64 - 3.0);
+        }
+    }
+    let y_oracle = dense
+        .right_multiply_matrix(&b_right)
+        .map_err(|e| e.to_string())?;
+    let x_oracle = dense
+        .left_multiply_matrix(&b_left)
+        .map_err(|e| e.to_string())?;
+
+    say!(
+        "selftest: {rows}x{cols} matrix, {shards} shards, batch {k}, store {}",
+        dir.display()
+    );
+    let mut cases = 0usize;
+    for backend in Backend::ALL {
+        let encodings: &[Encoding] = match backend {
+            Backend::Csrv | Backend::ParCsrv => &[Encoding::ReAns],
+            _ => &Encoding::ALL,
+        };
+        for &encoding in encodings {
+            for s in [1usize, shards] {
+                selftest_case(
+                    &dense, dir, backend, encoding, s, k, &y_oracle, &x_oracle, &b_right, &b_left,
+                )?;
+                cases += 1;
+            }
+        }
+    }
+    say!("selftest passed: {cases} backend/encoding/shard combinations round-tripped through the container and matched the dense oracle to 1e-9");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return Err("missing command".into());
+    };
+    let known: &[&str] = match cmd.as_str() {
+        "gen" => &["seed"],
+        "compress" => &["backend", "encoding", "shards", "blocks", "reorder"],
+        "inspect" => &[],
+        "multiply" => &["left", "batch", "vector", "out"],
+        "selftest" => &["rows", "cols", "shards"],
+        other => return Err(format!("unknown command {other}")),
+    };
+    let args = Args::parse(&raw[1..], known)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "compress" => cmd_compress(&args),
+        "inspect" => cmd_inspect(&args),
+        "multiply" => cmd_multiply(&args),
+        "selftest" => cmd_selftest(&args),
+        _ => unreachable!("command validated above"),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parser_handles_flags_and_positionals() {
+        let raw: Vec<String> = ["a.txt", "--shards", "3", "--left", "b.gcms"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let known = &["shards", "left", "blocks"][..];
+        let args = Args::parse(&raw, known).unwrap();
+        assert_eq!(args.positional, vec!["a.txt", "b.gcms"]);
+        assert_eq!(args.flag("shards"), Some("3"));
+        assert!(args.has("left"));
+        assert_eq!(args.parsed_flag("shards", 1usize).unwrap(), 3);
+        assert_eq!(args.parsed_flag("blocks", 4usize).unwrap(), 4);
+        assert!(Args::parse(&["--shards".to_string()], known).is_err());
+        // A typo'd flag is a hard error, never a silent default.
+        let err = Args::parse(&["--shard".to_string(), "4".to_string()], known).unwrap_err();
+        assert!(err.contains("unknown flag --shard"), "{err}");
+    }
+
+    #[test]
+    fn selftest_passes_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("gcm-selftest-unit-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let result = run_selftest(40, 9, 3, &dir);
+        let _ = fs::remove_dir_all(&dir);
+        result.expect("selftest must pass");
+    }
+}

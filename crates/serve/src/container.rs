@@ -1,0 +1,622 @@
+//! The versioned on-disk model container (`GCMSERV1`).
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "GCMSERV1" | u8 container version | u8 backend tag
+//! rows | cols | num_shards
+//! per shard: payload_len | payload bytes
+//! u64 LE FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! Shard payloads by backend:
+//!
+//! * `csrv` — a column-order prefix (varint len + u32 LE entries, `0` =
+//!   none) then a `GCMCSRV1` section
+//!   ([`gcm_matrix::io::write_csrv_bytes`]);
+//! * `parcsrv` — the same column-order prefix, a varint block count,
+//!   then a `GCMCSRV1` section of the reassembled whole shard;
+//! * `compressed` — a single-block `GCMMAT2` bundle
+//!   ([`gcm_core::serial::bundle_to_bytes`]), which also carries the
+//!   column-reorder permutation;
+//! * `blocked` — a multi-block `GCMMAT2` bundle (block structure +
+//!   permutation).
+//!
+//! The shard table makes the container *mmap-style*: a reader can locate
+//! and decode one shard's byte range without touching the others
+//! ([`ShardTable`]), which is how a multi-process deployment would map
+//! one file and fault in only the shards it serves.
+//!
+//! Loading is validating end to end: the checksum rejects bit rot and
+//! truncation outright, and every payload then passes the structural
+//! validation of its section format, so a corrupt file can never panic a
+//! kernel. Bare `GCMMAT1` / `GCMMAT2` files (the `mmr` CLI's output) are
+//! accepted as single-shard compressed containers for compatibility.
+
+use std::fmt;
+use std::path::Path;
+
+use gcm_core::serial;
+use gcm_core::BlockedMatrix;
+use gcm_encodings::varint;
+use gcm_matrix::{io as mio, MatrixError, ParallelCsrv};
+
+use crate::model::{Backend, Model};
+use crate::sharded::ShardedModel;
+
+/// Container magic.
+pub const MAGIC: &[u8; 8] = b"GCMSERV1";
+/// Current container version.
+pub const VERSION: u8 = 1;
+
+/// Errors of the serve layer (store, container, registry).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structurally invalid container or payload.
+    Corrupt(String),
+    /// Dimension or construction failure from the matrix layer.
+    Matrix(MatrixError),
+    /// Invalid model name or unknown model.
+    BadName(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
+            ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            ServeError::BadName(msg) => write!(f, "bad model name: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<MatrixError> for ServeError {
+    fn from(e: MatrixError) -> Self {
+        ServeError::Matrix(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> ServeError {
+    ServeError::Corrupt(msg.into())
+}
+
+/// FNV-1a 64 over `data` — the container's integrity checksum.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Writes the optional column-reorder permutation prefix of the csrv /
+/// parcsrv payloads (`varint len` + u32 LE entries; `0` = none). The
+/// compressed backends instead carry the order inside their `GCMMAT2`
+/// bundle, so *every* backend round-trips the provenance metadata.
+fn write_col_order(out: &mut Vec<u8>, col_order: Option<&[u32]>) {
+    let order = col_order.unwrap_or(&[]);
+    varint::write_u64(out, order.len() as u64);
+    for &c in order {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+/// Inverse of [`write_col_order`], validating the permutation via the
+/// shared `serial` helpers.
+fn read_col_order(
+    data: &[u8],
+    pos: &mut usize,
+    cols: usize,
+) -> Result<Option<Vec<u32>>, ServeError> {
+    let len =
+        varint::read_u64(data, pos).ok_or_else(|| corrupt("missing column order length"))? as usize;
+    if len == 0 {
+        return Ok(None);
+    }
+    if len != cols {
+        return Err(corrupt("column order length mismatch"));
+    }
+    let order =
+        serial::read_exact_u32s(data, pos, len).ok_or_else(|| corrupt("truncated column order"))?;
+    if !serial::is_permutation(&order, cols) {
+        return Err(corrupt("column order is not a permutation"));
+    }
+    Ok(Some(order))
+}
+
+fn shard_payload(model: &Model, col_order: Option<&[u32]>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match model {
+        Model::Csrv(m) => {
+            write_col_order(&mut out, col_order);
+            mio::write_csrv_bytes(m, &mut out);
+        }
+        Model::ParCsrv(m) => {
+            write_col_order(&mut out, col_order);
+            varint::write_u64(&mut out, m.num_blocks() as u64);
+            mio::write_csrv_bytes(&m.to_csrv(), &mut out);
+        }
+        Model::Compressed(m) => {
+            out = serial::bundle_to_bytes(std::slice::from_ref(m), col_order);
+        }
+        Model::Blocked(m) => {
+            out = serial::bundle_to_bytes(m.blocks(), col_order);
+        }
+    }
+    out
+}
+
+fn decode_shard(
+    backend: Backend,
+    cols: usize,
+    payload: &[u8],
+) -> Result<(Model, Option<Vec<u32>>), ServeError> {
+    match backend {
+        Backend::Csrv => {
+            let mut pos = 0usize;
+            let order = read_col_order(payload, &mut pos, cols)?;
+            let m = mio::read_csrv_bytes(payload, &mut pos)
+                .ok_or_else(|| corrupt("invalid csrv shard payload"))?;
+            Ok((Model::Csrv(m), order))
+        }
+        Backend::ParCsrv => {
+            let mut pos = 0usize;
+            let order = read_col_order(payload, &mut pos, cols)?;
+            let blocks = varint::read_u64(payload, &mut pos)
+                .ok_or_else(|| corrupt("missing parcsrv block count"))?
+                as usize;
+            if blocks == 0 || blocks > u32::MAX as usize {
+                return Err(corrupt("implausible parcsrv block count"));
+            }
+            let m = mio::read_csrv_bytes(payload, &mut pos)
+                .ok_or_else(|| corrupt("invalid parcsrv shard payload"))?;
+            Ok((Model::ParCsrv(ParallelCsrv::split(&m, blocks)), order))
+        }
+        Backend::Compressed => {
+            let (mut blocks, order) = serial::bundle_from_bytes(payload)
+                .ok_or_else(|| corrupt("invalid compressed shard bundle"))?;
+            if blocks.len() != 1 {
+                return Err(corrupt("compressed shard must hold exactly one block"));
+            }
+            let m = blocks.pop().expect("length checked");
+            if m.cols() != cols {
+                return Err(corrupt("shard column count mismatches header"));
+            }
+            Ok((Model::Compressed(m), order))
+        }
+        Backend::Blocked => {
+            let (blocks, order) = serial::bundle_from_bytes(payload)
+                .ok_or_else(|| corrupt("invalid blocked shard bundle"))?;
+            if blocks.iter().any(|b| b.cols() != cols) {
+                return Err(corrupt("shard column count mismatches header"));
+            }
+            Ok((
+                Model::Blocked(BlockedMatrix::from_blocks(blocks, cols)),
+                order,
+            ))
+        }
+    }
+}
+
+/// Serialises a sharded model as a `GCMSERV1` container.
+pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(model.stored_bytes() + 128);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(model.backend().tag());
+    varint::write_u64(&mut out, model.rows() as u64);
+    varint::write_u64(&mut out, model.cols() as u64);
+    varint::write_u64(&mut out, model.num_shards() as u64);
+    for shard in model.shard_slice() {
+        let payload = shard_payload(&shard.model, model.col_order());
+        varint::write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+    }
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// The parsed header and shard byte ranges of a container — everything a
+/// reader needs to decode shards selectively (the mmap-style access
+/// path) or to inspect a model without materialising it.
+#[derive(Debug, Clone)]
+pub struct ShardTable {
+    /// Backend of every shard.
+    pub backend: Backend,
+    /// Total rows (validated against the decoded shards on full load).
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Byte range of each shard payload within the container.
+    pub shard_ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl ShardTable {
+    /// Parses and checksum-verifies a container, returning its shard
+    /// table without decoding any payload.
+    ///
+    /// # Errors
+    /// Fails on bad magic/version/tag, truncation, or checksum mismatch.
+    pub fn parse(data: &[u8]) -> Result<ShardTable, ServeError> {
+        if data.len() < MAGIC.len() + 2 + 8 || &data[..8] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let body_len = data.len() - 8;
+        let stored = u64::from_le_bytes(data[body_len..].try_into().expect("8 bytes"));
+        let actual = fnv1a64(&data[..body_len]);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch (stored {stored:016x}, computed {actual:016x})"
+            )));
+        }
+        if data[8] != VERSION {
+            return Err(corrupt(format!(
+                "unsupported container version {}",
+                data[8]
+            )));
+        }
+        let backend = Backend::from_tag(data[9]).ok_or_else(|| corrupt("unknown backend tag"))?;
+        let mut pos = 10usize;
+        let rows = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad rows"))? as usize;
+        let cols = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad cols"))? as usize;
+        let num_shards =
+            varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad shard count"))? as usize;
+        if num_shards == 0 || num_shards > body_len {
+            return Err(corrupt("implausible shard count"));
+        }
+        let mut shard_ranges = Vec::with_capacity(num_shards);
+        for i in 0..num_shards {
+            let len = varint::read_u64(data, &mut pos)
+                .ok_or_else(|| corrupt(format!("bad shard {i} length")))?
+                as usize;
+            let end = pos
+                .checked_add(len)
+                .filter(|&e| e <= body_len)
+                .ok_or_else(|| corrupt(format!("shard {i} overruns container")))?;
+            shard_ranges.push(pos..end);
+            pos = end;
+        }
+        if pos != body_len {
+            return Err(corrupt("trailing bytes after shard table"));
+        }
+        Ok(ShardTable {
+            backend,
+            rows,
+            cols,
+            shard_ranges,
+        })
+    }
+
+    /// Decodes the single shard `i` from the container bytes the table
+    /// was parsed from.
+    ///
+    /// # Errors
+    /// Fails if the payload is structurally invalid.
+    pub fn decode_shard(&self, data: &[u8], i: usize) -> Result<Model, ServeError> {
+        let range = self
+            .shard_ranges
+            .get(i)
+            .ok_or_else(|| corrupt(format!("shard {i} out of range")))?
+            .clone();
+        decode_shard(self.backend, self.cols, &data[range]).map(|(m, _)| m)
+    }
+}
+
+/// Deserialises a container into a ready-to-serve [`ShardedModel`].
+///
+/// Bare `GCMMAT1` / `GCMMAT2` payloads are accepted as single-shard
+/// compressed models.
+///
+/// # Errors
+/// Fails on any structural violation; never panics on corrupt input.
+pub fn from_bytes(data: &[u8]) -> Result<ShardedModel, ServeError> {
+    if data.len() >= 8 && &data[..8] == b"GCMMAT1\0" {
+        let m = serial::from_bytes(data).ok_or_else(|| corrupt("invalid GCMMAT1 payload"))?;
+        let cols = m.cols();
+        return Ok(ShardedModel::from_parts(
+            vec![Model::Compressed(m)],
+            cols,
+            None,
+        ));
+    }
+    if data.len() >= 8 && &data[..8] == b"GCMMAT2\0" {
+        let (blocks, order) =
+            serial::bundle_from_bytes(data).ok_or_else(|| corrupt("invalid GCMMAT2 payload"))?;
+        let cols = blocks[0].cols();
+        let model = if blocks.len() == 1 {
+            Model::Compressed(blocks.into_iter().next().expect("one block"))
+        } else {
+            Model::Blocked(BlockedMatrix::from_blocks(blocks, cols))
+        };
+        return Ok(ShardedModel::from_parts(vec![model], cols, order));
+    }
+    let table = ShardTable::parse(data)?;
+    let mut models = Vec::with_capacity(table.shard_ranges.len());
+    let mut col_order: Option<Vec<u32>> = None;
+    for (i, range) in table.shard_ranges.iter().enumerate() {
+        let (model, order) = decode_shard(table.backend, table.cols, &data[range.clone()])?;
+        if model.cols() != table.cols {
+            return Err(corrupt(format!("shard {i} column count mismatch")));
+        }
+        if i == 0 {
+            col_order = order;
+        } else if order != col_order {
+            // Every compressed shard carries a copy of the permutation;
+            // the redundancy exists to catch exactly this inconsistency.
+            return Err(corrupt(format!(
+                "shard {i} disagrees with shard 0 on the column reorder"
+            )));
+        }
+        models.push(model);
+    }
+    if let Some(order) = &col_order {
+        if order.len() != table.cols {
+            return Err(corrupt("column order length mismatch"));
+        }
+    }
+    let model = ShardedModel::from_parts(models, table.cols, col_order);
+    if model.rows() != table.rows {
+        return Err(corrupt(format!(
+            "header promises {} rows, shards hold {}",
+            table.rows,
+            model.rows()
+        )));
+    }
+    Ok(model)
+}
+
+impl ShardedModel {
+    /// Serialises this model as a `GCMSERV1` container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    /// Deserialises a container (see [`from_bytes`]).
+    ///
+    /// # Errors
+    /// Fails on any structural violation.
+    pub fn from_bytes(data: &[u8]) -> Result<ShardedModel, ServeError> {
+        from_bytes(data)
+    }
+
+    /// Writes the container to `path` (atomically via a sibling temp
+    /// file, so readers never observe a half-written model).
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), ServeError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a container from `path`.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or a corrupt container.
+    pub fn load(path: &Path) -> Result<ShardedModel, ServeError> {
+        let bytes = std::fs::read(path)?;
+        from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::BuildOptions;
+    use gcm_core::Encoding;
+    use gcm_matrix::{DenseMatrix, MatVec};
+
+    fn sample() -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(37, 8);
+        for r in 0..37 {
+            for c in 0..8 {
+                if (r + c) % 3 != 0 {
+                    m.set(r, c, (((r * 2 + c) % 6) + 1) as f64 * 0.5);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn container_roundtrips_every_backend() {
+        let dense = sample();
+        for backend in Backend::ALL {
+            for shards in [1usize, 3] {
+                let opts = BuildOptions {
+                    backend,
+                    shards,
+                    blocks: 2,
+                    encoding: Encoding::ReIv,
+                    ..BuildOptions::default()
+                };
+                let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+                let bytes = model.to_bytes();
+                let back = ShardedModel::from_bytes(&bytes).expect("roundtrip");
+                assert_eq!(back.backend(), backend);
+                assert_eq!(back.num_shards(), shards);
+                assert_eq!(back.rows(), 37);
+                assert_eq!(back.cols(), 8);
+                let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+                let mut y_a = vec![0.0; 37];
+                let mut y_b = vec![0.0; 37];
+                model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+                back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+                assert_eq!(y_a, y_b, "{} s={shards}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn container_preserves_reorder_metadata_for_every_backend() {
+        let dense = sample();
+        for backend in Backend::ALL {
+            let opts = BuildOptions {
+                backend,
+                shards: 2,
+                reorder: Some(gcm_reorder::ReorderAlgorithm::PathCover),
+                ..BuildOptions::default()
+            };
+            let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+            let order = model.col_order().unwrap().to_vec();
+            let back = ShardedModel::from_bytes(&model.to_bytes()).unwrap();
+            assert_eq!(back.col_order(), Some(&order[..]), "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn forged_length_headers_are_rejected_without_panicking() {
+        // Huge varint length fields must not overflow the slice
+        // arithmetic (debug: add-overflow panic; release: inverted
+        // range) anywhere in the loading stack.
+        use gcm_encodings::varint;
+        // GCMCSRV1 with n_values = 2^61 - 1.
+        let mut forged = b"GCMCSRV1".to_vec();
+        varint::write_u64(&mut forged, 1); // rows
+        varint::write_u64(&mut forged, 1); // cols
+        varint::write_u64(&mut forged, (1u64 << 61) - 1); // |V|
+        let mut pos = 0;
+        assert!(gcm_matrix::io::read_csrv_bytes(&forged, &mut pos).is_none());
+        // Bare GCMMAT2 with cols = 2^63 (first_nt multiply overflow).
+        let mut forged = b"GCMMAT2\0".to_vec();
+        forged.push(0); // re_32 tag
+        varint::write_u64(&mut forged, 1u64 << 63); // cols
+        varint::write_u64(&mut forged, 0); // no order
+        varint::write_u64(&mut forged, 2); // |V|
+        forged.extend_from_slice(&[0u8; 16]);
+        assert!(gcm_core::serial::bundle_from_bytes(&forged).is_none());
+        assert!(ShardedModel::from_bytes(&forged).is_err());
+        // Bare GCMMAT1 with n_values = 2^61 - 1.
+        let mut forged = b"GCMMAT1\0".to_vec();
+        forged.push(0); // re_32 tag
+        varint::write_u64(&mut forged, 1); // rows
+        varint::write_u64(&mut forged, 1); // cols
+        varint::write_u64(&mut forged, 2); // first_nt
+        varint::write_u64(&mut forged, (1u64 << 61) - 1); // |V|
+        assert!(gcm_core::serial::from_bytes(&forged).is_none());
+        assert!(ShardedModel::from_bytes(&forged).is_err());
+        // GCMCSRV1 with |V| = 0 and an absurd column count: would pass
+        // the terminal-limit check (limit = 1) yet explode every
+        // cols-proportional allocation downstream (prewarm, inspect).
+        let mut forged = b"GCMCSRV1".to_vec();
+        varint::write_u64(&mut forged, 1); // rows
+        varint::write_u64(&mut forged, 1u64 << 62); // cols
+        varint::write_u64(&mut forged, 0); // |V|
+        varint::write_u64(&mut forged, 1); // |S|
+        forged.extend_from_slice(&0u32.to_le_bytes()); // one separator
+        let mut pos = 0;
+        assert!(gcm_matrix::io::read_csrv_bytes(&forged, &mut pos).is_none());
+        // GCMCSRV1 whose |V|·cols product lands exactly on u64::MAX, so
+        // the +1 in the terminal limit overflows if unchecked.
+        let mut forged = b"GCMCSRV1".to_vec();
+        varint::write_u64(&mut forged, 1); // rows
+        varint::write_u64(&mut forged, u64::MAX / 5); // cols (rejected: > u32::MAX)
+        varint::write_u64(&mut forged, 5); // |V|
+        forged.extend_from_slice(&[0u8; 40]);
+        let mut pos = 0;
+        assert!(gcm_matrix::io::read_csrv_bytes(&forged, &mut pos).is_none());
+        // A GCMMAT2 claiming one block per remaining byte is rejected by
+        // the block-count plausibility bound before any reservation.
+        let mut forged = b"GCMMAT2\0".to_vec();
+        forged.push(0); // re_32 tag
+        varint::write_u64(&mut forged, 1); // cols
+        varint::write_u64(&mut forged, 0); // no order
+        varint::write_u64(&mut forged, 0); // |V|
+        varint::write_u64(&mut forged, 1 << 40); // num_blocks
+        assert!(gcm_core::serial::bundle_from_bytes(&forged).is_none());
+    }
+
+    #[test]
+    fn shard_table_decodes_single_shards() {
+        let dense = sample();
+        let opts = BuildOptions {
+            shards: 4,
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        let bytes = model.to_bytes();
+        let table = ShardTable::parse(&bytes).unwrap();
+        assert_eq!(table.shard_ranges.len(), 4);
+        let mut rows = 0usize;
+        for i in 0..4 {
+            let shard = table.decode_shard(&bytes, i).unwrap();
+            assert_eq!(shard.cols(), 8);
+            rows += shard.rows();
+        }
+        assert_eq!(rows, 37);
+        assert!(table.decode_shard(&bytes, 4).is_err());
+    }
+
+    #[test]
+    fn accepts_bare_gcmmat1_files() {
+        let dense = sample();
+        let csrv = gcm_matrix::CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = gcm_core::CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        let bytes = gcm_core::serial::to_bytes(&cm);
+        let model = ShardedModel::from_bytes(&bytes).expect("GCMMAT1 compat");
+        assert_eq!(model.backend(), Backend::Compressed);
+        assert_eq!(model.rows(), 37);
+        let x = vec![1.0; 8];
+        let mut y_a = vec![0.0; 37];
+        let mut y_b = vec![0.0; 37];
+        cm.right_multiply(&x, &mut y_a).unwrap();
+        model.right_multiply_panel(1, &x, &mut y_b).unwrap();
+        assert_eq!(y_a, y_b);
+    }
+
+    #[test]
+    fn checksum_rejects_any_single_byte_flip() {
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let bytes = model.to_bytes();
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(ShardedModel::from_bytes(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("gcm-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gcms");
+        model.save(&path).unwrap();
+        let back = ShardedModel::load(&path).unwrap();
+        assert_eq!(back.rows(), model.rows());
+        assert_eq!(back.stored_bytes(), model.stored_bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

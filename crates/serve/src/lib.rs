@@ -1,0 +1,40 @@
+//! # gcm-serve — sharded model store and serving layer
+//!
+//! The paper motivates grammar-compressed matrices by storage and
+//! server-to-client transmission costs; this crate is the serving side
+//! of that story. It turns any in-memory backend — CSRV, row-block
+//! parallel CSRV, grammar-compressed `(C, R, V)`, or row-block parallel
+//! compressed — into a **persistent, sharded, restart-amortised model**:
+//!
+//! * [`Model`] wraps the four backends behind one enum with uniform
+//!   panel-slice kernels and workspace budgets;
+//! * [`ShardedModel`] splits a matrix row-wise across N shards and
+//!   serves single-vector and batched products across them on the
+//!   persistent thread pool, with per-shard [`gcm_matrix::Workspace`]
+//!   reuse — zero steady-state allocation for single-threaded shard
+//!   backends, from the first post-[`prewarm`](ShardedModel::prewarm)
+//!   request on;
+//! * the `GCMSERV1` [`container`] persists all of it (block structure,
+//!   reorder permutations, FNV-64 integrity checksum) with fully
+//!   validating, panic-free loading, plus mmap-style selective shard
+//!   decoding via [`ShardTable`];
+//! * [`ModelStore`] / [`Registry`] give containers names: a directory
+//!   of `.gcms` files behind a load-once, prewarm, serve-many cache;
+//! * the `gcm` binary (`src/bin/gcm.rs`) drives the whole pipeline from
+//!   the command line: `compress`, `inspect`, `multiply`, `selftest`.
+//!
+//! Compression is paid once, at `compress`/`publish` time; every later
+//! process start pays only a validated load. That seam — build
+//! artefacts on one side, serving state on the other — is where async
+//! front-ends, result caching, and multi-tenant placement plug in
+//! (see `ROADMAP.md`).
+
+pub mod container;
+pub mod model;
+pub mod registry;
+pub mod sharded;
+
+pub use container::{ServeError, ShardTable};
+pub use model::{Backend, Model};
+pub use registry::{ModelStore, Registry};
+pub use sharded::{BuildOptions, ShardedModel};

@@ -1,0 +1,354 @@
+//! A uniform wrapper over every servable matrix backend.
+//!
+//! The serve layer persists and multiplies four representations — the
+//! uncompressed CSRV baseline, its row-block parallel variant, the
+//! grammar-compressed `(C, R, V)` matrix, and its row-block parallel
+//! variant — behind one enum, so the container format, the sharded
+//! engine, and the differential test harness treat them uniformly.
+
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_matrix::matvec::{check_left_batch, check_right_batch};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, Workspace};
+
+/// Which representation a [`Model`] (and its on-disk container) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Uncompressed CSRV, single-threaded kernels.
+    Csrv,
+    /// Uncompressed CSRV split into row blocks, pool-parallel kernels.
+    ParCsrv,
+    /// Grammar-compressed `(C, R, V)`, single-threaded kernels.
+    Compressed,
+    /// Grammar-compressed row blocks, pool-parallel kernels (§4.1).
+    Blocked,
+}
+
+impl Backend {
+    /// Every backend, in container-tag order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Csrv,
+        Backend::ParCsrv,
+        Backend::Compressed,
+        Backend::Blocked,
+    ];
+
+    /// Stable on-disk tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Backend::Csrv => 0,
+            Backend::ParCsrv => 1,
+            Backend::Compressed => 2,
+            Backend::Blocked => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Option<Backend> {
+        match t {
+            0 => Some(Backend::Csrv),
+            1 => Some(Backend::ParCsrv),
+            2 => Some(Backend::Compressed),
+            3 => Some(Backend::Blocked),
+            _ => None,
+        }
+    }
+
+    /// CLI / display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Csrv => "csrv",
+            Backend::ParCsrv => "parcsrv",
+            Backend::Compressed => "compressed",
+            Backend::Blocked => "blocked",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+/// One servable matrix in any backend representation.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Uncompressed CSRV.
+    Csrv(CsrvMatrix),
+    /// Row-block parallel CSRV.
+    ParCsrv(ParallelCsrv),
+    /// Grammar-compressed matrix.
+    Compressed(CompressedMatrix),
+    /// Row-block parallel grammar-compressed matrix.
+    Blocked(BlockedMatrix),
+}
+
+impl Model {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Model::Csrv(m) => m.rows(),
+            Model::ParCsrv(m) => m.rows(),
+            Model::Compressed(m) => m.rows(),
+            Model::Blocked(m) => MatVec::rows(m),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Model::Csrv(m) => m.cols(),
+            Model::ParCsrv(m) => m.cols(),
+            Model::Compressed(m) => m.cols(),
+            Model::Blocked(m) => MatVec::cols(m),
+        }
+    }
+
+    /// The backend kind (= container tag).
+    pub fn backend(&self) -> Backend {
+        match self {
+            Model::Csrv(_) => Backend::Csrv,
+            Model::ParCsrv(_) => Backend::ParCsrv,
+            Model::Compressed(_) => Backend::Compressed,
+            Model::Blocked(_) => Backend::Blocked,
+        }
+    }
+
+    /// The grammar encoding, for the compressed backends.
+    pub fn encoding(&self) -> Option<Encoding> {
+        match self {
+            Model::Compressed(m) => Some(m.encoding()),
+            Model::Blocked(m) => m.blocks().first().map(|b| b.encoding()),
+            _ => None,
+        }
+    }
+
+    /// Serialized representation size in bytes (the paper's "size"
+    /// accounting; container framing excluded).
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            Model::Csrv(m) => m.csrv_bytes(),
+            Model::ParCsrv(m) => m.stored_bytes(),
+            Model::Compressed(m) => m.stored_bytes(),
+            Model::Blocked(m) => m.stored_bytes(),
+        }
+    }
+
+    /// Workspace budget `(buffers, max_len)` of one multiplication with
+    /// batch width `k`: a workspace warmed with
+    /// [`Workspace::warm`]`(buffers, max_len)` serves any single- or
+    /// batched-multiply of width at most `k` without allocating, even on
+    /// the first call.
+    pub fn workspace_budget(&self, k: usize) -> (usize, usize) {
+        let k = k.max(1);
+        match self {
+            Model::Csrv(_) => (0, 0),
+            Model::ParCsrv(m) => (m.num_blocks(), m.cols() * k),
+            Model::Compressed(m) => (1, m.num_rules() * k),
+            Model::Blocked(m) => {
+                let max_rules = m.blocks().iter().map(|b| b.num_rules()).max().unwrap_or(0);
+                (
+                    2 * m.num_blocks(),
+                    k * MatVec::cols(m).max(max_rules).max(1),
+                )
+            }
+        }
+    }
+
+    /// Batched right product over explicit row-major `k`-wide panel
+    /// slices (`x_panel` is `cols × k`, `y_panel` is `rows × k`), drawing
+    /// scratch from `ws`. The sharded engine drives shards through this
+    /// entry point so each writes its raw sub-panel of one output buffer.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn right_multiply_panel_into(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        match self {
+            Model::Csrv(m) => m.right_multiply_panel(x_panel, y_panel, k),
+            Model::ParCsrv(m) => m.right_multiply_panel_into(k, x_panel, y_panel),
+            Model::Compressed(m) => {
+                let mut w = ws.take(m.num_rules() * k);
+                let result = m.right_multiply_panel_with(k, x_panel, y_panel, &mut w);
+                ws.put(w);
+                result
+            }
+            Model::Blocked(m) => m.right_multiply_panel_into(k, x_panel, y_panel, ws),
+        }
+    }
+
+    /// Batched left product over explicit row-major panel slices
+    /// (`y_panel` is `rows × k`, `x_panel` is `cols × k`), drawing
+    /// scratch from `ws`.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn left_multiply_panel_into(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        match self {
+            Model::Csrv(m) => m.left_multiply_panel(y_panel, x_panel, k),
+            Model::ParCsrv(m) => m.left_multiply_panel_into(k, y_panel, x_panel, ws),
+            Model::Compressed(m) => {
+                let mut w = ws.take(m.num_rules() * k);
+                let result = m.left_multiply_panel_with(k, y_panel, x_panel, &mut w);
+                ws.put(w);
+                result
+            }
+            Model::Blocked(m) => m.left_multiply_panel_into(k, y_panel, x_panel, ws),
+        }
+    }
+}
+
+impl MatVec for Model {
+    fn rows(&self) -> usize {
+        Model::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Model::cols(self)
+    }
+
+    fn right_multiply_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        // A width-1 row-major panel has the exact memory layout of a
+        // vector, so the panel entry point is the single-vector kernel.
+        self.right_multiply_panel_into(1, x, y, ws)
+    }
+
+    fn left_multiply_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        self.left_multiply_panel_into(1, y, x, ws)
+    }
+
+    fn right_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_right_batch(self.rows(), self.cols(), b, out)?;
+        if b.cols() == 0 {
+            return Ok(());
+        }
+        self.right_multiply_panel_into(b.cols(), b.as_slice(), out.as_mut_slice(), ws)
+    }
+
+    fn left_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        check_left_batch(self.rows(), self.cols(), b, out)?;
+        if b.cols() == 0 {
+            return Ok(());
+        }
+        self.left_multiply_panel_into(b.cols(), b.as_slice(), out.as_mut_slice(), ws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(31, 6);
+        for r in 0..31 {
+            for c in 0..6 {
+                if (r + 2 * c) % 3 != 0 {
+                    m.set(r, c, ((r * c) % 4 + 1) as f64 * 0.5);
+                }
+            }
+        }
+        m
+    }
+
+    fn all_models(dense: &DenseMatrix) -> Vec<Model> {
+        let csrv = CsrvMatrix::from_dense(dense).unwrap();
+        vec![
+            Model::Csrv(csrv.clone()),
+            Model::ParCsrv(ParallelCsrv::split(&csrv, 3)),
+            Model::Compressed(CompressedMatrix::compress(&csrv, Encoding::ReIv)),
+            Model::Blocked(BlockedMatrix::compress(&csrv, Encoding::ReAns, 4)),
+        ]
+    }
+
+    #[test]
+    fn every_backend_matches_dense() {
+        let dense = sample();
+        let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let yv: Vec<f64> = (0..31).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut y_ref = vec![0.0; 31];
+        let mut x_ref = vec![0.0; 6];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        for model in all_models(&dense) {
+            let mut y = vec![0.0; 31];
+            model.right_multiply(&x, &mut y).unwrap();
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert!((a - b).abs() < 1e-9, "{} right", model.backend().name());
+            }
+            let mut xo = vec![0.0; 6];
+            model.left_multiply(&yv, &mut xo).unwrap();
+            for (a, b) in xo.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "{} left", model.backend().name());
+            }
+        }
+    }
+
+    #[test]
+    fn backend_tags_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_tag(b.tag()), Some(b));
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_tag(9), None);
+        assert_eq!(Backend::parse("dense"), None);
+    }
+
+    #[test]
+    fn workspace_budget_covers_a_batched_pass() {
+        let dense = sample();
+        let k = 5;
+        for model in all_models(&dense) {
+            let (count, max_len) = model.workspace_budget(k);
+            let mut ws = Workspace::new();
+            ws.warm(count, max_len);
+            let before = ws.retained_bytes();
+            let x = vec![1.0; 6 * k];
+            let mut y = vec![0.0; 31 * k];
+            model
+                .right_multiply_panel_into(k, &x, &mut y, &mut ws)
+                .unwrap();
+            let yv = vec![1.0; 31 * k];
+            let mut xo = vec![0.0; 6 * k];
+            model
+                .left_multiply_panel_into(k, &yv, &mut xo, &mut ws)
+                .unwrap();
+            // The warmed capacity was sufficient: nothing grew.
+            assert_eq!(
+                ws.retained_bytes(),
+                before,
+                "{} budget too small",
+                model.backend().name()
+            );
+        }
+    }
+}

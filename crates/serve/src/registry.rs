@@ -1,0 +1,292 @@
+//! Named model persistence and in-memory serving registry.
+//!
+//! [`ModelStore`] is the on-disk side: a directory of
+//! `<name>.gcms` containers with atomic writes. [`Registry`] is the
+//! serving side: a name → [`ShardedModel`] cache that loads from the
+//! store on first use and prewarms each model so steady-state requests
+//! hit warm shards. Both are what a long-running `gcm-serve` process (or
+//! the future async front-end recorded in `ROADMAP.md`) holds onto.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use crate::container::ServeError;
+use crate::sharded::ShardedModel;
+
+/// File extension of model containers.
+pub const MODEL_EXT: &str = "gcms";
+
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::BadName(format!(
+            "{name:?} (allowed: ascii alphanumerics plus . _ -, not starting with '.')"
+        )))
+    }
+}
+
+/// A directory of named model containers.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the container for `name`.
+    ///
+    /// # Errors
+    /// Fails on invalid names (path traversal is rejected wholesale).
+    pub fn path(&self, name: &str) -> Result<PathBuf, ServeError> {
+        validate_name(name)?;
+        Ok(self.dir.join(format!("{name}.{MODEL_EXT}")))
+    }
+
+    /// Persists `model` under `name`, returning the container path.
+    ///
+    /// # Errors
+    /// Fails on invalid names or filesystem errors.
+    pub fn save(&self, name: &str, model: &ShardedModel) -> Result<PathBuf, ServeError> {
+        let path = self.path(name)?;
+        model.save(&path)?;
+        Ok(path)
+    }
+
+    /// Loads the model stored under `name`.
+    ///
+    /// # Errors
+    /// Fails if the name is invalid, missing, or the container corrupt.
+    pub fn load(&self, name: &str) -> Result<ShardedModel, ServeError> {
+        ShardedModel::load(&self.path(name)?)
+    }
+
+    /// Whether a container exists for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path(name).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    /// Names of every stored model, sorted.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn list(&self) -> Result<Vec<String>, ServeError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(MODEL_EXT) {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    if validate_name(stem).is_ok() {
+                        names.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Deletes the container for `name`.
+    ///
+    /// # Errors
+    /// Fails on invalid names or filesystem errors.
+    pub fn remove(&self, name: &str) -> Result<(), ServeError> {
+        std::fs::remove_file(self.path(name)?)?;
+        Ok(())
+    }
+}
+
+/// In-memory registry of loaded models over a [`ModelStore`].
+///
+/// `get` loads (and prewarms) a model on first use and then serves the
+/// cached `Arc` — the amortise-compression-across-restarts path the
+/// serve layer exists for.
+#[derive(Debug)]
+pub struct Registry {
+    store: ModelStore,
+    /// Batch width models are prewarmed for on load.
+    prewarm_width: usize,
+    cache: RwLock<HashMap<String, Arc<ShardedModel>>>,
+}
+
+impl Registry {
+    /// A registry over `store`, prewarming loaded models for batch width
+    /// `prewarm_width` (clamped to at least 1).
+    pub fn new(store: ModelStore, prewarm_width: usize) -> Self {
+        Self {
+            store,
+            prewarm_width: prewarm_width.max(1),
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// Persists `model` under `name` and caches it (prewarmed).
+    ///
+    /// # Errors
+    /// Fails on invalid names or filesystem errors.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: ShardedModel,
+    ) -> Result<Arc<ShardedModel>, ServeError> {
+        self.store.save(name, &model)?;
+        model.prewarm(self.prewarm_width);
+        let arc = Arc::new(model);
+        self.cache
+            .write()
+            .expect("registry cache poisoned")
+            .insert(name.to_string(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Returns the cached model for `name`, loading and prewarming it
+    /// from the store on first use.
+    ///
+    /// # Errors
+    /// Fails if the model is missing or its container corrupt.
+    pub fn get(&self, name: &str) -> Result<Arc<ShardedModel>, ServeError> {
+        if let Some(model) = self
+            .cache
+            .read()
+            .expect("registry cache poisoned")
+            .get(name)
+        {
+            return Ok(Arc::clone(model));
+        }
+        let model = self.store.load(name)?;
+        model.prewarm(self.prewarm_width);
+        let arc = Arc::new(model);
+        let mut cache = self.cache.write().expect("registry cache poisoned");
+        // A racing loader may have beaten us; keep the first.
+        let entry = cache
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&arc));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Drops the cached entry for `name` (the container stays on disk).
+    /// Returns whether an entry was cached.
+    pub fn evict(&self, name: &str) -> bool {
+        self.cache
+            .write()
+            .expect("registry cache poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Names currently cached, sorted.
+    pub fn loaded(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .cache
+            .read()
+            .expect("registry cache poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::BuildOptions;
+    use gcm_matrix::DenseMatrix;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gcm-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_model(shards: usize) -> ShardedModel {
+        let mut m = DenseMatrix::zeros(20, 5);
+        for r in 0..20 {
+            for c in 0..5 {
+                if (r + c) % 2 == 0 {
+                    m.set(r, c, (c + 1) as f64);
+                }
+            }
+        }
+        ShardedModel::from_dense(
+            &m,
+            &BuildOptions {
+                shards,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_save_list_load_remove() {
+        let dir = tmp_dir("store");
+        let store = ModelStore::open(&dir).unwrap();
+        assert_eq!(store.list().unwrap(), Vec::<String>::new());
+        store.save("alpha", &sample_model(2)).unwrap();
+        store.save("beta.v2", &sample_model(1)).unwrap();
+        assert_eq!(store.list().unwrap(), vec!["alpha", "beta.v2"]);
+        assert!(store.contains("alpha"));
+        let back = store.load("alpha").unwrap();
+        assert_eq!(back.num_shards(), 2);
+        store.remove("alpha").unwrap();
+        assert!(!store.contains("alpha"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_rejects_traversal_names() {
+        let dir = tmp_dir("names");
+        let store = ModelStore::open(&dir).unwrap();
+        for bad in ["", "../evil", "a/b", ".hidden", "nul\0byte", "sp ace"] {
+            assert!(store.path(bad).is_err(), "{bad:?} must be rejected");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_caches_across_gets() {
+        let dir = tmp_dir("registry");
+        let store = ModelStore::open(&dir).unwrap();
+        let registry = Registry::new(store, 4);
+        registry.publish("m", sample_model(3)).unwrap();
+        let a = registry.get("m").unwrap();
+        let b = registry.get("m").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second get must hit the cache");
+        assert_eq!(registry.loaded(), vec!["m"]);
+        assert!(registry.evict("m"));
+        assert!(!registry.evict("m"));
+        // Still loadable from disk after eviction.
+        let c = registry.get("m").unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(registry.get("missing").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

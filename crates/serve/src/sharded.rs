@@ -1,0 +1,587 @@
+//! The sharded serving engine: one matrix, split row-wise across N
+//! shards, multiplied on the persistent thread pool with per-shard
+//! workspace reuse.
+//!
+//! Sharding composes with the backend's own structure: each shard is any
+//! [`Model`] — uncompressed, grammar-compressed, or itself row-block
+//! parallel. A batched right product hands every shard its disjoint
+//! `rows_i × k` sub-panel of the output; a batched left product has each
+//! shard fill a persistent partial `cols × k` panel, then reduces them.
+//!
+//! Dispatch uses [`rayon::broadcast_indexed`], the pool's allocation-free
+//! parallel for-each, and every shard owns a [`Workspace`] (plus a
+//! persistent partial buffer) behind a mutex. After
+//! [`ShardedModel::prewarm`], a steady-state serving loop over
+//! single-threaded shard backends (`csrv` / `compressed`) performs
+//! **zero heap allocation** — from the *first* request on, the guarantee
+//! `crates/serve/tests/zero_alloc_serve.rs` locks in with the tracking
+//! allocator. (Shards that are themselves pool-parallel — `blocked` /
+//! `parcsrv` with more than one block — still allocate small per-task
+//! control structures when they fan out internally.)
+
+use std::sync::Mutex;
+
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_matrix::matvec::{check_left_batch, check_panels, check_right_batch};
+use gcm_matrix::{
+    CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, RowBlocks, Workspace,
+};
+use gcm_reorder::{reorder_columns, CsmConfig, ReorderAlgorithm};
+
+use crate::model::{Backend, Model};
+
+/// How to build a [`ShardedModel`] from a matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Representation of every shard.
+    pub backend: Backend,
+    /// Grammar encoding (compressed backends).
+    pub encoding: Encoding,
+    /// Number of row shards (clamped to `1..=rows`).
+    pub shards: usize,
+    /// Row blocks *inside* each shard (`blocked` / `parcsrv` backends).
+    pub blocks: usize,
+    /// Optional column reordering (§5) applied before compression; the
+    /// permutation is recorded in the container for provenance.
+    pub reorder: Option<ReorderAlgorithm>,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            backend: Backend::Compressed,
+            encoding: Encoding::ReAns,
+            shards: 1,
+            blocks: 4,
+            reorder: None,
+        }
+    }
+}
+
+/// One shard: its model plus the serving state the engine reuses across
+/// requests (workspace and left-reduction partial buffer).
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) model: Model,
+    pub(crate) row_offset: usize,
+    ws: Mutex<Workspace>,
+    partial: Mutex<Vec<f64>>,
+}
+
+/// A matrix split row-wise across shards, served from the persistent
+/// thread pool. Build one with [`ShardedModel::from_dense`] /
+/// [`from_csrv`](ShardedModel::from_csrv), or load one from a container
+/// ([`ShardedModel::load`]).
+#[derive(Debug)]
+pub struct ShardedModel {
+    shards: Vec<Shard>,
+    rows: usize,
+    cols: usize,
+    col_order: Option<Vec<u32>>,
+    /// Serialises concurrent multi-shard left multiplies: the
+    /// fill-partials broadcast and the reduction that reads every
+    /// shard's partial must be atomic per model, or two concurrent
+    /// requests through one shared registry `Arc` would mix each
+    /// other's partials.
+    left_gate: Mutex<()>,
+}
+
+/// Shared raw base pointer for disjoint per-shard output slices.
+struct SendPtr(*mut f64);
+// SAFETY: only used to derive disjoint row-range slices per shard.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl ShardedModel {
+    /// Builds from a dense matrix per `opts`.
+    ///
+    /// # Errors
+    /// Fails if the matrix has more distinct values than the CSRV symbol
+    /// alphabet can address.
+    pub fn from_dense(dense: &DenseMatrix, opts: &BuildOptions) -> Result<Self, MatrixError> {
+        Self::from_csrv(&CsrvMatrix::from_dense(dense)?, opts)
+    }
+
+    /// Builds from a CSRV matrix per `opts`, applying the column
+    /// reordering first when requested.
+    ///
+    /// # Errors
+    /// Currently infallible (the signature leaves room for backends with
+    /// fallible construction).
+    pub fn from_csrv(csrv: &CsrvMatrix, opts: &BuildOptions) -> Result<Self, MatrixError> {
+        let (csrv, col_order) = match opts.reorder {
+            Some(algo) => {
+                let order = reorder_columns(csrv, algo, CsmConfig::exact(), 8);
+                let reordered = csrv.with_column_order(&order);
+                (reordered, Some(order.iter().map(|&c| c as u32).collect()))
+            }
+            None => (csrv.clone(), None),
+        };
+        let parts = RowBlocks::split(&csrv, opts.shards.max(1));
+        let models = parts
+            .blocks()
+            .iter()
+            .map(|block| match opts.backend {
+                Backend::Csrv => Model::Csrv(block.clone()),
+                Backend::ParCsrv => Model::ParCsrv(ParallelCsrv::split(block, opts.blocks.max(1))),
+                Backend::Compressed => {
+                    Model::Compressed(CompressedMatrix::compress(block, opts.encoding))
+                }
+                Backend::Blocked => Model::Blocked(BlockedMatrix::compress(
+                    block,
+                    opts.encoding,
+                    opts.blocks.max(1),
+                )),
+            })
+            .collect();
+        Ok(Self::from_parts(models, csrv.cols(), col_order))
+    }
+
+    /// Assembles a sharded model from per-shard models (row offsets are
+    /// cumulative in order). Used by the container loader.
+    ///
+    /// # Panics
+    /// Panics if a shard disagrees on the column count.
+    pub(crate) fn from_parts(models: Vec<Model>, cols: usize, col_order: Option<Vec<u32>>) -> Self {
+        let mut shards = Vec::with_capacity(models.len());
+        let mut rows = 0usize;
+        for model in models {
+            assert_eq!(model.cols(), cols, "shard column mismatch");
+            let model_rows = model.rows();
+            shards.push(Shard {
+                model,
+                row_offset: rows,
+                ws: Mutex::new(Workspace::new()),
+                partial: Mutex::new(Vec::new()),
+            });
+            rows += model_rows;
+        }
+        Self {
+            shards,
+            rows,
+            cols,
+            col_order,
+            left_gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of row shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Row count of shard `i`.
+    pub fn shard_rows(&self, i: usize) -> usize {
+        self.shards[i].model.rows()
+    }
+
+    /// The shard models, in row order.
+    pub(crate) fn shard_slice(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The backend kind (uniform across shards).
+    pub fn backend(&self) -> Backend {
+        self.shards
+            .first()
+            .map_or(Backend::Csrv, |s| s.model.backend())
+    }
+
+    /// The grammar encoding, for compressed backends.
+    pub fn encoding(&self) -> Option<Encoding> {
+        self.shards.first().and_then(|s| s.model.encoding())
+    }
+
+    /// The column-reorder permutation the model was compressed with, if
+    /// any (provenance metadata; CSRV pairs keep their original column
+    /// indices, so serving needs no inverse permutation).
+    pub fn col_order(&self) -> Option<&[u32]> {
+        self.col_order.as_deref()
+    }
+
+    /// Total representation size across shards (container framing
+    /// excluded).
+    pub fn stored_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.model.stored_bytes()).sum()
+    }
+
+    /// Warms every shard's workspace and partial buffer for batch widths
+    /// up to `k` and runs dummy passes through both kernels, so the first
+    /// real request after a restart allocates nothing (and the worker
+    /// pool is already spun up).
+    pub fn prewarm(&self, k: usize) {
+        let k = k.max(1);
+        for shard in &self.shards {
+            let (count, max_len) = shard.model.workspace_budget(k);
+            shard
+                .ws
+                .lock()
+                .expect("shard workspace poisoned")
+                .warm(count, max_len);
+            let mut partial = shard.partial.lock().expect("shard partial poisoned");
+            if partial.capacity() < self.cols * k {
+                let grow = self.cols * k - partial.len();
+                partial.reserve(grow);
+            }
+        }
+        for width in [k, 1] {
+            let x = vec![0.0; self.cols * width];
+            let mut y = vec![0.0; self.rows * width];
+            self.right_multiply_panel(width, &x, &mut y)
+                .expect("prewarm dimensions are consistent");
+            let yv = vec![0.0; self.rows * width];
+            let mut xo = vec![0.0; self.cols * width];
+            self.left_multiply_panel(width, &yv, &mut xo)
+                .expect("prewarm dimensions are consistent");
+        }
+    }
+
+    /// Batched right product `Y = M·X` over row-major `k`-wide panel
+    /// slices: shards run concurrently on the persistent pool, each
+    /// writing its disjoint rows of `y_panel`.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn right_multiply_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 || self.rows == 0 {
+            return Ok(());
+        }
+        if self.shards.len() == 1 {
+            let shard = &self.shards[0];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            return shard
+                .model
+                .right_multiply_panel_into(k, x_panel, y_panel, &mut ws);
+        }
+        let base = SendPtr(y_panel.as_mut_ptr());
+        let base = &base;
+        rayon::broadcast_indexed(self.shards.len(), &|i| {
+            let shard = &self.shards[i];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            let len = shard.model.rows() * k;
+            // SAFETY: shard row ranges partition `0..rows` disjointly,
+            // so every task writes a non-overlapping region of y_panel,
+            // which outlives the broadcast (it blocks until completion).
+            let y =
+                unsafe { std::slice::from_raw_parts_mut(base.0.add(shard.row_offset * k), len) };
+            shard
+                .model
+                .right_multiply_panel_into(k, x_panel, y, &mut ws)
+                .expect("shard dimensions are consistent by construction");
+        });
+        Ok(())
+    }
+
+    /// Batched left product `X = Mᵗ·Y` over row-major panel slices:
+    /// shards fill their persistent partial panels concurrently, then the
+    /// partials are reduced into `x_panel` (§4.1's reduction, lifted to
+    /// the shard level).
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn left_multiply_panel(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 {
+            return Ok(());
+        }
+        if self.shards.len() == 1 {
+            let shard = &self.shards[0];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            return shard
+                .model
+                .left_multiply_panel_into(k, y_panel, x_panel, &mut ws);
+        }
+        // Hold the gate across fill + reduce: see `left_gate`.
+        let _gate = self.left_gate.lock().expect("left gate poisoned");
+        rayon::broadcast_indexed(self.shards.len(), &|i| {
+            let shard = &self.shards[i];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            let mut partial = shard.partial.lock().expect("shard partial poisoned");
+            partial.resize(self.cols * k, 0.0);
+            let off = shard.row_offset * k;
+            let y_slice = &y_panel[off..off + shard.model.rows() * k];
+            shard
+                .model
+                .left_multiply_panel_into(k, y_slice, &mut partial, &mut ws)
+                .expect("shard dimensions are consistent by construction");
+        });
+        x_panel.fill(0.0);
+        for shard in &self.shards {
+            let partial = shard.partial.lock().expect("shard partial poisoned");
+            for (acc, &p) in x_panel.iter_mut().zip(partial.iter()) {
+                *acc += p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched right product into a preallocated dense panel.
+    ///
+    /// # Errors
+    /// Fails on shape mismatches.
+    pub fn right_multiply_batch(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), MatrixError> {
+        check_right_batch(self.rows, self.cols, b, out)?;
+        self.right_multiply_panel(b.cols(), b.as_slice(), out.as_mut_slice())
+    }
+
+    /// Batched left product into a preallocated dense panel.
+    ///
+    /// # Errors
+    /// Fails on shape mismatches.
+    pub fn left_multiply_batch(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), MatrixError> {
+        check_left_batch(self.rows, self.cols, b, out)?;
+        self.left_multiply_panel(b.cols(), b.as_slice(), out.as_mut_slice())
+    }
+}
+
+impl MatVec for ShardedModel {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The workspace argument is unused: shards own their serving state.
+    fn right_multiply_into(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_panel(1, x, y)
+    }
+
+    /// The workspace argument is unused: shards own their serving state.
+    fn left_multiply_into(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        self.left_multiply_panel(1, y, x)
+    }
+
+    fn right_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_batch(b, out)
+    }
+
+    fn left_multiply_matrix_into(
+        &self,
+        b: &DenseMatrix,
+        out: &mut DenseMatrix,
+        _ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        self.left_multiply_batch(b, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * 5 + c * 2) % 3 != 0 {
+                    m.set(r, c, (((r + c) % 7) + 1) as f64 * 0.25);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn sharded_matches_dense_for_every_backend_and_shard_count() {
+        let dense = sample(83, 9);
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..83).map(|i| ((i % 6) as f64) - 2.5).collect();
+        let mut y_ref = vec![0.0; 83];
+        let mut x_ref = vec![0.0; 9];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        for backend in Backend::ALL {
+            for shards in [1usize, 2, 3, 7] {
+                let opts = BuildOptions {
+                    backend,
+                    shards,
+                    blocks: 2,
+                    ..BuildOptions::default()
+                };
+                let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+                assert_eq!(model.num_shards(), shards);
+                assert_eq!(model.rows(), 83);
+                let mut y = vec![0.0; 83];
+                model.right_multiply_panel(1, &x, &mut y).unwrap();
+                for (a, b) in y.iter().zip(&y_ref) {
+                    assert!((a - b).abs() < 1e-9, "{} s={shards} right", backend.name());
+                }
+                let mut xo = vec![0.0; 9];
+                model.left_multiply_panel(1, &yv, &mut xo).unwrap();
+                for (a, b) in xo.iter().zip(&x_ref) {
+                    assert!((a - b).abs() < 1e-9, "{} s={shards} left", backend.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_equals_independent_columns() {
+        let dense = sample(40, 7);
+        let opts = BuildOptions {
+            shards: 3,
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        model.prewarm(4);
+        let k = 4;
+        let mut b = DenseMatrix::zeros(7, k);
+        for i in 0..7 {
+            for j in 0..k {
+                b.set(i, j, (i * k + j) as f64 * 0.25 - 1.5);
+            }
+        }
+        let mut out = DenseMatrix::zeros(40, k);
+        model.right_multiply_batch(&b, &mut out).unwrap();
+        for j in 0..k {
+            let x: Vec<f64> = (0..7).map(|i| b.get(i, j)).collect();
+            let mut y = vec![0.0; 40];
+            model.right_multiply_panel(1, &x, &mut y).unwrap();
+            for (i, &yi) in y.iter().enumerate() {
+                assert!((out.get(i, j) - yi).abs() < 1e-9, "col {j}");
+            }
+        }
+
+        let mut by = DenseMatrix::zeros(40, k);
+        for i in 0..40 {
+            for j in 0..k {
+                by.set(i, j, ((i + 3 * j) % 5) as f64 - 2.0);
+            }
+        }
+        let mut outl = DenseMatrix::zeros(7, k);
+        model.left_multiply_batch(&by, &mut outl).unwrap();
+        for j in 0..k {
+            let y: Vec<f64> = (0..40).map(|i| by.get(i, j)).collect();
+            let mut xo = vec![0.0; 7];
+            model.left_multiply_panel(1, &y, &mut xo).unwrap();
+            for (i, &xi) in xo.iter().enumerate() {
+                assert!((outl.get(i, j) - xi).abs() < 1e-9, "col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_is_recorded_and_preserves_products() {
+        let dense = sample(24, 8);
+        let opts = BuildOptions {
+            shards: 2,
+            reorder: Some(ReorderAlgorithm::PathCover),
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        let order = model.col_order().expect("order recorded");
+        let mut seen = [false; 8];
+        for &c in order {
+            assert!(!seen[c as usize]);
+            seen[c as usize] = true;
+        }
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let mut y_ref = vec![0.0; 24];
+        let mut y = vec![0.0; 24];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        model.right_multiply_panel(1, &x, &mut y).unwrap();
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_rows_clamps() {
+        let dense = sample(3, 4);
+        let opts = BuildOptions {
+            shards: 9,
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        assert_eq!(model.num_shards(), 3);
+        let mut y = vec![0.0; 3];
+        model.right_multiply_panel(1, &[1.0; 4], &mut y).unwrap();
+        let mut y_ref = vec![0.0; 3];
+        dense.right_multiply(&[1.0; 4], &mut y_ref).unwrap();
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let dense = sample(10, 4);
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let mut y = vec![0.0; 10];
+        assert!(model.right_multiply_panel(1, &[0.0; 3], &mut y).is_err());
+        let mut x = vec![0.0; 4];
+        assert!(model.left_multiply_panel(1, &[0.0; 9], &mut x).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_serves_zeroes() {
+        let dense = DenseMatrix::zeros(6, 3);
+        for backend in Backend::ALL {
+            let model = ShardedModel::from_dense(
+                &dense,
+                &BuildOptions {
+                    backend,
+                    shards: 2,
+                    ..BuildOptions::default()
+                },
+            )
+            .unwrap();
+            let mut y = vec![1.0; 6];
+            model.right_multiply_panel(1, &[1.0; 3], &mut y).unwrap();
+            assert_eq!(y, vec![0.0; 6], "{}", backend.name());
+        }
+    }
+}

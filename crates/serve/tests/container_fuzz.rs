@@ -1,0 +1,77 @@
+//! Deterministic corruption fuzzing of the `GCMSERV1` container.
+//!
+//! For every backend: serialise a sharded model, then (a) truncate at
+//! every byte boundary and (b) flip bits in every byte. Loading must
+//! fail cleanly in all cases — the FNV-64 checksum makes *any*
+//! single-byte corruption detectable, and the structural validators
+//! behind it guarantee that even a forged checksum cannot panic a
+//! kernel (that layer is fuzzed separately in
+//! `crates/core/tests/serial_fuzz.rs`).
+
+use gcm_matrix::DenseMatrix;
+use gcm_serve::{Backend, BuildOptions, ShardedModel};
+
+fn sample_container(backend: Backend) -> Vec<u8> {
+    let mut dense = DenseMatrix::zeros(26, 7);
+    for r in 0..26 {
+        for c in 0..7 {
+            if (r * 2 + c) % 3 != 0 {
+                dense.set(r, c, (((r + c) % 5) + 1) as f64 * 0.5);
+            }
+        }
+    }
+    let opts = BuildOptions {
+        backend,
+        shards: 3,
+        blocks: 2,
+        ..BuildOptions::default()
+    };
+    ShardedModel::from_dense(&dense, &opts).unwrap().to_bytes()
+}
+
+#[test]
+fn truncation_at_every_boundary_is_rejected() {
+    for backend in Backend::ALL {
+        let bytes = sample_container(backend);
+        for cut in 0..bytes.len() {
+            assert!(
+                ShardedModel::from_bytes(&bytes[..cut]).is_err(),
+                "{}: truncation at {cut}/{} must be rejected",
+                backend.name(),
+                bytes.len()
+            );
+        }
+        assert!(ShardedModel::from_bytes(&bytes).is_ok());
+    }
+}
+
+#[test]
+fn byte_flips_at_every_offset_are_rejected() {
+    for backend in Backend::ALL {
+        let bytes = sample_container(backend);
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= flip;
+                assert!(
+                    ShardedModel::from_bytes(&mutated).is_err(),
+                    "{}: flip {flip:#04x} at byte {i} must be rejected",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn appended_and_garbage_input_is_rejected() {
+    let bytes = sample_container(Backend::Compressed);
+    // Trailing garbage breaks the checksum position.
+    let mut extended = bytes.clone();
+    extended.extend_from_slice(b"garbage");
+    assert!(ShardedModel::from_bytes(&extended).is_err());
+    // Arbitrary non-container bytes.
+    assert!(ShardedModel::from_bytes(b"").is_err());
+    assert!(ShardedModel::from_bytes(b"GCMSERV1").is_err());
+    assert!(ShardedModel::from_bytes(&[0u8; 64]).is_err());
+}

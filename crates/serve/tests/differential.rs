@@ -1,0 +1,286 @@
+//! The cross-backend differential test harness.
+//!
+//! One oracle (dense), one grid of matrix shapes (empty, zero-row, 1×1,
+//! single row, single column, fully dense, sparse, clustered), and
+//! **every** multiplication surface of **every** backend — CSR, CSRV,
+//! parallel CSRV, the three compressed encodings, blocked, and the
+//! sharded serve engine — must agree with the oracle to 1e-9:
+//!
+//! * `right_multiply` / `left_multiply` (allocating wrappers),
+//! * `right_multiply_into` / `left_multiply_into` (one shared workspace
+//!   across all backends, which also proves cross-backend workspace
+//!   reuse is safe),
+//! * `right_multiply_matrix[_into]` / `left_multiply_matrix[_into]`
+//!   (batched panels),
+//! * and, for the serve layer, everything again **after a save → load
+//!   round-trip through the on-disk container**.
+//!
+//! This is the safety net under the serve refactor: any backend that
+//! drifts from the shared `MatVec` semantics fails here with a name
+//! attached.
+
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_matrix::{CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, ParallelCsrv, Workspace};
+use gcm_serve::{Backend, BuildOptions, ShardedModel};
+
+const TOL: f64 = 1e-9;
+
+/// The matrix grid: name + dense representative.
+fn matrix_grid() -> Vec<(&'static str, DenseMatrix)> {
+    let mut grid: Vec<(&'static str, DenseMatrix)> = vec![
+        ("empty-4x3", DenseMatrix::zeros(4, 3)),
+        ("zero-rows-0x5", DenseMatrix::zeros(0, 5)),
+        ("one-by-one", DenseMatrix::from_rows(&[&[2.5]])),
+        (
+            "single-row",
+            DenseMatrix::from_rows(&[&[
+                1.0, 0.0, 2.0, 1.0, 0.0, 2.0, 1.0, 0.0, 2.0, 1.0, 0.0, 2.0,
+            ]]),
+        ),
+    ];
+    {
+        let mut col = DenseMatrix::zeros(9, 1);
+        for r in 0..9 {
+            col.set(r, 0, ((r % 3) + 1) as f64 * 0.5);
+        }
+        grid.push(("single-col", col));
+    }
+    {
+        let mut dense = DenseMatrix::zeros(16, 6);
+        for r in 0..16 {
+            for c in 0..6 {
+                dense.set(r, c, (((r * 6 + c) % 7) + 1) as f64 * 0.25);
+            }
+        }
+        grid.push(("fully-dense", dense));
+    }
+    {
+        let mut sparse = DenseMatrix::zeros(31, 9);
+        for r in 0..31 {
+            for c in 0..9 {
+                if (r * 9 + c) % 7 == 0 {
+                    sparse.set(r, c, (((r + c) % 4) + 1) as f64);
+                }
+            }
+        }
+        grid.push(("sparse", sparse));
+    }
+    {
+        // Clustered: repeated row patterns, the RePair-friendly case.
+        let mut clustered = DenseMatrix::zeros(48, 10);
+        for r in 0..48 {
+            for c in 0..10 {
+                let v = match (r % 4, c % 3) {
+                    (0, 0) => 1.5,
+                    (1, 1) => 2.5,
+                    (2, _) => 0.5,
+                    (3, 2) => 7.25,
+                    _ => 0.0,
+                };
+                clustered.set(r, c, v);
+            }
+        }
+        grid.push(("clustered", clustered));
+    }
+    grid
+}
+
+/// Every in-memory backend as a named `MatVec` trait object.
+fn backends(dense: &DenseMatrix) -> Vec<(String, Box<dyn MatVec>)> {
+    let csrv = CsrvMatrix::from_dense(dense).expect("csrv");
+    let mut out: Vec<(String, Box<dyn MatVec>)> = vec![
+        ("csr".into(), Box::new(CsrMatrix::from_dense(dense))),
+        ("csrv".into(), Box::new(csrv.clone())),
+        ("parcsrv-3".into(), Box::new(ParallelCsrv::split(&csrv, 3))),
+        (
+            "blocked-re_iv-4".into(),
+            Box::new(BlockedMatrix::compress(&csrv, Encoding::ReIv, 4)),
+        ),
+    ];
+    for enc in Encoding::ALL {
+        out.push((
+            format!("compressed-{}", enc.name()),
+            Box::new(CompressedMatrix::compress(&csrv, enc)),
+        ));
+    }
+    // The sharded serve engine, plus one save→load round-trip per serve
+    // backend: the differential harness is what makes the container a
+    // safe place to put a model.
+    for backend in Backend::ALL {
+        let opts = BuildOptions {
+            backend,
+            shards: 3,
+            blocks: 2,
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(dense, &opts).expect("build");
+        let reloaded = ShardedModel::from_bytes(&model.to_bytes()).expect("container round-trip");
+        out.push((format!("sharded-{}-3", backend.name()), Box::new(model)));
+        out.push((
+            format!("sharded-{}-3-reloaded", backend.name()),
+            Box::new(reloaded),
+        ));
+    }
+    out
+}
+
+fn assert_close(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= TOL,
+            "{what}: index {i}: got {g}, oracle {w}"
+        );
+    }
+}
+
+fn input_vec(len: usize, salt: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i * 7 + salt * 3) % 11) as f64 * 0.5 - 2.0)
+        .collect()
+}
+
+fn input_panel(rows: usize, k: usize, salt: usize) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(rows, k);
+    for i in 0..rows {
+        for j in 0..k {
+            m.set(i, j, ((i * k + j + salt) % 13) as f64 * 0.25 - 1.5);
+        }
+    }
+    m
+}
+
+#[test]
+fn every_backend_agrees_with_the_dense_oracle() {
+    let k = 3usize;
+    // One workspace shared across every backend and shape: reuse across
+    // differently-shaped matrices must never corrupt results.
+    let mut ws = Workspace::new();
+    for (shape, dense) in matrix_grid() {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let x = input_vec(cols, 1);
+        let yv = input_vec(rows, 2);
+        let b_right = input_panel(cols, k, 3);
+        let b_left = input_panel(rows, k, 4);
+
+        // Oracle products.
+        let mut y_oracle = vec![0.0; rows];
+        dense.right_multiply(&x, &mut y_oracle).unwrap();
+        let mut x_oracle = vec![0.0; cols];
+        dense.left_multiply(&yv, &mut x_oracle).unwrap();
+        let ym_oracle = dense.right_multiply_matrix(&b_right).unwrap();
+        let xm_oracle = dense.left_multiply_matrix(&b_left).unwrap();
+
+        for (name, backend) in backends(&dense) {
+            let tag = format!("{shape}/{name}");
+            assert_eq!(backend.rows(), rows, "{tag}: rows");
+            assert_eq!(backend.cols(), cols, "{tag}: cols");
+
+            // Allocating single-vector wrappers.
+            let mut y = vec![0.0; rows];
+            backend.right_multiply(&x, &mut y).unwrap();
+            assert_close(&y, &y_oracle, &format!("{tag} right"));
+            let mut xo = vec![0.0; cols];
+            backend.left_multiply(&yv, &mut xo).unwrap();
+            assert_close(&xo, &x_oracle, &format!("{tag} left"));
+
+            // Workspace paths.
+            let mut y2 = vec![0.0; rows];
+            backend.right_multiply_into(&x, &mut y2, &mut ws).unwrap();
+            assert_close(&y2, &y_oracle, &format!("{tag} right_into"));
+            let mut x2 = vec![0.0; cols];
+            backend.left_multiply_into(&yv, &mut x2, &mut ws).unwrap();
+            assert_close(&x2, &x_oracle, &format!("{tag} left_into"));
+
+            // Batched products, allocating and into.
+            let ym = backend.right_multiply_matrix(&b_right).unwrap();
+            assert_close(
+                ym.as_slice(),
+                ym_oracle.as_slice(),
+                &format!("{tag} right_matrix"),
+            );
+            let xm = backend.left_multiply_matrix(&b_left).unwrap();
+            assert_close(
+                xm.as_slice(),
+                xm_oracle.as_slice(),
+                &format!("{tag} left_matrix"),
+            );
+            let mut ym2 = DenseMatrix::zeros(rows, k);
+            backend
+                .right_multiply_matrix_into(&b_right, &mut ym2, &mut ws)
+                .unwrap();
+            assert_close(
+                ym2.as_slice(),
+                ym_oracle.as_slice(),
+                &format!("{tag} right_matrix_into"),
+            );
+            let mut xm2 = DenseMatrix::zeros(cols, k);
+            backend
+                .left_multiply_matrix_into(&b_left, &mut xm2, &mut ws)
+                .unwrap();
+            assert_close(
+                xm2.as_slice(),
+                xm_oracle.as_slice(),
+                &format!("{tag} left_matrix_into"),
+            );
+        }
+    }
+}
+
+#[test]
+fn every_backend_rejects_mismatched_dimensions() {
+    let dense = matrix_grid()
+        .into_iter()
+        .find(|(n, _)| *n == "sparse")
+        .unwrap()
+        .1;
+    let (rows, cols) = (dense.rows(), dense.cols());
+    for (name, backend) in backends(&dense) {
+        let mut y = vec![0.0; rows];
+        assert!(
+            backend
+                .right_multiply(&vec![0.0; cols + 1], &mut y)
+                .is_err(),
+            "{name}: right must reject wrong x length"
+        );
+        let mut x = vec![0.0; cols];
+        assert!(
+            backend.left_multiply(&vec![0.0; rows + 1], &mut x).is_err(),
+            "{name}: left must reject wrong y length"
+        );
+        let bad = DenseMatrix::zeros(cols + 1, 2);
+        assert!(
+            backend.right_multiply_matrix(&bad).is_err(),
+            "{name}: batched right must reject wrong panel shape"
+        );
+    }
+}
+
+#[test]
+fn reordered_compression_survives_the_container() {
+    // The §5 pipeline (reorder → compress → persist → load → serve) must
+    // be product-preserving end to end.
+    let (_, dense) = matrix_grid()
+        .into_iter()
+        .find(|(n, _)| *n == "clustered")
+        .unwrap();
+    let x = input_vec(dense.cols(), 5);
+    let mut y_oracle = vec![0.0; dense.rows()];
+    dense.right_multiply(&x, &mut y_oracle).unwrap();
+    for algo in [
+        gcm_reorder::ReorderAlgorithm::PathCover,
+        gcm_reorder::ReorderAlgorithm::Mwm,
+    ] {
+        let opts = BuildOptions {
+            shards: 2,
+            reorder: Some(algo),
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        let reloaded = ShardedModel::from_bytes(&model.to_bytes()).unwrap();
+        assert!(reloaded.col_order().is_some());
+        let mut y = vec![0.0; dense.rows()];
+        reloaded.right_multiply_panel(1, &x, &mut y).unwrap();
+        assert_close(&y, &y_oracle, algo.name());
+    }
+}

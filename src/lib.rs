@@ -50,6 +50,7 @@
 //! | [`reorder`] (`gcm-reorder`) | CSM + LKH/PathCover/PathCover+/MWM |
 //! | [`baselines`] (`gcm-baselines`) | gzip-like, xz-like, CLA |
 //! | [`datagen`] (`gcm-datagen`) | the seven synthetic evaluation matrices |
+//! | [`serve`] (`gcm-serve`) | sharded model store + serving registry + `gcm` CLI |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
 //! the reproduced tables and figures.
@@ -61,6 +62,7 @@ pub use gcm_encodings as encodings;
 pub use gcm_matrix as matrix;
 pub use gcm_reorder as reorder;
 pub use gcm_repair as repair;
+pub use gcm_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -78,4 +80,5 @@ pub mod prelude {
         ReorderAlgorithm,
     };
     pub use gcm_repair::{RePair, RePairConfig, Slp};
+    pub use gcm_serve::{Backend, BuildOptions, ModelStore, Registry, ServeError, ShardedModel};
 }

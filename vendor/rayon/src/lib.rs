@@ -15,12 +15,20 @@
 //! here are spawned once (lazily, on first use for the global pool) and
 //! blocked on a condvar between multiplications.
 //!
-//! Extensions over real rayon, used only by tests and diagnostics:
+//! Extensions over real rayon:
 //!
 //! * [`threads_ever_spawned`] — a process-wide counter of OS threads ever
 //!   started by any pool, which lets tests assert that repeated
 //!   multiplications do **not** spawn per-call threads;
-//! * [`global_pool`] — direct access to the lazily-built global pool.
+//! * [`global_pool`] — direct access to the lazily-built global pool;
+//! * [`broadcast_indexed`] / [`ThreadPool::broadcast_indexed`] — an
+//!   **allocation-free** parallel for-each. [`Scope::spawn`] must box
+//!   every closure, so a serving loop that dispatches per-shard work
+//!   through a scope pays one heap allocation per task per call;
+//!   `broadcast_indexed` instead publishes a single POD descriptor in
+//!   the pool's state and lets workers claim indices from an atomic
+//!   counter, so the steady-state zero-allocation guarantee of the
+//!   execution layer extends across threads.
 //!
 //! # Panics
 //!
@@ -57,14 +65,77 @@ pub fn threads_ever_spawned() -> usize {
     THREADS_SPAWNED.load(Ordering::SeqCst)
 }
 
+/// A published [`broadcast_indexed`] call: type-erased pointers into the
+/// caller's stack frame. Plain-old-data, so copying it to a worker
+/// allocates nothing.
+///
+/// Lifetime discipline: a worker may only copy this descriptor (and
+/// increment `active`) while it sits in [`PoolState::bcast`] *under the
+/// state lock*; the publishing caller clears the slot and then waits,
+/// still under the same lock, for `active` to drain back to zero before
+/// its stack frame (which owns everything these pointers reference) is
+/// allowed to die.
+#[derive(Clone, Copy)]
+struct BcastJob {
+    /// Type-erased `&F` where `F: Fn(usize) + Sync`.
+    data: *const (),
+    /// Monomorphised shim calling `data`'s closure with an index.
+    call: unsafe fn(*const (), usize),
+    /// Next index to claim (caller's stack).
+    next: *const AtomicUsize,
+    /// Exclusive upper bound of the index range.
+    n: usize,
+    /// Completed-call count (caller's stack).
+    finished: *const AtomicUsize,
+    /// Workers currently holding a copy of this descriptor (caller's
+    /// stack; mutated only under the pool state lock).
+    active: *const AtomicUsize,
+    /// First panic payload, if any call panicked (caller's stack).
+    panic: *const Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: the pointers reference state that outlives every dereference
+// (see the lifetime discipline above); all mutation goes through atomics
+// or a mutex.
+unsafe impl Send for BcastJob {}
+
+/// Claims and runs indices of `job` until the range is exhausted.
+/// Allocation-free on the non-panicking path.
+fn run_bcast(job: &BcastJob) {
+    loop {
+        // SAFETY: the caller of `run_bcast` holds the job either as the
+        // publisher (own stack) or counted in `active` (see `BcastJob`).
+        let i = unsafe { (*job.next).fetch_add(1, Ordering::AcqRel) };
+        if i >= job.n {
+            break;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
+        if let Err(payload) = result {
+            // SAFETY: as above.
+            let slot = unsafe { &*job.panic };
+            slot.lock()
+                .expect("broadcast panic slot poisoned")
+                .get_or_insert(payload);
+        }
+        // SAFETY: as above. Release pairs with the caller's Acquire load,
+        // making the call's writes visible before it observes completion.
+        unsafe { (*job.finished).fetch_add(1, Ordering::AcqRel) };
+    }
+}
+
 struct PoolState {
     queue: VecDeque<Job>,
+    /// The at-most-one in-flight [`broadcast_indexed`] descriptor.
+    bcast: Option<BcastJob>,
     shutdown: bool,
 }
 
 struct PoolShared {
     state: Mutex<PoolState>,
     job_ready: Condvar,
+    /// Signalled when a broadcast participant finishes or the broadcast
+    /// slot clears; publishers and completion-waiters sleep here.
+    bcast_done: Condvar,
 }
 
 impl PoolShared {
@@ -84,13 +155,27 @@ impl PoolShared {
     }
 }
 
+enum Work {
+    Queued(Job),
+    Bcast(BcastJob),
+}
+
 fn worker_loop(shared: Arc<PoolShared>) {
     loop {
-        let job = {
+        let work = {
             let mut st = shared.state.lock().expect("pool mutex poisoned");
             loop {
+                if let Some(job) = st.bcast {
+                    // Register as a participant while still holding the
+                    // lock — the publisher waits for `active` to drain
+                    // before letting the pointed-to state die.
+                    // SAFETY: slot is occupied, so the caller's frame is
+                    // alive and blocked.
+                    unsafe { (*job.active).fetch_add(1, Ordering::AcqRel) };
+                    break Work::Bcast(job);
+                }
                 if let Some(job) = st.queue.pop_front() {
-                    break job;
+                    break Work::Queued(job);
                 }
                 if st.shutdown {
                     return;
@@ -98,9 +183,27 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 st = shared.job_ready.wait(st).expect("pool mutex poisoned");
             }
         };
-        // Scope jobs catch their own panics; a raw panic would only kill
-        // this worker, never poison the queue.
-        job();
+        match work {
+            // Scope jobs catch their own panics; a raw panic would only
+            // kill this worker, never poison the queue.
+            Work::Queued(job) => job(),
+            Work::Bcast(job) => {
+                run_bcast(&job);
+                let mut st = shared.state.lock().expect("pool mutex poisoned");
+                // The claim range is exhausted (run_bcast only returns
+                // then): retire the descriptor so late-waking workers
+                // don't spin re-claiming it, then deregister.
+                if let Some(cur) = st.bcast {
+                    if std::ptr::eq(cur.next, job.next) {
+                        st.bcast = None;
+                    }
+                }
+                // SAFETY: registered above; publisher still waits on us.
+                unsafe { (*job.active).fetch_sub(1, Ordering::AcqRel) };
+                drop(st);
+                shared.bcast_done.notify_all();
+            }
+        }
     }
 }
 
@@ -149,9 +252,11 @@ impl ThreadPoolBuilder {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
+                bcast: None,
                 shutdown: false,
             }),
             job_ready: Condvar::new(),
+            bcast_done: Condvar::new(),
         });
         let workers = (0..n)
             .map(|i| {
@@ -231,6 +336,104 @@ impl ThreadPool {
                 }
                 r
             }
+        }
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, distributing indices across the
+    /// pool workers, **without heap allocation** (extension over real
+    /// rayon; the zero-alloc counterpart of a scope with `n` spawns).
+    ///
+    /// The calling thread participates in the claim loop, so the call
+    /// makes progress even when every worker is busy — including when it
+    /// is issued from inside a pool job. Broadcasts on one pool are
+    /// serialised: a second publisher waits for the slot to clear.
+    ///
+    /// # Panics
+    /// If any `f(i)` panics, one payload is re-raised here after all
+    /// indices have completed.
+    pub fn broadcast_indexed<F: Fn(usize) + Sync>(&self, n: usize, f: &F) {
+        if n == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let active = AtomicUsize::new(0);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        unsafe fn shim<F: Fn(usize)>(data: *const (), i: usize) {
+            // SAFETY: `data` is the `&F` erased in `broadcast_indexed`,
+            // alive until the publisher returns.
+            unsafe { (*(data as *const F))(i) }
+        }
+        let job = BcastJob {
+            data: f as *const F as *const (),
+            call: shim::<F>,
+            next: &next,
+            n,
+            finished: &finished,
+            active: &active,
+            panic: &panic_slot,
+        };
+        loop {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            let Some(other) = st.bcast else {
+                st.bcast = Some(job);
+                break;
+            };
+            // The slot is occupied. Help drain that broadcast instead of
+            // sleeping: a broadcast published from inside another
+            // broadcast's closure would otherwise deadlock (its indices
+            // can never finish while their closures block here).
+            // SAFETY: registered under the lock while the slot holds
+            // `other`, exactly like a worker.
+            unsafe { (*other.active).fetch_add(1, Ordering::AcqRel) };
+            drop(st);
+            run_bcast(&other);
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            if let Some(cur) = st.bcast {
+                if std::ptr::eq(cur.next, other.next) {
+                    st.bcast = None;
+                }
+            }
+            // SAFETY: deregistering the registration made above.
+            unsafe { (*other.active).fetch_sub(1, Ordering::AcqRel) };
+            drop(st);
+            self.shared.bcast_done.notify_all();
+        }
+        self.shared.job_ready.notify_all();
+        // Help with the claim loop from the calling thread.
+        run_bcast(&job);
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            // Retire our descriptor if no worker beat us to it, so a
+            // worker that never woke cannot pick it up later.
+            if let Some(cur) = st.bcast {
+                if std::ptr::eq(cur.next, job.next) {
+                    st.bcast = None;
+                }
+            }
+            drop(st);
+            self.shared.bcast_done.notify_all();
+        }
+        // Wait until every call completed AND every registered worker
+        // dropped its copy of the descriptor; only then may `next` &co
+        // (this stack frame) die.
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            while finished.load(Ordering::Acquire) != n || active.load(Ordering::Acquire) != 0 {
+                st = self
+                    .shared
+                    .bcast_done
+                    .wait(st)
+                    .expect("pool mutex poisoned");
+            }
+            drop(st);
+        }
+        let payload = panic_slot
+            .lock()
+            .expect("broadcast panic slot poisoned")
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
         }
     }
 
@@ -362,6 +565,12 @@ where
     OP: FnOnce(&Scope<'scope>) -> R,
 {
     global_pool().scope(op)
+}
+
+/// Allocation-free parallel for-each on the **global** pool; see
+/// [`ThreadPool::broadcast_indexed`].
+pub fn broadcast_indexed<F: Fn(usize) + Sync>(n: usize, f: &F) {
+    global_pool().broadcast_indexed(n, f);
 }
 
 #[cfg(test)]
@@ -509,5 +718,134 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         let r = pool.scope(|_| 7);
         assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn broadcast_covers_every_index_exactly_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..50 {
+            pool.broadcast_indexed(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 50, "index {i}");
+        }
+    }
+
+    #[test]
+    fn broadcast_writes_disjoint_mut_slices() {
+        // The serve-layer pattern: tasks write disjoint chunks of one
+        // output buffer through a shared raw pointer.
+        struct SendPtr(*mut u64);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut out = vec![0u64; 64];
+        let base = SendPtr(out.as_mut_ptr());
+        let base = &base;
+        pool.broadcast_indexed(8, &|i| {
+            // SAFETY: each index owns the disjoint chunk [8i, 8i+8).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(i * 8), 8) };
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 8 + j) as u64 + 1;
+            }
+        });
+        let expect: Vec<u64> = (1..=64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn broadcast_does_not_spawn_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let spawned = threads_ever_spawned();
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.broadcast_indexed(5, &|i| {
+                total.fetch_add(i as u64 + 1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 200 * 15);
+        assert_eq!(threads_ever_spawned(), spawned);
+    }
+
+    #[test]
+    fn broadcast_from_inside_a_pool_job_completes() {
+        // A broadcast issued from a worker (nested in an outer broadcast)
+        // must make progress by self-helping even on a 1-worker pool.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let total = AtomicU64::new(0);
+        pool.broadcast_indexed(3, &|_| {
+            pool.broadcast_indexed(4, &|j| {
+                total.fetch_add(j as u64 + 1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 3 * 10);
+    }
+
+    #[test]
+    fn concurrent_broadcasts_serialise_without_loss() {
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(2).build().unwrap());
+        let total = std::sync::Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                let total = std::sync::Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        pool.broadcast_indexed(7, &|i| {
+                            total.fetch_add(i as u64 + 1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 50 * 28);
+    }
+
+    #[test]
+    fn broadcast_panic_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast_indexed(6, &|i| {
+                if i == 3 {
+                    panic!("broadcast boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool still works afterwards.
+        let total = AtomicU64::new(0);
+        pool.broadcast_indexed(6, &|i| {
+            total.fetch_add(i as u64, Ordering::SeqCst);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn broadcast_interleaves_with_scope_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.broadcast_indexed(8, &|_| {
+                total.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8 + 80);
+    }
+
+    #[test]
+    fn empty_broadcast_is_fine() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.broadcast_indexed(0, &|_| panic!("must not run"));
     }
 }
