@@ -1,0 +1,107 @@
+//! Staged build/load pipeline vs. the sequential reference, at 1/2/4/8
+//! shards.
+//!
+//! * `build`: `Pipeline::build_sequential` (every shard on the calling
+//!   thread) vs. `Pipeline::build` (shards fused reorder → RePair →
+//!   encode on the persistent pool). RePair dominates, so the pipeline
+//!   approaches the pool's parallel speed-up at 4–8 shards.
+//! * `load`: `container::from_bytes_sequential` vs. the
+//!   `ShardTable`-parallel `container::from_bytes` on the same
+//!   container bytes.
+//!
+//! Both pairs produce bit-identical results (locked in by
+//! `crates/serve/tests/pipeline_parallel.rs`); only the clock should
+//! move. Pass `--test` (CI's smoke mode) to shrink the matrix and the
+//! sample count so the bench doubles as a fast end-to-end check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcm_bench::report::{pct, time_s};
+use gcm_datagen::Dataset;
+use gcm_matrix::CsrvMatrix;
+use gcm_pipeline::{BuildConfig, Pipeline, ReorderMode};
+use gcm_reorder::ReorderAlgorithm;
+use gcm_serve::{container, ShardedModel};
+
+/// CI smoke mode: `cargo bench --bench build_load -- --test`.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn bench_build_load(c: &mut Criterion) {
+    let rows = if smoke() { 400 } else { 4_000 };
+    let dense = Dataset::Census.generate(rows, 42);
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let dense_bytes = dense.uncompressed_bytes();
+    let pipeline = Pipeline::new();
+    // Touch the pool once so worker spawning never lands in a sample.
+    let _ = pipeline.build(&csrv, &BuildConfig::default());
+
+    let mut group = c.benchmark_group("build");
+    for shards in [1usize, 2, 4, 8] {
+        let config = BuildConfig {
+            shards,
+            reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+            ..BuildConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sequential", shards),
+            &config,
+            |b, config| b.iter(|| pipeline.build_sequential(&csrv, config)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", shards),
+            &config,
+            |b, config| b.iter(|| pipeline.build(&csrv, config)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("load");
+    for shards in [1usize, 2, 4, 8] {
+        let config = BuildConfig {
+            shards,
+            reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+            ..BuildConfig::default()
+        };
+        let artifacts = pipeline.build(&csrv, &config);
+        let stats = artifacts.stats.clone();
+        let model = ShardedModel::from_artifacts(artifacts);
+        let bytes = model.to_bytes();
+        if shards == 8 {
+            // One paper-style summary through the shared report
+            // machinery: container size vs dense, and the build's wall
+            // clock next to its summed per-stage CPU time.
+            let (reorder, grammar, encode) = stats.stage_cpu_totals();
+            let cpu = reorder + grammar + encode;
+            println!(
+                "build_load summary: container {} of dense | build wall {}s vs stage cpu {}s",
+                pct(bytes.len(), dense_bytes),
+                time_s(stats.wall_time.as_secs_f64()),
+                time_s(cpu.as_secs_f64()),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("sequential", shards),
+            &bytes,
+            |b, bytes| b.iter(|| container::from_bytes_sequential(bytes).expect("valid container")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded-parallel", shards),
+            &bytes,
+            |b, bytes| b.iter(|| container::from_bytes(bytes).expect("valid container")),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(if smoke() { 2 } else { 10 })
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_build_load
+}
+criterion_main!(benches);

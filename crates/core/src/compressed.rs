@@ -167,6 +167,46 @@ impl CompressedMatrix {
         self.seq.len()
     }
 
+    /// Number of stored non-zeroes, computed **without** materialising
+    /// the decompressed symbol stream: a rule-length DP (each rule's
+    /// expansion length is the sum of its children's) followed by one
+    /// pass over `C`. Separators are excluded, so this equals the source
+    /// CSRV's `nnz` (the `inspect` per-shard table relies on it).
+    ///
+    /// All arithmetic saturates: a crafted grammar chaining ~64 doubling
+    /// rules passes [`from_raw_parts`](Self::from_raw_parts)'s
+    /// structural checks yet has expansion lengths beyond `u64`, and the
+    /// no-panic-on-corrupt-input invariant must hold here too (such a
+    /// container reports a saturated count instead of overflowing).
+    pub fn nnz(&self) -> usize {
+        let q = self.num_rules();
+        let mut lens: Vec<u64> = Vec::with_capacity(q);
+        for k in 0..q {
+            let (a, b) = self.rules.rule(k);
+            let la = Self::symbol_len(a, self.first_nt, &lens);
+            let lb = Self::symbol_len(b, self.first_nt, &lens);
+            lens.push(la.saturating_add(lb));
+        }
+        let mut total = 0u64;
+        self.seq.for_each(|s| {
+            if s != SEPARATOR {
+                total = total.saturating_add(Self::symbol_len(s, self.first_nt, &lens));
+            }
+        });
+        usize::try_from(total).unwrap_or(usize::MAX)
+    }
+
+    /// Expansion length of one symbol given the rule-length table
+    /// (rules never contain the separator, so every expanded symbol is a
+    /// pair terminal).
+    fn symbol_len(s: u32, first_nt: u32, lens: &[u64]) -> u64 {
+        if s < first_nt {
+            1
+        } else {
+            lens[(s - first_nt) as usize]
+        }
+    }
+
     /// First nonterminal id.
     pub fn first_nonterminal(&self) -> u32 {
         self.first_nt
@@ -583,5 +623,46 @@ mod tests {
         let mut x = vec![0.0; 1];
         cm.left_multiply(&[1.0, 1.0, 1.0, 1.0], &mut x).unwrap();
         assert!((x[0] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nnz_matches_source_csrv_without_decompression() {
+        for (rows, cols) in [(1usize, 6usize), (64, 9), (3, 2), (40, 7)] {
+            let csrv = CsrvMatrix::from_dense(&repetitive(rows, cols)).unwrap();
+            for enc in Encoding::ALL {
+                let cm = CompressedMatrix::compress(&csrv, enc);
+                assert_eq!(cm.nnz(), csrv.nnz(), "{rows}x{cols} {}", enc.name());
+            }
+        }
+        let empty = CsrvMatrix::from_dense(&DenseMatrix::zeros(5, 3)).unwrap();
+        assert_eq!(CompressedMatrix::compress(&empty, Encoding::Re32).nnz(), 0);
+    }
+
+    #[test]
+    fn nnz_saturates_on_doubling_rule_chains() {
+        // 70 chained doubling rules pass from_raw_parts' structural
+        // validation (children reference earlier symbols) but expand to
+        // 2^70 terminals; nnz must saturate, never panic.
+        use crate::encoding::{RuleStore, SeqStore};
+        use std::sync::Arc;
+        let first_nt = 2u32; // rows=1, cols=1, |V|=1
+        let mut rules = vec![1u32, 1];
+        for k in 1..70u32 {
+            let prev = first_nt + k - 1;
+            rules.push(prev);
+            rules.push(prev);
+        }
+        let seq = vec![first_nt + 69, 0]; // top rule, then the row separator
+        let cm = CompressedMatrix::from_raw_parts(
+            1,
+            1,
+            Arc::new(vec![1.0]),
+            first_nt,
+            Encoding::Re32,
+            SeqStore::Raw(seq),
+            RuleStore::Raw(rules),
+        )
+        .expect("structurally valid by construction");
+        assert_eq!(cm.nnz(), usize::MAX);
     }
 }

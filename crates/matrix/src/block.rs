@@ -101,6 +101,12 @@ impl RowBlocks {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &CsrvMatrix)> {
         self.row_offsets.iter().copied().zip(self.blocks.iter())
     }
+
+    /// Consumes the partition, yielding the blocks in row order (the
+    /// build pipeline hands each shard its block without cloning).
+    pub fn into_blocks(self) -> Vec<CsrvMatrix> {
+        self.blocks
+    }
 }
 
 #[cfg(test)]

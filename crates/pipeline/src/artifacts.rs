@@ -1,0 +1,162 @@
+//! What a pipeline build produces: per-shard artifacts, first-class
+//! per-shard column permutations, and per-stage statistics.
+
+use std::time::Duration;
+
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_matrix::{CsrvMatrix, ParallelCsrv};
+use gcm_reorder::ReorderAlgorithm;
+
+use crate::backend::Backend;
+
+/// One built shard in its target [`Backend`] representation. The serve
+/// layer converts this into its servable `Model` (adding workspaces and
+/// kernels); the pipeline itself stays below the serving seam.
+#[derive(Debug, Clone)]
+pub enum ShardArtifact {
+    /// Uncompressed CSRV.
+    Csrv(CsrvMatrix),
+    /// Row-block parallel CSRV.
+    ParCsrv(ParallelCsrv),
+    /// Grammar-compressed matrix.
+    Compressed(CompressedMatrix),
+    /// Row-block parallel grammar-compressed matrix.
+    Blocked(BlockedMatrix),
+}
+
+impl ShardArtifact {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            ShardArtifact::Csrv(m) => m.rows(),
+            ShardArtifact::ParCsrv(m) => gcm_matrix::MatVec::rows(m),
+            ShardArtifact::Compressed(m) => m.rows(),
+            ShardArtifact::Blocked(m) => gcm_matrix::MatVec::rows(m),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            ShardArtifact::Csrv(m) => m.cols(),
+            ShardArtifact::ParCsrv(m) => gcm_matrix::MatVec::cols(m),
+            ShardArtifact::Compressed(m) => m.cols(),
+            ShardArtifact::Blocked(m) => gcm_matrix::MatVec::cols(m),
+        }
+    }
+
+    /// The backend this artifact realises.
+    pub fn backend(&self) -> Backend {
+        match self {
+            ShardArtifact::Csrv(_) => Backend::Csrv,
+            ShardArtifact::ParCsrv(_) => Backend::ParCsrv,
+            ShardArtifact::Compressed(_) => Backend::Compressed,
+            ShardArtifact::Blocked(_) => Backend::Blocked,
+        }
+    }
+
+    /// Representation size in bytes (the paper's "size" accounting).
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            ShardArtifact::Csrv(m) => m.csrv_bytes(),
+            ShardArtifact::ParCsrv(m) => m.stored_bytes(),
+            ShardArtifact::Compressed(m) => m.stored_bytes(),
+            ShardArtifact::Blocked(m) => m.stored_bytes(),
+        }
+    }
+}
+
+/// One shard's artifact plus its reorder provenance: the permutation the
+/// shard was compressed with (first-class per shard — shards of one
+/// model may carry different orders) and the algorithm that produced it.
+#[derive(Debug, Clone)]
+pub struct BuiltShard {
+    /// The built representation.
+    pub artifact: ShardArtifact,
+    /// Column permutation applied before compression
+    /// (`order[p]` = original column at new position `p`), if any.
+    pub col_order: Option<Vec<u32>>,
+    /// Algorithm that produced `col_order`, if any.
+    pub reorder: Option<ReorderAlgorithm>,
+}
+
+/// Per-shard build statistics (sizes and per-stage times).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (row order).
+    pub index: usize,
+    /// Rows in the shard.
+    pub rows: usize,
+    /// Non-zeroes in the shard.
+    pub nnz: usize,
+    /// Total grammar rules across the shard's blocks (0 for the
+    /// uncompressed backends).
+    pub grammar_rules: usize,
+    /// Representation bytes of the built artifact.
+    pub encoded_bytes: usize,
+    /// Chosen encoding (None for the uncompressed backends).
+    pub encoding: Option<Encoding>,
+    /// Reorder algorithm applied to this shard, if any.
+    pub reorder: Option<ReorderAlgorithm>,
+    /// Time spent computing/applying the column reorder.
+    pub reorder_time: Duration,
+    /// Time spent in RePair grammar construction.
+    pub grammar_time: Duration,
+    /// Time spent building (and, under `Auto`, measuring) encodings.
+    pub encode_time: Duration,
+}
+
+/// Whole-build statistics: planning time, end-to-end wall time of the
+/// stage execution, and the per-shard breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Time spent planning (shard split, global-order computation).
+    pub plan_time: Duration,
+    /// Wall-clock time of the per-shard stage execution.
+    pub wall_time: Duration,
+    /// Per-shard statistics, in row order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl BuildStats {
+    /// Summed per-stage CPU time across shards:
+    /// `(reorder, grammar, encode)`. Under parallel execution the sum
+    /// exceeds [`wall_time`](Self::wall_time) — that gap *is* the
+    /// pipeline's speed-up.
+    pub fn stage_cpu_totals(&self) -> (Duration, Duration, Duration) {
+        let mut reorder = Duration::ZERO;
+        let mut grammar = Duration::ZERO;
+        let mut encode = Duration::ZERO;
+        for s in &self.shards {
+            reorder += s.reorder_time;
+            grammar += s.grammar_time;
+            encode += s.encode_time;
+        }
+        (reorder, grammar, encode)
+    }
+}
+
+/// Everything a build produces, ready for the serve layer.
+#[derive(Debug, Clone)]
+pub struct BuildArtifacts {
+    /// Backend of every shard.
+    pub backend: Backend,
+    /// Column count (shared by all shards).
+    pub cols: usize,
+    /// Built shards, in row order.
+    pub shards: Vec<BuiltShard>,
+    /// Per-stage statistics.
+    pub stats: BuildStats,
+}
+
+impl BuildArtifacts {
+    /// Total rows across shards.
+    pub fn rows(&self) -> usize {
+        self.shards.iter().map(|s| s.artifact.rows()).sum()
+    }
+
+    /// Total representation bytes across shards.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.artifact.stored_bytes()).sum()
+    }
+}

@@ -1,0 +1,94 @@
+//! The four servable matrix representations a build can target.
+//!
+//! This enum used to live in the serve layer; it moved down into the
+//! pipeline so the build path can be planned and executed without
+//! depending on serving code (the serve crate re-exports it, so
+//! `gcm_serve::Backend` keeps working).
+
+/// Which representation a built shard (and its on-disk container) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Uncompressed CSRV, single-threaded kernels.
+    Csrv,
+    /// Uncompressed CSRV split into row blocks, pool-parallel kernels.
+    ParCsrv,
+    /// Grammar-compressed `(C, R, V)`, single-threaded kernels.
+    Compressed,
+    /// Grammar-compressed row blocks, pool-parallel kernels (§4.1).
+    Blocked,
+}
+
+impl Backend {
+    /// Every backend, in container-tag order.
+    pub const ALL: [Backend; 4] = [
+        Backend::Csrv,
+        Backend::ParCsrv,
+        Backend::Compressed,
+        Backend::Blocked,
+    ];
+
+    /// Stable on-disk tag (the `GCMSERV1` container's backend byte).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Backend::Csrv => 0,
+            Backend::ParCsrv => 1,
+            Backend::Compressed => 2,
+            Backend::Blocked => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Option<Backend> {
+        match t {
+            0 => Some(Backend::Csrv),
+            1 => Some(Backend::ParCsrv),
+            2 => Some(Backend::Compressed),
+            3 => Some(Backend::Blocked),
+            _ => None,
+        }
+    }
+
+    /// CLI / display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Csrv => "csrv",
+            Backend::ParCsrv => "parcsrv",
+            Backend::Compressed => "compressed",
+            Backend::Blocked => "blocked",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Backend> {
+        Backend::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Whether shards of this backend are grammar-compressed (and thus
+    /// pass through the RePair + encode stages).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, Backend::Compressed | Backend::Blocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_tags_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_tag(b.tag()), Some(b));
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_tag(9), None);
+        assert_eq!(Backend::parse("dense"), None);
+    }
+
+    #[test]
+    fn compressed_flag() {
+        assert!(!Backend::Csrv.is_compressed());
+        assert!(!Backend::ParCsrv.is_compressed());
+        assert!(Backend::Compressed.is_compressed());
+        assert!(Backend::Blocked.is_compressed());
+    }
+}

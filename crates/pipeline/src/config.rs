@@ -1,0 +1,78 @@
+//! Build configuration: what the planner turns into a [`crate::Plan`].
+
+use gcm_core::Encoding;
+use gcm_reorder::ReorderAlgorithm;
+
+use crate::backend::Backend;
+
+/// Scope of the §5 column reordering applied before compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReorderMode {
+    /// One permutation computed from the whole matrix, applied to every
+    /// shard (the pre-pipeline behaviour; best when shards share column
+    /// correlations).
+    Global(ReorderAlgorithm),
+    /// Each shard computes and applies its **own** permutation (§5.3's
+    /// per-block reordering, Table 4) — legal because CSRV pairs keep
+    /// their original column indices, and profitable when different row
+    /// ranges correlate different columns.
+    PerShard(ReorderAlgorithm),
+}
+
+impl ReorderMode {
+    /// The algorithm, regardless of scope.
+    pub fn algorithm(&self) -> ReorderAlgorithm {
+        match self {
+            ReorderMode::Global(a) | ReorderMode::PerShard(a) => *a,
+        }
+    }
+}
+
+/// How the physical encoding of compressed shards is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingChoice {
+    /// Use this encoding for every shard.
+    Fixed(Encoding),
+    /// Per shard, build every encoding from the single RePair grammar
+    /// and keep the one with the smallest **measured** stored size
+    /// (ties break in [`Encoding::ALL`] order). Shards may end up with
+    /// different encodings; the container stores one tag per shard.
+    Auto,
+}
+
+impl EncodingChoice {
+    /// CLI / display name.
+    pub fn name(&self) -> String {
+        match self {
+            EncodingChoice::Fixed(e) => e.name().to_string(),
+            EncodingChoice::Auto => "auto".to_string(),
+        }
+    }
+}
+
+/// Full configuration of one pipeline build.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildConfig {
+    /// Representation of every shard.
+    pub backend: Backend,
+    /// Encoding policy for compressed backends.
+    pub encoding: EncodingChoice,
+    /// Number of row shards (clamped to `1..=rows`).
+    pub shards: usize,
+    /// Row blocks *inside* each shard (`blocked` / `parcsrv` backends).
+    pub blocks: usize,
+    /// Optional column reordering (§5) applied before compression.
+    pub reorder: Option<ReorderMode>,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            backend: Backend::Compressed,
+            encoding: EncodingChoice::Fixed(Encoding::ReAns),
+            shards: 1,
+            blocks: 4,
+            reorder: None,
+        }
+    }
+}

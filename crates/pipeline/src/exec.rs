@@ -1,0 +1,443 @@
+//! Stage execution: runs a [`Plan`]'s shards — reorder → RePair →
+//! encode, fused per shard — on the persistent thread pool.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_matrix::{CsrvMatrix, ParallelCsrv, RowBlocks, SEPARATOR};
+use gcm_repair::{RePair, RePairScratch, Slp};
+
+use crate::artifacts::{BuildArtifacts, BuildStats, BuiltShard, ShardArtifact, ShardStats};
+use crate::backend::Backend;
+use crate::config::{BuildConfig, EncodingChoice};
+use crate::plan::{Plan, ShardPlan, ShardReorder};
+use crate::stage::par_map;
+
+/// The pipeline executor: stage machinery plus a scratch arena of
+/// [`RePairScratch`] buffers, one per pool worker (plus the caller), so
+/// concurrent grammar constructions reuse working storage across shards
+/// and across builds instead of reallocating it per block.
+#[derive(Debug)]
+pub struct Pipeline {
+    scratches: Vec<Mutex<RePairScratch>>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    /// A pipeline sized to the persistent pool (one scratch per worker,
+    /// plus one for the calling thread, which participates in stages).
+    pub fn new() -> Self {
+        Self::with_workers(rayon::current_num_threads() + 1)
+    }
+
+    /// A pipeline with an explicit scratch-arena size.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            scratches: (0..workers.max(1))
+                .map(|_| Mutex::new(RePairScratch::new()))
+                .collect(),
+        }
+    }
+
+    /// Runs `f` with an uncontended scratch from the arena, falling back
+    /// to a fresh one if every slot is busy (correctness never depends
+    /// on which scratch a task gets).
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut RePairScratch) -> R) -> R {
+        for slot in &self.scratches {
+            if let Ok(mut scratch) = slot.try_lock() {
+                return f(&mut scratch);
+            }
+        }
+        f(&mut RePairScratch::new())
+    }
+
+    /// Plans and executes a build of `csrv` with shards running
+    /// **concurrently** on the persistent pool.
+    pub fn build(&self, csrv: &CsrvMatrix, config: &BuildConfig) -> BuildArtifacts {
+        let t0 = Instant::now();
+        let plan = Plan::new(csrv, config);
+        let plan_time = t0.elapsed();
+        self.execute_with(plan, plan_time, true)
+    }
+
+    /// As [`build`](Self::build) with every shard executed sequentially
+    /// on the calling thread — the reference path the parallel build is
+    /// pinned bit-identical against (and the bench baseline).
+    pub fn build_sequential(&self, csrv: &CsrvMatrix, config: &BuildConfig) -> BuildArtifacts {
+        let t0 = Instant::now();
+        let plan = Plan::new(csrv, config);
+        let plan_time = t0.elapsed();
+        self.execute_with(plan, plan_time, false)
+    }
+
+    /// Executes an already-made plan concurrently.
+    pub fn execute(&self, plan: Plan) -> BuildArtifacts {
+        self.execute_with(plan, std::time::Duration::ZERO, true)
+    }
+
+    fn execute_with(
+        &self,
+        plan: Plan,
+        plan_time: std::time::Duration,
+        parallel: bool,
+    ) -> BuildArtifacts {
+        let t0 = Instant::now();
+        let built: Vec<(BuiltShard, ShardStats)> = if parallel {
+            par_map(plan.shards.len(), |i| {
+                self.build_shard(&plan, &plan.shards[i])
+            })
+        } else {
+            plan.shards
+                .iter()
+                .map(|sp| self.build_shard(&plan, sp))
+                .collect()
+        };
+        let wall_time = t0.elapsed();
+        let mut shards = Vec::with_capacity(built.len());
+        let mut stats = Vec::with_capacity(built.len());
+        for (shard, stat) in built {
+            shards.push(shard);
+            stats.push(stat);
+        }
+        BuildArtifacts {
+            backend: plan.backend,
+            cols: plan.cols,
+            shards,
+            stats: BuildStats {
+                plan_time,
+                wall_time,
+                shards: stats,
+            },
+        }
+    }
+
+    /// One shard's fused stage chain: reorder → grammar → encode.
+    fn build_shard(&self, plan: &Plan, sp: &ShardPlan) -> (BuiltShard, ShardStats) {
+        let rows = sp.csrv.rows();
+        let nnz = sp.csrv.nnz();
+
+        // Stage: reorder. `None` keeps a borrow of the plan's shard so
+        // unreordered builds never copy the symbol stream (except the
+        // `csrv` backend below, whose artifact must own it).
+        let t0 = Instant::now();
+        let (reordered, col_order, algo) = match &sp.reorder {
+            ShardReorder::None => (None, None, None),
+            ShardReorder::Apply(order, algo) => (
+                Some(sp.csrv.with_column_order(order)),
+                Some(order.iter().map(|&c| c as u32).collect::<Vec<u32>>()),
+                Some(*algo),
+            ),
+            ShardReorder::Compute(algo) => {
+                let (reordered, order) =
+                    gcm_reorder::BlockReorderConfig::new(*algo).apply(&sp.csrv);
+                (
+                    Some(reordered),
+                    Some(order.iter().map(|&c| c as u32).collect::<Vec<u32>>()),
+                    Some(*algo),
+                )
+            }
+        };
+        let csrv: &CsrvMatrix = reordered.as_ref().unwrap_or(&sp.csrv);
+        let reorder_time = t0.elapsed();
+
+        // Stages: grammar + encode (compressed backends only).
+        let mut grammar_time = std::time::Duration::ZERO;
+        let mut encode_time = std::time::Duration::ZERO;
+        let mut grammar_rules = 0usize;
+        let mut encoding = None;
+        let artifact = match plan.backend {
+            Backend::Csrv => ShardArtifact::Csrv(reordered.unwrap_or_else(|| sp.csrv.clone())),
+            Backend::ParCsrv => ShardArtifact::ParCsrv(ParallelCsrv::split(csrv, plan.blocks)),
+            Backend::Compressed | Backend::Blocked => {
+                let blocked_parts;
+                let parts: &[CsrvMatrix] = if plan.backend == Backend::Compressed {
+                    std::slice::from_ref(csrv)
+                } else {
+                    blocked_parts = RowBlocks::split(csrv, plan.blocks).into_blocks();
+                    &blocked_parts
+                };
+                let t1 = Instant::now();
+                let slps: Vec<Slp> = parts
+                    .iter()
+                    .map(|block| {
+                        self.with_scratch(|scratch| {
+                            RePair::new().compress_with_scratch(
+                                block.symbols(),
+                                block.terminal_limit(),
+                                Some(SEPARATOR),
+                                scratch,
+                            )
+                        })
+                    })
+                    .collect();
+                grammar_time = t1.elapsed();
+                grammar_rules = slps.iter().map(Slp::num_rules).sum();
+                let t2 = Instant::now();
+                let blocks = encode_blocks(parts, &slps, sp.encoding);
+                encode_time = t2.elapsed();
+                encoding = blocks.first().map(CompressedMatrix::encoding);
+                if plan.backend == Backend::Compressed {
+                    let block = blocks.into_iter().next().expect("one block per shard");
+                    ShardArtifact::Compressed(block)
+                } else {
+                    ShardArtifact::Blocked(BlockedMatrix::from_blocks(blocks, plan.cols))
+                }
+            }
+        };
+
+        let stats = ShardStats {
+            index: sp.index,
+            rows,
+            nnz,
+            grammar_rules,
+            encoded_bytes: artifact.stored_bytes(),
+            encoding,
+            reorder: algo,
+            reorder_time,
+            grammar_time,
+            encode_time,
+        };
+        (
+            BuiltShard {
+                artifact,
+                col_order,
+                reorder: algo,
+            },
+            stats,
+        )
+    }
+}
+
+/// Encodes a shard's blocks, selecting the encoding per `choice`: under
+/// [`EncodingChoice::Auto`] every encoding is built from the shared
+/// grammars and the one with the smallest **measured** total stored size
+/// wins (ties break in [`Encoding::ALL`] order — the container needs one
+/// encoding per shard, so the choice is made across the shard's blocks).
+fn encode_blocks(
+    parts: &[CsrvMatrix],
+    slps: &[Slp],
+    choice: EncodingChoice,
+) -> Vec<CompressedMatrix> {
+    let build = |enc: Encoding| -> Vec<CompressedMatrix> {
+        parts
+            .iter()
+            .zip(slps)
+            .map(|(block, slp)| CompressedMatrix::from_slp(block, slp, enc))
+            .collect()
+    };
+    match choice {
+        EncodingChoice::Fixed(enc) => build(enc),
+        EncodingChoice::Auto => Encoding::ALL
+            .into_iter()
+            .map(build)
+            .min_by_key(|blocks| {
+                blocks
+                    .iter()
+                    .map(CompressedMatrix::stored_bytes)
+                    .sum::<usize>()
+            })
+            .expect("at least one encoding"),
+    }
+}
+
+static GLOBAL: OnceLock<Pipeline> = OnceLock::new();
+
+/// The process-wide pipeline (lazily built, sized to the global pool).
+/// The serve layer's `BuildOptions` path and the `gcm` CLI build through
+/// it, so scratch arenas amortise across every build in the process.
+pub fn global() -> &'static Pipeline {
+    GLOBAL.get_or_init(Pipeline::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReorderMode;
+    use gcm_matrix::{DenseMatrix, MatVec, Workspace};
+    use gcm_reorder::ReorderAlgorithm;
+
+    fn sample(rows: usize, cols: usize) -> CsrvMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * 5 + c * 2) % 3 != 0 {
+                    m.set(r, c, (((r + c) % 7) + 1) as f64 * 0.25);
+                }
+            }
+        }
+        CsrvMatrix::from_dense(&m).unwrap()
+    }
+
+    fn artifact_products_match_dense(artifacts: &BuildArtifacts, csrv: &CsrvMatrix) {
+        let dense = csrv.to_dense();
+        let x: Vec<f64> = (0..dense.cols()).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let mut y_ref = vec![0.0; dense.rows()];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        let mut ws = Workspace::new();
+        let mut row = 0usize;
+        for shard in &artifacts.shards {
+            let rows = shard.artifact.rows();
+            let mut y = vec![0.0; rows];
+            match &shard.artifact {
+                ShardArtifact::Csrv(m) => m.right_multiply(&x, &mut y).unwrap(),
+                ShardArtifact::ParCsrv(m) => m.right_multiply(&x, &mut y).unwrap(),
+                ShardArtifact::Compressed(m) => m.right_multiply(&x, &mut y).unwrap(),
+                ShardArtifact::Blocked(m) => m.right_multiply_into(&x, &mut y, &mut ws).unwrap(),
+            }
+            for (i, &yi) in y.iter().enumerate() {
+                assert!((yi - y_ref[row + i]).abs() < 1e-9);
+            }
+            row += rows;
+        }
+        assert_eq!(row, dense.rows());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_for_every_backend() {
+        let csrv = sample(61, 8);
+        let pipeline = Pipeline::new();
+        for backend in Backend::ALL {
+            for reorder in [
+                None,
+                Some(ReorderMode::Global(ReorderAlgorithm::PathCover)),
+                Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+            ] {
+                let config = BuildConfig {
+                    backend,
+                    shards: 4,
+                    blocks: 2,
+                    reorder,
+                    ..BuildConfig::default()
+                };
+                let par = pipeline.build(&csrv, &config);
+                let seq = pipeline.build_sequential(&csrv, &config);
+                assert_eq!(par.shards.len(), seq.shards.len());
+                for (a, b) in par.shards.iter().zip(&seq.shards) {
+                    assert_eq!(a.col_order, b.col_order, "{}", backend.name());
+                    assert_eq!(a.reorder, b.reorder);
+                    assert_eq!(
+                        a.artifact.stored_bytes(),
+                        b.artifact.stored_bytes(),
+                        "{} {:?}",
+                        backend.name(),
+                        reorder
+                    );
+                }
+                artifact_products_match_dense(&par, &csrv);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_encoding_picks_the_smallest_measured_size() {
+        let csrv = sample(80, 9);
+        let pipeline = Pipeline::new();
+        let auto = pipeline.build_sequential(
+            &csrv,
+            &BuildConfig {
+                shards: 2,
+                encoding: EncodingChoice::Auto,
+                ..BuildConfig::default()
+            },
+        );
+        for (i, shard) in auto.shards.iter().enumerate() {
+            let chosen = shard.artifact.stored_bytes();
+            for enc in Encoding::ALL {
+                let fixed = pipeline.build_sequential(
+                    &csrv,
+                    &BuildConfig {
+                        shards: 2,
+                        encoding: EncodingChoice::Fixed(enc),
+                        ..BuildConfig::default()
+                    },
+                );
+                assert!(
+                    chosen <= fixed.shards[i].artifact.stored_bytes(),
+                    "shard {i}: auto ({chosen}) beaten by {}",
+                    enc.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_orders_are_recorded_per_shard() {
+        let csrv = sample(40, 8);
+        let pipeline = Pipeline::new();
+        let artifacts = pipeline.build(
+            &csrv,
+            &BuildConfig {
+                shards: 3,
+                reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+                ..BuildConfig::default()
+            },
+        );
+        assert_eq!(artifacts.shards.len(), 3);
+        for shard in &artifacts.shards {
+            let order = shard.col_order.as_ref().expect("order recorded");
+            assert_eq!(order.len(), 8);
+            let mut seen = [false; 8];
+            for &c in order {
+                assert!(!seen[c as usize], "duplicate column in permutation");
+                seen[c as usize] = true;
+            }
+            assert_eq!(shard.reorder, Some(ReorderAlgorithm::PathCover));
+        }
+    }
+
+    #[test]
+    fn build_uses_pool_workers_not_fresh_threads() {
+        let csrv = sample(64, 6);
+        let pipeline = Pipeline::new();
+        let config = BuildConfig {
+            shards: 8,
+            ..BuildConfig::default()
+        };
+        let _ = pipeline.build(&csrv, &config); // spins up the pool
+        let spawned = rayon::threads_ever_spawned();
+        for _ in 0..5 {
+            let _ = pipeline.build(&csrv, &config);
+        }
+        assert_eq!(
+            rayon::threads_ever_spawned(),
+            spawned,
+            "builds must not spawn per-build threads"
+        );
+    }
+
+    #[test]
+    fn stats_cover_every_shard_and_stage() {
+        let csrv = sample(48, 7);
+        let artifacts = global().build(
+            &csrv,
+            &BuildConfig {
+                backend: Backend::Blocked,
+                shards: 4,
+                blocks: 2,
+                reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+                ..BuildConfig::default()
+            },
+        );
+        assert_eq!(artifacts.stats.shards.len(), 4);
+        let mut rows = 0usize;
+        let mut nnz = 0usize;
+        for (i, s) in artifacts.stats.shards.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert!(s.encoded_bytes > 0);
+            assert_eq!(s.encoding, Some(Encoding::ReAns));
+            rows += s.rows;
+            nnz += s.nnz;
+        }
+        assert_eq!(rows, 48);
+        assert_eq!(nnz, csrv.nnz());
+        let (_, grammar, encode) = artifacts.stats.stage_cpu_totals();
+        assert!(grammar > std::time::Duration::ZERO);
+        assert!(encode > std::time::Duration::ZERO);
+    }
+}

@@ -65,9 +65,44 @@ pub fn reorder_columns(
     }
 }
 
+/// Reordering configuration for **one** row block: the algorithm plus
+/// the CSM settings it runs with. The per-block driver takes one of
+/// these per block, so a caller (the staged build pipeline) can give
+/// every shard its own algorithm or pruning sparsity.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockReorderConfig {
+    /// Reordering algorithm (§5.2).
+    pub algo: ReorderAlgorithm,
+    /// CSM computation settings (§5.1).
+    pub csm: CsmConfig,
+    /// Local-pruning sparsity `k` (Table 3 found 8 best).
+    pub k: usize,
+}
+
+impl BlockReorderConfig {
+    /// The Table 3 defaults (exact CSM, `k = 8`) for `algo`.
+    pub fn new(algo: ReorderAlgorithm) -> Self {
+        Self {
+            algo,
+            csm: CsmConfig::exact(),
+            k: 8,
+        }
+    }
+
+    /// Computes this configuration's column order for `block` and applies
+    /// it, returning the reordered block and the permutation
+    /// (`order[p]` = original column at new position `p`).
+    pub fn apply(&self, block: &CsrvMatrix) -> (CsrvMatrix, Vec<usize>) {
+        let order = reorder_columns(block, self.algo, self.csm, self.k);
+        let reordered = block.with_column_order(&order);
+        (reordered, order)
+    }
+}
+
 /// Applies `algo` independently to each of `blocks` row blocks (§5.3):
 /// every block is reordered with its own permutation and returned as a
-/// fresh CSRV matrix, ready for per-block compression.
+/// fresh CSRV matrix, ready for per-block compression. Thin wrapper over
+/// [`reorder_blocks_with`] with one uniform configuration.
 pub fn reorder_blocks(
     matrix: &CsrvMatrix,
     blocks: usize,
@@ -75,14 +110,45 @@ pub fn reorder_blocks(
     csm_config: CsmConfig,
     k: usize,
 ) -> Vec<CsrvMatrix> {
-    let parts = RowBlocks::split(matrix, blocks);
-    parts
-        .blocks()
+    let config = BlockReorderConfig {
+        algo,
+        csm: csm_config,
+        k,
+    };
+    RowBlocks::split(matrix, blocks)
+        .into_blocks()
         .iter()
-        .map(|b| {
-            let order = reorder_columns(b, algo, csm_config, k);
-            b.with_column_order(&order)
-        })
+        .map(|block| config.apply(block).0)
+        .collect()
+}
+
+/// The per-block driver (§5.3) with an explicit configuration per block:
+/// `configs[i]` reorders row block `i`, and the permutation each block
+/// was reordered with is returned alongside it — per-block column orders
+/// are first-class, so callers can persist them as provenance (the
+/// `GCMSERV1` container stores one per shard).
+///
+/// # Panics
+/// Panics if `configs.len()` differs from the number of row blocks the
+/// split produces (`RowBlocks::split(matrix, configs.len())` block
+/// count — equal to `configs.len()` clamped to the row count).
+pub fn reorder_blocks_with(
+    matrix: &CsrvMatrix,
+    configs: &[BlockReorderConfig],
+) -> Vec<(CsrvMatrix, Vec<usize>)> {
+    let parts = RowBlocks::split(matrix, configs.len().max(1));
+    assert_eq!(
+        parts.len(),
+        configs.len(),
+        "one config per block required (got {} configs for {} blocks)",
+        configs.len(),
+        parts.len()
+    );
+    parts
+        .into_blocks()
+        .iter()
+        .zip(configs)
+        .map(|(block, config)| config.apply(block))
         .collect()
 }
 
@@ -167,6 +233,25 @@ mod tests {
         let order = reorder_columns(&csrv, ReorderAlgorithm::PathCover, CsmConfig::exact(), 4);
         let reordered = csrv.with_column_order(&order);
         assert_eq!(reordered.to_dense(), dense);
+    }
+
+    #[test]
+    fn per_block_configs_apply_independently_and_return_permutations() {
+        let csrv = CsrvMatrix::from_dense(&correlated()).unwrap();
+        let configs = [
+            BlockReorderConfig::new(ReorderAlgorithm::PathCover),
+            BlockReorderConfig::new(ReorderAlgorithm::Mwm),
+            BlockReorderConfig::new(ReorderAlgorithm::PathCoverPlus),
+            BlockReorderConfig::new(ReorderAlgorithm::Lkh),
+        ];
+        let out = reorder_blocks_with(&csrv, &configs);
+        assert_eq!(out.len(), 4);
+        let originals = RowBlocks::split(&csrv, 4);
+        for ((block, order), original) in out.iter().zip(originals.blocks()) {
+            assert_permutation(order, 6);
+            // Reordering never changes the block's content.
+            assert_eq!(block.to_dense(), original.to_dense());
+        }
     }
 
     #[test]

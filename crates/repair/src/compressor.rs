@@ -50,6 +50,45 @@ pub struct RePair {
     config: RePairConfig,
 }
 
+/// Reusable working storage for [`RePair::compress_with_scratch`].
+///
+/// One compression allocates five length-`n` arrays plus a pair map and a
+/// priority heap; a build pipeline compressing many shards back to back
+/// (or many blocks inside one shard) would pay that allocation churn per
+/// block and thrash the allocator from every pool worker at once. A
+/// scratch arena keeps the buffers alive between compressions: the first
+/// call grows them, later calls reuse the capacity. A `Default`-fresh
+/// scratch is always valid, so the arena is purely an optimisation.
+#[derive(Debug, Default)]
+pub struct RePairScratch {
+    sym: Vec<u32>,
+    jump: Vec<u32>,
+    onext: Vec<u32>,
+    oprev: Vec<u32>,
+    in_list: Vec<bool>,
+    pairs: FxHashMap<u64, PairRec>,
+    heap: std::collections::BinaryHeap<(u32, u64)>,
+}
+
+impl RePairScratch {
+    /// An empty scratch arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently retained by the arena's buffers (diagnostic;
+    /// lets tests assert that repeated compressions stop growing it).
+    pub fn retained_bytes(&self) -> usize {
+        self.sym.capacity() * 4
+            + self.jump.capacity() * 4
+            + self.onext.capacity() * 4
+            + self.oprev.capacity() * 4
+            + self.in_list.capacity()
+            + self.pairs.capacity() * (8 + std::mem::size_of::<PairRec>())
+            + self.heap.capacity() * std::mem::size_of::<(u32, u64)>()
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PairRec {
     count: u32,
@@ -84,16 +123,39 @@ struct State {
 }
 
 impl State {
-    fn new(input: &[u32], protected: Option<u32>) -> Self {
+    /// Builds the working state from `scratch`'s buffers (taking them out
+    /// of the arena; [`State::finish`] hands them back). Buffer *contents*
+    /// are fully reinitialised here, so reuse never leaks state between
+    /// compressions.
+    fn new_in(input: &[u32], protected: Option<u32>, scratch: &mut RePairScratch) -> Self {
         let n = input.len();
+        let mut sym = std::mem::take(&mut scratch.sym);
+        sym.clear();
+        sym.extend_from_slice(input);
+        let mut jump = std::mem::take(&mut scratch.jump);
+        jump.clear();
+        jump.resize(n, 0);
+        let mut onext = std::mem::take(&mut scratch.onext);
+        onext.clear();
+        onext.resize(n, NONE);
+        let mut oprev = std::mem::take(&mut scratch.oprev);
+        oprev.clear();
+        oprev.resize(n, NONE);
+        let mut in_list = std::mem::take(&mut scratch.in_list);
+        in_list.clear();
+        in_list.resize(n, false);
+        let mut pairs = std::mem::take(&mut scratch.pairs);
+        pairs.clear();
+        let mut heap = std::mem::take(&mut scratch.heap);
+        heap.clear();
         Self {
-            sym: input.to_vec(),
-            jump: vec![0; n],
-            onext: vec![NONE; n],
-            oprev: vec![NONE; n],
-            in_list: vec![false; n],
-            pairs: FxHashMap::default(),
-            heap: std::collections::BinaryHeap::new(),
+            sym,
+            jump,
+            onext,
+            oprev,
+            in_list,
+            pairs,
+            heap,
             protected,
         }
     }
@@ -310,9 +372,18 @@ impl State {
         None
     }
 
-    /// Compacts the working sequence, dropping holes.
-    fn into_sequence(self) -> Vec<u32> {
-        self.sym.into_iter().filter(|&s| s != EMPTY).collect()
+    /// Compacts the working sequence (dropping holes) and returns every
+    /// buffer to `scratch` for the next compression.
+    fn finish(mut self, scratch: &mut RePairScratch) -> Vec<u32> {
+        let seq: Vec<u32> = self.sym.iter().copied().filter(|&s| s != EMPTY).collect();
+        scratch.sym = std::mem::take(&mut self.sym);
+        scratch.jump = std::mem::take(&mut self.jump);
+        scratch.onext = std::mem::take(&mut self.onext);
+        scratch.oprev = std::mem::take(&mut self.oprev);
+        scratch.in_list = std::mem::take(&mut self.in_list);
+        scratch.pairs = std::mem::take(&mut self.pairs);
+        scratch.heap = std::mem::take(&mut self.heap);
+        seq
     }
 }
 
@@ -337,6 +408,24 @@ impl RePair {
     /// the reserved value `u32::MAX`, or if the input length exceeds
     /// `u32::MAX - 1`.
     pub fn compress(&self, input: &[u32], first_nt: u32, protected: Option<u32>) -> Slp {
+        self.compress_with_scratch(input, first_nt, protected, &mut RePairScratch::default())
+    }
+
+    /// As [`compress`](Self::compress), drawing all working storage from
+    /// `scratch` so repeated compressions (per-block builds, the staged
+    /// pipeline's pool workers) reuse their buffers instead of
+    /// reallocating. Output is identical to [`compress`](Self::compress)
+    /// for any scratch state.
+    ///
+    /// # Panics
+    /// As [`compress`](Self::compress).
+    pub fn compress_with_scratch(
+        &self,
+        input: &[u32],
+        first_nt: u32,
+        protected: Option<u32>,
+        scratch: &mut RePairScratch,
+    ) -> Slp {
         assert!(input.len() < u32::MAX as usize, "input too long");
         if let Some(&max) = input.iter().max() {
             assert!(max < first_nt, "input symbol {max} >= first_nt {first_nt}");
@@ -349,7 +438,7 @@ impl RePair {
             .unwrap_or(usize::MAX)
             .min((u32::MAX - first_nt) as usize);
 
-        let mut st = State::new(input, protected);
+        let mut st = State::new_in(input, protected, scratch);
         st.count_initial_pairs();
         let mut rules: Vec<(u32, u32)> = Vec::new();
         while rules.len() < max_rules {
@@ -365,7 +454,8 @@ impl RePair {
             }
             rules.push((a, b));
         }
-        Slp::new(first_nt, rules, st.into_sequence())
+        let seq = st.finish(scratch);
+        Slp::new(first_nt, rules, seq)
     }
 }
 
@@ -577,5 +667,44 @@ mod tests {
         // Empty rows: consecutive protected symbols.
         let input = vec![0, 0, 1, 2, 0, 1, 2, 0, 0];
         roundtrip(&input, 10, Some(0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_compression_and_stops_growing() {
+        // Several different inputs through ONE scratch arena: every
+        // grammar must equal the fresh-allocation compressor's output,
+        // and after the largest input has been seen the arena must stop
+        // growing.
+        let mut x = 0xC0FFEEu64;
+        let inputs: Vec<Vec<u32>> = (0..8)
+            .map(|round| {
+                (0..200 + round * 57)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((x >> 33) % 9) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut scratch = RePairScratch::new();
+        for input in &inputs {
+            let with_scratch =
+                RePair::new().compress_with_scratch(input, 100, Some(0), &mut scratch);
+            let fresh = RePair::new().compress(input, 100, Some(0));
+            assert_eq!(with_scratch.rules(), fresh.rules());
+            assert_eq!(with_scratch.sequence(), fresh.sequence());
+            assert_eq!(with_scratch.expand(), *input);
+        }
+        let plateau = scratch.retained_bytes();
+        for input in &inputs {
+            let _ = RePair::new().compress_with_scratch(input, 100, Some(0), &mut scratch);
+        }
+        assert_eq!(
+            scratch.retained_bytes(),
+            plateau,
+            "arena must reuse capacity on repeat inputs"
+        );
     }
 }

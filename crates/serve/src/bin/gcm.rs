@@ -5,34 +5,43 @@
 //! gcm gen <dataset> <rows> <out.txt> [--seed S]
 //! gcm compress <in.txt> <out.gcms> [--backend B] [--encoding E]
 //!              [--shards N] [--blocks B] [--reorder ALGO]
+//!              [--reorder-scope global|shard]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
 //! gcm selftest [--rows R] [--cols C] [--shards N]
 //! ```
 //!
 //! Backends: `csrv`, `parcsrv`, `compressed` (default), `blocked`.
-//! Encodings: `re_32`, `re_iv`, `re_ans` (default).
-//! Reorder algorithms: `pathcover`, `pathcover+`, `mwm`, `lkh`.
+//! Encodings: `re_32`, `re_iv`, `re_ans` (default), or `auto` (per
+//! shard, smallest measured).
+//! Reorder algorithms: `pathcover`, `pathcover+`, `mwm`, `lkh`;
+//! `--reorder-scope shard` gives every shard its own permutation (§5.3).
 //!
-//! `multiply` defaults to the all-ones input; with `--batch K` the input
-//! is a `cols × K` (or `rows × K` for `--left`) dense text panel read
-//! from `--vector`, or all-ones when omitted. `selftest` drives the full
-//! pipeline — generate, compress to a temp container for every backend,
-//! reload, multiply sharded — and exits non-zero unless every product
-//! matches the dense oracle to 1e-9; CI runs it so the end-to-end path
-//! gates every change.
+//! `compress` runs the staged build pipeline (shards reorder, RePair,
+//! and encode concurrently on the persistent pool) and reports
+//! per-stage timings plus a per-shard table; `inspect` prints the same
+//! per-shard breakdown from a container. `multiply` defaults to the
+//! all-ones input; with `--batch K` the input is a `cols × K` (or
+//! `rows × K` for `--left`) dense text panel read from `--vector`, or
+//! all-ones when omitted. `selftest` drives the full pipeline —
+//! generate, compress to a temp container for every backend (global
+//! *and* per-shard reorders included), reload, multiply sharded — and
+//! exits non-zero unless every product matches the dense oracle to
+//! 1e-9; CI runs it so the end-to-end path gates every change.
 
 use std::fs;
 use std::io::BufReader;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use gcm_core::Encoding;
 use gcm_datagen::Dataset;
 use gcm_matrix::io as mio;
-use gcm_matrix::{DenseMatrix, MatVec};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
+use gcm_pipeline::{BuildConfig, BuildStats, EncodingChoice};
 use gcm_reorder::ReorderAlgorithm;
-use gcm_serve::{Backend, BuildOptions, ShardTable, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ReorderMode, ShardTable, ShardedModel};
 
 /// `println!` that tolerates a closed stdout (e.g. piped through
 /// `head`) instead of panicking on the broken pipe.
@@ -49,8 +58,8 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gcm gen <dataset> <rows> <out.txt> [--seed S]\n  \
          gcm compress <in.txt> <out.gcms> [--backend csrv|parcsrv|compressed|blocked]\n               \
-         [--encoding re_32|re_iv|re_ans] [--shards N] [--blocks B]\n               \
-         [--reorder pathcover|pathcover+|mwm|lkh]\n  \
+         [--encoding re_32|re_iv|re_ans|auto] [--shards N] [--blocks B]\n               \
+         [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n  \
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n  \
          gcm selftest [--rows R] [--cols C] [--shards N]\n\n\
@@ -168,20 +177,31 @@ fn read_dense(path: &str) -> Result<DenseMatrix, String> {
     }
 }
 
-fn build_options(args: &Args) -> Result<BuildOptions, String> {
-    let mut opts = BuildOptions::default();
+fn build_config(args: &Args) -> Result<BuildConfig, String> {
+    let mut config = BuildOptions::default().to_build_config();
     if let Some(b) = args.flag("backend") {
-        opts.backend = Backend::parse(b).ok_or_else(|| format!("unknown backend {b}"))?;
+        config.backend = Backend::parse(b).ok_or_else(|| format!("unknown backend {b}"))?;
     }
     if let Some(e) = args.flag("encoding") {
-        opts.encoding = parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?;
+        config.encoding = if e == "auto" {
+            EncodingChoice::Auto
+        } else {
+            EncodingChoice::Fixed(parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?)
+        };
     }
-    opts.shards = args.parsed_flag("shards", 1usize)?.max(1);
-    opts.blocks = args.parsed_flag("blocks", 4usize)?.max(1);
+    config.shards = args.parsed_flag("shards", 1usize)?.max(1);
+    config.blocks = args.parsed_flag("blocks", 4usize)?.max(1);
     if let Some(r) = args.flag("reorder") {
-        opts.reorder = Some(parse_reorder(r).ok_or_else(|| format!("unknown reorder {r}"))?);
+        let algo = parse_reorder(r).ok_or_else(|| format!("unknown reorder {r}"))?;
+        config.reorder = Some(match args.flag("reorder-scope") {
+            None | Some("global") => ReorderMode::Global(algo),
+            Some("shard") => ReorderMode::PerShard(algo),
+            Some(other) => return Err(format!("unknown reorder scope {other}")),
+        });
+    } else if args.flag("reorder-scope").is_some() {
+        return Err("--reorder-scope needs --reorder".to_string());
     }
-    Ok(opts)
+    Ok(config)
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -203,14 +223,50 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Prints the staged build's per-stage timings and per-shard table.
+fn report_build_stats(stats: &BuildStats) {
+    let (reorder, grammar, encode) = stats.stage_cpu_totals();
+    say!(
+        "  stages     : plan {} | reorder {} | grammar {} | encode {} (cpu) | wall {}",
+        secs(stats.plan_time),
+        secs(reorder),
+        secs(grammar),
+        secs(encode),
+        secs(stats.wall_time),
+    );
+    say!("  shard table:");
+    say!("    shard     rows      nnz    rules    bytes  encoding  reorder");
+    for s in &stats.shards {
+        say!(
+            "    {:>5} {:>8} {:>8} {:>8} {:>8}  {:<8}  {}",
+            s.index,
+            s.rows,
+            s.nnz,
+            s.grammar_rules,
+            s.encoded_bytes,
+            s.encoding.map_or("-", |e| e.name()),
+            s.reorder.map_or("none", |a| a.name()),
+        );
+    }
+}
+
 fn cmd_compress(args: &Args) -> Result<(), String> {
     let [input, output] = &args.positional[..] else {
         return Err("compress needs <in.txt> <out.gcms>".into());
     };
-    let opts = build_options(args)?;
+    let config = build_config(args)?;
     let dense = read_dense(input)?;
-    let model = ShardedModel::from_dense(&dense, &opts).map_err(|e| e.to_string())?;
+    let csrv = CsrvMatrix::from_dense(&dense).map_err(|e| e.to_string())?;
+    let artifacts = gcm_pipeline::global().build(&csrv, &config);
+    let stats = artifacts.stats.clone();
+    let model = ShardedModel::from_artifacts(artifacts);
+    let t_save = Instant::now();
     model.save(Path::new(output)).map_err(|e| e.to_string())?;
+    let save_time = t_save.elapsed();
     let container_len = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
     say!(
         "{input}: {} bytes dense -> {} bytes container ({} x {}, {} backend, {} shard(s), {:.2}%)",
@@ -222,6 +278,8 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         model.num_shards(),
         100.0 * container_len as f64 / dense.uncompressed_bytes().max(1) as f64,
     );
+    report_build_stats(&stats);
+    say!("  save       : {}", secs(save_time));
     Ok(())
 }
 
@@ -241,20 +299,43 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     say!(
         "  reorder    : {}",
         if model.col_order().is_some() {
-            "column permutation recorded"
+            "uniform column permutation recorded"
+        } else if (0..model.num_shards()).any(|i| model.shard_col_order(i).is_some()) {
+            "per-shard column permutations recorded"
         } else {
             "none"
         }
     );
     say!("  shards     : {}", model.num_shards());
-    if let Ok(table) = ShardTable::parse(&bytes) {
-        for (i, range) in table.shard_ranges.iter().enumerate() {
-            say!(
-                "    shard {i:>3}: {:>8} rows, {:>10} payload bytes",
-                model.shard_rows(i),
-                range.len()
-            );
+    let payload_bytes: Vec<usize> = match ShardTable::parse(&bytes) {
+        Ok(table) => {
+            say!("  version    : {}", table.version);
+            table
+                .shard_ranges
+                .iter()
+                .map(std::ops::Range::len)
+                .collect()
         }
+        // Bare GCMMAT1/GCMMAT2 compatibility payloads have no table.
+        Err(_) => vec![bytes.len(); model.num_shards()],
+    };
+    say!("    shard     rows      nnz    rules    bytes  encoding  reorder");
+    for (i, payload) in payload_bytes.iter().enumerate() {
+        let shard = model.shard_model(i);
+        say!(
+            "    {:>5} {:>8} {:>8} {:>8} {:>8}  {:<8}  {}",
+            i,
+            shard.rows(),
+            shard.nnz(),
+            shard.grammar_rules(),
+            payload,
+            shard.encoding().map_or("-", |e| e.name()),
+            match (model.shard_reorder(i), model.shard_col_order(i)) {
+                (Some(algo), _) => algo.name(),
+                (None, Some(_)) => "recorded",
+                (None, None) => "none",
+            },
+        );
     }
     say!(
         "  stored     : {} bytes (representation)",
@@ -344,29 +425,46 @@ fn selftest_case(
     backend: Backend,
     encoding: Encoding,
     shards: usize,
+    reorder: Option<ReorderMode>,
     k: usize,
     y_oracle: &DenseMatrix,
     x_oracle: &DenseMatrix,
     b_right: &DenseMatrix,
     b_left: &DenseMatrix,
 ) -> Result<(), String> {
-    let tag = format!("{}-{}-s{shards}", backend.name(), encoding.name());
+    let scope = match reorder {
+        None => "",
+        Some(ReorderMode::Global(_)) => "-rg",
+        Some(ReorderMode::PerShard(_)) => "-rs",
+    };
+    let tag = format!("{}-{}-s{shards}{scope}", backend.name(), encoding.name());
     let opts = BuildOptions {
         backend,
         encoding,
         shards,
         blocks: 2,
-        reorder: None,
+        reorder,
     };
     let built = ShardedModel::from_dense(dense, &opts).map_err(|e| format!("{tag}: {e}"))?;
     let path = dir.join(format!("{tag}.gcms"));
     built.save(&path).map_err(|e| format!("{tag}: save: {e}"))?;
+    let built_orders: Vec<Option<Vec<u32>>> = (0..built.num_shards())
+        .map(|i| built.shard_col_order(i).map(<[u32]>::to_vec))
+        .collect();
     drop(built);
     // Everything below runs against the on-disk container, not the
     // in-memory build: the round-trip is the point.
     let model = ShardedModel::load(&path).map_err(|e| format!("{tag}: load: {e}"))?;
     if model.num_shards() != shards.min(dense.rows().max(1)) {
         return Err(format!("{tag}: shard count not preserved"));
+    }
+    for (i, order) in built_orders.iter().enumerate() {
+        if model.shard_col_order(i) != order.as_deref() {
+            return Err(format!("{tag}: shard {i} column order not preserved"));
+        }
+        if reorder.is_some() && model.shard_reorder(i).is_none() {
+            return Err(format!("{tag}: shard {i} reorder provenance lost"));
+        }
     }
     model.prewarm(k);
     let mut y = DenseMatrix::zeros(dense.rows(), k);
@@ -462,13 +560,36 @@ fn run_selftest(rows: usize, cols: usize, shards: usize, dir: &Path) -> Result<(
         for &encoding in encodings {
             for s in [1usize, shards] {
                 selftest_case(
-                    &dense, dir, backend, encoding, s, k, &y_oracle, &x_oracle, &b_right, &b_left,
+                    &dense, dir, backend, encoding, s, None, k, &y_oracle, &x_oracle, &b_right,
+                    &b_left,
                 )?;
                 cases += 1;
             }
         }
+        // Reordered builds (global and per-shard §5.3) must round-trip
+        // save → load → serve too: per-shard permutations are the
+        // format's version-2 feature, so the end-to-end gate covers it.
+        for reorder in [
+            ReorderMode::Global(ReorderAlgorithm::PathCover),
+            ReorderMode::PerShard(ReorderAlgorithm::PathCover),
+        ] {
+            selftest_case(
+                &dense,
+                dir,
+                backend,
+                Encoding::ReAns,
+                shards,
+                Some(reorder),
+                k,
+                &y_oracle,
+                &x_oracle,
+                &b_right,
+                &b_left,
+            )?;
+            cases += 1;
+        }
     }
-    say!("selftest passed: {cases} backend/encoding/shard combinations round-tripped through the container and matched the dense oracle to 1e-9");
+    say!("selftest passed: {cases} backend/encoding/shard/reorder combinations round-tripped through the container and matched the dense oracle to 1e-9");
     Ok(())
 }
 
@@ -479,7 +600,14 @@ fn run() -> Result<(), String> {
     };
     let known: &[&str] = match cmd.as_str() {
         "gen" => &["seed"],
-        "compress" => &["backend", "encoding", "shards", "blocks", "reorder"],
+        "compress" => &[
+            "backend",
+            "encoding",
+            "shards",
+            "blocks",
+            "reorder",
+            "reorder-scope",
+        ],
         "inspect" => &[],
         "multiply" => &["left", "batch", "vector", "out"],
         "selftest" => &["rows", "cols", "shards"],

@@ -5,9 +5,20 @@
 //! ```text
 //! magic "GCMSERV1" | u8 container version | u8 backend tag
 //! rows | cols | num_shards
-//! per shard: payload_len | payload bytes
+//! per shard: [u8 reorder algorithm tag   -- version 2 only]
+//!            payload_len | payload bytes
 //! u64 LE FNV-1a checksum of every preceding byte
 //! ```
+//!
+//! **Version 1** requires every shard to agree on the column reorder
+//! (the permutation is embedded redundantly in each payload, and the
+//! loader treats disagreement as corruption). **Version 2** makes
+//! per-shard permutations first-class — each shard carries its own
+//! order plus a one-byte tag naming the reorder algorithm that produced
+//! it (build provenance for `gcm inspect`). The writer emits version 1
+//! whenever no reorder metadata exists (so plain containers stay
+//! byte-identical with pre-v2 writers) and version 2 otherwise; the
+//! reader accepts both.
 //!
 //! Shard payloads by backend:
 //!
@@ -40,14 +51,42 @@ use gcm_core::serial;
 use gcm_core::BlockedMatrix;
 use gcm_encodings::varint;
 use gcm_matrix::{io as mio, MatrixError, ParallelCsrv};
+use gcm_reorder::ReorderAlgorithm;
 
 use crate::model::{Backend, Model};
 use crate::sharded::ShardedModel;
 
 /// Container magic.
 pub const MAGIC: &[u8; 8] = b"GCMSERV1";
-/// Current container version.
+/// Baseline container version: shards agree on the column reorder.
 pub const VERSION: u8 = 1;
+/// Container version with first-class per-shard reorder metadata (one
+/// permutation and one algorithm tag per shard).
+pub const VERSION_PER_SHARD: u8 = 2;
+
+/// Stable on-disk tag of a reorder algorithm (version 2 provenance
+/// byte); `0` = no reorder recorded.
+fn reorder_tag(algo: Option<ReorderAlgorithm>) -> u8 {
+    match algo {
+        None => 0,
+        Some(ReorderAlgorithm::Lkh) => 1,
+        Some(ReorderAlgorithm::PathCover) => 2,
+        Some(ReorderAlgorithm::PathCoverPlus) => 3,
+        Some(ReorderAlgorithm::Mwm) => 4,
+    }
+}
+
+/// Inverse of [`reorder_tag`]; outer `None` = invalid tag.
+fn tag_reorder(t: u8) -> Option<Option<ReorderAlgorithm>> {
+    match t {
+        0 => Some(None),
+        1 => Some(Some(ReorderAlgorithm::Lkh)),
+        2 => Some(Some(ReorderAlgorithm::PathCover)),
+        3 => Some(Some(ReorderAlgorithm::PathCoverPlus)),
+        4 => Some(Some(ReorderAlgorithm::Mwm)),
+        _ => None,
+    }
+}
 
 /// Errors of the serve layer (store, container, registry).
 #[derive(Debug)]
@@ -210,17 +249,27 @@ fn decode_shard(
     }
 }
 
-/// Serialises a sharded model as a `GCMSERV1` container.
+/// Serialises a sharded model as a `GCMSERV1` container. Writes the
+/// baseline version when no shard carries reorder metadata (those bytes
+/// are identical to the pre-v2 writer's) and version 2 — per-shard
+/// permutations plus algorithm provenance — otherwise.
 pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
+    let v2 = model
+        .shard_slice()
+        .iter()
+        .any(|s| s.col_order.is_some() || s.reorder.is_some());
     let mut out = Vec::with_capacity(model.stored_bytes() + 128);
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(if v2 { VERSION_PER_SHARD } else { VERSION });
     out.push(model.backend().tag());
     varint::write_u64(&mut out, model.rows() as u64);
     varint::write_u64(&mut out, model.cols() as u64);
     varint::write_u64(&mut out, model.num_shards() as u64);
     for shard in model.shard_slice() {
-        let payload = shard_payload(&shard.model, model.col_order());
+        if v2 {
+            out.push(reorder_tag(shard.reorder));
+        }
+        let payload = shard_payload(&shard.model, shard.col_order.as_deref());
         varint::write_u64(&mut out, payload.len() as u64);
         out.extend_from_slice(&payload);
     }
@@ -234,6 +283,8 @@ pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
 /// path) or to inspect a model without materialising it.
 #[derive(Debug, Clone)]
 pub struct ShardTable {
+    /// Container version ([`VERSION`] or [`VERSION_PER_SHARD`]).
+    pub version: u8,
     /// Backend of every shard.
     pub backend: Backend,
     /// Total rows (validated against the decoded shards on full load).
@@ -242,6 +293,9 @@ pub struct ShardTable {
     pub cols: usize,
     /// Byte range of each shard payload within the container.
     pub shard_ranges: Vec<std::ops::Range<usize>>,
+    /// Per-shard reorder algorithm provenance (all `None` for version 1,
+    /// which does not record it).
+    pub reorder_algos: Vec<Option<ReorderAlgorithm>>,
 }
 
 impl ShardTable {
@@ -262,11 +316,9 @@ impl ShardTable {
                 "checksum mismatch (stored {stored:016x}, computed {actual:016x})"
             )));
         }
-        if data[8] != VERSION {
-            return Err(corrupt(format!(
-                "unsupported container version {}",
-                data[8]
-            )));
+        let version = data[8];
+        if version != VERSION && version != VERSION_PER_SHARD {
+            return Err(corrupt(format!("unsupported container version {version}")));
         }
         let backend = Backend::from_tag(data[9]).ok_or_else(|| corrupt("unknown backend tag"))?;
         let mut pos = 10usize;
@@ -278,7 +330,21 @@ impl ShardTable {
             return Err(corrupt("implausible shard count"));
         }
         let mut shard_ranges = Vec::with_capacity(num_shards);
+        let mut reorder_algos = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
+            if version == VERSION_PER_SHARD {
+                let tag = *data
+                    .get(pos)
+                    .filter(|_| pos < body_len)
+                    .ok_or_else(|| corrupt(format!("missing shard {i} reorder tag")))?;
+                reorder_algos.push(
+                    tag_reorder(tag)
+                        .ok_or_else(|| corrupt(format!("unknown shard {i} reorder tag {tag}")))?,
+                );
+                pos += 1;
+            } else {
+                reorder_algos.push(None);
+            }
             let len = varint::read_u64(data, &mut pos)
                 .ok_or_else(|| corrupt(format!("bad shard {i} length")))?
                 as usize;
@@ -293,10 +359,12 @@ impl ShardTable {
             return Err(corrupt("trailing bytes after shard table"));
         }
         Ok(ShardTable {
+            version,
             backend,
             rows,
             cols,
             shard_ranges,
+            reorder_algos,
         })
     }
 
@@ -306,16 +374,34 @@ impl ShardTable {
     /// # Errors
     /// Fails if the payload is structurally invalid.
     pub fn decode_shard(&self, data: &[u8], i: usize) -> Result<Model, ServeError> {
+        self.decode_shard_with_order(data, i).map(|(m, _)| m)
+    }
+
+    /// As [`decode_shard`](Self::decode_shard), also returning the
+    /// column permutation the shard was compressed with.
+    ///
+    /// # Errors
+    /// Fails if the payload is structurally invalid.
+    pub fn decode_shard_with_order(
+        &self,
+        data: &[u8],
+        i: usize,
+    ) -> Result<(Model, Option<Vec<u32>>), ServeError> {
         let range = self
             .shard_ranges
             .get(i)
             .ok_or_else(|| corrupt(format!("shard {i} out of range")))?
             .clone();
-        decode_shard(self.backend, self.cols, &data[range]).map(|(m, _)| m)
+        decode_shard(self.backend, self.cols, &data[range])
     }
 }
 
-/// Deserialises a container into a ready-to-serve [`ShardedModel`].
+/// Deserialises a container into a ready-to-serve [`ShardedModel`],
+/// decoding shards **concurrently** on the persistent pool via the
+/// [`ShardTable`] (each worker decodes its shard's byte range
+/// independently — the mmap-style selective access path, driven by the
+/// same stage machinery the build pipeline uses). Single-shard
+/// containers decode inline.
 ///
 /// Bare `GCMMAT1` / `GCMMAT2` payloads are accepted as single-shard
 /// compressed models.
@@ -323,6 +409,20 @@ impl ShardTable {
 /// # Errors
 /// Fails on any structural violation; never panics on corrupt input.
 pub fn from_bytes(data: &[u8]) -> Result<ShardedModel, ServeError> {
+    decode(data, true)
+}
+
+/// As [`from_bytes`], decoding every shard sequentially on the calling
+/// thread — the reference path the parallel loader is benchmarked and
+/// differentially tested against.
+///
+/// # Errors
+/// As [`from_bytes`].
+pub fn from_bytes_sequential(data: &[u8]) -> Result<ShardedModel, ServeError> {
+    decode(data, false)
+}
+
+fn decode(data: &[u8], parallel: bool) -> Result<ShardedModel, ServeError> {
     if data.len() >= 8 && &data[..8] == b"GCMMAT1\0" {
         let m = serial::from_bytes(data).ok_or_else(|| corrupt("invalid GCMMAT1 payload"))?;
         let cols = m.cols();
@@ -344,30 +444,45 @@ pub fn from_bytes(data: &[u8]) -> Result<ShardedModel, ServeError> {
         return Ok(ShardedModel::from_parts(vec![model], cols, order));
     }
     let table = ShardTable::parse(data)?;
-    let mut models = Vec::with_capacity(table.shard_ranges.len());
-    let mut col_order: Option<Vec<u32>> = None;
-    for (i, range) in table.shard_ranges.iter().enumerate() {
-        let (model, order) = decode_shard(table.backend, table.cols, &data[range.clone()])?;
+    let n = table.shard_ranges.len();
+    type Decoded = Result<(Model, Option<Vec<u32>>), ServeError>;
+    let decoded: Vec<Decoded> = if parallel {
+        gcm_pipeline::par_map(n, |i| table.decode_shard_with_order(data, i))
+    } else {
+        (0..n)
+            .map(|i| table.decode_shard_with_order(data, i))
+            .collect()
+    };
+    let mut parts = Vec::with_capacity(n);
+    let mut first_order: Option<Option<Vec<u32>>> = None;
+    for (i, result) in decoded.into_iter().enumerate() {
+        let (model, order) = result?;
         if model.cols() != table.cols {
             return Err(corrupt(format!("shard {i} column count mismatch")));
         }
-        if i == 0 {
-            col_order = order;
-        } else if order != col_order {
-            // Every compressed shard carries a copy of the permutation;
-            // the redundancy exists to catch exactly this inconsistency.
-            return Err(corrupt(format!(
-                "shard {i} disagrees with shard 0 on the column reorder"
-            )));
+        if let Some(order) = &order {
+            if order.len() != table.cols {
+                return Err(corrupt("column order length mismatch"));
+            }
         }
-        models.push(model);
-    }
-    if let Some(order) = &col_order {
-        if order.len() != table.cols {
-            return Err(corrupt("column order length mismatch"));
+        if table.version == VERSION {
+            // Version 1 embeds the one model-wide permutation
+            // redundantly in every shard; the redundancy exists to catch
+            // exactly this inconsistency.
+            match &first_order {
+                None => first_order = Some(order.clone()),
+                Some(first) => {
+                    if order != *first {
+                        return Err(corrupt(format!(
+                            "shard {i} disagrees with shard 0 on the column reorder"
+                        )));
+                    }
+                }
+            }
         }
+        parts.push((model, order, table.reorder_algos[i]));
     }
-    let model = ShardedModel::from_parts(models, table.cols, col_order);
+    let model = ShardedModel::from_shards(parts, table.cols);
     if model.rows() != table.rows {
         return Err(corrupt(format!(
             "header promises {} rows, shards hold {}",
@@ -470,14 +585,173 @@ mod tests {
             let opts = BuildOptions {
                 backend,
                 shards: 2,
-                reorder: Some(gcm_reorder::ReorderAlgorithm::PathCover),
+                reorder: Some(crate::ReorderMode::Global(
+                    gcm_reorder::ReorderAlgorithm::PathCover,
+                )),
                 ..BuildOptions::default()
             };
             let model = ShardedModel::from_dense(&dense, &opts).unwrap();
             let order = model.col_order().unwrap().to_vec();
-            let back = ShardedModel::from_bytes(&model.to_bytes()).unwrap();
+            let bytes = model.to_bytes();
+            assert_eq!(bytes[8], VERSION_PER_SHARD, "reorder metadata => v2");
+            let back = ShardedModel::from_bytes(&bytes).unwrap();
             assert_eq!(back.col_order(), Some(&order[..]), "{}", backend.name());
+            for i in 0..back.num_shards() {
+                assert_eq!(
+                    back.shard_reorder(i),
+                    Some(gcm_reorder::ReorderAlgorithm::PathCover),
+                    "{} shard {i} provenance",
+                    backend.name()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn per_shard_orders_roundtrip_with_version_bump() {
+        // Two shards with *different* correlated column pairs: per-shard
+        // reordering records distinct permutations, and the container
+        // must round-trip each shard's own order.
+        let mut dense = DenseMatrix::zeros(24, 8);
+        for r in 0..24 {
+            let v = ((r * 5 % 7) + 1) as f64;
+            if r < 12 {
+                dense.set(r, 0, v);
+                dense.set(r, 4, v);
+            } else {
+                dense.set(r, 1, v);
+                dense.set(r, 5, v);
+            }
+        }
+        for backend in [Backend::Compressed, Backend::Blocked, Backend::Csrv] {
+            let opts = BuildOptions {
+                backend,
+                shards: 2,
+                blocks: 2,
+                reorder: Some(crate::ReorderMode::PerShard(
+                    gcm_reorder::ReorderAlgorithm::PathCover,
+                )),
+                ..BuildOptions::default()
+            };
+            let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+            let bytes = model.to_bytes();
+            assert_eq!(bytes[8], VERSION_PER_SHARD);
+            let back = ShardedModel::from_bytes(&bytes).expect("per-shard orders must load");
+            for i in 0..2 {
+                assert_eq!(
+                    back.shard_col_order(i),
+                    model.shard_col_order(i),
+                    "{} shard {i}",
+                    backend.name()
+                );
+            }
+            // Distinct per-shard permutations survive the round-trip
+            // (shard 0 pairs (0,4); shard 1 pairs (1,5)).
+            assert_ne!(back.shard_col_order(0), back.shard_col_order(1));
+            assert_eq!(back.col_order(), None, "no uniform order to report");
+            let x = vec![1.0; 8];
+            let mut y_a = vec![0.0; 24];
+            let mut y_b = vec![0.0; 24];
+            model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+            back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+            assert_eq!(y_a, y_b, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn version1_containers_still_load() {
+        // Synthesise a version-1 container from a version-2 one (strip
+        // the per-shard reorder tags, reset the version byte) and check
+        // it loads with the order attributed to every shard — the
+        // backward-compatibility contract for pre-v2 files.
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 3,
+                reorder: Some(crate::ReorderMode::Global(
+                    gcm_reorder::ReorderAlgorithm::Mwm,
+                )),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let v2 = model.to_bytes();
+        let table = ShardTable::parse(&v2).unwrap();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.push(VERSION);
+        v1.push(model.backend().tag());
+        varint::write_u64(&mut v1, model.rows() as u64);
+        varint::write_u64(&mut v1, model.cols() as u64);
+        varint::write_u64(&mut v1, model.num_shards() as u64);
+        for range in &table.shard_ranges {
+            varint::write_u64(&mut v1, range.len() as u64);
+            v1.extend_from_slice(&v2[range.clone()]);
+        }
+        let sum = fnv1a64(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+
+        let back = ShardedModel::from_bytes(&v1).expect("v1 container must load");
+        assert_eq!(back.num_shards(), 3);
+        assert_eq!(back.col_order(), model.col_order());
+        // v1 records no algorithm provenance.
+        assert_eq!(back.shard_reorder(0), None);
+        let x = vec![1.0; 8];
+        let mut y_a = vec![0.0; 37];
+        let mut y_b = vec![0.0; 37];
+        model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+        back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+        assert_eq!(y_a, y_b);
+
+        // A v1 container whose shards disagree on the order is corrupt
+        // (the old redundancy check stays for old files): flip the
+        // version byte back on a v2 per-shard container and watch it be
+        // rejected. Build one with genuinely distinct orders first.
+        let mut split = DenseMatrix::zeros(24, 8);
+        for r in 0..24 {
+            let v = ((r * 5 % 7) + 1) as f64;
+            if r < 12 {
+                split.set(r, 0, v);
+                split.set(r, 4, v);
+            } else {
+                split.set(r, 1, v);
+                split.set(r, 5, v);
+            }
+        }
+        let per_shard = ShardedModel::from_dense(
+            &split,
+            &BuildOptions {
+                shards: 2,
+                reorder: Some(crate::ReorderMode::PerShard(
+                    gcm_reorder::ReorderAlgorithm::PathCover,
+                )),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            per_shard.shard_col_order(0),
+            per_shard.shard_col_order(1),
+            "test needs genuinely distinct orders"
+        );
+        let v2 = per_shard.to_bytes();
+        let table = ShardTable::parse(&v2).unwrap();
+        let mut forged_v1 = Vec::new();
+        forged_v1.extend_from_slice(MAGIC);
+        forged_v1.push(VERSION);
+        forged_v1.push(per_shard.backend().tag());
+        varint::write_u64(&mut forged_v1, per_shard.rows() as u64);
+        varint::write_u64(&mut forged_v1, per_shard.cols() as u64);
+        varint::write_u64(&mut forged_v1, per_shard.num_shards() as u64);
+        for range in &table.shard_ranges {
+            varint::write_u64(&mut forged_v1, range.len() as u64);
+            forged_v1.extend_from_slice(&v2[range.clone()]);
+        }
+        let sum = fnv1a64(&forged_v1);
+        forged_v1.extend_from_slice(&sum.to_le_bytes());
+        let err = ShardedModel::from_bytes(&forged_v1).expect_err("v1 disagreement is corrupt");
+        assert!(err.to_string().contains("disagrees"), "{err}");
     }
 
     #[test]

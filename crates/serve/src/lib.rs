@@ -38,3 +38,8 @@ pub use container::{ServeError, ShardTable};
 pub use model::{Backend, Model};
 pub use registry::{ModelStore, Registry};
 pub use sharded::{BuildOptions, ShardedModel};
+
+/// Re-exported pipeline vocabulary: building goes through the staged
+/// `gcm-pipeline` (serve is its consumer), and these types appear in
+/// [`BuildOptions`] and the artifact-level API.
+pub use gcm_pipeline::{BuildArtifacts, BuildConfig, EncodingChoice, Pipeline, ReorderMode};

@@ -9,65 +9,13 @@
 use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
 use gcm_matrix::matvec::{check_left_batch, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, Workspace};
+use gcm_pipeline::ShardArtifact;
 
 /// Which representation a [`Model`] (and its on-disk container) uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Backend {
-    /// Uncompressed CSRV, single-threaded kernels.
-    Csrv,
-    /// Uncompressed CSRV split into row blocks, pool-parallel kernels.
-    ParCsrv,
-    /// Grammar-compressed `(C, R, V)`, single-threaded kernels.
-    Compressed,
-    /// Grammar-compressed row blocks, pool-parallel kernels (§4.1).
-    Blocked,
-}
-
-impl Backend {
-    /// Every backend, in container-tag order.
-    pub const ALL: [Backend; 4] = [
-        Backend::Csrv,
-        Backend::ParCsrv,
-        Backend::Compressed,
-        Backend::Blocked,
-    ];
-
-    /// Stable on-disk tag.
-    pub fn tag(&self) -> u8 {
-        match self {
-            Backend::Csrv => 0,
-            Backend::ParCsrv => 1,
-            Backend::Compressed => 2,
-            Backend::Blocked => 3,
-        }
-    }
-
-    /// Inverse of [`tag`](Self::tag).
-    pub fn from_tag(t: u8) -> Option<Backend> {
-        match t {
-            0 => Some(Backend::Csrv),
-            1 => Some(Backend::ParCsrv),
-            2 => Some(Backend::Compressed),
-            3 => Some(Backend::Blocked),
-            _ => None,
-        }
-    }
-
-    /// CLI / display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Backend::Csrv => "csrv",
-            Backend::ParCsrv => "parcsrv",
-            Backend::Compressed => "compressed",
-            Backend::Blocked => "blocked",
-        }
-    }
-
-    /// Parses a CLI name.
-    pub fn parse(name: &str) -> Option<Backend> {
-        Backend::ALL.into_iter().find(|b| b.name() == name)
-    }
-}
+/// Defined in `gcm-pipeline` (the build side needs it without the
+/// serving code); re-exported here so `gcm_serve::Backend` keeps
+/// working.
+pub use gcm_pipeline::Backend;
 
 /// One servable matrix in any backend representation.
 #[derive(Debug, Clone)]
@@ -130,6 +78,28 @@ impl Model {
             Model::ParCsrv(m) => m.stored_bytes(),
             Model::Compressed(m) => m.stored_bytes(),
             Model::Blocked(m) => m.stored_bytes(),
+        }
+    }
+
+    /// Number of stored non-zeroes (compressed backends count through
+    /// the grammar without decompressing; the `inspect` per-shard table
+    /// relies on this).
+    pub fn nnz(&self) -> usize {
+        match self {
+            Model::Csrv(m) => m.nnz(),
+            Model::ParCsrv(m) => m.blocks().iter().map(CsrvMatrix::nnz).sum(),
+            Model::Compressed(m) => m.nnz(),
+            Model::Blocked(m) => m.blocks().iter().map(CompressedMatrix::nnz).sum(),
+        }
+    }
+
+    /// Total grammar rules across the model's blocks (0 for the
+    /// uncompressed backends).
+    pub fn grammar_rules(&self) -> usize {
+        match self {
+            Model::Csrv(_) | Model::ParCsrv(_) => 0,
+            Model::Compressed(m) => m.num_rules(),
+            Model::Blocked(m) => m.blocks().iter().map(CompressedMatrix::num_rules).sum(),
         }
     }
 
@@ -204,6 +174,20 @@ impl Model {
                 result
             }
             Model::Blocked(m) => m.left_multiply_panel_into(k, y_panel, x_panel, ws),
+        }
+    }
+}
+
+impl From<ShardArtifact> for Model {
+    /// Wraps a pipeline build artifact as a servable model (the seam
+    /// between `gcm-pipeline`'s build side and this crate's serving
+    /// side).
+    fn from(artifact: ShardArtifact) -> Self {
+        match artifact {
+            ShardArtifact::Csrv(m) => Model::Csrv(m),
+            ShardArtifact::ParCsrv(m) => Model::ParCsrv(m),
+            ShardArtifact::Compressed(m) => Model::Compressed(m),
+            ShardArtifact::Blocked(m) => Model::Blocked(m),
         }
     }
 }

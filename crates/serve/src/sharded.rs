@@ -21,16 +21,21 @@
 
 use std::sync::Mutex;
 
-use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_core::Encoding;
 use gcm_matrix::matvec::{check_left_batch, check_panels, check_right_batch};
-use gcm_matrix::{
-    CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, RowBlocks, Workspace,
-};
-use gcm_reorder::{reorder_columns, CsmConfig, ReorderAlgorithm};
+use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace};
+use gcm_pipeline::{BuildArtifacts, BuildConfig, EncodingChoice, ReorderMode};
+use gcm_reorder::ReorderAlgorithm;
 
 use crate::model::{Backend, Model};
 
-/// How to build a [`ShardedModel`] from a matrix.
+/// How to build a [`ShardedModel`] from a matrix. Kept as the simple
+/// front door; building runs through the staged `gcm-pipeline`
+/// machinery (shards reorder/compress/encode concurrently on the
+/// persistent pool), and callers who want stage timings, per-shard
+/// stats, or [`EncodingChoice::Auto`] use [`gcm_pipeline::Pipeline`]
+/// directly and wrap the artifacts with
+/// [`ShardedModel::from_artifacts`].
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
     /// Representation of every shard.
@@ -41,9 +46,11 @@ pub struct BuildOptions {
     pub shards: usize,
     /// Row blocks *inside* each shard (`blocked` / `parcsrv` backends).
     pub blocks: usize,
-    /// Optional column reordering (§5) applied before compression; the
-    /// permutation is recorded in the container for provenance.
-    pub reorder: Option<ReorderAlgorithm>,
+    /// Optional column reordering (§5) applied before compression —
+    /// [`ReorderMode::Global`] (one whole-matrix permutation) or
+    /// [`ReorderMode::PerShard`] (each shard computes its own, §5.3).
+    /// The permutations are recorded in the container for provenance.
+    pub reorder: Option<ReorderMode>,
 }
 
 impl Default for BuildOptions {
@@ -58,12 +65,32 @@ impl Default for BuildOptions {
     }
 }
 
-/// One shard: its model plus the serving state the engine reuses across
-/// requests (workspace and left-reduction partial buffer).
+impl BuildOptions {
+    /// The pipeline configuration these options describe.
+    pub fn to_build_config(&self) -> BuildConfig {
+        BuildConfig {
+            backend: self.backend,
+            encoding: EncodingChoice::Fixed(self.encoding),
+            shards: self.shards,
+            blocks: self.blocks,
+            reorder: self.reorder,
+        }
+    }
+}
+
+/// One shard: its model, its reorder provenance (per-shard column
+/// permutations are first-class — shards may disagree), and the serving
+/// state the engine reuses across requests (workspace and
+/// left-reduction partial buffer).
 #[derive(Debug)]
 pub(crate) struct Shard {
     pub(crate) model: Model,
     pub(crate) row_offset: usize,
+    /// Column permutation this shard was compressed with, if any.
+    pub(crate) col_order: Option<Vec<u32>>,
+    /// Algorithm that produced [`col_order`](Self::col_order), when
+    /// known (build-time provenance; `GCMSERV1` v2 persists it).
+    pub(crate) reorder: Option<ReorderAlgorithm>,
     ws: Mutex<Workspace>,
     partial: Mutex<Vec<f64>>,
 }
@@ -77,7 +104,6 @@ pub struct ShardedModel {
     shards: Vec<Shard>,
     rows: usize,
     cols: usize,
-    col_order: Option<Vec<u32>>,
     /// Serialises concurrent multi-shard left multiplies: the
     /// fill-partials broadcast and the reduction that reads every
     /// shard's partial must be atomic per model, or two concurrent
@@ -102,55 +128,77 @@ impl ShardedModel {
         Self::from_csrv(&CsrvMatrix::from_dense(dense)?, opts)
     }
 
-    /// Builds from a CSRV matrix per `opts`, applying the column
-    /// reordering first when requested.
+    /// Builds from a CSRV matrix per `opts` through the staged
+    /// `gcm-pipeline`: shards run reorder → RePair → encode concurrently
+    /// on the persistent pool (thin wrapper over
+    /// [`gcm_pipeline::global`]'s pipeline; outputs are bit-identical to
+    /// a sequential build).
     ///
     /// # Errors
     /// Currently infallible (the signature leaves room for backends with
     /// fallible construction).
     pub fn from_csrv(csrv: &CsrvMatrix, opts: &BuildOptions) -> Result<Self, MatrixError> {
-        let (csrv, col_order) = match opts.reorder {
-            Some(algo) => {
-                let order = reorder_columns(csrv, algo, CsmConfig::exact(), 8);
-                let reordered = csrv.with_column_order(&order);
-                (reordered, Some(order.iter().map(|&c| c as u32).collect()))
-            }
-            None => (csrv.clone(), None),
-        };
-        let parts = RowBlocks::split(&csrv, opts.shards.max(1));
-        let models = parts
-            .blocks()
-            .iter()
-            .map(|block| match opts.backend {
-                Backend::Csrv => Model::Csrv(block.clone()),
-                Backend::ParCsrv => Model::ParCsrv(ParallelCsrv::split(block, opts.blocks.max(1))),
-                Backend::Compressed => {
-                    Model::Compressed(CompressedMatrix::compress(block, opts.encoding))
-                }
-                Backend::Blocked => Model::Blocked(BlockedMatrix::compress(
-                    block,
-                    opts.encoding,
-                    opts.blocks.max(1),
-                )),
-            })
-            .collect();
-        Ok(Self::from_parts(models, csrv.cols(), col_order))
+        Ok(Self::from_artifacts(
+            gcm_pipeline::global().build(csrv, &opts.to_build_config()),
+        ))
     }
 
-    /// Assembles a sharded model from per-shard models (row offsets are
-    /// cumulative in order). Used by the container loader.
+    /// Wraps a pipeline build's [`BuildArtifacts`] as a ready-to-serve
+    /// model, keeping every shard's column permutation and reorder
+    /// provenance.
+    ///
+    /// # Panics
+    /// Panics if a shard disagrees on the column count (pipeline
+    /// artifacts are consistent by construction).
+    pub fn from_artifacts(artifacts: BuildArtifacts) -> Self {
+        let cols = artifacts.cols;
+        Self::from_shards(
+            artifacts
+                .shards
+                .into_iter()
+                .map(|s| (Model::from(s.artifact), s.col_order, s.reorder))
+                .collect(),
+            cols,
+        )
+    }
+
+    /// Assembles a sharded model from per-shard models that share one
+    /// column order (row offsets are cumulative in order). Used by the
+    /// bare `GCMMAT1`/`GCMMAT2` container compatibility path and tests.
     ///
     /// # Panics
     /// Panics if a shard disagrees on the column count.
     pub(crate) fn from_parts(models: Vec<Model>, cols: usize, col_order: Option<Vec<u32>>) -> Self {
-        let mut shards = Vec::with_capacity(models.len());
+        Self::from_shards(
+            models
+                .into_iter()
+                .map(|m| (m, col_order.clone(), None))
+                .collect(),
+            cols,
+        )
+    }
+
+    /// Assembles a sharded model from per-shard `(model, column order,
+    /// reorder algorithm)` triples — the general constructor behind
+    /// [`from_artifacts`](Self::from_artifacts) and the container
+    /// loader, where every shard carries its own permutation.
+    ///
+    /// # Panics
+    /// Panics if a shard disagrees on the column count.
+    pub(crate) fn from_shards(
+        parts: Vec<(Model, Option<Vec<u32>>, Option<ReorderAlgorithm>)>,
+        cols: usize,
+    ) -> Self {
+        let mut shards = Vec::with_capacity(parts.len());
         let mut rows = 0usize;
-        for model in models {
+        for (model, col_order, reorder) in parts {
             assert_eq!(model.cols(), cols, "shard column mismatch");
             let model_rows = model.rows();
             shards.push(Shard {
                 model,
                 row_offset: rows,
+                col_order,
+                reorder,
                 ws: Mutex::new(Workspace::new()),
                 partial: Mutex::new(Vec::new()),
             });
@@ -160,7 +208,6 @@ impl ShardedModel {
             shards,
             rows,
             cols,
-            col_order,
             left_gate: Mutex::new(()),
         }
     }
@@ -185,6 +232,12 @@ impl ShardedModel {
         self.shards[i].model.rows()
     }
 
+    /// The model of shard `i` (read-only; `gcm inspect`'s per-shard
+    /// table reads sizes and grammar statistics through it).
+    pub fn shard_model(&self, i: usize) -> &Model {
+        &self.shards[i].model
+    }
+
     /// The shard models, in row order.
     pub(crate) fn shard_slice(&self) -> &[Shard] {
         &self.shards
@@ -202,11 +255,31 @@ impl ShardedModel {
         self.shards.first().and_then(|s| s.model.encoding())
     }
 
-    /// The column-reorder permutation the model was compressed with, if
-    /// any (provenance metadata; CSRV pairs keep their original column
-    /// indices, so serving needs no inverse permutation).
+    /// The **uniform** column-reorder permutation the model was
+    /// compressed with — `Some` only when every shard shares one order
+    /// (a global reorder, or a single shard). Per-shard-reordered
+    /// models return `None` here; use
+    /// [`shard_col_order`](Self::shard_col_order) for those.
+    /// (Provenance metadata; CSRV pairs keep their original column
+    /// indices, so serving needs no inverse permutation.)
     pub fn col_order(&self) -> Option<&[u32]> {
-        self.col_order.as_deref()
+        let first = self.shards.first()?.col_order.as_deref()?;
+        self.shards
+            .iter()
+            .all(|s| s.col_order.as_deref() == Some(first))
+            .then_some(first)
+    }
+
+    /// The column permutation shard `i` was compressed with, if any
+    /// (per-shard orders are first-class: shards may disagree).
+    pub fn shard_col_order(&self, i: usize) -> Option<&[u32]> {
+        self.shards[i].col_order.as_deref()
+    }
+
+    /// The reorder algorithm shard `i` was built with, when recorded
+    /// (build provenance, persisted by `GCMSERV1` version 2).
+    pub fn shard_reorder(&self, i: usize) -> Option<ReorderAlgorithm> {
+        self.shards[i].reorder
     }
 
     /// Total representation size across shards (container framing
@@ -221,7 +294,15 @@ impl ShardedModel {
     /// pool is already spun up).
     pub fn prewarm(&self, k: usize) {
         let k = k.max(1);
-        for shard in &self.shards {
+        // Force every pool worker through one job first, so one-time
+        // lazy per-thread runtime allocations land here rather than in
+        // whichever later request first wakes a cold worker.
+        rayon::prewarm_workers();
+        // Warm shard workspaces through the same pool stage machinery
+        // the pipeline builds and loads with (shards warm concurrently;
+        // with one shard this runs inline).
+        gcm_pipeline::par_map(self.shards.len(), |i| {
+            let shard = &self.shards[i];
             let (count, max_len) = shard.model.workspace_budget(k);
             shard
                 .ws
@@ -233,7 +314,7 @@ impl ShardedModel {
                 let grow = self.cols * k - partial.len();
                 partial.reserve(grow);
             }
-        }
+        });
         for width in [k, 1] {
             let x = vec![0.0; self.cols * width];
             let mut y = vec![0.0; self.rows * width];
@@ -511,7 +592,7 @@ mod tests {
         let dense = sample(24, 8);
         let opts = BuildOptions {
             shards: 2,
-            reorder: Some(ReorderAlgorithm::PathCover),
+            reorder: Some(ReorderMode::Global(ReorderAlgorithm::PathCover)),
             ..BuildOptions::default()
         };
         let model = ShardedModel::from_dense(&dense, &opts).unwrap();
@@ -521,7 +602,53 @@ mod tests {
             assert!(!seen[c as usize]);
             seen[c as usize] = true;
         }
+        assert_eq!(model.shard_reorder(0), Some(ReorderAlgorithm::PathCover));
         let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let mut y_ref = vec![0.0; 24];
+        let mut y = vec![0.0; 24];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        model.right_multiply_panel(1, &x, &mut y).unwrap();
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_shard_reorder_gives_each_shard_its_own_permutation() {
+        // Rows 0..12 correlate columns (0,4); rows 12..24 correlate
+        // (1,5): a per-shard reorder should be free to disagree.
+        let mut dense = DenseMatrix::zeros(24, 8);
+        for r in 0..24 {
+            let v = ((r * 5 % 7) + 1) as f64;
+            let w = ((r * 3 % 9) + 30) as f64;
+            if r < 12 {
+                dense.set(r, 0, v);
+                dense.set(r, 4, v);
+                dense.set(r, 2, w);
+            } else {
+                dense.set(r, 1, v);
+                dense.set(r, 5, v);
+                dense.set(r, 3, w);
+            }
+        }
+        let opts = BuildOptions {
+            shards: 2,
+            reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+        assert_eq!(model.num_shards(), 2);
+        for i in 0..2 {
+            let order = model.shard_col_order(i).expect("per-shard order");
+            let mut seen = [false; 8];
+            for &c in order {
+                assert!(!seen[c as usize]);
+                seen[c as usize] = true;
+            }
+            assert_eq!(model.shard_reorder(i), Some(ReorderAlgorithm::PathCover));
+        }
+        // Products still match the oracle regardless of the orders.
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.5 - 2.0).collect();
         let mut y_ref = vec![0.0; 24];
         let mut y = vec![0.0; 24];
         dense.right_multiply(&x, &mut y_ref).unwrap();

@@ -21,7 +21,7 @@
 
 use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
 use gcm_matrix::{CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, ParallelCsrv, Workspace};
-use gcm_serve::{Backend, BuildOptions, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ReorderMode, ShardedModel};
 
 const TOL: f64 = 1e-9;
 
@@ -118,6 +118,32 @@ fn backends(dense: &DenseMatrix) -> Vec<(String, Box<dyn MatVec>)> {
         out.push((format!("sharded-{}-3", backend.name()), Box::new(model)));
         out.push((
             format!("sharded-{}-3-reloaded", backend.name()),
+            Box::new(reloaded),
+        ));
+    }
+    // Per-shard column reordering (§5.3): every shard compresses under
+    // its own permutation — the differential harness pins the reordered
+    // kernels AND the per-shard-order container round-trip to the
+    // oracle across the whole edge-shape grid.
+    for backend in [Backend::Compressed, Backend::Blocked] {
+        let opts = BuildOptions {
+            backend,
+            shards: 3,
+            blocks: 2,
+            reorder: Some(ReorderMode::PerShard(
+                gcm_reorder::ReorderAlgorithm::PathCover,
+            )),
+            ..BuildOptions::default()
+        };
+        let model = ShardedModel::from_dense(dense, &opts).expect("build reordered");
+        let reloaded = ShardedModel::from_bytes(&model.to_bytes())
+            .expect("per-shard-order container round-trip");
+        out.push((
+            format!("sharded-{}-3-pershard-reorder", backend.name()),
+            Box::new(model),
+        ));
+        out.push((
+            format!("sharded-{}-3-pershard-reorder-reloaded", backend.name()),
             Box::new(reloaded),
         ));
     }
@@ -273,7 +299,7 @@ fn reordered_compression_survives_the_container() {
     ] {
         let opts = BuildOptions {
             shards: 2,
-            reorder: Some(algo),
+            reorder: Some(ReorderMode::Global(algo)),
             ..BuildOptions::default()
         };
         let model = ShardedModel::from_dense(&dense, &opts).unwrap();

@@ -50,6 +50,7 @@
 //! | [`reorder`] (`gcm-reorder`) | CSM + LKH/PathCover/PathCover+/MWM |
 //! | [`baselines`] (`gcm-baselines`) | gzip-like, xz-like, CLA |
 //! | [`datagen`] (`gcm-datagen`) | the seven synthetic evaluation matrices |
+//! | [`pipeline`] (`gcm-pipeline`) | staged build/load pipeline on the persistent pool |
 //! | [`serve`] (`gcm-serve`) | sharded model store + serving registry + `gcm` CLI |
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
@@ -60,6 +61,7 @@ pub use gcm_core as core;
 pub use gcm_datagen as datagen;
 pub use gcm_encodings as encodings;
 pub use gcm_matrix as matrix;
+pub use gcm_pipeline as pipeline;
 pub use gcm_reorder as reorder;
 pub use gcm_repair as repair;
 pub use gcm_serve as serve;
@@ -75,10 +77,13 @@ pub mod prelude {
     pub use gcm_matrix::{
         CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, RowBlocks, Workspace,
     };
+    pub use gcm_pipeline::{
+        BuildArtifacts, BuildConfig, EncodingChoice, Pipeline, ReorderMode, ShardArtifact,
+    };
     pub use gcm_reorder::{
         canonical_row_order, frequency_row_order, reorder_blocks, reorder_columns, Csm, CsmConfig,
         ReorderAlgorithm,
     };
-    pub use gcm_repair::{RePair, RePairConfig, Slp};
+    pub use gcm_repair::{RePair, RePairConfig, RePairScratch, Slp};
     pub use gcm_serve::{Backend, BuildOptions, ModelStore, Registry, ServeError, ShardedModel};
 }

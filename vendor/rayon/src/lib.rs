@@ -160,7 +160,15 @@ enum Work {
     Bcast(BcastJob),
 }
 
+thread_local! {
+    /// Whether the current thread is a pool worker (any pool). Lets
+    /// blocking full-pool operations like [`ThreadPool::prewarm_workers`]
+    /// refuse to run where they would deadlock.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 fn worker_loop(shared: Arc<PoolShared>) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
     loop {
         let work = {
             let mut st = shared.state.lock().expect("pool mutex poisoned");
@@ -272,6 +280,7 @@ impl ThreadPoolBuilder {
             shared,
             workers,
             num_threads: n,
+            prewarm_gate: Mutex::new(()),
         })
     }
 }
@@ -293,6 +302,10 @@ pub struct ThreadPool {
     shared: Arc<PoolShared>,
     workers: Vec<thread::JoinHandle<()>>,
     num_threads: usize,
+    /// Serialises [`prewarm_workers`](Self::prewarm_workers) calls: two
+    /// interleaved prewarm barriers would split the workers between
+    /// them and neither could ever fill.
+    prewarm_gate: Mutex<()>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -437,6 +450,44 @@ impl ThreadPool {
         }
     }
 
+    /// Runs one trivial job on **every** worker and returns once all
+    /// have executed it (extension over real rayon). A barrier keeps
+    /// each worker parked inside its job until the last one arrives, so
+    /// no worker can claim two jobs and none stays cold.
+    ///
+    /// Why it exists: a freshly spawned OS thread pays one-time lazy
+    /// runtime allocations (TLS, panic machinery) the first time it
+    /// actually runs a job. A serving loop that promises zero
+    /// steady-state allocation must flush those during *its* prewarm,
+    /// not on whichever later request happens to wake a cold worker —
+    /// `ShardedModel::prewarm` calls this for exactly that reason.
+    ///
+    /// Calling from inside a pool job is a **no-op** rather than a
+    /// deadlock: the calling worker occupies one of the slots the
+    /// barrier would wait for, so the barrier could never fill — and a
+    /// job already running on a worker means that worker (at least) is
+    /// warm. Concurrent callers are safe: a gate serialises them, so
+    /// only one barrier's jobs are ever in the queue at a time (two
+    /// interleaved barriers would park the workers split between them,
+    /// and with both callers blocked inside their scope closures
+    /// neither barrier could fill).
+    pub fn prewarm_workers(&self) {
+        if IS_POOL_WORKER.with(|flag| flag.get()) {
+            return;
+        }
+        let _gate = self.prewarm_gate.lock().expect("prewarm gate poisoned");
+        let barrier = std::sync::Barrier::new(self.num_threads + 1);
+        let barrier = &barrier;
+        self.scope(|s| {
+            for _ in 0..self.num_threads {
+                s.spawn(move |_| {
+                    barrier.wait();
+                });
+            }
+            barrier.wait();
+        });
+    }
+
     /// Blocks until `sync.pending` drops to zero, helping to drain the
     /// queue so a scope completes even when every worker is busy.
     fn wait_scope(&self, sync: &ScopeSync) {
@@ -571,6 +622,12 @@ where
 /// [`ThreadPool::broadcast_indexed`].
 pub fn broadcast_indexed<F: Fn(usize) + Sync>(n: usize, f: &F) {
     global_pool().broadcast_indexed(n, f);
+}
+
+/// Touches every **global**-pool worker once; see
+/// [`ThreadPool::prewarm_workers`].
+pub fn prewarm_workers() {
+    global_pool().prewarm_workers();
 }
 
 #[cfg(test)]
@@ -847,5 +904,69 @@ mod tests {
     fn empty_broadcast_is_fine() {
         let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         pool.broadcast_indexed(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn prewarm_touches_every_worker() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        for n in [1usize, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            // Re-run prewarm while recording which OS threads ran jobs:
+            // the barrier guarantees all n workers participate each time.
+            let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+            let seen_ref = &seen;
+            let barrier = std::sync::Barrier::new(n + 1);
+            let barrier = &barrier;
+            pool.scope(|s| {
+                for _ in 0..n {
+                    s.spawn(move |_| {
+                        seen_ref.lock().unwrap().insert(std::thread::current().id());
+                        barrier.wait();
+                    });
+                }
+                barrier.wait();
+            });
+            assert_eq!(seen.lock().unwrap().len(), n, "n={n}");
+            // And the public API completes without deadlock, repeatedly.
+            for _ in 0..3 {
+                pool.prewarm_workers();
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_from_inside_a_pool_job_is_a_noop() {
+        // A pool-job caller occupies the worker slot the barrier would
+        // wait for; prewarm must return instead of deadlocking.
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ran = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                pool.prewarm_workers();
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_prewarms_do_not_deadlock() {
+        // Regression: two racing prewarm_workers() calls must not split
+        // the workers between two barriers (the gate serialises them).
+        let pool = std::sync::Arc::new(ThreadPoolBuilder::new().num_threads(2).build().unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        pool.prewarm_workers();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }
