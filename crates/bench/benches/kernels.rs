@@ -1,0 +1,121 @@
+//! Compiled-plan kernels vs. the streaming reference kernels.
+//!
+//! * `right/k1`, `right/k8`, `left/k1`, `left/k8`: core-level planned
+//!   vs. streaming, per encoding, on a ≥100k-nnz Census slice. The plan
+//!   removes the per-symbol `div`/`mod`, the terminal branch, the rule
+//!   enum dispatch, and (for `re_iv`/`re_ans`) the packed/rANS decode,
+//!   so the gap widens from `re_32` to `re_ans`.
+//! * `sharded/right`: the serve-layer view — `ShardedModel` at 1 and 4
+//!   shards, streaming vs. plan-enabled prewarm.
+//!
+//! Differential tests (`crates/core/tests/plan_vs_streaming.rs`) pin
+//! the two paths bit-exact; only the clock should move here. Pass
+//! `--test` (CI's smoke mode) to shrink the matrix and sample count so
+//! the bench doubles as a fast end-to-end check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gcm_core::{CompressedMatrix, Encoding};
+use gcm_datagen::Dataset;
+use gcm_matrix::{CsrvMatrix, Workspace};
+use gcm_serve::{BuildOptions, ServeOptions, ShardedModel};
+
+/// CI smoke mode: `cargo bench --bench kernels -- --test`.
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn input(len: usize) -> Vec<f64> {
+    (0..len).map(|i| (i % 17) as f64 * 0.125 - 1.0).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let rows = if smoke() { 400 } else { 12_000 };
+    let dense = Dataset::Census.generate(rows, 42);
+    let cols = dense.cols();
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let nnz = csrv.nnz();
+    eprintln!("kernels bench: {rows} x {cols}, {nnz} nnz");
+
+    for enc in Encoding::ALL {
+        let cm = CompressedMatrix::compress(&csrv, enc);
+        let plan = cm.plan();
+        let mut ws = Workspace::new();
+        for k in [1usize, 8] {
+            let x_panel = input(cols * k);
+            let mut y_panel = vec![0.0; rows * k];
+            let y_input = input(rows * k);
+            let mut x_out = vec![0.0; cols * k];
+            let mut buf = vec![0.0; plan.scratch_len(k)];
+
+            let mut group = c.benchmark_group(format!("right/k{k}"));
+            group.throughput(Throughput::Elements((nnz * k) as u64));
+            group.bench_function(BenchmarkId::new("streaming", enc.name()), |b| {
+                b.iter(|| {
+                    let mut w = ws.take(cm.num_rules() * k);
+                    cm.right_multiply_panel_with(k, &x_panel, &mut y_panel, &mut w)
+                        .unwrap();
+                    ws.put(w);
+                })
+            });
+            group.bench_function(BenchmarkId::new("planned", enc.name()), |b| {
+                b.iter(|| {
+                    plan.right_multiply_panel(k, &x_panel, &mut y_panel, &mut buf)
+                        .unwrap()
+                })
+            });
+            group.finish();
+
+            let mut group = c.benchmark_group(format!("left/k{k}"));
+            group.throughput(Throughput::Elements((nnz * k) as u64));
+            group.bench_function(BenchmarkId::new("streaming", enc.name()), |b| {
+                b.iter(|| {
+                    let mut w = ws.take(cm.num_rules() * k);
+                    let mut flags = ws.take(cm.num_rules());
+                    cm.left_multiply_panel_with(k, &y_input, &mut x_out, &mut w, &mut flags)
+                        .unwrap();
+                    ws.put(flags);
+                    ws.put(w);
+                })
+            });
+            group.bench_function(BenchmarkId::new("planned", enc.name()), |b| {
+                b.iter(|| {
+                    plan.left_multiply_panel(k, &y_input, &mut x_out, &mut buf)
+                        .unwrap()
+                })
+            });
+            group.finish();
+        }
+    }
+
+    // The serve-layer view: shard parallelism × plan dispatch.
+    let x = input(cols);
+    let mut y = vec![0.0; rows];
+    let mut group = c.benchmark_group("sharded/right");
+    group.throughput(Throughput::Elements(nnz as u64));
+    for shards in [1usize, 4] {
+        let opts = BuildOptions {
+            shards,
+            encoding: Encoding::ReAns,
+            ..BuildOptions::default()
+        };
+        let streaming = ShardedModel::from_dense(&dense, &opts).expect("build");
+        streaming.prewarm(1);
+        group.bench_function(BenchmarkId::new("streaming", shards), |b| {
+            b.iter(|| streaming.right_multiply_panel(1, &x, &mut y).unwrap())
+        });
+        let planned = ShardedModel::from_dense(&dense, &opts).expect("build");
+        planned.prewarm_with(1, &ServeOptions::planned());
+        group.bench_function(BenchmarkId::new("planned", shards), |b| {
+            b.iter(|| planned.right_multiply_panel(1, &x, &mut y).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

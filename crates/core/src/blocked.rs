@@ -25,6 +25,7 @@ use gcm_repair::RePairConfig;
 
 use crate::compressed::CompressedMatrix;
 use crate::encoding::Encoding;
+use crate::plan::KernelPlan;
 
 /// A grammar-compressed matrix partitioned into row blocks.
 #[derive(Debug, Clone)]
@@ -115,8 +116,9 @@ impl BlockedMatrix {
     }
 
     /// Auxiliary multiplication working space across all concurrent blocks
-    /// with batch width `k`: the `k`-wide `W` panels (`Σ |R_i|·k` doubles)
-    /// plus a partial `cols × k` output panel per block for the left
+    /// with batch width `k`: the `k`-wide `W` panels plus the left
+    /// pass's per-rule nonzero flags (`Σ |R_i|·(k+1)` doubles), plus a
+    /// partial `cols × k` output panel per block for the left
     /// multiplication's reduction.
     pub fn working_bytes_for_batch(&self, k: usize) -> usize {
         let k = k.max(1);
@@ -129,10 +131,93 @@ impl BlockedMatrix {
     }
 
     /// Auxiliary multiplication working space for single-vector calls
-    /// (`Σ |R_i|` doubles, plus a partial `x` vector per block for the left
-    /// multiplication).
+    /// (`Σ |R_i|` doubles of `W` plus `Σ |R_i|` nonzero flags, plus a
+    /// partial `x` vector per block for the left multiplication).
     pub fn working_bytes(&self) -> usize {
         self.working_bytes_for_batch(1)
+    }
+
+    /// Compiles every block into a [`KernelPlan`] (the plan layer
+    /// composed with §4.1's row-block split). The plans index-match
+    /// [`blocks`](Self::blocks) and are consumed by the
+    /// `*_planned_into` kernels.
+    pub fn plan(&self) -> Vec<KernelPlan> {
+        self.blocks.iter().map(CompressedMatrix::plan).collect()
+    }
+
+    /// Batched right product through per-block compiled plans: same
+    /// partitioning as [`right_multiply_panel_into`](Self::right_multiply_panel_into)
+    /// (parallel across blocks when built with more than one), but each
+    /// block runs its branchless planned kernel.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not index-match the blocks.
+    pub fn right_multiply_panel_planned_into(
+        &self,
+        plans: &[KernelPlan],
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        assert_eq!(plans.len(), self.blocks.len(), "plan/block mismatch");
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 {
+            return Ok(());
+        }
+        self.right_panel_dispatch(
+            k,
+            x_panel,
+            y_panel,
+            ws,
+            |i| plans[i].scratch_len(k),
+            |i, x, y, buf| {
+                plans[i]
+                    .right_multiply_panel(k, x, y, buf)
+                    .expect("block dimensions are consistent by construction");
+            },
+        );
+        Ok(())
+    }
+
+    /// Batched left product through per-block compiled plans: blocks
+    /// fill partial `cols × k` panels (parallel when built with more
+    /// than one block), then the partials are reduced (§4.1).
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    ///
+    /// # Panics
+    /// Panics if `plans` does not index-match the blocks.
+    pub fn left_multiply_panel_planned_into(
+        &self,
+        plans: &[KernelPlan],
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        assert_eq!(plans.len(), self.blocks.len(), "plan/block mismatch");
+        check_panels(self.rows, self.cols, k, x_panel.len(), y_panel.len())?;
+        if k == 0 {
+            return Ok(());
+        }
+        self.left_panel_dispatch(
+            k,
+            y_panel,
+            x_panel,
+            ws,
+            |i| plans[i].scratch_len(k),
+            |i, y, part, buf| {
+                plans[i]
+                    .left_multiply_panel(k, y, part, buf)
+                    .expect("block dimensions are consistent by construction");
+            },
+        );
+        Ok(())
     }
 
     /// Sequential right multiplication (single thread over all blocks).
@@ -183,7 +268,7 @@ impl BlockedMatrix {
         ws: &mut Workspace,
     ) -> Result<(), MatrixError> {
         self.check_right(x, y)?;
-        self.right_panel_par(1, x, y, ws);
+        self.right_panel_streaming(1, x, y, ws);
         Ok(())
     }
 
@@ -242,7 +327,7 @@ impl BlockedMatrix {
         ws: &mut Workspace,
     ) -> Result<(), MatrixError> {
         self.check_left(y, x)?;
-        self.left_panel_par(1, y, x, ws);
+        self.left_panel_streaming(1, y, x, ws);
         Ok(())
     }
 
@@ -266,11 +351,7 @@ impl BlockedMatrix {
         if k == 0 {
             return Ok(());
         }
-        if self.threads > 1 {
-            self.right_panel_par(k, x_panel, y_panel, ws);
-        } else {
-            self.right_panel_seq(k, x_panel, y_panel, ws);
-        }
+        self.right_panel_streaming(k, x_panel, y_panel, ws);
         Ok(())
     }
 
@@ -291,115 +372,149 @@ impl BlockedMatrix {
         if k == 0 {
             return Ok(());
         }
-        if self.threads > 1 {
-            self.left_panel_par(k, y_panel, x_panel, ws);
-        } else {
-            self.left_panel_seq(k, y_panel, x_panel, ws);
-        }
+        self.left_panel_streaming(k, y_panel, x_panel, ws);
         Ok(())
     }
 
-    /// Sequential batched right product (single thread over all blocks,
-    /// one `w` panel reused across them).
-    fn right_panel_seq(&self, k: usize, x_panel: &[f64], y_panel: &mut [f64], ws: &mut Workspace) {
-        for (i, block) in self.blocks.iter().enumerate() {
-            let off = self.row_offsets[i] * k;
-            let mut w = ws.take(block.num_rules() * k);
-            block
-                .right_multiply_panel_with(
-                    k,
-                    x_panel,
-                    &mut y_panel[off..off + block.rows() * k],
-                    &mut w,
-                )
-                .expect("block dimensions are consistent by construction");
-            ws.put(w);
-        }
-    }
-
-    /// Sequential batched left product.
-    fn left_panel_seq(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], ws: &mut Workspace) {
-        x_panel.fill(0.0);
-        let mut part = ws.take(self.cols * k);
-        for (i, block) in self.blocks.iter().enumerate() {
-            let off = self.row_offsets[i] * k;
-            let mut w = ws.take(block.num_rules() * k);
-            block
-                .left_multiply_panel_with(
-                    k,
-                    &y_panel[off..off + block.rows() * k],
-                    &mut part,
-                    &mut w,
-                )
-                .expect("block dimensions are consistent by construction");
-            ws.put(w);
-            for (acc, &p) in x_panel.iter_mut().zip(&part) {
-                *acc += p;
-            }
-        }
-        ws.put(part);
-    }
-
-    /// Parallel batched right product over row-major panels: hands each
-    /// block its contiguous `rows_i × k` chunk of `y_panel` plus its own
-    /// `w` panel, so batching and row-block parallelism compose. Panel
-    /// shapes are the caller's responsibility (checked by the `MatVec`
-    /// entry points).
-    fn right_panel_par(&self, k: usize, x_panel: &[f64], y_panel: &mut [f64], ws: &mut Workspace) {
-        let mut w_panels: Vec<Vec<f64>> = self
-            .blocks
-            .iter()
-            .map(|b| ws.take(b.num_rules() * k))
+    /// Batched right product over row-major panels, generic over the
+    /// per-block kernel (streaming or planned): hands block `i` its
+    /// contiguous `rows_i × k` chunk of `y_panel` plus one scratch
+    /// buffer of `scratch_len(i)` doubles, so batching and row-block
+    /// parallelism compose. Runs one pool task per block when the
+    /// matrix was built with more than one; panel shapes are the
+    /// caller's responsibility (checked by the public entry points).
+    fn right_panel_dispatch<S, F>(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+        scratch_len: S,
+        kernel: F,
+    ) where
+        S: Fn(usize) -> usize,
+        F: Fn(usize, &[f64], &mut [f64], &mut [f64]) + Sync,
+    {
+        let mut bufs: Vec<Vec<f64>> = (0..self.blocks.len())
+            .map(|i| ws.take(scratch_len(i)))
             .collect();
-        let mut tasks: Vec<(&CompressedMatrix, &mut [f64])> = Vec::with_capacity(self.blocks.len());
+        let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(self.blocks.len());
         let mut rest = y_panel;
-        for block in &self.blocks {
+        for (i, block) in self.blocks.iter().enumerate() {
             let (head, tail) = rest.split_at_mut(block.rows() * k);
-            tasks.push((block, head));
+            tasks.push((i, head));
             rest = tail;
         }
-        rayon::scope(|scope| {
-            for ((block, slice), w) in tasks.into_iter().zip(w_panels.iter_mut()) {
-                scope.spawn(move |_| {
-                    block
-                        .right_multiply_panel_with(k, x_panel, slice, w)
-                        .expect("block dimensions are consistent by construction");
-                });
+        if self.threads > 1 {
+            let kernel = &kernel;
+            rayon::scope(|scope| {
+                for ((i, slice), buf) in tasks.into_iter().zip(bufs.iter_mut()) {
+                    scope.spawn(move |_| kernel(i, x_panel, slice, buf));
+                }
+            });
+        } else {
+            for ((i, slice), buf) in tasks.into_iter().zip(bufs.iter_mut()) {
+                kernel(i, x_panel, slice, buf);
             }
-        });
-        for w in w_panels {
-            ws.put(w);
+        }
+        for buf in bufs {
+            ws.put(buf);
         }
     }
 
-    /// Parallel batched left product over row-major panels: each block
-    /// fills a partial `cols × k` panel, then the partials are reduced
-    /// into `x_panel`.
-    fn left_panel_par(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], ws: &mut Workspace) {
-        let mut scratch: Vec<(Vec<f64>, Vec<f64>)> = self
-            .blocks
-            .iter()
-            .map(|b| (ws.take(self.cols * k), ws.take(b.num_rules() * k)))
+    /// Batched left product over row-major panels, generic over the
+    /// per-block kernel: each block fills a partial `cols × k` panel
+    /// (one pool task per block when built with more than one), then
+    /// the partials are reduced into `x_panel` (§4.1).
+    fn left_panel_dispatch<S, F>(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+        scratch_len: S,
+        kernel: F,
+    ) where
+        S: Fn(usize) -> usize,
+        F: Fn(usize, &[f64], &mut [f64], &mut [f64]) + Sync,
+    {
+        let mut scratch: Vec<(Vec<f64>, Vec<f64>)> = (0..self.blocks.len())
+            .map(|i| (ws.take(self.cols * k), ws.take(scratch_len(i))))
             .collect();
-        rayon::scope(|scope| {
-            for ((i, block), (part, w)) in self.blocks.iter().enumerate().zip(scratch.iter_mut()) {
+        if self.threads > 1 {
+            let kernel = &kernel;
+            rayon::scope(|scope| {
+                for ((i, block), (part, buf)) in
+                    self.blocks.iter().enumerate().zip(scratch.iter_mut())
+                {
+                    let off = self.row_offsets[i] * k;
+                    let y_slice = &y_panel[off..off + block.rows() * k];
+                    scope.spawn(move |_| kernel(i, y_slice, part, buf));
+                }
+            });
+        } else {
+            for ((i, block), (part, buf)) in self.blocks.iter().enumerate().zip(scratch.iter_mut())
+            {
                 let off = self.row_offsets[i] * k;
-                let y_slice = &y_panel[off..off + block.rows() * k];
-                scope.spawn(move |_| {
-                    block
-                        .left_multiply_panel_with(k, y_slice, part, w)
-                        .expect("block dimensions are consistent by construction");
-                });
+                kernel(i, &y_panel[off..off + block.rows() * k], part, buf);
             }
-        });
+        }
         x_panel.fill(0.0);
-        for (part, w) in scratch {
+        for (part, buf) in scratch {
             for (acc, &p) in x_panel.iter_mut().zip(&part) {
                 *acc += p;
             }
             ws.put(part);
-            ws.put(w);
+            ws.put(buf);
         }
+    }
+
+    /// Streaming-kernel right product through the shared dispatcher.
+    fn right_panel_streaming(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        self.right_panel_dispatch(
+            k,
+            x_panel,
+            y_panel,
+            ws,
+            |i| self.blocks[i].num_rules() * k,
+            |i, x, y, w| {
+                self.blocks[i]
+                    .right_multiply_panel_with(k, x, y, w)
+                    .expect("block dimensions are consistent by construction");
+            },
+        );
+    }
+
+    /// Streaming-kernel left product through the shared dispatcher
+    /// (the scratch buffer is the `W` panel with the nonzero-flag row
+    /// appended).
+    fn left_panel_streaming(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) {
+        self.left_panel_dispatch(
+            k,
+            y_panel,
+            x_panel,
+            ws,
+            |i| self.blocks[i].num_rules() * (k + 1),
+            |i, y, part, scratch| {
+                let block = &self.blocks[i];
+                let (w, flags) = scratch.split_at_mut(block.num_rules() * k);
+                block
+                    .left_multiply_panel_with(k, y, part, w, flags)
+                    .expect("block dimensions are consistent by construction");
+            },
+        );
     }
 
     fn check_right(&self, x: &[f64], y: &[f64]) -> Result<(), MatrixError> {
@@ -496,11 +611,7 @@ impl MatVec for BlockedMatrix {
         if b.cols() == 0 {
             return Ok(());
         }
-        if self.threads > 1 {
-            self.right_panel_par(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
-        } else {
-            self.right_panel_seq(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
-        }
+        self.right_panel_streaming(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
         Ok(())
     }
 
@@ -514,11 +625,7 @@ impl MatVec for BlockedMatrix {
         if b.cols() == 0 {
             return Ok(());
         }
-        if self.threads > 1 {
-            self.left_panel_par(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
-        } else {
-            self.left_panel_seq(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
-        }
+        self.left_panel_streaming(b.cols(), b.as_slice(), out.as_mut_slice(), ws);
         Ok(())
     }
 }

@@ -9,6 +9,7 @@ use gcm_repair::{RePair, RePairConfig, Slp};
 
 use crate::encoding::{Encoding, RuleStore, SeqStore};
 use crate::mvm;
+use crate::plan::KernelPlan;
 
 /// A matrix compressed as `(C, R, V)` (§3), in one of the three physical
 /// encodings of §4.
@@ -231,13 +232,26 @@ impl CompressedMatrix {
     /// Auxiliary working space of one multiplication: the `W` array of
     /// `|R|` doubles (Thms 3.4 / 3.10).
     pub fn working_bytes(&self) -> usize {
-        self.working_bytes_for_batch(1)
+        self.num_rules() * 8
     }
 
-    /// Auxiliary working space of one multiplication with batch width
-    /// `k`: the `k`-wide `W` panel of `|R|·k` doubles.
+    /// Auxiliary working space of one **batched** multiplication with
+    /// width `k`: the `k`-wide `W` panel of `|R|·k` doubles, plus the
+    /// left pass's `|R|` nonzero-flag doubles (the batched kernels'
+    /// O(1)-skip index; still `O(|R|)` words overall).
     pub fn working_bytes_for_batch(&self, k: usize) -> usize {
-        self.num_rules() * 8 * k.max(1)
+        self.num_rules() * 8 * (k.max(1) + 1)
+    }
+
+    /// Compiles this matrix into a [`KernelPlan`]: rules and final
+    /// string flattened into branchless, division-free operand
+    /// descriptors with a CSR-style row index over `C` (see the
+    /// [`crate::plan`] module docs). Costs one `O(|C| + |R|)` pass and
+    /// `O(|C| + |R|)` words of plan memory; serving loops that amortise
+    /// one build across many multiplies trade that memory for a faster
+    /// per-multiply constant.
+    pub fn plan(&self) -> KernelPlan {
+        KernelPlan::compile(self)
     }
 
     /// Right multiplication with caller-provided scratch (`w` must have
@@ -325,7 +339,9 @@ impl CompressedMatrix {
 
     /// Batched left multiplication `X = Mᵗ·Y` over row-major panels with
     /// caller-provided scratch (`y_panel` is `rows × k`, `x_panel` is
-    /// `cols × k`, `w_panel` is `|R| · k`; Thm 3.10 amortised).
+    /// `cols × k`, `w_panel` is `|R| · k`, `w_flags` is `|R|` — the
+    /// backward pass's per-rule nonzero-flag skip index; Thm 3.10
+    /// amortised).
     ///
     /// # Errors
     /// Fails if any panel length is inconsistent with `k`.
@@ -335,9 +351,17 @@ impl CompressedMatrix {
         y_panel: &[f64],
         x_panel: &mut [f64],
         w_panel: &mut [f64],
+        w_flags: &mut [f64],
     ) -> Result<(), MatrixError> {
         self.check_panels(x_panel.len(), y_panel.len(), k)?;
         self.check_scratch(w_panel.len(), k)?;
+        if w_flags.len() != self.num_rules() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.num_rules(),
+                actual: w_flags.len(),
+                what: "w flags length",
+            });
+        }
         mvm::left_multiply_batch(
             &self.seq,
             &self.rules,
@@ -348,6 +372,7 @@ impl CompressedMatrix {
             y_panel,
             x_panel,
             w_panel,
+            w_flags,
         );
         Ok(())
     }
@@ -483,7 +508,10 @@ impl MatVec for CompressedMatrix {
         gcm_matrix::matvec::check_left_batch(self.rows, self.cols, b, out)?;
         let k = b.cols();
         let mut w = ws.take(self.num_rules() * k);
-        let result = self.left_multiply_panel_with(k, b.as_slice(), out.as_mut_slice(), &mut w);
+        let mut flags = ws.take(self.num_rules());
+        let result =
+            self.left_multiply_panel_with(k, b.as_slice(), out.as_mut_slice(), &mut w, &mut flags);
+        ws.put(flags);
         ws.put(w);
         result
     }
@@ -606,6 +634,8 @@ mod tests {
         let csrv = CsrvMatrix::from_dense(&repetitive(128, 6)).unwrap();
         let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
         assert_eq!(cm.working_bytes(), cm.num_rules() * 8);
+        // Batched: the k-wide W panel plus the |R| nonzero flags.
+        assert_eq!(cm.working_bytes_for_batch(4), cm.num_rules() * 8 * 5);
     }
 
     #[test]

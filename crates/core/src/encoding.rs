@@ -136,6 +136,53 @@ impl RuleStore {
         }
     }
 
+    /// Streams every rule `(k, A, B)` in **forward** order (`k`
+    /// ascending) into `f`.
+    ///
+    /// The kernels' rule passes used to call [`rule`](Self::rule) once
+    /// per rule, paying the `Raw`/`Packed` enum dispatch `q` times per
+    /// multiply; this iterator matches on the variant **once** and runs
+    /// a monomorphic inner loop.
+    #[inline]
+    pub fn for_each_rule(&self, mut f: impl FnMut(usize, u32, u32)) {
+        match self {
+            RuleStore::Raw(v) => {
+                for (k, pair) in v.chunks_exact(2).enumerate() {
+                    f(k, pair[0], pair[1]);
+                }
+            }
+            RuleStore::Packed(iv) => {
+                let mut it = iv.iter();
+                let mut k = 0usize;
+                while let Some(a) = it.next() {
+                    let b = it.next().expect("rule store holds pairs");
+                    f(k, a as u32, b as u32);
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    /// Streams every rule `(k, A, B)` in **backward** order (`k`
+    /// descending) into `f` — the access order of the left
+    /// multiplication's push-down pass (Thm 3.10), again with the
+    /// variant dispatch hoisted out of the loop.
+    #[inline]
+    pub fn for_each_rule_rev(&self, mut f: impl FnMut(usize, u32, u32)) {
+        match self {
+            RuleStore::Raw(v) => {
+                for (k, pair) in v.chunks_exact(2).enumerate().rev() {
+                    f(k, pair[0], pair[1]);
+                }
+            }
+            RuleStore::Packed(iv) => {
+                for k in (0..iv.len() / 2).rev() {
+                    f(k, iv.get(2 * k) as u32, iv.get(2 * k + 1) as u32);
+                }
+            }
+        }
+    }
+
     /// Serialized (on-disk) size in bytes.
     pub fn stored_bytes(&self) -> usize {
         match self {
@@ -193,6 +240,30 @@ mod tests {
             assert_eq!(store.rule(0), (1, 2));
             assert_eq!(store.rule(2), (5, 6));
         }
+    }
+
+    #[test]
+    fn rule_iterators_match_random_access_in_both_orders() {
+        let flat: Vec<u32> = (0..40).map(|i| i * 7 % 61 + 1).collect();
+        let raw = RuleStore::Raw(flat.clone());
+        let packed = RuleStore::Packed(IntVector::from_u32s(&flat));
+        for store in [&raw, &packed] {
+            let expected: Vec<(usize, u32, u32)> = (0..store.num_rules())
+                .map(|k| {
+                    let (a, b) = store.rule(k);
+                    (k, a, b)
+                })
+                .collect();
+            let mut fwd = Vec::new();
+            store.for_each_rule(|k, a, b| fwd.push((k, a, b)));
+            assert_eq!(fwd, expected);
+            let mut rev = Vec::new();
+            store.for_each_rule_rev(|k, a, b| rev.push((k, a, b)));
+            rev.reverse();
+            assert_eq!(rev, expected);
+        }
+        RuleStore::Raw(Vec::new()).for_each_rule(|_, _, _| panic!("empty store"));
+        RuleStore::Raw(Vec::new()).for_each_rule_rev(|_, _, _| panic!("empty store"));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Branch-predictable division by a runtime constant.
+//!
+//! Every terminal evaluation in the streaming kernels splits a packed
+//! terminal id `p` into `(p / cols, p % cols)`. `cols` is fixed for the
+//! lifetime of a matrix, yet the hardware `div` is re-issued on every
+//! symbol — the classic strength-reduction target. [`FastDiv`]
+//! precomputes the multiplicative inverse once (Lemire's exact
+//! round-up scheme) and replaces both operations with two widening
+//! multiplies, which the proptest in `tests/plan_vs_streaming.rs` pins
+//! bit-for-bit against the plain `div`/`mod` over the full `u32` range.
+
+/// Precomputed divisor: `div_rem(p)` equals `(p / d, p % d)` for every
+/// `u32` numerator, without a hardware division.
+///
+/// The magic constant is `M = ⌊2⁶⁴ / d⌋ + 1` (the round-up inverse),
+/// which is exact for all 32-bit numerators when `d ≥ 2`; `d == 1` and
+/// powers of two take their own trivial paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDiv {
+    d: u32,
+    /// Round-up inverse `⌊2⁶⁴/d⌋ + 1`; 0 encodes the `d == 1` identity.
+    magic: u64,
+    /// `trailing_zeros(d)` when `d` is a power of two, else `u32::MAX`.
+    shift: u32,
+}
+
+impl FastDiv {
+    /// Prepares division by `d`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: u32) -> Self {
+        assert!(d > 0, "division by zero");
+        let shift = if d.is_power_of_two() {
+            d.trailing_zeros()
+        } else {
+            u32::MAX
+        };
+        let magic = if d == 1 { 0 } else { u64::MAX / d as u64 + 1 };
+        Self { d, magic, shift }
+    }
+
+    /// The divisor this was built for.
+    pub fn divisor(&self) -> u32 {
+        self.d
+    }
+
+    /// `(p / d, p % d)` without a hardware division.
+    #[inline(always)]
+    pub fn div_rem(&self, p: u32) -> (u32, u32) {
+        if self.shift != u32::MAX {
+            // Power-of-two fast path (covers d == 1: shift 0, mask 0).
+            return (p >> self.shift, p & (self.d - 1));
+        }
+        let low = self.magic.wrapping_mul(p as u64);
+        let div = ((self.magic as u128 * p as u128) >> 64) as u32;
+        let rem = ((low as u128 * self.d as u128) >> 64) as u32;
+        (div, rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_plain_div_mod_on_edge_grid() {
+        let divisors = [
+            1u32,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            9,
+            12,
+            13,
+            16,
+            255,
+            256,
+            257,
+            641,
+            65_535,
+            65_536,
+            6_700_417,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        let numerators = [
+            0u32,
+            1,
+            2,
+            3,
+            254,
+            255,
+            256,
+            257,
+            65_535,
+            65_536,
+            1 << 20,
+            (1 << 31) - 1,
+            1 << 31,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        for &d in &divisors {
+            let fd = FastDiv::new(d);
+            assert_eq!(fd.divisor(), d);
+            for &p in &numerators {
+                assert_eq!(fd.div_rem(p), (p / d, p % d), "p={p} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_random_sweep() {
+        let mut seed = 0x9E37_79B9_7F4A_7C15_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20_000 {
+            let d = (next() as u32).max(1);
+            let p = next() as u32;
+            let fd = FastDiv::new(d);
+            assert_eq!(fd.div_rem(p), (p / d, p % d), "p={p} d={d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        let _ = FastDiv::new(0);
+    }
+}

@@ -24,6 +24,13 @@
 //! `rayon` stand-in) — workers are reused across calls, never spawned per
 //! multiply.
 //!
+//! The streaming kernels ([`mvm`]) are the memory-lean reference path;
+//! [`plan`] compiles a matrix into a [`KernelPlan`] of branchless,
+//! division-free operand descriptors with a CSR row index over `C` —
+//! once per load — for serving loops that trade `O(|C| + |R|)` words of
+//! plan memory for a several-fold smaller per-multiply constant
+//! (differentially pinned bit-exact in `tests/plan_vs_streaming.rs`).
+//!
 //! All backends multiply through the execution layer of
 //! [`gcm_matrix::MatVec`]: the `*_into` methods draw the `w` rule array,
 //! per-block partials, and batch panels from a caller-owned
@@ -37,11 +44,15 @@
 pub mod blocked;
 pub mod compressed;
 pub mod encoding;
+pub mod fastdiv;
 pub mod iteration;
 pub mod mvm;
+pub mod plan;
 pub mod serial;
 
 pub use blocked::BlockedMatrix;
 pub use compressed::CompressedMatrix;
 pub use encoding::Encoding;
+pub use fastdiv::FastDiv;
 pub use iteration::{power_iterations, IterationStats};
+pub use plan::KernelPlan;

@@ -11,14 +11,26 @@
 use gcm_matrix::SEPARATOR;
 
 use crate::encoding::{RuleStore, SeqStore};
+use crate::fastdiv::FastDiv;
 
 /// Evaluates a terminal `⟨ℓ, j⟩` against `x`: `V[ℓ]·x[j]` (Def. 3.1).
+///
+/// The `⟨ℓ, j⟩` split is `((sym-1) / cols, (sym-1) % cols)`; `cols` is
+/// loop-invariant, so the division is strength-reduced through a
+/// precomputed [`FastDiv`] instead of re-issuing a hardware `div` per
+/// symbol.
 #[inline(always)]
-fn eval_terminal(sym: u32, cols: u32, values: &[f64], x: &[f64]) -> f64 {
-    let p = sym - 1;
-    let l = (p / cols) as usize;
-    let j = (p % cols) as usize;
-    values[l] * x[j]
+fn eval_terminal(sym: u32, cols: &FastDiv, values: &[f64], x: &[f64]) -> f64 {
+    let (l, j) = cols.div_rem(sym - 1);
+    values[l as usize] * x[j as usize]
+}
+
+/// The loop-invariant divisor of every terminal split. `cols == 0`
+/// admits no terminals at all (the alphabet is empty), so the divisor is
+/// never used and any non-zero stand-in is sound.
+#[inline]
+fn cols_divider(cols: u32) -> FastDiv {
+    FastDiv::new(cols.max(1))
 }
 
 /// Right multiplication `y = M·x` (Thm 3.4).
@@ -41,21 +53,20 @@ pub fn right_multiply(
     w: &mut [f64],
 ) {
     debug_assert_eq!(w.len(), rules.num_rules());
-    let q = rules.num_rules();
-    for k in 0..q {
-        let (a, b) = rules.rule(k);
+    let cols = cols_divider(cols);
+    rules.for_each_rule(|k, a, b| {
         let va = if a < first_nt {
-            eval_terminal(a, cols, values, x)
+            eval_terminal(a, &cols, values, x)
         } else {
             w[(a - first_nt) as usize]
         };
         let vb = if b < first_nt {
-            eval_terminal(b, cols, values, x)
+            eval_terminal(b, &cols, values, x)
         } else {
             w[(b - first_nt) as usize]
         };
         w[k] = va + vb;
-    }
+    });
     let mut r = 0usize;
     let mut acc = 0.0f64;
     seq.for_each(|s| {
@@ -64,7 +75,7 @@ pub fn right_multiply(
             acc = 0.0;
             r += 1;
         } else if s < first_nt {
-            acc += eval_terminal(s, cols, values, x);
+            acc += eval_terminal(s, &cols, values, x);
         } else {
             acc += w[(s - first_nt) as usize];
         }
@@ -92,6 +103,7 @@ pub fn left_multiply(
     w: &mut [f64],
 ) {
     debug_assert_eq!(w.len(), rules.num_rules());
+    let cols = cols_divider(cols);
     x.fill(0.0);
     w.fill(0.0);
     let mut r = 0usize;
@@ -101,33 +113,32 @@ pub fn left_multiply(
         } else {
             let yr = y[r];
             if s < first_nt {
-                let p = s - 1;
-                x[(p % cols) as usize] += values[(p / cols) as usize] * yr;
+                let (l, j) = cols.div_rem(s - 1);
+                x[j as usize] += values[l as usize] * yr;
             } else {
                 w[(s - first_nt) as usize] += yr;
             }
         }
     });
     debug_assert_eq!(r, y.len(), "separator count mismatch");
-    for k in (0..rules.num_rules()).rev() {
+    rules.for_each_rule_rev(|k, a, b| {
         let wk = w[k];
         if wk == 0.0 {
-            continue;
+            return;
         }
-        let (a, b) = rules.rule(k);
         if a < first_nt {
-            let p = a - 1;
-            x[(p % cols) as usize] += values[(p / cols) as usize] * wk;
+            let (l, j) = cols.div_rem(a - 1);
+            x[j as usize] += values[l as usize] * wk;
         } else {
             w[(a - first_nt) as usize] += wk;
         }
         if b < first_nt {
-            let p = b - 1;
-            x[(p % cols) as usize] += values[(p / cols) as usize] * wk;
+            let (l, j) = cols.div_rem(b - 1);
+            x[j as usize] += values[l as usize] * wk;
         } else {
             w[(b - first_nt) as usize] += wk;
         }
-    }
+    });
 }
 
 /// Batched right multiplication `Y = M·X` for `k` right-hand sides
@@ -159,15 +170,14 @@ pub fn right_multiply_batch(
     if k == 0 {
         return;
     }
-    let q = rules.num_rules();
-    for idx in 0..q {
-        let (a, b) = rules.rule(idx);
+    let cols = cols_divider(cols);
+    rules.for_each_rule(|idx, a, b| {
         let (done, rest) = w_panel.split_at_mut(idx * k);
         let dst = &mut rest[..k];
         if a < first_nt {
-            let p = a - 1;
-            let v = values[(p / cols) as usize];
-            let src = &x_panel[(p % cols) as usize * k..][..k];
+            let (l, j) = cols.div_rem(a - 1);
+            let v = values[l as usize];
+            let src = &x_panel[j as usize * k..][..k];
             for (d, &xv) in dst.iter_mut().zip(src) {
                 *d = v * xv;
             }
@@ -176,9 +186,9 @@ pub fn right_multiply_batch(
             dst.copy_from_slice(src);
         }
         if b < first_nt {
-            let p = b - 1;
-            let v = values[(p / cols) as usize];
-            let src = &x_panel[(p % cols) as usize * k..][..k];
+            let (l, j) = cols.div_rem(b - 1);
+            let v = values[l as usize];
+            let src = &x_panel[j as usize * k..][..k];
             for (d, &xv) in dst.iter_mut().zip(src) {
                 *d += v * xv;
             }
@@ -188,7 +198,7 @@ pub fn right_multiply_batch(
                 *d += wv;
             }
         }
-    }
+    });
     let mut r = 0usize;
     seq.for_each(|s| {
         if s == SEPARATOR {
@@ -196,9 +206,9 @@ pub fn right_multiply_batch(
         } else {
             let dst = &mut y_panel[r * k..(r + 1) * k];
             if s < first_nt {
-                let p = s - 1;
-                let v = values[(p / cols) as usize];
-                let src = &x_panel[(p % cols) as usize * k..][..k];
+                let (l, j) = cols.div_rem(s - 1);
+                let v = values[l as usize];
+                let src = &x_panel[j as usize * k..][..k];
                 for (d, &xv) in dst.iter_mut().zip(src) {
                     *d += v * xv;
                 }
@@ -222,7 +232,15 @@ pub fn right_multiply_batch(
 /// whole batch.
 ///
 /// Panels are row-major: `y_panel` is `rows × k`, `x_panel` is `cols × k`
-/// (zeroed here), `w_panel` must have length `rules.num_rules() · k`.
+/// (zeroed here), `w_panel` must have length `rules.num_rules() · k` and
+/// `w_flags` length `rules.num_rules()`.
+///
+/// `w_flags` is the backward pass's skip index: a rule whose panel row
+/// was never touched (by the seeding pass or by an ancestor's push-down)
+/// contributes nothing and is skipped in O(1) by checking its flag.
+/// Scanning the `k`-wide row for all-zeroes instead — what this kernel
+/// used to do — costs O(k) per rule *including every untouched rule*,
+/// which dominates exactly when `y` is sparse and the skip matters most.
 #[allow(clippy::too_many_arguments)]
 pub fn left_multiply_batch(
     seq: &SeqStore,
@@ -234,13 +252,17 @@ pub fn left_multiply_batch(
     y_panel: &[f64],
     x_panel: &mut [f64],
     w_panel: &mut [f64],
+    w_flags: &mut [f64],
 ) {
     debug_assert_eq!(w_panel.len(), rules.num_rules() * k);
+    debug_assert_eq!(w_flags.len(), rules.num_rules());
     x_panel.fill(0.0);
     w_panel.fill(0.0);
+    w_flags.fill(0.0);
     if k == 0 {
         return;
     }
+    let cols = cols_divider(cols);
     let mut r = 0usize;
     seq.for_each(|s| {
         if s == SEPARATOR {
@@ -248,14 +270,16 @@ pub fn left_multiply_batch(
         } else {
             let src = &y_panel[r * k..(r + 1) * k];
             if s < first_nt {
-                let p = s - 1;
-                let v = values[(p / cols) as usize];
-                let dst = &mut x_panel[(p % cols) as usize * k..][..k];
+                let (l, j) = cols.div_rem(s - 1);
+                let v = values[l as usize];
+                let dst = &mut x_panel[j as usize * k..][..k];
                 for (d, &yv) in dst.iter_mut().zip(src) {
                     *d += v * yv;
                 }
             } else {
-                let dst = &mut w_panel[(s - first_nt) as usize * k..][..k];
+                let nt = (s - first_nt) as usize;
+                w_flags[nt] = 1.0;
+                let dst = &mut w_panel[nt * k..][..k];
                 for (d, &yv) in dst.iter_mut().zip(src) {
                     *d += yv;
                 }
@@ -263,29 +287,30 @@ pub fn left_multiply_batch(
         }
     });
     debug_assert_eq!(r * k, y_panel.len(), "separator count mismatch");
-    for idx in (0..rules.num_rules()).rev() {
+    rules.for_each_rule_rev(|idx, a, b| {
+        if w_flags[idx] == 0.0 {
+            return;
+        }
         let (earlier, rest) = w_panel.split_at_mut(idx * k);
         let wk = &rest[..k];
-        if wk.iter().all(|&v| v == 0.0) {
-            continue;
-        }
-        let (a, b) = rules.rule(idx);
         for sym in [a, b] {
             if sym < first_nt {
-                let p = sym - 1;
-                let v = values[(p / cols) as usize];
-                let dst = &mut x_panel[(p % cols) as usize * k..][..k];
+                let (l, j) = cols.div_rem(sym - 1);
+                let v = values[l as usize];
+                let dst = &mut x_panel[j as usize * k..][..k];
                 for (d, &wv) in dst.iter_mut().zip(wk) {
                     *d += v * wv;
                 }
             } else {
-                let dst = &mut earlier[(sym - first_nt) as usize * k..][..k];
+                let nt = (sym - first_nt) as usize;
+                w_flags[nt] = 1.0;
+                let dst = &mut earlier[nt * k..][..k];
                 for (d, &wv) in dst.iter_mut().zip(wk) {
                     *d += wv;
                 }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -376,6 +401,7 @@ mod tests {
                 let x_panel: Vec<f64> = (0..7 * k).map(|i| (i % 11) as f64 - 5.0).collect();
                 let mut y_panel = vec![0.0; 23 * k];
                 let mut w_panel = vec![0.0; cm.num_rules() * k];
+                let mut w_flags = vec![0.0; cm.num_rules()];
                 super::right_multiply_batch(
                     cm.seq_store(),
                     cm.rule_store(),
@@ -413,6 +439,7 @@ mod tests {
                     &y_panel_in,
                     &mut x_panel_out,
                     &mut w_panel,
+                    &mut w_flags,
                 );
                 for j in 0..k {
                     let y: Vec<f64> = (0..23).map(|i| y_panel_in[i * k + j]).collect();

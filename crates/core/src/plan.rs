@@ -1,0 +1,611 @@
+//! Compiled execution plans: branchless, division-free, row-indexed
+//! grammar MVM.
+//!
+//! The streaming kernels in [`crate::mvm`] pay, on **every** multiply,
+//! costs that are invariant across multiplies: an integer `div`/`mod`
+//! per terminal evaluation, a terminal-vs-nonterminal branch per symbol,
+//! an encoding-variant dispatch per rule access, and (for `re_iv` /
+//! `re_ans`) the bit-unpacking or rANS decode of `C` itself. A
+//! [`KernelPlan`] hoists all of that into a **once-per-load compile
+//! pass**: serving amortises one build across millions of requests, so
+//! the constant per symbol — not the asymptotics, which are
+//! Ω(|C| + |R|) regardless — is where the remaining time goes.
+//!
+//! # Descriptor layout
+//!
+//! Compilation resolves every grammar symbol into an *operand
+//! descriptor* `(mult, idx)` against one contiguous scratch buffer
+//! `buf = [ x | w ]` (the input vector's `cols` slots followed by the
+//! `|R|` rule slots):
+//!
+//! * a **terminal** `⟨ℓ, j⟩` becomes `(V[ℓ], j)` — the value lookup and
+//!   the `div`/`mod` split happen once, at compile time;
+//! * a **nonterminal** `N_r` becomes `(1.0, cols + r)` — its value is
+//!   already in the rule region of `buf`.
+//!
+//! Both symbol kinds therefore evaluate as the same expression
+//! `mult · buf[idx]`, so the forward rule pass is the branch-free
+//!
+//! ```text
+//! buf[cols + r] = m_a · buf[i_a] + m_b · buf[i_b]      for r = 0..|R|
+//! ```
+//!
+//! and produces bit-identical results to the streaming kernels (the
+//! differential suite `tests/plan_vs_streaming.rs` pins this for every
+//! encoding). The final string `C` is decoded **once** into the same
+//! descriptor form, with a CSR-style `row_ptr` array over the separator
+//! positions: `row_ptr[r]..row_ptr[r+1]` are row `r`'s descriptors.
+//! `row_ptr` is what unlocks row-range parallelism — after the rule
+//! pass, `buf` is read-only and disjoint row ranges of `y` can be
+//! accumulated concurrently ([`KernelPlan::accumulate_rows_panel`]; the
+//! serve layer dispatches ranges on the persistent pool).
+//!
+//! Batched (`k`-wide) kernels use the identical layout with `k`-element
+//! panel rows; the batched left kernel additionally keeps one
+//! nonzero-flag word per `buf` row (appended after the panel region) so
+//! untouched rules are skipped in O(1) rather than by an O(k) scan.
+//!
+//! A plan costs `O(|C| + |R|)` words — roughly `12` bytes per `C`
+//! descriptor and `24` per rule, i.e. *more* than the encoded matrix it
+//! was compiled from. It is a speed-for-memory trade the serve layer
+//! makes explicit: plans are opt-in (`ServeOptions`), built at prewarm,
+//! and reported via [`HeapSize`].
+
+use std::ops::Range;
+
+use gcm_encodings::HeapSize;
+use gcm_matrix::{MatrixError, SEPARATOR};
+
+use crate::compressed::CompressedMatrix;
+use crate::fastdiv::FastDiv;
+
+/// A [`CompressedMatrix`] compiled into branchless, division-free
+/// operand descriptors (see the [module docs](self) for the layout).
+///
+/// Construction goes through [`CompressedMatrix::plan`] /
+/// [`KernelPlan::compile`], which resolve and bounds-validate every
+/// descriptor once; the kernels then run without per-symbol bounds
+/// checks, branches, divisions, or decode work.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    rows: usize,
+    cols: usize,
+    num_rules: usize,
+    /// Premultiplied operand values, two per rule (`2|R|`).
+    rule_mult: Vec<f64>,
+    /// Operand scratch indices, two per rule (`2|R|`); entry `2r`/`2r+1`
+    /// is `< cols + r` (rules reference terminals or earlier rules).
+    rule_idx: Vec<u32>,
+    /// Premultiplied values of `C`'s non-separator symbols.
+    seq_mult: Vec<f64>,
+    /// Scratch indices of `C`'s non-separator symbols (`< cols + |R|`).
+    seq_idx: Vec<u32>,
+    /// CSR row index over `seq_*`: row `r` owns descriptors
+    /// `row_ptr[r]..row_ptr[r+1]`; length `rows + 1`.
+    row_ptr: Vec<u32>,
+}
+
+impl KernelPlan {
+    /// Compiles `m` into descriptor form: one `O(|C| + |R|)` pass that
+    /// performs every terminal `div`/`mod` split (via [`FastDiv`]),
+    /// value-dictionary lookup, and encoding decode exactly once.
+    ///
+    /// # Panics
+    /// Panics if `C` holds ≥ `u32::MAX` non-separator symbols (the CSR
+    /// index is 32-bit), or if a descriptor resolves out of range.
+    /// The range checks can only fire on structural-invariant
+    /// violations — rules referencing non-earlier symbols, out-of-range
+    /// sequence symbols — which no `compress`/`from_raw_parts`-built
+    /// matrix has, but which e.g. a release-mode `from_slp` with a
+    /// mismatched grammar could smuggle past its `debug_assert`s.
+    /// Validating here is what lets the kernels run their descriptor
+    /// loops without per-symbol bounds checks.
+    pub fn compile(m: &CompressedMatrix) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let first_nt = m.first_nonterminal();
+        let q = m.num_rules();
+        assert!(
+            cols as u64 + q as u64 <= u32::MAX as u64,
+            "scratch index space exceeds u32"
+        );
+        let fd = FastDiv::new((cols as u32).max(1));
+        let values = m.values();
+        let cols32 = cols as u32;
+        // The one-time terminal table: every symbol resolves to
+        // (premultiplied value, scratch index).
+        let resolve = |s: u32| -> (f64, u32) {
+            if s < first_nt {
+                let (l, j) = fd.div_rem(s - 1);
+                (values[l as usize], j)
+            } else {
+                (1.0, cols32 + (s - first_nt))
+            }
+        };
+        let mut rule_mult = Vec::with_capacity(2 * q);
+        let mut rule_idx = Vec::with_capacity(2 * q);
+        m.rule_store().for_each_rule(|r, a, b| {
+            for s in [a, b] {
+                let (mv, iv) = resolve(s);
+                // The kernels' SAFETY contract: rule r reads only
+                // input slots and earlier rule slots.
+                assert!(
+                    (iv as u64) < cols as u64 + r as u64,
+                    "rule {r} operand out of range"
+                );
+                rule_mult.push(mv);
+                rule_idx.push(iv);
+            }
+        });
+        let seq = m.seq_store();
+        let mut seq_mult = Vec::with_capacity(seq.len().saturating_sub(rows));
+        let mut seq_idx = Vec::with_capacity(seq.len().saturating_sub(rows));
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        seq.for_each(|s| {
+            if s == SEPARATOR {
+                row_ptr.push(seq_idx.len() as u32);
+            } else {
+                let (mv, iv) = resolve(s);
+                // The kernels' SAFETY contract: every sequence
+                // descriptor stays inside the `cols + |R|` buffer.
+                assert!(
+                    (iv as u64) < cols as u64 + q as u64,
+                    "sequence symbol out of range"
+                );
+                seq_mult.push(mv);
+                seq_idx.push(iv);
+            }
+        });
+        assert!(
+            seq_idx.len() < u32::MAX as usize,
+            "sequence descriptor count exceeds the 32-bit CSR index"
+        );
+        debug_assert_eq!(row_ptr.len(), rows + 1, "separator count mismatch");
+        Self {
+            rows,
+            cols,
+            num_rules: q,
+            rule_mult,
+            rule_idx,
+            seq_mult,
+            seq_idx,
+            row_ptr,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grammar rules `|R|`.
+    pub fn num_rules(&self) -> usize {
+        self.num_rules
+    }
+
+    /// Number of non-separator descriptors compiled from `C`.
+    pub fn seq_descriptors(&self) -> usize {
+        self.seq_idx.len()
+    }
+
+    /// Width of one scratch buffer row: the `cols` input slots plus the
+    /// `|R|` rule slots.
+    fn width(&self) -> usize {
+        self.cols + self.num_rules
+    }
+
+    /// Required scratch length for batch width `k` (`k = 1` for the
+    /// single-vector kernels): the `(cols + |R|) × k` panel plus the
+    /// `cols + |R|` nonzero-flag row the batched left kernel uses.
+    /// Serving loops draw one buffer of this length from a
+    /// [`gcm_matrix::Workspace`] and reuse it across calls.
+    pub fn scratch_len(&self, k: usize) -> usize {
+        self.width() * (k.max(1) + 1)
+    }
+
+    fn check_scratch(&self, len: usize, k: usize) -> Result<(), MatrixError> {
+        if len != self.scratch_len(k) {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.scratch_len(k),
+                actual: len,
+                what: "plan scratch length",
+            });
+        }
+        Ok(())
+    }
+
+    fn check_panels(&self, x_len: usize, y_len: usize, k: usize) -> Result<(), MatrixError> {
+        gcm_matrix::matvec::check_panels(self.rows, self.cols, k, x_len, y_len)
+    }
+
+    /// Right multiplication `y = M·x` (planned Thm 3.4). `buf` must
+    /// have length [`scratch_len(1)`](Self::scratch_len).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn right_multiply(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_panel(1, x, y, buf)
+    }
+
+    /// Left multiplication `xᵗ = yᵗ·M` (planned Thm 3.10). `buf` must
+    /// have length [`scratch_len(1)`](Self::scratch_len).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn left_multiply(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.left_multiply_panel(1, y, x, buf)
+    }
+
+    /// Batched right multiplication over row-major `k`-wide panels:
+    /// [`begin_right_panel`](Self::begin_right_panel) followed by a full
+    /// [`accumulate_rows_panel`](Self::accumulate_rows_panel).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn right_multiply_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        if k == 0 {
+            return self.check_panels(x_panel.len(), y_panel.len(), 0);
+        }
+        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.begin_right_panel(k, x_panel, buf)?;
+        self.accumulate_rows_panel(0..self.rows, k, buf, y_panel);
+        Ok(())
+    }
+
+    /// The sequential head of a right multiplication: copies the input
+    /// panel into `buf` and runs the forward rule pass. Afterwards `buf`
+    /// is read-only and disjoint row ranges can be accumulated
+    /// concurrently with [`accumulate_rows_panel`](Self::accumulate_rows_panel)
+    /// — the split the serve layer's row-parallel dispatch uses.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn begin_right_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        let k = k.max(1);
+        if x_panel.len() != self.cols * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols * k,
+                actual: x_panel.len(),
+                what: "x panel length",
+            });
+        }
+        self.check_scratch(buf.len(), k)?;
+        buf[..self.cols * k].copy_from_slice(x_panel);
+        if k == 1 {
+            self.eval_rules(buf);
+        } else {
+            self.eval_rules_panel(k, buf);
+        }
+        Ok(())
+    }
+
+    /// Forward rule pass, width 1: `buf[cols + r] = m_a·buf[i_a] +
+    /// m_b·buf[i_b]`.
+    fn eval_rules(&self, buf: &mut [f64]) {
+        assert!(buf.len() >= self.width());
+        for r in 0..self.num_rules {
+            // SAFETY: `compile` guarantees the rule arrays have length
+            // `2·num_rules` and both operand indices are `< cols + r`;
+            // the destination `cols + r < width() <= buf.len()`
+            // (asserted above).
+            unsafe {
+                let ia = *self.rule_idx.get_unchecked(2 * r) as usize;
+                let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize;
+                let va = *self.rule_mult.get_unchecked(2 * r) * *buf.get_unchecked(ia);
+                let vb = *self.rule_mult.get_unchecked(2 * r + 1) * *buf.get_unchecked(ib);
+                *buf.get_unchecked_mut(self.cols + r) = va + vb;
+            }
+        }
+    }
+
+    /// Forward rule pass, `k`-wide panel rows.
+    fn eval_rules_panel(&self, k: usize, buf: &mut [f64]) {
+        assert!(buf.len() >= self.width() * k);
+        for r in 0..self.num_rules {
+            let dst_off = (self.cols + r) * k;
+            // Rules reference only input slots and earlier rules, so
+            // every operand row lies strictly before the destination
+            // row and the split is aliasing-free.
+            let (src, rest) = buf.split_at_mut(dst_off);
+            let dst = &mut rest[..k];
+            let ma = self.rule_mult[2 * r];
+            let mb = self.rule_mult[2 * r + 1];
+            let ia = self.rule_idx[2 * r] as usize * k;
+            let ib = self.rule_idx[2 * r + 1] as usize * k;
+            let sa = &src[ia..ia + k];
+            let sb = &src[ib..ib + k];
+            for ((d, &a), &b) in dst.iter_mut().zip(sa).zip(sb) {
+                *d = ma * a + mb * b;
+            }
+        }
+    }
+
+    /// Accumulates the output rows `rows` into `y_chunk` (length
+    /// `rows.len() · k`, `k`-wide row-major) from a scratch buffer
+    /// prepared by [`begin_right_panel`](Self::begin_right_panel).
+    /// `buf` is only read — this is the row-range half of the planned
+    /// right multiplication, safe to run concurrently over disjoint
+    /// ranges.
+    ///
+    /// # Panics
+    /// Panics if `rows` is out of range, `y_chunk` has the wrong
+    /// length, or `buf` is shorter than the `(cols + |R|) · k` panel.
+    pub fn accumulate_rows_panel(
+        &self,
+        rows: Range<usize>,
+        k: usize,
+        buf: &[f64],
+        y_chunk: &mut [f64],
+    ) {
+        let k = k.max(1);
+        assert!(rows.end <= self.rows);
+        assert_eq!(y_chunk.len(), rows.len() * k);
+        assert!(buf.len() >= self.width() * k);
+        if k == 1 {
+            for (out, r) in y_chunk.iter_mut().zip(rows) {
+                let lo = self.row_ptr[r] as usize;
+                let hi = self.row_ptr[r + 1] as usize;
+                let mut acc = 0.0f64;
+                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                    // SAFETY: `compile` guarantees every sequence index
+                    // is `< width() <= buf.len()` (asserted above).
+                    acc += m * unsafe { *buf.get_unchecked(*i as usize) };
+                }
+                *out = acc;
+            }
+            return;
+        }
+        for (ri, r) in rows.enumerate() {
+            let dst = &mut y_chunk[ri * k..(ri + 1) * k];
+            dst.fill(0.0);
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                let src = &buf[*i as usize * k..][..k];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += m * s;
+                }
+            }
+        }
+    }
+
+    /// Batched left multiplication over row-major panels: one forward
+    /// pass over the compiled `C` descriptors seeds the scratch panel
+    /// (terminal weight goes straight into the output region,
+    /// nonterminal weight into the rule region), then the backward rule
+    /// pass pushes weights down. Untouched rules are skipped in O(1)
+    /// via the scratch buffer's flag row.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn left_multiply_panel(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        if k == 0 {
+            return self.check_panels(x_panel.len(), y_panel.len(), 0);
+        }
+        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.check_scratch(buf.len(), k)?;
+        let n = self.width();
+        if k == 1 {
+            self.left_single(y_panel, x_panel, &mut buf[..n]);
+            return Ok(());
+        }
+        let (panel, flags) = buf.split_at_mut(n * k);
+        let flags = &mut flags[..n];
+        panel.fill(0.0);
+        flags.fill(0.0);
+        for (r, ys) in y_panel.chunks_exact(k).enumerate() {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                let i = *i as usize;
+                // Unconditional flag write for both symbol kinds keeps
+                // the loop branchless; only the rule region is read back.
+                flags[i] = 1.0;
+                let dst = &mut panel[i * k..][..k];
+                for (d, &yv) in dst.iter_mut().zip(ys) {
+                    *d += m * yv;
+                }
+            }
+        }
+        for r in (0..self.num_rules).rev() {
+            if flags[self.cols + r] == 0.0 {
+                continue;
+            }
+            let src_off = (self.cols + r) * k;
+            let (earlier, rest) = panel.split_at_mut(src_off);
+            let wk = &rest[..k];
+            for op in [2 * r, 2 * r + 1] {
+                let m = self.rule_mult[op];
+                let i = self.rule_idx[op] as usize;
+                flags[i] = 1.0;
+                let dst = &mut earlier[i * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(wk) {
+                    *d += m * wv;
+                }
+            }
+        }
+        x_panel.copy_from_slice(&panel[..self.cols * k]);
+        Ok(())
+    }
+
+    /// Width-1 left multiplication body; `buf` is exactly the
+    /// `cols + |R|` panel (the per-rule value doubles as its own
+    /// nonzero flag at width 1).
+    fn left_single(&self, y: &[f64], x: &mut [f64], buf: &mut [f64]) {
+        buf.fill(0.0);
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                // SAFETY: sequence indices are `< width() == buf.len()`.
+                unsafe { *buf.get_unchecked_mut(*i as usize) += m * yr };
+            }
+        }
+        for r in (0..self.num_rules).rev() {
+            let wk = buf[self.cols + r];
+            if wk == 0.0 {
+                continue;
+            }
+            // SAFETY: rule operand indices are `< cols + r < buf.len()`
+            // and the rule arrays have length `2·num_rules`.
+            unsafe {
+                let ma = *self.rule_mult.get_unchecked(2 * r);
+                let ia = *self.rule_idx.get_unchecked(2 * r) as usize;
+                *buf.get_unchecked_mut(ia) += ma * wk;
+                let mb = *self.rule_mult.get_unchecked(2 * r + 1);
+                let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize;
+                *buf.get_unchecked_mut(ib) += mb * wk;
+            }
+        }
+        x.copy_from_slice(&buf[..self.cols]);
+    }
+}
+
+impl HeapSize for KernelPlan {
+    fn heap_bytes(&self) -> usize {
+        self.rule_mult.heap_bytes()
+            + self.rule_idx.heap_bytes()
+            + self.seq_mult.heap_bytes()
+            + self.seq_idx.heap_bytes()
+            + self.row_ptr.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+    use gcm_matrix::{CsrvMatrix, DenseMatrix};
+
+    fn repetitive(rows: usize, cols: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = match (r % 4, c % 3) {
+                    (0, 0) => 1.5,
+                    (1, 1) => 2.5,
+                    (2, _) => 0.5,
+                    (3, 2) => 7.25,
+                    _ => 0.0,
+                };
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn planned_kernels_match_dense_all_encodings() {
+        let dense = repetitive(48, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..48).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut y_ref = vec![0.0; 48];
+        let mut x_ref = vec![0.0; 9];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let plan = cm.plan();
+            assert_eq!(plan.rows(), 48);
+            assert_eq!(plan.cols(), 9);
+            assert_eq!(plan.num_rules(), cm.num_rules());
+            let mut buf = vec![0.0; plan.scratch_len(1)];
+            let mut y = vec![0.0; 48];
+            plan.right_multiply(&x, &mut y, &mut buf).unwrap();
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert!((a - b).abs() < 1e-9, "{} right", enc.name());
+            }
+            let mut xo = vec![0.0; 9];
+            plan.left_multiply(&yv, &mut xo, &mut buf).unwrap();
+            for (a, b) in xo.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "{} left", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn row_ranges_compose_to_the_full_product() {
+        let dense = repetitive(37, 7);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReIv);
+        let plan = cm.plan();
+        let k = 3usize;
+        let x_panel: Vec<f64> = (0..7 * k).map(|i| (i % 11) as f64 - 5.0).collect();
+        let mut whole = vec![0.0; 37 * k];
+        let mut buf = vec![0.0; plan.scratch_len(k)];
+        plan.right_multiply_panel(k, &x_panel, &mut whole, &mut buf)
+            .unwrap();
+        // The same product assembled from three disjoint row ranges.
+        let mut pieced = vec![0.0; 37 * k];
+        plan.begin_right_panel(k, &x_panel, &mut buf).unwrap();
+        for (lo, hi) in [(0usize, 10usize), (10, 30), (30, 37)] {
+            plan.accumulate_rows_panel(lo..hi, k, &buf, &mut pieced[lo * k..hi * k]);
+        }
+        assert_eq!(whole, pieced);
+    }
+
+    #[test]
+    fn dimension_and_scratch_checks() {
+        let dense = repetitive(6, 5);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let plan = CompressedMatrix::compress(&csrv, Encoding::Re32).plan();
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut y = vec![0.0; 6];
+        assert!(plan.right_multiply(&[0.0; 3], &mut y, &mut buf).is_err());
+        let mut short = vec![0.0; plan.scratch_len(1) - 1];
+        assert!(plan.right_multiply(&[0.0; 5], &mut y, &mut short).is_err());
+        let mut x = vec![0.0; 5];
+        assert!(plan.left_multiply(&[0.0; 2], &mut x, &mut buf).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_plans_cleanly() {
+        let csrv = CsrvMatrix::from_dense(&DenseMatrix::zeros(4, 3)).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        let plan = cm.plan();
+        assert_eq!(plan.seq_descriptors(), 0);
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut y = vec![1.0; 4];
+        plan.right_multiply(&[1.0, 2.0, 3.0], &mut y, &mut buf)
+            .unwrap();
+        assert_eq!(y, vec![0.0; 4]);
+        assert!(plan.heap_bytes() >= (4 + 1) * 4);
+    }
+}

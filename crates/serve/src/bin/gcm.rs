@@ -8,6 +8,7 @@
 //!              [--reorder-scope global|shard]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
+//!              [--plan] [--repeat N]
 //! gcm selftest [--rows R] [--cols C] [--shards N]
 //! ```
 //!
@@ -41,7 +42,7 @@ use gcm_matrix::io as mio;
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
 use gcm_pipeline::{BuildConfig, BuildStats, EncodingChoice};
 use gcm_reorder::ReorderAlgorithm;
-use gcm_serve::{Backend, BuildOptions, ReorderMode, ShardTable, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ReorderMode, ServeOptions, ShardTable, ShardedModel};
 
 /// `println!` that tolerates a closed stdout (e.g. piped through
 /// `head`) instead of panicking on the broken pipe.
@@ -61,7 +62,8 @@ fn usage() -> ExitCode {
          [--encoding re_32|re_iv|re_ans|auto] [--shards N] [--blocks B]\n               \
          [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n  \
          gcm inspect <model.gcms>\n  \
-         gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n  \
+         gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
+         [--plan] [--repeat N]\n  \
          gcm selftest [--rows R] [--cols C] [--shards N]\n\n\
          datasets: susy higgs airline78 covtype census optical mnist2m"
     );
@@ -98,7 +100,7 @@ impl Args {
                         }
                     ));
                 }
-                let takes_value = !matches!(name, "left");
+                let takes_value = !matches!(name, "left" | "plan");
                 let value = if takes_value {
                     Some(
                         it.next()
@@ -393,8 +395,23 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     };
     let left = args.has("left");
     let k: usize = args.parsed_flag("batch", 1usize)?.max(1);
+    let repeat: usize = args.parsed_flag("repeat", 1usize)?.max(1);
+    let serve = if args.has("plan") {
+        ServeOptions::planned()
+    } else {
+        ServeOptions::default()
+    };
     let model = ShardedModel::load(Path::new(input)).map_err(|e| e.to_string())?;
-    model.prewarm(k);
+    let t_prewarm = Instant::now();
+    model.prewarm_with(k, &serve);
+    if model.is_planned() {
+        eprintln!(
+            "planned prewarm: {} incl. plan compile ({} plan bytes on top of {} stored)",
+            secs(t_prewarm.elapsed()),
+            model.plan_heap_bytes(),
+            model.stored_bytes(),
+        );
+    }
     let (in_len, out_len) = if left {
         (model.rows(), model.cols())
     } else {
@@ -405,14 +422,29 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         None => vec![1.0; in_len * k],
     };
     let mut y = vec![0.0; out_len * k];
-    if left {
-        model
-            .left_multiply_panel(k, &x, &mut y)
-            .map_err(|e| e.to_string())?;
-    } else {
-        model
-            .right_multiply_panel(k, &x, &mut y)
-            .map_err(|e| e.to_string())?;
+    let mut total = 0.0f64;
+    for it in 0..repeat {
+        let t = Instant::now();
+        if left {
+            model
+                .left_multiply_panel(k, &x, &mut y)
+                .map_err(|e| e.to_string())?;
+        } else {
+            model
+                .right_multiply_panel(k, &x, &mut y)
+                .map_err(|e| e.to_string())?;
+        }
+        let dt = t.elapsed().as_secs_f64();
+        total += dt;
+        if repeat > 1 {
+            eprintln!("iter {it}: {:.3} ms", dt * 1e3);
+        }
+    }
+    if repeat > 1 {
+        eprintln!(
+            "mean over {repeat} iterations: {:.3} ms",
+            total * 1e3 / repeat as f64
+        );
     }
     write_panel(args.flag("out"), out_len, k, &y)
 }
@@ -609,7 +641,7 @@ fn run() -> Result<(), String> {
             "reorder-scope",
         ],
         "inspect" => &[],
-        "multiply" => &["left", "batch", "vector", "out"],
+        "multiply" => &["left", "batch", "vector", "out", "plan", "repeat"],
         "selftest" => &["rows", "cols", "shards"],
         other => return Err(format!("unknown command {other}")),
     };

@@ -18,6 +18,13 @@
 //!   reorder permutations, FNV-64 integrity checksum) with fully
 //!   validating, panic-free loading, plus mmap-style selective shard
 //!   decoding via [`ShardTable`];
+//! * compiled execution plans ([`gcm_core::plan`]) are first-class at
+//!   serve time: [`ServeOptions::planned`] makes
+//!   [`prewarm`](ShardedModel::prewarm_with) compile every shard into
+//!   branchless, division-free descriptors on the pool (opt-in —
+//!   [`ShardedModel::plan_heap_bytes`] reports the memory price), and
+//!   single-shard planned models parallelise right products across
+//!   **row ranges** via the plan's CSR row index;
 //! * [`ModelStore`] / [`Registry`] give containers names: a directory
 //!   of `.gcms` files behind a load-once, prewarm, serve-many cache;
 //! * the `gcm` binary (`src/bin/gcm.rs`) drives the whole pipeline from
@@ -35,9 +42,9 @@ pub mod registry;
 pub mod sharded;
 
 pub use container::{ServeError, ShardTable};
-pub use model::{Backend, Model};
+pub use model::{Backend, Model, ModelPlan};
 pub use registry::{ModelStore, Registry};
-pub use sharded::{BuildOptions, ShardedModel};
+pub use sharded::{BuildOptions, ServeOptions, ShardedModel};
 
 /// Re-exported pipeline vocabulary: building goes through the staged
 /// `gcm-pipeline` (serve is its consumer), and these types appear in

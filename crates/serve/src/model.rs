@@ -6,7 +6,8 @@
 //! variant — behind one enum, so the container format, the sharded
 //! engine, and the differential test harness treat them uniformly.
 
-use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding, KernelPlan};
+use gcm_encodings::HeapSize;
 use gcm_matrix::matvec::{check_left_batch, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, Workspace};
 use gcm_pipeline::ShardArtifact;
@@ -16,6 +17,42 @@ use gcm_pipeline::ShardArtifact;
 /// serving code); re-exported here so `gcm_serve::Backend` keeps
 /// working.
 pub use gcm_pipeline::Backend;
+
+/// A compiled execution plan for one [`Model`] — the serve-layer
+/// counterpart of [`gcm_core::plan`]: grammar backends compile to
+/// per-(block-)matrix [`KernelPlan`]s, uncompressed backends have no
+/// plan (their kernels are already branchless array walks).
+///
+/// Plans are a speed-for-memory trade ([`HeapSize`] reports the cost),
+/// built once at prewarm and consumed by the `*_planned` kernels below.
+#[derive(Debug, Clone)]
+pub enum ModelPlan {
+    /// One plan for a grammar-compressed model.
+    Compressed(KernelPlan),
+    /// One plan per row block of a blocked model.
+    Blocked(Vec<KernelPlan>),
+}
+
+impl ModelPlan {
+    /// Compiles a plan for `model`; `None` for the uncompressed
+    /// backends, which gain nothing from planning.
+    pub fn compile(model: &Model) -> Option<Self> {
+        match model {
+            Model::Csrv(_) | Model::ParCsrv(_) => None,
+            Model::Compressed(m) => Some(ModelPlan::Compressed(m.plan())),
+            Model::Blocked(m) => Some(ModelPlan::Blocked(m.plan())),
+        }
+    }
+}
+
+impl HeapSize for ModelPlan {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ModelPlan::Compressed(p) => p.heap_bytes(),
+            ModelPlan::Blocked(ps) => ps.iter().map(HeapSize::heap_bytes).sum(),
+        }
+    }
+}
 
 /// One servable matrix in any backend representation.
 #[derive(Debug, Clone)]
@@ -113,13 +150,32 @@ impl Model {
         match self {
             Model::Csrv(_) => (0, 0),
             Model::ParCsrv(m) => (m.num_blocks(), m.cols() * k),
-            Model::Compressed(m) => (1, m.num_rules() * k),
+            // The batched left kernel draws the W panel plus the
+            // per-rule nonzero-flag buffer.
+            Model::Compressed(m) => (2, m.num_rules() * k),
             Model::Blocked(m) => {
                 let max_rules = m.blocks().iter().map(|b| b.num_rules()).max().unwrap_or(0);
+                // Per block: a partial `cols × k` panel plus one scratch
+                // buffer (the `W` panel with the left pass's flag row).
                 (
                     2 * m.num_blocks(),
-                    k * MatVec::cols(m).max(max_rules).max(1),
+                    (k * MatVec::cols(m)).max(max_rules * (k + 1)).max(1),
                 )
+            }
+        }
+    }
+
+    /// Workspace budget `(buffers, max_len)` of one **planned**
+    /// multiplication with batch width `k` (plans draw one combined
+    /// `[x | w | flags]` scratch buffer per matrix instead of the
+    /// streaming kernels' separate W panels).
+    pub fn planned_workspace_budget(&self, k: usize, plan: &ModelPlan) -> (usize, usize) {
+        let k = k.max(1);
+        match plan {
+            ModelPlan::Compressed(p) => (1, p.scratch_len(k)),
+            ModelPlan::Blocked(ps) => {
+                let max_buf = ps.iter().map(|p| p.scratch_len(k)).max().unwrap_or(0);
+                (2 * ps.len(), max_buf.max(self.cols() * k))
             }
         }
     }
@@ -169,11 +225,72 @@ impl Model {
             Model::ParCsrv(m) => m.left_multiply_panel_into(k, y_panel, x_panel, ws),
             Model::Compressed(m) => {
                 let mut w = ws.take(m.num_rules() * k);
-                let result = m.left_multiply_panel_with(k, y_panel, x_panel, &mut w);
+                let mut flags = ws.take(m.num_rules());
+                let result = m.left_multiply_panel_with(k, y_panel, x_panel, &mut w, &mut flags);
+                ws.put(flags);
                 ws.put(w);
                 result
             }
             Model::Blocked(m) => m.left_multiply_panel_into(k, y_panel, x_panel, ws),
+        }
+    }
+
+    /// Batched right product through a compiled `plan` (which must have
+    /// been compiled from this model). Scratch comes from `ws`; after
+    /// [`ModelPlan::compile`] + a warmed workspace this performs no
+    /// heap allocation.
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn right_multiply_panel_planned(
+        &self,
+        plan: &ModelPlan,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        match (self, plan) {
+            (Model::Compressed(_), ModelPlan::Compressed(p)) => {
+                let mut buf = ws.take(p.scratch_len(k));
+                let result = p.right_multiply_panel(k, x_panel, y_panel, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Blocked(m), ModelPlan::Blocked(ps)) => {
+                m.right_multiply_panel_planned_into(ps, k, x_panel, y_panel, ws)
+            }
+            // A mismatched plan cannot arise through the serve layer
+            // (plans are compiled from the very model they serve);
+            // fall back to the streaming path rather than guess.
+            _ => self.right_multiply_panel_into(k, x_panel, y_panel, ws),
+        }
+    }
+
+    /// Batched left product through a compiled `plan`; see
+    /// [`right_multiply_panel_planned`](Self::right_multiply_panel_planned).
+    ///
+    /// # Errors
+    /// Fails if either panel length is inconsistent with `k`.
+    pub fn left_multiply_panel_planned(
+        &self,
+        plan: &ModelPlan,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        match (self, plan) {
+            (Model::Compressed(_), ModelPlan::Compressed(p)) => {
+                let mut buf = ws.take(p.scratch_len(k));
+                let result = p.left_multiply_panel(k, y_panel, x_panel, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Blocked(m), ModelPlan::Blocked(ps)) => {
+                m.left_multiply_panel_planned_into(ps, k, y_panel, x_panel, ws)
+            }
+            _ => self.left_multiply_panel_into(k, y_panel, x_panel, ws),
         }
     }
 }

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use crate::container::ServeError;
-use crate::sharded::ShardedModel;
+use crate::sharded::{ServeOptions, ShardedModel};
 
 /// File extension of model containers.
 pub const MODEL_EXT: &str = "gcms";
@@ -131,16 +131,28 @@ pub struct Registry {
     store: ModelStore,
     /// Batch width models are prewarmed for on load.
     prewarm_width: usize,
+    /// Serving options applied to every load (plan compilation).
+    serve_options: ServeOptions,
     cache: RwLock<HashMap<String, Arc<ShardedModel>>>,
 }
 
 impl Registry {
     /// A registry over `store`, prewarming loaded models for batch width
-    /// `prewarm_width` (clamped to at least 1).
+    /// `prewarm_width` (clamped to at least 1) under default
+    /// [`ServeOptions`].
     pub fn new(store: ModelStore, prewarm_width: usize) -> Self {
+        Self::with_options(store, prewarm_width, ServeOptions::default())
+    }
+
+    /// A registry that prewarms every loaded model under `options` —
+    /// e.g. [`ServeOptions::planned`] to compile kernel plans on load,
+    /// paying the plan memory once per model for faster steady-state
+    /// multiplies.
+    pub fn with_options(store: ModelStore, prewarm_width: usize, options: ServeOptions) -> Self {
         Self {
             store,
             prewarm_width: prewarm_width.max(1),
+            serve_options: options,
             cache: RwLock::new(HashMap::new()),
         }
     }
@@ -148,6 +160,11 @@ impl Registry {
     /// The backing store.
     pub fn store(&self) -> &ModelStore {
         &self.store
+    }
+
+    /// The serving options applied on load.
+    pub fn serve_options(&self) -> ServeOptions {
+        self.serve_options
     }
 
     /// Persists `model` under `name` and caches it (prewarmed).
@@ -160,7 +177,7 @@ impl Registry {
         model: ShardedModel,
     ) -> Result<Arc<ShardedModel>, ServeError> {
         self.store.save(name, &model)?;
-        model.prewarm(self.prewarm_width);
+        model.prewarm_with(self.prewarm_width, &self.serve_options);
         let arc = Arc::new(model);
         self.cache
             .write()
@@ -184,7 +201,7 @@ impl Registry {
             return Ok(Arc::clone(model));
         }
         let model = self.store.load(name)?;
-        model.prewarm(self.prewarm_width);
+        model.prewarm_with(self.prewarm_width, &self.serve_options);
         let arc = Arc::new(model);
         let mut cache = self.cache.write().expect("registry cache poisoned");
         // A racing loader may have beaten us; keep the first.
@@ -291,6 +308,24 @@ mod tests {
         let c = registry.get("m").unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(registry.get("missing").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn planned_registry_prewarms_plans_on_load() {
+        let dir = tmp_dir("planned");
+        let store = ModelStore::open(&dir).unwrap();
+        let registry = Registry::with_options(store, 4, ServeOptions::planned());
+        assert!(registry.serve_options().plans);
+        let published = registry.publish("m", sample_model(2)).unwrap();
+        assert!(published.is_planned(), "publish must prewarm with plans");
+        registry.evict("m");
+        // A fresh load from disk compiles plans too.
+        let loaded = registry.get("m").unwrap();
+        assert!(loaded.is_planned());
+        assert!(loaded.plan_heap_bytes() > 0);
+        let mut y = vec![0.0; loaded.rows()];
+        loaded.right_multiply_panel(1, &[1.0; 5], &mut y).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

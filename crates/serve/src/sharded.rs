@@ -19,15 +19,16 @@
 //! `parcsrv` with more than one block — still allocate small per-task
 //! control structures when they fan out internally.)
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use gcm_core::Encoding;
+use gcm_encodings::HeapSize;
 use gcm_matrix::matvec::{check_left_batch, check_panels, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace};
 use gcm_pipeline::{BuildArtifacts, BuildConfig, EncodingChoice, ReorderMode};
 use gcm_reorder::ReorderAlgorithm;
 
-use crate::model::{Backend, Model};
+use crate::model::{Backend, Model, ModelPlan};
 
 /// How to build a [`ShardedModel`] from a matrix. Kept as the simple
 /// front door; building runs through the staged `gcm-pipeline`
@@ -78,6 +79,30 @@ impl BuildOptions {
     }
 }
 
+/// Serving-time options: how a loaded model is prewarmed.
+///
+/// Kept separate from [`BuildOptions`] because they describe the
+/// *process*, not the artifact — the same container can be served
+/// planned on a latency-critical replica and unplanned on a
+/// memory-constrained one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Compile [`ModelPlan`]s for every shard at prewarm (see
+    /// [`gcm_core::plan`]). Opt-in: a plan costs `O(|C| + |R|)` words
+    /// per shard on top of the encoded matrix —
+    /// [`ShardedModel::plan_heap_bytes`] reports the price — and buys a
+    /// branchless, division-free, decode-free multiply. Plans are
+    /// compiled concurrently on the persistent pool.
+    pub plans: bool,
+}
+
+impl ServeOptions {
+    /// Options with plan compilation enabled.
+    pub fn planned() -> Self {
+        Self { plans: true }
+    }
+}
+
 /// One shard: its model, its reorder provenance (per-shard column
 /// permutations are first-class — shards may disagree), and the serving
 /// state the engine reuses across requests (workspace and
@@ -91,8 +116,19 @@ pub(crate) struct Shard {
     /// Algorithm that produced [`col_order`](Self::col_order), when
     /// known (build-time provenance; `GCMSERV1` v2 persists it).
     pub(crate) reorder: Option<ReorderAlgorithm>,
+    /// Compiled execution plan, set once by a plan-enabled prewarm
+    /// (`None` inside = backend has nothing to plan). Read-only after
+    /// initialisation, so the serving hot path pays one atomic load.
+    plan: OnceLock<Option<ModelPlan>>,
     ws: Mutex<Workspace>,
     partial: Mutex<Vec<f64>>,
+}
+
+impl Shard {
+    /// The shard's compiled plan, when one has been built.
+    fn plan(&self) -> Option<&ModelPlan> {
+        self.plan.get().and_then(Option::as_ref)
+    }
 }
 
 /// A matrix split row-wise across shards, served from the persistent
@@ -199,6 +235,7 @@ impl ShardedModel {
                 row_offset: rows,
                 col_order,
                 reorder,
+                plan: OnceLock::new(),
                 ws: Mutex::new(Workspace::new()),
                 partial: Mutex::new(Vec::new()),
             });
@@ -291,24 +328,48 @@ impl ShardedModel {
     /// Warms every shard's workspace and partial buffer for batch widths
     /// up to `k` and runs dummy passes through both kernels, so the first
     /// real request after a restart allocates nothing (and the worker
-    /// pool is already spun up).
+    /// pool is already spun up). Equivalent to
+    /// [`prewarm_with`](Self::prewarm_with) under default
+    /// [`ServeOptions`] (no plan compilation).
     pub fn prewarm(&self, k: usize) {
+        self.prewarm_with(k, &ServeOptions::default());
+    }
+
+    /// [`prewarm`](Self::prewarm) with explicit [`ServeOptions`]. With
+    /// `opts.plans` set, every shard's [`ModelPlan`] is compiled here —
+    /// concurrently on the persistent pool, one shard per worker, the
+    /// same `par_map` machinery the container loader decodes shards
+    /// with — and all later requests dispatch through the planned
+    /// kernels. Plan compilation is once-per-model: a second prewarm
+    /// reuses the existing plans.
+    pub fn prewarm_with(&self, k: usize, opts: &ServeOptions) {
         let k = k.max(1);
         // Force every pool worker through one job first, so one-time
         // lazy per-thread runtime allocations land here rather than in
         // whichever later request first wakes a cold worker.
         rayon::prewarm_workers();
-        // Warm shard workspaces through the same pool stage machinery
-        // the pipeline builds and loads with (shards warm concurrently;
-        // with one shard this runs inline).
+        // Build plans and warm shard workspaces through the same pool
+        // stage machinery the pipeline builds and loads with (shards
+        // run concurrently; with one shard this runs inline).
         gcm_pipeline::par_map(self.shards.len(), |i| {
             let shard = &self.shards[i];
+            let plan = if opts.plans {
+                shard
+                    .plan
+                    .get_or_init(|| ModelPlan::compile(&shard.model))
+                    .as_ref()
+            } else {
+                // A plan built by an earlier prewarm keeps serving.
+                shard.plan()
+            };
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
             let (count, max_len) = shard.model.workspace_budget(k);
-            shard
-                .ws
-                .lock()
-                .expect("shard workspace poisoned")
-                .warm(count, max_len);
+            ws.warm(count, max_len);
+            if let Some(plan) = plan {
+                let (count, max_len) = shard.model.planned_workspace_budget(k, plan);
+                ws.warm(count, max_len);
+            }
+            drop(ws);
             let mut partial = shard.partial.lock().expect("shard partial poisoned");
             if partial.capacity() < self.cols * k {
                 let grow = self.cols * k - partial.len();
@@ -325,6 +386,23 @@ impl ShardedModel {
             self.left_multiply_panel(width, &yv, &mut xo)
                 .expect("prewarm dimensions are consistent");
         }
+    }
+
+    /// Whether any shard serves through a compiled plan.
+    pub fn is_planned(&self) -> bool {
+        self.shards.iter().any(|s| s.plan().is_some())
+    }
+
+    /// Heap bytes held by the compiled plans across all shards (0 until
+    /// a plan-enabled prewarm) — the price of the planned kernels,
+    /// reported so capacity planning can weigh it against the encoded
+    /// model size.
+    pub fn plan_heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(Shard::plan)
+            .map(HeapSize::heap_bytes)
+            .sum()
     }
 
     /// Batched right product `Y = M·X` over row-major `k`-wide panel
@@ -346,6 +424,50 @@ impl ShardedModel {
         if self.shards.len() == 1 {
             let shard = &self.shards[0];
             let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            // A single-shard planned compressed model parallelises
+            // *inside* the shard instead: the plan's CSR row index
+            // makes disjoint row ranges of `C` independent once the
+            // rule pass has filled the scratch buffer, and
+            // `broadcast_indexed` dispatches them allocation-free —
+            // the same primitive the multi-shard path uses one level
+            // up, so sharding and row ranges compose rather than
+            // compete.
+            if let Some(ModelPlan::Compressed(plan)) = shard.plan() {
+                let threads = rayon::current_num_threads();
+                if threads > 1 && self.rows >= 2 * threads {
+                    let mut buf = ws.take(plan.scratch_len(k));
+                    let result = plan.begin_right_panel(k, x_panel, &mut buf);
+                    if result.is_ok() {
+                        let chunks = threads;
+                        let rows = self.rows;
+                        let base = SendPtr(y_panel.as_mut_ptr());
+                        let base = &base;
+                        let buf_ref = &buf;
+                        rayon::broadcast_indexed(chunks, &|i| {
+                            let lo = rows * i / chunks;
+                            let hi = rows * (i + 1) / chunks;
+                            // SAFETY: the `lo..hi` ranges partition
+                            // `0..rows` disjointly, so every task writes
+                            // a non-overlapping region of y_panel, which
+                            // outlives the broadcast (it blocks until
+                            // completion).
+                            let y = unsafe {
+                                std::slice::from_raw_parts_mut(base.0.add(lo * k), (hi - lo) * k)
+                            };
+                            plan.accumulate_rows_panel(lo..hi, k, buf_ref, y);
+                        });
+                    }
+                    // The warmed buffer goes back even on an error, or
+                    // one Err would shrink the zero-alloc buffer pool.
+                    ws.put(buf);
+                    return result;
+                }
+            }
+            if let Some(plan) = shard.plan() {
+                return shard
+                    .model
+                    .right_multiply_panel_planned(plan, k, x_panel, y_panel, &mut ws);
+            }
             return shard
                 .model
                 .right_multiply_panel_into(k, x_panel, y_panel, &mut ws);
@@ -361,10 +483,15 @@ impl ShardedModel {
             // which outlives the broadcast (it blocks until completion).
             let y =
                 unsafe { std::slice::from_raw_parts_mut(base.0.add(shard.row_offset * k), len) };
-            shard
-                .model
-                .right_multiply_panel_into(k, x_panel, y, &mut ws)
-                .expect("shard dimensions are consistent by construction");
+            match shard.plan() {
+                Some(plan) => shard
+                    .model
+                    .right_multiply_panel_planned(plan, k, x_panel, y, &mut ws),
+                None => shard
+                    .model
+                    .right_multiply_panel_into(k, x_panel, y, &mut ws),
+            }
+            .expect("shard dimensions are consistent by construction");
         });
         Ok(())
     }
@@ -389,9 +516,14 @@ impl ShardedModel {
         if self.shards.len() == 1 {
             let shard = &self.shards[0];
             let mut ws = shard.ws.lock().expect("shard workspace poisoned");
-            return shard
-                .model
-                .left_multiply_panel_into(k, y_panel, x_panel, &mut ws);
+            return match shard.plan() {
+                Some(plan) => shard
+                    .model
+                    .left_multiply_panel_planned(plan, k, y_panel, x_panel, &mut ws),
+                None => shard
+                    .model
+                    .left_multiply_panel_into(k, y_panel, x_panel, &mut ws),
+            };
         }
         // Hold the gate across fill + reduce: see `left_gate`.
         let _gate = self.left_gate.lock().expect("left gate poisoned");
@@ -402,10 +534,17 @@ impl ShardedModel {
             partial.resize(self.cols * k, 0.0);
             let off = shard.row_offset * k;
             let y_slice = &y_panel[off..off + shard.model.rows() * k];
-            shard
-                .model
-                .left_multiply_panel_into(k, y_slice, &mut partial, &mut ws)
-                .expect("shard dimensions are consistent by construction");
+            match shard.plan() {
+                Some(plan) => {
+                    shard
+                        .model
+                        .left_multiply_panel_planned(plan, k, y_slice, &mut partial, &mut ws)
+                }
+                None => shard
+                    .model
+                    .left_multiply_panel_into(k, y_slice, &mut partial, &mut ws),
+            }
+            .expect("shard dimensions are consistent by construction");
         });
         x_panel.fill(0.0);
         for shard in &self.shards {
@@ -653,6 +792,87 @@ mod tests {
         let mut y = vec![0.0; 24];
         dense.right_multiply(&x, &mut y_ref).unwrap();
         model.right_multiply_panel(1, &x, &mut y).unwrap();
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planned_serving_matches_streaming_for_every_backend() {
+        let dense = sample(83, 9);
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..83).map(|i| ((i % 6) as f64) - 2.5).collect();
+        let k = 4usize;
+        let x_panel: Vec<f64> = (0..9 * k).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect();
+        let y_in: Vec<f64> = (0..83 * k).map(|i| ((i * 3) % 5) as f64 - 2.0).collect();
+        for backend in Backend::ALL {
+            for shards in [1usize, 3] {
+                let opts = BuildOptions {
+                    backend,
+                    shards,
+                    blocks: 2,
+                    ..BuildOptions::default()
+                };
+                let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+                // Streaming products first…
+                let mut y_stream = vec![0.0; 83];
+                let mut x_stream = vec![0.0; 9];
+                let mut yp_stream = vec![0.0; 83 * k];
+                let mut xp_stream = vec![0.0; 9 * k];
+                model.right_multiply_panel(1, &x, &mut y_stream).unwrap();
+                model.left_multiply_panel(1, &yv, &mut x_stream).unwrap();
+                model
+                    .right_multiply_panel(k, &x_panel, &mut yp_stream)
+                    .unwrap();
+                model.left_multiply_panel(k, &y_in, &mut xp_stream).unwrap();
+                // …then flip the same model to planned dispatch.
+                model.prewarm_with(k, &ServeOptions::planned());
+                let grammar = matches!(backend, Backend::Compressed | Backend::Blocked);
+                assert_eq!(model.is_planned(), grammar, "{}", backend.name());
+                assert_eq!(model.plan_heap_bytes() > 0, grammar, "{}", backend.name());
+                let mut y_plan = vec![0.0; 83];
+                let mut x_plan = vec![0.0; 9];
+                let mut yp_plan = vec![0.0; 83 * k];
+                let mut xp_plan = vec![0.0; 9 * k];
+                model.right_multiply_panel(1, &x, &mut y_plan).unwrap();
+                model.left_multiply_panel(1, &yv, &mut x_plan).unwrap();
+                model
+                    .right_multiply_panel(k, &x_panel, &mut yp_plan)
+                    .unwrap();
+                model.left_multiply_panel(k, &y_in, &mut xp_plan).unwrap();
+                // Planned and streaming kernels are bit-exact.
+                assert_eq!(y_stream, y_plan, "{} s={shards} right", backend.name());
+                assert_eq!(x_stream, x_plan, "{} s={shards} left", backend.name());
+                assert_eq!(yp_stream, yp_plan, "{} s={shards} right k", backend.name());
+                assert_eq!(xp_stream, xp_plan, "{} s={shards} left k", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_prewarm_is_idempotent_and_sticky() {
+        let dense = sample(30, 6);
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!model.is_planned());
+        assert_eq!(model.plan_heap_bytes(), 0);
+        model.prewarm_with(2, &ServeOptions::planned());
+        let bytes = model.plan_heap_bytes();
+        assert!(bytes > 0);
+        // A later default prewarm neither drops nor rebuilds the plans.
+        model.prewarm(2);
+        assert!(model.is_planned());
+        assert_eq!(model.plan_heap_bytes(), bytes);
+        let mut y = vec![0.0; 30];
+        let mut y_ref = vec![0.0; 30];
+        model.right_multiply_panel(1, &[1.0; 6], &mut y).unwrap();
+        dense.right_multiply(&[1.0; 6], &mut y_ref).unwrap();
         for (a, b) in y.iter().zip(&y_ref) {
             assert!((a - b).abs() < 1e-9);
         }

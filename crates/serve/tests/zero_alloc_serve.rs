@@ -12,7 +12,7 @@ use gcm_bench::alloc;
 use gcm_bench::TrackingAlloc;
 use gcm_core::Encoding;
 use gcm_matrix::DenseMatrix;
-use gcm_serve::{Backend, BuildOptions, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ServeOptions, ShardedModel};
 
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
@@ -69,32 +69,72 @@ fn sharded_serving_loop_is_allocation_free_from_the_first_request() {
     // structures when they fan out internally — documented in
     // `sharded.rs` — so blocked/parcsrv are exercised for correctness in
     // the differential harness, not here.)
-    for (name, backend, encoding) in [
+    // Both serve modes carry the guarantee: streaming kernels, and the
+    // compiled-plan kernels a plan-enabled prewarm switches dispatch to.
+    // The single-shard planned case additionally routes through the
+    // row-range-parallel right multiply (plan row index + the
+    // allocation-free broadcast), which must stay allocation-free too.
+    for (name, backend, encoding, shards, serve) in [
         (
             "sharded-compressed-re_iv",
             Backend::Compressed,
             Encoding::ReIv,
+            3usize,
+            ServeOptions::default(),
         ),
         (
             "sharded-compressed-re_ans",
             Backend::Compressed,
             Encoding::ReAns,
+            3,
+            ServeOptions::default(),
         ),
-        ("sharded-csrv", Backend::Csrv, Encoding::ReAns),
+        (
+            "sharded-csrv",
+            Backend::Csrv,
+            Encoding::ReAns,
+            3,
+            ServeOptions::default(),
+        ),
+        (
+            "planned-compressed-re_iv",
+            Backend::Compressed,
+            Encoding::ReIv,
+            3,
+            ServeOptions::planned(),
+        ),
+        (
+            "planned-compressed-re_ans",
+            Backend::Compressed,
+            Encoding::ReAns,
+            3,
+            ServeOptions::planned(),
+        ),
+        (
+            "planned-row-parallel-re_32",
+            Backend::Compressed,
+            Encoding::Re32,
+            1,
+            ServeOptions::planned(),
+        ),
     ] {
         let opts = BuildOptions {
             backend,
             encoding,
-            shards: 3,
+            shards,
             ..BuildOptions::default()
         };
         let built = ShardedModel::from_dense(&dense, &opts).unwrap();
-        assert!(built.num_shards() >= 2, "{name}: sharded path required");
+        assert_eq!(built.num_shards(), shards, "{name}: shard count");
 
         // The restart story: serve from a container round-trip, prewarm,
         // and demand allocation-freedom from the very first request.
         let model = ShardedModel::from_bytes(&built.to_bytes()).expect("container round-trip");
-        model.prewarm(k);
+        model.prewarm_with(k, &serve);
+        assert_eq!(model.is_planned(), serve.plans, "{name}: plan state");
+        if serve.plans {
+            assert!(model.plan_heap_bytes() > 0, "{name}: plan memory reported");
+        }
 
         assert_alloc_free(&format!("{name} first batched right"), 1, || {
             model

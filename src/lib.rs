@@ -70,7 +70,8 @@ pub use gcm_serve as serve;
 pub mod prelude {
     pub use gcm_baselines::ClaMatrix;
     pub use gcm_core::{
-        power_iterations, BlockedMatrix, CompressedMatrix, Encoding, IterationStats,
+        power_iterations, BlockedMatrix, CompressedMatrix, Encoding, FastDiv, IterationStats,
+        KernelPlan,
     };
     pub use gcm_datagen::Dataset;
     pub use gcm_encodings::HeapSize;
@@ -85,5 +86,8 @@ pub mod prelude {
         ReorderAlgorithm,
     };
     pub use gcm_repair::{RePair, RePairConfig, RePairScratch, Slp};
-    pub use gcm_serve::{Backend, BuildOptions, ModelStore, Registry, ServeError, ShardedModel};
+    pub use gcm_serve::{
+        Backend, BuildOptions, ModelPlan, ModelStore, Registry, ServeError, ServeOptions,
+        ShardedModel,
+    };
 }
