@@ -9,6 +9,9 @@
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
 //!              [--plan] [--repeat N]
+//! gcm serve <store-dir> [--port P] [--host H] [--batch-width K]
+//!           [--deadline-us D] [--max-inflight N] [--plan]
+//! gcm stats <host:port> [--model NAME]
 //! gcm selftest [--rows R] [--cols C] [--shards N]
 //! ```
 //!
@@ -29,6 +32,14 @@
 //! *and* per-shard reorders included), reload, multiply sharded — and
 //! exits non-zero unless every product matches the dense oracle to
 //! 1e-9; CI runs it so the end-to-end path gates every change.
+//!
+//! `serve` runs the batched TCP front-end over a [`gcm_serve::Registry`]
+//! rooted at a model-store directory: every stored model is loaded and
+//! prewarmed at startup, concurrent single-vector requests coalesce
+//! into k-wide panel kernel calls, and admission control fast-fails
+//! past `--max-inflight`. `stats` fetches the live per-model
+//! request/batch-width/latency counters from a running server. The
+//! matching load generator lives in `gcm-bench` (`loadgen`).
 
 use std::fs;
 use std::io::BufReader;
@@ -42,7 +53,11 @@ use gcm_matrix::io as mio;
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec};
 use gcm_pipeline::{BuildConfig, BuildStats, EncodingChoice};
 use gcm_reorder::ReorderAlgorithm;
-use gcm_serve::{Backend, BuildOptions, ReorderMode, ServeOptions, ShardTable, ShardedModel};
+use gcm_serve::protocol::Client;
+use gcm_serve::{
+    Backend, BuildOptions, Engine, ModelStore, Registry, ReorderMode, ServeOptions, Server,
+    ServerConfig, ShardTable, ShardedModel,
+};
 
 /// `println!` that tolerates a closed stdout (e.g. piped through
 /// `head`) instead of panicking on the broken pipe.
@@ -64,6 +79,9 @@ fn usage() -> ExitCode {
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
          [--plan] [--repeat N]\n  \
+         gcm serve <store-dir> [--port P] [--host H] [--batch-width K]\n               \
+         [--deadline-us D] [--max-inflight N] [--plan]\n  \
+         gcm stats <host:port> [--model NAME]\n  \
          gcm selftest [--rows R] [--cols C] [--shards N]\n\n\
          datasets: susy higgs airline78 covtype census optical mnist2m"
     );
@@ -135,6 +153,16 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("bad --{name} value {v:?}")),
         }
     }
+
+    /// A count flag with a lower bound: out-of-range values are
+    /// rejected with an error, never silently clamped to the bound.
+    fn bounded_flag(&self, name: &str, default: usize, min: usize) -> Result<usize, String> {
+        let v: usize = self.parsed_flag(name, default)?;
+        if v < min {
+            return Err(format!("--{name} must be at least {min} (got {v})"));
+        }
+        Ok(v)
+    }
 }
 
 fn parse_dataset(name: &str) -> Option<Dataset> {
@@ -191,8 +219,8 @@ fn build_config(args: &Args) -> Result<BuildConfig, String> {
             EncodingChoice::Fixed(parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?)
         };
     }
-    config.shards = args.parsed_flag("shards", 1usize)?.max(1);
-    config.blocks = args.parsed_flag("blocks", 4usize)?.max(1);
+    config.shards = args.bounded_flag("shards", 1, 1)?;
+    config.blocks = args.bounded_flag("blocks", 4, 1)?;
     if let Some(r) = args.flag("reorder") {
         let algo = parse_reorder(r).ok_or_else(|| format!("unknown reorder {r}"))?;
         config.reorder = Some(match args.flag("reorder-scope") {
@@ -269,7 +297,9 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     let t_save = Instant::now();
     model.save(Path::new(output)).map_err(|e| e.to_string())?;
     let save_time = t_save.elapsed();
-    let container_len = fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    let container_len = fs::metadata(output)
+        .map(|m| m.len())
+        .map_err(|e| format!("stat {output}: {e}"))?;
     say!(
         "{input}: {} bytes dense -> {} bytes container ({} x {}, {} backend, {} shard(s), {:.2}%)",
         dense.uncompressed_bytes(),
@@ -394,8 +424,8 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         return Err("multiply needs <model.gcms>".into());
     };
     let left = args.has("left");
-    let k: usize = args.parsed_flag("batch", 1usize)?.max(1);
-    let repeat: usize = args.parsed_flag("repeat", 1usize)?.max(1);
+    let k: usize = args.bounded_flag("batch", 1, 1)?;
+    let repeat: usize = args.bounded_flag("repeat", 1, 1)?;
     let serve = if args.has("plan") {
         ServeOptions::planned()
     } else {
@@ -519,17 +549,17 @@ fn selftest_case(
             }
         }
     }
-    say!(
-        "  ok {tag} ({} container bytes)",
-        fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
-    );
+    let container_len = fs::metadata(&path)
+        .map(|m| m.len())
+        .map_err(|e| format!("{tag}: stat {}: {e}", path.display()))?;
+    say!("  ok {tag} ({container_len} container bytes)");
     Ok(())
 }
 
 fn cmd_selftest(args: &Args) -> Result<(), String> {
-    let rows: usize = args.parsed_flag("rows", 96usize)?.max(1);
-    let cols: usize = args.parsed_flag("cols", 12usize)?.max(1);
-    let shards: usize = args.parsed_flag("shards", 3usize)?.max(2);
+    let rows: usize = args.bounded_flag("rows", 96, 1)?;
+    let cols: usize = args.bounded_flag("cols", 12, 1)?;
+    let shards: usize = args.bounded_flag("shards", 3, 2)?;
     let dir = std::env::temp_dir().join(format!("gcm-selftest-{}", std::process::id()));
     fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
     let result = run_selftest(rows, cols, shards, &dir);
@@ -625,6 +655,65 @@ fn run_selftest(rows: usize, cols: usize, shards: usize, dir: &Path) -> Result<(
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let [store_dir] = &args.positional[..] else {
+        return Err("serve needs <store-dir>".into());
+    };
+    let port: u16 = args.parsed_flag("port", 7071u16)?;
+    let host = args.flag("host").unwrap_or("127.0.0.1").to_string();
+    let batch_width = args.bounded_flag("batch-width", 8, 1)?;
+    let deadline_us: u64 = args.parsed_flag("deadline-us", 200u64)?;
+    let max_inflight = args.bounded_flag("max-inflight", 256, 1)?;
+    let serve_opts = if args.has("plan") {
+        ServeOptions::planned()
+    } else {
+        ServeOptions::default()
+    };
+    let store = ModelStore::open(store_dir.as_str()).map_err(|e| e.to_string())?;
+    let names = store.list().map_err(|e| e.to_string())?;
+    let registry = Registry::with_options(store, batch_width, serve_opts);
+    let config = ServerConfig {
+        batch_width,
+        batch_deadline_us: deadline_us,
+        max_inflight,
+    };
+    let engine = std::sync::Arc::new(Engine::new(registry, config));
+    let server = Server::bind(std::sync::Arc::clone(&engine), (host.as_str(), port))
+        .map_err(|e| format!("bind {host}:{port}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    say!(
+        "gcm serve: listening on {addr} (batch width {batch_width}, deadline {deadline_us}us, max inflight {max_inflight})"
+    );
+    // Prewarm-on-load: pull every stored model through the registry now
+    // so the first request hits warm shards (and plan-compiled kernels
+    // under --plan), not a cold container decode.
+    for name in &names {
+        match engine.registry().get(name) {
+            Ok(model) => say!(
+                "  loaded {name}: {} x {}, {} shard(s), {} backend",
+                model.rows(),
+                model.cols(),
+                model.num_shards(),
+                model.backend().name()
+            ),
+            Err(e) => say!("  warning: {name}: {e}"),
+        }
+    }
+    server.run();
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let [addr] = &args.positional[..] else {
+        return Err("stats needs <host:port>".into());
+    };
+    let model = args.flag("model").unwrap_or("");
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let text = client.stats(model).map_err(|e| e.to_string())?;
+    say!("{}", text.trim_end());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -642,6 +731,15 @@ fn run() -> Result<(), String> {
         ],
         "inspect" => &[],
         "multiply" => &["left", "batch", "vector", "out", "plan", "repeat"],
+        "serve" => &[
+            "port",
+            "host",
+            "batch-width",
+            "deadline-us",
+            "max-inflight",
+            "plan",
+        ],
+        "stats" => &["model"],
         "selftest" => &["rows", "cols", "shards"],
         other => return Err(format!("unknown command {other}")),
     };
@@ -651,6 +749,8 @@ fn run() -> Result<(), String> {
         "compress" => cmd_compress(&args),
         "inspect" => cmd_inspect(&args),
         "multiply" => cmd_multiply(&args),
+        "serve" => cmd_serve(&args),
+        "stats" => cmd_stats(&args),
         "selftest" => cmd_selftest(&args),
         _ => unreachable!("command validated above"),
     }
@@ -687,6 +787,33 @@ mod tests {
         // A typo'd flag is a hard error, never a silent default.
         let err = Args::parse(&["--shard".to_string(), "4".to_string()], known).unwrap_err();
         assert!(err.contains("unknown flag --shard"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_flag_values_are_rejected_not_clamped() {
+        let parse = |pairs: &[(&str, &str)]| {
+            let raw: Vec<String> = pairs
+                .iter()
+                .flat_map(|(n, v)| [format!("--{n}"), v.to_string()])
+                .collect();
+            Args::parse(
+                &raw,
+                &["shards", "blocks", "batch", "repeat", "rows", "cols"],
+            )
+            .unwrap()
+        };
+        // `--shards 0` / `--blocks 0` used to clamp to 1; now they fail.
+        let err = build_config(&parse(&[("shards", "0")])).unwrap_err();
+        assert!(err.contains("--shards must be at least 1"), "{err}");
+        let err = build_config(&parse(&[("blocks", "0")])).unwrap_err();
+        assert!(err.contains("--blocks must be at least 1"), "{err}");
+        // In-range values still parse.
+        assert_eq!(build_config(&parse(&[("shards", "3")])).unwrap().shards, 3);
+        // The helper carries the bound in its message.
+        let args = parse(&[("batch", "0"), ("rows", "2")]);
+        assert!(args.bounded_flag("batch", 1, 1).is_err());
+        assert_eq!(args.bounded_flag("rows", 96, 1).unwrap(), 2);
+        assert_eq!(args.bounded_flag("repeat", 1, 1).unwrap(), 1);
     }
 
     #[test]

@@ -167,6 +167,12 @@ fn read_col_order(
     if len != cols {
         return Err(corrupt("column order length mismatch"));
     }
+    // Bound the declared length by the bytes actually present *before*
+    // any reservation sized from it: a forged-checksum container must
+    // not be able to request an absurd allocation.
+    if len > data.len().saturating_sub(*pos) / 4 {
+        return Err(corrupt("column order length exceeds remaining payload"));
+    }
     let order =
         serial::read_exact_u32s(data, pos, len).ok_or_else(|| corrupt("truncated column order"))?;
     if !serial::is_permutation(&order, cols) {
@@ -216,7 +222,11 @@ fn decode_shard(
             let blocks = varint::read_u64(payload, &mut pos)
                 .ok_or_else(|| corrupt("missing parcsrv block count"))?
                 as usize;
-            if blocks == 0 || blocks > u32::MAX as usize {
+            // Every block needs at least one payload byte behind it, so
+            // the remaining length bounds any plausible count — tighter
+            // than a fixed cap, and checked before the count sizes
+            // anything.
+            if blocks == 0 || blocks > payload.len().saturating_sub(pos) {
                 return Err(corrupt("implausible parcsrv block count"));
             }
             let m = mio::read_csrv_bytes(payload, &mut pos)
@@ -324,6 +334,15 @@ impl ShardTable {
         let mut pos = 10usize;
         let rows = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad rows"))? as usize;
         let cols = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad cols"))? as usize;
+        // Plausibility bounds on the header dimensions, before either
+        // value can size a downstream reservation (column indices are
+        // u32 throughout the formats; rows beyond 2^48 are nonsense).
+        if cols > u32::MAX as usize {
+            return Err(corrupt("implausible column count"));
+        }
+        if rows > 1usize << 48 {
+            return Err(corrupt("implausible row count"));
+        }
         let num_shards =
             varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad shard count"))? as usize;
         if num_shards == 0 || num_shards > body_len {

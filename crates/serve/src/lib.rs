@@ -37,13 +37,17 @@
 //! (see `ROADMAP.md`).
 
 pub mod container;
+pub mod metrics;
 pub mod model;
+pub mod protocol;
 pub mod registry;
+pub mod server;
 pub mod sharded;
 
 pub use container::{ServeError, ShardTable};
 pub use model::{Backend, Model, ModelPlan};
 pub use registry::{ModelStore, Registry};
+pub use server::{Engine, Server, ServerConfig, ServerHandle};
 pub use sharded::{BuildOptions, ServeOptions, ShardedModel};
 
 /// Re-exported pipeline vocabulary: building goes through the staged

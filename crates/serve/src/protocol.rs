@@ -1,0 +1,561 @@
+//! The `gcm serve` wire protocol: a small length-prefixed binary
+//! framing, shared by the server, the CLI client (`gcm stats`), the
+//! load generator, and the tests.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! u32 LE body length | body (at most MAX_FRAME bytes)
+//! ```
+//!
+//! Request bodies start with a one-byte verb:
+//!
+//! ```text
+//! MULTIPLY  u8 verb=1 | u8 direction (0 right, 1 left) | u8 name_len |
+//!           name bytes | u16 LE k | k·dim f64 LE values
+//!           (dim = cols for right, rows for left; a k-wide payload is
+//!            the row-major panel layout the batched kernels consume:
+//!            element (i, j) at i·k + j)
+//! STATS     u8 verb=2 | u8 name_len | name bytes (name_len 0 = all models)
+//! PING      u8 verb=3
+//! INFO      u8 verb=4 | u8 name_len | name bytes
+//! ```
+//!
+//! Response bodies start with a one-byte status:
+//!
+//! ```text
+//! OK         u8 0 | result (multiply: k·out_dim f64 LE; stats: UTF-8
+//!                  text; info: u64 LE rows, u64 LE cols; ping: empty)
+//! OVERLOADED u8 1 | UTF-8 message  (fast-fail admission shed — retry later)
+//! BAD_REQUEST / UNKNOWN_MODEL / INTERNAL
+//!            u8 2|3|4 | UTF-8 message
+//! ```
+//!
+//! Encoding and decoding are allocation-free against caller-owned
+//! buffers: the server's steady-state request loop reuses one input and
+//! one output `Vec<u8>` per connection, so after the first request a
+//! connection's decode → batch → respond cycle performs zero heap
+//! allocation (locked in by `crates/serve/tests/zero_alloc_net.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard upper bound on one frame's body, validated before any read: a
+/// malicious length prefix can never drive a large allocation.
+pub const MAX_FRAME: usize = 1 << 26; // 64 MiB
+
+/// Request verbs.
+pub mod verb {
+    /// Multiply a vector (or k-wide panel) by a named model.
+    pub const MULTIPLY: u8 = 1;
+    /// Fetch the server's metrics as text.
+    pub const STATS: u8 = 2;
+    /// Liveness check.
+    pub const PING: u8 = 3;
+    /// Fetch a model's dimensions.
+    pub const INFO: u8 = 4;
+}
+
+/// Response status codes. `OK` is the protocol's "2xx"; everything else
+/// carries a UTF-8 message.
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// Admission control shed the request (bounded in-flight queue is
+    /// past its high-water mark). Fast-fail: retry later.
+    pub const OVERLOADED: u8 = 1;
+    /// Malformed frame or inconsistent dimensions.
+    pub const BAD_REQUEST: u8 = 2;
+    /// No such model in the store.
+    pub const UNKNOWN_MODEL: u8 = 3;
+    /// Server-side failure.
+    pub const INTERNAL: u8 = 4;
+
+    /// Human-readable name of a status byte.
+    pub fn name(s: u8) -> &'static str {
+        match s {
+            OK => "ok",
+            OVERLOADED => "overloaded",
+            BAD_REQUEST => "bad_request",
+            UNKNOWN_MODEL => "unknown_model",
+            INTERNAL => "internal",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Which product a multiply request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `y = M·x` (input dim = cols, output dim = rows).
+    Right,
+    /// `x = Mᵗ·y` (input dim = rows, output dim = cols).
+    Left,
+}
+
+impl Direction {
+    /// Wire byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            Direction::Right => 0,
+            Direction::Left => 1,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(Direction::Right),
+            1 => Some(Direction::Left),
+            _ => None,
+        }
+    }
+
+    /// `"right"` / `"left"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Right => "right",
+            Direction::Left => "left",
+        }
+    }
+}
+
+/// A decoded request, borrowing from the frame buffer.
+#[derive(Debug)]
+pub enum Request<'a> {
+    /// Multiply `k` vectors (row-major panel payload, f64 LE).
+    Multiply {
+        /// Model name.
+        model: &'a str,
+        /// Product direction.
+        direction: Direction,
+        /// Number of vectors in the payload.
+        k: usize,
+        /// `k·dim` f64 LE bytes (validated against the model server-side).
+        payload: &'a [u8],
+    },
+    /// Metrics snapshot (`model` empty = all models).
+    Stats {
+        /// Optional model filter.
+        model: &'a str,
+    },
+    /// Liveness check.
+    Ping,
+    /// Model dimensions.
+    Info {
+        /// Model name.
+        model: &'a str,
+    },
+}
+
+fn read_name<'a>(body: &'a [u8], pos: &mut usize) -> Result<&'a str, &'static str> {
+    let len = *body.get(*pos).ok_or("truncated name length")? as usize;
+    *pos += 1;
+    let bytes = body
+        .get(*pos..*pos + len)
+        .ok_or("name overruns frame body")?;
+    *pos += len;
+    std::str::from_utf8(bytes).map_err(|_| "model name is not UTF-8")
+}
+
+/// Decodes one request body. Borrow-only: never allocates.
+///
+/// # Errors
+/// Fails with a static message on any structural violation.
+pub fn decode_request(body: &[u8]) -> Result<Request<'_>, &'static str> {
+    let verb = *body.first().ok_or("empty frame body")?;
+    let mut pos = 1usize;
+    match verb {
+        verb::MULTIPLY => {
+            let dir = *body.get(pos).ok_or("truncated direction")?;
+            pos += 1;
+            let direction = Direction::from_tag(dir).ok_or("unknown direction")?;
+            let model = read_name(body, &mut pos)?;
+            let k_bytes = body.get(pos..pos + 2).ok_or("truncated batch width")?;
+            pos += 2;
+            let k = u16::from_le_bytes(k_bytes.try_into().expect("2 bytes")) as usize;
+            if k == 0 {
+                return Err("batch width must be at least 1");
+            }
+            let payload = &body[pos..];
+            if !payload.len().is_multiple_of(8) {
+                return Err("payload is not a whole number of f64 values");
+            }
+            Ok(Request::Multiply {
+                model,
+                direction,
+                k,
+                payload,
+            })
+        }
+        verb::STATS => {
+            let model = read_name(body, &mut pos)?;
+            Ok(Request::Stats { model })
+        }
+        verb::PING => Ok(Request::Ping),
+        verb::INFO => {
+            let model = read_name(body, &mut pos)?;
+            Ok(Request::Info { model })
+        }
+        _ => Err("unknown verb"),
+    }
+}
+
+fn push_name(out: &mut Vec<u8>, name: &str) {
+    debug_assert!(name.len() <= u8::MAX as usize, "store names are <= 128");
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Starts a frame in `out` (clears it, writes the length placeholder).
+/// Pair with [`finish_frame`].
+pub fn begin_frame(out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+}
+
+/// Patches the length prefix of a frame started with [`begin_frame`].
+pub fn finish_frame(out: &mut [u8]) {
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Encodes a multiply request frame (`values.len()` must be `k·dim`).
+pub fn encode_multiply(
+    out: &mut Vec<u8>,
+    model: &str,
+    direction: Direction,
+    k: usize,
+    values: &[f64],
+) {
+    begin_frame(out);
+    out.push(verb::MULTIPLY);
+    out.push(direction.tag());
+    push_name(out, model);
+    out.extend_from_slice(&(k as u16).to_le_bytes());
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    finish_frame(out);
+}
+
+/// Encodes a stats request frame (`model` empty = all models).
+pub fn encode_stats(out: &mut Vec<u8>, model: &str) {
+    begin_frame(out);
+    out.push(verb::STATS);
+    push_name(out, model);
+    finish_frame(out);
+}
+
+/// Encodes a ping request frame.
+pub fn encode_ping(out: &mut Vec<u8>) {
+    begin_frame(out);
+    out.push(verb::PING);
+    finish_frame(out);
+}
+
+/// Encodes an info request frame.
+pub fn encode_info(out: &mut Vec<u8>, model: &str) {
+    begin_frame(out);
+    out.push(verb::INFO);
+    push_name(out, model);
+    finish_frame(out);
+}
+
+/// Reads one frame body into `buf` (reused across calls: allocation-free
+/// once grown). Returns the body length; `Ok(None)` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+/// Fails on I/O errors, mid-frame EOF, or a length prefix past
+/// [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> std::io::Result<Option<usize>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(&mut buf[..len])?;
+    Ok(Some(len))
+}
+
+/// An error from a [`Client`] call: transport failure or a non-OK
+/// server status.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with a non-OK status.
+    Server {
+        /// One of the [`status`] codes.
+        status: u8,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server { status: s, message } => {
+                write!(f, "server error ({}): {message}", status::name(*s))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking client over one TCP connection, with reused frame buffers
+/// (a paced load-generator loop through it allocates only on buffer
+/// growth).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    out: Vec<u8>,
+    resp: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr` (any `ToSocketAddrs`), disabling Nagle so
+    /// small request frames are not delayed.
+    ///
+    /// # Errors
+    /// Fails on connection errors.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            out: Vec::new(),
+            resp: Vec::new(),
+        })
+    }
+
+    /// Sends the frame already encoded in `self.out` and reads the
+    /// response body into `self.resp`, returning `(status, body_len)`.
+    fn roundtrip(&mut self) -> Result<(u8, usize), ClientError> {
+        self.stream.write_all(&self.out)?;
+        let n = read_frame(&mut self.stream, &mut self.resp)?.ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        let s = *self.resp.first().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "empty response body",
+            ))
+        })?;
+        Ok((s, n))
+    }
+
+    fn non_ok(&self, s: u8) -> ClientError {
+        ClientError::Server {
+            status: s,
+            message: String::from_utf8_lossy(&self.resp[1..]).into_owned(),
+        }
+    }
+
+    /// Multiplies `k` vectors (`x.len() == k·dim`, row-major panel) by
+    /// `model`, appending the `k·out_dim` results to `y` (cleared
+    /// first).
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn multiply(
+        &mut self,
+        model: &str,
+        direction: Direction,
+        k: usize,
+        x: &[f64],
+        y: &mut Vec<f64>,
+    ) -> Result<(), ClientError> {
+        encode_multiply(&mut self.out, model, direction, k, x);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        let body = &self.resp[1..];
+        y.clear();
+        y.reserve(body.len() / 8);
+        for c in body.chunks_exact(8) {
+            y.push(f64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        Ok(())
+    }
+
+    /// As [`multiply`](Self::multiply), but returns the raw status byte
+    /// instead of treating non-OK as an error — the load generator's
+    /// entry point, where `OVERLOADED` is an expected outcome to count,
+    /// not a failure to propagate.
+    ///
+    /// # Errors
+    /// Fails only on transport errors.
+    pub fn multiply_status(
+        &mut self,
+        model: &str,
+        direction: Direction,
+        k: usize,
+        x: &[f64],
+    ) -> Result<u8, ClientError> {
+        encode_multiply(&mut self.out, model, direction, k, x);
+        let (s, _) = self.roundtrip()?;
+        Ok(s)
+    }
+
+    /// Fetches the metrics snapshot (`model` empty = all models).
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn stats(&mut self, model: &str) -> Result<String, ClientError> {
+        encode_stats(&mut self.out, model);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        Ok(String::from_utf8_lossy(&self.resp[1..]).into_owned())
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        encode_ping(&mut self.out);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        Ok(())
+    }
+
+    /// Fetches `(rows, cols)` of `model`.
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn info(&mut self, model: &str) -> Result<(usize, usize), ClientError> {
+        encode_info(&mut self.out, model);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        let body = &self.resp[1..];
+        if body.len() != 16 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "info response must be 16 bytes",
+            )));
+        }
+        let rows = u64::from_le_bytes(body[..8].try_into().expect("8 bytes")) as usize;
+        let cols = u64::from_le_bytes(body[8..].try_into().expect("8 bytes")) as usize;
+        Ok((rows, cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_request_roundtrips() {
+        let mut out = Vec::new();
+        let x = [1.5f64, -2.0, 0.25];
+        encode_multiply(&mut out, "demo", Direction::Right, 1, &x);
+        let body_len = u32::from_le_bytes(out[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, out.len() - 4);
+        match decode_request(&out[4..]).unwrap() {
+            Request::Multiply {
+                model,
+                direction,
+                k,
+                payload,
+            } => {
+                assert_eq!(model, "demo");
+                assert_eq!(direction, Direction::Right);
+                assert_eq!(k, 1);
+                let back: Vec<f64> = payload
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                assert_eq!(back, x);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_ping_info_roundtrip() {
+        let mut out = Vec::new();
+        encode_stats(&mut out, "");
+        assert!(matches!(
+            decode_request(&out[4..]).unwrap(),
+            Request::Stats { model: "" }
+        ));
+        encode_ping(&mut out);
+        assert!(matches!(decode_request(&out[4..]).unwrap(), Request::Ping));
+        encode_info(&mut out, "m1");
+        assert!(matches!(
+            decode_request(&out[4..]).unwrap(),
+            Request::Info { model: "m1" }
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err(), "unknown verb");
+        assert!(decode_request(&[verb::MULTIPLY]).is_err(), "no direction");
+        assert!(
+            decode_request(&[verb::MULTIPLY, 7]).is_err(),
+            "bad direction"
+        );
+        // Name length past the body end.
+        assert!(decode_request(&[verb::MULTIPLY, 0, 10, b'a']).is_err());
+        // k = 0.
+        let mut bad = vec![verb::MULTIPLY, 0, 1, b'a', 0, 0];
+        assert!(decode_request(&bad).is_err());
+        // Payload not a multiple of 8.
+        bad = vec![verb::MULTIPLY, 0, 1, b'a', 1, 0, 1, 2, 3];
+        assert!(decode_request(&bad).is_err());
+        // Non-UTF-8 name.
+        bad = vec![verb::INFO, 1, 0xFF];
+        assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn frame_reader_enforces_bounds_and_eof() {
+        let mut buf = Vec::new();
+        // Clean EOF at a boundary.
+        let empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut { empty }, &mut buf), Ok(None)));
+        // Mid-frame EOF is an error.
+        let short: &[u8] = &[5, 0, 0, 0, 1, 2];
+        assert!(read_frame(&mut { short }, &mut buf).is_err());
+        // Oversized length prefix is rejected before any read.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..], &mut buf).is_err());
+        // A well-formed frame round-trips.
+        let frame: &[u8] = &[3, 0, 0, 0, 9, 8, 7];
+        assert_eq!(read_frame(&mut { frame }, &mut buf).unwrap(), Some(3));
+        assert_eq!(&buf[..3], &[9, 8, 7]);
+    }
+}

@@ -4,12 +4,13 @@
 //! `<name>.gcms` containers with atomic writes. [`Registry`] is the
 //! serving side: a name → [`ShardedModel`] cache that loads from the
 //! store on first use and prewarms each model so steady-state requests
-//! hit warm shards. Both are what a long-running `gcm-serve` process (or
-//! the future async front-end recorded in `ROADMAP.md`) holds onto.
+//! hit warm shards. Both are what a long-running `gcm serve` process
+//! (the batched TCP front-end in [`crate::server`]) holds onto.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::container::ServeError;
 use crate::sharded::{ServeOptions, ShardedModel};
@@ -134,6 +135,58 @@ pub struct Registry {
     /// Serving options applied to every load (plan compilation).
     serve_options: ServeOptions,
     cache: RwLock<HashMap<String, Arc<ShardedModel>>>,
+    /// Single-flight gates: one per name currently being loaded, so N
+    /// concurrent first requests decode the container once (the fleet
+    /// restart thundering-herd path).
+    inflight: Mutex<HashMap<String, Arc<LoadGate>>>,
+    /// Containers actually decoded from disk (not cache hits) — lets
+    /// tests pin the single-flight guarantee.
+    loads: AtomicUsize,
+}
+
+/// A gate concurrent loaders of the same name rendezvous on: the
+/// loader that created it does the work; the rest wait for `done`.
+#[derive(Debug, Default)]
+struct LoadGate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LoadGate {
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("load gate poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("load gate poisoned");
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().expect("load gate poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Removes and completes the leader's gate on scope exit — including a
+/// panicking load — so followers always wake. The leader caches the
+/// model *before* this runs, keeping the cache-then-uncork ordering the
+/// double-check in [`Registry::get`] relies on.
+struct GateGuard<'a> {
+    registry: &'a Registry,
+    name: &'a str,
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        let gate = self
+            .registry
+            .inflight
+            .lock()
+            .expect("registry inflight poisoned")
+            .remove(self.name);
+        if let Some(gate) = gate {
+            gate.complete();
+        }
+    }
 }
 
 impl Registry {
@@ -154,6 +207,8 @@ impl Registry {
             prewarm_width: prewarm_width.max(1),
             serve_options: options,
             cache: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            loads: AtomicUsize::new(0),
         }
     }
 
@@ -189,26 +244,74 @@ impl Registry {
     /// Returns the cached model for `name`, loading and prewarming it
     /// from the store on first use.
     ///
+    /// Concurrent first requests for the same name are **single-flight**:
+    /// one caller decodes and prewarms the container, the rest block on
+    /// its gate and then take the cached `Arc` — a fleet restart's worth
+    /// of simultaneous cold requests costs one load, not N.
+    ///
     /// # Errors
-    /// Fails if the model is missing or its container corrupt.
+    /// Fails if the model is missing or its container corrupt. A failed
+    /// load is not cached: waiters (and later callers) retry it.
     pub fn get(&self, name: &str) -> Result<Arc<ShardedModel>, ServeError> {
-        if let Some(model) = self
-            .cache
-            .read()
-            .expect("registry cache poisoned")
-            .get(name)
-        {
-            return Ok(Arc::clone(model));
+        loop {
+            if let Some(model) = self
+                .cache
+                .read()
+                .expect("registry cache poisoned")
+                .get(name)
+            {
+                return Ok(Arc::clone(model));
+            }
+            // Join the in-progress load, or become its leader.
+            let gate = {
+                let mut inflight = self.inflight.lock().expect("registry inflight poisoned");
+                // The previous leader caches before dropping its gate,
+                // so a second cache check here closes the window where
+                // we would reload a model that just finished.
+                if let Some(model) = self
+                    .cache
+                    .read()
+                    .expect("registry cache poisoned")
+                    .get(name)
+                {
+                    return Ok(Arc::clone(model));
+                }
+                match inflight.get(name) {
+                    Some(gate) => Some(Arc::clone(gate)),
+                    None => {
+                        inflight.insert(name.to_string(), Arc::new(LoadGate::default()));
+                        None
+                    }
+                }
+            };
+            if let Some(gate) = gate {
+                // Follower: wait, then re-check the cache (the leader
+                // may have failed — in that case we retry the load).
+                gate.wait();
+                continue;
+            }
+            // Leader: the guard completes the gate even on panic, so
+            // followers never hang.
+            let _guard = GateGuard {
+                registry: self,
+                name,
+            };
+            let model = self.store.load(name)?;
+            model.prewarm_with(self.prewarm_width, &self.serve_options);
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            let arc = Arc::new(model);
+            self.cache
+                .write()
+                .expect("registry cache poisoned")
+                .insert(name.to_string(), Arc::clone(&arc));
+            return Ok(arc);
         }
-        let model = self.store.load(name)?;
-        model.prewarm_with(self.prewarm_width, &self.serve_options);
-        let arc = Arc::new(model);
-        let mut cache = self.cache.write().expect("registry cache poisoned");
-        // A racing loader may have beaten us; keep the first.
-        let entry = cache
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::clone(&arc));
-        Ok(Arc::clone(entry))
+    }
+
+    /// How many containers `get` has actually decoded from disk (cache
+    /// hits and waiters on another caller's load do not count).
+    pub fn loads_performed(&self) -> usize {
+        self.loads.load(Ordering::Relaxed)
     }
 
     /// Drops the cached entry for `name` (the container stays on disk).
@@ -308,6 +411,47 @@ mod tests {
         let c = registry.get("m").unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert!(registry.get("missing").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_first_gets_decode_the_container_once() {
+        let dir = tmp_dir("single-flight");
+        let store = ModelStore::open(&dir).unwrap();
+        let registry = Arc::new(Registry::new(store, 4));
+        registry.store().save("m", &sample_model(3)).unwrap();
+        assert_eq!(registry.loads_performed(), 0);
+
+        let threads = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    registry.get("m").unwrap()
+                })
+            })
+            .collect();
+        let models: Vec<Arc<ShardedModel>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        assert_eq!(
+            registry.loads_performed(),
+            1,
+            "single-flight: 8 racing gets must decode the container once"
+        );
+        for model in &models {
+            assert!(
+                Arc::ptr_eq(model, &models[0]),
+                "every caller must receive the same cached instance"
+            );
+        }
+        // A failing load is not cached: waiters retry, and the counter
+        // only moves on success.
+        assert!(registry.get("missing").is_err());
+        assert_eq!(registry.loads_performed(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,938 @@
+//! The batched TCP front-end behind `gcm serve`: a thread-per-connection
+//! server (`std::net`; the kernels below it run on the vendored
+//! persistent pool) whose core is a **batching queue** that coalesces
+//! concurrent single-vector requests for the same model into one
+//! `right/left_multiply_panel` call — the k-wide kernels the bench layer
+//! measured at 3.6–17× over k=1 — flushing on width `batch_width` or a
+//! microsecond deadline, whichever comes first.
+//!
+//! Layering:
+//!
+//! * [`Engine`] is the transport-free request processor:
+//!   `handle_frame(body, out)` decodes one protocol frame and encodes
+//!   the complete response into a caller-owned buffer. Tests (including
+//!   the zero-allocation lock-in) drive it without sockets.
+//! * `Lane` (private) is one model × direction batching queue:
+//!   double-buffered so the next batch fills while the current one
+//!   executes, leader/follower combining (the first request in a batch
+//!   becomes the leader, runs the panel kernel, and wakes the rest),
+//!   all request state preallocated at lane creation.
+//! * [`Server`] owns the listener: accept loop, one OS thread per
+//!   connection, each reusing one input and one output frame buffer so
+//!   the steady-state request loop performs **zero heap allocation**.
+//!
+//! Admission control is a bounded in-flight counter: past the
+//! high-water mark ([`ServerConfig::max_inflight`]) multiply requests
+//! fast-fail with `OVERLOADED` instead of queueing unboundedly. Admitted
+//! requests that find both of a lane's batch buffers busy wait for one
+//! to drain — backpressure, bounded by the admission cap above.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::container::ServeError;
+use crate::metrics::{Metrics, ModelMetrics};
+use crate::protocol::{
+    begin_frame, decode_request, finish_frame, read_frame, status, Direction, Request,
+};
+use crate::registry::Registry;
+use crate::sharded::ShardedModel;
+
+/// Tuning knobs of the serving front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum coalesced batch width (flush threshold); also the widest
+    /// k a single request may carry. At least 1, at most `u16::MAX`.
+    pub batch_width: usize,
+    /// How long the first request of a batch waits for company before
+    /// flushing anyway, in microseconds. 0 disables coalescing (every
+    /// request flushes immediately).
+    pub batch_deadline_us: u64,
+    /// Admission high-water mark: multiply requests beyond this many
+    /// in flight are shed with `OVERLOADED`.
+    pub max_inflight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            batch_width: 8,
+            batch_deadline_us: 200,
+            max_inflight: 256,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn normalized(mut self) -> Self {
+        self.batch_width = self.batch_width.clamp(1, u16::MAX as usize);
+        self.max_inflight = self.max_inflight.max(1);
+        self
+    }
+}
+
+/// One model × direction batch buffer. Double-buffered per lane: while
+/// one executes, the other accepts fills.
+#[derive(Debug)]
+struct BatchBuf {
+    /// Request vectors in **slot-major** order (slot `s` owns
+    /// `xcols[s·in_dim .. (s+1)·in_dim]`) — written as requests join,
+    /// before the final width is known.
+    xcols: Vec<f64>,
+    /// Row-major panel the kernel consumes; the leader transposes
+    /// `xcols` into it once the batch closes at its final width.
+    panel: Vec<f64>,
+    /// Kernel output, row-major at the executed width.
+    y: Vec<f64>,
+    /// Slots filled so far.
+    filled: usize,
+    /// Width the batch executed at (valid once `done`).
+    exec_k: usize,
+    /// Results are ready (or `err` is set).
+    done: bool,
+    /// Kernel failure to report to every member.
+    err: Option<&'static str>,
+    /// Members still to copy their column out; the buffer recycles only
+    /// at zero.
+    readers: usize,
+}
+
+impl BatchBuf {
+    fn new(max_width: usize, in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            xcols: vec![0.0; max_width * in_dim],
+            panel: vec![0.0; max_width * in_dim],
+            y: vec![0.0; max_width * out_dim],
+            filled: 0,
+            exec_k: 0,
+            done: false,
+            err: None,
+            readers: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LaneState {
+    batches: [BatchBuf; 2],
+    /// Index of the batch currently accepting fills, if any.
+    open: Option<usize>,
+    free: [bool; 2],
+}
+
+/// Scratch for requests that already carry a k-wide panel (k ≥ 2):
+/// they skip the coalescer and run the kernel directly.
+#[derive(Debug)]
+struct DirectBufs {
+    panel: Vec<f64>,
+    y: Vec<f64>,
+}
+
+/// One model × direction batching queue. All buffers are allocated at
+/// lane creation; the submit path only locks, copies, and waits.
+#[derive(Debug)]
+struct Lane {
+    in_dim: usize,
+    out_dim: usize,
+    max_width: usize,
+    state: Mutex<LaneState>,
+    /// Wakes the leader when the open batch reaches full width.
+    full: Condvar,
+    /// Wakes followers when their batch's results are ready.
+    done_cv: Condvar,
+    direct: Mutex<DirectBufs>,
+}
+
+fn decode_f64s(dst: &mut [f64], payload: &[u8]) {
+    for (d, c) in dst.iter_mut().zip(payload.chunks_exact(8)) {
+        *d = f64::from_le_bytes(c.try_into().expect("8 bytes"));
+    }
+}
+
+impl Lane {
+    fn new(in_dim: usize, out_dim: usize, max_width: usize) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            max_width,
+            state: Mutex::new(LaneState {
+                batches: [
+                    BatchBuf::new(max_width, in_dim, out_dim),
+                    BatchBuf::new(max_width, in_dim, out_dim),
+                ],
+                open: None,
+                free: [true, true],
+            }),
+            full: Condvar::new(),
+            done_cv: Condvar::new(),
+            direct: Mutex::new(DirectBufs {
+                panel: vec![0.0; max_width * in_dim],
+                y: vec![0.0; max_width * out_dim],
+            }),
+        }
+    }
+
+    fn multiply(
+        &self,
+        model: &ShardedModel,
+        direction: Direction,
+        k: usize,
+        panel: &[f64],
+        y: &mut [f64],
+    ) -> Result<(), gcm_matrix::MatrixError> {
+        match direction {
+            Direction::Right => model.right_multiply_panel(k, panel, y),
+            Direction::Left => model.left_multiply_panel(k, panel, y),
+        }
+    }
+
+    /// Submits a single-vector request to the coalescer. Writes the
+    /// complete response frame into `out` and returns its status byte.
+    fn submit(
+        &self,
+        model: &ShardedModel,
+        direction: Direction,
+        payload: &[u8],
+        metrics: &ModelMetrics,
+        deadline_us: u64,
+        out: &mut Vec<u8>,
+    ) -> u8 {
+        let mut state = self.state.lock().expect("lane poisoned");
+
+        // Join the open batch, or claim a free buffer as a new one. With
+        // both buffers busy an admitted request applies backpressure by
+        // waiting for one to drain — shedding is admission control's
+        // job (`max_inflight`), and progress is guaranteed because the
+        // leader's flush wait is deadline-bounded.
+        let idx = loop {
+            if let Some(i) = state.open {
+                break i;
+            }
+            if let Some(i) = (0..2).find(|&i| state.free[i]) {
+                state.free[i] = false;
+                let b = &mut state.batches[i];
+                b.filled = 0;
+                b.done = false;
+                b.err = None;
+                b.readers = 0;
+                state.open = Some(i);
+                break i;
+            }
+            state = self.done_cv.wait(state).expect("lane poisoned");
+        };
+        let slot = {
+            let b = &mut state.batches[idx];
+            let slot = b.filled;
+            b.filled += 1;
+            b.readers += 1;
+            decode_f64s(
+                &mut b.xcols[slot * self.in_dim..(slot + 1) * self.in_dim],
+                payload,
+            );
+            slot
+        };
+        if slot + 1 == self.max_width {
+            // Batch is full: close it and wake the leader early.
+            state.open = None;
+            self.full.notify_all();
+        }
+
+        if slot == 0 {
+            // Leader: wait (bounded) for company, then execute.
+            let deadline = Instant::now() + Duration::from_micros(deadline_us);
+            loop {
+                if state.batches[idx].filled >= self.max_width {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .full
+                    .wait_timeout(state, deadline - now)
+                    .expect("lane poisoned");
+                state = guard;
+            }
+            if state.open == Some(idx) {
+                state.open = None;
+            }
+            // Move the buffers out (a `Vec` move — no allocation) so
+            // the kernel runs outside the lane lock and the other
+            // buffer keeps accepting fills meanwhile.
+            let (kf, xcols, mut panel, mut y) = {
+                let b = &mut state.batches[idx];
+                b.exec_k = b.filled;
+                (
+                    b.filled,
+                    std::mem::take(&mut b.xcols),
+                    std::mem::take(&mut b.panel),
+                    std::mem::take(&mut b.y),
+                )
+            };
+            drop(state);
+
+            for s in 0..kf {
+                for i in 0..self.in_dim {
+                    panel[i * kf + s] = xcols[s * self.in_dim + i];
+                }
+            }
+            let res = self.multiply(
+                model,
+                direction,
+                kf,
+                &panel[..self.in_dim * kf],
+                &mut y[..self.out_dim * kf],
+            );
+            metrics.batches.fetch_add(1, Ordering::Relaxed);
+            metrics.vectors.fetch_add(kf as u64, Ordering::Relaxed);
+            metrics.batch_width.record(kf as u64);
+
+            state = self.state.lock().expect("lane poisoned");
+            {
+                let b = &mut state.batches[idx];
+                b.xcols = xcols;
+                b.panel = panel;
+                b.y = y;
+                b.err = res.err().map(|_| "batched panel multiply failed");
+                b.done = true;
+            }
+            self.done_cv.notify_all();
+        } else {
+            // Follower: the leader runs the kernel for us.
+            while !state.batches[idx].done {
+                state = self.done_cv.wait(state).expect("lane poisoned");
+            }
+        }
+
+        // Copy this request's column out and release the buffer.
+        let b = &mut state.batches[idx];
+        let st = if let Some(msg) = b.err {
+            respond_status(out, status::INTERNAL, msg);
+            status::INTERNAL
+        } else {
+            let kf = b.exec_k;
+            begin_frame(out);
+            out.push(status::OK);
+            out.reserve(self.out_dim * 8);
+            for r in 0..self.out_dim {
+                out.extend_from_slice(&b.y[r * kf + slot].to_le_bytes());
+            }
+            finish_frame(out);
+            status::OK
+        };
+        b.readers -= 1;
+        if b.readers == 0 {
+            state.free[idx] = true;
+            // Wake requests parked above waiting for a free buffer.
+            self.done_cv.notify_all();
+        }
+        st
+    }
+
+    /// Runs a request that already carries a k-wide panel (k ≥ 2)
+    /// directly, bypassing the coalescer. Same response contract as
+    /// [`submit`](Self::submit).
+    fn submit_direct(
+        &self,
+        model: &ShardedModel,
+        direction: Direction,
+        k: usize,
+        payload: &[u8],
+        metrics: &ModelMetrics,
+        out: &mut Vec<u8>,
+    ) -> u8 {
+        let mut bufs = self.direct.lock().expect("direct bufs poisoned");
+        let DirectBufs { panel, y } = &mut *bufs;
+        decode_f64s(&mut panel[..k * self.in_dim], payload);
+        let res = self.multiply(
+            model,
+            direction,
+            k,
+            &panel[..self.in_dim * k],
+            &mut y[..self.out_dim * k],
+        );
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.vectors.fetch_add(k as u64, Ordering::Relaxed);
+        metrics.batch_width.record(k as u64);
+        match res {
+            Ok(()) => {
+                begin_frame(out);
+                out.push(status::OK);
+                out.reserve(self.out_dim * k * 8);
+                for v in &y[..self.out_dim * k] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                finish_frame(out);
+                status::OK
+            }
+            Err(_) => {
+                respond_status(out, status::INTERNAL, "panel multiply failed");
+                status::INTERNAL
+            }
+        }
+    }
+}
+
+/// Per-model serving state: the loaded model, its metrics, and one
+/// batching lane per direction.
+#[derive(Debug)]
+struct ModelLanes {
+    model: Arc<ShardedModel>,
+    metrics: Arc<ModelMetrics>,
+    right: Lane,
+    left: Lane,
+}
+
+impl ModelLanes {
+    fn new(model: Arc<ShardedModel>, metrics: Arc<ModelMetrics>, batch_width: usize) -> Self {
+        let (rows, cols) = (model.rows(), model.cols());
+        Self {
+            right: Lane::new(cols, rows, batch_width),
+            left: Lane::new(rows, cols, batch_width),
+            model,
+            metrics,
+        }
+    }
+}
+
+fn respond_status(out: &mut Vec<u8>, s: u8, msg: &str) {
+    begin_frame(out);
+    out.push(s);
+    out.extend_from_slice(msg.as_bytes());
+    finish_frame(out);
+}
+
+/// Decrements the in-flight counter on scope exit (including panics).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The transport-free request processor: protocol frame in, protocol
+/// frame out. [`Server`] wraps it in TCP; tests drive it directly.
+#[derive(Debug)]
+pub struct Engine {
+    registry: Registry,
+    config: ServerConfig,
+    metrics: Metrics,
+    lanes: RwLock<HashMap<String, Arc<ModelLanes>>>,
+    inflight: AtomicUsize,
+}
+
+impl Engine {
+    /// An engine serving models out of `registry` under `config`
+    /// (widths and marks clamped to sane ranges).
+    pub fn new(registry: Registry, config: ServerConfig) -> Self {
+        Self {
+            registry,
+            config: config.normalized(),
+            metrics: Metrics::new(),
+            lanes: RwLock::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active (normalized) configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The metrics registry (what the `stats` verb renders).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn get_lanes(&self, name: &str) -> Result<Arc<ModelLanes>, ServeError> {
+        if let Some(lanes) = self.lanes.read().expect("lanes poisoned").get(name) {
+            return Ok(Arc::clone(lanes));
+        }
+        // Cold path: registry load (single-flight, prewarmed) + lane
+        // buffer allocation, once per model.
+        let model = self.registry.get(name)?;
+        let metrics = self.metrics.get_or_create(name);
+        let lanes = Arc::new(ModelLanes::new(model, metrics, self.config.batch_width));
+        let mut map = self.lanes.write().expect("lanes poisoned");
+        Ok(Arc::clone(map.entry(name.to_string()).or_insert(lanes)))
+    }
+
+    fn respond_serve_error(&self, out: &mut Vec<u8>, e: &ServeError) {
+        let not_found = match e {
+            ServeError::BadName(_) => true,
+            ServeError::Io(io) => io.kind() == std::io::ErrorKind::NotFound,
+            _ => false,
+        };
+        let s = if not_found {
+            status::UNKNOWN_MODEL
+        } else {
+            status::INTERNAL
+        };
+        respond_status(out, s, &e.to_string());
+    }
+
+    fn try_admit(&self) -> Option<InflightGuard<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::Acquire);
+        if prev >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::Release);
+            return None;
+        }
+        Some(InflightGuard(&self.inflight))
+    }
+
+    /// Processes one request frame body, encoding the complete response
+    /// frame (length prefix included) into `out`. Steady-state multiply
+    /// requests against warm lanes perform zero heap allocation (once
+    /// `out` has grown to the response size).
+    pub fn handle_frame(&self, body: &[u8], out: &mut Vec<u8>) {
+        let req = match decode_request(body) {
+            Ok(req) => req,
+            Err(msg) => {
+                respond_status(out, status::BAD_REQUEST, msg);
+                return;
+            }
+        };
+        match req {
+            Request::Ping => respond_status(out, status::OK, ""),
+            Request::Stats { model } => {
+                let text = self.metrics.render(model);
+                respond_status(out, status::OK, &text);
+            }
+            Request::Info { model } => match self.get_lanes(model) {
+                Ok(lanes) => {
+                    begin_frame(out);
+                    out.push(status::OK);
+                    out.extend_from_slice(&(lanes.model.rows() as u64).to_le_bytes());
+                    out.extend_from_slice(&(lanes.model.cols() as u64).to_le_bytes());
+                    finish_frame(out);
+                }
+                Err(e) => self.respond_serve_error(out, &e),
+            },
+            Request::Multiply {
+                model,
+                direction,
+                k,
+                payload,
+            } => {
+                let start = Instant::now();
+                let lanes = match self.get_lanes(model) {
+                    Ok(lanes) => lanes,
+                    Err(e) => {
+                        self.respond_serve_error(out, &e);
+                        return;
+                    }
+                };
+                let m = &lanes.metrics;
+                m.requests.fetch_add(1, Ordering::Relaxed);
+                let lane = match direction {
+                    Direction::Right => &lanes.right,
+                    Direction::Left => &lanes.left,
+                };
+                if k > lane.max_width {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::BAD_REQUEST, "k exceeds server batch width");
+                    return;
+                }
+                if payload.len() != k * lane.in_dim * 8 {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(
+                        out,
+                        status::BAD_REQUEST,
+                        "payload length does not match model dimension",
+                    );
+                    return;
+                }
+                let Some(_guard) = self.try_admit() else {
+                    m.overloaded.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::OVERLOADED, "in-flight high-water mark reached");
+                    return;
+                };
+                let st = if k == 1 {
+                    lane.submit(
+                        &lanes.model,
+                        direction,
+                        payload,
+                        m,
+                        self.config.batch_deadline_us,
+                        out,
+                    )
+                } else {
+                    lane.submit_direct(&lanes.model, direction, k, payload, m, out)
+                };
+                match st {
+                    status::OK => m.ok.fetch_add(1, Ordering::Relaxed),
+                    status::OVERLOADED => m.overloaded.fetch_add(1, Ordering::Relaxed),
+                    _ => m.errors.fetch_add(1, Ordering::Relaxed),
+                };
+                m.latency_us.record(start.elapsed().as_micros() as u64);
+            }
+        }
+    }
+}
+
+fn handle_connection(engine: Arc<Engine>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut inbuf = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        use std::io::Write;
+        match read_frame(&mut stream, &mut inbuf) {
+            Ok(Some(n)) => {
+                engine.handle_frame(&inbuf[..n], &mut out);
+                if stream.write_all(&out).is_err() {
+                    break;
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+}
+
+/// The TCP front-end: an accept loop spawning one thread per
+/// connection, each running [`Engine::handle_frame`] over reused frame
+/// buffers.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `("127.0.0.1", port)`; port 0 picks a free
+    /// one).
+    ///
+    /// # Errors
+    /// Fails on bind errors.
+    pub fn bind(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    /// Fails if the socket is gone.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The engine behind the listener.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    fn run_until(self, stop: Arc<AtomicBool>) {
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                let engine = Arc::clone(&self.engine);
+                std::thread::spawn(move || handle_connection(engine, stream));
+            }
+        }
+    }
+
+    /// Serves forever (the `gcm serve` foreground path).
+    pub fn run(self) {
+        self.run_until(Arc::new(AtomicBool::new(false)));
+    }
+
+    /// Serves on a background thread; the returned handle stops the
+    /// accept loop on [`stop`](ServerHandle::stop) or drop.
+    ///
+    /// # Errors
+    /// Fails if the bound address cannot be read back.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || self.run_until(flag));
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Handle to a background [`Server`]; stops it on drop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Existing connections drain
+    /// on their own (their threads exit at client EOF).
+    pub fn stop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept call.
+            let _ = TcpStream::connect(self.addr);
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_info, encode_multiply, encode_ping, encode_stats, Client};
+    use crate::registry::ModelStore;
+    use crate::sharded::BuildOptions;
+    use gcm_matrix::DenseMatrix;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gcm-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_dense(rows: usize, cols: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r + 2 * c) % 3 != 0 {
+                    m.set(r, c, ((r % 5) as f64) - 0.5 * (c as f64));
+                }
+            }
+        }
+        m
+    }
+
+    fn engine_with_model(tag: &str, config: ServerConfig) -> (Engine, DenseMatrix, PathBuf) {
+        let dir = tmp_dir(tag);
+        let store = ModelStore::open(&dir).unwrap();
+        let dense = sample_dense(18, 6);
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        store.save("m", &model).unwrap();
+        let registry = Registry::new(store, config.batch_width);
+        (Engine::new(registry, config), dense, dir)
+    }
+
+    fn body_of(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4, "frame length prefix");
+        &frame[4..]
+    }
+
+    #[test]
+    fn engine_answers_ping_info_stats_and_multiply() {
+        let config = ServerConfig {
+            batch_deadline_us: 0,
+            ..ServerConfig::default()
+        };
+        let (engine, dense, dir) = engine_with_model("engine", config);
+        let (mut req, mut out) = (Vec::new(), Vec::new());
+
+        encode_ping(&mut req);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out), &[status::OK]);
+
+        encode_info(&mut req, "m");
+        engine.handle_frame(body_of(&req), &mut out);
+        let body = body_of(&out);
+        assert_eq!(body[0], status::OK);
+        assert_eq!(u64::from_le_bytes(body[1..9].try_into().unwrap()), 18);
+        assert_eq!(u64::from_le_bytes(body[9..17].try_into().unwrap()), 6);
+
+        encode_info(&mut req, "missing");
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::UNKNOWN_MODEL);
+
+        // Right multiply matches the dense reference bit-for-bit.
+        let x = vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.25];
+        encode_multiply(&mut req, "m", Direction::Right, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        let body = body_of(&out);
+        assert_eq!(body[0], status::OK);
+        let got: Vec<f64> = body[1..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut want = vec![0.0; 18];
+        dense.right_multiply(&x, &mut want).unwrap();
+        assert_eq!(got, want, "served product must be bit-exact");
+
+        // Dimension mismatch and oversized k are rejected.
+        encode_multiply(&mut req, "m", Direction::Right, 1, &x[..4]);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::BAD_REQUEST);
+        let wide = vec![0.0; 6 * (config.batch_width + 1)];
+        encode_multiply(
+            &mut req,
+            "m",
+            Direction::Right,
+            config.batch_width + 1,
+            &wide,
+        );
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::BAD_REQUEST);
+
+        encode_stats(&mut req, "");
+        engine.handle_frame(body_of(&req), &mut out);
+        let body = body_of(&out);
+        assert_eq!(body[0], status::OK);
+        let text = std::str::from_utf8(&body[1..]).unwrap();
+        // `requests` counts everything received (the two rejected
+        // multiplies included), `ok` only the served one.
+        assert!(text.contains("model=m requests=3 ok=1"), "{text}");
+        assert!(text.contains("errors=2"), "{text}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn admission_control_sheds_past_high_water_mark() {
+        // max_inflight is clamped to >= 1, so exhaust it from a second
+        // thread that parks inside the batch deadline window.
+        let config = ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 200_000,
+            max_inflight: 1,
+        };
+        let (engine, _dense, dir) = engine_with_model("admission", config);
+        let engine = Arc::new(engine);
+        let x = vec![1.0; 6];
+
+        let slow = {
+            let engine = Arc::clone(&engine);
+            let x = x.clone();
+            std::thread::spawn(move || {
+                let (mut req, mut out) = (Vec::new(), Vec::new());
+                encode_multiply(&mut req, "m", Direction::Right, 1, &x);
+                engine.handle_frame(body_of(&req), &mut out);
+                body_of(&out)[0]
+            })
+        };
+        // Wait until the slow request holds the in-flight slot.
+        while engine.inflight.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        let (mut req, mut out) = (Vec::new(), Vec::new());
+        encode_multiply(&mut req, "m", Direction::Right, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        let body = body_of(&out);
+        assert_eq!(body[0], status::OVERLOADED, "second request must be shed");
+        // The shed request joined no batch: the slow one completes OK
+        // after its deadline (coalescing the two would also be OK —
+        // but admission fired first).
+        assert_eq!(slow.join().unwrap(), status::OK);
+        let m = engine.metrics().get("m").unwrap();
+        assert_eq!(m.overloaded.load(Ordering::Relaxed), 1);
+        assert_eq!(m.ok.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_batch() {
+        let config = ServerConfig {
+            batch_width: 4,
+            batch_deadline_us: 500_000,
+            max_inflight: 64,
+        };
+        let (engine, dense, dir) = engine_with_model("coalesce", config);
+        let engine = Arc::new(engine);
+        // Prime the lanes so all four requests race on a warm path.
+        let (mut req, mut out) = (Vec::new(), Vec::new());
+        encode_info(&mut req, "m");
+        engine.handle_frame(body_of(&req), &mut out);
+
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let joins: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut x = vec![0.0; 6];
+                    x[t % 6] = (t + 1) as f64;
+                    let (mut req, mut out) = (Vec::new(), Vec::new());
+                    encode_multiply(&mut req, "m", Direction::Right, 1, &x);
+                    barrier.wait();
+                    engine.handle_frame(body_of(&req), &mut out);
+                    let body = body_of(&out).to_vec();
+                    (x, body)
+                })
+            })
+            .collect();
+        for join in joins {
+            let (x, body) = join.join().unwrap();
+            assert_eq!(body[0], status::OK);
+            let got: Vec<f64> = body[1..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let mut want = vec![0.0; 18];
+            dense.right_multiply(&x, &mut want).unwrap();
+            assert_eq!(got, want, "each member must get its own exact column");
+        }
+        // The batch width bound: 4 vectors over at most 4 kernel calls;
+        // with the long deadline they overwhelmingly coalesce into one.
+        let m = engine.metrics().get("m").unwrap();
+        assert_eq!(m.vectors.load(Ordering::Relaxed), 4);
+        assert!(m.batches.load(Ordering::Relaxed) <= 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn server_roundtrips_over_tcp() {
+        let config = ServerConfig {
+            batch_deadline_us: 0,
+            ..ServerConfig::default()
+        };
+        let (engine, dense, dir) = engine_with_model("tcp", config);
+        let server = Server::bind(Arc::new(engine), ("127.0.0.1", 0)).unwrap();
+        let mut handle = server.spawn().unwrap();
+
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.info("m").unwrap(), (18, 6));
+        let x = vec![0.5; 6];
+        let mut y = Vec::new();
+        client
+            .multiply("m", Direction::Right, 1, &x, &mut y)
+            .unwrap();
+        let mut want = vec![0.0; 18];
+        dense.right_multiply(&x, &mut want).unwrap();
+        assert_eq!(y, want);
+        let text = client.stats("m").unwrap();
+        assert!(text.contains("model=m"), "{text}");
+        drop(client);
+        handle.stop();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -8,8 +8,14 @@
 //! kernel (that layer is fuzzed separately in
 //! `crates/core/tests/serial_fuzz.rs`).
 
+use gcm_bench::{alloc, TrackingAlloc};
+use gcm_encodings::varint;
 use gcm_matrix::DenseMatrix;
+use gcm_serve::container::fnv1a64;
 use gcm_serve::{Backend, BuildOptions, ShardedModel};
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
 fn sample_container(backend: Backend) -> Vec<u8> {
     let mut dense = DenseMatrix::zeros(26, 7);
@@ -61,6 +67,98 @@ fn byte_flips_at_every_offset_are_rejected() {
             }
         }
     }
+}
+
+/// Forges a `GCMSERV1` container with a **valid checksum** but
+/// attacker-chosen header fields and declared shard lengths, so only
+/// the structural validators stand between the input and an allocation.
+fn forge(rows: u64, cols: u64, backend_tag: u8, shards: &[(u64, &[u8])]) -> Vec<u8> {
+    let mut out = b"GCMSERV1".to_vec();
+    out.push(1); // version
+    out.push(backend_tag);
+    varint::write_u64(&mut out, rows);
+    varint::write_u64(&mut out, cols);
+    varint::write_u64(&mut out, shards.len() as u64);
+    for (declared_len, payload) in shards {
+        varint::write_u64(&mut out, *declared_len);
+        out.extend_from_slice(payload);
+    }
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Loads `bytes`, asserting rejection *and* that the loader never
+/// reserved anything close to what the inflated length field promised.
+fn assert_rejected_without_big_allocation(name: &str, bytes: &[u8]) {
+    const BUDGET: usize = 1 << 20; // 1 MiB — absurd lengths claim GiBs
+    let live = alloc::reset_peak();
+    assert!(
+        ShardedModel::from_bytes(bytes).is_err(),
+        "{name}: forged container must be rejected"
+    );
+    let grown = alloc::peak_bytes().saturating_sub(live);
+    assert!(
+        grown < BUDGET,
+        "{name}: rejection allocated {grown} bytes — the inflated length sized a reservation"
+    );
+}
+
+#[test]
+fn inflated_lengths_with_valid_checksums_are_rejected_before_allocation() {
+    let csrv = Backend::Csrv.tag();
+
+    // Shard length claims ~2^60 bytes that are not there.
+    assert_rejected_without_big_allocation(
+        "inflated shard length",
+        &forge(4, 2, csrv, &[(1u64 << 60, b"")]),
+    );
+
+    // Header column count past u32 (column indices are u32 on disk).
+    assert_rejected_without_big_allocation(
+        "implausible cols",
+        &forge(4, (1u64 << 32) + 7, csrv, &[(1, b"\0")]),
+    );
+
+    // Header row count past any plausible matrix.
+    assert_rejected_without_big_allocation(
+        "implausible rows",
+        &forge(1u64 << 60, 2, csrv, &[(1, b"\0")]),
+    );
+
+    // Column-order length prefix claims cols entries (2^31 × 4 bytes =
+    // 8 GiB) with an empty payload behind it.
+    let huge_cols = 1u64 << 31;
+    let mut order_payload = Vec::new();
+    varint::write_u64(&mut order_payload, huge_cols);
+    assert_rejected_without_big_allocation(
+        "inflated column-order length",
+        &forge(
+            4,
+            huge_cols,
+            csrv,
+            &[(order_payload.len() as u64, &order_payload)],
+        ),
+    );
+
+    // parcsrv block count far beyond the bytes that could encode it.
+    let mut par_payload = Vec::new();
+    varint::write_u64(&mut par_payload, 0); // no column order
+    varint::write_u64(&mut par_payload, 1u64 << 40); // blocks
+    assert_rejected_without_big_allocation(
+        "inflated parcsrv block count",
+        &forge(
+            4,
+            2,
+            Backend::ParCsrv.tag(),
+            &[(par_payload.len() as u64, &par_payload)],
+        ),
+    );
+
+    // Control: a genuine container still loads with the allocator
+    // installed (the harness itself is sound).
+    let good = sample_container(Backend::Csrv);
+    assert!(ShardedModel::from_bytes(&good).is_ok());
 }
 
 #[test]

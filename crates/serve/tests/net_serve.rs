@@ -1,0 +1,236 @@
+//! End-to-end tests of the batched TCP front-end: responses served over
+//! the wire must be **bit-exact** with direct `right/left_multiply_panel`
+//! calls on the same container (the batched kernels accumulate each
+//! column independently and in k=1 order, so coalescing must never
+//! change a single bit), and admission control must fast-fail instead
+//! of queueing.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use gcm_matrix::DenseMatrix;
+use gcm_serve::protocol::{status, Client, Direction};
+use gcm_serve::{
+    BuildOptions, Engine, ModelStore, Registry, Server, ServerConfig, ServerHandle, ShardedModel,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gcm-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_dense(rows: usize, cols: usize) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if (r * 3 + c) % 4 != 0 {
+                // Values with non-trivial mantissas, so "bit-exact"
+                // actually discriminates from "close".
+                m.set(r, c, ((r * 31 + c * 17) % 23) as f64 * 0.37 - 2.1);
+            }
+        }
+    }
+    m
+}
+
+/// Store a model, start a server over it, and hand back a directly
+/// loaded copy of the same container for reference products.
+fn serve_sample(tag: &str, config: ServerConfig) -> (ServerHandle, ShardedModel, PathBuf) {
+    let dir = tmp_dir(tag);
+    let store = ModelStore::open(&dir).unwrap();
+    let model = ShardedModel::from_dense(
+        &sample_dense(24, 7),
+        &BuildOptions {
+            shards: 3,
+            ..BuildOptions::default()
+        },
+    )
+    .unwrap();
+    let path = store.save("m", &model).unwrap();
+    let reference = ShardedModel::load(&path).unwrap();
+    reference.prewarm(config.batch_width.max(1));
+    let registry = Registry::new(store, config.batch_width);
+    let server = Server::bind(Arc::new(Engine::new(registry, config)), ("127.0.0.1", 0)).unwrap();
+    let handle = server.spawn().unwrap();
+    (handle, reference, dir)
+}
+
+#[test]
+fn coalesced_wire_responses_are_bit_exact_with_direct_panel_call() {
+    let k = 6usize;
+    let (mut handle, reference, dir) = serve_sample(
+        "coalesce",
+        ServerConfig {
+            batch_width: k,
+            batch_deadline_us: 500_000,
+            max_inflight: 64,
+        },
+    );
+    let (rows, cols) = (reference.rows(), reference.cols());
+
+    // k concurrent single-vector requests released together: with the
+    // long deadline they coalesce into panel kernel calls server-side.
+    let addr = handle.addr();
+    let barrier = Arc::new(Barrier::new(k));
+    let joins: Vec<_> = (0..k)
+        .map(|j| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let x: Vec<f64> = (0..cols)
+                    .map(|i| ((i * 13 + j * 7) % 11) as f64 * 0.73 - 3.3)
+                    .collect();
+                let mut client = Client::connect(addr).unwrap();
+                let mut y = Vec::new();
+                barrier.wait();
+                client
+                    .multiply("m", Direction::Right, 1, &x, &mut y)
+                    .unwrap();
+                (x, y)
+            })
+        })
+        .collect();
+    let results: Vec<(Vec<f64>, Vec<f64>)> = joins.into_iter().map(|t| t.join().unwrap()).collect();
+
+    // Reference: ONE direct k-wide panel call with the same vectors.
+    let mut x_panel = vec![0.0; cols * k];
+    for (j, (x, _)) in results.iter().enumerate() {
+        for i in 0..cols {
+            x_panel[i * k + j] = x[i];
+        }
+    }
+    let mut y_panel = vec![0.0; rows * k];
+    reference
+        .right_multiply_panel(k, &x_panel, &mut y_panel)
+        .unwrap();
+    for (j, (_, y)) in results.iter().enumerate() {
+        assert_eq!(y.len(), rows);
+        for r in 0..rows {
+            assert!(
+                y[r].to_bits() == y_panel[r * k + j].to_bits(),
+                "request {j}, row {r}: wire {} != direct panel {} (must be bit-exact)",
+                y[r],
+                y_panel[r * k + j]
+            );
+        }
+    }
+
+    // The server must have actually batched: fewer kernel calls than
+    // vectors (all k released together under a generous deadline).
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats("m").unwrap();
+    let line = stats
+        .lines()
+        .find(|l| l.starts_with("model=m requests="))
+        .unwrap_or_else(|| panic!("no model line in:\n{stats}"));
+    assert!(line.contains("ok=6"), "{line}");
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn k_wide_wire_requests_match_direct_panel_calls_bit_exact_both_directions() {
+    let (mut handle, reference, dir) = serve_sample(
+        "kwide",
+        ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 0,
+            max_inflight: 64,
+        },
+    );
+    let (rows, cols) = (reference.rows(), reference.cols());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.info("m").unwrap(), (rows, cols));
+
+    let k = 4usize;
+    for (direction, in_dim, out_dim) in [
+        (Direction::Right, cols, rows),
+        (Direction::Left, rows, cols),
+    ] {
+        let x_panel: Vec<f64> = (0..in_dim * k)
+            .map(|i| ((i * 29) % 13) as f64 * 0.31 - 1.7)
+            .collect();
+        let mut y_wire = Vec::new();
+        client
+            .multiply("m", direction, k, &x_panel, &mut y_wire)
+            .unwrap();
+        let mut y_direct = vec![0.0; out_dim * k];
+        match direction {
+            Direction::Right => reference.right_multiply_panel(k, &x_panel, &mut y_direct),
+            Direction::Left => reference.left_multiply_panel(k, &x_panel, &mut y_direct),
+        }
+        .unwrap();
+        assert_eq!(y_wire.len(), y_direct.len());
+        for (i, (w, d)) in y_wire.iter().zip(&y_direct).enumerate() {
+            assert!(
+                w.to_bits() == d.to_bits(),
+                "{} element {i}: wire {w} != direct {d}",
+                direction.name()
+            );
+        }
+    }
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overload_fast_fails_instead_of_queueing() {
+    // max_inflight 1 + a long flush deadline: the first request parks as
+    // batch leader holding the only in-flight slot, so the second is
+    // deterministically shed — and quickly, not after queueing behind
+    // the first.
+    let (mut handle, _reference, dir) = serve_sample(
+        "overload",
+        ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 500_000,
+            max_inflight: 1,
+        },
+    );
+    let addr = handle.addr();
+    let cols = 7usize;
+    let x = vec![1.0; cols];
+
+    let first = {
+        let x = x.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .multiply_status("m", Direction::Right, 1, &x)
+                .unwrap()
+        })
+    };
+    // Give the first request time to occupy the slot (it then waits
+    // 500ms for batch company).
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).unwrap();
+    let t = std::time::Instant::now();
+    let second = client
+        .multiply_status("m", Direction::Right, 1, &x)
+        .unwrap();
+    let shed_latency = t.elapsed();
+    let first = first.join().unwrap();
+
+    // Exactly one request is served, the other shed — and the shed
+    // response returns fast, well inside the leader's deadline window.
+    let mut statuses = [first, second];
+    statuses.sort_unstable();
+    assert_eq!(
+        statuses,
+        [status::OK, status::OVERLOADED],
+        "one OK + one fast-fail shed expected"
+    );
+    assert!(
+        shed_latency < Duration::from_millis(400),
+        "shed response took {shed_latency:?} — it queued instead of fast-failing"
+    );
+
+    let stats = client.stats("m").unwrap();
+    assert!(stats.contains("overloaded=1"), "{stats}");
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -87,7 +87,7 @@ pub mod prelude {
     };
     pub use gcm_repair::{RePair, RePairConfig, RePairScratch, Slp};
     pub use gcm_serve::{
-        Backend, BuildOptions, ModelPlan, ModelStore, Registry, ServeError, ServeOptions,
-        ShardedModel,
+        Backend, BuildOptions, Engine, ModelPlan, ModelStore, Registry, ServeError, ServeOptions,
+        Server, ServerConfig, ServerHandle, ShardedModel,
     };
 }
