@@ -1,17 +1,32 @@
 //! Compiled-plan kernels vs. the streaming reference kernels.
 //!
 //! * `right/k1`, `right/k8`, `left/k1`, `left/k8`: core-level planned
-//!   vs. streaming, per encoding, on a ≥100k-nnz Census slice. The plan
-//!   removes the per-symbol `div`/`mod`, the terminal branch, the rule
-//!   enum dispatch, and (for `re_iv`/`re_ans`) the packed/rANS decode,
-//!   so the gap widens from `re_32` to `re_ans`.
+//!   (f64 and f32) vs. streaming, per encoding, on a ≥350k-nnz Census
+//!   slice. The plan removes the per-symbol `div`/`mod`, the terminal
+//!   branch, the rule enum dispatch, and (for `re_iv`/`re_ans`/`re_fse`)
+//!   the packed/entropy decode, so the gap widens from `re_32` to
+//!   `re_fse`; the f32 plan halves the descriptor heap on top.
+//! * `decode`: raw sequence-stream expansion per encoding — the tANS
+//!   table walk (`re_fse`) vs. the division-free rANS loop (`re_ans`).
 //! * `sharded/right`: the serve-layer view — `ShardedModel` at 1 and 4
-//!   shards, streaming vs. plan-enabled prewarm.
+//!   shards, streaming vs. f64-plan vs. f32-plan prewarm.
 //!
-//! Differential tests (`crates/core/tests/plan_vs_streaming.rs`) pin
-//! the two paths bit-exact; only the clock should move here. Pass
-//! `--test` (CI's smoke mode) to shrink the matrix and sample count so
-//! the bench doubles as a fast end-to-end check.
+//! Differential tests (`crates/core/tests/plan_vs_streaming.rs`,
+//! `crates/core/tests/plan_f32_props.rs`) pin the kernel outputs; only
+//! the clock should move here. Pass `--test` (CI's smoke mode) to
+//! shrink the matrix and sample count so the bench doubles as a fast
+//! end-to-end check.
+//!
+//! Set `GCM_BENCH_JSON=<path>` to skip criterion and instead run a
+//! compact wall-clock pass over the same kernels, writing a JSON report
+//! (the in-tree `BENCH_kernels.json` evidence is produced this way):
+//!
+//! ```text
+//! GCM_BENCH_JSON=BENCH_kernels.json cargo bench --bench kernels
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -29,24 +44,224 @@ fn input(len: usize) -> Vec<f64> {
     (0..len).map(|i| (i % 17) as f64 * 0.125 - 1.0).collect()
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let rows = if smoke() { 400 } else { 12_000 };
-    let dense = Dataset::Census.generate(rows, 42);
-    let cols = dense.cols();
-    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
-    let nnz = csrv.nnz();
-    eprintln!("kernels bench: {rows} x {cols}, {nnz} nnz");
+/// One wall-clock measurement for the JSON report: warm up, then take
+/// the best of three timed windows (each with an iteration floor and a
+/// time floor) so scheduler noise cannot inflate a reading.
+fn measure(mut f: impl FnMut()) -> f64 {
+    let (min_iters, min_time, windows) = if smoke() {
+        (3, Duration::from_millis(10), 1)
+    } else {
+        (10, Duration::from_millis(250), 3)
+    };
+    f(); // warm-up: faults pages, fills caches
+    let mut best = f64::INFINITY;
+    for _ in 0..windows {
+        let start = Instant::now();
+        let mut iters = 0usize;
+        while iters < min_iters || start.elapsed() < min_time {
+            f();
+            iters += 1;
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct JsonEntry {
+    group: String,
+    variant: &'static str,
+    encoding: &'static str,
+    secs_per_iter: f64,
+    elements: usize,
+}
+
+fn write_json(path: &str, rows: usize, cols: usize, nnz: usize, entries: &[JsonEntry]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"dataset\": \"census\",\n  \"rows\": {rows},\n  \"cols\": {cols},\n  \"nnz\": {nnz},\n"
+    ));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke() { "smoke" } else { "full" }
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let melems = e.elements as f64 / e.secs_per_iter / 1e6;
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"variant\": \"{}\", \"encoding\": \"{}\", \
+             \"secs_per_iter\": {:.3e}, \"melems_per_s\": {:.1}}}{}\n",
+            e.group,
+            e.variant,
+            e.encoding,
+            e.secs_per_iter,
+            melems,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    eprintln!("kernels bench: wrote {path}");
+}
+
+/// The `GCM_BENCH_JSON` pass: the same kernels as the criterion groups,
+/// timed with a plain wall clock and written as one JSON document.
+fn run_json_report(path: &str, dense: &gcm_matrix::DenseMatrix, csrv: &CsrvMatrix) {
+    let (rows, cols, nnz) = (dense.rows(), dense.cols(), csrv.nnz());
+    let mut entries = Vec::new();
 
     for enc in Encoding::ALL {
-        let cm = CompressedMatrix::compress(&csrv, enc);
+        let cm = CompressedMatrix::compress(csrv, enc);
         let plan = cm.plan();
+        let plan32 = cm.plan_f32();
         let mut ws = Workspace::new();
+
+        // Raw sequence expansion: the per-encoding decode loop alone.
+        let secs = measure(|| cm.seq_store().for_each(|s| _ = black_box(s)));
+        entries.push(JsonEntry {
+            group: "decode".into(),
+            variant: "seq_store",
+            encoding: enc.name(),
+            secs_per_iter: secs,
+            elements: cm.sequence_len(),
+        });
+
         for k in [1usize, 8] {
             let x_panel = input(cols * k);
             let mut y_panel = vec![0.0; rows * k];
             let y_input = input(rows * k);
             let mut x_out = vec![0.0; cols * k];
             let mut buf = vec![0.0; plan.scratch_len(k)];
+            let mut buf32 = vec![0.0; plan32.scratch_len(k)];
+
+            let secs = measure(|| {
+                let mut w = ws.take(cm.num_rules() * k);
+                cm.right_multiply_panel_with(k, &x_panel, &mut y_panel, &mut w)
+                    .unwrap();
+                ws.put(w);
+            });
+            entries.push(JsonEntry {
+                group: format!("right/k{k}"),
+                variant: "streaming",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz * k,
+            });
+            let secs = measure(|| {
+                plan.right_multiply_panel(k, &x_panel, &mut y_panel, &mut buf)
+                    .unwrap()
+            });
+            entries.push(JsonEntry {
+                group: format!("right/k{k}"),
+                variant: "planned",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz * k,
+            });
+            let secs = measure(|| {
+                plan32
+                    .right_multiply_panel(k, &x_panel, &mut y_panel, &mut buf32)
+                    .unwrap()
+            });
+            entries.push(JsonEntry {
+                group: format!("right/k{k}"),
+                variant: "planned_f32",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz * k,
+            });
+
+            let secs = measure(|| {
+                plan.left_multiply_panel(k, &y_input, &mut x_out, &mut buf)
+                    .unwrap()
+            });
+            entries.push(JsonEntry {
+                group: format!("left/k{k}"),
+                variant: "planned",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz * k,
+            });
+            let secs = measure(|| {
+                plan32
+                    .left_multiply_panel(k, &y_input, &mut x_out, &mut buf32)
+                    .unwrap()
+            });
+            entries.push(JsonEntry {
+                group: format!("left/k{k}"),
+                variant: "planned_f32",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz * k,
+            });
+        }
+    }
+
+    // Serve layer: shard parallelism × plan precision.
+    let x = input(cols);
+    let mut y = vec![0.0; rows];
+    for shards in [1usize, 4] {
+        let opts = BuildOptions {
+            shards,
+            encoding: Encoding::ReFse,
+            ..BuildOptions::default()
+        };
+        for (variant, serve_opts) in [
+            ("streaming", None),
+            ("planned", Some(ServeOptions::planned())),
+            ("planned_f32", Some(ServeOptions::planned_f32())),
+        ] {
+            let model = ShardedModel::from_dense(dense, &opts).expect("build");
+            match &serve_opts {
+                Some(o) => model.prewarm_with(1, o),
+                None => model.prewarm(1),
+            }
+            let secs = measure(|| model.right_multiply_panel(1, &x, &mut y).unwrap());
+            entries.push(JsonEntry {
+                group: format!("sharded/right/s{shards}"),
+                variant,
+                encoding: "re_fse",
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+        }
+    }
+
+    write_json(path, rows, cols, nnz, &entries);
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let rows = if smoke() { 400 } else { 13_000 };
+    let dense = Dataset::Census.generate(rows, 42);
+    let cols = dense.cols();
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let nnz = csrv.nnz();
+    eprintln!("kernels bench: {rows} x {cols}, {nnz} nnz");
+
+    if let Ok(path) = std::env::var("GCM_BENCH_JSON") {
+        run_json_report(&path, &dense, &csrv);
+        return;
+    }
+
+    for enc in Encoding::ALL {
+        let cm = CompressedMatrix::compress(&csrv, enc);
+        let plan = cm.plan();
+        let plan32 = cm.plan_f32();
+        let mut ws = Workspace::new();
+
+        let mut group = c.benchmark_group("decode");
+        group.throughput(Throughput::Elements(cm.sequence_len() as u64));
+        group.bench_function(BenchmarkId::new("seq_store", enc.name()), |b| {
+            b.iter(|| cm.seq_store().for_each(|s| _ = black_box(s)))
+        });
+        group.finish();
+
+        for k in [1usize, 8] {
+            let x_panel = input(cols * k);
+            let mut y_panel = vec![0.0; rows * k];
+            let y_input = input(rows * k);
+            let mut x_out = vec![0.0; cols * k];
+            let mut buf = vec![0.0; plan.scratch_len(k)];
+            let mut buf32 = vec![0.0; plan32.scratch_len(k)];
 
             let mut group = c.benchmark_group(format!("right/k{k}"));
             group.throughput(Throughput::Elements((nnz * k) as u64));
@@ -61,6 +276,13 @@ fn bench_kernels(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new("planned", enc.name()), |b| {
                 b.iter(|| {
                     plan.right_multiply_panel(k, &x_panel, &mut y_panel, &mut buf)
+                        .unwrap()
+                })
+            });
+            group.bench_function(BenchmarkId::new("planned_f32", enc.name()), |b| {
+                b.iter(|| {
+                    plan32
+                        .right_multiply_panel(k, &x_panel, &mut y_panel, &mut buf32)
                         .unwrap()
                 })
             });
@@ -84,6 +306,13 @@ fn bench_kernels(c: &mut Criterion) {
                         .unwrap()
                 })
             });
+            group.bench_function(BenchmarkId::new("planned_f32", enc.name()), |b| {
+                b.iter(|| {
+                    plan32
+                        .left_multiply_panel(k, &y_input, &mut x_out, &mut buf32)
+                        .unwrap()
+                })
+            });
             group.finish();
         }
     }
@@ -96,7 +325,7 @@ fn bench_kernels(c: &mut Criterion) {
     for shards in [1usize, 4] {
         let opts = BuildOptions {
             shards,
-            encoding: Encoding::ReAns,
+            encoding: Encoding::ReFse,
             ..BuildOptions::default()
         };
         let streaming = ShardedModel::from_dense(&dense, &opts).expect("build");
@@ -108,6 +337,11 @@ fn bench_kernels(c: &mut Criterion) {
         planned.prewarm_with(1, &ServeOptions::planned());
         group.bench_function(BenchmarkId::new("planned", shards), |b| {
             b.iter(|| planned.right_multiply_panel(1, &x, &mut y).unwrap())
+        });
+        let planned32 = ShardedModel::from_dense(&dense, &opts).expect("build");
+        planned32.prewarm_with(1, &ServeOptions::planned_f32());
+        group.bench_function(BenchmarkId::new("planned_f32", shards), |b| {
+            b.iter(|| planned32.right_multiply_panel(1, &x, &mut y).unwrap())
         });
     }
     group.finish();

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use gcm_encodings::fse::FseSequence;
 use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{HeapSize, IntVector};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace, SEPARATOR};
@@ -9,7 +10,7 @@ use gcm_repair::{RePair, RePairConfig, Slp};
 
 use crate::encoding::{Encoding, RuleStore, SeqStore};
 use crate::mvm;
-use crate::plan::KernelPlan;
+use crate::plan::{KernelPlan, KernelPlanF32};
 
 /// A matrix compressed as `(C, R, V)` (§3), in one of the three physical
 /// encodings of §4.
@@ -64,6 +65,14 @@ impl CompressedMatrix {
                 let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
                 (
                     SeqStore::Ans(RansSequence::encode(slp.sequence())),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+            Encoding::ReFse => {
+                let width = IntVector::width_for(max_symbol);
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Fse(FseSequence::encode(slp.sequence())),
                     RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
                 )
             }
@@ -252,6 +261,14 @@ impl CompressedMatrix {
     /// per-multiply constant.
     pub fn plan(&self) -> KernelPlan {
         KernelPlan::compile(self)
+    }
+
+    /// Compiles this matrix into a single-precision [`KernelPlanF32`]:
+    /// the same descriptor program as [`plan`](Self::plan) with `f32`
+    /// multipliers and `f32` arithmetic — half the multiplier heap,
+    /// double the SIMD width, `f32` rounding on the results.
+    pub fn plan_f32(&self) -> KernelPlanF32 {
+        KernelPlanF32::compile(self)
     }
 
     /// Right multiplication with caller-provided scratch (`w` must have

@@ -1,9 +1,11 @@
 //! Physical encodings of the grammar's final string `C` and rule set `R`.
 
+use gcm_encodings::fse::FseSequence;
 use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{HeapSize, IntVector};
 
-/// Which physical encoding a [`crate::CompressedMatrix`] uses (§4).
+/// Which physical encoding a [`crate::CompressedMatrix`] uses (§4; `re_fse`
+/// is this implementation's addition on top of the paper's three).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Encoding {
     /// `C` and `R` as raw 32-bit integer arrays (fastest).
@@ -12,11 +14,21 @@ pub enum Encoding {
     ReIv,
     /// `R` packed, `C` entropy-coded with folded rANS (smallest).
     ReAns,
+    /// `R` packed, `C` entropy-coded with table-based tANS (near-`re_ans`
+    /// size, division-free interleaved decode).
+    ReFse,
 }
 
 impl Encoding {
-    /// All three variants, in the paper's column order.
-    pub const ALL: [Encoding; 3] = [Encoding::Re32, Encoding::ReIv, Encoding::ReAns];
+    /// Every variant, in the paper's column order (paper encodings
+    /// first). New call sites must derive their encoding lists from this
+    /// array, never spell the variants out.
+    pub const ALL: [Encoding; 4] = [
+        Encoding::Re32,
+        Encoding::ReIv,
+        Encoding::ReAns,
+        Encoding::ReFse,
+    ];
 
     /// The paper's name for the variant.
     pub fn name(&self) -> &'static str {
@@ -24,7 +36,13 @@ impl Encoding {
             Encoding::Re32 => "re_32",
             Encoding::ReIv => "re_iv",
             Encoding::ReAns => "re_ans",
+            Encoding::ReFse => "re_fse",
         }
+    }
+
+    /// Parses a CLI / display name (inverse of [`name`](Self::name)).
+    pub fn parse(name: &str) -> Option<Encoding> {
+        Encoding::ALL.into_iter().find(|e| e.name() == name)
     }
 }
 
@@ -37,6 +55,9 @@ pub enum SeqStore {
     Packed(IntVector),
     /// Entropy-coded symbols (forward streaming decode).
     Ans(RansSequence),
+    /// Table-based tANS symbols (forward streaming decode, division-free
+    /// with two interleaved states).
+    Fse(FseSequence),
 }
 
 impl SeqStore {
@@ -46,6 +67,7 @@ impl SeqStore {
             SeqStore::Raw(v) => v.len(),
             SeqStore::Packed(iv) => iv.len(),
             SeqStore::Ans(r) => r.len(),
+            SeqStore::Fse(f) => f.len(),
         }
     }
 
@@ -76,6 +98,7 @@ impl SeqStore {
                     f(s);
                 }
             }
+            SeqStore::Fse(q) => q.for_each(f),
         }
     }
 
@@ -85,6 +108,7 @@ impl SeqStore {
             SeqStore::Raw(v) => v.len() * 4,
             SeqStore::Packed(iv) => (iv.len() * iv.width() as usize).div_ceil(8),
             SeqStore::Ans(r) => r.compressed_bytes(),
+            SeqStore::Fse(f) => f.compressed_bytes(),
         }
     }
 
@@ -102,6 +126,7 @@ impl HeapSize for SeqStore {
             SeqStore::Raw(v) => v.heap_bytes(),
             SeqStore::Packed(iv) => iv.heap_bytes(),
             SeqStore::Ans(r) => r.heap_bytes(),
+            SeqStore::Fse(f) => f.heap_bytes(),
         }
     }
 }
@@ -271,5 +296,6 @@ mod tests {
         assert_eq!(Encoding::Re32.name(), "re_32");
         assert_eq!(Encoding::ReIv.name(), "re_iv");
         assert_eq!(Encoding::ReAns.name(), "re_ans");
+        assert_eq!(Encoding::ReFse.name(), "re_fse");
     }
 }

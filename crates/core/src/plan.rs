@@ -5,10 +5,10 @@
 //! costs that are invariant across multiplies: an integer `div`/`mod`
 //! per terminal evaluation, a terminal-vs-nonterminal branch per symbol,
 //! an encoding-variant dispatch per rule access, and (for `re_iv` /
-//! `re_ans`) the bit-unpacking or rANS decode of `C` itself. A
-//! [`KernelPlan`] hoists all of that into a **once-per-load compile
-//! pass**: serving amortises one build across millions of requests, so
-//! the constant per symbol — not the asymptotics, which are
+//! `re_ans` / `re_fse`) the bit-unpacking or entropy decode of `C`
+//! itself. A [`KernelPlan`] hoists all of that into a **once-per-load
+//! compile pass**: serving amortises one build across millions of
+//! requests, so the constant per symbol — not the asymptotics, which are
 //! Ω(|C| + |R|) regardless — is where the remaining time goes.
 //!
 //! # Descriptor layout
@@ -40,16 +40,43 @@
 //! accumulated concurrently ([`KernelPlan::accumulate_rows_panel`]; the
 //! serve layer dispatches ranges on the persistent pool).
 //!
+//! # Interleaved rule streams
+//!
+//! The naive forward rule pass is one long dependency chain: rule `r`
+//! *may* read rule `r − 1`, so the compiler must assume it does and
+//! serialise every iteration. Compilation therefore greedily partitions
+//! the rule sequence into **dependency-free blocks** (`block_ptr`):
+//! within a block every operand index lies strictly below the block's
+//! first destination slot, so the block's rules are mutually independent
+//! and the kernels evaluate them as four interleaved streams — the same
+//! trick the `re_fse` codec plays with its dual tANS states. Blocks are
+//! discovered once at compile time; the hot loop pays no dependency
+//! test.
+//!
 //! Batched (`k`-wide) kernels use the identical layout with `k`-element
 //! panel rows; the batched left kernel additionally keeps one
 //! nonzero-flag word per `buf` row (appended after the panel region) so
 //! untouched rules are skipped in O(1) rather than by an O(k) scan.
 //!
+//! # Single-precision plans
+//!
+//! [`KernelPlanF32`] is the same descriptor program with `f32`
+//! multipliers and `f32` arithmetic: half the multiplier heap, twice the
+//! lanes per SIMD register. Its public panels stay `f64` (the serve
+//! protocol is `f64` end to end) — inputs are demoted on the copy into
+//! scratch, outputs promoted on the way out — and its scratch reuses the
+//! serve layer's `f64` [`gcm_matrix::Workspace`] buffers by viewing them
+//! as twice as many `f32` slots. Results are **not** bit-identical to
+//! the `f64` plans; they are bit-identical to an `f32` evaluation of the
+//! same descriptor program in the same order, which
+//! `tests/plan_f32_props.rs` pins against an independent oracle.
+//!
 //! A plan costs `O(|C| + |R|)` words — roughly `12` bytes per `C`
-//! descriptor and `24` per rule, i.e. *more* than the encoded matrix it
-//! was compiled from. It is a speed-for-memory trade the serve layer
-//! makes explicit: plans are opt-in (`ServeOptions`), built at prewarm,
-//! and reported via [`HeapSize`].
+//! descriptor and `24` per rule (`8`/`16` for `f32` plans), i.e. *more*
+//! than the encoded matrix it was compiled from. It is a
+//! speed-for-memory trade the serve layer makes explicit: plans are
+//! opt-in (`ServeOptions`), built at prewarm, and reported via
+//! [`HeapSize`].
 
 use std::ops::Range;
 
@@ -58,6 +85,746 @@ use gcm_matrix::{MatrixError, SEPARATOR};
 
 use crate::compressed::CompressedMatrix;
 use crate::fastdiv::FastDiv;
+
+/// Arithmetic element of a plan's scratch buffer: `f64` for the exact
+/// plans, `f32` for the SIMD-width-doubling ones. Private — the public
+/// surface is the two concrete plan types.
+trait Scalar:
+    Copy + PartialEq + std::ops::Add<Output = Self> + std::ops::Mul<Output = Self> + Send + Sync
+{
+    const ZERO: Self;
+    const ONE: Self;
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// The compiled descriptor program, shared by [`KernelPlan`] (`T = f64`)
+/// and [`KernelPlanF32`] (`T = f32`). All kernels are written once here;
+/// the wrappers fix the scalar type and the scratch-buffer convention.
+#[derive(Debug, Clone)]
+struct PlanBody<T> {
+    rows: usize,
+    cols: usize,
+    num_rules: usize,
+    /// Premultiplied operand values, two per rule (`2|R|`).
+    rule_mult: Vec<T>,
+    /// Operand scratch indices, two per rule (`2|R|`); entry `2r`/`2r+1`
+    /// is `< cols + r` (rules reference terminals or earlier rules).
+    rule_idx: Vec<u32>,
+    /// Premultiplied values of `C`'s non-separator symbols.
+    seq_mult: Vec<T>,
+    /// Scratch indices of `C`'s non-separator symbols (`< cols + |R|`).
+    seq_idx: Vec<u32>,
+    /// CSR row index over `seq_*`: row `r` owns descriptors
+    /// `row_ptr[r]..row_ptr[r+1]`; length `rows + 1`.
+    row_ptr: Vec<u32>,
+    /// Dependency-free block boundaries over the rules: rules
+    /// `block_ptr[b]..block_ptr[b+1]` reference only operands
+    /// `< cols + block_ptr[b]`, so they are mutually independent.
+    /// Always starts at `0` and ends at `num_rules`.
+    block_ptr: Vec<u32>,
+}
+
+/// Evaluates rule `r` of a block: `m_a·src[i_a] + m_b·src[i_b]`.
+///
+/// # Safety
+/// `mults`/`idxs` must hold at least `2(r + 1)` entries and both operand
+/// indices of rule `r` must be `< src.len()` — guaranteed by `compile`'s
+/// per-descriptor validation plus the block partition (every operand of
+/// a block's rules indexes below the block's split point).
+#[inline(always)]
+unsafe fn rule_value<T: Scalar>(src: &[T], mults: &[T], idxs: &[u32], r: usize) -> T {
+    let ia = *idxs.get_unchecked(2 * r) as usize;
+    let ib = *idxs.get_unchecked(2 * r + 1) as usize;
+    *mults.get_unchecked(2 * r) * *src.get_unchecked(ia)
+        + *mults.get_unchecked(2 * r + 1) * *src.get_unchecked(ib)
+}
+
+impl<T: Scalar> PlanBody<T> {
+    /// Width of one scratch buffer row: the `cols` input slots plus the
+    /// `|R|` rule slots.
+    fn width(&self) -> usize {
+        self.cols + self.num_rules
+    }
+
+    /// Scratch slots (in `T` units) for batch width `k`: the
+    /// `(cols + |R|) × k` panel plus the flag row of the batched left
+    /// kernel.
+    fn scratch_slots(&self, k: usize) -> usize {
+        self.width() * (k.max(1) + 1)
+    }
+
+    fn check_panels(&self, x_len: usize, y_len: usize, k: usize) -> Result<(), MatrixError> {
+        gcm_matrix::matvec::check_panels(self.rows, self.cols, k, x_len, y_len)
+    }
+
+    /// Forward rule pass, width 1, walked block by block with four
+    /// interleaved rule streams inside each block (no loop-carried
+    /// dependency within a block, so all four chains stay in flight).
+    fn eval_rules(&self, buf: &mut [T]) {
+        assert!(buf.len() >= self.width());
+        for w in self.block_ptr.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            // Every rule in `lo..hi` reads strictly below `cols + lo`
+            // (block partition invariant), so the split is aliasing-free.
+            let (src, rest) = buf.split_at_mut(self.cols + lo);
+            let dst = &mut rest[..hi - lo];
+            let mults = &self.rule_mult[2 * lo..2 * hi];
+            let idxs = &self.rule_idx[2 * lo..2 * hi];
+            let n = dst.len();
+            let mut r = 0usize;
+            // SAFETY: `compile` validated every operand index of rules
+            // `lo..hi` to be `< cols + lo == src.len()`, and the
+            // block-relative slices hold exactly `2(hi − lo)` entries.
+            unsafe {
+                while r + 4 <= n {
+                    let v0 = rule_value(src, mults, idxs, r);
+                    let v1 = rule_value(src, mults, idxs, r + 1);
+                    let v2 = rule_value(src, mults, idxs, r + 2);
+                    let v3 = rule_value(src, mults, idxs, r + 3);
+                    *dst.get_unchecked_mut(r) = v0;
+                    *dst.get_unchecked_mut(r + 1) = v1;
+                    *dst.get_unchecked_mut(r + 2) = v2;
+                    *dst.get_unchecked_mut(r + 3) = v3;
+                    r += 4;
+                }
+                while r < n {
+                    *dst.get_unchecked_mut(r) = rule_value(src, mults, idxs, r);
+                    r += 1;
+                }
+            }
+        }
+    }
+
+    /// Forward rule pass, `k`-wide panel rows, one aliasing-free split
+    /// per block instead of per rule (the `k` lanes are the SIMD axis).
+    fn eval_rules_panel(&self, k: usize, buf: &mut [T]) {
+        assert!(buf.len() >= self.width() * k);
+        if k == 8 {
+            return self.eval_rules_panel_fixed::<8>(buf);
+        }
+        for w in self.block_ptr.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let (src, rest) = buf.split_at_mut((self.cols + lo) * k);
+            let dst = &mut rest[..(hi - lo) * k];
+            for (j, drow) in dst.chunks_exact_mut(k).enumerate() {
+                let r = lo + j;
+                let ma = self.rule_mult[2 * r];
+                let mb = self.rule_mult[2 * r + 1];
+                let ia = self.rule_idx[2 * r] as usize * k;
+                let ib = self.rule_idx[2 * r + 1] as usize * k;
+                let sa = &src[ia..ia + k];
+                let sb = &src[ib..ib + k];
+                for ((d, &a), &b) in drow.iter_mut().zip(sa).zip(sb) {
+                    *d = ma * a + mb * b;
+                }
+            }
+        }
+    }
+
+    /// [`eval_rules_panel`](Self::eval_rules_panel) for panels of
+    /// compile-time width `K`: the lane loop is a fixed-size array op
+    /// (one or two SIMD vectors), so no per-rule length dispatch
+    /// survives into the loop body. Lane arithmetic and ordering are
+    /// identical to the generic path.
+    ///
+    /// `inline(always)` so the `f32` AVX2 wrappers recompile this body
+    /// with 256-bit vectors (see [`simd8`]).
+    #[inline(always)]
+    fn eval_rules_panel_fixed<const K: usize>(&self, buf: &mut [T]) {
+        assert!(buf.len() >= self.width() * K);
+        for w in self.block_ptr.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            let (src, rest) = buf.split_at_mut((self.cols + lo) * K);
+            let dst = &mut rest[..(hi - lo) * K];
+            // SAFETY: as in `eval_rules` — `compile` validated every
+            // operand of rules `lo..hi` to read below `cols + lo`
+            // (i.e. inside `src`), and the rule arrays hold `2·num_rules`
+            // entries.
+            unsafe {
+                for j in 0..hi - lo {
+                    let r = lo + j;
+                    let ma = *self.rule_mult.get_unchecked(2 * r);
+                    let mb = *self.rule_mult.get_unchecked(2 * r + 1);
+                    let ia = *self.rule_idx.get_unchecked(2 * r) as usize * K;
+                    let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize * K;
+                    let sa = src.get_unchecked(ia..ia + K);
+                    let sb = src.get_unchecked(ib..ib + K);
+                    let d = dst.get_unchecked_mut(j * K..(j + 1) * K);
+                    for l in 0..K {
+                        *d.get_unchecked_mut(l) =
+                            ma * *sa.get_unchecked(l) + mb * *sb.get_unchecked(l);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates and copies the input panel into the scratch head
+    /// (demoting if `T = f32`).
+    fn load_panel(&self, k: usize, x_panel: &[f64], buf: &mut [T]) -> Result<(), MatrixError> {
+        if x_panel.len() != self.cols * k {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.cols * k,
+                actual: x_panel.len(),
+                what: "x panel length",
+            });
+        }
+        for (d, &s) in buf[..self.cols * k].iter_mut().zip(x_panel) {
+            *d = T::from_f64(s);
+        }
+        Ok(())
+    }
+
+    /// Copies the input panel (demoting if `T = f32`) and runs the
+    /// forward rule pass; `buf` must hold at least `scratch_slots(k)`.
+    fn begin_right(&self, k: usize, x_panel: &[f64], buf: &mut [T]) -> Result<(), MatrixError> {
+        let k = k.max(1);
+        self.load_panel(k, x_panel, buf)?;
+        if k == 1 {
+            self.eval_rules(buf);
+        } else {
+            self.eval_rules_panel(k, buf);
+        }
+        Ok(())
+    }
+
+    /// Row-range accumulation out of a prepared scratch panel; sums run
+    /// entirely in `T` (an 8-lane tile at a time for `k > 1`) and are
+    /// promoted on the final store.
+    fn accumulate_rows(&self, rows: Range<usize>, k: usize, buf: &[T], y_chunk: &mut [f64]) {
+        let k = k.max(1);
+        assert!(rows.end <= self.rows);
+        assert_eq!(y_chunk.len(), rows.len() * k);
+        assert!(buf.len() >= self.width() * k);
+        if k == 1 {
+            for (out, r) in y_chunk.iter_mut().zip(rows) {
+                let lo = self.row_ptr[r] as usize;
+                let hi = self.row_ptr[r + 1] as usize;
+                let mut acc = T::ZERO;
+                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                    // SAFETY: `compile` guarantees every sequence index
+                    // is `< width() <= buf.len()` (asserted above).
+                    acc = acc + *m * unsafe { *buf.get_unchecked(*i as usize) };
+                }
+                *out = acc.to_f64();
+            }
+            return;
+        }
+        if k == 8 {
+            return self.accumulate_rows_fixed::<8>(rows, buf, y_chunk);
+        }
+        for (ri, r) in rows.enumerate() {
+            let dst = &mut y_chunk[ri * k..(ri + 1) * k];
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let mut j0 = 0usize;
+            while j0 < k {
+                let kt = (k - j0).min(8);
+                let mut acc = [T::ZERO; 8];
+                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                    let src = &buf[*i as usize * k + j0..][..kt];
+                    for (a, &s) in acc[..kt].iter_mut().zip(src) {
+                        *a = *a + *m * s;
+                    }
+                }
+                for (d, a) in dst[j0..j0 + kt].iter_mut().zip(&acc[..kt]) {
+                    *d = a.to_f64();
+                }
+                j0 += kt;
+            }
+        }
+    }
+
+    /// [`accumulate_rows`](Self::accumulate_rows) for panels of
+    /// compile-time width `K <= 8`: exactly one accumulator tile per
+    /// row, with the lane loop a fixed-size array op. Accumulation
+    /// order per lane matches the generic tile path bit for bit.
+    ///
+    /// `inline(always)` so the `f32` AVX2 wrappers recompile this body
+    /// with 256-bit vectors (see [`simd8`]).
+    #[inline(always)]
+    fn accumulate_rows_fixed<const K: usize>(
+        &self,
+        rows: Range<usize>,
+        buf: &[T],
+        y_chunk: &mut [f64],
+    ) {
+        for (ri, r) in rows.enumerate() {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let mut acc = [T::ZERO; K];
+            // SAFETY: `compile` guarantees every sequence index is
+            // `< width()`, and the caller asserted
+            // `buf.len() >= width() * K`.
+            unsafe {
+                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                    let off = *i as usize * K;
+                    let src = buf.get_unchecked(off..off + K);
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        *a = *a + *m * *src.get_unchecked(l);
+                    }
+                }
+            }
+            for (d, a) in y_chunk[ri * K..(ri + 1) * K].iter_mut().zip(&acc) {
+                *d = a.to_f64();
+            }
+        }
+    }
+
+    /// Batched left product: forward pass over `C` seeds the scratch
+    /// panel (demoting `y` if `T = f32`), the backward rule pass pushes
+    /// weights down, untouched rules are skipped via the flag row.
+    /// `buf` must hold at least `scratch_slots(k)`.
+    fn left_panel(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], buf: &mut [T]) {
+        let n = self.width();
+        if k == 1 {
+            self.left_single(y_panel, x_panel, &mut buf[..n]);
+            return;
+        }
+        if k == 8 {
+            return self.left_panel_fixed::<8>(y_panel, x_panel, buf);
+        }
+        let (panel, flags) = buf.split_at_mut(n * k);
+        let panel = &mut panel[..n * k];
+        let flags = &mut flags[..n];
+        panel.fill(T::ZERO);
+        flags.fill(T::ZERO);
+        for (r, ys) in y_panel.chunks_exact(k).enumerate() {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                let i = *i as usize;
+                // Unconditional flag write for both symbol kinds keeps
+                // the loop branchless; only the rule region is read back.
+                flags[i] = T::ONE;
+                let dst = &mut panel[i * k..][..k];
+                for (d, &yv) in dst.iter_mut().zip(ys) {
+                    *d = *d + *m * T::from_f64(yv);
+                }
+            }
+        }
+        for r in (0..self.num_rules).rev() {
+            if flags[self.cols + r] == T::ZERO {
+                continue;
+            }
+            let src_off = (self.cols + r) * k;
+            let (earlier, rest) = panel.split_at_mut(src_off);
+            let wk = &rest[..k];
+            for op in [2 * r, 2 * r + 1] {
+                let m = self.rule_mult[op];
+                let i = self.rule_idx[op] as usize;
+                flags[i] = T::ONE;
+                let dst = &mut earlier[i * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(wk) {
+                    *d = *d + m * wv;
+                }
+            }
+        }
+        for (d, s) in x_panel.iter_mut().zip(&panel[..self.cols * k]) {
+            *d = s.to_f64();
+        }
+    }
+
+    /// [`left_panel`](Self::left_panel) for panels of compile-time
+    /// width `K`: both the scatter and the backward-push lane loops are
+    /// fixed-size array ops. Per-lane arithmetic order matches the
+    /// generic path bit for bit.
+    ///
+    /// `inline(always)` so the `f32` AVX2 wrappers recompile this body
+    /// with 256-bit vectors (see [`simd8`]).
+    #[inline(always)]
+    fn left_panel_fixed<const K: usize>(
+        &self,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        buf: &mut [T],
+    ) {
+        let n = self.width();
+        let (panel, flags) = buf.split_at_mut(n * K);
+        let panel = &mut panel[..n * K];
+        let flags = &mut flags[..n];
+        panel.fill(T::ZERO);
+        flags.fill(T::ZERO);
+        for (r, ys) in y_panel.chunks_exact(K).enumerate() {
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            let mut yt = [T::ZERO; K];
+            for (t, &yv) in yt.iter_mut().zip(ys) {
+                *t = T::from_f64(yv);
+            }
+            // SAFETY: sequence indices are `< n` (`compile` validated),
+            // so `i * K + K <= n * K == panel.len()`.
+            unsafe {
+                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                    let i = *i as usize;
+                    *flags.get_unchecked_mut(i) = T::ONE;
+                    let dst = panel.get_unchecked_mut(i * K..i * K + K);
+                    for (l, &yv) in yt.iter().enumerate() {
+                        *dst.get_unchecked_mut(l) = *dst.get_unchecked(l) + *m * yv;
+                    }
+                }
+            }
+        }
+        for r in (0..self.num_rules).rev() {
+            if flags[self.cols + r] == T::ZERO {
+                continue;
+            }
+            let src_off = (self.cols + r) * K;
+            let (earlier, rest) = panel.split_at_mut(src_off);
+            let mut wk = [T::ZERO; K];
+            wk.copy_from_slice(&rest[..K]);
+            // SAFETY: both operand indices of rule `r` are
+            // `< cols + r` (`compile` validated), hence inside `earlier`.
+            unsafe {
+                for op in [2 * r, 2 * r + 1] {
+                    let m = *self.rule_mult.get_unchecked(op);
+                    let i = *self.rule_idx.get_unchecked(op) as usize;
+                    *flags.get_unchecked_mut(i) = T::ONE;
+                    let dst = earlier.get_unchecked_mut(i * K..i * K + K);
+                    for (l, &wv) in wk.iter().enumerate() {
+                        *dst.get_unchecked_mut(l) = *dst.get_unchecked(l) + m * wv;
+                    }
+                }
+            }
+        }
+        for (d, s) in x_panel.iter_mut().zip(&panel[..self.cols * K]) {
+            *d = s.to_f64();
+        }
+    }
+
+    /// Width-1 left multiplication body; `buf` is exactly the
+    /// `cols + |R|` panel (the per-rule value doubles as its own
+    /// nonzero flag at width 1).
+    fn left_single(&self, y: &[f64], x: &mut [f64], buf: &mut [T]) {
+        buf.fill(T::ZERO);
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            let yr = T::from_f64(yr);
+            let lo = self.row_ptr[r] as usize;
+            let hi = self.row_ptr[r + 1] as usize;
+            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
+                // SAFETY: sequence indices are `< width() == buf.len()`.
+                unsafe {
+                    let d = buf.get_unchecked_mut(*i as usize);
+                    *d = *d + *m * yr;
+                }
+            }
+        }
+        for r in (0..self.num_rules).rev() {
+            let wk = buf[self.cols + r];
+            if wk == T::ZERO {
+                continue;
+            }
+            // SAFETY: rule operand indices are `< cols + r < buf.len()`
+            // and the rule arrays have length `2·num_rules`.
+            unsafe {
+                let ma = *self.rule_mult.get_unchecked(2 * r);
+                let ia = *self.rule_idx.get_unchecked(2 * r) as usize;
+                let da = buf.get_unchecked_mut(ia);
+                *da = *da + ma * wk;
+                let mb = *self.rule_mult.get_unchecked(2 * r + 1);
+                let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize;
+                let db = buf.get_unchecked_mut(ib);
+                *db = *db + mb * wk;
+            }
+        }
+        for (d, s) in x.iter_mut().zip(&buf[..self.cols]) {
+            *d = s.to_f64();
+        }
+    }
+}
+
+/// Whether the 8-lane `f32` kernels may take the AVX2-compiled path.
+///
+/// The `f64` plans stay on the portable autovectorized build (the
+/// baseline target already gives them 128-bit lanes); the `f32` plan is
+/// the SIMD-friendly variant, so on x86-64 hosts with AVX2 its 8-lane
+/// panel kernels run bodies recompiled at 256-bit width — one vector
+/// per lane tile instead of two. FMA is deliberately **not** enabled:
+/// the wide build performs the same mul-then-add per lane in the same
+/// order, so results stay bit-identical to the portable path (and to
+/// the `tests/plan_f32_props.rs` oracle).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn simd8() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn simd8() -> bool {
+    false
+}
+
+/// Rows of the descriptor program bucketed by descriptor count, the
+/// side table behind the `f32` plan's **row-grouped** accumulation
+/// walk.
+///
+/// The CSR walk of [`PlanBody::accumulate_rows`] runs one
+/// variable-trip inner loop per row; on matrices with short rows (a
+/// handful of descriptors each) the walk is bound not by lane
+/// arithmetic but by one branch mispredict per row — the flush kills
+/// the out-of-order overlap between adjacent rows' accumulation
+/// chains, and it costs the `f32` and `f64` plans the same, burying
+/// the `f32` lanes' advantage. Grouping rows by length makes the trip
+/// count constant within each group (the exit branch predicts
+/// perfectly after the first row) and lets same-length row **pairs**
+/// run as two interleaved independent descriptor streams.
+///
+/// Each row still accumulates its own descriptors in the original
+/// order, so per-row sums are bit-identical to the CSR walk; only the
+/// order rows are *visited* changes, and row outputs are disjoint.
+#[derive(Debug, Clone)]
+struct RowGroups {
+    /// Row ids, sorted by (descriptor count, row id).
+    rows: Vec<u32>,
+    /// Group `g` spans `rows[group_ptr[g]..group_ptr[g+1]]`; every row
+    /// in it holds exactly `lens[g]` descriptors.
+    group_ptr: Vec<u32>,
+    /// Descriptor count per group, strictly increasing.
+    lens: Vec<u32>,
+}
+
+impl RowGroups {
+    fn build(row_ptr: &[u32]) -> Self {
+        let n = row_ptr.len().saturating_sub(1);
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        let len_of = |r: u32| row_ptr[r as usize + 1] - row_ptr[r as usize];
+        rows.sort_by_key(|&r| (len_of(r), r));
+        let mut group_ptr = vec![0u32];
+        let mut lens = Vec::new();
+        for (i, &r) in rows.iter().enumerate() {
+            if lens.last() != Some(&len_of(r)) {
+                lens.push(len_of(r));
+                if i > 0 {
+                    group_ptr.push(i as u32);
+                }
+            }
+        }
+        group_ptr.push(n as u32);
+        Self {
+            rows,
+            group_ptr,
+            lens,
+        }
+    }
+}
+
+impl HeapSize for RowGroups {
+    fn heap_bytes(&self) -> usize {
+        self.rows.heap_bytes() + self.group_ptr.heap_bytes() + self.lens.heap_bytes()
+    }
+}
+
+/// AVX2 recompilations of the fixed-width `f32` panel kernels (see
+/// [`simd8`]). Each wrapper re-asserts the checked entry points'
+/// bounds, then inlines the shared `*_fixed::<8>` body under the wider
+/// feature set.
+#[cfg(target_arch = "x86_64")]
+impl PlanBody<f32> {
+    /// # Safety
+    /// The CPU must support AVX2 (guard every call with [`simd8`]).
+    #[target_feature(enable = "avx,avx2")]
+    unsafe fn eval_rules_panel8_avx2(&self, buf: &mut [f32]) {
+        self.eval_rules_panel_fixed::<8>(buf);
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2 (guard every call with [`simd8`]).
+    #[target_feature(enable = "avx,avx2")]
+    unsafe fn accumulate_rows8_grouped_avx2(
+        &self,
+        groups: &RowGroups,
+        rows: Range<usize>,
+        buf: &[f32],
+        y_chunk: &mut [f64],
+    ) {
+        self.accumulate_rows8_grouped(groups, rows, buf, y_chunk);
+    }
+
+    /// # Safety
+    /// The CPU must support AVX2 (guard every call with [`simd8`]).
+    #[target_feature(enable = "avx,avx2")]
+    unsafe fn left_panel8_avx2(&self, y_panel: &[f64], x_panel: &mut [f64], buf: &mut [f32]) {
+        self.left_panel_fixed::<8>(y_panel, x_panel, buf);
+    }
+}
+
+/// Portable stand-ins so the [`simd8`]-guarded call sites compile on
+/// every architecture; [`simd8`] is constant `false` here, so these
+/// never actually run.
+#[cfg(not(target_arch = "x86_64"))]
+impl PlanBody<f32> {
+    unsafe fn eval_rules_panel8_avx2(&self, buf: &mut [f32]) {
+        self.eval_rules_panel_fixed::<8>(buf);
+    }
+
+    unsafe fn accumulate_rows8_grouped_avx2(
+        &self,
+        groups: &RowGroups,
+        rows: Range<usize>,
+        buf: &[f32],
+        y_chunk: &mut [f64],
+    ) {
+        self.accumulate_rows8_grouped(groups, rows, buf, y_chunk);
+    }
+
+    unsafe fn left_panel8_avx2(&self, y_panel: &[f64], x_panel: &mut [f64], buf: &mut [f32]) {
+        self.left_panel_fixed::<8>(y_panel, x_panel, buf);
+    }
+}
+
+impl PlanBody<f32> {
+    /// [`begin_right`](Self::begin_right) with the `f32` SIMD dispatch:
+    /// 8-lane panels take the AVX2-compiled rule pass when the host
+    /// supports it.
+    fn begin_right_f32(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f32],
+    ) -> Result<(), MatrixError> {
+        let k = k.max(1);
+        if k == 8 && simd8() {
+            self.load_panel(8, x_panel, buf)?;
+            // SAFETY: `simd8` just confirmed AVX2.
+            unsafe { self.eval_rules_panel8_avx2(buf) };
+            return Ok(());
+        }
+        self.begin_right(k, x_panel, buf)
+    }
+
+    /// [`accumulate_rows`](Self::accumulate_rows) over the row-grouped
+    /// walk of [`RowGroups`]: rows are visited group by group (uniform
+    /// inner trip count) and same-length pairs run as two interleaved
+    /// independent descriptor streams. Per-row accumulation order — and
+    /// hence every `f32` sum — is identical to the CSR walk.
+    ///
+    /// `inline(always)` so the AVX2 wrapper recompiles this body with
+    /// 256-bit vectors (see [`simd8`]).
+    #[inline(always)]
+    fn accumulate_rows8_grouped(
+        &self,
+        groups: &RowGroups,
+        rows: Range<usize>,
+        buf: &[f32],
+        y_chunk: &mut [f64],
+    ) {
+        assert!(rows.end <= self.rows);
+        assert_eq!(y_chunk.len(), rows.len() * 8);
+        assert!(buf.len() >= self.width() * 8);
+        // One row's accumulation, exactly as `accumulate_rows_fixed`.
+        // SAFETY (both closures): `compile` guarantees every sequence
+        // index is `< width()` and `row_ptr` brackets stay inside
+        // `seq_*`; `buf.len() >= width() * 8` was asserted above.
+        let row_acc = |d: usize, len: usize| {
+            let mut acc = [0f32; 8];
+            unsafe {
+                for j in 0..len {
+                    let m = *self.seq_mult.get_unchecked(d + j);
+                    let i = *self.seq_idx.get_unchecked(d + j) as usize * 8;
+                    let src = buf.get_unchecked(i..i + 8);
+                    for (a, s) in acc.iter_mut().zip(src) {
+                        *a += m * *s;
+                    }
+                }
+            }
+            acc
+        };
+        for (g, &len) in groups.lens.iter().enumerate() {
+            let len = len as usize;
+            let span = &groups.rows[groups.group_ptr[g] as usize..groups.group_ptr[g + 1] as usize];
+            let lo = span.partition_point(|&r| (r as usize) < rows.start);
+            let hi = span.partition_point(|&r| (r as usize) < rows.end);
+            let mut pairs = span[lo..hi].chunks_exact(2);
+            for pair in pairs.by_ref() {
+                let (r0, r1) = (pair[0] as usize, pair[1] as usize);
+                let d0 = self.row_ptr[r0] as usize;
+                let d1 = self.row_ptr[r1] as usize;
+                let mut acc0 = [0f32; 8];
+                let mut acc1 = [0f32; 8];
+                unsafe {
+                    for j in 0..len {
+                        let m0 = *self.seq_mult.get_unchecked(d0 + j);
+                        let i0 = *self.seq_idx.get_unchecked(d0 + j) as usize * 8;
+                        let s0 = buf.get_unchecked(i0..i0 + 8);
+                        let m1 = *self.seq_mult.get_unchecked(d1 + j);
+                        let i1 = *self.seq_idx.get_unchecked(d1 + j) as usize * 8;
+                        let s1 = buf.get_unchecked(i1..i1 + 8);
+                        for l in 0..8 {
+                            acc0[l] += m0 * *s0.get_unchecked(l);
+                            acc1[l] += m1 * *s1.get_unchecked(l);
+                        }
+                    }
+                }
+                for (r, acc) in [(r0, &acc0), (r1, &acc1)] {
+                    let dst = &mut y_chunk[(r - rows.start) * 8..(r - rows.start) * 8 + 8];
+                    for (d, a) in dst.iter_mut().zip(acc) {
+                        *d = f64::from(*a);
+                    }
+                }
+            }
+            for &r in pairs.remainder() {
+                let r = r as usize;
+                let acc = row_acc(self.row_ptr[r] as usize, len);
+                let dst = &mut y_chunk[(r - rows.start) * 8..(r - rows.start) * 8 + 8];
+                for (d, a) in dst.iter_mut().zip(&acc) {
+                    *d = f64::from(*a);
+                }
+            }
+        }
+    }
+
+    /// [`left_panel`](Self::left_panel) with the `f32` SIMD dispatch.
+    fn left_panel_f32(&self, k: usize, y_panel: &[f64], x_panel: &mut [f64], buf: &mut [f32]) {
+        if k == 8 && simd8() {
+            // SAFETY: `simd8` just confirmed AVX2.
+            unsafe { self.left_panel8_avx2(y_panel, x_panel, buf) };
+            return;
+        }
+        self.left_panel(k, y_panel, x_panel, buf);
+    }
+}
+
+impl<T: Copy> HeapSize for PlanBody<T> {
+    fn heap_bytes(&self) -> usize {
+        self.rule_mult.heap_bytes()
+            + self.rule_idx.heap_bytes()
+            + self.seq_mult.heap_bytes()
+            + self.seq_idx.heap_bytes()
+            + self.row_ptr.heap_bytes()
+            + self.block_ptr.heap_bytes()
+    }
+}
 
 /// A [`CompressedMatrix`] compiled into branchless, division-free
 /// operand descriptors (see the [module docs](self) for the layout).
@@ -68,21 +835,7 @@ use crate::fastdiv::FastDiv;
 /// checks, branches, divisions, or decode work.
 #[derive(Debug, Clone)]
 pub struct KernelPlan {
-    rows: usize,
-    cols: usize,
-    num_rules: usize,
-    /// Premultiplied operand values, two per rule (`2|R|`).
-    rule_mult: Vec<f64>,
-    /// Operand scratch indices, two per rule (`2|R|`); entry `2r`/`2r+1`
-    /// is `< cols + r` (rules reference terminals or earlier rules).
-    rule_idx: Vec<u32>,
-    /// Premultiplied values of `C`'s non-separator symbols.
-    seq_mult: Vec<f64>,
-    /// Scratch indices of `C`'s non-separator symbols (`< cols + |R|`).
-    seq_idx: Vec<u32>,
-    /// CSR row index over `seq_*`: row `r` owns descriptors
-    /// `row_ptr[r]..row_ptr[r+1]`; length `rows + 1`.
-    row_ptr: Vec<u32>,
+    body: PlanBody<f64>,
 }
 
 impl KernelPlan {
@@ -124,6 +877,10 @@ impl KernelPlan {
         };
         let mut rule_mult = Vec::with_capacity(2 * q);
         let mut rule_idx = Vec::with_capacity(2 * q);
+        // Greedy dependency-free block partition: a block ends exactly
+        // when a rule reads a slot the block itself writes.
+        let mut block_ptr = vec![0u32];
+        let mut block_start = 0usize;
         m.rule_store().for_each_rule(|r, a, b| {
             for s in [a, b] {
                 let (mv, iv) = resolve(s);
@@ -133,10 +890,15 @@ impl KernelPlan {
                     (iv as u64) < cols as u64 + r as u64,
                     "rule {r} operand out of range"
                 );
+                if iv as usize >= cols + block_start {
+                    block_ptr.push(r as u32);
+                    block_start = r;
+                }
                 rule_mult.push(mv);
                 rule_idx.push(iv);
             }
         });
+        block_ptr.push(q as u32);
         let seq = m.seq_store();
         let mut seq_mult = Vec::with_capacity(seq.len().saturating_sub(rows));
         let mut seq_idx = Vec::with_capacity(seq.len().saturating_sub(rows));
@@ -163,41 +925,65 @@ impl KernelPlan {
         );
         debug_assert_eq!(row_ptr.len(), rows + 1, "separator count mismatch");
         Self {
-            rows,
-            cols,
-            num_rules: q,
-            rule_mult,
-            rule_idx,
-            seq_mult,
-            seq_idx,
-            row_ptr,
+            body: PlanBody {
+                rows,
+                cols,
+                num_rules: q,
+                rule_mult,
+                rule_idx,
+                seq_mult,
+                seq_idx,
+                row_ptr,
+                block_ptr,
+            },
+        }
+    }
+
+    /// Demotes this plan to a single-precision [`KernelPlanF32`]: same
+    /// descriptor program, `f32` multipliers and arithmetic.
+    pub fn to_f32(&self) -> KernelPlanF32 {
+        let b = &self.body;
+        KernelPlanF32 {
+            groups: RowGroups::build(&b.row_ptr),
+            body: PlanBody {
+                rows: b.rows,
+                cols: b.cols,
+                num_rules: b.num_rules,
+                rule_mult: b.rule_mult.iter().map(|&v| v as f32).collect(),
+                rule_idx: b.rule_idx.clone(),
+                seq_mult: b.seq_mult.iter().map(|&v| v as f32).collect(),
+                seq_idx: b.seq_idx.clone(),
+                row_ptr: b.row_ptr.clone(),
+                block_ptr: b.block_ptr.clone(),
+            },
         }
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.body.rows
     }
 
     /// Number of columns.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.body.cols
     }
 
     /// Number of grammar rules `|R|`.
     pub fn num_rules(&self) -> usize {
-        self.num_rules
+        self.body.num_rules
     }
 
     /// Number of non-separator descriptors compiled from `C`.
     pub fn seq_descriptors(&self) -> usize {
-        self.seq_idx.len()
+        self.body.seq_idx.len()
     }
 
-    /// Width of one scratch buffer row: the `cols` input slots plus the
-    /// `|R|` rule slots.
-    fn width(&self) -> usize {
-        self.cols + self.num_rules
+    /// Number of dependency-free rule blocks the compile pass
+    /// discovered (1 block = the whole rule pass is order-independent;
+    /// `num_rules` blocks = a fully serial chain).
+    pub fn rule_blocks(&self) -> usize {
+        self.body.block_ptr.len().saturating_sub(1)
     }
 
     /// Required scratch length for batch width `k` (`k = 1` for the
@@ -206,7 +992,7 @@ impl KernelPlan {
     /// Serving loops draw one buffer of this length from a
     /// [`gcm_matrix::Workspace`] and reuse it across calls.
     pub fn scratch_len(&self, k: usize) -> usize {
-        self.width() * (k.max(1) + 1)
+        self.body.scratch_slots(k)
     }
 
     fn check_scratch(&self, len: usize, k: usize) -> Result<(), MatrixError> {
@@ -218,10 +1004,6 @@ impl KernelPlan {
             });
         }
         Ok(())
-    }
-
-    fn check_panels(&self, x_len: usize, y_len: usize, k: usize) -> Result<(), MatrixError> {
-        gcm_matrix::matvec::check_panels(self.rows, self.cols, k, x_len, y_len)
     }
 
     /// Right multiplication `y = M·x` (planned Thm 3.4). `buf` must
@@ -266,11 +1048,11 @@ impl KernelPlan {
         buf: &mut [f64],
     ) -> Result<(), MatrixError> {
         if k == 0 {
-            return self.check_panels(x_panel.len(), y_panel.len(), 0);
+            return self.body.check_panels(x_panel.len(), y_panel.len(), 0);
         }
-        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.body.check_panels(x_panel.len(), y_panel.len(), k)?;
         self.begin_right_panel(k, x_panel, buf)?;
-        self.accumulate_rows_panel(0..self.rows, k, buf, y_panel);
+        self.accumulate_rows_panel(0..self.body.rows, k, buf, y_panel);
         Ok(())
     }
 
@@ -289,62 +1071,8 @@ impl KernelPlan {
         buf: &mut [f64],
     ) -> Result<(), MatrixError> {
         let k = k.max(1);
-        if x_panel.len() != self.cols * k {
-            return Err(MatrixError::DimensionMismatch {
-                expected: self.cols * k,
-                actual: x_panel.len(),
-                what: "x panel length",
-            });
-        }
         self.check_scratch(buf.len(), k)?;
-        buf[..self.cols * k].copy_from_slice(x_panel);
-        if k == 1 {
-            self.eval_rules(buf);
-        } else {
-            self.eval_rules_panel(k, buf);
-        }
-        Ok(())
-    }
-
-    /// Forward rule pass, width 1: `buf[cols + r] = m_a·buf[i_a] +
-    /// m_b·buf[i_b]`.
-    fn eval_rules(&self, buf: &mut [f64]) {
-        assert!(buf.len() >= self.width());
-        for r in 0..self.num_rules {
-            // SAFETY: `compile` guarantees the rule arrays have length
-            // `2·num_rules` and both operand indices are `< cols + r`;
-            // the destination `cols + r < width() <= buf.len()`
-            // (asserted above).
-            unsafe {
-                let ia = *self.rule_idx.get_unchecked(2 * r) as usize;
-                let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize;
-                let va = *self.rule_mult.get_unchecked(2 * r) * *buf.get_unchecked(ia);
-                let vb = *self.rule_mult.get_unchecked(2 * r + 1) * *buf.get_unchecked(ib);
-                *buf.get_unchecked_mut(self.cols + r) = va + vb;
-            }
-        }
-    }
-
-    /// Forward rule pass, `k`-wide panel rows.
-    fn eval_rules_panel(&self, k: usize, buf: &mut [f64]) {
-        assert!(buf.len() >= self.width() * k);
-        for r in 0..self.num_rules {
-            let dst_off = (self.cols + r) * k;
-            // Rules reference only input slots and earlier rules, so
-            // every operand row lies strictly before the destination
-            // row and the split is aliasing-free.
-            let (src, rest) = buf.split_at_mut(dst_off);
-            let dst = &mut rest[..k];
-            let ma = self.rule_mult[2 * r];
-            let mb = self.rule_mult[2 * r + 1];
-            let ia = self.rule_idx[2 * r] as usize * k;
-            let ib = self.rule_idx[2 * r + 1] as usize * k;
-            let sa = &src[ia..ia + k];
-            let sb = &src[ib..ib + k];
-            for ((d, &a), &b) in dst.iter_mut().zip(sa).zip(sb) {
-                *d = ma * a + mb * b;
-            }
-        }
+        self.body.begin_right(k, x_panel, buf)
     }
 
     /// Accumulates the output rows `rows` into `y_chunk` (length
@@ -364,36 +1092,7 @@ impl KernelPlan {
         buf: &[f64],
         y_chunk: &mut [f64],
     ) {
-        let k = k.max(1);
-        assert!(rows.end <= self.rows);
-        assert_eq!(y_chunk.len(), rows.len() * k);
-        assert!(buf.len() >= self.width() * k);
-        if k == 1 {
-            for (out, r) in y_chunk.iter_mut().zip(rows) {
-                let lo = self.row_ptr[r] as usize;
-                let hi = self.row_ptr[r + 1] as usize;
-                let mut acc = 0.0f64;
-                for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
-                    // SAFETY: `compile` guarantees every sequence index
-                    // is `< width() <= buf.len()` (asserted above).
-                    acc += m * unsafe { *buf.get_unchecked(*i as usize) };
-                }
-                *out = acc;
-            }
-            return;
-        }
-        for (ri, r) in rows.enumerate() {
-            let dst = &mut y_chunk[ri * k..(ri + 1) * k];
-            dst.fill(0.0);
-            let lo = self.row_ptr[r] as usize;
-            let hi = self.row_ptr[r + 1] as usize;
-            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
-                let src = &buf[*i as usize * k..][..k];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += m * s;
-                }
-            }
-        }
+        self.body.accumulate_rows(rows, k, buf, y_chunk);
     }
 
     /// Batched left multiplication over row-major panels: one forward
@@ -413,97 +1112,236 @@ impl KernelPlan {
         buf: &mut [f64],
     ) -> Result<(), MatrixError> {
         if k == 0 {
-            return self.check_panels(x_panel.len(), y_panel.len(), 0);
+            return self.body.check_panels(x_panel.len(), y_panel.len(), 0);
         }
-        self.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.body.check_panels(x_panel.len(), y_panel.len(), k)?;
         self.check_scratch(buf.len(), k)?;
-        let n = self.width();
-        if k == 1 {
-            self.left_single(y_panel, x_panel, &mut buf[..n]);
-            return Ok(());
-        }
-        let (panel, flags) = buf.split_at_mut(n * k);
-        let flags = &mut flags[..n];
-        panel.fill(0.0);
-        flags.fill(0.0);
-        for (r, ys) in y_panel.chunks_exact(k).enumerate() {
-            let lo = self.row_ptr[r] as usize;
-            let hi = self.row_ptr[r + 1] as usize;
-            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
-                let i = *i as usize;
-                // Unconditional flag write for both symbol kinds keeps
-                // the loop branchless; only the rule region is read back.
-                flags[i] = 1.0;
-                let dst = &mut panel[i * k..][..k];
-                for (d, &yv) in dst.iter_mut().zip(ys) {
-                    *d += m * yv;
-                }
-            }
-        }
-        for r in (0..self.num_rules).rev() {
-            if flags[self.cols + r] == 0.0 {
-                continue;
-            }
-            let src_off = (self.cols + r) * k;
-            let (earlier, rest) = panel.split_at_mut(src_off);
-            let wk = &rest[..k];
-            for op in [2 * r, 2 * r + 1] {
-                let m = self.rule_mult[op];
-                let i = self.rule_idx[op] as usize;
-                flags[i] = 1.0;
-                let dst = &mut earlier[i * k..][..k];
-                for (d, &wv) in dst.iter_mut().zip(wk) {
-                    *d += m * wv;
-                }
-            }
-        }
-        x_panel.copy_from_slice(&panel[..self.cols * k]);
+        self.body.left_panel(k, y_panel, x_panel, buf);
         Ok(())
-    }
-
-    /// Width-1 left multiplication body; `buf` is exactly the
-    /// `cols + |R|` panel (the per-rule value doubles as its own
-    /// nonzero flag at width 1).
-    fn left_single(&self, y: &[f64], x: &mut [f64], buf: &mut [f64]) {
-        buf.fill(0.0);
-        for (r, &yr) in y.iter().enumerate() {
-            if yr == 0.0 {
-                continue;
-            }
-            let lo = self.row_ptr[r] as usize;
-            let hi = self.row_ptr[r + 1] as usize;
-            for (m, i) in self.seq_mult[lo..hi].iter().zip(&self.seq_idx[lo..hi]) {
-                // SAFETY: sequence indices are `< width() == buf.len()`.
-                unsafe { *buf.get_unchecked_mut(*i as usize) += m * yr };
-            }
-        }
-        for r in (0..self.num_rules).rev() {
-            let wk = buf[self.cols + r];
-            if wk == 0.0 {
-                continue;
-            }
-            // SAFETY: rule operand indices are `< cols + r < buf.len()`
-            // and the rule arrays have length `2·num_rules`.
-            unsafe {
-                let ma = *self.rule_mult.get_unchecked(2 * r);
-                let ia = *self.rule_idx.get_unchecked(2 * r) as usize;
-                *buf.get_unchecked_mut(ia) += ma * wk;
-                let mb = *self.rule_mult.get_unchecked(2 * r + 1);
-                let ib = *self.rule_idx.get_unchecked(2 * r + 1) as usize;
-                *buf.get_unchecked_mut(ib) += mb * wk;
-            }
-        }
-        x.copy_from_slice(&buf[..self.cols]);
     }
 }
 
 impl HeapSize for KernelPlan {
     fn heap_bytes(&self) -> usize {
-        self.rule_mult.heap_bytes()
-            + self.rule_idx.heap_bytes()
-            + self.seq_mult.heap_bytes()
-            + self.seq_idx.heap_bytes()
-            + self.row_ptr.heap_bytes()
+        self.body.heap_bytes()
+    }
+}
+
+/// Views an `f64` workspace buffer as twice as many `f32` slots.
+///
+/// `f64` has size 8 / alignment 8; `f32` size 4 / alignment 4, and
+/// neither type has invalid bit patterns — so the reinterpretation is
+/// layout-sound and lets the `f32` plans draw scratch from the serve
+/// layer's existing [`gcm_matrix::Workspace`] free lists without a
+/// second buffer pool.
+fn as_f32_mut(buf: &mut [f64]) -> &mut [f32] {
+    // SAFETY: see above — same allocation and byte length, looser
+    // alignment, both element types valid for every bit pattern.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<f32>(), buf.len() * 2) }
+}
+
+/// Read-only counterpart of [`as_f32_mut`].
+fn as_f32(buf: &[f64]) -> &[f32] {
+    // SAFETY: as in `as_f32_mut`.
+    unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<f32>(), buf.len() * 2) }
+}
+
+/// The single-precision variant of [`KernelPlan`]: the identical
+/// descriptor program with `f32` multipliers, `f32` scratch, and `f32`
+/// accumulation — half the multiplier heap, double the SIMD lanes.
+///
+/// Panels stay `f64` (inputs demoted on the scratch copy, outputs
+/// promoted on the store), and scratch is the serve layer's `f64`
+/// workspace buffers viewed as `f32` pairs, so the type slots into
+/// every existing serving path. Results match an `f32` evaluation of
+/// the descriptor program exactly (pinned by `tests/plan_f32_props.rs`)
+/// but differ from the `f64` plans by `f32` rounding.
+#[derive(Debug, Clone)]
+pub struct KernelPlanF32 {
+    body: PlanBody<f32>,
+    /// Rows bucketed by descriptor count for the branch-uniform,
+    /// pair-interleaved accumulation walk (see [`RowGroups`]).
+    groups: RowGroups,
+}
+
+impl KernelPlanF32 {
+    /// Compiles `m` straight to a single-precision plan
+    /// ([`KernelPlan::compile`] followed by [`KernelPlan::to_f32`]).
+    ///
+    /// # Panics
+    /// As [`KernelPlan::compile`].
+    pub fn compile(m: &CompressedMatrix) -> Self {
+        KernelPlan::compile(m).to_f32()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.body.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.body.cols
+    }
+
+    /// Number of grammar rules `|R|`.
+    pub fn num_rules(&self) -> usize {
+        self.body.num_rules
+    }
+
+    /// Number of non-separator descriptors compiled from `C`.
+    pub fn seq_descriptors(&self) -> usize {
+        self.body.seq_idx.len()
+    }
+
+    /// Number of dependency-free rule blocks (see
+    /// [`KernelPlan::rule_blocks`]).
+    pub fn rule_blocks(&self) -> usize {
+        self.body.block_ptr.len().saturating_sub(1)
+    }
+
+    /// Required scratch length **in `f64` units** for batch width `k`:
+    /// the `f32` panel-plus-flags region packed two slots per `f64`
+    /// word, so the same [`gcm_matrix::Workspace`] buffers back both
+    /// plan precisions. Roughly half a [`KernelPlan::scratch_len`].
+    pub fn scratch_len(&self, k: usize) -> usize {
+        self.body.scratch_slots(k).div_ceil(2)
+    }
+
+    fn check_scratch(&self, len: usize, k: usize) -> Result<(), MatrixError> {
+        if len != self.scratch_len(k) {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.scratch_len(k),
+                actual: len,
+                what: "plan scratch length",
+            });
+        }
+        Ok(())
+    }
+
+    /// The `f32` view of a checked `f64` scratch buffer, trimmed to the
+    /// exact slot count the kernels expect.
+    fn scratch32<'b>(&self, k: usize, buf: &'b mut [f64]) -> &'b mut [f32] {
+        &mut as_f32_mut(buf)[..self.body.scratch_slots(k)]
+    }
+
+    /// Right multiplication `y = M·x` in `f32`. `buf` must have length
+    /// [`scratch_len(1)`](Self::scratch_len) (in `f64` units).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn right_multiply(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_panel(1, x, y, buf)
+    }
+
+    /// Left multiplication `xᵗ = yᵗ·M` in `f32`. `buf` must have length
+    /// [`scratch_len(1)`](Self::scratch_len) (in `f64` units).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn left_multiply(
+        &self,
+        y: &[f64],
+        x: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.left_multiply_panel(1, y, x, buf)
+    }
+
+    /// Batched right multiplication over row-major `k`-wide `f64`
+    /// panels, evaluated in `f32`.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn right_multiply_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        y_panel: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        if k == 0 {
+            return self.body.check_panels(x_panel.len(), y_panel.len(), 0);
+        }
+        self.body.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.begin_right_panel(k, x_panel, buf)?;
+        self.accumulate_rows_panel(0..self.body.rows, k, buf, y_panel);
+        Ok(())
+    }
+
+    /// Sequential head of a right multiplication (see
+    /// [`KernelPlan::begin_right_panel`]); fills the `f32` view of
+    /// `buf`, after which disjoint row ranges accumulate concurrently.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn begin_right_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        let k = k.max(1);
+        self.check_scratch(buf.len(), k)?;
+        self.body
+            .begin_right_f32(k, x_panel, self.scratch32(k, buf))
+    }
+
+    /// Row-range accumulation out of a scratch buffer prepared by
+    /// [`begin_right_panel`](Self::begin_right_panel); read-only on
+    /// `buf`, safe over disjoint ranges concurrently.
+    ///
+    /// # Panics
+    /// As [`KernelPlan::accumulate_rows_panel`].
+    pub fn accumulate_rows_panel(
+        &self,
+        rows: Range<usize>,
+        k: usize,
+        buf: &[f64],
+        y_chunk: &mut [f64],
+    ) {
+        if k == 8 && simd8() {
+            // SAFETY: `simd8` just confirmed AVX2.
+            unsafe {
+                self.body
+                    .accumulate_rows8_grouped_avx2(&self.groups, rows, as_f32(buf), y_chunk)
+            };
+            return;
+        }
+        self.body.accumulate_rows(rows, k, as_f32(buf), y_chunk);
+    }
+
+    /// Batched left multiplication over row-major `f64` panels,
+    /// evaluated in `f32` (see [`KernelPlan::left_multiply_panel`]).
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`).
+    pub fn left_multiply_panel(
+        &self,
+        k: usize,
+        y_panel: &[f64],
+        x_panel: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        if k == 0 {
+            return self.body.check_panels(x_panel.len(), y_panel.len(), 0);
+        }
+        self.body.check_panels(x_panel.len(), y_panel.len(), k)?;
+        self.check_scratch(buf.len(), k)?;
+        self.body
+            .left_panel_f32(k, y_panel, x_panel, self.scratch32(k, buf));
+        Ok(())
+    }
+}
+
+impl HeapSize for KernelPlanF32 {
+    fn heap_bytes(&self) -> usize {
+        self.body.heap_bytes() + self.groups.heap_bytes()
     }
 }
 
@@ -546,6 +1384,7 @@ mod tests {
             assert_eq!(plan.rows(), 48);
             assert_eq!(plan.cols(), 9);
             assert_eq!(plan.num_rules(), cm.num_rules());
+            assert!(plan.rule_blocks() <= plan.num_rules().max(1));
             let mut buf = vec![0.0; plan.scratch_len(1)];
             let mut y = vec![0.0; 48];
             plan.right_multiply(&x, &mut y, &mut buf).unwrap();
@@ -556,6 +1395,86 @@ mod tests {
             plan.left_multiply(&yv, &mut xo, &mut buf).unwrap();
             for (a, b) in xo.iter().zip(&x_ref) {
                 assert!((a - b).abs() < 1e-9, "{} left", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_plan_tracks_dense_within_f32_precision() {
+        let dense = repetitive(48, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReFse);
+        let plan = cm.plan();
+        let plan32 = plan.to_f32();
+        assert_eq!(plan32.rows(), 48);
+        assert_eq!(plan32.cols(), 9);
+        assert_eq!(plan32.num_rules(), plan.num_rules());
+        assert_eq!(plan32.rule_blocks(), plan.rule_blocks());
+        assert_eq!(plan32.seq_descriptors(), plan.seq_descriptors());
+        // Half the multiplier heap (indices are shared u32 either way),
+        // and roughly half the scratch in f64 units.
+        assert!(plan32.heap_bytes() < plan.heap_bytes());
+        assert_eq!(plan32.scratch_len(4), plan.scratch_len(4).div_ceil(2));
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..48).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut y_ref = vec![0.0; 48];
+        let mut x_ref = vec![0.0; 9];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        let mut buf = vec![0.0; plan32.scratch_len(1)];
+        let mut y = vec![0.0; 48];
+        plan32.right_multiply(&x, &mut y, &mut buf).unwrap();
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-3, "f32 right");
+        }
+        let mut xo = vec![0.0; 9];
+        plan32.left_multiply(&yv, &mut xo, &mut buf).unwrap();
+        for (a, b) in xo.iter().zip(&x_ref) {
+            assert!((a - b).abs() < 1e-3, "f32 left");
+        }
+    }
+
+    #[test]
+    fn f32_row_ranges_compose_to_the_full_product() {
+        let dense = repetitive(37, 7);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let plan32 = CompressedMatrix::compress(&csrv, Encoding::ReIv)
+            .plan()
+            .to_f32();
+        let k = 3usize;
+        let x_panel: Vec<f64> = (0..7 * k).map(|i| (i % 11) as f64 - 5.0).collect();
+        let mut whole = vec![0.0; 37 * k];
+        let mut buf = vec![0.0; plan32.scratch_len(k)];
+        plan32
+            .right_multiply_panel(k, &x_panel, &mut whole, &mut buf)
+            .unwrap();
+        let mut pieced = vec![0.0; 37 * k];
+        plan32.begin_right_panel(k, &x_panel, &mut buf).unwrap();
+        for (lo, hi) in [(0usize, 10usize), (10, 30), (30, 37)] {
+            plan32.accumulate_rows_panel(lo..hi, k, &buf, &mut pieced[lo * k..hi * k]);
+        }
+        assert_eq!(whole, pieced);
+    }
+
+    #[test]
+    fn rule_blocks_respect_the_independence_invariant() {
+        let dense = repetitive(64, 12);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        let plan = cm.plan();
+        let b = &plan.body;
+        assert_eq!(b.block_ptr.first(), Some(&0));
+        assert_eq!(*b.block_ptr.last().unwrap() as usize, b.num_rules);
+        for w in b.block_ptr.windows(2) {
+            assert!(w[0] <= w[1]);
+            let lo = w[0] as usize;
+            for r in lo..w[1] as usize {
+                for op in [2 * r, 2 * r + 1] {
+                    assert!(
+                        (b.rule_idx[op] as usize) < b.cols + lo,
+                        "rule {r} depends on its own block"
+                    );
+                }
             }
         }
     }
@@ -593,6 +1512,15 @@ mod tests {
         assert!(plan.right_multiply(&[0.0; 5], &mut y, &mut short).is_err());
         let mut x = vec![0.0; 5];
         assert!(plan.left_multiply(&[0.0; 2], &mut x, &mut buf).is_err());
+        let plan32 = plan.to_f32();
+        let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+        assert!(plan32
+            .right_multiply(&[0.0; 3], &mut y, &mut buf32)
+            .is_err());
+        let mut long32 = vec![0.0; plan32.scratch_len(1) + 1];
+        assert!(plan32
+            .right_multiply(&[0.0; 5], &mut y, &mut long32)
+            .is_err());
     }
 
     #[test]
@@ -607,5 +1535,12 @@ mod tests {
             .unwrap();
         assert_eq!(y, vec![0.0; 4]);
         assert!(plan.heap_bytes() >= (4 + 1) * 4);
+        let plan32 = plan.to_f32();
+        let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+        let mut y32 = vec![1.0; 4];
+        plan32
+            .right_multiply(&[1.0, 2.0, 3.0], &mut y32, &mut buf32)
+            .unwrap();
+        assert_eq!(y32, vec![0.0; 4]);
     }
 }

@@ -28,6 +28,7 @@
 
 use std::sync::Arc;
 
+use gcm_encodings::fse::FseSequence;
 use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{varint, IntVector};
 
@@ -41,6 +42,7 @@ fn encoding_tag(e: Encoding) -> u8 {
         Encoding::Re32 => 0,
         Encoding::ReIv => 1,
         Encoding::ReAns => 2,
+        Encoding::ReFse => 3,
     }
 }
 
@@ -49,6 +51,7 @@ fn tag_encoding(t: u8) -> Option<Encoding> {
         0 => Some(Encoding::Re32),
         1 => Some(Encoding::ReIv),
         2 => Some(Encoding::ReAns),
+        3 => Some(Encoding::ReFse),
         _ => None,
     }
 }
@@ -137,13 +140,16 @@ fn write_stores(out: &mut Vec<u8>, m: &CompressedMatrix) {
         SeqStore::Raw(v) => write_u32s(out, v),
         SeqStore::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
         SeqStore::Ans(r) => out.extend_from_slice(&r.to_bytes()),
+        SeqStore::Fse(f) => out.extend_from_slice(&f.to_bytes()),
     }
 }
 
 fn read_stores(data: &[u8], pos: &mut usize, encoding: Encoding) -> Option<(RuleStore, SeqStore)> {
     let rules = match encoding {
         Encoding::Re32 => RuleStore::Raw(read_u32s(data, pos)?),
-        Encoding::ReIv | Encoding::ReAns => RuleStore::Packed(IntVector::from_bytes(data, pos)?),
+        Encoding::ReIv | Encoding::ReAns | Encoding::ReFse => {
+            RuleStore::Packed(IntVector::from_bytes(data, pos)?)
+        }
     };
     if !rules_len(&rules).is_multiple_of(2) {
         return None;
@@ -152,6 +158,7 @@ fn read_stores(data: &[u8], pos: &mut usize, encoding: Encoding) -> Option<(Rule
         Encoding::Re32 => SeqStore::Raw(read_u32s(data, pos)?),
         Encoding::ReIv => SeqStore::Packed(IntVector::from_bytes(data, pos)?),
         Encoding::ReAns => SeqStore::Ans(RansSequence::from_bytes(data, pos)?),
+        Encoding::ReFse => SeqStore::Fse(FseSequence::from_bytes(data, pos)?),
     };
     Some((rules, seq))
 }

@@ -1,0 +1,121 @@
+//! Property-based tests of the `re_fse` tANS codec, mirroring
+//! `crates/repair/tests/grammar_props.rs` for the new encoding:
+//!
+//! * encode → decode is the identity for arbitrary symbol streams
+//!   (CSRV-shaped and adversarial large-alphabet ones);
+//! * serialisation round-trips byte-exactly and advances the cursor to
+//!   exactly the bytes written;
+//! * the byte accounting is honest: `compressed_bytes` matches what
+//!   `to_bytes` actually emits up to the fixed framing (two parameter
+//!   bytes plus the stream-length varint);
+//! * the full `re_fse` matrix pipeline (compress → serialise →
+//!   deserialise → decompress) reproduces the CSRV symbol stream.
+
+use proptest::prelude::*;
+
+use gcm_core::{serial, CompressedMatrix, Encoding};
+use gcm_encodings::fse::FseSequence;
+use gcm_matrix::{CsrvMatrix, DenseMatrix};
+
+/// Symbol streams in CSRV shape: terminals `1..alpha` with separator `0`
+/// sprinkled in (weight 1 in 4).
+fn csrv_like_stream() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            1 => Just(0u32),
+            3 => 1u32..14,
+        ],
+        0..400,
+    )
+}
+
+/// Adversarial streams: huge sparse alphabet, so most symbols escape the
+/// direct buckets into the log-bucketed tail with extra bits.
+fn wide_alphabet_stream() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => 0u32..50,
+            1 => 1u32 << 10..1u32 << 20,
+            1 => 1u32 << 20..u32::MAX,
+        ],
+        0..200,
+    )
+}
+
+fn check_roundtrip(symbols: &[u32]) -> Result<(), TestCaseError> {
+    let seq = FseSequence::encode(symbols);
+    prop_assert_eq!(seq.len(), symbols.len());
+    prop_assert_eq!(seq.is_empty(), symbols.is_empty());
+    prop_assert_eq!(seq.to_vec(), symbols.to_vec());
+
+    let bytes = seq.to_bytes();
+    let mut pos = 0usize;
+    let back = FseSequence::from_bytes(&bytes, &mut pos).expect("own bytes parse");
+    prop_assert_eq!(pos, bytes.len());
+    prop_assert_eq!(back.to_vec(), symbols.to_vec());
+
+    // Byte accounting: `to_bytes` = accounted payload + 2 parameter
+    // bytes + the stream-length varint (1..=10 bytes).
+    let accounted = seq.compressed_bytes();
+    prop_assert!(
+        bytes.len() >= accounted + 3,
+        "framing below minimum: {} vs {accounted}",
+        bytes.len()
+    );
+    prop_assert!(
+        bytes.len() <= accounted + 12,
+        "framing exceeded 12 bytes: {} vs {accounted}",
+        bytes.len()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csrv_shaped_streams_roundtrip(symbols in csrv_like_stream()) {
+        check_roundtrip(&symbols)?;
+    }
+
+    #[test]
+    fn wide_alphabet_streams_roundtrip(symbols in wide_alphabet_stream()) {
+        check_roundtrip(&symbols)?;
+    }
+
+    /// End to end: an `re_fse` matrix serialises, reloads, and expands
+    /// to exactly the grammar symbols the `re_32` reference holds — and
+    /// its stored-byte accounting stays within the container's framing.
+    #[test]
+    fn re_fse_matrices_roundtrip_through_the_container(
+        (rows, cols, seed) in (1usize..14, 1usize..8, 0u64..u64::MAX),
+    ) {
+        let mut dense = DenseMatrix::zeros(rows, cols);
+        let mut state = seed | 1;
+        for r in 0..rows {
+            for c in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let bits = (state >> 33) as u32;
+                if !bits.is_multiple_of(3) {
+                    dense.set(r, c, ((bits >> 2) % 4 + 1) as f64 * 0.5);
+                }
+            }
+        }
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let fse = CompressedMatrix::compress(&csrv, Encoding::ReFse);
+        let reference = CompressedMatrix::compress(&csrv, Encoding::Re32);
+        prop_assert_eq!(fse.decompress_symbols(), reference.decompress_symbols());
+
+        let bytes = serial::to_bytes(&fse);
+        let back = serial::from_bytes(&bytes).expect("own container parses");
+        prop_assert_eq!(back.encoding(), Encoding::ReFse);
+        prop_assert_eq!(back.decompress_symbols(), fse.decompress_symbols());
+        prop_assert!(bytes.len() >= fse.stored_bytes());
+        prop_assert!(
+            bytes.len() <= fse.stored_bytes() + 96,
+            "container framing exceeded 96 bytes ({} vs {})",
+            bytes.len(),
+            fse.stored_bytes()
+        );
+    }
+}

@@ -107,10 +107,23 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.filled <= 56 && self.pos < self.data.len() {
-            self.acc |= (self.data[self.pos] as u64) << (56 - self.filled);
-            self.pos += 1;
-            self.filled += 8;
+        // Fast path: absorb a whole aligned-load's worth of bits at once.
+        // The top bits of the first not-yet-consumed byte may already sit
+        // in `acc` below the `filled` mark (from a previous partial
+        // absorb); OR-ing the same bit values over them is idempotent, so
+        // the word load needs no masking.
+        if let Some(chunk) = self.data.get(self.pos..self.pos + 8) {
+            let word = u64::from_be_bytes(chunk.try_into().unwrap());
+            self.acc |= word >> self.filled;
+            let consumed = (64 - self.filled) >> 3;
+            self.pos += consumed as usize;
+            self.filled += consumed * 8;
+        } else {
+            while self.filled <= 56 && self.pos < self.data.len() {
+                self.acc |= (self.data[self.pos] as u64) << (56 - self.filled);
+                self.pos += 1;
+                self.filled += 8;
+            }
         }
     }
 

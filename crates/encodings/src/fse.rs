@@ -1,0 +1,776 @@
+//! Table-based tANS ("FSE") coder with magnitude folding.
+//!
+//! The `re_fse` encoding stores the grammar's final string `C` with a
+//! finite-state-entropy coder in the style of zstd's FSE: frequencies are
+//! normalised to a power-of-two total `L = 1 << table_log`, symbols are
+//! spread over an `L`-entry decode table, and each decode step is
+//!
+//! ```text
+//! entry = table[state];
+//! t = read_bits(entry.nbits + entry.ebits);
+//! emit entry.sym_base + (t & ((1 << entry.ebits) - 1));
+//! state = entry.base + (t >> entry.ebits);
+//! ```
+//!
+//! — one table load, one shift-register read, two adds. No division, no
+//! renormalisation branch (contrast [`crate::rans`], whose decoder pays a
+//! `freq * (x >> k)` multiply plus a renormalisation loop per symbol).
+//! Two independent decoder states are interleaved over the even/odd
+//! symbol positions so the serial `state -> table -> state` dependency
+//! chain of one stream hides behind the other's table load.
+//!
+//! The (potentially huge) grammar alphabet is folded exactly as in
+//! [`crate::rans`]: small symbols own a bucket, large symbols share a
+//! bucket per binary magnitude class and spell their offset in raw bits.
+//! Unlike the rANS coder, those offset bits ride **inside** the tANS bit
+//! stream, directly after the state-transition bits of their symbol, and
+//! the decode table carries each bucket's reconstruction base and raw
+//! bit count — so a decode step is one table load and one combined
+//! bit-register read, with no second stream to track.
+//!
+//! Encoding runs in reverse so decoding is strictly **forward** (the
+//! access order of the matrix-vector multiplication scan): the encoder
+//! collects per-symbol bit chunks while walking the input backwards,
+//! then writes them in reverse, giving the decoder a plain front-to-back
+//! MSB-first stream.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::heapsize::HeapSize;
+use crate::varint;
+
+/// Parameters of the folded-alphabet tANS coder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FseParams {
+    /// Symbols `< (1 << direct_bits)` map to their own bucket.
+    pub direct_bits: u32,
+    /// The decode table has `1 << table_log` states.
+    pub table_log: u32,
+}
+
+impl Default for FseParams {
+    fn default() -> Self {
+        Self {
+            direct_bits: 9,
+            table_log: 12,
+        }
+    }
+}
+
+/// Smallest accepted `table_log`. Below 5 the symbol-spread step
+/// `(L >> 1) + (L >> 3) + 3` is not guaranteed coprime with `L`.
+const MIN_TABLE_LOG: u32 = 5;
+/// Largest accepted `table_log` (states and bases must fit `u16`).
+const MAX_TABLE_LOG: u32 = 15;
+
+impl FseParams {
+    fn direct(&self) -> u32 {
+        1 << self.direct_bits
+    }
+
+    /// Maps a symbol to `(bucket, extra_bit_count, extra_value)`.
+    #[inline]
+    fn fold(&self, s: u32) -> (u32, u32, u32) {
+        let d = self.direct();
+        if s < d {
+            (s, 0, 0)
+        } else {
+            let b = 32 - s.leading_zeros(); // s in [2^(b-1), 2^b)
+            let bucket = d + (b - self.direct_bits - 1);
+            (bucket, b - 1, s - (1 << (b - 1)))
+        }
+    }
+
+    /// Inverse of [`fold`]'s bucket mapping: the reconstruction base and
+    /// the number of raw offset bits that follow in the stream.
+    #[inline]
+    fn debucket(&self, bucket: u32) -> (u32, u32) {
+        let d = self.direct();
+        if bucket < d {
+            (bucket, 0)
+        } else {
+            let b = bucket - d + self.direct_bits + 1;
+            (1u32 << (b - 1), b - 1)
+        }
+    }
+
+    /// Number of buckets needed for 32-bit symbols.
+    fn bucket_count(&self) -> usize {
+        (self.direct() + (32 - self.direct_bits)) as usize
+    }
+}
+
+/// Normalises `freqs` so they sum to `1 << table_log`, keeping every
+/// nonzero frequency at least 1 (same scheme as the rANS coder).
+fn normalise(freqs: &[u64], table_log: u32) -> Vec<u32> {
+    let target = 1u64 << table_log;
+    let total: u64 = freqs.iter().sum();
+    assert!(total > 0, "cannot normalise an empty distribution");
+    let nonzero = freqs.iter().filter(|&&f| f > 0).count() as u64;
+    assert!(nonzero <= target, "more symbols than table states");
+
+    let mut out = vec![0u32; freqs.len()];
+    let mut assigned: u64 = 0;
+    for (o, &f) in out.iter_mut().zip(freqs) {
+        if f > 0 {
+            let scaled = ((f as u128 * target as u128) / total as u128) as u64;
+            *o = scaled.max(1) as u32;
+            assigned += *o as u64;
+        }
+    }
+    if assigned != target {
+        let mut order: Vec<usize> = (0..freqs.len()).filter(|&i| out[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(out[i]));
+        let mut idx = 0;
+        while assigned > target {
+            let i = order[idx % order.len()];
+            if out[i] > 1 {
+                out[i] -= 1;
+                assigned -= 1;
+            }
+            idx += 1;
+        }
+        while assigned < target {
+            let i = order[idx % order.len()];
+            out[i] += 1;
+            assigned += 1;
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// One decode-table state. A step reads `nbits + ebits` bits in one
+/// register pull `t`, then emits `sym_base + (t & ((1 << ebits) - 1))`
+/// and moves to `state = base + (t >> ebits)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct DecodeEntry {
+    /// Reconstructed-symbol base: the symbol itself for direct buckets,
+    /// `1 << (magnitude - 1)` for escape buckets.
+    sym_base: u32,
+    base: u16,
+    /// State-transition bits.
+    nbits: u8,
+    /// Raw folded-offset bits following the transition bits.
+    ebits: u8,
+}
+
+/// Spreads each bucket `freq[b]` times over the `L` table positions with
+/// the classic FSE step (odd, hence coprime with the power-of-two `L`).
+fn spread_symbols(freqs: &[u32], table_log: u32) -> Vec<u16> {
+    let size = 1usize << table_log;
+    let step = (size >> 1) + (size >> 3) + 3;
+    let mask = size - 1;
+    let mut spread = vec![0u16; size];
+    let mut pos = 0usize;
+    for (b, &f) in freqs.iter().enumerate() {
+        for _ in 0..f {
+            spread[pos] = b as u16;
+            pos = (pos + step) & mask;
+        }
+    }
+    debug_assert_eq!(pos, 0, "spread must visit every state exactly once");
+    spread
+}
+
+/// Builds the decode table from normalised frequencies summing to
+/// `1 << table_log`. Every reachable `base + bits` stays in `[0, L)`, so
+/// decoding is total even on garbage bit input.
+fn build_decode_table(freqs: &[u32], params: FseParams) -> Vec<DecodeEntry> {
+    let table_log = params.table_log;
+    let spread = spread_symbols(freqs, table_log);
+    let size = 1usize << table_log;
+    let mut next: Vec<u32> = freqs.to_vec();
+    let mut table = vec![DecodeEntry::default(); size];
+    for (u, &s) in spread.iter().enumerate() {
+        let x = next[s as usize]; // in [freq, 2*freq)
+        next[s as usize] += 1;
+        let nbits = table_log - (31 - x.leading_zeros());
+        let (sym_base, ebits) = params.debucket(s as u32);
+        table[u] = DecodeEntry {
+            sym_base,
+            base: ((x << nbits) - size as u32) as u16,
+            nbits: nbits as u8,
+            ebits: ebits as u8,
+        };
+    }
+    table
+}
+
+/// Per-bucket encoder transform (zstd's `FSE_symbolCompressionTransform`).
+#[derive(Debug, Clone, Copy, Default)]
+struct EncodeSymbol {
+    /// `(maxBitsOut << 16) - (freq << maxBitsOut)`: adding the state and
+    /// shifting right by 16 yields the exact bit count to flush.
+    delta_nbits: u32,
+    /// Offset into the state table: `cumul[bucket] - freq`.
+    delta_state: i32,
+}
+
+/// Builds the encoder tables: per-state successor values (in `[L, 2L)`)
+/// and the per-bucket transforms.
+fn build_encode_table(freqs: &[u32], table_log: u32) -> (Vec<u16>, Vec<EncodeSymbol>) {
+    let size = 1usize << table_log;
+    let spread = spread_symbols(freqs, table_log);
+    let mut cumul = vec![0u32; freqs.len() + 1];
+    for (i, &f) in freqs.iter().enumerate() {
+        cumul[i + 1] = cumul[i] + f;
+    }
+    let mut fill = cumul.clone();
+    let mut state_table = vec![0u16; size];
+    for (u, &s) in spread.iter().enumerate() {
+        state_table[fill[s as usize] as usize] = (size + u) as u16;
+        fill[s as usize] += 1;
+    }
+    let mut symbols = vec![EncodeSymbol::default(); freqs.len()];
+    for (b, &f) in freqs.iter().enumerate() {
+        if f == 0 {
+            continue;
+        }
+        // `table_log - floor_log2(f - 1)` for f >= 2; a frequency-1
+        // bucket always flushes `table_log` bits (same expression the
+        // zstd special case reduces to).
+        let high = if f > 1 {
+            31 - (f - 1).leading_zeros()
+        } else {
+            0
+        };
+        let max_bits = table_log - high;
+        symbols[b] = EncodeSymbol {
+            delta_nbits: (max_bits << 16).wrapping_sub(f << max_bits),
+            delta_state: cumul[b] as i32 - f as i32,
+        };
+    }
+    (state_table, symbols)
+}
+
+/// A compressed sequence of `u32` symbols (the `re_fse` counterpart of
+/// [`crate::rans::RansSequence`]).
+///
+/// Owns the interleaved tANS bit stream (state-transition bits and
+/// folded-offset bits, merged), the normalised bucket frequency table,
+/// and the rebuilt decode table. Decoding is forward, allocation-free
+/// per symbol, and total on truncated or forged input (the bit reader
+/// yields zeros past the end and every decode-table transition stays in
+/// bounds).
+#[derive(Debug, Clone)]
+pub struct FseSequence {
+    params: FseParams,
+    len: usize,
+    /// Normalised frequencies, truncated at the last used bucket.
+    freqs: Vec<u32>,
+    /// Decode table, `1 << table_log` entries (empty iff `len == 0`).
+    table: Vec<DecodeEntry>,
+    /// Interleaved tANS bit stream, in decode order.
+    stream: Vec<u8>,
+}
+
+impl FseSequence {
+    /// Compresses `symbols` with default parameters.
+    pub fn encode(symbols: &[u32]) -> Self {
+        Self::encode_with(symbols, FseParams::default())
+    }
+
+    /// Compresses `symbols` with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `params.table_log` is outside `5..=15` or
+    /// `params.direct_bits > 30`.
+    pub fn encode_with(symbols: &[u32], params: FseParams) -> Self {
+        assert!(
+            (MIN_TABLE_LOG..=MAX_TABLE_LOG).contains(&params.table_log),
+            "table_log out of range"
+        );
+        assert!(params.direct_bits <= 30, "direct_bits out of range");
+        if symbols.is_empty() {
+            return Self {
+                params,
+                len: 0,
+                freqs: Vec::new(),
+                table: Vec::new(),
+                stream: Vec::new(),
+            };
+        }
+        // Pass 1: bucket histogram.
+        let mut hist = vec![0u64; params.bucket_count()];
+        for &s in symbols {
+            let (b, _, _) = params.fold(s);
+            hist[b as usize] += 1;
+        }
+        let used = hist.iter().rposition(|&f| f > 0).unwrap() + 1;
+        hist.truncate(used);
+        let freqs = normalise(&hist, params.table_log);
+        let (state_table, enc_symbols) = build_encode_table(&freqs, params.table_log);
+
+        // Pass 2: walk the symbols in reverse through two interleaved
+        // tANS states (even indices -> state 0, odd -> state 1),
+        // collecting one `(value, nbits)` chunk per symbol — the state
+        // flush bits followed by the folded-offset bits, packed into a
+        // single chunk; reversing the chunk list then yields the
+        // decoder's forward read order.
+        let size = 1u32 << params.table_log;
+        let tl = params.table_log;
+        let mut states = [size, size]; // any value in [L, 2L) is a valid seed
+        let mut chunks: Vec<(u64, u8)> = Vec::with_capacity(symbols.len());
+        for (i, &s) in symbols.iter().enumerate().rev() {
+            let (b, ebits, ev) = params.fold(s);
+            let sym = enc_symbols[b as usize];
+            let v = states[i & 1];
+            let nbits = v.wrapping_add(sym.delta_nbits) >> 16;
+            let flush = (v & ((1 << nbits) - 1)) as u64;
+            chunks.push(((flush << ebits) | ev as u64, (nbits + ebits) as u8));
+            states[i & 1] = state_table[((v >> nbits) as i32 + sym.delta_state) as usize] as u32;
+        }
+        let mut w = BitWriter::new();
+        w.write_bits((states[0] - size) as u64, tl);
+        w.write_bits((states[1] - size) as u64, tl);
+        for &(value, nbits) in chunks.iter().rev() {
+            w.write_bits(value, nbits as u32);
+        }
+        Self {
+            params,
+            len: symbols.len(),
+            table: build_decode_table(&freqs, params),
+            freqs,
+            stream: w.finish(),
+        }
+    }
+
+    /// Number of encoded symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed payload size in bytes (bit stream + frequency table),
+    /// i.e. what would be written to disk.
+    pub fn compressed_bytes(&self) -> usize {
+        let mut header = Vec::new();
+        varint::write_u64(&mut header, self.len as u64);
+        varint::write_u32(&mut header, self.freqs.len() as u32);
+        for &f in &self.freqs {
+            varint::write_u32(&mut header, f);
+        }
+        header.len() + self.stream.len()
+    }
+
+    /// Serialises the sequence: params, length, frequency table, bit
+    /// stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.compressed_bytes() + 16);
+        out.push(self.params.direct_bits as u8);
+        out.push(self.params.table_log as u8);
+        varint::write_u64(&mut out, self.len as u64);
+        varint::write_u32(&mut out, self.freqs.len() as u32);
+        for &f in &self.freqs {
+            varint::write_u32(&mut out, f);
+        }
+        varint::write_u64(&mut out, self.stream.len() as u64);
+        out.extend_from_slice(&self.stream);
+        out
+    }
+
+    /// Deserialises from [`to_bytes`](Self::to_bytes) output, advancing
+    /// `pos`. Returns `None` on malformed input (bad params, frequency
+    /// table not summing to the table size, truncated payload).
+    pub fn from_bytes(data: &[u8], pos: &mut usize) -> Option<Self> {
+        let direct_bits = *data.get(*pos)? as u32;
+        let table_log = *data.get(*pos + 1)? as u32;
+        *pos += 2;
+        if direct_bits > 30 || !(MIN_TABLE_LOG..=MAX_TABLE_LOG).contains(&table_log) {
+            return None;
+        }
+        let params = FseParams {
+            direct_bits,
+            table_log,
+        };
+        let len = varint::read_u64(data, pos)? as usize;
+        let n_freqs = varint::read_u32(data, pos)? as usize;
+        if n_freqs > params.bucket_count() {
+            return None;
+        }
+        let mut freqs = Vec::with_capacity(n_freqs);
+        for _ in 0..n_freqs {
+            freqs.push(varint::read_u32(data, pos)?);
+        }
+        let total: u64 = freqs.iter().map(|&f| f as u64).sum();
+        if len > 0 && total != 1u64 << table_log {
+            return None;
+        }
+        let n_stream = varint::read_u64(data, pos)? as usize;
+        let end = pos.checked_add(n_stream).filter(|&e| e <= data.len())?;
+        let stream = data[*pos..end].to_vec();
+        *pos = end;
+        let table = if len == 0 {
+            Vec::new()
+        } else {
+            build_decode_table(&freqs, params)
+        };
+        Some(Self {
+            params,
+            len,
+            freqs,
+            table,
+            stream,
+        })
+    }
+
+    /// Forward decoder over the sequence.
+    pub fn decoder(&self) -> FseDecoder<'_> {
+        let mut bits = BitReader::new(&self.stream);
+        let states = if self.len == 0 {
+            [0u32, 0u32]
+        } else {
+            let a = bits.read_bits(self.params.table_log) as u32;
+            let b = bits.read_bits(self.params.table_log) as u32;
+            [a, b]
+        };
+        FseDecoder {
+            seq: self,
+            states,
+            parity: 0,
+            bits,
+            remaining: self.len,
+        }
+    }
+
+    /// Streams every decoded symbol into `f`, in order — the access
+    /// pattern of the multiplication kernels, and the fastest path
+    /// through the decoder: the two interleaved states live in
+    /// registers, the table index is masked (no bounds check), and each
+    /// symbol costs one table load plus one combined bit-register read.
+    ///
+    /// Equivalent to iterating [`decoder`](Self::decoder).
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        if self.len == 0 {
+            return;
+        }
+        let table = &self.table[..];
+        let mask = table.len() - 1; // table.len() == 1 << table_log
+        let mut bits = BitReader::new(&self.stream);
+        let tl = self.params.table_log;
+        let mut s0 = bits.read_bits(tl) as usize;
+        let mut s1 = bits.read_bits(tl) as usize;
+        let step = |state: &mut usize, bits: &mut BitReader| {
+            let e = table[*state & mask];
+            let t = bits.read_bits((e.nbits + e.ebits) as u32);
+            *state = e.base as usize + (t >> e.ebits) as usize;
+            e.sym_base + (t as u32 & ((1u32 << e.ebits) - 1))
+        };
+        let pairs = self.len / 2;
+        for _ in 0..pairs {
+            f(step(&mut s0, &mut bits));
+            f(step(&mut s1, &mut bits));
+        }
+        if self.len & 1 == 1 {
+            f(step(&mut s0, &mut bits));
+        }
+    }
+
+    /// Decodes the entire sequence (convenience / testing).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|s| out.push(s));
+        out
+    }
+}
+
+impl HeapSize for FseSequence {
+    fn heap_bytes(&self) -> usize {
+        self.freqs.heap_bytes() + self.table.heap_bytes() + self.stream.heap_bytes()
+    }
+}
+
+/// Streaming forward decoder produced by [`FseSequence::decoder`].
+///
+/// Each step is a table load, a combined bit-register read, and two
+/// adds — no division, no renormalisation branch. Consecutive symbols
+/// come from alternating states, so two table loads are in flight at
+/// once.
+#[derive(Debug, Clone)]
+pub struct FseDecoder<'a> {
+    seq: &'a FseSequence,
+    states: [u32; 2],
+    parity: usize,
+    bits: BitReader<'a>,
+    remaining: usize,
+}
+
+impl Iterator for FseDecoder<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // States start in [0, L) (the init read masks to table_log
+        // bits) and every `base + bits` lands back in [0, L), so the
+        // table index is always in bounds — even on truncated streams,
+        // where the bit reader pads with zeros and the output degrades
+        // to deterministic garbage instead of a panic.
+        let e = self.seq.table[self.states[self.parity] as usize];
+        let t = self.bits.read_bits((e.nbits + e.ebits) as u32);
+        self.states[self.parity] = e.base as u32 + (t >> e.ebits) as u32;
+        self.parity ^= 1;
+        Some(e.sym_base + (t as u32 & ((1u32 << e.ebits) - 1)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for FseDecoder<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_debucket_inverse() {
+        let p = FseParams::default();
+        for s in [0u32, 1, 511, 512, 513, 1024, 65535, 1 << 20, u32::MAX] {
+            let (bucket, nbits, ev) = p.fold(s);
+            let (sym_base, ebits) = p.debucket(bucket);
+            assert_eq!(ebits, nbits, "symbol {s}");
+            assert_eq!(sym_base + ev, s, "symbol {s}");
+            assert!(ebits == 0 || ev < (1 << ebits), "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn spread_visits_every_state_once() {
+        for table_log in [MIN_TABLE_LOG, 8, 12, MAX_TABLE_LOG] {
+            let l = 1u32 << table_log;
+            let freqs = vec![l / 2, l / 4, l / 4 - 1, 1];
+            let spread = spread_symbols(&freqs, table_log);
+            let mut counts = vec![0u32; freqs.len()];
+            for &s in &spread {
+                counts[s as usize] += 1;
+            }
+            assert_eq!(counts, freqs, "table_log {table_log}");
+        }
+    }
+
+    #[test]
+    fn decode_table_transitions_stay_in_bounds() {
+        let table_log = 9u32;
+        let l = 1u32 << table_log;
+        let freqs = vec![l - 37, 20, 16, 1];
+        let table = build_decode_table(
+            &freqs,
+            FseParams {
+                direct_bits: 9,
+                table_log,
+            },
+        );
+        for e in &table {
+            // Worst case: every read bit comes back 1.
+            let max_next = e.base as u32 + ((1u32 << e.nbits) - 1);
+            assert!(max_next < l, "base {} nbits {}", e.base, e.nbits);
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let seq = FseSequence::encode(&[]);
+        assert!(seq.is_empty());
+        assert_eq!(seq.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let seq = FseSequence::encode(&[42]);
+        assert_eq!(seq.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn roundtrip_two() {
+        // Exercises both interleaved states with one symbol each.
+        let seq = FseSequence::encode(&[7, 9000]);
+        assert_eq!(seq.to_vec(), vec![7, 9000]);
+    }
+
+    #[test]
+    fn roundtrip_uniform_small() {
+        let data: Vec<u32> = (0..10_000).map(|i| i % 200).collect();
+        let seq = FseSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_large_symbols() {
+        let data: Vec<u32> = (0..5_000)
+            .map(|i| (i * 2_654_435_761u64 % (1 << 30)) as u32)
+            .collect();
+        let seq = FseSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_skewed() {
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            let r = (i.wrapping_mul(2_654_435_761)) % 1000;
+            let s = if r < 700 {
+                r % 8
+            } else if r < 950 {
+                r % 256
+            } else {
+                1000 + r * 917
+            };
+            data.push(s);
+        }
+        let seq = FseSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_max_value() {
+        let data = vec![u32::MAX, 0, u32::MAX, 12345, u32::MAX];
+        let seq = FseSequence::encode(&data);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn roundtrip_every_small_length() {
+        // Off-by-one hazards live at tiny lengths (init states carry the
+        // tail symbols of each interleaved stream).
+        for n in 0..32u32 {
+            let data: Vec<u32> = (0..n).map(|i| i * 37 % 11).collect();
+            let seq = FseSequence::encode(&data);
+            assert_eq!(seq.to_vec(), data, "len {n}");
+        }
+    }
+
+    #[test]
+    fn compresses_skewed_below_raw() {
+        let data: Vec<u32> = (0..100_000)
+            .map(|i| if i % 10 == 0 { 7 } else { 3 })
+            .collect();
+        let seq = FseSequence::encode(&data);
+        // ~0.47 bits/symbol entropy; raw would be 400 KB.
+        assert!(
+            seq.compressed_bytes() < 100_000 / 8 * 2,
+            "got {} bytes",
+            seq.compressed_bytes()
+        );
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn size_is_comparable_to_rans() {
+        // Same folding, same normalisation budget: the two coders should
+        // land within ~15% of each other on grammar-like data.
+        let mut data = Vec::new();
+        for i in 0..50_000u32 {
+            let r = i.wrapping_mul(2_654_435_761) % 1000;
+            data.push(if r < 800 { r % 64 } else { 500 + r * 31 });
+        }
+        let fse = FseSequence::encode(&data);
+        let rans = crate::rans::RansSequence::encode(&data);
+        let f = fse.compressed_bytes() as f64;
+        let r = rans.compressed_bytes() as f64;
+        assert!(f < r * 1.15, "fse {f} vs rans {r}");
+    }
+
+    #[test]
+    fn decoder_is_exact_size() {
+        let data: Vec<u32> = (0..1234).collect();
+        let seq = FseSequence::encode(&data);
+        assert_eq!(seq.decoder().len(), 1234);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let data: Vec<u32> = (0..5000).map(|i| i * 7 % 300 + (i % 13) * 1000).collect();
+        let seq = FseSequence::encode(&data);
+        let bytes = seq.to_bytes();
+        let mut pos = 0;
+        let back = FseSequence::from_bytes(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back.to_vec(), data);
+    }
+
+    #[test]
+    fn bytes_roundtrip_empty() {
+        let seq = FseSequence::encode(&[]);
+        let bytes = seq.to_bytes();
+        let mut pos = 0;
+        let back = FseSequence::from_bytes(&bytes, &mut pos).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bytes_rejects_corruption() {
+        let data: Vec<u32> = (0..100).collect();
+        let seq = FseSequence::encode(&data);
+        let mut bytes = seq.to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        let mut pos = 0;
+        assert!(FseSequence::from_bytes(&bytes, &mut pos).is_none());
+    }
+
+    #[test]
+    fn bytes_rejects_forged_frequency_table() {
+        let data: Vec<u32> = (0..500).map(|i| i % 40).collect();
+        let seq = FseSequence::encode(&data);
+        let bytes = seq.to_bytes();
+        // Byte 2.. is the varint length; the frequency table follows the
+        // two param bytes + len + count varints. Forge every byte and
+        // demand either rejection or a total decode.
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = bytes.clone();
+                mutated[i] ^= flip;
+                let mut pos = 0;
+                if let Some(back) = FseSequence::from_bytes(&mutated, &mut pos) {
+                    let out = back.to_vec();
+                    assert_eq!(out.len(), back.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_bit_stream_decodes_without_panicking() {
+        let data: Vec<u32> = (0..2000).map(|i| i * 31 % 700).collect();
+        let seq = FseSequence::encode(&data);
+        for keep in [0usize, 1, 2, seq.stream.len() / 2, seq.stream.len() - 1] {
+            let mut crippled = seq.clone();
+            crippled.stream.truncate(keep.min(crippled.stream.len()));
+            let out = crippled.to_vec();
+            assert_eq!(out.len(), data.len(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn custom_params_roundtrip() {
+        let params = FseParams {
+            direct_bits: 4,
+            table_log: 10,
+        };
+        let data: Vec<u32> = (0..3000).map(|i| i * 7 % 1024).collect();
+        let seq = FseSequence::encode_with(&data, params);
+        assert_eq!(seq.to_vec(), data);
+    }
+
+    #[test]
+    fn min_and_max_table_log_roundtrip() {
+        let data: Vec<u32> = (0..4000).map(|i| i % 23).collect();
+        for table_log in [MIN_TABLE_LOG, MAX_TABLE_LOG] {
+            let params = FseParams {
+                direct_bits: 9,
+                table_log,
+            };
+            let seq = FseSequence::encode_with(&data, params);
+            assert_eq!(seq.to_vec(), data, "table_log {table_log}");
+        }
+    }
+}

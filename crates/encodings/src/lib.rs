@@ -10,6 +10,9 @@
 //! * [`rans`] — a large-alphabet semi-static rANS coder with magnitude
 //!   folding (the role played by the *ans-fold* coder of Moffat & Petri in
 //!   the paper's `re_ans` encoder),
+//! * [`fse`] — a table-based tANS coder (zstd-style FSE) with the same
+//!   magnitude folding, whose decode loop is pure adds/masks/shifts with
+//!   two interleaved states (the `re_fse` encoder),
 //! * [`rangecoder`] — an adaptive binary range coder (used by the xz-like
 //!   baseline compressor),
 //! * [`varint`] — LEB128 variable-length integers,
@@ -18,6 +21,7 @@
 //!   peak-memory experiments.
 
 pub mod bitio;
+pub mod fse;
 pub mod fxhash;
 pub mod heapsize;
 pub mod huffman;

@@ -8,16 +8,16 @@
 //!              [--reorder-scope global|shard]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
-//!              [--plan] [--repeat N]
+//!              [--plan] [--plan-f32] [--repeat N]
 //! gcm serve <store-dir> [--port P] [--host H] [--batch-width K]
-//!           [--deadline-us D] [--max-inflight N] [--plan]
+//!           [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]
 //! gcm stats <host:port> [--model NAME]
 //! gcm selftest [--rows R] [--cols C] [--shards N]
 //! ```
 //!
 //! Backends: `csrv`, `parcsrv`, `compressed` (default), `blocked`.
-//! Encodings: `re_32`, `re_iv`, `re_ans` (default), or `auto` (per
-//! shard, smallest measured).
+//! Encodings: `re_32`, `re_iv`, `re_ans` (default), `re_fse`, or `auto`
+//! (per shard, smallest measured).
 //! Reorder algorithms: `pathcover`, `pathcover+`, `mwm`, `lkh`;
 //! `--reorder-scope shard` gives every shard its own permutation (§5.3).
 //!
@@ -74,16 +74,17 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gcm gen <dataset> <rows> <out.txt> [--seed S]\n  \
          gcm compress <in.txt> <out.gcms> [--backend csrv|parcsrv|compressed|blocked]\n               \
-         [--encoding re_32|re_iv|re_ans|auto] [--shards N] [--blocks B]\n               \
+         [--encoding {}|auto] [--shards N] [--blocks B]\n               \
          [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n  \
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
-         [--plan] [--repeat N]\n  \
+         [--plan] [--plan-f32] [--repeat N]\n  \
          gcm serve <store-dir> [--port P] [--host H] [--batch-width K]\n               \
-         [--deadline-us D] [--max-inflight N] [--plan]\n  \
+         [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]\n  \
          gcm stats <host:port> [--model NAME]\n  \
          gcm selftest [--rows R] [--cols C] [--shards N]\n\n\
-         datasets: susy higgs airline78 covtype census optical mnist2m"
+         datasets: susy higgs airline78 covtype census optical mnist2m",
+        encoding_names()
     );
     ExitCode::FAILURE
 }
@@ -118,7 +119,7 @@ impl Args {
                         }
                     ));
                 }
-                let takes_value = !matches!(name, "left" | "plan");
+                let takes_value = !matches!(name, "left" | "plan" | "plan-f32");
                 let value = if takes_value {
                     Some(
                         it.next()
@@ -178,13 +179,19 @@ fn parse_dataset(name: &str) -> Option<Dataset> {
     }
 }
 
+/// Derived from [`Encoding::ALL`] via [`Encoding::parse`], so a new
+/// encoding variant is accepted here without a CLI sweep.
 fn parse_encoding(name: &str) -> Option<Encoding> {
-    match name {
-        "re_32" => Some(Encoding::Re32),
-        "re_iv" => Some(Encoding::ReIv),
-        "re_ans" => Some(Encoding::ReAns),
-        _ => None,
-    }
+    Encoding::parse(name)
+}
+
+/// `re_32|re_iv|re_ans|re_fse` rendered from the enum for usage strings.
+fn encoding_names() -> String {
+    Encoding::ALL
+        .iter()
+        .map(|e| e.name())
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 fn parse_reorder(name: &str) -> Option<ReorderAlgorithm> {
@@ -426,7 +433,9 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     let left = args.has("left");
     let k: usize = args.bounded_flag("batch", 1, 1)?;
     let repeat: usize = args.bounded_flag("repeat", 1, 1)?;
-    let serve = if args.has("plan") {
+    let serve = if args.has("plan-f32") {
+        ServeOptions::planned_f32()
+    } else if args.has("plan") {
         ServeOptions::planned()
     } else {
         ServeOptions::default()
@@ -436,7 +445,8 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     model.prewarm_with(k, &serve);
     if model.is_planned() {
         eprintln!(
-            "planned prewarm: {} incl. plan compile ({} plan bytes on top of {} stored)",
+            "planned prewarm ({}): {} incl. plan compile ({} plan bytes on top of {} stored)",
+            if model.is_planned_f32() { "f32" } else { "f64" },
             secs(t_prewarm.elapsed()),
             model.plan_heap_bytes(),
             model.stored_bytes(),
@@ -664,7 +674,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let batch_width = args.bounded_flag("batch-width", 8, 1)?;
     let deadline_us: u64 = args.parsed_flag("deadline-us", 200u64)?;
     let max_inflight = args.bounded_flag("max-inflight", 256, 1)?;
-    let serve_opts = if args.has("plan") {
+    let serve_opts = if args.has("plan-f32") {
+        ServeOptions::planned_f32()
+    } else if args.has("plan") {
         ServeOptions::planned()
     } else {
         ServeOptions::default()
@@ -730,7 +742,9 @@ fn run() -> Result<(), String> {
             "reorder-scope",
         ],
         "inspect" => &[],
-        "multiply" => &["left", "batch", "vector", "out", "plan", "repeat"],
+        "multiply" => &[
+            "left", "batch", "vector", "out", "plan", "plan-f32", "repeat",
+        ],
         "serve" => &[
             "port",
             "host",
@@ -738,6 +752,7 @@ fn run() -> Result<(), String> {
             "deadline-us",
             "max-inflight",
             "plan",
+            "plan-f32",
         ],
         "stats" => &["model"],
         "selftest" => &["rows", "cols", "shards"],

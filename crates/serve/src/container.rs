@@ -5,7 +5,7 @@
 //! ```text
 //! magic "GCMSERV1" | u8 container version | u8 backend tag
 //! rows | cols | num_shards
-//! per shard: [u8 reorder algorithm tag   -- version 2 only]
+//! per shard: [u8 reorder algorithm tag   -- versions 2 and 3]
 //!            payload_len | payload bytes
 //! u64 LE FNV-1a checksum of every preceding byte
 //! ```
@@ -15,10 +15,13 @@
 //! loader treats disagreement as corruption). **Version 2** makes
 //! per-shard permutations first-class — each shard carries its own
 //! order plus a one-byte tag naming the reorder algorithm that produced
-//! it (build provenance for `gcm inspect`). The writer emits version 1
-//! whenever no reorder metadata exists (so plain containers stay
-//! byte-identical with pre-v2 writers) and version 2 otherwise; the
-//! reader accepts both.
+//! it (build provenance for `gcm inspect`). **Version 3** shares the
+//! version-2 layout but marks that at least one shard payload uses a
+//! post-paper encoding (`re_fse`), so readers that predate the encoding
+//! reject the file at the header instead of deep inside a payload. The
+//! writer emits the lowest version that can represent the model (plain
+//! containers stay byte-identical with pre-v2 writers); the reader
+//! accepts all three.
 //!
 //! Shard payloads by backend:
 //!
@@ -63,6 +66,11 @@ pub const VERSION: u8 = 1;
 /// Container version with first-class per-shard reorder metadata (one
 /// permutation and one algorithm tag per shard).
 pub const VERSION_PER_SHARD: u8 = 2;
+/// Container version whose shard payloads may use post-paper encodings
+/// (currently `re_fse`). Same layout as version 2; the bump exists so a
+/// pre-`re_fse` reader fails fast with "unsupported container version"
+/// instead of deep inside a payload decode.
+pub const VERSION_ENCODINGS: u8 = 3;
 
 /// Stable on-disk tag of a reorder algorithm (version 2 provenance
 /// byte); `0` = no reorder recorded.
@@ -259,24 +267,36 @@ fn decode_shard(
     }
 }
 
-/// Serialises a sharded model as a `GCMSERV1` container. Writes the
-/// baseline version when no shard carries reorder metadata (those bytes
-/// are identical to the pre-v2 writer's) and version 2 — per-shard
-/// permutations plus algorithm provenance — otherwise.
+/// Serialises a sharded model as a `GCMSERV1` container, at the lowest
+/// version that can represent it: the baseline when no shard carries
+/// reorder metadata (those bytes are identical to the pre-v2 writer's),
+/// version 2 for per-shard permutations plus algorithm provenance, and
+/// version 3 when any shard uses a post-paper encoding (`re_fse`).
 pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
-    let v2 = model
+    let new_encoding = model
+        .shard_slice()
+        .iter()
+        .any(|s| s.model.encoding() == Some(gcm_core::Encoding::ReFse));
+    let per_shard = model
         .shard_slice()
         .iter()
         .any(|s| s.col_order.is_some() || s.reorder.is_some());
+    let version = if new_encoding {
+        VERSION_ENCODINGS
+    } else if per_shard {
+        VERSION_PER_SHARD
+    } else {
+        VERSION
+    };
     let mut out = Vec::with_capacity(model.stored_bytes() + 128);
     out.extend_from_slice(MAGIC);
-    out.push(if v2 { VERSION_PER_SHARD } else { VERSION });
+    out.push(version);
     out.push(model.backend().tag());
     varint::write_u64(&mut out, model.rows() as u64);
     varint::write_u64(&mut out, model.cols() as u64);
     varint::write_u64(&mut out, model.num_shards() as u64);
     for shard in model.shard_slice() {
-        if v2 {
+        if version >= VERSION_PER_SHARD {
             out.push(reorder_tag(shard.reorder));
         }
         let payload = shard_payload(&shard.model, shard.col_order.as_deref());
@@ -293,7 +313,8 @@ pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
 /// path) or to inspect a model without materialising it.
 #[derive(Debug, Clone)]
 pub struct ShardTable {
-    /// Container version ([`VERSION`] or [`VERSION_PER_SHARD`]).
+    /// Container version ([`VERSION`], [`VERSION_PER_SHARD`], or
+    /// [`VERSION_ENCODINGS`]).
     pub version: u8,
     /// Backend of every shard.
     pub backend: Backend,
@@ -327,7 +348,7 @@ impl ShardTable {
             )));
         }
         let version = data[8];
-        if version != VERSION && version != VERSION_PER_SHARD {
+        if !(VERSION..=VERSION_ENCODINGS).contains(&version) {
             return Err(corrupt(format!("unsupported container version {version}")));
         }
         let backend = Backend::from_tag(data[9]).ok_or_else(|| corrupt("unknown backend tag"))?;
@@ -351,7 +372,7 @@ impl ShardTable {
         let mut shard_ranges = Vec::with_capacity(num_shards);
         let mut reorder_algos = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
-            if version == VERSION_PER_SHARD {
+            if version >= VERSION_PER_SHARD {
                 let tag = *data
                     .get(pos)
                     .filter(|_| pos < body_len)

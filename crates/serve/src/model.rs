@@ -6,7 +6,7 @@
 //! variant — behind one enum, so the container format, the sharded
 //! engine, and the differential test harness treat them uniformly.
 
-use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding, KernelPlan};
+use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding, KernelPlan, KernelPlanF32};
 use gcm_encodings::HeapSize;
 use gcm_matrix::matvec::{check_left_batch, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, Workspace};
@@ -31,17 +31,35 @@ pub enum ModelPlan {
     Compressed(KernelPlan),
     /// One plan per row block of a blocked model.
     Blocked(Vec<KernelPlan>),
+    /// Single-precision plan for a grammar-compressed model: half the
+    /// plan heap, twice the SIMD lanes, `f32` accumulation.
+    CompressedF32(KernelPlanF32),
+    /// Single-precision plans, one per row block of a blocked model.
+    BlockedF32(Vec<KernelPlanF32>),
 }
 
 impl ModelPlan {
     /// Compiles a plan for `model`; `None` for the uncompressed
     /// backends, which gain nothing from planning.
     pub fn compile(model: &Model) -> Option<Self> {
-        match model {
-            Model::Csrv(_) | Model::ParCsrv(_) => None,
-            Model::Compressed(m) => Some(ModelPlan::Compressed(m.plan())),
-            Model::Blocked(m) => Some(ModelPlan::Blocked(m.plan())),
+        Self::compile_with(model, false)
+    }
+
+    /// Compiles a plan for `model`, in single precision when `f32` is
+    /// set; `None` for the uncompressed backends.
+    pub fn compile_with(model: &Model, f32_plan: bool) -> Option<Self> {
+        match (model, f32_plan) {
+            (Model::Csrv(_) | Model::ParCsrv(_), _) => None,
+            (Model::Compressed(m), false) => Some(ModelPlan::Compressed(m.plan())),
+            (Model::Blocked(m), false) => Some(ModelPlan::Blocked(m.plan())),
+            (Model::Compressed(m), true) => Some(ModelPlan::CompressedF32(m.plan_f32())),
+            (Model::Blocked(m), true) => Some(ModelPlan::BlockedF32(m.plan_f32())),
         }
+    }
+
+    /// Whether this plan evaluates in single precision.
+    pub fn is_f32(&self) -> bool {
+        matches!(self, ModelPlan::CompressedF32(_) | ModelPlan::BlockedF32(_))
     }
 }
 
@@ -50,6 +68,8 @@ impl HeapSize for ModelPlan {
         match self {
             ModelPlan::Compressed(p) => p.heap_bytes(),
             ModelPlan::Blocked(ps) => ps.iter().map(HeapSize::heap_bytes).sum(),
+            ModelPlan::CompressedF32(p) => p.heap_bytes(),
+            ModelPlan::BlockedF32(ps) => ps.iter().map(HeapSize::heap_bytes).sum(),
         }
     }
 }
@@ -177,6 +197,11 @@ impl Model {
                 let max_buf = ps.iter().map(|p| p.scratch_len(k)).max().unwrap_or(0);
                 (2 * ps.len(), max_buf.max(self.cols() * k))
             }
+            ModelPlan::CompressedF32(p) => (1, p.scratch_len(k)),
+            ModelPlan::BlockedF32(ps) => {
+                let max_buf = ps.iter().map(|p| p.scratch_len(k)).max().unwrap_or(0);
+                (2 * ps.len(), max_buf.max(self.cols() * k))
+            }
         }
     }
 
@@ -260,6 +285,15 @@ impl Model {
             (Model::Blocked(m), ModelPlan::Blocked(ps)) => {
                 m.right_multiply_panel_planned_into(ps, k, x_panel, y_panel, ws)
             }
+            (Model::Compressed(_), ModelPlan::CompressedF32(p)) => {
+                let mut buf = ws.take(p.scratch_len(k));
+                let result = p.right_multiply_panel(k, x_panel, y_panel, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Blocked(m), ModelPlan::BlockedF32(ps)) => {
+                m.right_multiply_panel_planned_f32_into(ps, k, x_panel, y_panel, ws)
+            }
             // A mismatched plan cannot arise through the serve layer
             // (plans are compiled from the very model they serve);
             // fall back to the streaming path rather than guess.
@@ -289,6 +323,15 @@ impl Model {
             }
             (Model::Blocked(m), ModelPlan::Blocked(ps)) => {
                 m.left_multiply_panel_planned_into(ps, k, y_panel, x_panel, ws)
+            }
+            (Model::Compressed(_), ModelPlan::CompressedF32(p)) => {
+                let mut buf = ws.take(p.scratch_len(k));
+                let result = p.left_multiply_panel(k, y_panel, x_panel, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Blocked(m), ModelPlan::BlockedF32(ps)) => {
+                m.left_multiply_panel_planned_f32_into(ps, k, y_panel, x_panel, ws)
             }
             _ => self.left_multiply_panel_into(k, y_panel, x_panel, ws),
         }

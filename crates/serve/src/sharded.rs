@@ -94,12 +94,29 @@ pub struct ServeOptions {
     /// branchless, division-free, decode-free multiply. Plans are
     /// compiled concurrently on the persistent pool.
     pub plans: bool,
+    /// Compile the plans in **single precision**
+    /// ([`gcm_core::KernelPlanF32`]): half the plan heap, twice the
+    /// SIMD lanes per vector register, `f32` accumulation (outputs
+    /// round-trip through `f64` panels at the interface). Only
+    /// meaningful together with [`plans`](Self::plans).
+    pub plan_f32: bool,
 }
 
 impl ServeOptions {
     /// Options with plan compilation enabled.
     pub fn planned() -> Self {
-        Self { plans: true }
+        Self {
+            plans: true,
+            plan_f32: false,
+        }
+    }
+
+    /// Options with single-precision plan compilation enabled.
+    pub fn planned_f32() -> Self {
+        Self {
+            plans: true,
+            plan_f32: true,
+        }
     }
 }
 
@@ -153,6 +170,113 @@ struct SendPtr(*mut f64);
 // SAFETY: only used to derive disjoint row-range slices per shard.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
+
+/// The split begin/accumulate protocol both plan precisions expose
+/// (see [`gcm_core::plan`]), so the single-shard row-parallel right
+/// path below is written once.
+trait RowSplitPlan: Sync {
+    fn scratch_len(&self, k: usize) -> usize;
+    fn begin_right_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError>;
+    fn accumulate_rows_panel(
+        &self,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        buf: &[f64],
+        y_chunk: &mut [f64],
+    );
+}
+
+impl RowSplitPlan for gcm_core::KernelPlan {
+    fn scratch_len(&self, k: usize) -> usize {
+        gcm_core::KernelPlan::scratch_len(self, k)
+    }
+
+    fn begin_right_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        gcm_core::KernelPlan::begin_right_panel(self, k, x_panel, buf)
+    }
+
+    fn accumulate_rows_panel(
+        &self,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        buf: &[f64],
+        y_chunk: &mut [f64],
+    ) {
+        gcm_core::KernelPlan::accumulate_rows_panel(self, rows, k, buf, y_chunk);
+    }
+}
+
+impl RowSplitPlan for gcm_core::KernelPlanF32 {
+    fn scratch_len(&self, k: usize) -> usize {
+        gcm_core::KernelPlanF32::scratch_len(self, k)
+    }
+
+    fn begin_right_panel(
+        &self,
+        k: usize,
+        x_panel: &[f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        gcm_core::KernelPlanF32::begin_right_panel(self, k, x_panel, buf)
+    }
+
+    fn accumulate_rows_panel(
+        &self,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        buf: &[f64],
+        y_chunk: &mut [f64],
+    ) {
+        gcm_core::KernelPlanF32::accumulate_rows_panel(self, rows, k, buf, y_chunk);
+    }
+}
+
+/// Row-range parallel planned right product for a single compressed
+/// shard: one rule pass fills the scratch buffer, then disjoint row
+/// chunks of `C` accumulate concurrently via `broadcast_indexed` (the
+/// same primitive the multi-shard path uses one level up, so sharding
+/// and row ranges compose rather than compete).
+fn row_parallel_right<P: RowSplitPlan>(
+    plan: &P,
+    rows: usize,
+    chunks: usize,
+    k: usize,
+    x_panel: &[f64],
+    y_panel: &mut [f64],
+    ws: &mut Workspace,
+) -> Result<(), MatrixError> {
+    let mut buf = ws.take(plan.scratch_len(k));
+    let result = plan.begin_right_panel(k, x_panel, &mut buf);
+    if result.is_ok() {
+        let base = SendPtr(y_panel.as_mut_ptr());
+        let base = &base;
+        let buf_ref = &buf;
+        rayon::broadcast_indexed(chunks, &|i| {
+            let lo = rows * i / chunks;
+            let hi = rows * (i + 1) / chunks;
+            // SAFETY: the `lo..hi` ranges partition `0..rows`
+            // disjointly, so every task writes a non-overlapping
+            // region of y_panel, which outlives the broadcast (it
+            // blocks until completion).
+            let y = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo * k), (hi - lo) * k) };
+            plan.accumulate_rows_panel(lo..hi, k, buf_ref, y);
+        });
+    }
+    // The warmed buffer goes back even on an error, or one Err would
+    // shrink the zero-alloc buffer pool.
+    ws.put(buf);
+    result
+}
 
 impl ShardedModel {
     /// Builds from a dense matrix per `opts`.
@@ -356,7 +480,7 @@ impl ShardedModel {
             let plan = if opts.plans {
                 shard
                     .plan
-                    .get_or_init(|| ModelPlan::compile(&shard.model))
+                    .get_or_init(|| ModelPlan::compile_with(&shard.model, opts.plan_f32))
                     .as_ref()
             } else {
                 // A plan built by an earlier prewarm keeps serving.
@@ -393,6 +517,15 @@ impl ShardedModel {
         self.shards.iter().any(|s| s.plan().is_some())
     }
 
+    /// Whether any shard serves through a **single-precision** plan
+    /// (compiled by a [`ServeOptions::planned_f32`] prewarm).
+    pub fn is_planned_f32(&self) -> bool {
+        self.shards
+            .iter()
+            .filter_map(Shard::plan)
+            .any(ModelPlan::is_f32)
+    }
+
     /// Heap bytes held by the compiled plans across all shards (0 until
     /// a plan-enabled prewarm) — the price of the planned kernels,
     /// reported so capacity planning can weigh it against the encoded
@@ -427,40 +560,22 @@ impl ShardedModel {
             // A single-shard planned compressed model parallelises
             // *inside* the shard instead: the plan's CSR row index
             // makes disjoint row ranges of `C` independent once the
-            // rule pass has filled the scratch buffer, and
-            // `broadcast_indexed` dispatches them allocation-free —
-            // the same primitive the multi-shard path uses one level
-            // up, so sharding and row ranges compose rather than
-            // compete.
-            if let Some(ModelPlan::Compressed(plan)) = shard.plan() {
-                let threads = rayon::current_num_threads();
-                if threads > 1 && self.rows >= 2 * threads {
-                    let mut buf = ws.take(plan.scratch_len(k));
-                    let result = plan.begin_right_panel(k, x_panel, &mut buf);
-                    if result.is_ok() {
-                        let chunks = threads;
-                        let rows = self.rows;
-                        let base = SendPtr(y_panel.as_mut_ptr());
-                        let base = &base;
-                        let buf_ref = &buf;
-                        rayon::broadcast_indexed(chunks, &|i| {
-                            let lo = rows * i / chunks;
-                            let hi = rows * (i + 1) / chunks;
-                            // SAFETY: the `lo..hi` ranges partition
-                            // `0..rows` disjointly, so every task writes
-                            // a non-overlapping region of y_panel, which
-                            // outlives the broadcast (it blocks until
-                            // completion).
-                            let y = unsafe {
-                                std::slice::from_raw_parts_mut(base.0.add(lo * k), (hi - lo) * k)
-                            };
-                            plan.accumulate_rows_panel(lo..hi, k, buf_ref, y);
-                        });
+            // rule pass has filled the scratch buffer (either
+            // precision; see `row_parallel_right`).
+            let threads = rayon::current_num_threads();
+            if threads > 1 && self.rows >= 2 * threads {
+                match shard.plan() {
+                    Some(ModelPlan::Compressed(plan)) => {
+                        return row_parallel_right(
+                            plan, self.rows, threads, k, x_panel, y_panel, &mut ws,
+                        );
                     }
-                    // The warmed buffer goes back even on an error, or
-                    // one Err would shrink the zero-alloc buffer pool.
-                    ws.put(buf);
-                    return result;
+                    Some(ModelPlan::CompressedF32(plan)) => {
+                        return row_parallel_right(
+                            plan, self.rows, threads, k, x_panel, y_panel, &mut ws,
+                        );
+                    }
+                    _ => {}
                 }
             }
             if let Some(plan) = shard.plan() {
@@ -845,6 +960,52 @@ mod tests {
                 assert_eq!(x_stream, x_plan, "{} s={shards} left", backend.name());
                 assert_eq!(yp_stream, yp_plan, "{} s={shards} right k", backend.name());
                 assert_eq!(xp_stream, xp_plan, "{} s={shards} left k", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_planned_serving_tracks_streaming_for_every_backend() {
+        let dense = sample(83, 9);
+        let k = 4usize;
+        let x_panel: Vec<f64> = (0..9 * k).map(|i| (i % 7) as f64 * 0.5 - 1.0).collect();
+        let y_in: Vec<f64> = (0..83 * k).map(|i| ((i * 3) % 5) as f64 - 2.0).collect();
+        for backend in Backend::ALL {
+            for shards in [1usize, 3] {
+                let opts = BuildOptions {
+                    backend,
+                    shards,
+                    blocks: 2,
+                    ..BuildOptions::default()
+                };
+                let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+                let mut yp_stream = vec![0.0; 83 * k];
+                let mut xp_stream = vec![0.0; 9 * k];
+                model
+                    .right_multiply_panel(k, &x_panel, &mut yp_stream)
+                    .unwrap();
+                model.left_multiply_panel(k, &y_in, &mut xp_stream).unwrap();
+                model.prewarm_with(k, &ServeOptions::planned_f32());
+                let grammar = matches!(backend, Backend::Compressed | Backend::Blocked);
+                assert_eq!(model.is_planned(), grammar, "{}", backend.name());
+                assert_eq!(model.is_planned_f32(), grammar, "{}", backend.name());
+                let mut yp_plan = vec![0.0; 83 * k];
+                let mut xp_plan = vec![0.0; 9 * k];
+                model
+                    .right_multiply_panel(k, &x_panel, &mut yp_plan)
+                    .unwrap();
+                model.left_multiply_panel(k, &y_in, &mut xp_plan).unwrap();
+                // f32 accumulation: match within single-precision slack.
+                for (a, b) in yp_plan.iter().zip(&yp_stream) {
+                    assert!(
+                        (a - b).abs() < 1e-3,
+                        "{} s={shards} right k",
+                        backend.name()
+                    );
+                }
+                for (a, b) in xp_plan.iter().zip(&xp_stream) {
+                    assert!((a - b).abs() < 1e-3, "{} s={shards} left k", backend.name());
+                }
             }
         }
     }

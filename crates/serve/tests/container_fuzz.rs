@@ -9,8 +9,9 @@
 //! `crates/core/tests/serial_fuzz.rs`).
 
 use gcm_bench::{alloc, TrackingAlloc};
+use gcm_core::{CompressedMatrix, Encoding};
 use gcm_encodings::varint;
-use gcm_matrix::DenseMatrix;
+use gcm_matrix::{CsrvMatrix, DenseMatrix};
 use gcm_serve::container::fnv1a64;
 use gcm_serve::{Backend, BuildOptions, ShardedModel};
 
@@ -158,6 +159,60 @@ fn inflated_lengths_with_valid_checksums_are_rejected_before_allocation() {
     // Control: a genuine container still loads with the allocator
     // installed (the harness itself is sound).
     let good = sample_container(Backend::Csrv);
+    assert!(ShardedModel::from_bytes(&good).is_ok());
+}
+
+/// Forged `re_fse` shard payloads behind a **valid checksum**: truncated
+/// and header-corrupted tANS streams must be rejected by the structural
+/// validators — cleanly, and without the declared lengths sizing any
+/// large reservation.
+#[test]
+fn forged_re_fse_shard_payloads_are_rejected_within_budget() {
+    let mut dense = DenseMatrix::zeros(26, 7);
+    for r in 0..26 {
+        for c in 0..7 {
+            if (r * 2 + c) % 3 != 0 {
+                dense.set(r, c, (((r + c) % 5) + 1) as f64 * 0.5);
+            }
+        }
+    }
+    let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+    let cm = CompressedMatrix::compress(&csrv, Encoding::ReFse);
+    let payload = gcm_core::serial::bundle_to_bytes(std::slice::from_ref(&cm), None);
+    let tag = Backend::Compressed.tag();
+
+    // Truncations of the genuine payload inside the FSE tail.
+    for cut in [payload.len() - 1, payload.len() - 8, payload.len() / 2] {
+        assert_rejected_without_big_allocation(
+            "truncated re_fse shard payload",
+            &forge(26, 7, tag, &[(cut as u64, &payload[..cut])]),
+        );
+    }
+
+    // Every single-byte corruption of the shard payload, re-checksummed
+    // so only the structural validators stand in the way: loading must
+    // reject or produce a model that safely multiplies.
+    for i in 0..payload.len() {
+        for flip in [0x01u8, 0xFF] {
+            let mut mutated = payload.clone();
+            mutated[i] ^= flip;
+            let container = forge(26, 7, tag, &[(mutated.len() as u64, &mutated)]);
+            let live = alloc::reset_peak();
+            if let Ok(model) = ShardedModel::from_bytes(&container) {
+                let x = vec![1.0; model.cols()];
+                let mut y = vec![0.0; model.rows()];
+                model.right_multiply_panel(1, &x, &mut y).unwrap();
+            }
+            let grown = alloc::peak_bytes().saturating_sub(live);
+            assert!(
+                grown < (1 << 20),
+                "re_fse flip {flip:#04x} at byte {i} allocated {grown} bytes"
+            );
+        }
+    }
+
+    // Control: the genuine payload loads through the forged framing.
+    let good = forge(26, 7, tag, &[(payload.len() as u64, &payload)]);
     assert!(ShardedModel::from_bytes(&good).is_ok());
 }
 

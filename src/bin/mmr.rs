@@ -8,7 +8,8 @@
 //! mmr multiply <in.gcm> [--left] [vector.txt]    multiply (vector of ones by default)
 //! ```
 //!
-//! Encodings: `re_32`, `re_iv`, `re_ans` (default `re_ans`).
+//! Encodings: every [`Encoding`] variant by its paper name (default
+//! `re_ans`).
 
 use std::fs;
 use std::io::BufReader;
@@ -18,8 +19,10 @@ use mm_repair::core::serial;
 use mm_repair::prelude::*;
 
 fn usage() -> ExitCode {
+    let encodings: Vec<&str> = Encoding::ALL.iter().map(|e| e.name()).collect();
     eprintln!(
-        "usage:\n  mmr gen <dataset> <rows> <out.txt> [seed]\n  mmr compress <in.txt> <out.gcm> [re_32|re_iv|re_ans]\n  mmr decompress <in.gcm> <out.txt>\n  mmr info <in.gcm>\n  mmr multiply <in.gcm> [--left] [vector.txt]\n\ndatasets: susy higgs airline78 covtype census optical mnist2m"
+        "usage:\n  mmr gen <dataset> <rows> <out.txt> [seed]\n  mmr compress <in.txt> <out.gcm> [{}]\n  mmr decompress <in.gcm> <out.txt>\n  mmr info <in.gcm>\n  mmr multiply <in.gcm> [--left] [vector.txt]\n\ndatasets: susy higgs airline78 covtype census optical mnist2m",
+        encodings.join("|")
     );
     ExitCode::FAILURE
 }
@@ -38,12 +41,7 @@ fn parse_dataset(name: &str) -> Option<Dataset> {
 }
 
 fn parse_encoding(name: &str) -> Option<Encoding> {
-    match name {
-        "re_32" => Some(Encoding::Re32),
-        "re_iv" => Some(Encoding::ReIv),
-        "re_ans" => Some(Encoding::ReAns),
-        _ => None,
-    }
+    Encoding::parse(name)
 }
 
 fn load_compressed(path: &str) -> Result<CompressedMatrix, String> {
