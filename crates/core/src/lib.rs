@@ -55,4 +55,4 @@ pub use compressed::CompressedMatrix;
 pub use encoding::Encoding;
 pub use fastdiv::FastDiv;
 pub use iteration::{power_iterations, IterationStats};
-pub use plan::{KernelPlan, KernelPlanF32};
+pub use plan::{plan_compiles, KernelPlan, KernelPlanF32};

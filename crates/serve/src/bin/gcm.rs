@@ -5,10 +5,10 @@
 //! gcm gen <dataset> <rows> <out.txt> [--seed S]
 //! gcm compress <in.txt> <out.gcms> [--backend B] [--encoding E]
 //!              [--shards N] [--blocks B] [--reorder ALGO]
-//!              [--reorder-scope global|shard]
+//!              [--reorder-scope global|shard] [--emit-plans] [--plan-f32]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
-//!              [--plan] [--plan-f32] [--repeat N]
+//!              [--plan] [--plan-f32] [--repeat N] [--rows A..B]
 //! gcm serve <store-dir> [--port P] [--host H] [--batch-width K]
 //!           [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]
 //! gcm stats <host:port> [--model NAME]
@@ -23,11 +23,17 @@
 //!
 //! `compress` runs the staged build pipeline (shards reorder, RePair,
 //! and encode concurrently on the persistent pool) and reports
-//! per-stage timings plus a per-shard table; `inspect` prints the same
-//! per-shard breakdown from a container. `multiply` defaults to the
-//! all-ones input; with `--batch K` the input is a `cols × K` (or
-//! `rows × K` for `--left`) dense text panel read from `--vector`, or
-//! all-ones when omitted. `selftest` drives the full pipeline —
+//! per-stage timings plus a per-shard table; with `--emit-plans` it
+//! also compiles the branchless kernel plans at build time and
+//! persists them in a version-4 container, so later loads cast the
+//! plan section instead of recompiling (add `--plan-f32` for
+//! single-precision plans). `inspect` prints the same per-shard
+//! breakdown from a container and reports whether plans are persisted.
+//! `multiply` defaults to the all-ones input; with `--batch K` the
+//! input is a `cols × K` (or `rows × K` for `--left`) dense text panel
+//! read from `--vector`, or all-ones when omitted; `--rows A..B`
+//! computes only that half-open row range of the right product via the
+//! plan's CSR row pointers, touching O(rows requested) descriptors. `selftest` drives the full pipeline —
 //! generate, compress to a temp container for every backend (global
 //! *and* per-shard reorders included), reload, multiply sharded — and
 //! exits non-zero unless every product matches the dense oracle to
@@ -75,10 +81,11 @@ fn usage() -> ExitCode {
          gcm gen <dataset> <rows> <out.txt> [--seed S]\n  \
          gcm compress <in.txt> <out.gcms> [--backend csrv|parcsrv|compressed|blocked]\n               \
          [--encoding {}|auto] [--shards N] [--blocks B]\n               \
-         [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n  \
+         [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n               \
+         [--emit-plans [--plan-f32]]\n  \
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
-         [--plan] [--plan-f32] [--repeat N]\n  \
+         [--plan] [--plan-f32] [--repeat N] [--rows A..B]\n  \
          gcm serve <store-dir> [--port P] [--host H] [--batch-width K]\n               \
          [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]\n  \
          gcm stats <host:port> [--model NAME]\n  \
@@ -119,7 +126,7 @@ impl Args {
                         }
                     ));
                 }
-                let takes_value = !matches!(name, "left" | "plan" | "plan-f32");
+                let takes_value = !matches!(name, "left" | "plan" | "plan-f32" | "emit-plans");
                 let value = if takes_value {
                     Some(
                         it.next()
@@ -296,13 +303,35 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         return Err("compress needs <in.txt> <out.gcms>".into());
     };
     let config = build_config(args)?;
+    let emit_plans = args.has("emit-plans");
+    if args.has("plan-f32") && !emit_plans {
+        return Err("--plan-f32 needs --emit-plans".to_string());
+    }
     let dense = read_dense(input)?;
     let csrv = CsrvMatrix::from_dense(&dense).map_err(|e| e.to_string())?;
     let artifacts = gcm_pipeline::global().build(&csrv, &config);
     let stats = artifacts.stats.clone();
     let model = ShardedModel::from_artifacts(artifacts);
+    let plan_time = if emit_plans {
+        let serve = if args.has("plan-f32") {
+            ServeOptions::planned_f32()
+        } else {
+            ServeOptions::planned()
+        };
+        let t_plan = Instant::now();
+        model.prewarm_with(1, &serve);
+        Some(t_plan.elapsed())
+    } else {
+        None
+    };
     let t_save = Instant::now();
-    model.save(Path::new(output)).map_err(|e| e.to_string())?;
+    if emit_plans {
+        model
+            .save_with_plans(Path::new(output))
+            .map_err(|e| e.to_string())?;
+    } else {
+        model.save(Path::new(output)).map_err(|e| e.to_string())?;
+    }
     let save_time = t_save.elapsed();
     let container_len = fs::metadata(output)
         .map(|m| m.len())
@@ -318,6 +347,20 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         100.0 * container_len as f64 / dense.uncompressed_bytes().max(1) as f64,
     );
     report_build_stats(&stats);
+    if let Some(plan_time) = plan_time {
+        if model.is_planned() {
+            say!(
+                "  plans      : {} compiled ({}) and persisted, {} heap bytes — loads cast, not compile",
+                if model.is_planned_f32() { "f32" } else { "f64" },
+                secs(plan_time),
+                model.plan_heap_bytes(),
+            );
+        } else {
+            say!(
+                "  plans      : backend is not plannable; container written without a plan section"
+            );
+        }
+    }
     say!("  save       : {}", secs(save_time));
     Ok(())
 }
@@ -349,6 +392,19 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     let payload_bytes: Vec<usize> = match ShardTable::parse(&bytes) {
         Ok(table) => {
             say!("  version    : {}", table.version);
+            let plan_bytes = table.plan_bytes();
+            if plan_bytes > 0 {
+                say!(
+                    "  plans      : persisted ({plan_bytes} bytes, {}) — cast on load, no compile",
+                    if table.plan_f32.iter().any(|&f| f) {
+                        "f32"
+                    } else {
+                        "f64"
+                    },
+                );
+            } else {
+                say!("  plans      : none persisted — compiled at prewarm under --plan");
+            }
             table
                 .shard_ranges
                 .iter()
@@ -440,22 +496,62 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     } else {
         ServeOptions::default()
     };
+    let t_load = Instant::now();
     let model = ShardedModel::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let load_time = t_load.elapsed();
+    // All setup — container load, buffer warming, and (under --plan /
+    // a persisted plan section) kernel-plan readiness — happens before
+    // the timed loop and is reported separately, so iteration 0 never
+    // folds cold-start costs into the measured multiply.
     let t_prewarm = Instant::now();
     model.prewarm_with(k, &serve);
-    if model.is_planned() {
-        eprintln!(
-            "planned prewarm ({}): {} incl. plan compile ({} plan bytes on top of {} stored)",
-            if model.is_planned_f32() { "f32" } else { "f64" },
-            secs(t_prewarm.elapsed()),
-            model.plan_heap_bytes(),
-            model.stored_bytes(),
-        );
-    }
+    let prewarm_time = t_prewarm.elapsed();
+    eprintln!(
+        "setup (excluded from timed loop): load {} | prewarm {}{}",
+        secs(load_time),
+        secs(prewarm_time),
+        if model.is_planned() {
+            format!(
+                " | planned ({}, {} plan heap bytes on top of {} stored)",
+                if model.is_planned_f32() { "f32" } else { "f64" },
+                model.plan_heap_bytes(),
+                model.stored_bytes(),
+            )
+        } else {
+            String::new()
+        },
+    );
+    let rows_subset = match args.flag("rows") {
+        None => None,
+        Some(spec) => {
+            if left {
+                return Err("--rows applies to the right product only (drop --left)".to_string());
+            }
+            let (a, b) = spec
+                .split_once("..")
+                .ok_or_else(|| format!("bad --rows {spec:?} (expected A..B)"))?;
+            let a: usize = a
+                .parse()
+                .map_err(|_| format!("bad --rows start {a:?} in {spec:?}"))?;
+            let b: usize = b
+                .parse()
+                .map_err(|_| format!("bad --rows end {b:?} in {spec:?}"))?;
+            if a > b || b > model.rows() {
+                return Err(format!(
+                    "--rows {spec} out of range for a {}-row model",
+                    model.rows()
+                ));
+            }
+            Some(a..b)
+        }
+    };
     let (in_len, out_len) = if left {
         (model.rows(), model.cols())
     } else {
-        (model.cols(), model.rows())
+        (
+            model.cols(),
+            rows_subset.as_ref().map_or(model.rows(), |r| r.len()),
+        )
     };
     let x = match args.flag("vector") {
         Some(p) => read_panel(p, in_len, k)?,
@@ -465,7 +561,11 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     let mut total = 0.0f64;
     for it in 0..repeat {
         let t = Instant::now();
-        if left {
+        if let Some(rows) = &rows_subset {
+            model
+                .right_multiply_rows(rows.clone(), k, &x, &mut y)
+                .map_err(|e| e.to_string())?;
+        } else if left {
             model
                 .left_multiply_panel(k, &x, &mut y)
                 .map_err(|e| e.to_string())?;
@@ -740,10 +840,12 @@ fn run() -> Result<(), String> {
             "blocks",
             "reorder",
             "reorder-scope",
+            "emit-plans",
+            "plan-f32",
         ],
         "inspect" => &[],
         "multiply" => &[
-            "left", "batch", "vector", "out", "plan", "plan-f32", "repeat",
+            "left", "batch", "vector", "out", "plan", "plan-f32", "repeat", "rows",
         ],
         "serve" => &[
             "port",
@@ -796,6 +898,14 @@ mod tests {
         assert_eq!(args.positional, vec!["a.txt", "b.gcms"]);
         assert_eq!(args.flag("shards"), Some("3"));
         assert!(args.has("left"));
+        // Boolean flags must not swallow the next token as a value.
+        let raw_bool: Vec<String> = ["--emit-plans", "in.txt", "out.gcms"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let bool_args = Args::parse(&raw_bool, &["emit-plans"]).unwrap();
+        assert!(bool_args.has("emit-plans"));
+        assert_eq!(bool_args.positional, vec!["in.txt", "out.gcms"]);
         assert_eq!(args.parsed_flag("shards", 1usize).unwrap(), 3);
         assert_eq!(args.parsed_flag("blocks", 4usize).unwrap(), 4);
         assert!(Args::parse(&["--shards".to_string()], known).is_err());

@@ -5,8 +5,11 @@
 //! ```text
 //! magic "GCMSERV1" | u8 container version | u8 backend tag
 //! rows | cols | num_shards
-//! per shard: [u8 reorder algorithm tag   -- versions 2 and 3]
+//! per shard: [u8 reorder algorithm tag   -- versions 2, 3, and 4]
 //!            payload_len | payload bytes
+//! [plan section                          -- version 4 only
+//!  per shard: u8 plan kind (0 none, 1 f64, 2 f32)
+//!             if kind != 0: blob_count | blob_count × (len | blob)]
 //! u64 LE FNV-1a checksum of every preceding byte
 //! ```
 //!
@@ -18,10 +21,17 @@
 //! it (build provenance for `gcm inspect`). **Version 3** shares the
 //! version-2 layout but marks that at least one shard payload uses a
 //! post-paper encoding (`re_fse`), so readers that predate the encoding
-//! reject the file at the header instead of deep inside a payload. The
-//! writer emits the lowest version that can represent the model (plain
-//! containers stay byte-identical with pre-v2 writers); the reader
-//! accepts all three.
+//! reject the file at the header instead of deep inside a payload.
+//! **Version 4** appends an optional **plan section**: the compiled
+//! [`gcm_core::KernelPlan`] / [`gcm_core::KernelPlanF32`] descriptor
+//! arrays of every planned shard, persisted in the fixed
+//! little-endian `GCMPLAN1` blob form (one blob per row block), so a
+//! loader restores them with a validated cast — no RePair decode, no
+//! recompilation ([`gcm_core::plan_compiles`] stays flat), load time
+//! independent of grammar size. The writer emits the lowest version
+//! that can represent the model (plain containers stay byte-identical
+//! with pre-v2 writers; the plan section is opt-in via
+//! [`to_bytes_with_plans`]); the reader accepts all four.
 //!
 //! Shard payloads by backend:
 //!
@@ -51,12 +61,12 @@ use std::fmt;
 use std::path::Path;
 
 use gcm_core::serial;
-use gcm_core::BlockedMatrix;
+use gcm_core::{BlockedMatrix, KernelPlan, KernelPlanF32};
 use gcm_encodings::varint;
 use gcm_matrix::{io as mio, MatrixError, ParallelCsrv};
 use gcm_reorder::ReorderAlgorithm;
 
-use crate::model::{Backend, Model};
+use crate::model::{Backend, Model, ModelPlan};
 use crate::sharded::ShardedModel;
 
 /// Container magic.
@@ -71,6 +81,12 @@ pub const VERSION_PER_SHARD: u8 = 2;
 /// pre-`re_fse` reader fails fast with "unsupported container version"
 /// instead of deep inside a payload decode.
 pub const VERSION_ENCODINGS: u8 = 3;
+/// Container version with an optional persisted **plan section** after
+/// the shard payloads: per-shard compiled kernel-plan blobs
+/// (`GCMPLAN1`), loaded back by validated cast instead of being
+/// recompiled from the grammar. Emitted only by
+/// [`to_bytes_with_plans`] on models that hold compiled plans.
+pub const VERSION_PLANS: u8 = 4;
 
 /// Stable on-disk tag of a reorder algorithm (version 2 provenance
 /// byte); `0` = no reorder recorded.
@@ -167,20 +183,23 @@ fn read_col_order(
     pos: &mut usize,
     cols: usize,
 ) -> Result<Option<Vec<u32>>, ServeError> {
-    let len =
-        varint::read_u64(data, pos).ok_or_else(|| corrupt("missing column order length"))? as usize;
+    // Bounds run on the raw u64 *before* the narrowing cast: on 32-bit
+    // targets `as usize` would truncate a forged length silently and the
+    // checks below would then pass on the wrong value.
+    let len = varint::read_u64(data, pos).ok_or_else(|| corrupt("missing column order length"))?;
     if len == 0 {
         return Ok(None);
     }
-    if len != cols {
+    if len != cols as u64 {
         return Err(corrupt("column order length mismatch"));
     }
     // Bound the declared length by the bytes actually present *before*
     // any reservation sized from it: a forged-checksum container must
     // not be able to request an absurd allocation.
-    if len > data.len().saturating_sub(*pos) / 4 {
+    if len > (data.len().saturating_sub(*pos) / 4) as u64 {
         return Err(corrupt("column order length exceeds remaining payload"));
     }
+    let len = len as usize;
     let order =
         serial::read_exact_u32s(data, pos, len).ok_or_else(|| corrupt("truncated column order"))?;
     if !serial::is_permutation(&order, cols) {
@@ -228,15 +247,15 @@ fn decode_shard(
             let mut pos = 0usize;
             let order = read_col_order(payload, &mut pos, cols)?;
             let blocks = varint::read_u64(payload, &mut pos)
-                .ok_or_else(|| corrupt("missing parcsrv block count"))?
-                as usize;
+                .ok_or_else(|| corrupt("missing parcsrv block count"))?;
             // Every block needs at least one payload byte behind it, so
             // the remaining length bounds any plausible count — tighter
-            // than a fixed cap, and checked before the count sizes
-            // anything.
-            if blocks == 0 || blocks > payload.len().saturating_sub(pos) {
+            // than a fixed cap, and checked (on the raw u64, before the
+            // narrowing cast) before the count sizes anything.
+            if blocks == 0 || blocks > payload.len().saturating_sub(pos) as u64 {
                 return Err(corrupt("implausible parcsrv block count"));
             }
+            let blocks = blocks as usize;
             let m = mio::read_csrv_bytes(payload, &mut pos)
                 .ok_or_else(|| corrupt("invalid parcsrv shard payload"))?;
             Ok((Model::ParCsrv(ParallelCsrv::split(&m, blocks)), order))
@@ -272,7 +291,36 @@ fn decode_shard(
 /// reorder metadata (those bytes are identical to the pre-v2 writer's),
 /// version 2 for per-shard permutations plus algorithm provenance, and
 /// version 3 when any shard uses a post-paper encoding (`re_fse`).
+/// Compiled plans are **not** persisted here (see
+/// [`to_bytes_with_plans`]), so existing outputs stay byte-identical.
 pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
+    encode(model, false)
+}
+
+/// As [`to_bytes`], additionally persisting every compiled shard plan
+/// in a version-4 plan section, so the next load restores the plans by
+/// validated cast — zero RePair decode, zero recompilation — and
+/// `prewarm` becomes a cheap validation-and-warm pass. Falls back to
+/// the plain layout (and its lower version byte) when no shard holds a
+/// compiled plan, so output is readable by older readers whenever it
+/// can be.
+pub fn to_bytes_with_plans(model: &ShardedModel) -> Vec<u8> {
+    encode(model, true)
+}
+
+/// One plan's on-disk form: the kind byte (1 = `f64`, 2 = `f32`) and
+/// one `GCMPLAN1` blob per row block.
+fn plan_blobs(plan: &ModelPlan) -> (u8, Vec<Vec<u8>>) {
+    match plan {
+        ModelPlan::Compressed(p) => (1, vec![p.to_bytes()]),
+        ModelPlan::Blocked(ps) => (1, ps.iter().map(KernelPlan::to_bytes).collect()),
+        ModelPlan::CompressedF32(p) => (2, vec![p.to_bytes()]),
+        ModelPlan::BlockedF32(ps) => (2, ps.iter().map(KernelPlanF32::to_bytes).collect()),
+    }
+}
+
+fn encode(model: &ShardedModel, with_plans: bool) -> Vec<u8> {
+    let with_plans = with_plans && model.shard_slice().iter().any(|s| s.plan().is_some());
     let new_encoding = model
         .shard_slice()
         .iter()
@@ -281,7 +329,9 @@ pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
         .shard_slice()
         .iter()
         .any(|s| s.col_order.is_some() || s.reorder.is_some());
-    let version = if new_encoding {
+    let version = if with_plans {
+        VERSION_PLANS
+    } else if new_encoding {
         VERSION_ENCODINGS
     } else if per_shard {
         VERSION_PER_SHARD
@@ -303,6 +353,22 @@ pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
         varint::write_u64(&mut out, payload.len() as u64);
         out.extend_from_slice(&payload);
     }
+    if version >= VERSION_PLANS {
+        for shard in model.shard_slice() {
+            match shard.plan() {
+                None => out.push(0),
+                Some(plan) => {
+                    let (kind, blobs) = plan_blobs(plan);
+                    out.push(kind);
+                    varint::write_u64(&mut out, blobs.len() as u64);
+                    for blob in &blobs {
+                        varint::write_u64(&mut out, blob.len() as u64);
+                        out.extend_from_slice(blob);
+                    }
+                }
+            }
+        }
+    }
     let sum = fnv1a64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
@@ -313,8 +379,7 @@ pub fn to_bytes(model: &ShardedModel) -> Vec<u8> {
 /// path) or to inspect a model without materialising it.
 #[derive(Debug, Clone)]
 pub struct ShardTable {
-    /// Container version ([`VERSION`], [`VERSION_PER_SHARD`], or
-    /// [`VERSION_ENCODINGS`]).
+    /// Container version ([`VERSION`] through [`VERSION_PLANS`]).
     pub version: u8,
     /// Backend of every shard.
     pub backend: Backend,
@@ -327,6 +392,16 @@ pub struct ShardTable {
     /// Per-shard reorder algorithm provenance (all `None` for version 1,
     /// which does not record it).
     pub reorder_algos: Vec<Option<ReorderAlgorithm>>,
+    /// Byte ranges of shard `i`'s persisted plan blobs, one per row
+    /// block — empty when the shard carries no persisted plan (always
+    /// empty for versions below [`VERSION_PLANS`]). A non-empty entry
+    /// means this container loads its plans by validated cast instead
+    /// of compiling them.
+    pub plan_ranges: Vec<Vec<std::ops::Range<usize>>>,
+    /// Whether shard `i`'s persisted plans are single-precision
+    /// (`f32`); meaningful only where
+    /// [`plan_ranges`](Self::plan_ranges) is non-empty.
+    pub plan_f32: Vec<bool>,
 }
 
 impl ShardTable {
@@ -348,27 +423,31 @@ impl ShardTable {
             )));
         }
         let version = data[8];
-        if !(VERSION..=VERSION_ENCODINGS).contains(&version) {
+        if !(VERSION..=VERSION_PLANS).contains(&version) {
             return Err(corrupt(format!("unsupported container version {version}")));
         }
         let backend = Backend::from_tag(data[9]).ok_or_else(|| corrupt("unknown backend tag"))?;
         let mut pos = 10usize;
-        let rows = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad rows"))? as usize;
-        let cols = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad cols"))? as usize;
+        let rows = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad rows"))?;
+        let cols = varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad cols"))?;
         // Plausibility bounds on the header dimensions, before either
-        // value can size a downstream reservation (column indices are
-        // u32 throughout the formats; rows beyond 2^48 are nonsense).
-        if cols > u32::MAX as usize {
+        // value can size a downstream reservation — run on the raw u64
+        // values so a 32-bit `as usize` cannot truncate a forged header
+        // under the check (both row and column indices are u32
+        // throughout the formats and the plan section).
+        if cols > u64::from(u32::MAX) {
             return Err(corrupt("implausible column count"));
         }
-        if rows > 1usize << 48 {
+        if rows > u64::from(u32::MAX) {
             return Err(corrupt("implausible row count"));
         }
+        let (rows, cols) = (rows as usize, cols as usize);
         let num_shards =
-            varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad shard count"))? as usize;
-        if num_shards == 0 || num_shards > body_len {
+            varint::read_u64(data, &mut pos).ok_or_else(|| corrupt("bad shard count"))?;
+        if num_shards == 0 || num_shards > body_len as u64 {
             return Err(corrupt("implausible shard count"));
         }
+        let num_shards = num_shards as usize;
         let mut shard_ranges = Vec::with_capacity(num_shards);
         let mut reorder_algos = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
@@ -386,14 +465,53 @@ impl ShardTable {
                 reorder_algos.push(None);
             }
             let len = varint::read_u64(data, &mut pos)
-                .ok_or_else(|| corrupt(format!("bad shard {i} length")))?
-                as usize;
-            let end = pos
-                .checked_add(len)
-                .filter(|&e| e <= body_len)
-                .ok_or_else(|| corrupt(format!("shard {i} overruns container")))?;
+                .ok_or_else(|| corrupt(format!("bad shard {i} length")))?;
+            // Bounded against the remaining body as u64, so the cast
+            // below cannot truncate a forged length into range.
+            if len > body_len.saturating_sub(pos) as u64 {
+                return Err(corrupt(format!("shard {i} overruns container")));
+            }
+            let end = pos + len as usize;
             shard_ranges.push(pos..end);
             pos = end;
+        }
+        let mut plan_ranges = vec![Vec::new(); num_shards];
+        let mut plan_f32 = vec![false; num_shards];
+        if version >= VERSION_PLANS {
+            for i in 0..num_shards {
+                let kind = *data
+                    .get(pos)
+                    .filter(|_| pos < body_len)
+                    .ok_or_else(|| corrupt(format!("missing shard {i} plan kind")))?;
+                pos += 1;
+                if kind == 0 {
+                    continue;
+                }
+                if kind > 2 {
+                    return Err(corrupt(format!("unknown shard {i} plan kind {kind}")));
+                }
+                plan_f32[i] = kind == 2;
+                let count = varint::read_u64(data, &mut pos)
+                    .ok_or_else(|| corrupt(format!("bad shard {i} plan count")))?;
+                // Every blob needs bytes behind it, so the remaining
+                // body bounds any plausible count — checked on the raw
+                // u64 before the count sizes anything.
+                if count == 0 || count > body_len.saturating_sub(pos) as u64 {
+                    return Err(corrupt(format!("implausible shard {i} plan count")));
+                }
+                let mut ranges = Vec::with_capacity(count as usize);
+                for j in 0..count {
+                    let len = varint::read_u64(data, &mut pos)
+                        .ok_or_else(|| corrupt(format!("bad shard {i} plan {j} length")))?;
+                    if len > body_len.saturating_sub(pos) as u64 {
+                        return Err(corrupt(format!("shard {i} plan {j} overruns container")));
+                    }
+                    let end = pos + len as usize;
+                    ranges.push(pos..end);
+                    pos = end;
+                }
+                plan_ranges[i] = ranges;
+            }
         }
         if pos != body_len {
             return Err(corrupt("trailing bytes after shard table"));
@@ -405,6 +523,8 @@ impl ShardTable {
             cols,
             shard_ranges,
             reorder_algos,
+            plan_ranges,
+            plan_f32,
         })
     }
 
@@ -434,6 +554,78 @@ impl ShardTable {
             .clone();
         decode_shard(self.backend, self.cols, &data[range])
     }
+
+    /// Total bytes of the persisted plan section (0 when the container
+    /// carries none) — what `gcm inspect` reports as the cast-on-load
+    /// footprint.
+    pub fn plan_bytes(&self) -> usize {
+        self.plan_ranges
+            .iter()
+            .flatten()
+            .map(std::ops::Range::len)
+            .sum()
+    }
+}
+
+/// Deserialises shard `i`'s persisted plan blobs and checks them
+/// against the decoded shard `model` (one blob per row block, matching
+/// rows/cols/rule counts — a mismatched plan would compute the wrong
+/// product). Pure cast-and-validate: no grammar decode, no
+/// compilation.
+fn decode_shard_plan(
+    table: &ShardTable,
+    data: &[u8],
+    i: usize,
+    model: &Model,
+) -> Result<ModelPlan, ServeError> {
+    let ranges = &table.plan_ranges[i];
+    let dims: Vec<(usize, usize, usize)> = match model {
+        Model::Compressed(m) => vec![(m.rows(), m.cols(), m.num_rules())],
+        Model::Blocked(m) => m
+            .blocks()
+            .iter()
+            .map(|b| (b.rows(), b.cols(), b.num_rules()))
+            .collect(),
+        _ => {
+            return Err(corrupt(format!(
+                "shard {i} persists plans for an unplannable backend"
+            )))
+        }
+    };
+    if ranges.len() != dims.len() {
+        return Err(corrupt(format!(
+            "shard {i} plan count mismatches its row blocks"
+        )));
+    }
+    let f32 = table.plan_f32[i];
+    let mut plans64 = Vec::with_capacity(if f32 { 0 } else { ranges.len() });
+    let mut plans32 = Vec::with_capacity(if f32 { ranges.len() } else { 0 });
+    for (j, (range, &(rows, cols, rules))) in ranges.iter().zip(&dims).enumerate() {
+        let blob = &data[range.clone()];
+        let got = if f32 {
+            let p = KernelPlanF32::from_bytes(blob)
+                .ok_or_else(|| corrupt(format!("invalid shard {i} plan blob {j}")))?;
+            let got = (p.rows(), p.cols(), p.num_rules());
+            plans32.push(p);
+            got
+        } else {
+            let p = KernelPlan::from_bytes(blob)
+                .ok_or_else(|| corrupt(format!("invalid shard {i} plan blob {j}")))?;
+            let got = (p.rows(), p.cols(), p.num_rules());
+            plans64.push(p);
+            got
+        };
+        if got != (rows, cols, rules) {
+            return Err(corrupt(format!("shard {i} plan {j} mismatches its matrix")));
+        }
+    }
+    Ok(match (model, f32) {
+        (Model::Compressed(_), false) => ModelPlan::Compressed(plans64.pop().expect("one blob")),
+        (Model::Compressed(_), true) => ModelPlan::CompressedF32(plans32.pop().expect("one blob")),
+        (Model::Blocked(_), false) => ModelPlan::Blocked(plans64),
+        (_, true) => ModelPlan::BlockedF32(plans32),
+        _ => unreachable!("unplannable backends rejected above"),
+    })
 }
 
 /// Deserialises a container into a ready-to-serve [`ShardedModel`],
@@ -530,6 +722,17 @@ fn decode(data: &[u8], parallel: bool) -> Result<ShardedModel, ServeError> {
             model.rows()
         )));
     }
+    // Version 4 plan section: deserialize each persisted plan and
+    // install it — a validated cast, not a recompilation, so load time
+    // stays flat in grammar size and the first prewarm is a cheap
+    // budget-warming pass.
+    for (i, ranges) in table.plan_ranges.iter().enumerate() {
+        if ranges.is_empty() {
+            continue;
+        }
+        let plan = decode_shard_plan(&table, data, i, model.shard_model(i))?;
+        model.install_plan(i, plan);
+    }
     Ok(model)
 }
 
@@ -537,6 +740,13 @@ impl ShardedModel {
     /// Serialises this model as a `GCMSERV1` container.
     pub fn to_bytes(&self) -> Vec<u8> {
         to_bytes(self)
+    }
+
+    /// Serialises this model with its compiled plans persisted as the
+    /// version-4 plan section (see [`to_bytes_with_plans`]); identical
+    /// to [`to_bytes`](Self::to_bytes) when no shard carries a plan.
+    pub fn to_bytes_with_plans(&self) -> Vec<u8> {
+        to_bytes_with_plans(self)
     }
 
     /// Deserialises a container (see [`from_bytes`]).
@@ -553,9 +763,21 @@ impl ShardedModel {
     /// # Errors
     /// Fails on filesystem errors.
     pub fn save(&self, path: &Path) -> Result<(), ServeError> {
-        let bytes = self.to_bytes();
+        Self::write_atomic(path, &self.to_bytes())
+    }
+
+    /// As [`save`](Self::save), persisting compiled plans (`gcm
+    /// compress --emit-plans` writes containers through this).
+    ///
+    /// # Errors
+    /// Fails on filesystem errors.
+    pub fn save_with_plans(&self, path: &Path) -> Result<(), ServeError> {
+        Self::write_atomic(path, &self.to_bytes_with_plans())
+    }
+
+    fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)?;
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
@@ -910,6 +1132,197 @@ mod tests {
             let mut bad = bytes.clone();
             bad[i] ^= 0x10;
             assert!(ShardedModel::from_bytes(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn plan_section_roundtrips_without_recompiling() {
+        use crate::sharded::ServeOptions;
+        let dense = sample();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        for backend in [Backend::Compressed, Backend::Blocked] {
+            for shards in [1usize, 3] {
+                for f32_plans in [false, true] {
+                    let opts = BuildOptions {
+                        backend,
+                        shards,
+                        blocks: 2,
+                        encoding: Encoding::ReIv,
+                        ..BuildOptions::default()
+                    };
+                    let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+                    let serve = if f32_plans {
+                        ServeOptions::planned_f32()
+                    } else {
+                        ServeOptions::planned()
+                    };
+                    model.prewarm_with(2, &serve);
+                    let bytes = model.to_bytes_with_plans();
+                    assert_eq!(bytes[8], VERSION_PLANS, "{} s={shards}", backend.name());
+                    let table = ShardTable::parse(&bytes).unwrap();
+                    assert!(table.plan_bytes() > 0, "{} s={shards}", backend.name());
+                    assert_eq!(table.plan_f32, vec![f32_plans; shards]);
+
+                    // Loading must cast the plans back in, not compile.
+                    let before = gcm_core::plan_compiles();
+                    let back = ShardedModel::from_bytes(&bytes).expect("v4 roundtrip");
+                    assert_eq!(
+                        gcm_core::plan_compiles(),
+                        before,
+                        "{} s={shards}: load must not compile",
+                        backend.name()
+                    );
+                    assert!(back.is_planned(), "{} s={shards}", backend.name());
+                    assert_eq!(back.is_planned_f32(), f32_plans);
+                    // Deserialized plans are exact-capacity; compiled
+                    // ones may carry growth slack, so compare loosely.
+                    let loaded = back.plan_heap_bytes();
+                    assert!(loaded > 0 && loaded <= model.plan_heap_bytes());
+
+                    // The restored plans serve bit-identically.
+                    let mut y_a = vec![0.0; 37];
+                    let mut y_b = vec![0.0; 37];
+                    model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+                    back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+                    assert_eq!(y_a, y_b, "{} s={shards}", backend.name());
+
+                    // A plan-enabled prewarm on the loaded model is a
+                    // validation pass: it must reuse the installed
+                    // plans, not rebuild them.
+                    let before = gcm_core::plan_compiles();
+                    back.prewarm_with(2, &serve);
+                    assert_eq!(
+                        gcm_core::plan_compiles(),
+                        before,
+                        "{} s={shards}: prewarm after v4 load must not compile",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_section_is_omitted_when_nothing_is_planned() {
+        use crate::sharded::ServeOptions;
+        let dense = sample();
+        // No prewarm: no plans, so the with-plans writer emits the
+        // byte-identical lower-version container.
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.to_bytes_with_plans(), model.to_bytes());
+        // Unplannable backends stay below v4 even after a planned
+        // prewarm (`compile_with` has nothing to build for them).
+        let csrv = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                backend: Backend::Csrv,
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        csrv.prewarm_with(2, &ServeOptions::planned());
+        assert!(!csrv.is_planned());
+        let bytes = csrv.to_bytes_with_plans();
+        assert_eq!(bytes, csrv.to_bytes());
+        assert!(bytes[8] < VERSION_PLANS);
+        assert_eq!(ShardTable::parse(&bytes).unwrap().plan_bytes(), 0);
+    }
+
+    #[test]
+    fn forged_plan_sections_are_rejected() {
+        use crate::sharded::ServeOptions;
+        fn refresh_checksum(bytes: &mut [u8]) {
+            let body = bytes.len() - 8;
+            let sum = fnv1a64(&bytes[..body]);
+            bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        }
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 1,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        model.prewarm_with(2, &ServeOptions::planned());
+        let bytes = model.to_bytes_with_plans();
+        let table = ShardTable::parse(&bytes).unwrap();
+        // The shard 0 kind byte sits right after its payload.
+        let kind_pos = table.shard_ranges[0].end;
+        assert_eq!(bytes[kind_pos], 1, "f64 plan kind");
+
+        // Unknown plan kind.
+        let mut bad = bytes.clone();
+        bad[kind_pos] = 3;
+        refresh_checksum(&mut bad);
+        let err = ShardedModel::from_bytes(&bad).expect_err("kind 3 is corrupt");
+        assert!(err.to_string().contains("plan kind"), "{err}");
+
+        // Claiming `f32` for an `f64` blob trips the precision tag.
+        let mut bad = bytes.clone();
+        bad[kind_pos] = 2;
+        refresh_checksum(&mut bad);
+        assert!(ShardedModel::from_bytes(&bad).is_err());
+
+        // A corrupted blob magic is caught even with a valid container
+        // checksum.
+        let blob_start = table.plan_ranges[0][0].start;
+        let mut bad = bytes.clone();
+        bad[blob_start] ^= 0xFF;
+        refresh_checksum(&mut bad);
+        let err = ShardedModel::from_bytes(&bad).expect_err("bad blob magic is corrupt");
+        assert!(err.to_string().contains("plan blob"), "{err}");
+
+        // Truncating the plan section leaves trailing-length garbage.
+        let mut bad = bytes[..table.plan_ranges[0][0].end - 4].to_vec();
+        bad.extend_from_slice(&[0u8; 8]);
+        refresh_checksum(&mut bad);
+        assert!(ShardedModel::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn row_subset_matches_full_product_after_v4_load() {
+        use crate::sharded::ServeOptions;
+        let dense = sample();
+        for backend in [Backend::Compressed, Backend::Blocked] {
+            let model = ShardedModel::from_dense(
+                &dense,
+                &BuildOptions {
+                    backend,
+                    shards: 3,
+                    blocks: 2,
+                    ..BuildOptions::default()
+                },
+            )
+            .unwrap();
+            model.prewarm_with(2, &ServeOptions::planned());
+            let back = ShardedModel::from_bytes(&model.to_bytes_with_plans()).unwrap();
+            let k = 2usize;
+            let x: Vec<f64> = (0..8 * k).map(|i| (i % 5) as f64 * 0.5 - 1.0).collect();
+            let mut y_full = vec![0.0; 37 * k];
+            back.right_multiply_panel(k, &x, &mut y_full).unwrap();
+            for range in [0..5usize, 10..25, 36..37, 0..37, 12..12] {
+                let mut y_sub = vec![0.0; range.len() * k];
+                back.right_multiply_rows(range.clone(), k, &x, &mut y_sub)
+                    .unwrap();
+                assert_eq!(
+                    y_sub,
+                    y_full[range.start * k..range.end * k].to_vec(),
+                    "{} rows {range:?}",
+                    backend.name()
+                );
+            }
+            let mut y_sub = vec![0.0; 2 * 2];
+            assert!(back.right_multiply_rows(36..38, 2, &x, &mut y_sub).is_err());
         }
     }
 

@@ -19,6 +19,12 @@
 //! STATS     u8 verb=2 | u8 name_len | name bytes (name_len 0 = all models)
 //! PING      u8 verb=3
 //! INFO      u8 verb=4 | u8 name_len | name bytes
+//! MULTIPLY_ROWS
+//!           u8 verb=5 | u8 name_len | name bytes | u16 LE k |
+//!           u64 LE row_start | u64 LE row_end | k·cols f64 LE values
+//!           (right product only: the response carries the
+//!            `(row_end-row_start)·k` output slice, served through the
+//!            plan's CSR row index in O(rows-touched) work)
 //! ```
 //!
 //! Response bodies start with a one-byte status:
@@ -54,6 +60,9 @@ pub mod verb {
     pub const PING: u8 = 3;
     /// Fetch a model's dimensions.
     pub const INFO: u8 = 4;
+    /// Multiply a panel and return only a contiguous row range of the
+    /// right product.
+    pub const MULTIPLY_ROWS: u8 = 5;
 }
 
 /// Response status codes. `OK` is the protocol's "2xx"; everything else
@@ -146,6 +155,20 @@ pub enum Request<'a> {
         /// Model name.
         model: &'a str,
     },
+    /// Right-multiply `k` vectors, returning only output rows `rows`
+    /// (row-major panel payload, f64 LE).
+    MultiplyRows {
+        /// Model name.
+        model: &'a str,
+        /// Requested output row range (validated against the model
+        /// server-side).
+        rows: std::ops::Range<usize>,
+        /// Number of vectors in the payload.
+        k: usize,
+        /// `k·cols` f64 LE bytes (validated against the model
+        /// server-side).
+        payload: &'a [u8],
+    },
 }
 
 fn read_name<'a>(body: &'a [u8], pos: &mut usize) -> Result<&'a str, &'static str> {
@@ -197,6 +220,37 @@ pub fn decode_request(body: &[u8]) -> Result<Request<'_>, &'static str> {
             let model = read_name(body, &mut pos)?;
             Ok(Request::Info { model })
         }
+        verb::MULTIPLY_ROWS => {
+            let model = read_name(body, &mut pos)?;
+            let k_bytes = body.get(pos..pos + 2).ok_or("truncated batch width")?;
+            pos += 2;
+            let k = u16::from_le_bytes(k_bytes.try_into().expect("2 bytes")) as usize;
+            if k == 0 {
+                return Err("batch width must be at least 1");
+            }
+            let range = body.get(pos..pos + 16).ok_or("truncated row range")?;
+            pos += 16;
+            let start = u64::from_le_bytes(range[..8].try_into().expect("8 bytes"));
+            let end = u64::from_le_bytes(range[8..].try_into().expect("8 bytes"));
+            if start > end {
+                return Err("row range start exceeds its end");
+            }
+            // Row indices are u32 throughout the formats; bound the raw
+            // u64s before the narrowing cast can truncate.
+            if end > u64::from(u32::MAX) {
+                return Err("implausible row range");
+            }
+            let payload = &body[pos..];
+            if !payload.len().is_multiple_of(8) {
+                return Err("payload is not a whole number of f64 values");
+            }
+            Ok(Request::MultiplyRows {
+                model,
+                rows: start as usize..end as usize,
+                k,
+                payload,
+            })
+        }
         _ => Err("unknown verb"),
     }
 }
@@ -233,6 +287,28 @@ pub fn encode_multiply(
     out.push(direction.tag());
     push_name(out, model);
     out.extend_from_slice(&(k as u16).to_le_bytes());
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    finish_frame(out);
+}
+
+/// Encodes a multiply-rows request frame (`values.len()` must be
+/// `k·cols`; right product, output restricted to `rows`).
+pub fn encode_multiply_rows(
+    out: &mut Vec<u8>,
+    model: &str,
+    rows: std::ops::Range<usize>,
+    k: usize,
+    values: &[f64],
+) {
+    begin_frame(out);
+    out.push(verb::MULTIPLY_ROWS);
+    push_name(out, model);
+    out.extend_from_slice(&(k as u16).to_le_bytes());
+    out.extend_from_slice(&(rows.start as u64).to_le_bytes());
+    out.extend_from_slice(&(rows.end as u64).to_le_bytes());
     out.reserve(values.len() * 8);
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
@@ -403,6 +479,36 @@ impl Client {
         Ok(())
     }
 
+    /// Right-multiplies `k` vectors (`x.len() == k·cols`, row-major
+    /// panel) by `model`, fetching only output rows `rows`: the
+    /// embeddings-lookup access pattern, answered server-side in
+    /// O(rows-touched) when the model serves through a plan. Appends
+    /// the `rows.len()·k` results to `y` (cleared first).
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn multiply_rows(
+        &mut self,
+        model: &str,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        x: &[f64],
+        y: &mut Vec<f64>,
+    ) -> Result<(), ClientError> {
+        encode_multiply_rows(&mut self.out, model, rows, k, x);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        let body = &self.resp[1..];
+        y.clear();
+        y.reserve(body.len() / 8);
+        for c in body.chunks_exact(8) {
+            y.push(f64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        Ok(())
+    }
+
     /// As [`multiply`](Self::multiply), but returns the raw status byte
     /// instead of treating non-OK as an error — the load generator's
     /// entry point, where `OVERLOADED` is an expected outcome to count,
@@ -500,6 +606,41 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn multiply_rows_request_roundtrips_and_validates() {
+        let mut out = Vec::new();
+        let x = [0.5f64, 1.0, -1.5, 2.0];
+        encode_multiply_rows(&mut out, "emb", 7..19, 2, &x);
+        match decode_request(&out[4..]).unwrap() {
+            Request::MultiplyRows {
+                model,
+                rows,
+                k,
+                payload,
+            } => {
+                assert_eq!(model, "emb");
+                assert_eq!(rows, 7..19);
+                assert_eq!(k, 2);
+                assert_eq!(payload.len(), 32);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Inverted range.
+        encode_multiply_rows(&mut out, "emb", 19..19, 1, &x);
+        let body_start = out.len() - 32; // payload start
+        out[body_start - 16..body_start - 8].copy_from_slice(&20u64.to_le_bytes());
+        assert!(decode_request(&out[4..]).is_err(), "start > end");
+        // Row end past u32::MAX.
+        encode_multiply_rows(&mut out, "emb", 0..usize::MAX, 1, &x);
+        assert!(decode_request(&out[4..]).is_err(), "implausible range");
+        // k = 0.
+        let bad = vec![verb::MULTIPLY_ROWS, 1, b'a', 0, 0];
+        assert!(decode_request(&bad).is_err());
+        // Truncated row range.
+        let bad = vec![verb::MULTIPLY_ROWS, 1, b'a', 1, 0, 0, 0, 0];
+        assert!(decode_request(&bad).is_err());
     }
 
     #[test]

@@ -333,6 +333,46 @@ impl Lane {
         st
     }
 
+    /// Runs a row-subset right multiply (`MULTIPLY_ROWS`) directly —
+    /// distinct output slices cannot coalesce, but the request still
+    /// counts against admission like any multiply. Same response
+    /// contract as [`submit`](Self::submit); the caller has already
+    /// validated `rows` against the model.
+    fn submit_rows(
+        &self,
+        model: &ShardedModel,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        payload: &[u8],
+        metrics: &ModelMetrics,
+        out: &mut Vec<u8>,
+    ) -> u8 {
+        let mut bufs = self.direct.lock().expect("direct bufs poisoned");
+        let DirectBufs { panel, y } = &mut *bufs;
+        decode_f64s(&mut panel[..k * self.in_dim], payload);
+        let n = rows.len() * k;
+        let res = model.right_multiply_rows(rows, k, &panel[..self.in_dim * k], &mut y[..n]);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.vectors.fetch_add(k as u64, Ordering::Relaxed);
+        metrics.batch_width.record(k as u64);
+        match res {
+            Ok(()) => {
+                begin_frame(out);
+                out.push(status::OK);
+                out.reserve(n * 8);
+                for v in &y[..n] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                finish_frame(out);
+                status::OK
+            }
+            Err(_) => {
+                respond_status(out, status::INTERNAL, "row-subset multiply failed");
+                status::INTERNAL
+            }
+        }
+    }
+
     /// Runs a request that already carries a k-wide panel (k ≥ 2)
     /// directly, bypassing the coalescer. Same response contract as
     /// [`submit`](Self::submit).
@@ -576,6 +616,57 @@ impl Engine {
                 };
                 m.latency_us.record(start.elapsed().as_micros() as u64);
             }
+            Request::MultiplyRows {
+                model,
+                rows,
+                k,
+                payload,
+            } => {
+                let start = Instant::now();
+                let lanes = match self.get_lanes(model) {
+                    Ok(lanes) => lanes,
+                    Err(e) => {
+                        self.respond_serve_error(out, &e);
+                        return;
+                    }
+                };
+                let m = &lanes.metrics;
+                m.requests.fetch_add(1, Ordering::Relaxed);
+                let lane = &lanes.right;
+                // Validate everything server-side before any queueing —
+                // a hand-rolled client must not reach the kernels with
+                // an out-of-range slice or a mismatched panel.
+                if rows.end > lanes.model.rows() {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::BAD_REQUEST, "row range exceeds model rows");
+                    return;
+                }
+                if k > lane.max_width {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::BAD_REQUEST, "k exceeds server batch width");
+                    return;
+                }
+                if payload.len() != k * lane.in_dim * 8 {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(
+                        out,
+                        status::BAD_REQUEST,
+                        "payload length does not match model dimension",
+                    );
+                    return;
+                }
+                let Some(_guard) = self.try_admit() else {
+                    m.overloaded.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::OVERLOADED, "in-flight high-water mark reached");
+                    return;
+                };
+                let st = lane.submit_rows(&lanes.model, rows, k, payload, m, out);
+                match st {
+                    status::OK => m.ok.fetch_add(1, Ordering::Relaxed),
+                    _ => m.errors.fetch_add(1, Ordering::Relaxed),
+                };
+                m.latency_us.record(start.elapsed().as_micros() as u64);
+            }
         }
     }
 }
@@ -812,6 +903,54 @@ mod tests {
         // multiplies included), `ok` only the served one.
         assert!(text.contains("model=m requests=3 ok=1"), "{text}");
         assert!(text.contains("errors=2"), "{text}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_serves_row_subsets_and_validates_ranges() {
+        use crate::protocol::encode_multiply_rows;
+        let config = ServerConfig {
+            batch_deadline_us: 0,
+            ..ServerConfig::default()
+        };
+        let (engine, dense, dir) = engine_with_model("rows", config);
+        let (mut req, mut out) = (Vec::new(), Vec::new());
+        let x = vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.25];
+
+        // A row slice matches the same rows of the full product.
+        encode_multiply_rows(&mut req, "m", 5..11, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        let body = body_of(&out);
+        assert_eq!(body[0], status::OK);
+        let got: Vec<f64> = body[1..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut want = vec![0.0; 18];
+        dense.right_multiply(&x, &mut want).unwrap();
+        assert_eq!(got, want[5..11], "row subset must be bit-exact");
+
+        // Out-of-range rows, oversized k, and mismatched payloads are
+        // all rejected server-side before any queueing.
+        encode_multiply_rows(&mut req, "m", 10..19, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::BAD_REQUEST, "rows past end");
+        let wide = vec![0.0; 6 * (config.batch_width + 1)];
+        encode_multiply_rows(&mut req, "m", 0..3, config.batch_width + 1, &wide);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::BAD_REQUEST, "k too wide");
+        encode_multiply_rows(&mut req, "m", 0..3, 1, &x[..4]);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::BAD_REQUEST, "short payload");
+        encode_multiply_rows(&mut req, "missing", 0..3, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out)[0], status::UNKNOWN_MODEL);
+
+        // An empty range is valid and returns an empty result.
+        encode_multiply_rows(&mut req, "m", 7..7, 1, &x);
+        engine.handle_frame(body_of(&req), &mut out);
+        assert_eq!(body_of(&out), &[status::OK]);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

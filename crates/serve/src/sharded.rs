@@ -142,8 +142,10 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// The shard's compiled plan, when one has been built.
-    fn plan(&self) -> Option<&ModelPlan> {
+    /// The shard's compiled plan, when one has been built (the
+    /// container writer persists these as the `GCMSERV1` v4 plan
+    /// section).
+    pub(crate) fn plan(&self) -> Option<&ModelPlan> {
         self.plan.get().and_then(Option::as_ref)
     }
 }
@@ -239,6 +241,29 @@ impl RowSplitPlan for gcm_core::KernelPlanF32 {
     ) {
         gcm_core::KernelPlanF32::accumulate_rows_panel(self, rows, k, buf, y_chunk);
     }
+}
+
+/// Planned right product restricted to one shard-local row range: the
+/// rule pass fills the scratch buffer once, then only the descriptors
+/// of the requested rows accumulate (the plan's CSR `row_ptr` makes the
+/// slice O(descriptors-touched)). Allocation-free once the workspace
+/// holds a `scratch_len(k)` buffer — a planned prewarm warms exactly
+/// that.
+fn subset_right<P: RowSplitPlan>(
+    plan: &P,
+    rows: std::ops::Range<usize>,
+    k: usize,
+    x_panel: &[f64],
+    y_chunk: &mut [f64],
+    ws: &mut Workspace,
+) -> Result<(), MatrixError> {
+    let mut buf = ws.take(plan.scratch_len(k));
+    let result = plan.begin_right_panel(k, x_panel, &mut buf);
+    if result.is_ok() {
+        plan.accumulate_rows_panel(rows, k, &buf, y_chunk);
+    }
+    ws.put(buf);
+    result
 }
 
 /// Row-range parallel planned right product for a single compressed
@@ -449,6 +474,15 @@ impl ShardedModel {
         self.shards.iter().map(|s| s.model.stored_bytes()).sum()
     }
 
+    /// Installs a deserialized plan on shard `i` (the `GCMSERV1` v4
+    /// cast-on-load path). Returns `false` when the shard already
+    /// carries a plan — first writer wins, matching the `OnceLock`
+    /// semantics `prewarm_with` relies on; a later plan-enabled prewarm
+    /// then validates budgets instead of recompiling.
+    pub(crate) fn install_plan(&self, i: usize, plan: ModelPlan) -> bool {
+        self.shards[i].plan.set(Some(plan)).is_ok()
+    }
+
     /// Warms every shard's workspace and partial buffer for batch widths
     /// up to `k` and runs dummy passes through both kernels, so the first
     /// real request after a restart allocates nothing (and the worker
@@ -608,6 +642,85 @@ impl ShardedModel {
             }
             .expect("shard dimensions are consistent by construction");
         });
+        Ok(())
+    }
+
+    /// Right product restricted to a contiguous row range:
+    /// `y_chunk = (M·X)[a..b]` over row-major `k`-wide panels
+    /// (`x_panel` is `cols × k`, `y_chunk` is `(b-a) × k`). Only the
+    /// shards intersecting the range run; a planned compressed shard
+    /// serves its slice through the plan's CSR row index — one rule
+    /// pass plus O(descriptors-touched) accumulation, so asking for 10
+    /// rows of a huge model never walks the other rows — and
+    /// allocation-free after a plan-enabled prewarm. Unplanned or
+    /// block-parallel shards fall back to the full shard product into
+    /// workspace memory and copy the requested slice out.
+    ///
+    /// # Errors
+    /// Fails if the range exceeds the row count or either panel length
+    /// is inconsistent with `k`.
+    pub fn right_multiply_rows(
+        &self,
+        rows: std::ops::Range<usize>,
+        k: usize,
+        x_panel: &[f64],
+        y_chunk: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        if rows.start > rows.end || rows.end > self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: rows.end.max(rows.start),
+                what: "row range",
+            });
+        }
+        check_panels(rows.len(), self.cols, k, x_panel.len(), y_chunk.len())?;
+        if k == 0 || rows.is_empty() {
+            return Ok(());
+        }
+        for shard in &self.shards {
+            let lo = shard.row_offset;
+            let hi = lo + shard.model.rows();
+            let begin = rows.start.max(lo);
+            let end = rows.end.min(hi);
+            if begin >= end {
+                continue;
+            }
+            let local = (begin - lo)..(end - lo);
+            let out = &mut y_chunk[(begin - rows.start) * k..(end - rows.start) * k];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            match shard.plan() {
+                Some(ModelPlan::Compressed(plan)) => {
+                    subset_right(plan, local, k, x_panel, out, &mut ws)?;
+                }
+                Some(ModelPlan::CompressedF32(plan)) => {
+                    subset_right(plan, local, k, x_panel, out, &mut ws)?;
+                }
+                plan => {
+                    // No row index to slice: produce the whole shard
+                    // into workspace memory, copy the range out.
+                    let mut y_full = ws.take(shard.model.rows() * k);
+                    let result = match plan {
+                        Some(p) => shard.model.right_multiply_panel_planned(
+                            p,
+                            k,
+                            x_panel,
+                            &mut y_full,
+                            &mut ws,
+                        ),
+                        None => {
+                            shard
+                                .model
+                                .right_multiply_panel_into(k, x_panel, &mut y_full, &mut ws)
+                        }
+                    };
+                    if result.is_ok() {
+                        out.copy_from_slice(&y_full[local.start * k..local.end * k]);
+                    }
+                    ws.put(y_full);
+                    result?;
+                }
+            }
+        }
         Ok(())
     }
 

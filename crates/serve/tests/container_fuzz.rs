@@ -13,7 +13,7 @@ use gcm_core::{CompressedMatrix, Encoding};
 use gcm_encodings::varint;
 use gcm_matrix::{CsrvMatrix, DenseMatrix};
 use gcm_serve::container::fnv1a64;
-use gcm_serve::{Backend, BuildOptions, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ServeOptions, ShardTable, ShardedModel};
 
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
@@ -127,6 +127,14 @@ fn inflated_lengths_with_valid_checksums_are_rejected_before_allocation() {
         &forge(1u64 << 60, 2, csrv, &[(1, b"\0")]),
     );
 
+    // Header row count just past u32 (row counts are u32-bounded on
+    // disk, and the bare `as usize` narrowing this guards used to
+    // truncate it to 7 on 32-bit targets).
+    assert_rejected_without_big_allocation(
+        "rows just past u32",
+        &forge((1u64 << 32) + 7, 2, csrv, &[(1, b"\0")]),
+    );
+
     // Column-order length prefix claims cols entries (2^31 × 4 bytes =
     // 8 GiB) with an empty payload behind it.
     let huge_cols = 1u64 << 31;
@@ -214,6 +222,92 @@ fn forged_re_fse_shard_payloads_are_rejected_within_budget() {
     // Control: the genuine payload loads through the forged framing.
     let good = forge(26, 7, tag, &[(payload.len() as u64, &payload)]);
     assert!(ShardedModel::from_bytes(&good).is_ok());
+}
+
+/// Rewrites the trailing FNV-64 checksum so a mutated body reaches the
+/// structural validators instead of dying at the checksum gate.
+fn refresh_checksum(bytes: &mut [u8]) {
+    let body = bytes.len() - 8;
+    let sum = fnv1a64(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Version-4 plan sections behind a valid checksum: truncations are
+/// rejected, and every single-byte corruption of the section either
+/// fails plan validation or yields a plan that still multiplies safely
+/// — never a panic, never an attacker-sized allocation.
+#[test]
+fn forged_plan_sections_are_rejected_within_budget() {
+    let mut dense = DenseMatrix::zeros(26, 7);
+    for r in 0..26 {
+        for c in 0..7 {
+            if (r * 2 + c) % 3 != 0 {
+                dense.set(r, c, (((r + c) % 5) + 1) as f64 * 0.5);
+            }
+        }
+    }
+    let opts = BuildOptions {
+        backend: Backend::Compressed,
+        shards: 3,
+        blocks: 2,
+        ..BuildOptions::default()
+    };
+    let model = ShardedModel::from_dense(&dense, &opts).unwrap();
+    model.prewarm_with(1, &ServeOptions::planned());
+    let bytes = model.to_bytes_with_plans();
+    let table = ShardTable::parse(&bytes).unwrap();
+    assert!(table.plan_bytes() > 0, "sample must carry a plan section");
+
+    // Truncation at every boundary of the v4 container is rejected.
+    for cut in 0..bytes.len() {
+        assert!(
+            ShardedModel::from_bytes(&bytes[..cut]).is_err(),
+            "v4 truncation at {cut}/{} must be rejected",
+            bytes.len()
+        );
+    }
+
+    // Single-byte corruption across the whole plan section (kind bytes,
+    // blob length varints, and blob interiors), re-checksummed so only
+    // the plan validators stand in the way.
+    let section_start = table
+        .plan_ranges
+        .iter()
+        .flatten()
+        .map(|r| r.start)
+        .min()
+        .unwrap();
+    let section_end = table
+        .plan_ranges
+        .iter()
+        .flatten()
+        .map(|r| r.end)
+        .max()
+        .unwrap();
+    for i in section_start..section_end {
+        for flip in [0x01u8, 0xFF] {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= flip;
+            refresh_checksum(&mut mutated);
+            let live = alloc::reset_peak();
+            // A flipped multiplier byte still decodes to a valid plan;
+            // flipped indices must be caught by the bounds validators.
+            if let Ok(model) = ShardedModel::from_bytes(&mutated) {
+                let x = vec![1.0; model.cols()];
+                let mut y = vec![0.0; model.rows()];
+                model.right_multiply_panel(1, &x, &mut y).unwrap();
+            }
+            let grown = alloc::peak_bytes().saturating_sub(live);
+            assert!(
+                grown < (1 << 20),
+                "plan-section flip {flip:#04x} at byte {i} allocated {grown} bytes"
+            );
+        }
+    }
+
+    // Control: the untouched v4 container loads and serves.
+    let back = ShardedModel::from_bytes(&bytes).unwrap();
+    assert!(back.is_planned());
 }
 
 #[test]

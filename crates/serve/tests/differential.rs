@@ -21,7 +21,7 @@
 
 use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
 use gcm_matrix::{CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, ParallelCsrv, Workspace};
-use gcm_serve::{Backend, BuildOptions, ReorderMode, ShardedModel};
+use gcm_serve::{Backend, BuildOptions, ReorderMode, ServeOptions, ShardedModel};
 
 const TOL: f64 = 1e-9;
 
@@ -249,6 +249,97 @@ fn every_backend_agrees_with_the_dense_oracle() {
                 xm_oracle.as_slice(),
                 &format!("{tag} left_matrix_into"),
             );
+        }
+    }
+}
+
+/// Row-subset products (`right_multiply_rows`) must be bit-exact with
+/// the corresponding slice of the full oracle product — across the
+/// shape grid, every backend, every compressed encoding, shard counts,
+/// and both the compile-on-load and the persisted-plan (v4 container)
+/// paths. Output buffers are prefilled with a sentinel to prove the
+/// subset path fully overwrites its chunk.
+#[test]
+fn row_subset_products_match_the_oracle_slice() {
+    let k = 3usize;
+    for (shape, dense) in matrix_grid() {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let b_right = input_panel(cols, k, 3);
+        let ym_oracle = dense.right_multiply_matrix(&b_right).unwrap();
+        let x = b_right.as_slice();
+        let candidates = [
+            (0, rows),
+            (0, 0),
+            (rows / 3, (2 * rows) / 3),
+            (rows.saturating_sub(1), rows),
+        ];
+        for backend in Backend::ALL {
+            let encodings: &[Encoding] = match backend {
+                Backend::Compressed => &Encoding::ALL,
+                _ => &[Encoding::ReAns],
+            };
+            for &encoding in encodings {
+                for shards in [1usize, 3] {
+                    for planned in [false, true] {
+                        // Only the compressed/blocked backends compile
+                        // plans; a planned pass elsewhere is a no-op.
+                        if planned && !matches!(backend, Backend::Compressed | Backend::Blocked) {
+                            continue;
+                        }
+                        let opts = BuildOptions {
+                            backend,
+                            encoding,
+                            shards,
+                            blocks: 2,
+                            ..BuildOptions::default()
+                        };
+                        let built = ShardedModel::from_dense(&dense, &opts).expect("build");
+                        let bytes = if planned {
+                            built.prewarm_with(k, &ServeOptions::planned());
+                            built.to_bytes_with_plans()
+                        } else {
+                            built.to_bytes()
+                        };
+                        let model = ShardedModel::from_bytes(&bytes).expect("round-trip");
+                        let tag = format!(
+                            "{shape}/{}-{}-s{shards}{}",
+                            backend.name(),
+                            encoding.name(),
+                            if planned { "-planned" } else { "" }
+                        );
+                        for &(a, b) in &candidates {
+                            if a > b || b > rows {
+                                continue;
+                            }
+                            let mut y = vec![42.0; (b - a) * k];
+                            model
+                                .right_multiply_rows(a..b, k, x, &mut y)
+                                .unwrap_or_else(|e| panic!("{tag} rows {a}..{b}: {e}"));
+                            assert_close(
+                                &y,
+                                &ym_oracle.as_slice()[a * k..b * k],
+                                &format!("{tag} rows {a}..{b}"),
+                            );
+                        }
+                        // Past-the-end and inverted ranges are rejected.
+                        let mut sink = vec![0.0; (rows + 1) * k];
+                        assert!(
+                            model
+                                .right_multiply_rows(0..rows + 1, k, x, &mut sink)
+                                .is_err(),
+                            "{tag}: past-end range must be rejected"
+                        );
+                        if rows >= 2 {
+                            #[allow(clippy::reversed_empty_ranges)]
+                            let inverted = 2..1;
+                            assert!(
+                                model.right_multiply_rows(inverted, k, x, &mut sink).is_err(),
+                                "{tag}: inverted range must be rejected"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -176,6 +176,141 @@ fn k_wide_wire_requests_match_direct_panel_calls_bit_exact_both_directions() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Writes one raw frame (length prefix + body) and returns the response
+/// status byte — a hand-rolled client the reference `Client`'s
+/// validation never sees, so these frames reach the server as-is.
+fn raw_roundtrip(stream: &mut std::net::TcpStream, body: &[u8], resp: &mut Vec<u8>) -> u8 {
+    use std::io::Write;
+    stream
+        .write_all(&u32::try_from(body.len()).unwrap().to_le_bytes())
+        .unwrap();
+    stream.write_all(body).unwrap();
+    gcm_serve::protocol::read_frame(stream, resp)
+        .unwrap()
+        .expect("server must answer, not hang up");
+    resp[0]
+}
+
+#[test]
+fn hand_rolled_malformed_frames_are_rejected_before_enqueueing() {
+    use gcm_serve::protocol::verb;
+    let (mut handle, reference, dir) = serve_sample(
+        "raw",
+        ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 0,
+            max_inflight: 64,
+        },
+    );
+    let cols = reference.cols();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut resp = Vec::new();
+
+    // Zero-width panel: the decoder must refuse to drive the batching
+    // lane with k = 0.
+    let mut body = vec![verb::MULTIPLY, 0, 1, b'm', 0, 0];
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "k = 0"
+    );
+    // Payload that is not whole f64s.
+    body = vec![verb::MULTIPLY, 0, 1, b'm', 1, 0, 1, 2, 3];
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "ragged payload"
+    );
+    // Whole f64s but the wrong count for the model: rejected
+    // server-side before any queueing.
+    body = vec![verb::MULTIPLY, 0, 1, b'm', 1, 0];
+    body.extend_from_slice(&[0u8; 16]);
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "dimension mismatch"
+    );
+    // Row-subset frames: k = 0, inverted range, and a range past the
+    // model all fast-fail with bad_request.
+    body = vec![verb::MULTIPLY_ROWS, 1, b'm', 0, 0];
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&1u64.to_le_bytes());
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "rows k = 0"
+    );
+    body = vec![verb::MULTIPLY_ROWS, 1, b'm', 1, 0];
+    body.extend_from_slice(&9u64.to_le_bytes());
+    body.extend_from_slice(&3u64.to_le_bytes());
+    body.extend_from_slice(&vec![0u8; cols * 8]);
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "inverted range"
+    );
+    body = vec![verb::MULTIPLY_ROWS, 1, b'm', 1, 0];
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&u64::MAX.to_le_bytes());
+    body.extend_from_slice(&vec![0u8; cols * 8]);
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "absurd range"
+    );
+
+    // The connection survives every rejection and still serves.
+    drop(stream);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let x = vec![0.5; cols];
+    let mut y = Vec::new();
+    client
+        .multiply("m", Direction::Right, 1, &x, &mut y)
+        .unwrap();
+    assert_eq!(y.len(), reference.rows());
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn row_subset_wire_responses_are_bit_exact_with_direct_call() {
+    let (mut handle, reference, dir) = serve_sample(
+        "rowsub",
+        ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 0,
+            max_inflight: 64,
+        },
+    );
+    let (rows, cols) = (reference.rows(), reference.cols());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let k = 3usize;
+    let x_panel: Vec<f64> = (0..cols * k)
+        .map(|i| ((i * 19) % 17) as f64 * 0.41 - 2.2)
+        .collect();
+    for range in [0..4usize, 9..17, rows - 1..rows, 0..rows] {
+        let mut y_wire = Vec::new();
+        client
+            .multiply_rows("m", range.clone(), k, &x_panel, &mut y_wire)
+            .unwrap();
+        let mut y_direct = vec![0.0; range.len() * k];
+        reference
+            .right_multiply_rows(range.clone(), k, &x_panel, &mut y_direct)
+            .unwrap();
+        assert_eq!(y_wire.len(), y_direct.len(), "rows {range:?}");
+        for (i, (w, d)) in y_wire.iter().zip(&y_direct).enumerate() {
+            assert!(
+                w.to_bits() == d.to_bits(),
+                "rows {range:?} element {i}: wire {w} != direct {d}"
+            );
+        }
+    }
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn overload_fast_fails_instead_of_queueing() {
     // max_inflight 1 + a long flush deadline: the first request parks as

@@ -158,7 +158,57 @@ fn sharded_serving_loop_is_allocation_free_from_the_first_request() {
                 .left_multiply_panel(k, &y_in_panel, &mut x_panel_out)
                 .unwrap();
         });
+
+        // Row-subset serving: after one warm call, the subset path —
+        // plan CSR row_ptr slicing for planned shards, the workspace
+        // full-product fallback otherwise — is allocation-free too.
+        // The range crosses shard boundaries so the per-shard clamp
+        // and offset arithmetic are on the measured path.
+        let sub = (rows / 4)..(rows - rows / 4);
+        let mut y_sub = vec![0.0; sub.len() * k];
+        model
+            .right_multiply_rows(sub.clone(), k, &x_panel, &mut y_sub)
+            .unwrap();
+        assert_alloc_free(&format!("{name} row-subset steady state"), 16, || {
+            model
+                .right_multiply_rows(sub.clone(), k, &x_panel, &mut y_sub)
+                .unwrap();
+        });
     }
+
+    // The v4 persisted-plan container must load by *casting*: zero plan
+    // compilations (the process-wide counter stays flat across load AND
+    // the post-load prewarm) and no grammar-decode-sized allocation —
+    // loading stays within a small multiple of the container itself.
+    let built = ShardedModel::from_dense(
+        &dense,
+        &BuildOptions {
+            backend: Backend::Compressed,
+            encoding: Encoding::ReAns,
+            shards: 3,
+            ..BuildOptions::default()
+        },
+    )
+    .unwrap();
+    built.prewarm_with(k, &ServeOptions::planned());
+    let bytes = built.to_bytes_with_plans();
+    let compiles_before = gcm_core::plan_compiles();
+    let live = alloc::reset_peak();
+    let loaded = ShardedModel::from_bytes(&bytes).expect("v4 load");
+    let grown = alloc::peak_bytes().saturating_sub(live);
+    assert!(loaded.is_planned(), "persisted plans must arrive installed");
+    loaded.prewarm_with(k, &ServeOptions::planned());
+    assert_eq!(
+        gcm_core::plan_compiles(),
+        compiles_before,
+        "v4 load + prewarm must cast persisted plans, never recompile"
+    );
+    assert!(
+        grown < bytes.len() * 4 + (1 << 16),
+        "v4 load allocated {grown} bytes for a {}-byte container — \
+         that smells like a grammar decode on the load path",
+        bytes.len()
+    );
 
     // Sanity: the results the loop produced are the real products.
     let mut y_ref = vec![0.0; rows];
