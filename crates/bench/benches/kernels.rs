@@ -8,6 +8,12 @@
 //!   `re_fse`; the f32 plan halves the descriptor heap on top.
 //! * `decode`: raw sequence-stream expansion per encoding — the tANS
 //!   table walk (`re_fse`) vs. the division-free rANS loop (`re_ans`).
+//! * `sparse`: the sparse-input activity walk vs. the dense planned
+//!   kernel over a density sweep (`nnz(x)/cols` of 0.1%, 1%, 10%, and
+//!   fully dense), both precisions, inputs cycled round-robin so no
+//!   column is cherry-picked. The dense/activity ratio at each density
+//!   is the sparse speedup; the crossover pins
+//!   `SPARSE_DENSITY_THRESHOLD`.
 //! * `sharded/right`: the serve-layer view — `ShardedModel` at 1 and 4
 //!   shards, streaming vs. f64-plan vs. f32-plan prewarm.
 //!
@@ -30,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use gcm_core::{CompressedMatrix, Encoding};
+use gcm_core::{CompressedMatrix, Encoding, SparseStrategy};
 use gcm_datagen::Dataset;
 use gcm_matrix::{CsrvMatrix, Workspace};
 use gcm_serve::{BuildOptions, ServeOptions, ShardedModel};
@@ -44,15 +50,58 @@ fn input(len: usize) -> Vec<f64> {
     (0..len).map(|i| (i % 17) as f64 * 0.125 - 1.0).collect()
 }
 
-/// One wall-clock measurement for the JSON report: warm up, then take
-/// the best of three timed windows (each with an iteration floor and a
-/// time floor) so scheduler noise cannot inflate a reading.
-fn measure(mut f: impl FnMut()) -> f64 {
-    let (min_iters, min_time, windows) = if smoke() {
-        (3, Duration::from_millis(10), 1)
-    } else {
-        (10, Duration::from_millis(250), 3)
+/// The density sweep of the `sparse` group: target `nnz(x)/cols`
+/// ratios with display labels. Pinning data for
+/// [`gcm_core::SPARSE_DENSITY_THRESHOLD`].
+const SPARSE_DENSITIES: [(f64, &str); 6] = [
+    (0.001, "d0.1pct"),
+    (0.01, "d1pct"),
+    (0.03, "d3pct"),
+    (0.05, "d5pct"),
+    (0.10, "d10pct"),
+    (1.0, "dense"),
+];
+
+/// Deterministic sample of sparse input vectors at a given non-zero
+/// count, each timed separately so no column is cherry-picked: eight
+/// evenly-spaced one-hot vectors when `nnz == 1`, otherwise eight
+/// index sets drawn from a fixed-seed LCG.
+fn sparse_inputs(cols: usize, nnz: usize) -> Vec<Vec<(u32, f64)>> {
+    let value = |j: u32| 1.5 + f64::from(j % 5) * 0.25;
+    if nnz <= 1 {
+        return (0..8)
+            .map(|i| {
+                let j = (i * cols / 8) as u32;
+                vec![(j, value(j))]
+            })
+            .collect();
+    }
+    let mut state = 0x5eed_cafe_f00d_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
     };
+    (0..8)
+        .map(|_| {
+            let mut idx: Vec<u32> = Vec::with_capacity(nnz);
+            while idx.len() < nnz {
+                let j = (next() % cols) as u32;
+                if !idx.contains(&j) {
+                    idx.push(j);
+                }
+            }
+            idx.sort_unstable();
+            idx.into_iter().map(|j| (j, value(j))).collect()
+        })
+        .collect()
+}
+
+/// One wall-clock measurement for the JSON report: warm up, then take
+/// the best of the timed windows (each with an iteration floor and a
+/// time floor) so scheduler noise cannot inflate a reading.
+fn measure_with(min_iters: usize, min_time: Duration, windows: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm-up: faults pages, fills caches
     let mut best = f64::INFINITY;
     for _ in 0..windows {
@@ -65,6 +114,27 @@ fn measure(mut f: impl FnMut()) -> f64 {
         best = best.min(start.elapsed().as_secs_f64() / iters as f64);
     }
     best
+}
+
+fn measure(f: impl FnMut()) -> f64 {
+    let (min_iters, min_time, windows) = if smoke() {
+        (3, Duration::from_millis(10), 1)
+    } else {
+        (10, Duration::from_millis(250), 3)
+    };
+    measure_with(min_iters, min_time, windows, f)
+}
+
+/// Shortened window of the per-input sparse sweep (each input of a
+/// density is timed separately, so the floors are scaled down to keep
+/// the whole sweep tractable).
+fn measure_short(f: impl FnMut()) -> f64 {
+    let (min_iters, min_time, windows) = if smoke() {
+        (2, Duration::from_millis(2), 1)
+    } else {
+        (5, Duration::from_millis(40), 2)
+    };
+    measure_with(min_iters, min_time, windows, f)
 }
 
 struct JsonEntry {
@@ -194,6 +264,107 @@ fn run_json_report(path: &str, dense: &gcm_matrix::DenseMatrix, csrv: &CsrvMatri
                 elements: nnz * k,
             });
         }
+
+        // Sparse-input density sweep: the activity walk (forced, so it
+        // is measured above the cutover too) against the dense planned
+        // kernel, both precisions. Like every other group, each timed
+        // loop runs one fixed input; the entry reports the mean over
+        // the input sample. `elements` stays the matrix nnz, so
+        // melems/s reads as effective matrix throughput and the
+        // sparse/dense ratio is the speedup at that density.
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+        let mut y = vec![0.0; rows];
+        for (density, label) in SPARSE_DENSITIES {
+            let count = ((cols as f64 * density) as usize).clamp(1, cols);
+            let inputs = sparse_inputs(cols, count);
+            let dense_inputs: Vec<Vec<f64>> = inputs
+                .iter()
+                .map(|x_nnz| {
+                    let mut x = vec![0.0; cols];
+                    for &(j, v) in x_nnz {
+                        x[j as usize] = v;
+                    }
+                    x
+                })
+                .collect();
+            let mean = |per_input: Vec<f64>| per_input.iter().sum::<f64>() / per_input.len() as f64;
+            let secs = mean(
+                inputs
+                    .iter()
+                    .map(|x_nnz| {
+                        measure_short(|| {
+                            plan.right_multiply_sparse_with(
+                                x_nnz,
+                                &mut y,
+                                &mut buf,
+                                SparseStrategy::Activity,
+                            )
+                            .unwrap()
+                        })
+                    })
+                    .collect(),
+            );
+            entries.push(JsonEntry {
+                group: format!("sparse/{label}"),
+                variant: "activity",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+            let secs = mean(
+                dense_inputs
+                    .iter()
+                    .map(|x| measure_short(|| plan.right_multiply(x, &mut y, &mut buf).unwrap()))
+                    .collect(),
+            );
+            entries.push(JsonEntry {
+                group: format!("sparse/{label}"),
+                variant: "dense",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+            let secs = mean(
+                inputs
+                    .iter()
+                    .map(|x_nnz| {
+                        measure_short(|| {
+                            plan32
+                                .right_multiply_sparse_with(
+                                    x_nnz,
+                                    &mut y,
+                                    &mut buf32,
+                                    SparseStrategy::Activity,
+                                )
+                                .unwrap()
+                        })
+                    })
+                    .collect(),
+            );
+            entries.push(JsonEntry {
+                group: format!("sparse/{label}"),
+                variant: "activity_f32",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+            let secs = mean(
+                dense_inputs
+                    .iter()
+                    .map(|x| {
+                        measure_short(|| plan32.right_multiply(x, &mut y, &mut buf32).unwrap())
+                    })
+                    .collect(),
+            );
+            entries.push(JsonEntry {
+                group: format!("sparse/{label}"),
+                variant: "dense_f32",
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+        }
     }
 
     // Serve layer: shard parallelism × plan precision.
@@ -311,6 +482,73 @@ fn bench_kernels(c: &mut Criterion) {
                     plan32
                         .left_multiply_panel(k, &y_input, &mut x_out, &mut buf32)
                         .unwrap()
+                })
+            });
+            group.finish();
+        }
+
+        // Sparse-input density sweep (see the JSON pass for the
+        // variant semantics).
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+        let mut y = vec![0.0; rows];
+        for (density, label) in SPARSE_DENSITIES {
+            let count = ((cols as f64 * density) as usize).clamp(1, cols);
+            let inputs = sparse_inputs(cols, count);
+            let dense_inputs: Vec<Vec<f64>> = inputs
+                .iter()
+                .map(|x_nnz| {
+                    let mut x = vec![0.0; cols];
+                    for &(j, v) in x_nnz {
+                        x[j as usize] = v;
+                    }
+                    x
+                })
+                .collect();
+            let mut group = c.benchmark_group(format!("sparse/{label}"));
+            group.throughput(Throughput::Elements(nnz as u64));
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new("activity", enc.name()), |b| {
+                b.iter(|| {
+                    plan.right_multiply_sparse_with(
+                        &inputs[i % inputs.len()],
+                        &mut y,
+                        &mut buf,
+                        SparseStrategy::Activity,
+                    )
+                    .unwrap();
+                    i += 1;
+                })
+            });
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new("dense", enc.name()), |b| {
+                b.iter(|| {
+                    plan.right_multiply(&dense_inputs[i % dense_inputs.len()], &mut y, &mut buf)
+                        .unwrap();
+                    i += 1;
+                })
+            });
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new("activity_f32", enc.name()), |b| {
+                b.iter(|| {
+                    plan32
+                        .right_multiply_sparse_with(
+                            &inputs[i % inputs.len()],
+                            &mut y,
+                            &mut buf32,
+                            SparseStrategy::Activity,
+                        )
+                        .unwrap();
+                    i += 1;
+                })
+            });
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new("dense_f32", enc.name()), |b| {
+                b.iter(|| {
+                    plan32
+                        .right_multiply(&dense_inputs[i % dense_inputs.len()], &mut y, &mut buf32)
+                        .unwrap();
+                    i += 1;
                 })
             });
             group.finish();

@@ -54,5 +54,11 @@ pub use blocked::BlockedMatrix;
 pub use compressed::CompressedMatrix;
 pub use encoding::Encoding;
 pub use fastdiv::FastDiv;
-pub use iteration::{power_iterations, IterationStats};
-pub use plan::{plan_compiles, KernelPlan, KernelPlanF32};
+pub use iteration::{
+    conjugate_gradient_into, inf_norm, pagerank_into, power_iterations, power_iterations_into,
+    IterationStats, SolveStats, SolverWorkspace,
+};
+pub use plan::{
+    plan_compiles, validate_sparse_x, KernelPlan, KernelPlanF32, SparseStrategy,
+    SPARSE_DENSITY_THRESHOLD,
+};

@@ -101,6 +101,70 @@ pub fn plan_compiles() -> usize {
     PLAN_COMPILES.load(Ordering::Relaxed)
 }
 
+/// Density bound of the activity-propagation sparse path: at
+/// `nnz(x) / cols` above this, [`KernelPlan::right_multiply_sparse`]
+/// falls back to scattering `x` densely and running the ordinary
+/// planned kernels. Pinned by the `sparse` group of
+/// `crates/bench/benches/kernels.rs` (census matrix, both precisions,
+/// every encoding): the activity walk wins 3.2–4.0× (f64) at ≤1%
+/// density, ~2.2× at 3%, and 1.1–1.6× at 5%, then loses (0.7–0.85×)
+/// at 10% — so the cutover sits at the last measured density where
+/// sparse still wins.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.05;
+
+/// Which execution arm a sparse-input multiply takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SparseStrategy {
+    /// Choose by comparing `nnz(x) / cols` against
+    /// [`SPARSE_DENSITY_THRESHOLD`] — the serving default.
+    Auto,
+    /// Force the activity-propagation walk (benchmarking the sparse
+    /// kernel itself, density sweeps).
+    Activity,
+    /// Force the dense fallback: scatter `x` and run the ordinary
+    /// planned kernels (the baseline the sweep measures against).
+    Scatter,
+}
+
+/// Validates a sparse input vector against a `cols`-wide input space:
+/// strictly increasing column indices (which rules out duplicates),
+/// every index in range, and at most `cols` entries. Shared by the
+/// plan kernels, the serve layer, and the wire protocol so all three
+/// reject exactly the same inputs.
+///
+/// # Errors
+/// Fails on an oversized entry count, an out-of-range index, or
+/// indices that are not strictly increasing.
+pub fn validate_sparse_x(cols: usize, x_nnz: &[(u32, f64)]) -> Result<(), MatrixError> {
+    if x_nnz.len() > cols {
+        return Err(MatrixError::DimensionMismatch {
+            expected: cols,
+            actual: x_nnz.len(),
+            what: "sparse x non-zero count",
+        });
+    }
+    let mut prev: Option<u32> = None;
+    for &(j, _) in x_nnz {
+        if j as usize >= cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                row: 0,
+                col: j as usize,
+                rows: 1,
+                cols,
+            });
+        }
+        if let Some(p) = prev {
+            if j <= p {
+                return Err(MatrixError::Parse(format!(
+                    "sparse x indices must be strictly increasing (index {j} after {p})"
+                )));
+            }
+        }
+        prev = Some(j);
+    }
+    Ok(())
+}
+
 /// Arithmetic element of a plan's scratch buffer: `f64` for the exact
 /// plans, `f32` for the SIMD-width-doubling ones. Private — the public
 /// surface is the two concrete plan types.
@@ -159,6 +223,95 @@ impl Scalar for f32 {
     }
 }
 
+/// Inverted descriptor index behind the sparse-input kernel: for each
+/// scratch slot, the positions in the descriptor program that read it,
+/// plus the owning row of every position. The sparse walk seeds
+/// activity from the non-zeroes, sweeps the rule DAG, and then
+/// scatter-accumulates **only** the descriptors this index reaches from
+/// active slots — every other descriptor's contribution is an exact
+/// zero and every untouched row keeps its zero without being visited.
+///
+/// Built lazily ([`PlanBody::sparse_index`]) on the first sparse
+/// multiply (serve-layer prewarm runs one throwaway sparse pass, so
+/// live requests never pay the build), and never persisted: `to_bytes`
+/// skips it and a loaded plan rebuilds on demand.
+#[derive(Debug, Clone, Default)]
+struct SparseIndex {
+    /// CSC bucket bounds: slot `s` is read by descriptor positions
+    /// `slot_desc[slot_ptr[s]..slot_ptr[s+1]]`; length `width + 1`.
+    slot_ptr: Vec<u32>,
+    /// Descriptor positions per slot (indices into `seq_*`); length
+    /// `|C|`.
+    slot_desc: Vec<u32>,
+    /// Owning row of each descriptor position (the CSR `row_ptr` run
+    /// it falls in); length `|C|`.
+    desc_row: Vec<u32>,
+    /// CSC bucket bounds of the rule dependency graph: slot `s` is an
+    /// operand of rules `dep_rule[dep_ptr[s]..dep_ptr[s+1]]`; length
+    /// `width + 1`.
+    dep_ptr: Vec<u32>,
+    /// Dependent rule ids per operand slot (a rule with both operands
+    /// on the same slot is listed twice — marking is idempotent);
+    /// length `2|R|`.
+    dep_rule: Vec<u32>,
+}
+
+impl SparseIndex {
+    /// Two counting-sort passes: one over the CSR descriptor program,
+    /// one over the rule operand table.
+    fn build(width: usize, row_ptr: &[u32], seq_idx: &[u32], rule_idx: &[u32]) -> Self {
+        let mut slot_ptr = vec![0u32; width + 1];
+        for &s in seq_idx {
+            slot_ptr[s as usize + 1] += 1;
+        }
+        for i in 0..width {
+            slot_ptr[i + 1] += slot_ptr[i];
+        }
+        let mut slot_desc = vec![0u32; seq_idx.len()];
+        let mut fill = slot_ptr[..width].to_vec();
+        for (d, &s) in seq_idx.iter().enumerate() {
+            let at = &mut fill[s as usize];
+            slot_desc[*at as usize] = d as u32;
+            *at += 1;
+        }
+        let mut desc_row = vec![0u32; seq_idx.len()];
+        for (r, w) in row_ptr.windows(2).enumerate() {
+            desc_row[w[0] as usize..w[1] as usize].fill(r as u32);
+        }
+        let mut dep_ptr = vec![0u32; width + 1];
+        for &s in rule_idx {
+            dep_ptr[s as usize + 1] += 1;
+        }
+        for i in 0..width {
+            dep_ptr[i + 1] += dep_ptr[i];
+        }
+        let mut dep_rule = vec![0u32; rule_idx.len()];
+        let mut fill = dep_ptr[..width].to_vec();
+        for (e, &s) in rule_idx.iter().enumerate() {
+            let at = &mut fill[s as usize];
+            dep_rule[*at as usize] = (e / 2) as u32;
+            *at += 1;
+        }
+        SparseIndex {
+            slot_ptr,
+            slot_desc,
+            desc_row,
+            dep_ptr,
+            dep_rule,
+        }
+    }
+}
+
+impl HeapSize for SparseIndex {
+    fn heap_bytes(&self) -> usize {
+        self.slot_ptr.heap_bytes()
+            + self.slot_desc.heap_bytes()
+            + self.desc_row.heap_bytes()
+            + self.dep_ptr.heap_bytes()
+            + self.dep_rule.heap_bytes()
+    }
+}
+
 /// The compiled descriptor program, shared by [`KernelPlan`] (`T = f64`)
 /// and [`KernelPlanF32`] (`T = f32`). All kernels are written once here;
 /// the wrappers fix the scalar type and the scratch-buffer convention.
@@ -184,6 +337,8 @@ struct PlanBody<T> {
     /// `< cols + block_ptr[b]`, so they are mutually independent.
     /// Always starts at `0` and ends at `num_rules`.
     block_ptr: Vec<u32>,
+    /// Lazily-built inverted row index of the sparse-input kernel.
+    sparse: std::sync::OnceLock<SparseIndex>,
 }
 
 /// Evaluates rule `r` of a block: `m_a·src[i_a] + m_b·src[i_b]`.
@@ -596,6 +751,210 @@ impl<T: Scalar> PlanBody<T> {
             *d = s.to_f64();
         }
     }
+
+    /// The inverted descriptor index, built on first use (one
+    /// counting-sort pass over the descriptor program; the serve
+    /// layer's prewarm triggers it so live requests never allocate).
+    fn sparse_index(&self) -> &SparseIndex {
+        self.sparse.get_or_init(|| {
+            SparseIndex::build(self.width(), &self.row_ptr, &self.seq_idx, &self.rule_idx)
+        })
+    }
+
+    /// Whether the spare scratch row can host the sparse walk's
+    /// bookkeeping: one activity byte per slot plus one bit per
+    /// descriptor position. Holds whenever `|C| ≤ 8·(sizeof(T)−1)·width`
+    /// — every realistic plan, since RePair keeps `|C|` within a small
+    /// multiple of the grammar size — and the caller falls back to the
+    /// dense scatter arm otherwise rather than allocating.
+    fn sparse_scratch_fits(&self) -> bool {
+        let bitmap_bytes = self.num_rules.div_ceil(8) + self.seq_idx.len().div_ceil(8);
+        bitmap_bytes <= self.width() * std::mem::size_of::<T>()
+    }
+
+    /// Width-1 sparse right multiplication via activity propagation.
+    ///
+    /// `buf` must hold `scratch_slots(1)` scalars: the first `width()`
+    /// are the value row, and the spare flag row behind it (unused by
+    /// the right kernels) is viewed as bytes — one **bit** per rule
+    /// plus one **bit** per descriptor position — so the sparse path
+    /// costs no extra scratch over the dense one.
+    ///
+    /// The walk is edge-driven and (nearly) branch-free, because the
+    /// branchy alternative — probe an activity flag per rule and per
+    /// descriptor — mispredicts on the irregular active pattern and
+    /// ends up as slow as the dense kernel it is meant to beat:
+    ///
+    /// 1. **Seed.** Scatter the non-zeroes into the zero-filled value
+    ///    row and, via the [`SparseIndex`], set the bit of every rule
+    ///    and descriptor position that reads a seeded column. Bit-sets
+    ///    are idempotent, so there is no visited check to mispredict.
+    /// 2. **Rule scan.** Walk the rule bitmap in ascending order; each
+    ///    set rule evaluates (its operands are settled: they index
+    ///    `< cols + r`, and marks only ever point at strictly larger
+    ///    rule ids, which the per-byte rescan loop picks up) and marks
+    ///    its dependents and descriptor positions in turn. Unreachable
+    ///    rules are never visited — they cost one zero byte in the
+    ///    scan, not a probe each.
+    /// 3. **Scatter.** One ascending scan over the descriptor bitmap
+    ///    accumulates `y[row(d)] += m_d · vals[slot(d)]` for exactly
+    ///    the marked positions.
+    ///
+    /// Per-request work therefore scales with the slice of the grammar
+    /// the non-zeroes reach, not with `|R|`, `|C|`, or the row count.
+    ///
+    /// Every produced value equals the dense planned path's bit for
+    /// bit: the skipped descriptors contribute exact zeros there
+    /// (their subtree never sees a non-zero input), dropping
+    /// exact-zero terms from an IEEE summation leaves every non-zero
+    /// partial sum unchanged, and the ascending-position scan
+    /// accumulates each row's surviving terms in the dense kernel's
+    /// window order — in `T`, with one conversion per row, exactly
+    /// like the dense row walk. The two arms can differ only in the
+    /// sign of zero outputs, where the dense path may round `m · 0.0`
+    /// terms to `-0.0`.
+    fn right_single_sparse(&self, x_nnz: &[(u32, f64)], y: &mut [f64], buf: &mut [T]) {
+        let n = self.width();
+        assert!(buf.len() >= 2 * n);
+        assert_eq!(y.len(), self.rows);
+        debug_assert!(self.sparse_scratch_fits());
+        let index = self.sparse_index();
+        let rule_bytes = self.num_rules.div_ceil(8);
+        let desc_bytes = self.seq_idx.len().div_ceil(8);
+        let (vals, spare) = buf.split_at_mut(n);
+        // SAFETY: `sparse_scratch_fits` (checked by the dispatcher)
+        // guarantees the spare row's `n · sizeof(T)` bytes cover both
+        // bitmaps; `u8` has alignment 1 and no invalid bit patterns.
+        let (rules, descs) = unsafe {
+            let bytes = std::slice::from_raw_parts_mut(
+                spare.as_mut_ptr().cast::<u8>(),
+                rule_bytes + desc_bytes,
+            );
+            bytes.split_at_mut(rule_bytes)
+        };
+        rules.fill(0);
+        descs.fill(0);
+        // Every slot reads as exact zero until written: inactive rule
+        // operands need no masking and unreachable rules never run.
+        vals.fill(T::ZERO);
+        y.fill(0.0);
+        // SAFETY (all loops): `compile`/`read_bytes` guarantee every
+        // rule operand index is `< cols + r < n` and every sequence
+        // index is `< n`; `vals` has length `n`; the index's dependent
+        // rule ids enumerate `0..num_rules`, its descriptor positions
+        // `0..|C|`, and its row ids `0..rows` — so no marked bit falls
+        // outside either bitmap and no gather leaves its array.
+        unsafe {
+            for &(j, v) in x_nnz {
+                let j = j as usize;
+                *vals.get_unchecked_mut(j) = T::from_f64(v);
+                let lo = *index.dep_ptr.get_unchecked(j) as usize;
+                let hi = *index.dep_ptr.get_unchecked(j + 1) as usize;
+                for &rr in index.dep_rule.get_unchecked(lo..hi) {
+                    *rules.get_unchecked_mut(rr as usize >> 3) |= 1 << (rr & 7);
+                }
+                let lo = *index.slot_ptr.get_unchecked(j) as usize;
+                let hi = *index.slot_ptr.get_unchecked(j + 1) as usize;
+                for &d in index.slot_desc.get_unchecked(lo..hi) {
+                    *descs.get_unchecked_mut(d as usize >> 3) |= 1 << (d & 7);
+                }
+            }
+            // Ascending rule-bitmap scan. Marks land only at strictly
+            // larger rule ids, so re-reading the current byte until no
+            // fresh bits remain keeps the order topological without a
+            // worklist.
+            for byte in 0..rule_bytes {
+                let mut done: u8 = 0;
+                loop {
+                    let fresh = *rules.get_unchecked(byte) & !done;
+                    if fresh == 0 {
+                        break;
+                    }
+                    let b = fresh.trailing_zeros() as usize;
+                    done |= 1 << b;
+                    let r = (byte << 3) | b;
+                    let s = self.cols + r;
+                    *vals.get_unchecked_mut(s) =
+                        rule_value(vals, &self.rule_mult, &self.rule_idx, r);
+                    let lo = *index.dep_ptr.get_unchecked(s) as usize;
+                    let hi = *index.dep_ptr.get_unchecked(s + 1) as usize;
+                    for &rr in index.dep_rule.get_unchecked(lo..hi) {
+                        *rules.get_unchecked_mut(rr as usize >> 3) |= 1 << (rr & 7);
+                    }
+                    let lo = *index.slot_ptr.get_unchecked(s) as usize;
+                    let hi = *index.slot_ptr.get_unchecked(s + 1) as usize;
+                    for &d in index.slot_desc.get_unchecked(lo..hi) {
+                        *descs.get_unchecked_mut(d as usize >> 3) |= 1 << (d & 7);
+                    }
+                }
+            }
+            // Ascending descriptor scan: positions come out in program
+            // order, and a row's window is one contiguous run of
+            // positions, so its surviving terms arrive back to back —
+            // accumulate them in `T` with a single conversion on row
+            // change, exactly as the dense window walk does.
+            let mut cur_row = usize::MAX;
+            let mut acc = T::ZERO;
+            for (byte, &word) in descs.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let d = (byte << 3) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let row = *index.desc_row.get_unchecked(d) as usize;
+                    if row != cur_row {
+                        if cur_row != usize::MAX {
+                            *y.get_unchecked_mut(cur_row) = acc.to_f64();
+                        }
+                        cur_row = row;
+                        acc = T::ZERO;
+                    }
+                    let slot = *self.seq_idx.get_unchecked(d) as usize;
+                    acc = acc + *self.seq_mult.get_unchecked(d) * *vals.get_unchecked(slot);
+                }
+            }
+            if cur_row != usize::MAX {
+                *y.get_unchecked_mut(cur_row) = acc.to_f64();
+            }
+        }
+    }
+
+    /// Width-1 sparse right multiplication through the dense kernels:
+    /// scatter the non-zeroes into a zeroed input row, then run the
+    /// ordinary forward rule pass and row accumulation. The fallback
+    /// arm above [`SPARSE_DENSITY_THRESHOLD`].
+    fn right_single_scatter(&self, x_nnz: &[(u32, f64)], y: &mut [f64], buf: &mut [T]) {
+        assert_eq!(y.len(), self.rows);
+        buf[..self.cols].fill(T::ZERO);
+        for &(j, v) in x_nnz {
+            buf[j as usize] = T::from_f64(v);
+        }
+        self.eval_rules(buf);
+        self.accumulate_rows(0..self.rows, 1, buf, y);
+    }
+
+    /// Dispatches a validated sparse multiply to the arm `strategy`
+    /// names (`Auto` compares the density against
+    /// [`SPARSE_DENSITY_THRESHOLD`]).
+    fn right_single_sparse_with(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        buf: &mut [T],
+        strategy: SparseStrategy,
+    ) {
+        let sparse = match strategy {
+            SparseStrategy::Activity => true,
+            SparseStrategy::Scatter => false,
+            SparseStrategy::Auto => {
+                x_nnz.len() as f64 <= self.cols as f64 * SPARSE_DENSITY_THRESHOLD
+            }
+        };
+        if sparse && self.sparse_scratch_fits() {
+            self.right_single_sparse(x_nnz, y, buf);
+        } else {
+            self.right_single_scatter(x_nnz, y, buf);
+        }
+    }
 }
 
 /// Whether the 8-lane `f32` kernels may take the AVX2-compiled path.
@@ -858,6 +1217,7 @@ impl<T: Copy> HeapSize for PlanBody<T> {
             + self.seq_idx.heap_bytes()
             + self.row_ptr.heap_bytes()
             + self.block_ptr.heap_bytes()
+            + self.sparse.get().map_or(0, HeapSize::heap_bytes)
     }
 }
 
@@ -1007,6 +1367,7 @@ impl<T: Scalar> PlanBody<T> {
             seq_idx,
             row_ptr,
             block_ptr,
+            sparse: std::sync::OnceLock::new(),
         })
     }
 }
@@ -1121,6 +1482,7 @@ impl KernelPlan {
                 seq_idx,
                 row_ptr,
                 block_ptr,
+                sparse: std::sync::OnceLock::new(),
             },
         }
     }
@@ -1141,6 +1503,7 @@ impl KernelPlan {
                 seq_idx: b.seq_idx.clone(),
                 row_ptr: b.row_ptr.clone(),
                 block_ptr: b.block_ptr.clone(),
+                sparse: std::sync::OnceLock::new(),
             },
         }
     }
@@ -1303,6 +1666,58 @@ impl KernelPlan {
         self.body.check_panels(x_panel.len(), y_panel.len(), k)?;
         self.check_scratch(buf.len(), k)?;
         self.body.left_panel(k, y_panel, x_panel, buf);
+        Ok(())
+    }
+
+    /// Sparse-input right multiplication `y = M·x` from the non-zero
+    /// entries of `x` alone (strictly increasing column indices — see
+    /// [`validate_sparse_x`]). Below [`SPARSE_DENSITY_THRESHOLD`] this
+    /// runs the activity-propagation walk, touching only the rules and
+    /// row descriptors reachable from the non-zero slots; above it the
+    /// input is scattered densely and the ordinary planned kernels run.
+    /// `buf` must have length [`scratch_len(1)`](Self::scratch_len) —
+    /// the sparse walk reuses the flag row as its activity bytes, so
+    /// no extra scratch is needed.
+    ///
+    /// Produced values equal the dense planned path's exactly; only
+    /// the sign of zero outputs may differ.
+    ///
+    /// # Errors
+    /// Fails on dimension mismatches (including `buf`) and on invalid
+    /// sparse input (out-of-range, non-increasing, or duplicate
+    /// indices; more entries than columns).
+    pub fn right_multiply_sparse(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_sparse_with(x_nnz, y, buf, SparseStrategy::Auto)
+    }
+
+    /// [`right_multiply_sparse`](Self::right_multiply_sparse) with the
+    /// execution arm pinned — the density-sweep benches and the
+    /// differential tests drive both arms explicitly through this.
+    ///
+    /// # Errors
+    /// As [`right_multiply_sparse`](Self::right_multiply_sparse).
+    pub fn right_multiply_sparse_with(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        buf: &mut [f64],
+        strategy: SparseStrategy,
+    ) -> Result<(), MatrixError> {
+        if y.len() != self.body.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.body.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        self.check_scratch(buf.len(), 1)?;
+        validate_sparse_x(self.body.cols, x_nnz)?;
+        self.body.right_single_sparse_with(x_nnz, y, buf, strategy);
         Ok(())
     }
 
@@ -1544,6 +1959,48 @@ impl KernelPlanF32 {
         self.check_scratch(buf.len(), k)?;
         self.body
             .left_panel_f32(k, y_panel, x_panel, self.scratch32(k, buf));
+        Ok(())
+    }
+
+    /// Sparse-input right multiplication in `f32` (see
+    /// [`KernelPlan::right_multiply_sparse`]); `buf` is in `f64` units
+    /// as everywhere on this type.
+    ///
+    /// # Errors
+    /// As [`KernelPlan::right_multiply_sparse`].
+    pub fn right_multiply_sparse(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        buf: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        self.right_multiply_sparse_with(x_nnz, y, buf, SparseStrategy::Auto)
+    }
+
+    /// [`right_multiply_sparse`](Self::right_multiply_sparse) with the
+    /// execution arm pinned (see
+    /// [`KernelPlan::right_multiply_sparse_with`]).
+    ///
+    /// # Errors
+    /// As [`KernelPlan::right_multiply_sparse`].
+    pub fn right_multiply_sparse_with(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        buf: &mut [f64],
+        strategy: SparseStrategy,
+    ) -> Result<(), MatrixError> {
+        if y.len() != self.body.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.body.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        self.check_scratch(buf.len(), 1)?;
+        validate_sparse_x(self.body.cols, x_nnz)?;
+        self.body
+            .right_single_sparse_with(x_nnz, y, self.scratch32(1, buf), strategy);
         Ok(())
     }
 
@@ -1846,6 +2303,94 @@ mod tests {
         let mut bad = bytes;
         bad[PLAN_MAGIC.len()] = 9;
         assert!(KernelPlan::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn sparse_multiply_matches_dense_planned_on_both_arms() {
+        let dense = repetitive(48, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        // Several sparsity patterns, including all-zero and one-hot.
+        let patterns: Vec<Vec<(u32, f64)>> = vec![
+            vec![],
+            vec![(0, 1.0)],
+            vec![(8, -2.5)],
+            vec![(4, 0.75)],
+            vec![(1, 1.0), (2, -1.0), (7, 3.5)],
+            (0..9).map(|j| (j as u32, j as f64 * 0.5 - 2.0)).collect(),
+        ];
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::compress(&csrv, enc);
+            let plan = cm.plan();
+            let plan32 = plan.to_f32();
+            let mut buf = vec![0.0; plan.scratch_len(1)];
+            let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+            for nnz in &patterns {
+                let mut x = vec![0.0; 9];
+                for &(j, v) in nnz {
+                    x[j as usize] = v;
+                }
+                let mut y_ref = vec![0.0; 48];
+                plan.right_multiply(&x, &mut y_ref, &mut buf).unwrap();
+                let mut y_ref32 = vec![0.0; 48];
+                plan32.right_multiply(&x, &mut y_ref32, &mut buf32).unwrap();
+                for strat in [
+                    SparseStrategy::Auto,
+                    SparseStrategy::Activity,
+                    SparseStrategy::Scatter,
+                ] {
+                    let mut y = vec![f64::NAN; 48];
+                    plan.right_multiply_sparse_with(nnz, &mut y, &mut buf, strat)
+                        .unwrap();
+                    assert_eq!(y, y_ref, "{} nnz={} {strat:?}", enc.name(), nnz.len());
+                    let mut y32 = vec![f64::NAN; 48];
+                    plan32
+                        .right_multiply_sparse_with(nnz, &mut y32, &mut buf32, strat)
+                        .unwrap();
+                    assert_eq!(
+                        y32,
+                        y_ref32,
+                        "{} f32 nnz={} {strat:?}",
+                        enc.name(),
+                        nnz.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_input_validation_rejects_malformed_vectors() {
+        assert!(validate_sparse_x(5, &[(0, 1.0), (4, 2.0)]).is_ok());
+        assert!(validate_sparse_x(5, &[]).is_ok());
+        // Out of range.
+        assert!(validate_sparse_x(5, &[(5, 1.0)]).is_err());
+        // Duplicate and unsorted indices.
+        assert!(validate_sparse_x(5, &[(2, 1.0), (2, 2.0)]).is_err());
+        assert!(validate_sparse_x(5, &[(3, 1.0), (1, 2.0)]).is_err());
+        // More entries than columns (only reachable with duplicates,
+        // but the count check must fire first and cheaply).
+        let too_many: Vec<(u32, f64)> = (0..6).map(|i| (i % 5, 1.0)).collect();
+        assert!(validate_sparse_x(5, &too_many).is_err());
+
+        let dense = repetitive(12, 6);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let plan = CompressedMatrix::compress(&csrv, Encoding::Re32).plan();
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut y = vec![0.0; 12];
+        assert!(plan
+            .right_multiply_sparse(&[(6, 1.0)], &mut y, &mut buf)
+            .is_err());
+        assert!(plan
+            .right_multiply_sparse(&[(1, 1.0), (1, 2.0)], &mut y, &mut buf)
+            .is_err());
+        let mut y_short = vec![0.0; 11];
+        assert!(plan
+            .right_multiply_sparse(&[(0, 1.0)], &mut y_short, &mut buf)
+            .is_err());
+        let mut short = vec![0.0; plan.scratch_len(1) - 1];
+        assert!(plan
+            .right_multiply_sparse(&[(0, 1.0)], &mut y, &mut short)
+            .is_err());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!              [--reorder-scope global|shard] [--emit-plans] [--plan-f32]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
-//!              [--plan] [--plan-f32] [--repeat N] [--rows A..B]
+//!              [--plan] [--plan-f32] [--repeat N] [--rows A..B] [--sparse-x FILE]
+//! gcm solve <model.gcms> --method power|pagerank|cg [--iters N] [--tol T]
+//!           [--damping D] [--vector FILE] [--out FILE] [--plan] [--plan-f32]
 //! gcm serve <store-dir> [--port P] [--host H] [--batch-width K]
 //!           [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]
 //! gcm stats <host:port> [--model NAME]
@@ -33,7 +35,15 @@
 //! input is a `cols × K` (or `rows × K` for `--left`) dense text panel
 //! read from `--vector`, or all-ones when omitted; `--rows A..B`
 //! computes only that half-open row range of the right product via the
-//! plan's CSR row pointers, touching O(rows requested) descriptors. `selftest` drives the full pipeline —
+//! plan's CSR row pointers, touching O(rows requested) descriptors;
+//! `--sparse-x FILE` reads `index value` non-zero pairs instead of a
+//! dense vector and serves them through the plans'
+//! activity-propagation sparse kernel. `solve` runs the zero-allocation
+//! iterative drivers of `gcm_core::iteration` against a loaded
+//! container: `--method power` (dominant-eigenvector iteration, Eq. 4),
+//! `--method pagerank` (damped random surfer with teleport), or
+//! `--method cg` (conjugate gradient on the normal equations, so
+//! rectangular systems solve in the least-squares sense). `selftest` drives the full pipeline —
 //! generate, compress to a temp container for every backend (global
 //! *and* per-shard reorders included), reload, multiply sharded — and
 //! exits non-zero unless every product matches the dense oracle to
@@ -85,7 +95,9 @@ fn usage() -> ExitCode {
          [--emit-plans [--plan-f32]]\n  \
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
-         [--plan] [--plan-f32] [--repeat N] [--rows A..B]\n  \
+         [--plan] [--plan-f32] [--repeat N] [--rows A..B] [--sparse-x FILE]\n  \
+         gcm solve <model.gcms> --method power|pagerank|cg [--iters N] [--tol T]\n               \
+         [--damping D] [--vector FILE] [--out FILE] [--plan] [--plan-f32]\n  \
          gcm serve <store-dir> [--port P] [--host H] [--batch-width K]\n               \
          [--deadline-us D] [--max-inflight N] [--plan] [--plan-f32]\n  \
          gcm stats <host:port> [--model NAME]\n  \
@@ -457,6 +469,32 @@ fn read_panel(path: &str, rows: usize, k: usize) -> Result<Vec<f64>, String> {
     Ok(v)
 }
 
+/// Reads a sparse vector as whitespace-separated `index value` pairs
+/// (strictly increasing in-range indices; validated again by the
+/// kernels, but rejected here with file context for a better message).
+fn read_sparse_x(path: &str, cols: usize) -> Result<Vec<(u32, f64)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if !tokens.len().is_multiple_of(2) {
+        return Err(format!(
+            "{path}: expected index/value pairs, got {} tokens",
+            tokens.len()
+        ));
+    }
+    let mut pairs = Vec::with_capacity(tokens.len() / 2);
+    for chunk in tokens.chunks_exact(2) {
+        let idx: u32 = chunk[0]
+            .parse()
+            .map_err(|_| format!("{path}: bad index {:?}", chunk[0]))?;
+        let val: f64 = chunk[1]
+            .parse()
+            .map_err(|_| format!("{path}: bad value {:?}", chunk[1]))?;
+        pairs.push((idx, val));
+    }
+    gcm_core::validate_sparse_x(cols, &pairs).map_err(|e| format!("{path}: {e}"))?;
+    Ok(pairs)
+}
+
 fn write_panel(path: Option<&str>, rows: usize, k: usize, data: &[f64]) -> Result<(), String> {
     use std::io::Write;
     let mut out: Box<dyn Write> = match path {
@@ -545,6 +583,18 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
             Some(a..b)
         }
     };
+    let sparse_x = match args.flag("sparse-x") {
+        None => None,
+        Some(path) => {
+            if left || rows_subset.is_some() || k != 1 || args.flag("vector").is_some() {
+                return Err(
+                    "--sparse-x is a single right product from non-zero pairs (drop --left, --rows, --batch, --vector)"
+                        .to_string(),
+                );
+            }
+            Some(read_sparse_x(path, model.cols())?)
+        }
+    };
     let (in_len, out_len) = if left {
         (model.rows(), model.cols())
     } else {
@@ -561,7 +611,11 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
     let mut total = 0.0f64;
     for it in 0..repeat {
         let t = Instant::now();
-        if let Some(rows) = &rows_subset {
+        if let Some(x_nnz) = &sparse_x {
+            model
+                .right_multiply_sparse(x_nnz, &mut y)
+                .map_err(|e| e.to_string())?;
+        } else if let Some(rows) = &rows_subset {
             model
                 .right_multiply_rows(rows.clone(), k, &x, &mut y)
                 .map_err(|e| e.to_string())?;
@@ -587,6 +641,92 @@ fn cmd_multiply(args: &Args) -> Result<(), String> {
         );
     }
     write_panel(args.flag("out"), out_len, k, &y)
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let [input] = &args.positional[..] else {
+        return Err("solve needs <model.gcms>".into());
+    };
+    let method = args
+        .flag("method")
+        .ok_or_else(|| "solve needs --method power|pagerank|cg".to_string())?
+        .to_string();
+    let iters: usize = args.bounded_flag("iters", 100, 1)?;
+    let tol: f64 = args.parsed_flag("tol", 1e-9f64)?;
+    let damping: f64 = args.parsed_flag("damping", 0.85f64)?;
+    let serve = if args.has("plan-f32") {
+        ServeOptions::planned_f32()
+    } else if args.has("plan") {
+        ServeOptions::planned()
+    } else {
+        ServeOptions::default()
+    };
+    let t_load = Instant::now();
+    let model = ShardedModel::load(Path::new(input)).map_err(|e| e.to_string())?;
+    let load_time = t_load.elapsed();
+    // The solvers ping-pong width-1 products, so prewarm at width 1;
+    // SolverWorkspace::prepare then warms the driver-side vectors —
+    // every iteration after this point is allocation-free.
+    let t_prewarm = Instant::now();
+    model.prewarm_with(1, &serve);
+    let mut ws = gcm_core::SolverWorkspace::new();
+    ws.prepare(&model).map_err(|e| e.to_string())?;
+    let prewarm_time = t_prewarm.elapsed();
+    eprintln!(
+        "setup (excluded from timed loop): load {} | prewarm {}{}",
+        secs(load_time),
+        secs(prewarm_time),
+        if model.is_planned() {
+            format!(
+                " | planned ({})",
+                if model.is_planned_f32() { "f32" } else { "f64" }
+            )
+        } else {
+            String::new()
+        },
+    );
+    let n = model.cols();
+    let t = Instant::now();
+    let (stats, x) = match method.as_str() {
+        "power" => {
+            let mut x = match args.flag("vector") {
+                Some(p) => read_panel(p, n, 1)?,
+                None => vec![1.0; n],
+            };
+            let stats = gcm_core::power_iterations_into(&model, &mut x, iters, &mut ws)
+                .map_err(|e| e.to_string())?;
+            (stats, x)
+        }
+        "pagerank" => {
+            let mut x = match args.flag("vector") {
+                Some(p) => read_panel(p, n, 1)?,
+                None => vec![1.0 / n.max(1) as f64; n],
+            };
+            let stats = gcm_core::pagerank_into(&model, &mut x, damping, iters, tol, &mut ws)
+                .map_err(|e| e.to_string())?;
+            (stats, x)
+        }
+        "cg" => {
+            let b = match args.flag("vector") {
+                Some(p) => read_panel(p, model.rows(), 1)?,
+                None => vec![1.0; model.rows()],
+            };
+            let mut x = vec![0.0; n];
+            let stats = gcm_core::conjugate_gradient_into(&model, &b, &mut x, iters, tol, &mut ws)
+                .map_err(|e| e.to_string())?;
+            (stats, x)
+        }
+        other => return Err(format!("unknown --method {other} (power|pagerank|cg)")),
+    };
+    let dt = t.elapsed();
+    eprintln!(
+        "{method}: {} iterations in {} ({:.3} ms/iter), norm {:.6e}",
+        stats.iterations,
+        secs(dt),
+        dt.as_secs_f64() * 1e3 / stats.iterations.max(1) as f64,
+        stats.norm,
+    );
+    write_panel(args.flag("out"), n, 1, &x)
 }
 
 /// One selftest case: build, save, reload, multiply, compare to oracle.
@@ -845,7 +985,10 @@ fn run() -> Result<(), String> {
         ],
         "inspect" => &[],
         "multiply" => &[
-            "left", "batch", "vector", "out", "plan", "plan-f32", "repeat", "rows",
+            "left", "batch", "vector", "out", "plan", "plan-f32", "repeat", "rows", "sparse-x",
+        ],
+        "solve" => &[
+            "method", "iters", "tol", "damping", "vector", "out", "plan", "plan-f32",
         ],
         "serve" => &[
             "port",
@@ -866,6 +1009,7 @@ fn run() -> Result<(), String> {
         "compress" => cmd_compress(&args),
         "inspect" => cmd_inspect(&args),
         "multiply" => cmd_multiply(&args),
+        "solve" => cmd_solve(&args),
         "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "selftest" => cmd_selftest(&args),

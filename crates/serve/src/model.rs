@@ -301,6 +301,97 @@ impl Model {
         }
     }
 
+    /// Sparse-input right product from the non-zeroes of `x` alone,
+    /// without a plan: the input is scattered into a dense staging
+    /// buffer drawn from `ws` and the width-1 streaming kernel runs.
+    /// Exists so every backend accepts `multiply_sparse` requests; the
+    /// planned entry point below is the fast path.
+    ///
+    /// # Errors
+    /// Fails on invalid sparse input (see
+    /// [`gcm_core::validate_sparse_x`]) or a wrong `y` length.
+    pub fn right_multiply_sparse_into(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        gcm_core::validate_sparse_x(self.cols(), x_nnz)?;
+        let mut x = ws.take(self.cols());
+        x.fill(0.0);
+        for &(j, v) in x_nnz {
+            x[j as usize] = v;
+        }
+        let result = self.right_multiply_panel_into(1, &x, y, ws);
+        ws.put(x);
+        result
+    }
+
+    /// Sparse-input right product through a compiled `plan` (which must
+    /// have been compiled from this model): grammar backends take the
+    /// activity-propagation walk of
+    /// [`KernelPlan::right_multiply_sparse`] — blocked models run it
+    /// block by block over the shared input — and anything else falls
+    /// back to [`right_multiply_sparse_into`](Self::right_multiply_sparse_into).
+    /// No heap allocation once `ws` is warm.
+    ///
+    /// # Errors
+    /// Fails on invalid sparse input or a wrong `y` length.
+    pub fn right_multiply_sparse_planned(
+        &self,
+        plan: &ModelPlan,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+        ws: &mut Workspace,
+    ) -> Result<(), MatrixError> {
+        if y.len() != self.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows(),
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        match (self, plan) {
+            (Model::Compressed(_), ModelPlan::Compressed(p)) => {
+                let mut buf = ws.take(p.scratch_len(1));
+                let result = p.right_multiply_sparse(x_nnz, y, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Compressed(_), ModelPlan::CompressedF32(p)) => {
+                let mut buf = ws.take(p.scratch_len(1));
+                let result = p.right_multiply_sparse(x_nnz, y, &mut buf);
+                ws.put(buf);
+                result
+            }
+            (Model::Blocked(_), ModelPlan::Blocked(ps)) => {
+                let mut off = 0usize;
+                for p in ps {
+                    let mut buf = ws.take(p.scratch_len(1));
+                    let result =
+                        p.right_multiply_sparse(x_nnz, &mut y[off..off + p.rows()], &mut buf);
+                    ws.put(buf);
+                    result?;
+                    off += p.rows();
+                }
+                Ok(())
+            }
+            (Model::Blocked(_), ModelPlan::BlockedF32(ps)) => {
+                let mut off = 0usize;
+                for p in ps {
+                    let mut buf = ws.take(p.scratch_len(1));
+                    let result =
+                        p.right_multiply_sparse(x_nnz, &mut y[off..off + p.rows()], &mut buf);
+                    ws.put(buf);
+                    result?;
+                    off += p.rows();
+                }
+                Ok(())
+            }
+            _ => self.right_multiply_sparse_into(x_nnz, y, ws),
+        }
+    }
+
     /// Batched left product through a compiled `plan`; see
     /// [`right_multiply_panel_planned`](Self::right_multiply_panel_planned).
     ///
@@ -455,6 +546,84 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "{} left", model.backend().name());
             }
         }
+    }
+
+    #[test]
+    fn sparse_multiply_matches_dense_on_every_backend() {
+        let dense = sample();
+        let patterns: Vec<Vec<(u32, f64)>> = vec![
+            vec![],
+            vec![(3, 1.0)],
+            vec![(0, -2.0), (4, 0.5)],
+            (0..6).map(|j| (j as u32, j as f64 - 2.5)).collect(),
+        ];
+        for x_nnz in &patterns {
+            let mut x = vec![0.0; 6];
+            for &(j, v) in x_nnz {
+                x[j as usize] = v;
+            }
+            let mut y_ref = vec![0.0; 31];
+            dense.right_multiply(&x, &mut y_ref).unwrap();
+            for model in all_models(&dense) {
+                let mut ws = Workspace::new();
+                let mut y = vec![f64::NAN; 31];
+                model
+                    .right_multiply_sparse_into(x_nnz, &mut y, &mut ws)
+                    .unwrap();
+                for (a, b) in y.iter().zip(&y_ref) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "{} sparse nnz={}",
+                        model.backend().name(),
+                        x_nnz.len()
+                    );
+                }
+                for f32_plan in [false, true] {
+                    let Some(plan) = ModelPlan::compile_with(&model, f32_plan) else {
+                        continue;
+                    };
+                    let mut y = vec![f64::NAN; 31];
+                    model
+                        .right_multiply_sparse_planned(&plan, x_nnz, &mut y, &mut ws)
+                        .unwrap();
+                    let tol = if f32_plan { 1e-4 } else { 1e-9 };
+                    for (a, b) in y.iter().zip(&y_ref) {
+                        assert!(
+                            (a - b).abs() < tol,
+                            "{} planned sparse f32={} nnz={}",
+                            model.backend().name(),
+                            f32_plan,
+                            x_nnz.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_multiply_rejects_malformed_input() {
+        let dense = sample();
+        let model = &all_models(&dense)[2];
+        let mut ws = Workspace::new();
+        let mut y = vec![0.0; 31];
+        // Out-of-range index.
+        assert!(model
+            .right_multiply_sparse_into(&[(6, 1.0)], &mut y, &mut ws)
+            .is_err());
+        // Duplicate / unsorted indices.
+        assert!(model
+            .right_multiply_sparse_into(&[(2, 1.0), (2, 1.0)], &mut y, &mut ws)
+            .is_err());
+        assert!(model
+            .right_multiply_sparse_into(&[(4, 1.0), (1, 1.0)], &mut y, &mut ws)
+            .is_err());
+        // Wrong output length through the planned entry point.
+        let plan = ModelPlan::compile_with(model, false).unwrap();
+        let mut short = vec![0.0; 30];
+        assert!(model
+            .right_multiply_sparse_planned(&plan, &[(0, 1.0)], &mut short, &mut ws)
+            .is_err());
     }
 
     #[test]

@@ -25,6 +25,16 @@
 //!           (right product only: the response carries the
 //!            `(row_end-row_start)·k` output slice, served through the
 //!            plan's CSR row index in O(rows-touched) work)
+//! MULTIPLY_SPARSE
+//!           u8 verb=6 | u8 name_len | name bytes | u32 LE nnz |
+//!           nnz × (u32 LE index | f64 LE value)
+//!           (right product only, from the non-zeroes of x: indices
+//!            must be strictly increasing — enforced at decode — and
+//!            in-range for the model — enforced before admission; the
+//!            response carries the full `rows` output vector, served
+//!            through the plan's activity-propagation sparse kernel in
+//!            work proportional to the grammar slice the non-zeroes
+//!            reach)
 //! ```
 //!
 //! Response bodies start with a one-byte status:
@@ -63,6 +73,9 @@ pub mod verb {
     /// Multiply a panel and return only a contiguous row range of the
     /// right product.
     pub const MULTIPLY_ROWS: u8 = 5;
+    /// Right-multiply a sparse vector given as `(index, value)`
+    /// non-zero pairs.
+    pub const MULTIPLY_SPARSE: u8 = 6;
 }
 
 /// Response status codes. `OK` is the protocol's "2xx"; everything else
@@ -169,6 +182,30 @@ pub enum Request<'a> {
         /// server-side).
         payload: &'a [u8],
     },
+    /// Right-multiply a sparse vector given as non-zero pairs.
+    MultiplySparse {
+        /// Model name.
+        model: &'a str,
+        /// Number of `(index, value)` pairs in the payload.
+        nnz: usize,
+        /// `nnz` × (u32 LE index | f64 LE value) bytes, 12 per pair;
+        /// indices are strictly increasing (checked at decode) and
+        /// validated against the model's column count server-side.
+        payload: &'a [u8],
+    },
+}
+
+/// Byte width of one `(u32 index, f64 value)` sparse pair on the wire.
+pub const SPARSE_PAIR_BYTES: usize = 12;
+
+/// Reads the `(index, value)` pair at position `i` of a
+/// [`Request::MultiplySparse`] payload (caller guarantees `i < nnz`).
+#[must_use]
+pub fn sparse_pair(payload: &[u8], i: usize) -> (u32, f64) {
+    let p = &payload[i * SPARSE_PAIR_BYTES..(i + 1) * SPARSE_PAIR_BYTES];
+    let idx = u32::from_le_bytes(p[..4].try_into().expect("4 bytes"));
+    let val = f64::from_le_bytes(p[4..].try_into().expect("8 bytes"));
+    (idx, val)
 }
 
 fn read_name<'a>(body: &'a [u8], pos: &mut usize) -> Result<&'a str, &'static str> {
@@ -251,6 +288,32 @@ pub fn decode_request(body: &[u8]) -> Result<Request<'_>, &'static str> {
                 payload,
             })
         }
+        verb::MULTIPLY_SPARSE => {
+            let model = read_name(body, &mut pos)?;
+            let nnz_bytes = body.get(pos..pos + 4).ok_or("truncated non-zero count")?;
+            pos += 4;
+            let nnz = u32::from_le_bytes(nnz_bytes.try_into().expect("4 bytes")) as usize;
+            let payload = &body[pos..];
+            if payload.len() != nnz * SPARSE_PAIR_BYTES {
+                return Err("payload length disagrees with the non-zero count");
+            }
+            // Strictly increasing indices are a structural invariant of
+            // the format (sortedness needs no model metadata), so a
+            // violation is caught here, before any queueing.
+            let mut prev: Option<u32> = None;
+            for i in 0..nnz {
+                let (idx, _) = sparse_pair(payload, i);
+                if prev.is_some_and(|p| p >= idx) {
+                    return Err("sparse indices must be strictly increasing");
+                }
+                prev = Some(idx);
+            }
+            Ok(Request::MultiplySparse {
+                model,
+                nnz,
+                payload,
+            })
+        }
         _ => Err("unknown verb"),
     }
 }
@@ -312,6 +375,22 @@ pub fn encode_multiply_rows(
     out.reserve(values.len() * 8);
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
+    }
+    finish_frame(out);
+}
+
+/// Encodes a multiply-sparse request frame from `(index, value)`
+/// non-zero pairs (right product; indices must be strictly increasing
+/// for the frame to decode).
+pub fn encode_multiply_sparse(out: &mut Vec<u8>, model: &str, x_nnz: &[(u32, f64)]) {
+    begin_frame(out);
+    out.push(verb::MULTIPLY_SPARSE);
+    push_name(out, model);
+    out.extend_from_slice(&(x_nnz.len() as u32).to_le_bytes());
+    out.reserve(x_nnz.len() * SPARSE_PAIR_BYTES);
+    for &(idx, val) in x_nnz {
+        out.extend_from_slice(&idx.to_le_bytes());
+        out.extend_from_slice(&val.to_le_bytes());
     }
     finish_frame(out);
 }
@@ -509,6 +588,34 @@ impl Client {
         Ok(())
     }
 
+    /// Right-multiplies the sparse vector given by its `(index, value)`
+    /// non-zeroes (strictly increasing indices) by `model`, appending
+    /// the `rows` results to `y` (cleared first). Served through the
+    /// plan's activity-propagation sparse kernel when the model is
+    /// planned.
+    ///
+    /// # Errors
+    /// Fails on transport errors or any non-OK status.
+    pub fn multiply_sparse(
+        &mut self,
+        model: &str,
+        x_nnz: &[(u32, f64)],
+        y: &mut Vec<f64>,
+    ) -> Result<(), ClientError> {
+        encode_multiply_sparse(&mut self.out, model, x_nnz);
+        let (s, _) = self.roundtrip()?;
+        if s != status::OK {
+            return Err(self.non_ok(s));
+        }
+        let body = &self.resp[1..];
+        y.clear();
+        y.reserve(body.len() / 8);
+        for c in body.chunks_exact(8) {
+            y.push(f64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        Ok(())
+    }
+
     /// As [`multiply`](Self::multiply), but returns the raw status byte
     /// instead of treating non-OK as an error — the load generator's
     /// entry point, where `OVERLOADED` is an expected outcome to count,
@@ -640,6 +747,53 @@ mod tests {
         assert!(decode_request(&bad).is_err());
         // Truncated row range.
         let bad = vec![verb::MULTIPLY_ROWS, 1, b'a', 1, 0, 0, 0, 0];
+        assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn multiply_sparse_request_roundtrips_and_validates() {
+        let mut out = Vec::new();
+        let pairs = [(2u32, 0.5f64), (7, -1.25), (11, 3.0)];
+        encode_multiply_sparse(&mut out, "feat", &pairs);
+        match decode_request(&out[4..]).unwrap() {
+            Request::MultiplySparse {
+                model,
+                nnz,
+                payload,
+            } => {
+                assert_eq!(model, "feat");
+                assert_eq!(nnz, 3);
+                assert_eq!(payload.len(), 3 * SPARSE_PAIR_BYTES);
+                for (i, &(idx, val)) in pairs.iter().enumerate() {
+                    assert_eq!(sparse_pair(payload, i), (idx, val));
+                }
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Empty sparse vector is valid on the wire.
+        encode_multiply_sparse(&mut out, "feat", &[]);
+        assert!(matches!(
+            decode_request(&out[4..]).unwrap(),
+            Request::MultiplySparse { nnz: 0, .. }
+        ));
+        // Duplicate index.
+        encode_multiply_sparse(&mut out, "feat", &[(4, 1.0), (4, 2.0)]);
+        assert!(decode_request(&out[4..]).is_err(), "duplicate index");
+        // Unsorted indices.
+        encode_multiply_sparse(&mut out, "feat", &[(9, 1.0), (3, 2.0)]);
+        assert!(decode_request(&out[4..]).is_err(), "unsorted indices");
+        // Count disagrees with the payload (claim one more pair).
+        encode_multiply_sparse(&mut out, "feat", &pairs);
+        let name_end = 4 + 1 + 1 + 4; // frame len, verb, name_len, "feat"
+        out[name_end..name_end + 4].copy_from_slice(&4u32.to_le_bytes());
+        assert!(decode_request(&out[4..]).is_err(), "nnz overclaims payload");
+        // Truncated count field.
+        let bad = vec![verb::MULTIPLY_SPARSE, 1, b'a', 0, 0];
+        assert!(decode_request(&bad).is_err());
+        // Payload not a whole number of pairs.
+        let mut bad = vec![verb::MULTIPLY_SPARSE, 1, b'a'];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 7]);
         assert!(decode_request(&bad).is_err());
     }
 

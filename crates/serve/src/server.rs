@@ -124,11 +124,14 @@ struct LaneState {
 }
 
 /// Scratch for requests that already carry a k-wide panel (k ≥ 2):
-/// they skip the coalescer and run the kernel directly.
+/// they skip the coalescer and run the kernel directly. `pairs` stages
+/// decoded sparse non-zeroes (capacity `in_dim`, the validated maximum)
+/// for the same reason.
 #[derive(Debug)]
 struct DirectBufs {
     panel: Vec<f64>,
     y: Vec<f64>,
+    pairs: Vec<(u32, f64)>,
 }
 
 /// One model × direction batching queue. All buffers are allocated at
@@ -171,6 +174,7 @@ impl Lane {
             direct: Mutex::new(DirectBufs {
                 panel: vec![0.0; max_width * in_dim],
                 y: vec![0.0; max_width * out_dim],
+                pairs: Vec::with_capacity(in_dim),
             }),
         }
     }
@@ -348,7 +352,7 @@ impl Lane {
         out: &mut Vec<u8>,
     ) -> u8 {
         let mut bufs = self.direct.lock().expect("direct bufs poisoned");
-        let DirectBufs { panel, y } = &mut *bufs;
+        let DirectBufs { panel, y, .. } = &mut *bufs;
         decode_f64s(&mut panel[..k * self.in_dim], payload);
         let n = rows.len() * k;
         let res = model.right_multiply_rows(rows, k, &panel[..self.in_dim * k], &mut y[..n]);
@@ -373,6 +377,47 @@ impl Lane {
         }
     }
 
+    /// Runs a sparse right-multiply directly (right lane only; the
+    /// caller has validated `nnz` and every index against the model's
+    /// column count). Decodes the pairs into the lane's staging buffer
+    /// — allocation-free, its capacity covers any valid `nnz` — and
+    /// answers with the full `rows` output vector.
+    fn submit_sparse(
+        &self,
+        model: &ShardedModel,
+        nnz: usize,
+        payload: &[u8],
+        metrics: &ModelMetrics,
+        out: &mut Vec<u8>,
+    ) -> u8 {
+        let mut bufs = self.direct.lock().expect("direct bufs poisoned");
+        let DirectBufs { y, pairs, .. } = &mut *bufs;
+        pairs.clear();
+        for i in 0..nnz {
+            pairs.push(crate::protocol::sparse_pair(payload, i));
+        }
+        let res = model.right_multiply_sparse(pairs, &mut y[..self.out_dim]);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics.vectors.fetch_add(1, Ordering::Relaxed);
+        metrics.batch_width.record(1);
+        match res {
+            Ok(()) => {
+                begin_frame(out);
+                out.push(status::OK);
+                out.reserve(self.out_dim * 8);
+                for v in &y[..self.out_dim] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                finish_frame(out);
+                status::OK
+            }
+            Err(_) => {
+                respond_status(out, status::INTERNAL, "sparse multiply failed");
+                status::INTERNAL
+            }
+        }
+    }
+
     /// Runs a request that already carries a k-wide panel (k ≥ 2)
     /// directly, bypassing the coalescer. Same response contract as
     /// [`submit`](Self::submit).
@@ -386,7 +431,7 @@ impl Lane {
         out: &mut Vec<u8>,
     ) -> u8 {
         let mut bufs = self.direct.lock().expect("direct bufs poisoned");
-        let DirectBufs { panel, y } = &mut *bufs;
+        let DirectBufs { panel, y, .. } = &mut *bufs;
         decode_f64s(&mut panel[..k * self.in_dim], payload);
         let res = self.multiply(
             model,
@@ -661,6 +706,61 @@ impl Engine {
                     return;
                 };
                 let st = lane.submit_rows(&lanes.model, rows, k, payload, m, out);
+                match st {
+                    status::OK => m.ok.fetch_add(1, Ordering::Relaxed),
+                    _ => m.errors.fetch_add(1, Ordering::Relaxed),
+                };
+                m.latency_us.record(start.elapsed().as_micros() as u64);
+            }
+            Request::MultiplySparse {
+                model,
+                nnz,
+                payload,
+            } => {
+                let start = Instant::now();
+                let lanes = match self.get_lanes(model) {
+                    Ok(lanes) => lanes,
+                    Err(e) => {
+                        self.respond_serve_error(out, &e);
+                        return;
+                    }
+                };
+                let m = &lanes.metrics;
+                m.requests.fetch_add(1, Ordering::Relaxed);
+                let lane = &lanes.right;
+                // Validate against the model before any queueing: decode
+                // guarantees strictly increasing indices, so the last
+                // pair carries the maximum and one probe bounds them
+                // all; nnz ≤ cols then follows for free but is checked
+                // first so an overclaimed count gets the clearer message.
+                let cols = lanes.model.cols();
+                if nnz > cols {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    respond_status(
+                        out,
+                        status::BAD_REQUEST,
+                        "non-zero count exceeds model columns",
+                    );
+                    return;
+                }
+                if nnz > 0 {
+                    let (max_idx, _) = crate::protocol::sparse_pair(payload, nnz - 1);
+                    if max_idx as usize >= cols {
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                        respond_status(
+                            out,
+                            status::BAD_REQUEST,
+                            "sparse index exceeds model columns",
+                        );
+                        return;
+                    }
+                }
+                let Some(_guard) = self.try_admit() else {
+                    m.overloaded.fetch_add(1, Ordering::Relaxed);
+                    respond_status(out, status::OVERLOADED, "in-flight high-water mark reached");
+                    return;
+                };
+                let st = lane.submit_sparse(&lanes.model, nnz, payload, m, out);
                 match st {
                     status::OK => m.ok.fetch_add(1, Ordering::Relaxed),
                     _ => m.errors.fetch_add(1, Ordering::Relaxed),

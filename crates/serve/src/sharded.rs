@@ -544,6 +544,14 @@ impl ShardedModel {
             self.left_multiply_panel(width, &yv, &mut xo)
                 .expect("prewarm dimensions are consistent");
         }
+        // One throwaway sparse pass so the sparse path's scratch (the
+        // unplanned backends' dense staging vector in particular, which
+        // the panel budgets above don't cover) lands in the shard
+        // workspaces now rather than on the first live request.
+        let x_nnz: Vec<(u32, f64)> = (0..self.cols.min(1)).map(|j| (j as u32, 0.0)).collect();
+        let mut y = vec![0.0; self.rows];
+        self.right_multiply_sparse(&x_nnz, &mut y)
+            .expect("prewarm dimensions are consistent");
     }
 
     /// Whether any shard serves through a compiled plan.
@@ -639,6 +647,70 @@ impl ShardedModel {
                 None => shard
                     .model
                     .right_multiply_panel_into(k, x_panel, y, &mut ws),
+            }
+            .expect("shard dimensions are consistent by construction");
+        });
+        Ok(())
+    }
+
+    /// Right product `y = M·x` from the non-zeroes of `x` alone:
+    /// `x_nnz` holds `(column, value)` pairs with strictly increasing
+    /// in-range indices (validated up front, like the wire layer's
+    /// `multiply_sparse` verb). Planned shards take the
+    /// activity-propagation sparse kernel — per-request cost scales
+    /// with the slice of the grammar the non-zeroes reach instead of
+    /// the whole plan — and unplanned shards scatter into a
+    /// workspace-owned dense vector. Shards run concurrently on the
+    /// persistent pool, each writing its disjoint rows of `y`; the
+    /// sparse indices are original column positions even under column
+    /// reordering (CSRV pairs keep their original indices), so no
+    /// inverse permutation is applied.
+    ///
+    /// # Errors
+    /// Fails on malformed `x_nnz` (out-of-range, unsorted, or
+    /// duplicate indices; more pairs than columns) or a wrong `y`
+    /// length.
+    pub fn right_multiply_sparse(
+        &self,
+        x_nnz: &[(u32, f64)],
+        y: &mut [f64],
+    ) -> Result<(), MatrixError> {
+        gcm_core::validate_sparse_x(self.cols, x_nnz)?;
+        if y.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.rows,
+                actual: y.len(),
+                what: "y length",
+            });
+        }
+        if self.rows == 0 {
+            return Ok(());
+        }
+        if self.shards.len() == 1 {
+            let shard = &self.shards[0];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            return match shard.plan() {
+                Some(plan) => shard
+                    .model
+                    .right_multiply_sparse_planned(plan, x_nnz, y, &mut ws),
+                None => shard.model.right_multiply_sparse_into(x_nnz, y, &mut ws),
+            };
+        }
+        let base = SendPtr(y.as_mut_ptr());
+        let base = &base;
+        rayon::broadcast_indexed(self.shards.len(), &|i| {
+            let shard = &self.shards[i];
+            let mut ws = shard.ws.lock().expect("shard workspace poisoned");
+            let len = shard.model.rows();
+            // SAFETY: shard row ranges partition `0..rows` disjointly,
+            // so every task writes a non-overlapping region of y, which
+            // outlives the broadcast (it blocks until completion).
+            let y = unsafe { std::slice::from_raw_parts_mut(base.0.add(shard.row_offset), len) };
+            match shard.plan() {
+                Some(plan) => shard
+                    .model
+                    .right_multiply_sparse_planned(plan, x_nnz, y, &mut ws),
+                None => shard.model.right_multiply_sparse_into(x_nnz, y, &mut ws),
             }
             .expect("shard dimensions are consistent by construction");
         });

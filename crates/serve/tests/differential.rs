@@ -333,8 +333,125 @@ fn row_subset_products_match_the_oracle_slice() {
                             #[allow(clippy::reversed_empty_ranges)]
                             let inverted = 2..1;
                             assert!(
-                                model.right_multiply_rows(inverted, k, x, &mut sink).is_err(),
+                                model
+                                    .right_multiply_rows(inverted, k, x, &mut sink)
+                                    .is_err(),
                                 "{tag}: inverted range must be rejected"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sparse-input right products (`right_multiply_sparse`) must be
+/// **exactly** equal to the same model's dense-input product — across
+/// the shape grid, every backend, every compressed encoding, shard
+/// counts, and both streaming and planned serving. Below the density
+/// cutover the planned path routes through the activity-propagation
+/// kernel, above it through the dense-scatter fallback; both claim
+/// bit-equality with the dense kernels (modulo the sign of zero, which
+/// `==` deliberately does not discriminate). The pattern set includes
+/// the all-zero vector and a single non-zero; malformed inputs
+/// (duplicate, unsorted, or out-of-range indices, more pairs than
+/// columns, wrong output length) must be rejected.
+#[test]
+fn sparse_right_products_match_the_dense_path_exactly() {
+    for (shape, dense) in matrix_grid() {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let mut patterns: Vec<(&'static str, Vec<(u32, f64)>)> = vec![("all-zero", vec![])];
+        if cols > 0 {
+            patterns.push(("single-nonzero", vec![(cols as u32 / 2, 1.75)]));
+            patterns.push((
+                "every-3rd",
+                (0..cols as u32)
+                    .step_by(3)
+                    .map(|j| (j, 0.5 + f64::from(j % 4)))
+                    .collect(),
+            ));
+        }
+        for backend in Backend::ALL {
+            let encodings: &[Encoding] = match backend {
+                Backend::Compressed => &Encoding::ALL,
+                _ => &[Encoding::ReAns],
+            };
+            for &encoding in encodings {
+                for shards in [1usize, 3] {
+                    for planned in [false, true] {
+                        if planned && !matches!(backend, Backend::Compressed | Backend::Blocked) {
+                            continue;
+                        }
+                        let opts = BuildOptions {
+                            backend,
+                            encoding,
+                            shards,
+                            blocks: 2,
+                            ..BuildOptions::default()
+                        };
+                        let built = ShardedModel::from_dense(&dense, &opts).expect("build");
+                        let model =
+                            ShardedModel::from_bytes(&built.to_bytes()).expect("round-trip");
+                        if planned {
+                            model.prewarm_with(1, &ServeOptions::planned());
+                        }
+                        let tag = format!(
+                            "{shape}/{}-{}-s{shards}{}",
+                            backend.name(),
+                            encoding.name(),
+                            if planned { "-planned" } else { "" }
+                        );
+                        for (pname, x_nnz) in &patterns {
+                            let mut x = vec![0.0; cols];
+                            for &(j, v) in x_nnz {
+                                x[j as usize] = v;
+                            }
+                            let mut y_dense = vec![0.0; rows];
+                            model.right_multiply_panel(1, &x, &mut y_dense).unwrap();
+                            // Sentinel prefill: the sparse path must
+                            // fully overwrite y, untouched rows included.
+                            let mut y_sparse = vec![42.0; rows];
+                            model
+                                .right_multiply_sparse(x_nnz, &mut y_sparse)
+                                .unwrap_or_else(|e| panic!("{tag} {pname}: {e}"));
+                            for (i, (s, d)) in y_sparse.iter().zip(&y_dense).enumerate() {
+                                assert!(s == d, "{tag} {pname}: row {i}: sparse {s} != dense {d}");
+                            }
+                        }
+                        // Malformed sparse inputs fast-fail.
+                        if cols >= 3 {
+                            let mut y = vec![0.0; rows];
+                            assert!(
+                                model
+                                    .right_multiply_sparse(&[(1, 1.0), (1, 2.0)], &mut y)
+                                    .is_err(),
+                                "{tag}: duplicate index must be rejected"
+                            );
+                            assert!(
+                                model
+                                    .right_multiply_sparse(&[(2, 1.0), (0, 2.0)], &mut y)
+                                    .is_err(),
+                                "{tag}: unsorted indices must be rejected"
+                            );
+                            assert!(
+                                model
+                                    .right_multiply_sparse(&[(cols as u32, 1.0)], &mut y)
+                                    .is_err(),
+                                "{tag}: out-of-range index must be rejected"
+                            );
+                            let long: Vec<(u32, f64)> =
+                                (0..=cols as u32).map(|j| (j, 1.0)).collect();
+                            assert!(
+                                model.right_multiply_sparse(&long, &mut y).is_err(),
+                                "{tag}: more pairs than columns must be rejected"
+                            );
+                            let mut y_bad = vec![0.0; rows + 1];
+                            assert!(
+                                model
+                                    .right_multiply_sparse(&[(0, 1.0)], &mut y_bad)
+                                    .is_err(),
+                                "{tag}: wrong y length must be rejected"
                             );
                         }
                     }

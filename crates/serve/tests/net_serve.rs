@@ -259,6 +259,83 @@ fn hand_rolled_malformed_frames_are_rejected_before_enqueueing() {
         "absurd range"
     );
 
+    // Sparse frames. A forged pair list helper: the reference client
+    // sorts and validates, so these can only arrive hand-rolled.
+    let pairs = |list: &[(u32, f64)]| -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(idx, val) in list {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&val.to_le_bytes());
+        }
+        out
+    };
+    // Payload that is not a whole number of (u32, f64) pairs.
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&[0u8; 7]);
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse ragged payload"
+    );
+    // Non-zero count disagrees with the payload.
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&pairs(&[(0, 1.0)]));
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse count overclaims payload"
+    );
+    // An absurd claimed count with no payload behind it must be
+    // rejected from the count/length comparison alone — the server
+    // never sizes a buffer from the attacker's number.
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse absurd count"
+    );
+    // Unsorted and duplicate indices: structural invariants of the
+    // format, rejected at decode, before any model lookup or queueing.
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&pairs(&[(5, 1.0), (2, 1.0)]));
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse unsorted indices"
+    );
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&pairs(&[(3, 1.0), (3, 2.0)]));
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse duplicate index"
+    );
+    // Well-formed frame, but the index is out of range for the model:
+    // rejected against the model's columns before admission.
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&pairs(&[(cols as u32, 1.0)]));
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse out-of-range index"
+    );
+    // More pairs than the model has columns.
+    let long: Vec<(u32, f64)> = (0..=cols as u32).map(|j| (j, 1.0)).collect();
+    body = vec![verb::MULTIPLY_SPARSE, 1, b'm'];
+    body.extend_from_slice(&(long.len() as u32).to_le_bytes());
+    body.extend_from_slice(&pairs(&long));
+    assert_eq!(
+        raw_roundtrip(&mut stream, &body, &mut resp),
+        status::BAD_REQUEST,
+        "sparse more pairs than columns"
+    );
+
     // The connection survives every rejection and still serves.
     drop(stream);
     let mut client = Client::connect(handle.addr()).unwrap();
@@ -268,6 +345,46 @@ fn hand_rolled_malformed_frames_are_rejected_before_enqueueing() {
         .multiply("m", Direction::Right, 1, &x, &mut y)
         .unwrap();
     assert_eq!(y.len(), reference.rows());
+    drop(client);
+    handle.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sparse_wire_responses_are_bit_exact_with_direct_call() {
+    let (mut handle, reference, dir) = serve_sample(
+        "sparsewire",
+        ServerConfig {
+            batch_width: 8,
+            batch_deadline_us: 0,
+            max_inflight: 64,
+        },
+    );
+    let (rows, cols) = (reference.rows(), reference.cols());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for x_nnz in [
+        &[][..],
+        &[(3u32, 1.75)],
+        &[(0, 0.5), (2, -1.25), (6, 3.0)],
+        &(0..cols as u32)
+            .map(|j| (j, 0.25 + f64::from(j)))
+            .collect::<Vec<_>>(),
+    ] {
+        let mut y_wire = Vec::new();
+        client.multiply_sparse("m", x_nnz, &mut y_wire).unwrap();
+        let mut y_direct = vec![0.0; rows];
+        reference
+            .right_multiply_sparse(x_nnz, &mut y_direct)
+            .unwrap();
+        assert_eq!(y_wire.len(), rows, "nnz={}", x_nnz.len());
+        for (i, (w, d)) in y_wire.iter().zip(&y_direct).enumerate() {
+            assert!(
+                w.to_bits() == d.to_bits(),
+                "nnz={} element {i}: wire {w} != direct {d}",
+                x_nnz.len()
+            );
+        }
+    }
     drop(client);
     handle.stop();
     std::fs::remove_dir_all(&dir).unwrap();

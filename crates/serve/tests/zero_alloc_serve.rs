@@ -10,7 +10,9 @@
 
 use gcm_bench::alloc;
 use gcm_bench::TrackingAlloc;
-use gcm_core::Encoding;
+use gcm_core::{
+    conjugate_gradient_into, pagerank_into, power_iterations_into, Encoding, SolverWorkspace,
+};
 use gcm_matrix::DenseMatrix;
 use gcm_serve::{Backend, BuildOptions, ServeOptions, ShardedModel};
 
@@ -174,7 +176,101 @@ fn sharded_serving_loop_is_allocation_free_from_the_first_request() {
                 .right_multiply_rows(sub.clone(), k, &x_panel, &mut y_sub)
                 .unwrap();
         });
+
+        // Sparse-input serving: `right_multiply_sparse` — validation,
+        // the kernel (scatter here; 3 of 12 columns is above the
+        // density cutover), and the shard broadcast — is
+        // allocation-free from the very first request, because the
+        // prewarm's throwaway sparse pass sized the staging buffers.
+        let x_nnz = [(1u32, 0.5), (5, 2.0), (11, -1.25)];
+        let mut y_sparse = vec![0.0; rows];
+        assert_alloc_free(&format!("{name} first sparse"), 1, || {
+            model.right_multiply_sparse(&x_nnz, &mut y_sparse).unwrap();
+        });
+        assert_alloc_free(&format!("{name} sparse steady state"), 16, || {
+            model.right_multiply_sparse(&x_nnz, &mut y_sparse).unwrap();
+        });
     }
+
+    // The activity-propagation sparse kernel specifically: on a planned
+    // model wide enough that a few non-zeroes sit below the density
+    // cutover, the lazy dependency index is built by the prewarm's
+    // throwaway sparse pass, so even the first live request through the
+    // activity walk stays off the heap — at every nnz up to the cutover
+    // and across shard counts (1 exercises the single-shard fast path,
+    // 3 the broadcast).
+    let wide = repetitive(96, 60);
+    for shards in [1usize, 3] {
+        let built = ShardedModel::from_dense(
+            &wide,
+            &BuildOptions {
+                backend: Backend::Compressed,
+                encoding: Encoding::ReAns,
+                shards,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let model = ShardedModel::from_bytes(&built.to_bytes()).expect("container round-trip");
+        model.prewarm_with(1, &ServeOptions::planned());
+        let mut y_sparse = vec![0.0; 96];
+        for x_nnz in [
+            &[(7u32, 1.5)][..],
+            &[(3, 0.5), (40, -2.0)],
+            &[(0, 1.0), (30, 1.0), (59, 1.0)],
+        ] {
+            assert_alloc_free(
+                &format!("activity sparse s{shards} nnz={}", x_nnz.len()),
+                8,
+                || {
+                    model.right_multiply_sparse(x_nnz, &mut y_sparse).unwrap();
+                },
+            );
+        }
+        // And the results are the real products.
+        let mut x = vec![0.0; 60];
+        for &(j, v) in &[(0u32, 1.0), (30, 1.0), (59, 1.0)] {
+            x[j as usize] = v;
+        }
+        let mut y_ref = vec![0.0; 96];
+        wide.right_multiply(&x, &mut y_ref).unwrap();
+        for (a, b) in y_sparse.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-9, "sparse s{shards}: {a} vs {b}");
+        }
+    }
+
+    // The iterative solver drivers: after `SolverWorkspace::prepare`,
+    // whole power-iteration, PageRank, and conjugate-gradient runs over
+    // the sharded model perform zero heap allocation — the drivers own
+    // no per-iteration state and the model's `MatVec` entry points
+    // route through the panel paths proven flat above.
+    let square = repetitive(60, 60);
+    let solver_model = ShardedModel::from_dense(
+        &square,
+        &BuildOptions {
+            backend: Backend::Compressed,
+            encoding: Encoding::ReAns,
+            shards: 3,
+            ..BuildOptions::default()
+        },
+    )
+    .unwrap();
+    solver_model.prewarm_with(1, &ServeOptions::planned());
+    let mut sws = SolverWorkspace::new();
+    sws.prepare(&solver_model).unwrap();
+    let mut xs = vec![1.0; 60];
+    assert_alloc_free("power iteration loop", 1, || {
+        power_iterations_into(&solver_model, &mut xs, 20, &mut sws).unwrap();
+    });
+    xs.fill(1.0 / 60.0);
+    assert_alloc_free("pagerank loop", 1, || {
+        pagerank_into(&solver_model, &mut xs, 0.85, 20, 0.0, &mut sws).unwrap();
+    });
+    xs.fill(0.0);
+    let b_target = vec![1.0; 60];
+    assert_alloc_free("conjugate gradient loop", 1, || {
+        conjugate_gradient_into(&solver_model, &b_target, &mut xs, 20, 0.0, &mut sws).unwrap();
+    });
 
     // The v4 persisted-plan container must load by *casting*: zero plan
     // compilations (the process-wide counter stays flat across load AND

@@ -1,0 +1,102 @@
+//! One-hot feature scoring through the sparse-input kernel path: the
+//! ML-serving access pattern that motivates grammar-compressed models
+//! (§1) multiplies the matrix by vectors that are almost entirely zero
+//! — a one-hot category selector or a handful of active features.
+//!
+//! The compiled plans' `right_multiply_sparse` seeds the non-zero
+//! positions, walks only the slice of the rule DAG they reach, and
+//! scatter-accumulates just the descriptors that survive — per-request
+//! work scales with the reachable slice of the grammar instead of the
+//! whole plan. This example scores every one-hot input (round-robin
+//! over all columns, so no column is cherry-picked) plus few-hot and
+//! 10%-dense selectors against the dense planned path and reports the
+//! measured speedup (results are checked to match exactly).
+//!
+//! Run with: `cargo run --release --example sparse_scoring`
+
+use std::time::Instant;
+
+use mm_repair::prelude::*;
+
+/// A named family of sparse inputs, cycled round-robin when scoring.
+type Pattern = (String, Vec<Vec<(u32, f64)>>);
+
+fn main() {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(13_000);
+    println!("generating Census-like matrix with {rows} rows…");
+    let dense = Dataset::Census.generate(rows, 42);
+    let csrv = CsrvMatrix::from_dense(&dense).expect("csrv");
+    let cols = csrv.cols();
+    let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+    let plan = cm.plan();
+    println!(
+        "{rows} x {cols}, {} grammar rules, {} plan heap bytes\n",
+        cm.num_rules(),
+        plan.heap_bytes(),
+    );
+
+    let mut buf = vec![0.0; plan.scratch_len(1)];
+    let mut y_dense = vec![0.0; rows];
+    let mut y_sparse = vec![0.0; rows];
+    let calls = 50;
+
+    // Each pattern is a set of sparse inputs cycled round-robin; the
+    // one-hot row covers every column so the average is representative.
+    let patterns: Vec<Pattern> = vec![
+        (
+            format!("one-hot (x{cols})"),
+            (0..cols as u32).map(|j| vec![(j, 1.5)]).collect(),
+        ),
+        (
+            "4 features".to_string(),
+            vec![vec![(2, 0.5), (11, 1.0), (17, -1.0), (40, 2.0)]],
+        ),
+        (
+            "10% dense".to_string(),
+            vec![(0..cols as u32)
+                .step_by(10)
+                .map(|j| (j, 1.0 + f64::from(j % 3)))
+                .collect()],
+        ),
+    ];
+
+    println!(
+        "{:<14} {:>6} {:>14} {:>14} {:>9}",
+        "input", "nnz", "dense ms/call", "sparse ms/call", "speedup"
+    );
+    for (name, inputs) in &patterns {
+        let mut dense_s = 0.0;
+        let mut sparse_s = 0.0;
+        for x_nnz in inputs {
+            let mut x = vec![0.0; cols];
+            for &(j, v) in x_nnz {
+                x[j as usize] = v;
+            }
+            let t = Instant::now();
+            for _ in 0..calls {
+                plan.right_multiply(&x, &mut y_dense, &mut buf)
+                    .expect("dense");
+            }
+            dense_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for _ in 0..calls {
+                plan.right_multiply_sparse(x_nnz, &mut y_sparse, &mut buf)
+                    .expect("sparse");
+            }
+            sparse_s += t.elapsed().as_secs_f64();
+            assert_eq!(y_sparse, y_dense, "sparse path must match dense exactly");
+        }
+        let per = 1e3 / (calls * inputs.len()) as f64;
+        println!(
+            "{name:<14} {:>6} {:>14.4} {:>14.4} {:>8.1}x",
+            inputs[0].len(),
+            dense_s * per,
+            sparse_s * per,
+            dense_s / sparse_s,
+        );
+    }
+    println!("\nall sparse results matched the dense planned path exactly");
+}

@@ -70,8 +70,9 @@ pub use gcm_serve as serve;
 pub mod prelude {
     pub use gcm_baselines::ClaMatrix;
     pub use gcm_core::{
-        power_iterations, BlockedMatrix, CompressedMatrix, Encoding, FastDiv, IterationStats,
-        KernelPlan,
+        conjugate_gradient_into, pagerank_into, power_iterations, power_iterations_into,
+        validate_sparse_x, BlockedMatrix, CompressedMatrix, Encoding, FastDiv, IterationStats,
+        KernelPlan, SolveStats, SolverWorkspace, SparseStrategy,
     };
     pub use gcm_datagen::Dataset;
     pub use gcm_encodings::HeapSize;
