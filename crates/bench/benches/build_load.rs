@@ -14,6 +14,10 @@
 //!   prewarm) vs. the version-4 container with a persisted plan
 //!   section (load casts the plans; prewarm only validates).
 //!
+//! * `grammar-build`: the grammar-stage policies at 4 shards — classic
+//!   RePair vs. MR-RePair vs. `auto` (both grammars per shard, keep the
+//!   smaller measured encoding — roughly the sum of the other two).
+//!
 //! Both pairs produce bit-identical results (locked in by
 //! `crates/serve/tests/pipeline_parallel.rs`); only the clock should
 //! move. Pass `--test` (CI's smoke mode) to shrink the matrix and the
@@ -34,7 +38,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gcm_bench::report::{pct, time_s};
 use gcm_datagen::Dataset;
 use gcm_matrix::CsrvMatrix;
-use gcm_pipeline::{BuildConfig, Pipeline, ReorderMode};
+use gcm_pipeline::{BuildConfig, GrammarChoice, Pipeline, ReorderMode};
 use gcm_reorder::ReorderAlgorithm;
 use gcm_serve::{container, ServeOptions, ShardedModel};
 
@@ -170,6 +174,23 @@ fn run_json_report(path: &str, pipeline: &Pipeline, csrv: &CsrvMatrix, rows: usi
             secs_per_iter: measure(|| _ = planned_cold_start(&planned)),
         });
     }
+    for grammar in [
+        GrammarChoice::RePair,
+        GrammarChoice::MrRePair,
+        GrammarChoice::Auto,
+    ] {
+        let config = BuildConfig {
+            shards: 4,
+            grammar: Some(grammar),
+            ..BuildConfig::default()
+        };
+        entries.push(JsonEntry {
+            group: "grammar-build",
+            variant: grammar.name(),
+            shards: 4,
+            secs_per_iter: measure(|| _ = pipeline.build(csrv, &config)),
+        });
+    }
     write_json(path, rows, &entries);
 }
 
@@ -260,6 +281,24 @@ fn bench_build_load(c: &mut Criterion) {
             &planned,
             |b, bytes| b.iter(|| planned_cold_start(bytes)),
         );
+    }
+    group.finish();
+
+    // Grammar-stage policies: what each choice costs at build time.
+    let mut group = c.benchmark_group("grammar-build");
+    for grammar in [
+        GrammarChoice::RePair,
+        GrammarChoice::MrRePair,
+        GrammarChoice::Auto,
+    ] {
+        let config = BuildConfig {
+            shards: 4,
+            grammar: Some(grammar),
+            ..BuildConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new(grammar.name(), 4), &config, |b, config| {
+            b.iter(|| pipeline.build(&csrv, config))
+        });
     }
     group.finish();
 }

@@ -14,6 +14,11 @@
 //!   column is cherry-picked. The dense/activity ratio at each density
 //!   is the sparse speedup; the crossover pins
 //!   `SPARSE_DENSITY_THRESHOLD`.
+//! * `grammar/right`: the grammar-stage comparison — the same matrix
+//!   compressed by classic RePair vs. MR-RePair (variable-arity rules,
+//!   lowered to chained binary descriptors at plan compile), streaming
+//!   and planned, per encoding. MR trades more symbols per rule for
+//!   fewer rules; the planned gap shows what that buys at MVM time.
 //! * `sharded/right`: the serve-layer view — `ShardedModel` at 1 and 4
 //!   shards, streaming vs. f64-plan vs. f32-plan prewarm.
 //!
@@ -38,8 +43,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use gcm_core::{CompressedMatrix, Encoding, SparseStrategy};
 use gcm_datagen::Dataset;
-use gcm_matrix::{CsrvMatrix, Workspace};
+use gcm_matrix::{CsrvMatrix, Workspace, SEPARATOR};
+use gcm_repair::RePair;
 use gcm_serve::{BuildOptions, ServeOptions, ShardedModel};
+
+/// The same CSRV stream compressed by the MR-RePair stage.
+fn mr_compress(csrv: &CsrvMatrix, enc: Encoding) -> CompressedMatrix {
+    let mr = RePair::new().compress_mr(csrv.symbols(), csrv.terminal_limit(), Some(SEPARATOR));
+    CompressedMatrix::from_mr_slp(csrv, &mr, enc)
+}
 
 /// CI smoke mode: `cargo bench --bench kernels -- --test`.
 fn smoke() -> bool {
@@ -367,6 +379,49 @@ fn run_json_report(path: &str, dense: &gcm_matrix::DenseMatrix, csrv: &CsrvMatri
         }
     }
 
+    // Grammar stages: RePair vs MR-RePair on the same stream, streaming
+    // and planned right products per encoding.
+    for enc in Encoding::ALL {
+        let x = input(cols);
+        let mut y = vec![0.0; rows];
+        for (stage, cm) in [
+            ("repair", CompressedMatrix::compress(csrv, enc)),
+            ("mr", mr_compress(csrv, enc)),
+        ] {
+            let plan = cm.plan();
+            let mut buf = vec![0.0; plan.scratch_len(1)];
+            let mut ws = Workspace::new();
+            let secs = measure(|| {
+                let mut w = ws.take(cm.num_rules());
+                cm.right_multiply_panel_with(1, &x, &mut y, &mut w).unwrap();
+                ws.put(w);
+            });
+            entries.push(JsonEntry {
+                group: "grammar/right".into(),
+                variant: if stage == "mr" {
+                    "mr_streaming"
+                } else {
+                    "repair_streaming"
+                },
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+            let secs = measure(|| plan.right_multiply(&x, &mut y, &mut buf).unwrap());
+            entries.push(JsonEntry {
+                group: "grammar/right".into(),
+                variant: if stage == "mr" {
+                    "mr_planned"
+                } else {
+                    "repair_planned"
+                },
+                encoding: enc.name(),
+                secs_per_iter: secs,
+                elements: nnz,
+            });
+        }
+    }
+
     // Serve layer: shard parallelism × plan precision.
     let x = input(cols);
     let mut y = vec![0.0; rows];
@@ -553,6 +608,37 @@ fn bench_kernels(c: &mut Criterion) {
             });
             group.finish();
         }
+    }
+
+    // Grammar stages: RePair vs MR-RePair on the same stream.
+    for enc in Encoding::ALL {
+        let x = input(cols);
+        let mut y = vec![0.0; rows];
+        let mut group = c.benchmark_group("grammar/right");
+        group.throughput(Throughput::Elements(nnz as u64));
+        for (stage, cm) in [
+            ("repair", CompressedMatrix::compress(&csrv, enc)),
+            ("mr", mr_compress(&csrv, enc)),
+        ] {
+            let plan = cm.plan();
+            let mut buf = vec![0.0; plan.scratch_len(1)];
+            let mut ws = Workspace::new();
+            group.bench_function(
+                BenchmarkId::new(format!("{stage}-streaming"), enc.name()),
+                |b| {
+                    b.iter(|| {
+                        let mut w = ws.take(cm.num_rules());
+                        cm.right_multiply_panel_with(1, &x, &mut y, &mut w).unwrap();
+                        ws.put(w);
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("{stage}-planned"), enc.name()),
+                |b| b.iter(|| plan.right_multiply(&x, &mut y, &mut buf).unwrap()),
+            );
+        }
+        group.finish();
     }
 
     // The serve-layer view: shard parallelism × plan dispatch.

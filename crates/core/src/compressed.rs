@@ -6,9 +6,9 @@ use gcm_encodings::fse::FseSequence;
 use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{HeapSize, IntVector};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace, SEPARATOR};
-use gcm_repair::{RePair, RePairConfig, Slp};
+use gcm_repair::{MrSlp, RePair, RePairConfig, Slp};
 
-use crate::encoding::{Encoding, RuleStore, SeqStore};
+use crate::encoding::{Encoding, ExtSyms, RuleExt, RuleStore, SeqStore};
 use crate::mvm;
 use crate::plan::{KernelPlan, KernelPlanF32};
 
@@ -24,6 +24,9 @@ pub struct CompressedMatrix {
     encoding: Encoding,
     seq: SeqStore,
     rules: RuleStore,
+    /// Tail symbols of variable-arity (MR-RePair) rules; `None` for the
+    /// binary RePair grammars, which pay nothing for the field.
+    ext: Option<Box<RuleExt>>,
 }
 
 impl CompressedMatrix {
@@ -85,6 +88,85 @@ impl CompressedMatrix {
             encoding,
             seq,
             rules,
+            ext: None,
+        }
+    }
+
+    /// Encodes an MR-RePair grammar: each rule's first two right-hand
+    /// symbols land in the binary [`RuleStore`], and the tails of rules
+    /// with arity > 2 go into a [`RuleExt`] whose physical layout (raw
+    /// u32 vs bit-packed) mirrors the chosen encoding.
+    pub fn from_mr_slp(csrv: &CsrvMatrix, mr: &MrSlp, encoding: Encoding) -> Self {
+        debug_assert_eq!(mr.first_nonterminal(), csrv.terminal_limit());
+        debug_assert!(mr.rules_avoid_terminal(SEPARATOR));
+        let q = mr.num_rules();
+        let mut flat_rules: Vec<u32> = Vec::with_capacity(q * 2);
+        let mut wide_ids: Vec<u32> = Vec::new();
+        let mut tail_ptr: Vec<u32> = vec![0];
+        let mut tail_syms: Vec<u32> = Vec::new();
+        for k in 0..q {
+            let rhs = mr.rule(k);
+            flat_rules.push(rhs[0]);
+            flat_rules.push(rhs[1]);
+            if rhs.len() > 2 {
+                wide_ids.push(k as u32);
+                tail_syms.extend_from_slice(&rhs[2..]);
+                tail_ptr.push(tail_syms.len() as u32);
+            }
+        }
+        let max_symbol = mr.max_symbol().max(1) as u64;
+        let width = IntVector::width_for(max_symbol);
+        let ext = if wide_ids.is_empty() {
+            None
+        } else {
+            let syms = match encoding {
+                Encoding::Re32 => ExtSyms::Raw(tail_syms),
+                _ => {
+                    let wide: Vec<u64> = tail_syms.iter().map(|&s| s as u64).collect();
+                    ExtSyms::Packed(IntVector::from_slice_with_width(&wide, width))
+                }
+            };
+            let ext = RuleExt::from_parts(wide_ids, tail_ptr, syms)
+                .expect("MrSlp tails form a valid CSR by construction");
+            Some(Box::new(ext))
+        };
+        let (seq, rules) = match encoding {
+            Encoding::Re32 => (
+                SeqStore::Raw(mr.sequence().to_vec()),
+                RuleStore::Raw(flat_rules),
+            ),
+            Encoding::ReIv => {
+                let seq: Vec<u64> = mr.sequence().iter().map(|&s| s as u64).collect();
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Packed(IntVector::from_slice_with_width(&seq, width)),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+            Encoding::ReAns => {
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Ans(RansSequence::encode(mr.sequence())),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+            Encoding::ReFse => {
+                let rules: Vec<u64> = flat_rules.iter().map(|&s| s as u64).collect();
+                (
+                    SeqStore::Fse(FseSequence::encode(mr.sequence())),
+                    RuleStore::Packed(IntVector::from_slice_with_width(&rules, width)),
+                )
+            }
+        };
+        Self {
+            rows: csrv.rows(),
+            cols: csrv.cols(),
+            values: csrv.values_arc(),
+            first_nt: csrv.terminal_limit(),
+            encoding,
+            seq,
+            rules,
+            ext,
         }
     }
 
@@ -103,7 +185,43 @@ impl CompressedMatrix {
         seq: SeqStore,
         rules: RuleStore,
     ) -> Option<Self> {
+        Self::from_raw_parts_ext(rows, cols, values, first_nt, encoding, seq, rules, None)
+    }
+
+    /// [`from_raw_parts`](Self::from_raw_parts) with MR-RePair rule
+    /// tails. Tail symbols obey the same ordering invariant as the pair
+    /// (each references a strictly earlier symbol than the owning rule),
+    /// so one extra check per tail symbol keeps the
+    /// corrupt-input-never-panics guarantee.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_ext(
+        rows: usize,
+        cols: usize,
+        values: Arc<Vec<f64>>,
+        first_nt: u32,
+        encoding: Encoding,
+        seq: SeqStore,
+        rules: RuleStore,
+        ext: Option<RuleExt>,
+    ) -> Option<Self> {
         let q = rules.num_rules();
+        if let Some(e) = &ext {
+            let mut ok = true;
+            for (idx, &rid) in e.rule_ids().iter().enumerate() {
+                if rid as usize >= q {
+                    return None;
+                }
+                let own = first_nt as u64 + rid as u64;
+                e.for_each_tail_sym(idx, |s| {
+                    if s as u64 >= own || s == SEPARATOR {
+                        ok = false;
+                    }
+                });
+            }
+            if !ok {
+                return None;
+            }
+        }
         let limit = first_nt as u64 + q as u64;
         if limit > u32::MAX as u64 {
             return None;
@@ -144,6 +262,7 @@ impl CompressedMatrix {
             encoding,
             seq,
             rules,
+            ext: ext.map(Box::new),
         })
     }
 
@@ -191,11 +310,16 @@ impl CompressedMatrix {
     pub fn nnz(&self) -> usize {
         let q = self.num_rules();
         let mut lens: Vec<u64> = Vec::with_capacity(q);
+        let mut tails = RuleExt::cursor(self.rule_ext());
         for k in 0..q {
             let (a, b) = self.rules.rule(k);
             let la = Self::symbol_len(a, self.first_nt, &lens);
             let lb = Self::symbol_len(b, self.first_nt, &lens);
-            lens.push(la.saturating_add(lb));
+            let mut len = la.saturating_add(lb);
+            tails.with_tail(k, |s| {
+                len = len.saturating_add(Self::symbol_len(s, self.first_nt, &lens));
+            });
+            lens.push(len);
         }
         let mut total = 0u64;
         self.seq.for_each(|s| {
@@ -232,10 +356,29 @@ impl CompressedMatrix {
         &self.rules
     }
 
+    /// The variable-arity rule tails, if this is an MR-RePair grammar.
+    pub fn rule_ext(&self) -> Option<&RuleExt> {
+        self.ext.as_deref()
+    }
+
+    /// Rule count of the *lowered* binary program a [`KernelPlan`]
+    /// compiles this matrix into: each arity-`p` rule contributes
+    /// `p − 1` chained binary rules, so binary grammars lower to
+    /// themselves.
+    ///
+    /// [`KernelPlan`]: crate::plan::KernelPlan
+    pub fn lowered_rules(&self) -> usize {
+        self.num_rules() + self.ext.as_deref().map_or(0, RuleExt::total_tail_syms)
+    }
+
     /// Serialized size in bytes: `C` + `R` + `8·|V|` (the paper's "size"
-    /// columns; `V` is stored as raw doubles in all variants).
+    /// columns; `V` is stored as raw doubles in all variants), plus the
+    /// MR-RePair tail section when present.
     pub fn stored_bytes(&self) -> usize {
-        self.seq.stored_bytes() + self.rules.stored_bytes() + self.values.len() * 8
+        self.seq.stored_bytes()
+            + self.rules.stored_bytes()
+            + self.values.len() * 8
+            + self.ext.as_deref().map_or(0, RuleExt::stored_bytes)
     }
 
     /// Auxiliary working space of one multiplication: the `W` array of
@@ -288,6 +431,7 @@ impl CompressedMatrix {
         mvm::right_multiply(
             &self.seq,
             &self.rules,
+            self.rule_ext(),
             &self.values,
             self.first_nt,
             self.cols as u32,
@@ -314,6 +458,7 @@ impl CompressedMatrix {
         mvm::left_multiply(
             &self.seq,
             &self.rules,
+            self.rule_ext(),
             &self.values,
             self.first_nt,
             self.cols as u32,
@@ -343,6 +488,7 @@ impl CompressedMatrix {
         mvm::right_multiply_batch(
             &self.seq,
             &self.rules,
+            self.rule_ext(),
             &self.values,
             self.first_nt,
             self.cols as u32,
@@ -382,6 +528,7 @@ impl CompressedMatrix {
         mvm::left_multiply_batch(
             &self.seq,
             &self.rules,
+            self.rule_ext(),
             &self.values,
             self.first_nt,
             self.cols as u32,
@@ -443,10 +590,27 @@ impl CompressedMatrix {
 
     /// Decompresses back to the CSRV symbol stream (testing / export).
     pub fn decompress_symbols(&self) -> Vec<u32> {
-        let flat = match &self.rules {
+        let flat: Vec<u32> = match &self.rules {
             RuleStore::Raw(v) => v.clone(),
             RuleStore::Packed(iv) => iv.iter().map(|s| s as u32).collect(),
         };
+        if let Some(ext) = self.rule_ext() {
+            // Reassemble each full right-hand side: the stored pair plus
+            // the tail, then expand through the variable-arity SLP.
+            let q = self.num_rules();
+            let mut rule_ptr: Vec<u32> = Vec::with_capacity(q + 1);
+            let mut rule_syms: Vec<u32> = Vec::with_capacity(flat.len() + ext.total_tail_syms());
+            rule_ptr.push(0);
+            let mut tails = RuleExt::cursor(Some(ext));
+            for k in 0..q {
+                rule_syms.push(flat[2 * k]);
+                rule_syms.push(flat[2 * k + 1]);
+                tails.with_tail(k, |s| rule_syms.push(s));
+                rule_ptr.push(rule_syms.len() as u32);
+            }
+            let mr = MrSlp::new(self.first_nt, rule_ptr, rule_syms, self.seq.to_vec());
+            return mr.expand();
+        }
         let pairs: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         let slp = Slp::new(self.first_nt, pairs, self.seq.to_vec());
         slp.expand()
@@ -465,7 +629,10 @@ impl CompressedMatrix {
 
 impl HeapSize for CompressedMatrix {
     fn heap_bytes(&self) -> usize {
-        self.seq.heap_bytes() + self.rules.heap_bytes() + self.values.heap_bytes()
+        self.seq.heap_bytes()
+            + self.rules.heap_bytes()
+            + self.values.heap_bytes()
+            + self.ext.as_deref().map_or(0, HeapSize::heap_bytes)
     }
 }
 
@@ -683,6 +850,134 @@ mod tests {
         }
         let empty = CsrvMatrix::from_dense(&DenseMatrix::zeros(5, 3)).unwrap();
         assert_eq!(CompressedMatrix::compress(&empty, Encoding::Re32).nnz(), 0);
+    }
+
+    fn mr_compress(csrv: &CsrvMatrix, enc: Encoding) -> CompressedMatrix {
+        let mr = RePair::new().compress_mr(csrv.symbols(), csrv.terminal_limit(), Some(SEPARATOR));
+        CompressedMatrix::from_mr_slp(csrv, &mr, enc)
+    }
+
+    #[test]
+    fn mr_grammar_matches_dense_all_encodings() {
+        let dense = repetitive(64, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let x: Vec<f64> = (0..9).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..64).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut y_ref = vec![0.0; 64];
+        let mut x_ref = vec![0.0; 9];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = mr_compress(&csrv, enc);
+            assert!(cm.rule_ext().is_some(), "repetitive input must widen rules");
+            assert_eq!(cm.decompress_symbols(), csrv.symbols(), "{}", enc.name());
+            assert_eq!(cm.nnz(), csrv.nnz(), "{}", enc.name());
+            let mut y = vec![0.0; 64];
+            cm.right_multiply(&x, &mut y).unwrap();
+            let mut x_out = vec![0.0; 9];
+            cm.left_multiply(&yv, &mut x_out).unwrap();
+            for (a, b) in y.iter().zip(&y_ref) {
+                assert!((a - b).abs() < 1e-9, "{} right", enc.name());
+            }
+            for (a, b) in x_out.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "{} left", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mr_grammar_batched_kernels_match_single_vector() {
+        let dense = repetitive(40, 7);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        for enc in Encoding::ALL {
+            let cm = mr_compress(&csrv, enc);
+            let k = 3usize;
+            let x_panel: Vec<f64> = (0..7 * k).map(|i| (i % 11) as f64 - 5.0).collect();
+            let mut y_panel = vec![0.0; 40 * k];
+            let mut w_panel = vec![0.0; cm.num_rules() * k];
+            cm.right_multiply_panel_with(k, &x_panel, &mut y_panel, &mut w_panel)
+                .unwrap();
+            for j in 0..k {
+                let x: Vec<f64> = (0..7).map(|i| x_panel[i * k + j]).collect();
+                let mut y = vec![0.0; 40];
+                cm.right_multiply(&x, &mut y).unwrap();
+                for (i, &yi) in y.iter().enumerate() {
+                    assert!(
+                        (y_panel[i * k + j] - yi).abs() < 1e-9,
+                        "{} right",
+                        enc.name()
+                    );
+                }
+            }
+            let y_panel_in: Vec<f64> = (0..40 * k).map(|i| ((i * 5) % 9) as f64 - 4.0).collect();
+            let mut x_panel_out = vec![0.0; 7 * k];
+            let mut w_flags = vec![0.0; cm.num_rules()];
+            cm.left_multiply_panel_with(
+                k,
+                &y_panel_in,
+                &mut x_panel_out,
+                &mut w_panel,
+                &mut w_flags,
+            )
+            .unwrap();
+            for j in 0..k {
+                let y: Vec<f64> = (0..40).map(|i| y_panel_in[i * k + j]).collect();
+                let mut x = vec![0.0; 7];
+                cm.left_multiply(&y, &mut x).unwrap();
+                for (i, &xi) in x.iter().enumerate() {
+                    assert!(
+                        (x_panel_out[i * k + j] - xi).abs() < 1e-9,
+                        "{} left",
+                        enc.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_ext_rejects_invalid_tails() {
+        use crate::encoding::ExtSyms;
+        let csrv = CsrvMatrix::from_dense(&repetitive(16, 6)).unwrap();
+        let cm = mr_compress(&csrv, Encoding::Re32);
+        let ext = cm.rule_ext().expect("has wide rules");
+        let rebuild = |syms: Vec<u32>| {
+            let e = RuleExt::from_parts(
+                ext.rule_ids().to_vec(),
+                (0..=ext.num_wide_rules())
+                    .map(|i| {
+                        let mut p = 0u32;
+                        for j in 0..i {
+                            p += ext.tail_len(j) as u32;
+                        }
+                        p
+                    })
+                    .collect(),
+                ExtSyms::Raw(syms),
+            )?;
+            CompressedMatrix::from_raw_parts_ext(
+                cm.rows(),
+                cm.cols(),
+                Arc::new(cm.values().to_vec()),
+                cm.first_nonterminal(),
+                cm.encoding(),
+                cm.seq_store().clone(),
+                cm.rule_store().clone(),
+                Some(e),
+            )
+        };
+        let mut good = Vec::new();
+        for i in 0..ext.num_wide_rules() {
+            ext.for_each_tail_sym(i, |s| good.push(s));
+        }
+        assert!(rebuild(good.clone()).is_some(), "valid tails must pass");
+        let mut fwd = good.clone();
+        // A tail referencing its own rule breaks the ordering invariant.
+        fwd[0] = cm.first_nonterminal() + ext.rule_ids()[0];
+        assert!(rebuild(fwd).is_none());
+        let mut sep = good;
+        sep[0] = SEPARATOR;
+        assert!(rebuild(sep).is_none());
     }
 
     #[test]

@@ -226,6 +226,210 @@ impl HeapSize for RuleStore {
     }
 }
 
+/// Storage of the tail symbols of **variable-arity** rules (MR-RePair).
+///
+/// Mirrors [`RuleStore`]'s raw/packed split so the encoding's random-
+/// access contract carries over to tails.
+#[derive(Debug, Clone)]
+pub enum ExtSyms {
+    /// Raw 32-bit symbols.
+    Raw(Vec<u32>),
+    /// Bit-packed symbols.
+    Packed(IntVector),
+}
+
+impl ExtSyms {
+    /// Number of stored tail symbols.
+    pub fn len(&self) -> usize {
+        match self {
+            ExtSyms::Raw(v) => v.len(),
+            ExtSyms::Packed(iv) => iv.len(),
+        }
+    }
+
+    /// Whether no tail symbols are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol at index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            ExtSyms::Raw(v) => v[i],
+            ExtSyms::Packed(iv) => iv.get(i) as u32,
+        }
+    }
+
+    /// Serialized (on-disk) size in bytes.
+    pub fn stored_bytes(&self) -> usize {
+        match self {
+            ExtSyms::Raw(v) => v.len() * 4,
+            ExtSyms::Packed(iv) => (iv.len() * iv.width() as usize).div_ceil(8),
+        }
+    }
+}
+
+/// Tail storage for variable-arity (MR-RePair) rules: rule `k`'s full
+/// right-hand side is its `(A, B)` pair from the [`RuleStore`] plus —
+/// when `k` appears here — the tail symbols (3rd, 4th, … of the RHS).
+///
+/// The kernels walk rules in ascending (or descending) id order, so the
+/// wide-rule ids are kept sorted and consumed by a cursor
+/// ([`ExtCursor`] / [`ExtCursorRev`]) in O(1) amortised per rule; binary
+/// grammars simply carry no `RuleExt` and pay nothing.
+#[derive(Debug, Clone)]
+pub struct RuleExt {
+    /// Strictly ascending ids of rules with arity > 2.
+    rules: Vec<u32>,
+    /// CSR pointer over `syms` (`rules.len() + 1` entries).
+    ptr: Vec<u32>,
+    /// Concatenated tail symbols.
+    syms: ExtSyms,
+}
+
+impl RuleExt {
+    /// Assembles tail storage, validating the CSR shape: strictly
+    /// ascending rule ids, a monotone pointer starting at 0 and ending at
+    /// `syms.len()`, and at least one tail symbol per listed rule.
+    /// Returns `None` on any violation (the deserialisers rely on this).
+    pub fn from_parts(rules: Vec<u32>, ptr: Vec<u32>, syms: ExtSyms) -> Option<Self> {
+        if ptr.len() != rules.len() + 1 || ptr.first() != Some(&0) {
+            return None;
+        }
+        if *ptr.last()? as usize != syms.len() {
+            return None;
+        }
+        if !ptr.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        if !rules.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        Some(Self { rules, ptr, syms })
+    }
+
+    /// Number of rules with arity > 2.
+    pub fn num_wide_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The ascending wide-rule ids.
+    pub fn rule_ids(&self) -> &[u32] {
+        &self.rules
+    }
+
+    /// The tail length of the `idx`-th wide rule.
+    #[inline]
+    pub fn tail_len(&self, idx: usize) -> usize {
+        (self.ptr[idx + 1] - self.ptr[idx]) as usize
+    }
+
+    /// Total number of stored tail symbols.
+    pub fn total_tail_syms(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// The tail symbol store.
+    pub fn syms(&self) -> &ExtSyms {
+        &self.syms
+    }
+
+    /// Streams the tail of the `idx`-th wide rule into `f`.
+    #[inline]
+    pub fn for_each_tail_sym(&self, idx: usize, mut f: impl FnMut(u32)) {
+        let (lo, hi) = (self.ptr[idx] as usize, self.ptr[idx + 1] as usize);
+        match &self.syms {
+            ExtSyms::Raw(v) => {
+                for &s in &v[lo..hi] {
+                    f(s);
+                }
+            }
+            ExtSyms::Packed(iv) => {
+                for i in lo..hi {
+                    f(iv.get(i) as u32);
+                }
+            }
+        }
+    }
+
+    /// Serialized (on-disk) size in bytes: wide-rule ids as u32, tail
+    /// lengths as varints, and the symbol payload.
+    pub fn stored_bytes(&self) -> usize {
+        let len_bytes: usize = (0..self.num_wide_rules())
+            .map(|i| gcm_encodings::varint::encoded_len(self.tail_len(i) as u64))
+            .sum();
+        self.rules.len() * 4 + len_bytes + self.syms.stored_bytes()
+    }
+
+    /// A forward cursor over the wide rules (ascending rule ids).
+    pub fn cursor(ext: Option<&RuleExt>) -> ExtCursor<'_> {
+        ExtCursor { ext, idx: 0 }
+    }
+
+    /// A backward cursor over the wide rules (descending rule ids).
+    pub fn cursor_rev(ext: Option<&RuleExt>) -> ExtCursorRev<'_> {
+        ExtCursorRev {
+            idx: ext.map_or(0, |e| e.rules.len()),
+            ext,
+        }
+    }
+}
+
+impl HeapSize for RuleExt {
+    fn heap_bytes(&self) -> usize {
+        self.rules.heap_bytes()
+            + self.ptr.heap_bytes()
+            + match &self.syms {
+                ExtSyms::Raw(v) => v.heap_bytes(),
+                ExtSyms::Packed(iv) => iv.heap_bytes(),
+            }
+    }
+}
+
+/// Single-pass ascending cursor over a [`RuleExt`]: inside a
+/// `for_each_rule` walk, [`with_tail`](Self::with_tail) streams rule
+/// `k`'s tail (if any) and advances — O(1) amortised, no search.
+pub struct ExtCursor<'a> {
+    ext: Option<&'a RuleExt>,
+    idx: usize,
+}
+
+impl ExtCursor<'_> {
+    /// Streams the tail of rule `k` into `f`, if rule `k` is wide.
+    /// `k` must be visited in ascending order across calls.
+    #[inline]
+    pub fn with_tail(&mut self, k: usize, f: impl FnMut(u32)) {
+        if let Some(e) = self.ext {
+            if self.idx < e.rules.len() && e.rules[self.idx] as usize == k {
+                e.for_each_tail_sym(self.idx, f);
+                self.idx += 1;
+            }
+        }
+    }
+}
+
+/// Single-pass descending cursor over a [`RuleExt`] — the
+/// `for_each_rule_rev` counterpart of [`ExtCursor`].
+pub struct ExtCursorRev<'a> {
+    ext: Option<&'a RuleExt>,
+    idx: usize,
+}
+
+impl ExtCursorRev<'_> {
+    /// Streams the tail of rule `k` into `f`, if rule `k` is wide.
+    /// `k` must be visited in descending order across calls.
+    #[inline]
+    pub fn with_tail(&mut self, k: usize, f: impl FnMut(u32)) {
+        if let Some(e) = self.ext {
+            if self.idx > 0 && e.rules[self.idx - 1] as usize == k {
+                self.idx -= 1;
+                e.for_each_tail_sym(self.idx, f);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

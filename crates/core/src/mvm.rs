@@ -10,7 +10,7 @@
 
 use gcm_matrix::SEPARATOR;
 
-use crate::encoding::{RuleStore, SeqStore};
+use crate::encoding::{RuleExt, RuleStore, SeqStore};
 use crate::fastdiv::FastDiv;
 
 /// Evaluates a terminal `⟨ℓ, j⟩` against `x`: `V[ℓ]·x[j]` (Def. 3.1).
@@ -41,10 +41,13 @@ fn cols_divider(cols: u32) -> FastDiv {
 /// pass over `C` accumulates row sums, advancing on each separator.
 ///
 /// `w` must have length `rules.num_rules()`; it is used as scratch.
+/// `ext` carries the tails of variable-arity (MR-RePair) rules; binary
+/// grammars pass `None` and skip the tail cursor entirely.
 #[allow(clippy::too_many_arguments)]
 pub fn right_multiply(
     seq: &SeqStore,
     rules: &RuleStore,
+    ext: Option<&RuleExt>,
     values: &[f64],
     first_nt: u32,
     cols: u32,
@@ -54,6 +57,7 @@ pub fn right_multiply(
 ) {
     debug_assert_eq!(w.len(), rules.num_rules());
     let cols = cols_divider(cols);
+    let mut tails = RuleExt::cursor(ext);
     rules.for_each_rule(|k, a, b| {
         let va = if a < first_nt {
             eval_terminal(a, &cols, values, x)
@@ -65,7 +69,17 @@ pub fn right_multiply(
         } else {
             w[(b - first_nt) as usize]
         };
-        w[k] = va + vb;
+        let mut acc = va + vb;
+        // Tail operands are all < first_nt + k, so nonterminals among
+        // them are already in w — same dependency order as the pair.
+        tails.with_tail(k, |s| {
+            acc += if s < first_nt {
+                eval_terminal(s, &cols, values, x)
+            } else {
+                w[(s - first_nt) as usize]
+            };
+        });
+        w[k] = acc;
     });
     let mut r = 0usize;
     let mut acc = 0.0f64;
@@ -95,6 +109,7 @@ pub fn right_multiply(
 pub fn left_multiply(
     seq: &SeqStore,
     rules: &RuleStore,
+    ext: Option<&RuleExt>,
     values: &[f64],
     first_nt: u32,
     cols: u32,
@@ -121,23 +136,24 @@ pub fn left_multiply(
         }
     });
     debug_assert_eq!(r, y.len(), "separator count mismatch");
+    let mut tails = RuleExt::cursor_rev(ext);
     rules.for_each_rule_rev(|k, a, b| {
         let wk = w[k];
         if wk == 0.0 {
+            tails.with_tail(k, |_| {});
             return;
         }
-        if a < first_nt {
-            let (l, j) = cols.div_rem(a - 1);
-            x[j as usize] += values[l as usize] * wk;
-        } else {
-            w[(a - first_nt) as usize] += wk;
-        }
-        if b < first_nt {
-            let (l, j) = cols.div_rem(b - 1);
-            x[j as usize] += values[l as usize] * wk;
-        } else {
-            w[(b - first_nt) as usize] += wk;
-        }
+        let mut push = |sym: u32| {
+            if sym < first_nt {
+                let (l, j) = cols.div_rem(sym - 1);
+                x[j as usize] += values[l as usize] * wk;
+            } else {
+                w[(sym - first_nt) as usize] += wk;
+            }
+        };
+        push(a);
+        push(b);
+        tails.with_tail(k, push);
     });
 }
 
@@ -156,6 +172,7 @@ pub fn left_multiply(
 pub fn right_multiply_batch(
     seq: &SeqStore,
     rules: &RuleStore,
+    ext: Option<&RuleExt>,
     values: &[f64],
     first_nt: u32,
     cols: u32,
@@ -171,6 +188,7 @@ pub fn right_multiply_batch(
         return;
     }
     let cols = cols_divider(cols);
+    let mut tails = RuleExt::cursor(ext);
     rules.for_each_rule(|idx, a, b| {
         let (done, rest) = w_panel.split_at_mut(idx * k);
         let dst = &mut rest[..k];
@@ -185,19 +203,23 @@ pub fn right_multiply_batch(
             let src = &done[(a - first_nt) as usize * k..][..k];
             dst.copy_from_slice(src);
         }
-        if b < first_nt {
-            let (l, j) = cols.div_rem(b - 1);
-            let v = values[l as usize];
-            let src = &x_panel[j as usize * k..][..k];
-            for (d, &xv) in dst.iter_mut().zip(src) {
-                *d += v * xv;
+        let mut add = |sym: u32| {
+            if sym < first_nt {
+                let (l, j) = cols.div_rem(sym - 1);
+                let v = values[l as usize];
+                let src = &x_panel[j as usize * k..][..k];
+                for (d, &xv) in dst.iter_mut().zip(src) {
+                    *d += v * xv;
+                }
+            } else {
+                let src = &done[(sym - first_nt) as usize * k..][..k];
+                for (d, &wv) in dst.iter_mut().zip(src) {
+                    *d += wv;
+                }
             }
-        } else {
-            let src = &done[(b - first_nt) as usize * k..][..k];
-            for (d, &wv) in dst.iter_mut().zip(src) {
-                *d += wv;
-            }
-        }
+        };
+        add(b);
+        tails.with_tail(idx, add);
     });
     let mut r = 0usize;
     seq.for_each(|s| {
@@ -245,6 +267,7 @@ pub fn right_multiply_batch(
 pub fn left_multiply_batch(
     seq: &SeqStore,
     rules: &RuleStore,
+    ext: Option<&RuleExt>,
     values: &[f64],
     first_nt: u32,
     cols: u32,
@@ -287,13 +310,15 @@ pub fn left_multiply_batch(
         }
     });
     debug_assert_eq!(r * k, y_panel.len(), "separator count mismatch");
+    let mut tails = RuleExt::cursor_rev(ext);
     rules.for_each_rule_rev(|idx, a, b| {
         if w_flags[idx] == 0.0 {
+            tails.with_tail(idx, |_| {});
             return;
         }
         let (earlier, rest) = w_panel.split_at_mut(idx * k);
         let wk = &rest[..k];
-        for sym in [a, b] {
+        let mut push = |sym: u32| {
             if sym < first_nt {
                 let (l, j) = cols.div_rem(sym - 1);
                 let v = values[l as usize];
@@ -309,7 +334,10 @@ pub fn left_multiply_batch(
                     *d += wv;
                 }
             }
-        }
+        };
+        push(a);
+        push(b);
+        tails.with_tail(idx, push);
     });
 }
 
@@ -405,6 +433,7 @@ mod tests {
                 super::right_multiply_batch(
                     cm.seq_store(),
                     cm.rule_store(),
+                    cm.rule_ext(),
                     cm.values(),
                     cm.first_nonterminal(),
                     7,
@@ -432,6 +461,7 @@ mod tests {
                 super::left_multiply_batch(
                     cm.seq_store(),
                     cm.rule_store(),
+                    cm.rule_ext(),
                     cm.values(),
                     cm.first_nonterminal(),
                     7,

@@ -1405,47 +1405,78 @@ impl KernelPlan {
         let cols = m.cols();
         let first_nt = m.first_nonterminal();
         let q = m.num_rules();
+        let ext = m.rule_ext();
+        // Variable-arity (MR-RePair) rules are *lowered* here: an
+        // arity-p rule becomes a left-associative chain of p−1 binary
+        // descriptor rules, the last of which owns the original rule's
+        // value. The chain accumulates in exactly the streaming
+        // kernels' order (pair first, then each tail symbol), the
+        // lowered program is an ordinary binary plan — every kernel,
+        // the block partition, the sparse index, and the persisted
+        // blob format apply unchanged — and binary grammars lower to
+        // themselves, so their plans (and blobs) are bit-identical to
+        // before.
+        let q_slots = q + ext.map_or(0, crate::encoding::RuleExt::total_tail_syms);
         assert!(
-            cols as u64 + q as u64 <= u32::MAX as u64,
+            cols as u64 + q_slots as u64 <= u32::MAX as u64,
             "scratch index space exceeds u32"
         );
         let fd = FastDiv::new((cols as u32).max(1));
         let values = m.values();
         let cols32 = cols as u32;
+        // Lowered scratch slot of each original rule (identity for
+        // binary grammars; the chain's last link for wide rules).
+        let mut slot_of: Vec<u32> = Vec::with_capacity(q);
         // The one-time terminal table: every symbol resolves to
         // (premultiplied value, scratch index).
-        let resolve = |s: u32| -> (f64, u32) {
+        let resolve = |s: u32, slot_of: &[u32]| -> (f64, u32) {
             if s < first_nt {
                 let (l, j) = fd.div_rem(s - 1);
                 (values[l as usize], j)
             } else {
-                (1.0, cols32 + (s - first_nt))
+                (1.0, cols32 + slot_of[(s - first_nt) as usize])
             }
         };
-        let mut rule_mult = Vec::with_capacity(2 * q);
-        let mut rule_idx = Vec::with_capacity(2 * q);
+        let mut rule_mult = Vec::with_capacity(2 * q_slots);
+        let mut rule_idx = Vec::with_capacity(2 * q_slots);
         // Greedy dependency-free block partition: a block ends exactly
         // when a rule reads a slot the block itself writes.
         let mut block_ptr = vec![0u32];
         let mut block_start = 0usize;
-        m.rule_store().for_each_rule(|r, a, b| {
-            for s in [a, b] {
-                let (mv, iv) = resolve(s);
-                // The kernels' SAFETY contract: rule r reads only
-                // input slots and earlier rule slots.
+        // Appends one operand of the lowered rule `rule_idx.len() / 2`,
+        // maintaining the partition and the kernels' SAFETY contract
+        // (a rule reads only input slots and earlier rule slots).
+        let mut push_operand =
+            |mv: f64, iv: u32, rule_mult: &mut Vec<f64>, rule_idx: &mut Vec<u32>| {
+                let lr = rule_idx.len() / 2;
                 assert!(
-                    (iv as u64) < cols as u64 + r as u64,
-                    "rule {r} operand out of range"
+                    (iv as u64) < cols as u64 + lr as u64,
+                    "rule {lr} operand out of range"
                 );
                 if iv as usize >= cols + block_start {
-                    block_ptr.push(r as u32);
-                    block_start = r;
+                    block_ptr.push(lr as u32);
+                    block_start = lr;
                 }
                 rule_mult.push(mv);
                 rule_idx.push(iv);
-            }
+            };
+        let mut tails = crate::encoding::RuleExt::cursor(ext);
+        m.rule_store().for_each_rule(|r, a, b| {
+            let (ma, ia) = resolve(a, &slot_of);
+            push_operand(ma, ia, &mut rule_mult, &mut rule_idx);
+            let (mb, ib) = resolve(b, &slot_of);
+            push_operand(mb, ib, &mut rule_mult, &mut rule_idx);
+            tails.with_tail(r, |s| {
+                // Chain link: previous partial sum plus one tail symbol.
+                let prev = (rule_idx.len() / 2 - 1) as u32;
+                push_operand(1.0, cols32 + prev, &mut rule_mult, &mut rule_idx);
+                let (ms, is) = resolve(s, &slot_of);
+                push_operand(ms, is, &mut rule_mult, &mut rule_idx);
+            });
+            slot_of.push((rule_idx.len() / 2 - 1) as u32);
         });
-        block_ptr.push(q as u32);
+        debug_assert_eq!(rule_idx.len(), 2 * q_slots);
+        block_ptr.push(q_slots as u32);
         let seq = m.seq_store();
         let mut seq_mult = Vec::with_capacity(seq.len().saturating_sub(rows));
         let mut seq_idx = Vec::with_capacity(seq.len().saturating_sub(rows));
@@ -1455,11 +1486,11 @@ impl KernelPlan {
             if s == SEPARATOR {
                 row_ptr.push(seq_idx.len() as u32);
             } else {
-                let (mv, iv) = resolve(s);
+                let (mv, iv) = resolve(s, &slot_of);
                 // The kernels' SAFETY contract: every sequence
                 // descriptor stays inside the `cols + |R|` buffer.
                 assert!(
-                    (iv as u64) < cols as u64 + q as u64,
+                    (iv as u64) < cols as u64 + q_slots as u64,
                     "sequence symbol out of range"
                 );
                 seq_mult.push(mv);
@@ -1475,7 +1506,7 @@ impl KernelPlan {
             body: PlanBody {
                 rows,
                 cols,
-                num_rules: q,
+                num_rules: q_slots,
                 rule_mult,
                 rule_idx,
                 seq_mult,
@@ -2391,6 +2422,157 @@ mod tests {
         assert!(plan
             .right_multiply_sparse(&[(0, 1.0)], &mut y, &mut short)
             .is_err());
+    }
+
+    fn mr_compress(csrv: &CsrvMatrix, enc: Encoding) -> CompressedMatrix {
+        let mr = gcm_repair::RePair::new().compress_mr(
+            csrv.symbols(),
+            csrv.terminal_limit(),
+            Some(SEPARATOR),
+        );
+        CompressedMatrix::from_mr_slp(csrv, &mr, enc)
+    }
+
+    #[test]
+    fn mr_grammar_plans_match_streaming_and_dense() {
+        let dense = repetitive(64, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let yv: Vec<f64> = (0..64).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut y_ref = vec![0.0; 64];
+        let mut x_ref = vec![0.0; 9];
+        dense.right_multiply(&x, &mut y_ref).unwrap();
+        dense.left_multiply(&yv, &mut x_ref).unwrap();
+        for enc in Encoding::ALL {
+            let cm = mr_compress(&csrv, enc);
+            assert!(
+                cm.rule_ext().is_some(),
+                "{} grammar has no wide rules",
+                enc.name()
+            );
+            let plan = cm.plan();
+            // Wide rules lower into chains: one extra lowered rule per
+            // tail symbol, and the lowered program is plain binary.
+            assert_eq!(plan.num_rules(), cm.lowered_rules(), "{}", enc.name());
+            assert!(plan.num_rules() > cm.num_rules(), "{}", enc.name());
+            // The left-associative chain reproduces the streaming
+            // kernel's accumulation order, so the forward pass is
+            // bit-identical to the streaming kernel.
+            let mut w = vec![0.0; cm.num_rules()];
+            let mut y_s = vec![0.0; 64];
+            cm.right_multiply_with(&x, &mut y_s, &mut w).unwrap();
+            let mut buf = vec![0.0; plan.scratch_len(1)];
+            let mut y_p = vec![0.0; 64];
+            plan.right_multiply(&x, &mut y_p, &mut buf).unwrap();
+            assert_eq!(y_p, y_s, "{} planned right vs streaming", enc.name());
+            // Left multiply scatters in a different (chain) order, so
+            // compare against the dense oracle numerically.
+            let mut x_p = vec![0.0; 9];
+            plan.left_multiply(&yv, &mut x_p, &mut buf).unwrap();
+            for (a, b) in x_p.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "{} left", enc.name());
+            }
+            // Sparse input: both execution arms equal the dense planned
+            // path exactly, chains included.
+            let nnz: Vec<(u32, f64)> = vec![(1, 1.0), (4, -2.0), (8, 0.5)];
+            let mut xs = vec![0.0; 9];
+            for &(j, v) in &nnz {
+                xs[j as usize] = v;
+            }
+            let mut ys_ref = vec![0.0; 64];
+            plan.right_multiply(&xs, &mut ys_ref, &mut buf).unwrap();
+            for strat in [SparseStrategy::Activity, SparseStrategy::Scatter] {
+                let mut ys = vec![f64::NAN; 64];
+                plan.right_multiply_sparse_with(&nnz, &mut ys, &mut buf, strat)
+                    .unwrap();
+                assert_eq!(ys, ys_ref, "{} sparse {strat:?}", enc.name());
+            }
+            // Panels and the f32 precision track the dense oracle.
+            let k = 4usize;
+            let x_panel: Vec<f64> = (0..9 * k).map(|i| (i % 11) as f64 - 5.0).collect();
+            let mut y_panel = vec![0.0; 64 * k];
+            let mut bufk = vec![0.0; plan.scratch_len(k)];
+            plan.right_multiply_panel(k, &x_panel, &mut y_panel, &mut bufk)
+                .unwrap();
+            let plan32 = plan.to_f32();
+            let mut y_panel32 = vec![0.0; 64 * k];
+            let mut bufk32 = vec![0.0; plan32.scratch_len(k)];
+            plan32
+                .right_multiply_panel(k, &x_panel, &mut y_panel32, &mut bufk32)
+                .unwrap();
+            for lane in 0..k {
+                let xj: Vec<f64> = (0..9).map(|j| x_panel[j * k + lane]).collect();
+                let mut yj = vec![0.0; 64];
+                dense.right_multiply(&xj, &mut yj).unwrap();
+                for r in 0..64 {
+                    let a = y_panel[r * k + lane];
+                    let b = y_panel32[r * k + lane];
+                    assert!((a - yj[r]).abs() < 1e-9, "{} panel lane {lane}", enc.name());
+                    assert!(
+                        (b - yj[r]).abs() < 1e-3,
+                        "{} f32 panel lane {lane}",
+                        enc.name()
+                    );
+                }
+            }
+            let mut x32 = vec![0.0; 9];
+            let mut buf32 = vec![0.0; plan32.scratch_len(1)];
+            plan32.left_multiply(&yv, &mut x32, &mut buf32).unwrap();
+            for (a, b) in x32.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-3, "{} f32 left", enc.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mr_grammar_plan_blobs_stay_in_the_v1_format() {
+        let dense = repetitive(64, 9);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = mr_compress(&csrv, Encoding::ReFse);
+        let plan = cm.plan();
+        let bytes = plan.to_bytes();
+        // Lowering means MR plans serialise as ordinary GCMPLAN1 blobs
+        // — no new container format, no new validation surface.
+        assert_eq!(&bytes[..PLAN_MAGIC.len()], PLAN_MAGIC);
+        let before = plan_compiles();
+        let back = KernelPlan::from_bytes(&bytes).expect("valid blob");
+        assert_eq!(plan_compiles(), before, "load must not compile");
+        assert_eq!(back.num_rules(), cm.lowered_rules());
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let mut buf = vec![0.0; plan.scratch_len(1)];
+        let mut y_a = vec![0.0; 64];
+        let mut y_b = vec![0.0; 64];
+        plan.right_multiply(&x, &mut y_a, &mut buf).unwrap();
+        back.right_multiply(&x, &mut y_b, &mut buf).unwrap();
+        assert_eq!(y_a, y_b);
+        // Truncations of the MR blob are rejected like any other.
+        for end in (0..bytes.len()).step_by(17) {
+            assert!(KernelPlan::from_bytes(&bytes[..end]).is_none(), "len {end}");
+        }
+    }
+
+    #[test]
+    fn mr_lowered_blocks_respect_the_independence_invariant() {
+        let dense = repetitive(64, 12);
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let cm = mr_compress(&csrv, Encoding::Re32);
+        assert!(cm.rule_ext().is_some());
+        let plan = cm.plan();
+        let b = &plan.body;
+        assert_eq!(b.block_ptr.first(), Some(&0));
+        assert_eq!(*b.block_ptr.last().unwrap() as usize, b.num_rules);
+        for w in b.block_ptr.windows(2) {
+            assert!(w[0] <= w[1]);
+            let lo = w[0] as usize;
+            for r in lo..w[1] as usize {
+                for op in [2 * r, 2 * r + 1] {
+                    assert!(
+                        (b.rule_idx[op] as usize) < b.cols + lo,
+                        "lowered rule {r} depends on its own block"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,9 +33,12 @@ use gcm_encodings::rans::RansSequence;
 use gcm_encodings::{varint, IntVector};
 
 use crate::compressed::CompressedMatrix;
-use crate::encoding::{Encoding, RuleStore, SeqStore};
+use crate::encoding::{Encoding, ExtSyms, RuleExt, RuleStore, SeqStore};
 
 const MAGIC: &[u8; 8] = b"GCMMAT1\0";
+/// v3: the v1 layout plus an MR-RePair rule-tail section after the
+/// stores. Binary grammars keep emitting v1 byte-identically.
+const MAGIC_V3: &[u8; 8] = b"GCMMAT3\0";
 
 fn encoding_tag(e: Encoding) -> u8 {
     match e {
@@ -68,10 +71,16 @@ fn read_u32s(data: &[u8], pos: &mut usize) -> Option<Vec<u32>> {
     read_exact_u32s(data, pos, n)
 }
 
-/// Serialises a compressed matrix to bytes.
+/// Serialises a compressed matrix to bytes. Binary (RePair) grammars
+/// emit the v1 layout byte-for-byte; MR-RePair grammars emit v3, which
+/// appends the rule-tail section after the stores.
 pub fn to_bytes(m: &CompressedMatrix) -> Vec<u8> {
     let mut out = Vec::with_capacity(m.stored_bytes() + 64);
-    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(if m.rule_ext().is_some() {
+        MAGIC_V3
+    } else {
+        MAGIC
+    });
     out.push(encoding_tag(m.encoding()));
     varint::write_u64(&mut out, m.rows() as u64);
     varint::write_u64(&mut out, m.cols() as u64);
@@ -81,14 +90,23 @@ pub fn to_bytes(m: &CompressedMatrix) -> Vec<u8> {
         out.extend_from_slice(&v.to_le_bytes());
     }
     write_stores(&mut out, m);
+    if let Some(ext) = m.rule_ext() {
+        write_ext(&mut out, ext);
+    }
     out
 }
 
-/// Deserialises a compressed matrix. Returns `None` on malformed input.
+/// Deserialises a compressed matrix (v1 or v3). Returns `None` on
+/// malformed input.
 pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
-    if data.len() < 9 || &data[..8] != MAGIC {
+    if data.len() < 9 {
         return None;
     }
+    let has_ext = match &data[..8] {
+        m if m == MAGIC => false,
+        m if m == MAGIC_V3 => true,
+        _ => return None,
+    };
     let encoding = tag_encoding(data[8])?;
     let mut pos = 9usize;
     let rows = varint::read_u64(data, &mut pos)?;
@@ -119,7 +137,79 @@ pub fn from_bytes(data: &[u8]) -> Option<CompressedMatrix> {
         }
     }
     let (rules, seq) = read_stores(data, &mut pos, encoding)?;
-    CompressedMatrix::from_raw_parts(rows, cols, Arc::new(values), first_nt, encoding, seq, rules)
+    let ext = if has_ext {
+        read_ext(data, &mut pos, encoding)?
+    } else {
+        None
+    };
+    CompressedMatrix::from_raw_parts_ext(
+        rows,
+        cols,
+        Arc::new(values),
+        first_nt,
+        encoding,
+        seq,
+        rules,
+        ext,
+    )
+}
+
+/// Appends an MR-RePair rule-tail section: wide-rule count, ids, tail
+/// lengths, then the tail symbols in the encoding's physical layout.
+fn write_ext(out: &mut Vec<u8>, ext: &RuleExt) {
+    varint::write_u64(out, ext.num_wide_rules() as u64);
+    for &id in ext.rule_ids() {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    for i in 0..ext.num_wide_rules() {
+        varint::write_u64(out, ext.tail_len(i) as u64);
+    }
+    match ext.syms() {
+        ExtSyms::Raw(v) => {
+            for &s in v {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        ExtSyms::Packed(iv) => out.extend_from_slice(&iv.to_bytes()),
+    }
+}
+
+/// Reads a rule-tail section. `Some(None)` means the section is present
+/// but empty; `None` means malformed input. The wide-rule count is
+/// bounded by the remaining payload (id + length varint cost ≥ 5 bytes
+/// each) **before** any allocation, so forged counts cannot balloon the
+/// peak heap.
+fn read_ext(data: &[u8], pos: &mut usize, encoding: Encoding) -> Option<Option<RuleExt>> {
+    let num_wide = varint::read_u64(data, pos)? as usize;
+    if num_wide == 0 {
+        return Some(None);
+    }
+    if num_wide > data.len().saturating_sub(*pos) / 5 {
+        return None;
+    }
+    let ids = read_exact_u32s(data, pos, num_wide)?;
+    let mut ptr: Vec<u32> = Vec::with_capacity(num_wide + 1);
+    ptr.push(0);
+    let mut total = 0u64;
+    for _ in 0..num_wide {
+        let len = varint::read_u64(data, pos)?;
+        total = total.checked_add(len)?;
+        if total > u32::MAX as u64 {
+            return None;
+        }
+        ptr.push(total as u32);
+    }
+    let syms = match encoding {
+        Encoding::Re32 => ExtSyms::Raw(read_exact_u32s(data, pos, total as usize)?),
+        _ => {
+            let iv = IntVector::from_bytes(data, pos)?;
+            if iv.len() != total as usize {
+                return None;
+            }
+            ExtSyms::Packed(iv)
+        }
+    };
+    RuleExt::from_parts(ids, ptr, syms).map(Some)
 }
 
 fn rules_len(r: &RuleStore) -> usize {
@@ -130,6 +220,10 @@ fn rules_len(r: &RuleStore) -> usize {
 }
 
 const MAGIC_V2: &[u8; 8] = b"GCMMAT2\0";
+/// v4: the v2 bundle layout with a per-block rule-tail section after
+/// each block's stores. Ext-free bundles keep emitting v2
+/// byte-identically.
+const MAGIC_V4: &[u8; 8] = b"GCMMAT4\0";
 
 fn write_stores(out: &mut Vec<u8>, m: &CompressedMatrix) {
     match m.rule_store() {
@@ -188,8 +282,9 @@ pub fn bundle_to_bytes(blocks: &[CompressedMatrix], col_order: Option<&[u32]>) -
         );
     }
     let total: usize = blocks.iter().map(|b| b.stored_bytes()).sum();
+    let with_ext = blocks.iter().any(|b| b.rule_ext().is_some());
     let mut out = Vec::with_capacity(total + 64);
-    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(if with_ext { MAGIC_V4 } else { MAGIC_V2 });
     out.push(encoding_tag(encoding));
     varint::write_u64(&mut out, cols as u64);
     let order = col_order.unwrap_or(&[]);
@@ -205,6 +300,14 @@ pub fn bundle_to_bytes(blocks: &[CompressedMatrix], col_order: Option<&[u32]>) -
     for b in blocks {
         varint::write_u64(&mut out, b.rows() as u64);
         write_stores(&mut out, b);
+        if with_ext {
+            // Every v4 block carries the section; ext-free blocks write
+            // a zero count.
+            match b.rule_ext() {
+                Some(ext) => write_ext(&mut out, ext),
+                None => varint::write_u64(&mut out, 0),
+            }
+        }
     }
     out
 }
@@ -216,9 +319,14 @@ pub fn bundle_to_bytes(blocks: &[CompressedMatrix], col_order: Option<&[u32]>) -
 /// [`CompressedMatrix::from_raw_parts`].
 #[allow(clippy::type_complexity)]
 pub fn bundle_from_bytes(data: &[u8]) -> Option<(Vec<CompressedMatrix>, Option<Vec<u32>>)> {
-    if data.len() < 9 || &data[..8] != MAGIC_V2 {
+    if data.len() < 9 {
         return None;
     }
+    let has_ext = match &data[..8] {
+        m if m == MAGIC_V2 => false,
+        m if m == MAGIC_V4 => true,
+        _ => return None,
+    };
     let encoding = tag_encoding(data[8])?;
     let mut pos = 9usize;
     let cols = varint::read_u64(data, &mut pos)?;
@@ -266,7 +374,12 @@ pub fn bundle_from_bytes(data: &[u8]) -> Option<(Vec<CompressedMatrix>, Option<V
     for _ in 0..num_blocks {
         let rows = varint::read_u64(data, &mut pos)? as usize;
         let (rules, seq) = read_stores(data, &mut pos, encoding)?;
-        blocks.push(CompressedMatrix::from_raw_parts(
+        let ext = if has_ext {
+            read_ext(data, &mut pos, encoding)?
+        } else {
+            None
+        };
+        blocks.push(CompressedMatrix::from_raw_parts_ext(
             rows,
             cols,
             Arc::clone(&values),
@@ -274,6 +387,7 @@ pub fn bundle_from_bytes(data: &[u8]) -> Option<(Vec<CompressedMatrix>, Option<V
             encoding,
             seq,
             rules,
+            ext,
         )?);
     }
     Some((blocks, col_order))
@@ -448,6 +562,83 @@ mod tests {
                 pair[1].values().as_ptr()
             ));
         }
+    }
+
+    fn mr_sample(enc: Encoding) -> CompressedMatrix {
+        use gcm_matrix::SEPARATOR;
+        let csrv = sample();
+        let mr = gcm_repair::RePair::new().compress_mr(
+            csrv.symbols(),
+            csrv.terminal_limit(),
+            Some(SEPARATOR),
+        );
+        CompressedMatrix::from_mr_slp(&csrv, &mr, enc)
+    }
+
+    #[test]
+    fn binary_grammars_keep_v1_v2_magic() {
+        let csrv = sample();
+        let cm = CompressedMatrix::compress(&csrv, Encoding::ReAns);
+        assert_eq!(&to_bytes(&cm)[..8], MAGIC);
+        assert_eq!(
+            &bundle_to_bytes(std::slice::from_ref(&cm), None)[..8],
+            MAGIC_V2
+        );
+    }
+
+    #[test]
+    fn mr_roundtrip_all_encodings() {
+        for enc in Encoding::ALL {
+            let cm = mr_sample(enc);
+            let bytes = to_bytes(&cm);
+            if cm.rule_ext().is_some() {
+                assert_eq!(&bytes[..8], MAGIC_V3, "{}", enc.name());
+            }
+            let back = from_bytes(&bytes).expect("deserialise");
+            assert_eq!(back.decompress_symbols(), cm.decompress_symbols());
+            let x: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
+            let mut y_a = vec![0.0; 40];
+            let mut y_b = vec![0.0; 40];
+            cm.right_multiply(&x, &mut y_a).unwrap();
+            back.right_multiply(&x, &mut y_b).unwrap();
+            assert_eq!(y_a, y_b, "{}", enc.name());
+        }
+    }
+
+    #[test]
+    fn mr_bundle_roundtrip_and_truncation() {
+        let cm = mr_sample(Encoding::ReIv);
+        assert!(cm.rule_ext().is_some(), "sample must have wide rules");
+        let bytes = bundle_to_bytes(std::slice::from_ref(&cm), None);
+        assert_eq!(&bytes[..8], MAGIC_V4);
+        let (blocks, order) = bundle_from_bytes(&bytes).expect("bundle");
+        assert!(order.is_none());
+        assert_eq!(blocks[0].decompress_symbols(), cm.decompress_symbols());
+        for cut in [8, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(bundle_from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let single = to_bytes(&cm);
+        for cut in [9, single.len() / 2, single.len() - 1] {
+            assert!(from_bytes(&single[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn forged_wide_rule_count_is_rejected_before_allocation() {
+        let cm = mr_sample(Encoding::Re32);
+        let bytes = to_bytes(&cm);
+        // Locate the ext section: it starts right after the stores. Re-parse
+        // headers to find it, then splice in an absurd wide-rule count.
+        let mut pos = 9usize;
+        for _ in 0..3 {
+            varint::read_u64(&bytes, &mut pos).unwrap();
+        }
+        let n_values = varint::read_u64(&bytes, &mut pos).unwrap() as usize;
+        pos += n_values * 8;
+        read_stores(&bytes, &mut pos, Encoding::Re32).unwrap();
+        let mut forged = bytes[..pos].to_vec();
+        varint::write_u64(&mut forged, u32::MAX as u64);
+        assert!(from_bytes(&forged).is_none());
     }
 
     #[test]

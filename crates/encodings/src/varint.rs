@@ -23,6 +23,12 @@ pub fn write_u32(out: &mut Vec<u8>, value: u32) {
     write_u64(out, value as u64);
 }
 
+/// Number of bytes `write_u64(value)` emits, without emitting them.
+#[inline]
+pub fn encoded_len(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
 /// Reads a LEB128 value from `data` starting at `*pos`, advancing `*pos`.
 ///
 /// Returns `None` on truncated input or overlong (>10 byte) encodings.
@@ -86,6 +92,15 @@ mod tests {
         let mut buf = Vec::new();
         write_u64(&mut buf, 100);
         assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn encoded_len_matches_write() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(encoded_len(v), buf.len(), "value {v}");
+        }
     }
 
     #[test]

@@ -8,6 +8,32 @@ use gcm_matrix::{CsrvMatrix, ParallelCsrv};
 use gcm_reorder::ReorderAlgorithm;
 
 use crate::backend::Backend;
+use crate::config::GrammarStage;
+
+/// FNV-64 fingerprint of a shard's *input* rows (dimensions, symbol
+/// stream, and values — everything that determines the built shard for
+/// a fixed configuration). Incremental rebuilds compare this against
+/// the fingerprint persisted in the container shard table to decide
+/// which shards actually changed, so build and comparison must share
+/// one definition: this one.
+pub fn shard_fingerprint(csrv: &CsrvMatrix) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut put = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    put(&(csrv.rows() as u64).to_le_bytes());
+    put(&(csrv.cols() as u64).to_le_bytes());
+    for &s in csrv.symbols() {
+        put(&s.to_le_bytes());
+    }
+    for &v in csrv.values() {
+        put(&v.to_bits().to_le_bytes());
+    }
+    h
+}
 
 /// One built shard in its target [`Backend`] representation. The serve
 /// layer converts this into its servable `Model` (adding workspaces and
@@ -78,6 +104,13 @@ pub struct BuiltShard {
     pub col_order: Option<Vec<u32>>,
     /// Algorithm that produced `col_order`, if any.
     pub reorder: Option<ReorderAlgorithm>,
+    /// Grammar stage that compressed this shard (`None` on the legacy
+    /// path and the uncompressed backends — no metadata persisted).
+    pub grammar: Option<GrammarStage>,
+    /// [`shard_fingerprint`] of the shard's input rows, recorded
+    /// whenever a grammar-stage policy is active so incremental
+    /// rebuilds can detect unchanged shards.
+    pub fingerprint: Option<u64>,
 }
 
 /// Per-shard build statistics (sizes and per-stage times).
@@ -96,6 +129,9 @@ pub struct ShardStats {
     pub encoded_bytes: usize,
     /// Chosen encoding (None for the uncompressed backends).
     pub encoding: Option<Encoding>,
+    /// Chosen grammar stage (None for the uncompressed backends and
+    /// the legacy no-metadata path).
+    pub grammar: Option<GrammarStage>,
     /// Reorder algorithm applied to this shard, if any.
     pub reorder: Option<ReorderAlgorithm>,
     /// Time spent computing/applying the column reorder.

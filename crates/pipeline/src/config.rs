@@ -50,6 +50,57 @@ impl EncodingChoice {
     }
 }
 
+/// The grammar construction stage that actually compressed a shard.
+///
+/// Recorded per shard (a build under [`GrammarChoice::Auto`] may pick
+/// different stages for different shards) and persisted in the v5
+/// container shard table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarStage {
+    /// Classic pair replacement ([`gcm_repair::RePair::compress`]).
+    RePair,
+    /// MR-RePair: each replaced pair greedily consumes its maximal
+    /// repeat into one variable-arity rule
+    /// ([`gcm_repair::RePair::compress_mr`], Furuya et al. 2019).
+    MrRePair,
+}
+
+impl GrammarStage {
+    /// CLI / display / container-tag name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrammarStage::RePair => "repair",
+            GrammarStage::MrRePair => "mr-repair",
+        }
+    }
+}
+
+/// How the grammar stage is chosen for each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarChoice {
+    /// Classic RePair for every shard.
+    RePair,
+    /// MR-RePair for every shard.
+    MrRePair,
+    /// Per shard, build **both** grammars, encode both under the
+    /// shard's encoding policy, and keep the one with the smaller
+    /// **measured** stored size (ties break to RePair). Mirrors
+    /// [`EncodingChoice::Auto`]: the decision is per shard and the
+    /// container records one stage tag per shard.
+    Auto,
+}
+
+impl GrammarChoice {
+    /// CLI / display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GrammarChoice::RePair => "repair",
+            GrammarChoice::MrRePair => "mr-repair",
+            GrammarChoice::Auto => "auto",
+        }
+    }
+}
+
 /// Full configuration of one pipeline build.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildConfig {
@@ -57,6 +108,12 @@ pub struct BuildConfig {
     pub backend: Backend,
     /// Encoding policy for compressed backends.
     pub encoding: EncodingChoice,
+    /// Grammar-stage policy for compressed backends. `None` is the
+    /// legacy path: classic RePair with **no** per-shard grammar
+    /// metadata, so containers keep their pre-grammar-stage version
+    /// byte-identically. `Some(...)` records the chosen stage (and the
+    /// shard input fingerprint) per shard.
+    pub grammar: Option<GrammarChoice>,
     /// Number of row shards (clamped to `1..=rows`).
     pub shards: usize,
     /// Row blocks *inside* each shard (`blocked` / `parcsrv` backends).
@@ -70,6 +127,7 @@ impl Default for BuildConfig {
         Self {
             backend: Backend::Compressed,
             encoding: EncodingChoice::Fixed(Encoding::ReAns),
+            grammar: None,
             shards: 1,
             blocks: 4,
             reorder: None,

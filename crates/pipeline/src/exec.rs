@@ -6,11 +6,13 @@ use std::time::Instant;
 
 use gcm_core::{BlockedMatrix, CompressedMatrix, Encoding};
 use gcm_matrix::{CsrvMatrix, ParallelCsrv, RowBlocks, SEPARATOR};
-use gcm_repair::{RePair, RePairScratch, Slp};
+use gcm_repair::{MrSlp, RePair, RePairScratch, Slp};
 
-use crate::artifacts::{BuildArtifacts, BuildStats, BuiltShard, ShardArtifact, ShardStats};
+use crate::artifacts::{
+    shard_fingerprint, BuildArtifacts, BuildStats, BuiltShard, ShardArtifact, ShardStats,
+};
 use crate::backend::Backend;
-use crate::config::{BuildConfig, EncodingChoice};
+use crate::config::{BuildConfig, EncodingChoice, GrammarChoice, GrammarStage};
 use crate::plan::{Plan, ShardPlan, ShardReorder};
 use crate::stage::par_map;
 
@@ -151,6 +153,7 @@ impl Pipeline {
         let mut encode_time = std::time::Duration::ZERO;
         let mut grammar_rules = 0usize;
         let mut encoding = None;
+        let mut grammar = None;
         let artifact = match plan.backend {
             Backend::Csrv => ShardArtifact::Csrv(reordered.unwrap_or_else(|| sp.csrv.clone())),
             Backend::ParCsrv => ShardArtifact::ParCsrv(ParallelCsrv::split(csrv, plan.blocks)),
@@ -162,26 +165,53 @@ impl Pipeline {
                     blocked_parts = RowBlocks::split(csrv, plan.blocks).into_blocks();
                     &blocked_parts
                 };
-                let t1 = Instant::now();
-                let slps: Vec<Slp> = parts
-                    .iter()
-                    .map(|block| {
-                        self.with_scratch(|scratch| {
-                            RePair::new().compress_with_scratch(
-                                block.symbols(),
-                                block.terminal_limit(),
-                                Some(SEPARATOR),
-                                scratch,
-                            )
-                        })
-                    })
-                    .collect();
-                grammar_time = t1.elapsed();
-                grammar_rules = slps.iter().map(Slp::num_rules).sum();
-                let t2 = Instant::now();
-                let blocks = encode_blocks(parts, &slps, sp.encoding);
-                encode_time = t2.elapsed();
+                let (blocks, stage) = match sp.grammar {
+                    // Legacy path and the pinned-RePair policy share the
+                    // exact same construction; only the recorded
+                    // metadata differs.
+                    None | Some(GrammarChoice::RePair) => {
+                        let t1 = Instant::now();
+                        let grammars = ShardGrammars::RePair(self.repair_grammars(parts));
+                        grammar_time = t1.elapsed();
+                        let t2 = Instant::now();
+                        let blocks = encode_blocks(parts, &grammars, sp.encoding);
+                        encode_time = t2.elapsed();
+                        (blocks, sp.grammar.map(|_| GrammarStage::RePair))
+                    }
+                    Some(GrammarChoice::MrRePair) => {
+                        let t1 = Instant::now();
+                        let grammars = ShardGrammars::MrRePair(self.mr_grammars(parts));
+                        grammar_time = t1.elapsed();
+                        let t2 = Instant::now();
+                        let blocks = encode_blocks(parts, &grammars, sp.encoding);
+                        encode_time = t2.elapsed();
+                        (blocks, Some(GrammarStage::MrRePair))
+                    }
+                    // Both stages run for real and the smaller
+                    // **measured** encoded output wins (ties break to
+                    // RePair, so auto is never larger than pure RePair).
+                    Some(GrammarChoice::Auto) => {
+                        let t1 = Instant::now();
+                        let re = ShardGrammars::RePair(self.repair_grammars(parts));
+                        let mr = ShardGrammars::MrRePair(self.mr_grammars(parts));
+                        grammar_time = t1.elapsed();
+                        let t2 = Instant::now();
+                        let re_blocks = encode_blocks(parts, &re, sp.encoding);
+                        let mr_blocks = encode_blocks(parts, &mr, sp.encoding);
+                        encode_time = t2.elapsed();
+                        let bytes = |b: &[CompressedMatrix]| -> usize {
+                            b.iter().map(CompressedMatrix::stored_bytes).sum()
+                        };
+                        if bytes(&mr_blocks) < bytes(&re_blocks) {
+                            (mr_blocks, Some(GrammarStage::MrRePair))
+                        } else {
+                            (re_blocks, Some(GrammarStage::RePair))
+                        }
+                    }
+                };
+                grammar_rules = blocks.iter().map(CompressedMatrix::num_rules).sum();
                 encoding = blocks.first().map(CompressedMatrix::encoding);
+                grammar = stage;
                 if plan.backend == Backend::Compressed {
                     let block = blocks.into_iter().next().expect("one block per shard");
                     ShardArtifact::Compressed(block)
@@ -191,6 +221,14 @@ impl Pipeline {
             }
         };
 
+        // Fingerprint the *input* rows (pre-reorder) whenever a
+        // grammar-stage policy is active — the handle incremental
+        // rebuilds match shards by.
+        let fingerprint = match (sp.grammar, plan.backend) {
+            (Some(_), Backend::Compressed | Backend::Blocked) => Some(shard_fingerprint(&sp.csrv)),
+            _ => None,
+        };
+
         let stats = ShardStats {
             index: sp.index,
             rows,
@@ -198,6 +236,7 @@ impl Pipeline {
             grammar_rules,
             encoded_bytes: artifact.stored_bytes(),
             encoding,
+            grammar,
             reorder: algo,
             reorder_time,
             grammar_time,
@@ -208,10 +247,52 @@ impl Pipeline {
                 artifact,
                 col_order,
                 reorder: algo,
+                grammar,
+                fingerprint,
             },
             stats,
         )
     }
+
+    /// One RePair grammar per block, on pooled scratch.
+    fn repair_grammars(&self, parts: &[CsrvMatrix]) -> Vec<Slp> {
+        parts
+            .iter()
+            .map(|block| {
+                self.with_scratch(|scratch| {
+                    RePair::new().compress_with_scratch(
+                        block.symbols(),
+                        block.terminal_limit(),
+                        Some(SEPARATOR),
+                        scratch,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// One MR-RePair grammar per block, on the same pooled scratch.
+    fn mr_grammars(&self, parts: &[CsrvMatrix]) -> Vec<MrSlp> {
+        parts
+            .iter()
+            .map(|block| {
+                self.with_scratch(|scratch| {
+                    RePair::new().compress_mr_with_scratch(
+                        block.symbols(),
+                        block.terminal_limit(),
+                        Some(SEPARATOR),
+                        scratch,
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// A shard's grammars, one per row block, from either stage.
+enum ShardGrammars {
+    RePair(Vec<Slp>),
+    MrRePair(Vec<MrSlp>),
 }
 
 /// Encodes a shard's blocks, selecting the encoding per `choice`: under
@@ -221,15 +302,22 @@ impl Pipeline {
 /// encoding per shard, so the choice is made across the shard's blocks).
 fn encode_blocks(
     parts: &[CsrvMatrix],
-    slps: &[Slp],
+    grammars: &ShardGrammars,
     choice: EncodingChoice,
 ) -> Vec<CompressedMatrix> {
     let build = |enc: Encoding| -> Vec<CompressedMatrix> {
-        parts
-            .iter()
-            .zip(slps)
-            .map(|(block, slp)| CompressedMatrix::from_slp(block, slp, enc))
-            .collect()
+        match grammars {
+            ShardGrammars::RePair(slps) => parts
+                .iter()
+                .zip(slps)
+                .map(|(block, slp)| CompressedMatrix::from_slp(block, slp, enc))
+                .collect(),
+            ShardGrammars::MrRePair(mrs) => parts
+                .iter()
+                .zip(mrs)
+                .map(|(block, mr)| CompressedMatrix::from_mr_slp(block, mr, enc))
+                .collect(),
+        }
     };
     match choice {
         EncodingChoice::Fixed(enc) => build(enc),
@@ -388,6 +476,140 @@ mod tests {
                 seen[c as usize] = true;
             }
             assert_eq!(shard.reorder, Some(ReorderAlgorithm::PathCover));
+        }
+    }
+
+    #[test]
+    fn grammar_stages_build_correct_artifacts_and_metadata() {
+        let csrv = sample(80, 9);
+        let pipeline = Pipeline::new();
+        for choice in [
+            GrammarChoice::RePair,
+            GrammarChoice::MrRePair,
+            GrammarChoice::Auto,
+        ] {
+            for backend in [Backend::Compressed, Backend::Blocked] {
+                let config = BuildConfig {
+                    backend,
+                    shards: 3,
+                    blocks: 2,
+                    grammar: Some(choice),
+                    ..BuildConfig::default()
+                };
+                let par = pipeline.build(&csrv, &config);
+                let seq = pipeline.build_sequential(&csrv, &config);
+                artifact_products_match_dense(&par, &csrv);
+                for ((shard, stat), s_shard) in
+                    par.shards.iter().zip(&par.stats.shards).zip(&seq.shards)
+                {
+                    let stage = shard.grammar.expect("stage recorded");
+                    assert_eq!(stat.grammar, Some(stage), "{}", choice.name());
+                    match choice {
+                        GrammarChoice::RePair => assert_eq!(stage, GrammarStage::RePair),
+                        GrammarChoice::MrRePair => assert_eq!(stage, GrammarStage::MrRePair),
+                        GrammarChoice::Auto => {}
+                    }
+                    assert!(shard.fingerprint.is_some(), "fingerprint recorded");
+                    // Parallel and sequential agree on everything,
+                    // including the measured auto-selection.
+                    assert_eq!(s_shard.grammar, shard.grammar);
+                    assert_eq!(s_shard.fingerprint, shard.fingerprint);
+                    assert_eq!(
+                        s_shard.artifact.stored_bytes(),
+                        shard.artifact.stored_bytes()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_builds_record_no_grammar_metadata() {
+        let csrv = sample(40, 8);
+        let pipeline = Pipeline::new();
+        let legacy = pipeline.build_sequential(&csrv, &BuildConfig::default());
+        let pinned = pipeline.build_sequential(
+            &csrv,
+            &BuildConfig {
+                grammar: Some(GrammarChoice::RePair),
+                ..BuildConfig::default()
+            },
+        );
+        for (l, p) in legacy.shards.iter().zip(&pinned.shards) {
+            assert_eq!(l.grammar, None);
+            assert_eq!(l.fingerprint, None);
+            assert_eq!(p.grammar, Some(GrammarStage::RePair));
+            // Same construction either way — only the metadata differs.
+            assert_eq!(l.artifact.stored_bytes(), p.artifact.stored_bytes());
+        }
+        for s in &legacy.stats.shards {
+            assert_eq!(s.grammar, None);
+        }
+    }
+
+    #[test]
+    fn auto_grammar_is_never_larger_than_pure_repair() {
+        let csrv = sample(80, 9);
+        let pipeline = Pipeline::new();
+        for encoding in [EncodingChoice::Fixed(Encoding::ReAns), EncodingChoice::Auto] {
+            let auto = pipeline.build_sequential(
+                &csrv,
+                &BuildConfig {
+                    shards: 2,
+                    encoding,
+                    grammar: Some(GrammarChoice::Auto),
+                    ..BuildConfig::default()
+                },
+            );
+            let repair = pipeline.build_sequential(
+                &csrv,
+                &BuildConfig {
+                    shards: 2,
+                    encoding,
+                    grammar: Some(GrammarChoice::RePair),
+                    ..BuildConfig::default()
+                },
+            );
+            for (a, r) in auto.shards.iter().zip(&repair.shards) {
+                assert!(
+                    a.artifact.stored_bytes() <= r.artifact.stored_bytes(),
+                    "auto ({}) beaten by repair ({})",
+                    a.artifact.stored_bytes(),
+                    r.artifact.stored_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_fingerprints_track_input_changes() {
+        let csrv = sample(40, 8);
+        let pipeline = Pipeline::new();
+        let config = BuildConfig {
+            shards: 4,
+            grammar: Some(GrammarChoice::RePair),
+            ..BuildConfig::default()
+        };
+        let a = pipeline.build_sequential(&csrv, &config);
+        let b = pipeline.build_sequential(&csrv, &config);
+        // Deterministic: same input, same fingerprints.
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.fingerprint, sb.fingerprint);
+        }
+        // Perturb one value in the third shard's row range; only that
+        // shard's fingerprint moves.
+        let mut dense = csrv.to_dense();
+        let r = 25; // rows 0..40 split 4 ways: shard 2 covers 20..30
+        let old = dense.get(r, 3);
+        dense.set(r, 3, old + 1.0);
+        let changed = CsrvMatrix::from_dense(&dense).unwrap();
+        let c = pipeline.build_sequential(&changed, &config);
+        for (i, (sa, sc)) in a.shards.iter().zip(&c.shards).enumerate() {
+            if i == 2 {
+                assert_ne!(sa.fingerprint, sc.fingerprint, "changed shard");
+            } else {
+                assert_eq!(sa.fingerprint, sc.fingerprint, "unchanged shard {i}");
+            }
         }
     }
 

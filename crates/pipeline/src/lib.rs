@@ -38,9 +38,11 @@ pub mod exec;
 pub mod plan;
 pub mod stage;
 
-pub use artifacts::{BuildArtifacts, BuildStats, BuiltShard, ShardArtifact, ShardStats};
+pub use artifacts::{
+    shard_fingerprint, BuildArtifacts, BuildStats, BuiltShard, ShardArtifact, ShardStats,
+};
 pub use backend::Backend;
-pub use config::{BuildConfig, EncodingChoice, ReorderMode};
+pub use config::{BuildConfig, EncodingChoice, GrammarChoice, GrammarStage, ReorderMode};
 pub use exec::{global, Pipeline};
 pub use plan::{Plan, ShardPlan, ShardReorder};
 pub use stage::par_map;

@@ -8,7 +8,7 @@ use gcm_matrix::{CsrvMatrix, RowBlocks};
 use gcm_reorder::{reorder_columns, CsmConfig, ReorderAlgorithm};
 
 use crate::backend::Backend;
-use crate::config::{BuildConfig, EncodingChoice, ReorderMode};
+use crate::config::{BuildConfig, EncodingChoice, GrammarChoice, ReorderMode};
 
 /// Local-pruning sparsity used for every reorder (Table 3 found 8 best).
 pub(crate) const REORDER_K: usize = 8;
@@ -38,6 +38,8 @@ pub struct ShardPlan {
     pub reorder: ShardReorder,
     /// Encoding policy (per shard, so `Auto` can diverge across shards).
     pub encoding: EncodingChoice,
+    /// Grammar-stage policy (`None` = legacy RePair, no metadata).
+    pub grammar: Option<GrammarChoice>,
 }
 
 /// A complete build plan: what to do, per shard, with no ordering
@@ -87,6 +89,7 @@ impl Plan {
                     (None, None) => ShardReorder::None,
                 },
                 encoding: config.encoding,
+                grammar: config.grammar,
             })
             .collect();
         Plan {

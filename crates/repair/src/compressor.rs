@@ -17,9 +17,23 @@
 //!   rare self-overlap corner cases a rule may end up used once — harmless
 //!   for correctness, negligible for compression.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use gcm_encodings::fxhash::FxHashMap;
 
-use crate::slp::Slp;
+use crate::slp::{MrSlp, Slp};
+
+/// Process-wide count of grammar constructions (RePair or MR-RePair).
+///
+/// The incremental-rebuild path promises to re-run exactly the changed
+/// shards' grammar stages; like `gcm_core::plan_compiles()`, this counter
+/// lets tests assert that promise instead of trusting it.
+static GRAMMAR_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of grammar compressions performed by this process so far.
+pub fn grammar_builds() -> usize {
+    GRAMMAR_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Marks a hole in the working sequence.
 const EMPTY: u32 = u32::MAX;
@@ -283,6 +297,20 @@ impl State {
     ///
     /// Returns the number of replacements performed.
     fn replace_all(&mut self, a: u32, b: u32, n_sym: u32) -> usize {
+        self.replace_all_rec(a, b, n_sym, None)
+    }
+
+    /// As [`replace_all`](Self::replace_all), optionally recording the
+    /// position of every substitution (where `n_sym` now sits) — the
+    /// MR-RePair extension loop needs those to probe the symbols
+    /// neighbouring the fresh nonterminal.
+    fn replace_all_rec(
+        &mut self,
+        a: u32,
+        b: u32,
+        n_sym: u32,
+        mut record: Option<&mut Vec<usize>>,
+    ) -> usize {
         let key = pack(a, b);
         let Some(rec) = self.pairs.remove(&key) else {
             return 0;
@@ -337,6 +365,9 @@ impl State {
             self.sym[i] = n_sym;
             self.clear_position(j);
             replaced += 1;
+            if let Some(rec) = record.as_deref_mut() {
+                rec.push(i);
+            }
 
             // New neighbour pairs around the fresh nonterminal.
             if let Some(l) = left {
@@ -438,6 +469,7 @@ impl RePair {
             .unwrap_or(usize::MAX)
             .min((u32::MAX - first_nt) as usize);
 
+        GRAMMAR_BUILDS.fetch_add(1, Ordering::Relaxed);
         let mut st = State::new_in(input, protected, scratch);
         st.count_initial_pairs();
         let mut rules: Vec<(u32, u32)> = Vec::new();
@@ -456,6 +488,126 @@ impl RePair {
         }
         let seq = st.finish(scratch);
         Slp::new(first_nt, rules, seq)
+    }
+
+    /// MR-RePair compression (Furuya et al.): like
+    /// [`compress`](Self::compress) but each fresh nonterminal greedily
+    /// consumes the **maximal repeat** around its founding pair, so a
+    /// rule's right-hand side may grow beyond two symbols and the grammar
+    /// needs fewer rules overall.
+    ///
+    /// # Panics
+    /// As [`compress`](Self::compress).
+    pub fn compress_mr(&self, input: &[u32], first_nt: u32, protected: Option<u32>) -> MrSlp {
+        self.compress_mr_with_scratch(input, first_nt, protected, &mut RePairScratch::default())
+    }
+
+    /// As [`compress_mr`](Self::compress_mr), drawing all working storage
+    /// from `scratch` — the same arena
+    /// [`compress_with_scratch`](Self::compress_with_scratch) uses, so a
+    /// pipeline can interleave both stages over one set of buffers.
+    ///
+    /// The inner loop is the pair-replacement machinery unchanged; after
+    /// a pair `(a, b)` is replaced by `X`, the rule is extended while
+    /// *every* occurrence of `X` is followed (or preceded) by one same
+    /// symbol `c` — detected exactly via the pair table
+    /// (`count(X, c) == |occurrences of X|`) and applied with the same
+    /// `replace_all` bookkeeping (`X c → X` keeps the occurrence count
+    /// and positions consistent). That is precisely the maximal-repeat
+    /// run of the founding pair.
+    ///
+    /// # Panics
+    /// As [`compress`](Self::compress).
+    pub fn compress_mr_with_scratch(
+        &self,
+        input: &[u32],
+        first_nt: u32,
+        protected: Option<u32>,
+        scratch: &mut RePairScratch,
+    ) -> MrSlp {
+        assert!(input.len() < u32::MAX as usize, "input too long");
+        if let Some(&max) = input.iter().max() {
+            assert!(max < first_nt, "input symbol {max} >= first_nt {first_nt}");
+            assert!(max != EMPTY, "u32::MAX is reserved");
+        }
+        let min_count = self.config.min_count.max(2);
+        let max_rules = self
+            .config
+            .max_rules
+            .unwrap_or(usize::MAX)
+            .min((u32::MAX - first_nt) as usize);
+
+        GRAMMAR_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let mut st = State::new_in(input, protected, scratch);
+        st.count_initial_pairs();
+        let mut rule_ptr: Vec<u32> = vec![0];
+        let mut rule_syms: Vec<u32> = Vec::new();
+        let mut positions: Vec<usize> = Vec::new();
+        let mut next_positions: Vec<usize> = Vec::new();
+        while rule_ptr.len() - 1 < max_rules {
+            let Some((a, b)) = st.pop_best(min_count) else {
+                break;
+            };
+            let n_sym = first_nt + (rule_ptr.len() - 1) as u32;
+            positions.clear();
+            let replaced = st.replace_all_rec(a, b, n_sym, Some(&mut positions));
+            if replaced == 0 {
+                continue;
+            }
+            let rhs_start = rule_syms.len();
+            rule_syms.push(a);
+            rule_syms.push(b);
+            // Greedy maximal-repeat extension. Safe only when the
+            // extension consumes *every* occurrence of the fresh
+            // nonterminal — otherwise occurrences would expand to
+            // different strings — so each step requires the exact pair
+            // count to equal the occurrence count (`replaced` is the
+            // invariant occurrence count: every extension step consumes
+            // all occurrences, so it never changes). `c == n_sym` (runs
+            // of the nonterminal itself) is skipped: those pairs self-
+            // overlap and are better left to a later ordinary rule.
+            if replaced >= 2 {
+                loop {
+                    let p = positions[0];
+                    let right = st.next_filled(p).map(|r| st.sym[r]).filter(|&c| {
+                        c != n_sym
+                            && !st.is_protected(c)
+                            && st
+                                .pairs
+                                .get(&pack(n_sym, c))
+                                .is_some_and(|rec| rec.count as usize == replaced)
+                    });
+                    if let Some(c) = right {
+                        next_positions.clear();
+                        let k = st.replace_all_rec(n_sym, c, n_sym, Some(&mut next_positions));
+                        assert_eq!(k, replaced, "right extension must consume every occurrence");
+                        std::mem::swap(&mut positions, &mut next_positions);
+                        rule_syms.push(c);
+                        continue;
+                    }
+                    let left = st.prev_filled(p).map(|l| st.sym[l]).filter(|&c| {
+                        c != n_sym
+                            && !st.is_protected(c)
+                            && st
+                                .pairs
+                                .get(&pack(c, n_sym))
+                                .is_some_and(|rec| rec.count as usize == replaced)
+                    });
+                    if let Some(c) = left {
+                        next_positions.clear();
+                        let k = st.replace_all_rec(c, n_sym, n_sym, Some(&mut next_positions));
+                        assert_eq!(k, replaced, "left extension must consume every occurrence");
+                        std::mem::swap(&mut positions, &mut next_positions);
+                        rule_syms.insert(rhs_start, c);
+                        continue;
+                    }
+                    break;
+                }
+            }
+            rule_ptr.push(rule_syms.len() as u32);
+        }
+        let seq = st.finish(scratch);
+        MrSlp::new(first_nt, rule_ptr, rule_syms, seq)
     }
 }
 
@@ -667,6 +819,165 @@ mod tests {
         // Empty rows: consecutive protected symbols.
         let input = vec![0, 0, 1, 2, 0, 1, 2, 0, 0];
         roundtrip(&input, 10, Some(0));
+    }
+
+    fn mr_roundtrip(input: &[u32], first_nt: u32, protected: Option<u32>) -> MrSlp {
+        let mr = RePair::new().compress_mr(input, first_nt, protected);
+        assert_eq!(mr.expand(), input, "MR expansion must equal input");
+        assert!(mr.check_invariants().is_ok());
+        if let Some(p) = protected {
+            assert!(
+                mr.rules_avoid_terminal(p),
+                "protected symbol leaked into an MR rule"
+            );
+        }
+        mr
+    }
+
+    #[test]
+    fn mr_simple_repeat_matches_repair() {
+        let mr = mr_roundtrip(&[1, 2, 1, 2], 10, None);
+        assert_eq!(mr.num_rules(), 1);
+        assert_eq!(mr.rule(0), &[1, 2]);
+        assert_eq!(mr.sequence(), &[10, 10]);
+    }
+
+    #[test]
+    fn mr_consumes_maximal_repeats_into_one_rule() {
+        // (1 2 3 4)^2: RePair needs a chain of three rules; MR-RePair
+        // extends the founding pair to the whole repeat.
+        let input = [1u32, 2, 3, 4, 1, 2, 3, 4];
+        let mr = mr_roundtrip(&input, 10, None);
+        assert_eq!(mr.num_rules(), 1, "rules: {:?}", mr.rule_syms());
+        assert_eq!(mr.rule(0), &[1, 2, 3, 4]);
+        assert_eq!(mr.sequence(), &[10, 10]);
+        let slp = RePair::new().compress(&input, 10, None);
+        assert_eq!(slp.num_rules(), 3);
+        // Three repeats leave a top-level (X, X) pair that may become one
+        // extra binary rule — still strictly fewer rules than RePair.
+        let input3 = [1u32, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4];
+        let mr3 = mr_roundtrip(&input3, 10, None);
+        let slp3 = RePair::new().compress(&input3, 10, None);
+        assert!(mr3.num_rules() < slp3.num_rules());
+        assert_eq!(mr3.rule(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mr_never_needs_more_rules_on_repetitive_rows() {
+        let row = [2u32, 3, 4, 5, 6, 7, 8, 9];
+        let mut input = Vec::new();
+        for _ in 0..30 {
+            input.extend_from_slice(&row);
+            input.push(0);
+        }
+        let mr = mr_roundtrip(&input, 100, Some(0));
+        let slp = RePair::new().compress(&input, 100, Some(0));
+        assert!(
+            mr.num_rules() < slp.num_rules(),
+            "MR {} vs RePair {}",
+            mr.num_rules(),
+            slp.num_rules()
+        );
+        // One wide rule covering the whole row, used once per row.
+        assert!(mr.sequence().len() <= 30 * 2 + 2);
+    }
+
+    #[test]
+    fn mr_protected_symbol_never_extends_across_rows() {
+        let mut input = Vec::new();
+        for _ in 0..40 {
+            input.extend_from_slice(&[3, 4, 5, 6]);
+            input.push(0);
+        }
+        let mr = mr_roundtrip(&input, 10, Some(0));
+        assert_eq!(mr.sequence().iter().filter(|&&s| s == 0).count(), 40);
+    }
+
+    #[test]
+    fn mr_runs_of_equal_symbols_roundtrip() {
+        for len in [2usize, 3, 5, 8, 16, 33, 100] {
+            mr_roundtrip(&vec![7u32; len], 10, None);
+        }
+    }
+
+    #[test]
+    fn mr_pseudorandom_roundtrip_with_separators() {
+        let mut x = 0xFEED5EEDu64;
+        let mut input = Vec::new();
+        for _ in 0..400 {
+            let row_len = (x >> 60) as usize % 6;
+            for _ in 0..row_len {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                input.push(((x >> 33) % 10 + 1) as u32);
+            }
+            input.push(0);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        mr_roundtrip(&input, 100, Some(0));
+    }
+
+    #[test]
+    fn mr_respects_max_rules_and_min_count() {
+        let input: Vec<u32> = (0..1000).map(|i| (i % 4) as u32 + 1).collect();
+        let cfg = RePairConfig {
+            max_rules: Some(2),
+            min_count: 2,
+        };
+        let mr = RePair::with_config(cfg).compress_mr(&input, 10, None);
+        assert!(mr.num_rules() <= 2);
+        assert_eq!(mr.expand(), input);
+
+        let sparse = vec![1, 2, 9, 1, 2];
+        let cfg = RePairConfig {
+            max_rules: None,
+            min_count: 3,
+        };
+        let mr = RePair::with_config(cfg).compress_mr(&sparse, 10, None);
+        assert_eq!(mr.num_rules(), 0);
+        assert_eq!(mr.expand(), sparse);
+    }
+
+    #[test]
+    fn mr_scratch_reuse_matches_fresh_compression() {
+        let mut x = 0xABCDEFu64;
+        let inputs: Vec<Vec<u32>> = (0..6)
+            .map(|round| {
+                (0..150 + round * 83)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((x >> 33) % 7) as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut scratch = RePairScratch::new();
+        for input in &inputs {
+            let with_scratch =
+                RePair::new().compress_mr_with_scratch(input, 100, Some(0), &mut scratch);
+            let fresh = RePair::new().compress_mr(input, 100, Some(0));
+            assert_eq!(with_scratch, fresh);
+            assert_eq!(with_scratch.expand(), *input);
+        }
+        // The same arena still produces unchanged RePair output.
+        let slp_scratch =
+            RePair::new().compress_with_scratch(&inputs[0], 100, Some(0), &mut scratch);
+        let slp_fresh = RePair::new().compress(&inputs[0], 100, Some(0));
+        assert_eq!(slp_scratch.rules(), slp_fresh.rules());
+        assert_eq!(slp_scratch.sequence(), slp_fresh.sequence());
+    }
+
+    #[test]
+    fn grammar_builds_counts_every_compression() {
+        let before = grammar_builds();
+        let _ = RePair::new().compress(&[1, 2, 1, 2], 10, None);
+        let _ = RePair::new().compress_mr(&[1, 2, 1, 2], 10, None);
+        assert!(grammar_builds() >= before + 2);
     }
 
     #[test]

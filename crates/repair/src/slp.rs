@@ -191,6 +191,207 @@ impl HeapSize for Slp {
     }
 }
 
+/// A straight-line program with **variable-arity** rules — the output of
+/// MR-RePair (Furuya et al., 2019), which replaces maximal repeats
+/// instead of single pairs.
+///
+/// * Terminals are the symbols `< first_nt`.
+/// * Rule `k` defines nonterminal `first_nt + k` and rewrites to the
+///   symbol run `rule_syms[rule_ptr[k]..rule_ptr[k+1]]` (length ≥ 2);
+///   each symbol is a terminal or an *earlier* nonterminal, so one
+///   forward pass evaluates all rules exactly as for [`Slp`].
+/// * `sequence` is the final string `C`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrSlp {
+    first_nt: u32,
+    rule_ptr: Vec<u32>,
+    rule_syms: Vec<u32>,
+    sequence: Vec<u32>,
+}
+
+impl MrSlp {
+    /// Assembles a variable-arity SLP from CSR parts.
+    ///
+    /// # Panics
+    /// Panics if `rule_ptr` is not a monotone CSR index starting at 0 and
+    /// ending at `rule_syms.len()`, if any rule is shorter than 2
+    /// symbols, if any rule references a symbol at or above its own id,
+    /// or if ids overflow `u32`.
+    pub fn new(first_nt: u32, rule_ptr: Vec<u32>, rule_syms: Vec<u32>, sequence: Vec<u32>) -> Self {
+        assert!(!rule_ptr.is_empty(), "rule_ptr needs a leading 0");
+        assert_eq!(rule_ptr[0], 0, "rule_ptr must start at 0");
+        assert_eq!(
+            *rule_ptr.last().unwrap() as usize,
+            rule_syms.len(),
+            "rule_ptr must end at rule_syms.len()"
+        );
+        let num_rules = rule_ptr.len() - 1;
+        let limit = first_nt as u64 + num_rules as u64;
+        assert!(limit <= u32::MAX as u64, "nonterminal ids overflow u32");
+        for k in 0..num_rules {
+            let (lo, hi) = (rule_ptr[k] as usize, rule_ptr[k + 1] as usize);
+            assert!(hi >= lo + 2, "rule {k} has fewer than 2 symbols");
+            let own = first_nt + k as u32;
+            for &s in &rule_syms[lo..hi] {
+                assert!(s < own, "rule {k} references a later symbol");
+            }
+        }
+        for &s in &sequence {
+            assert!(
+                (s as u64) < limit,
+                "sequence references undefined symbol {s}"
+            );
+        }
+        Self {
+            first_nt,
+            rule_ptr,
+            rule_syms,
+            sequence,
+        }
+    }
+
+    /// First nonterminal id (= exclusive upper bound of the terminals).
+    #[inline]
+    pub fn first_nonterminal(&self) -> u32 {
+        self.first_nt
+    }
+
+    /// Number of rules `|R|`.
+    #[inline]
+    pub fn num_rules(&self) -> usize {
+        self.rule_ptr.len() - 1
+    }
+
+    /// The right-hand side of rule `k` (length ≥ 2).
+    #[inline]
+    pub fn rule(&self, k: usize) -> &[u32] {
+        &self.rule_syms[self.rule_ptr[k] as usize..self.rule_ptr[k + 1] as usize]
+    }
+
+    /// The CSR rule pointer (`num_rules + 1` entries).
+    #[inline]
+    pub fn rule_ptr(&self) -> &[u32] {
+        &self.rule_ptr
+    }
+
+    /// The concatenated rule right-hand sides.
+    #[inline]
+    pub fn rule_syms(&self) -> &[u32] {
+        &self.rule_syms
+    }
+
+    /// The final string `C`.
+    #[inline]
+    pub fn sequence(&self) -> &[u32] {
+        &self.sequence
+    }
+
+    /// Largest symbol id in use.
+    pub fn max_symbol(&self) -> u32 {
+        if self.num_rules() == 0 {
+            self.sequence.iter().copied().max().unwrap_or(0)
+        } else {
+            self.first_nt + self.num_rules() as u32 - 1
+        }
+    }
+
+    /// The paper's grammar size measure: total length of rule right-hand
+    /// sides plus the final string.
+    pub fn grammar_size(&self) -> usize {
+        self.rule_syms.len() + self.sequence.len()
+    }
+
+    /// Appends the expansion of `symbol` to `out` (iterative, stack-safe).
+    pub fn expand_symbol_into(&self, symbol: u32, out: &mut Vec<u32>) {
+        let mut stack = vec![symbol];
+        while let Some(s) = stack.pop() {
+            if s < self.first_nt {
+                out.push(s);
+            } else {
+                let rhs = self.rule((s - self.first_nt) as usize);
+                stack.extend(rhs.iter().rev());
+            }
+        }
+    }
+
+    /// Full expansion of the final string — the original input sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.expanded_len());
+        for &s in &self.sequence {
+            self.expand_symbol_into(s, &mut out);
+        }
+        out
+    }
+
+    /// Length of every nonterminal's expansion (forward DP).
+    pub fn expansion_lengths(&self) -> Vec<u64> {
+        let mut lens = Vec::with_capacity(self.num_rules());
+        for k in 0..self.num_rules() {
+            let total: u64 = self
+                .rule(k)
+                .iter()
+                .map(|&s| {
+                    if s < self.first_nt {
+                        1
+                    } else {
+                        lens[(s - self.first_nt) as usize]
+                    }
+                })
+                .sum();
+            lens.push(total);
+        }
+        lens
+    }
+
+    /// Length of the full expansion without materialising it.
+    pub fn expanded_len(&self) -> usize {
+        let lens = self.expansion_lengths();
+        self.sequence
+            .iter()
+            .map(|&s| {
+                if s < self.first_nt {
+                    1u64
+                } else {
+                    lens[(s - self.first_nt) as usize]
+                }
+            })
+            .sum::<u64>() as usize
+    }
+
+    /// Checks structural invariants, returning a violation if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let limit = self.first_nt as u64 + self.num_rules() as u64;
+        for k in 0..self.num_rules() {
+            if self.rule(k).len() < 2 {
+                return Err(format!("rule {k} shorter than 2 symbols"));
+            }
+            let own = self.first_nt as u64 + k as u64;
+            for &s in self.rule(k) {
+                if s as u64 >= own {
+                    return Err(format!("rule {k} references symbol >= its own id"));
+                }
+            }
+        }
+        for &s in &self.sequence {
+            if s as u64 >= limit {
+                return Err(format!("sequence symbol {s} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that no rule contains `forbidden` (§3's `$` protection).
+    pub fn rules_avoid_terminal(&self, forbidden: u32) -> bool {
+        self.rule_syms.iter().all(|&s| s != forbidden)
+    }
+}
+
+impl HeapSize for MrSlp {
+    fn heap_bytes(&self) -> usize {
+        self.rule_ptr.heap_bytes() + self.rule_syms.heap_bytes() + self.sequence.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +472,45 @@ mod tests {
     #[should_panic(expected = "undefined symbol")]
     fn sequence_out_of_range_rejected() {
         Slp::new(4, vec![(0, 1)], vec![9]);
+    }
+
+    #[test]
+    fn mr_slp_expands_variable_arity_rules() {
+        // N0 = 1 2 3 4, N1 = N0 5 N0 : expansion nests wide rules.
+        let mr = MrSlp::new(
+            10,
+            vec![0, 4, 7],
+            vec![1, 2, 3, 4, 10, 5, 10],
+            vec![11, 0, 11, 0],
+        );
+        assert_eq!(mr.num_rules(), 2);
+        assert_eq!(mr.rule(0), &[1, 2, 3, 4]);
+        assert_eq!(mr.rule(1), &[10, 5, 10]);
+        assert_eq!(mr.grammar_size(), 7 + 4);
+        assert_eq!(mr.max_symbol(), 11);
+        let row = [1, 2, 3, 4, 5, 1, 2, 3, 4];
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&row);
+        expected.push(0);
+        expected.extend_from_slice(&row);
+        expected.push(0);
+        assert_eq!(mr.expand(), expected);
+        assert_eq!(mr.expanded_len(), expected.len());
+        assert_eq!(mr.expansion_lengths(), vec![4, 9]);
+        assert!(mr.check_invariants().is_ok());
+        assert!(mr.rules_avoid_terminal(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 2 symbols")]
+    fn mr_slp_rejects_unary_rules() {
+        MrSlp::new(4, vec![0, 1], vec![1], vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a later symbol")]
+    fn mr_slp_rejects_forward_references() {
+        MrSlp::new(4, vec![0, 2, 4], vec![1, 5, 1, 2], vec![4]);
     }
 
     #[test]

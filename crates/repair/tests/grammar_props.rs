@@ -9,7 +9,13 @@
 //!   `max_symbol`, and the compression factor all match what the grammar
 //!   actually contains — and the **byte accounting** matches the actual
 //!   serialised container size (`stored_bytes` is exact for `re_32` and
-//!   the GCMMAT1 container adds only bounded framing).
+//!   the GCMMAT1 container adds only bounded framing);
+//! * the MR-RePair stage (`compress_mr`) obeys the same contract: the
+//!   variable-arity grammar expands back to the input exactly under
+//!   every configuration, every rule has arity ≥ 2 and references only
+//!   earlier symbols, and the `re_32` byte accounting of an MR-built
+//!   [`gcm_core::CompressedMatrix`] — binary pairs + `RuleExt` tails —
+//!   is exact down to the varint tail-length bytes.
 
 use proptest::prelude::*;
 
@@ -127,6 +133,101 @@ proptest! {
             if enc == Encoding::Re32 {
                 // re_32 byte accounting must be exact.
                 prop_assert_eq!(cm.stored_bytes(), 4 * st.grammar_size + 8 * cm.values().len());
+            }
+            let bytes = serial::to_bytes(&cm);
+            prop_assert!(
+                bytes.len() >= cm.stored_bytes(),
+                "{}: container smaller than its accounted payload",
+                enc.name()
+            );
+            prop_assert!(
+                bytes.len() <= cm.stored_bytes() + 96,
+                "{}: container framing exceeded 96 bytes ({} vs {})",
+                enc.name(),
+                bytes.len(),
+                cm.stored_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn mr_expansion_is_the_identity_under_any_config(
+        symbols in csrv_like_stream(),
+        config in configs(),
+    ) {
+        let mr = RePair::with_config(config).compress_mr(&symbols, 100, Some(0));
+        prop_assert_eq!(mr.expand(), symbols.clone());
+        prop_assert!(mr.check_invariants().is_ok(), "{:?}", mr.check_invariants());
+        prop_assert!(mr.rules_avoid_terminal(0));
+        prop_assert_eq!(mr.expanded_len(), symbols.len());
+        if let Some(cap) = config.max_rules {
+            prop_assert!(mr.num_rules() <= cap, "rule cap violated");
+        }
+        for k in 0..mr.num_rules() {
+            prop_assert!(mr.rule(k).len() >= 2, "rule {k} has arity < 2");
+        }
+    }
+
+    #[test]
+    fn mr_unprotected_streams_roundtrip_too(
+        symbols in proptest::collection::vec(0u32..25, 0..300),
+    ) {
+        let mr = RePair::new().compress_mr(&symbols, 50, None);
+        prop_assert_eq!(mr.expand(), symbols);
+        prop_assert!(mr.check_invariants().is_ok());
+    }
+
+    /// MR byte accounting down to the last varint: a `re_32` matrix
+    /// built from an MR grammar stores the binary pairs and sequence as
+    /// raw u32, values as f64, and the tails in a `RuleExt` whose size
+    /// is recomputed here **independently** from the `MrSlp` arities.
+    #[test]
+    fn mr_stored_bytes_match_actual_serialised_size(
+        (rows, cols) in (1usize..12, 1usize..8),
+    ) {
+        use gcm_core::{serial, CompressedMatrix, Encoding};
+        use gcm_matrix::{CsrvMatrix, DenseMatrix};
+        fn varint_len(mut v: u64) -> usize {
+            let mut n = 1;
+            while v >= 0x80 {
+                v >>= 7;
+                n += 1;
+            }
+            n
+        }
+        let mut dense = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r * cols + c) % 3 != 0 {
+                    dense.set(r, c, (((r + c) % 4) + 1) as f64);
+                }
+            }
+        }
+        let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+        let mr = RePair::new().compress_mr(csrv.symbols(), csrv.terminal_limit(), Some(0));
+        let q = mr.num_rules();
+        let wide: Vec<usize> = (0..q).filter(|&k| mr.rule(k).len() > 2).collect();
+        let tail_total: usize = wide.iter().map(|&k| mr.rule(k).len() - 2).sum();
+        let tail_len_bytes: usize = wide
+            .iter()
+            .map(|&k| varint_len((mr.rule(k).len() - 2) as u64))
+            .sum();
+        for enc in Encoding::ALL {
+            let cm = CompressedMatrix::from_mr_slp(&csrv, &mr, enc);
+            prop_assert_eq!(cm.num_rules(), q);
+            // Plan lowering turns each arity-p rule into p-1 chained
+            // binary rules: q + total tail symbols, exactly.
+            prop_assert_eq!(cm.lowered_rules(), q + tail_total);
+            if enc == Encoding::Re32 {
+                let ext_bytes = if wide.is_empty() {
+                    0
+                } else {
+                    wide.len() * 4 + tail_len_bytes + tail_total * 4
+                };
+                prop_assert_eq!(
+                    cm.stored_bytes(),
+                    4 * (2 * q + mr.sequence().len()) + 8 * cm.values().len() + ext_bytes
+                );
             }
             let bytes = serial::to_bytes(&cm);
             prop_assert!(

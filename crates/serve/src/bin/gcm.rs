@@ -4,8 +4,10 @@
 //! ```text
 //! gcm gen <dataset> <rows> <out.txt> [--seed S]
 //! gcm compress <in.txt> <out.gcms> [--backend B] [--encoding E]
-//!              [--shards N] [--blocks B] [--reorder ALGO]
-//!              [--reorder-scope global|shard] [--emit-plans] [--plan-f32]
+//!              [--grammar repair|mr|auto] [--shards N] [--blocks B]
+//!              [--reorder ALGO] [--reorder-scope global|shard]
+//!              [--emit-plans] [--plan-f32] [--base OLD.gcms]
+//! gcm bench-build <in.txt> [--shards N] [--blocks B] [--repeat R]
 //! gcm inspect <model.gcms>
 //! gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]
 //!              [--plan] [--plan-f32] [--repeat N] [--rows A..B] [--sparse-x FILE]
@@ -29,8 +31,21 @@
 //! also compiles the branchless kernel plans at build time and
 //! persists them in a version-4 container, so later loads cast the
 //! plan section instead of recompiling (add `--plan-f32` for
-//! single-precision plans). `inspect` prints the same per-shard
-//! breakdown from a container and reports whether plans are persisted.
+//! single-precision plans). `--grammar` picks the grammar stage per
+//! shard — classic `repair`, `mr` (MR-RePair), or `auto` (build both,
+//! keep the smaller measured encoding) — and records the stage plus an
+//! input fingerprint per shard in a version-5 container. `--base
+//! OLD.gcms` turns the build incremental: shards whose input rows
+//! fingerprint-match the base are **spliced** byte-for-byte from the
+//! old container (persisted plans included, never re-decoded) and only
+//! changed shards rebuild; provenance goes to stdout and a
+//! `<out>.gcms.rebuild` sidecar, never into the container itself.
+//! `bench-build` sweeps the grammar-stage × encoding grid over one
+//! input and reports rules, bytes, build time, and planned-MVM ns/row
+//! per cell (set `GCM_BENCH_JSON=path.json` to also write the grid as
+//! JSON). `inspect` prints the same per-shard
+//! breakdown from a container (grammar stage included) and reports
+//! whether plans are persisted and any rebuild-provenance sidecar.
 //! `multiply` defaults to the all-ones input; with `--batch K` the
 //! input is a `cols × K` (or `rows × K` for `--left`) dense text panel
 //! read from `--vector`, or all-ones when omitted; `--rows A..B`
@@ -71,8 +86,8 @@ use gcm_pipeline::{BuildConfig, BuildStats, EncodingChoice};
 use gcm_reorder::ReorderAlgorithm;
 use gcm_serve::protocol::Client;
 use gcm_serve::{
-    Backend, BuildOptions, Engine, ModelStore, Registry, ReorderMode, ServeOptions, Server,
-    ServerConfig, ShardTable, ShardedModel,
+    compress_incremental, Backend, BuildOptions, Engine, GrammarChoice, ModelStore, Registry,
+    ReorderMode, ServeOptions, Server, ServerConfig, ShardTable, ShardedModel,
 };
 
 /// `println!` that tolerates a closed stdout (e.g. piped through
@@ -90,9 +105,11 @@ fn usage() -> ExitCode {
         "usage:\n  \
          gcm gen <dataset> <rows> <out.txt> [--seed S]\n  \
          gcm compress <in.txt> <out.gcms> [--backend csrv|parcsrv|compressed|blocked]\n               \
-         [--encoding {}|auto] [--shards N] [--blocks B]\n               \
+         [--encoding {}|auto] [--grammar repair|mr|auto]\n               \
+         [--shards N] [--blocks B]\n               \
          [--reorder pathcover|pathcover+|mwm|lkh] [--reorder-scope global|shard]\n               \
-         [--emit-plans [--plan-f32]]\n  \
+         [--emit-plans [--plan-f32]] [--base OLD.gcms]\n  \
+         gcm bench-build <in.txt> [--shards N] [--blocks B] [--repeat R]\n  \
          gcm inspect <model.gcms>\n  \
          gcm multiply <model.gcms> [--left] [--batch K] [--vector FILE] [--out FILE]\n               \
          [--plan] [--plan-f32] [--repeat N] [--rows A..B] [--sparse-x FILE]\n  \
@@ -213,6 +230,17 @@ fn encoding_names() -> String {
         .join("|")
 }
 
+/// `repair|mr|auto` — `mr-repair` is accepted as a long form of `mr`
+/// so the flag round-trips the names `inspect` prints.
+fn parse_grammar(name: &str) -> Option<GrammarChoice> {
+    match name.to_ascii_lowercase().as_str() {
+        "repair" => Some(GrammarChoice::RePair),
+        "mr" | "mr-repair" => Some(GrammarChoice::MrRePair),
+        "auto" => Some(GrammarChoice::Auto),
+        _ => None,
+    }
+}
+
 fn parse_reorder(name: &str) -> Option<ReorderAlgorithm> {
     match name.to_ascii_lowercase().as_str() {
         "pathcover" => Some(ReorderAlgorithm::PathCover),
@@ -244,6 +272,10 @@ fn build_config(args: &Args) -> Result<BuildConfig, String> {
         } else {
             EncodingChoice::Fixed(parse_encoding(e).ok_or_else(|| format!("unknown encoding {e}"))?)
         };
+    }
+    if let Some(g) = args.flag("grammar") {
+        config.grammar =
+            Some(parse_grammar(g).ok_or_else(|| format!("unknown grammar stage {g}"))?);
     }
     config.shards = args.bounded_flag("shards", 1, 1)?;
     config.blocks = args.bounded_flag("blocks", 4, 1)?;
@@ -310,6 +342,53 @@ fn report_build_stats(stats: &BuildStats) {
     }
 }
 
+/// Container writes go through a same-directory temp file + rename so a
+/// crash mid-write never leaves a truncated `.gcms` behind.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension("gcms.tmp");
+    fs::write(&tmp, bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+}
+
+/// `compress --base`: fingerprint-splice against an existing container.
+/// Provenance (which shards were spliced vs rebuilt, or why the whole
+/// build fell back) is reported on stdout and mirrored to a
+/// `<out>.rebuild` sidecar for `inspect` — never into the container,
+/// whose bytes must stay identical to a from-scratch build.
+fn compress_with_base(
+    csrv: &CsrvMatrix,
+    config: &gcm_pipeline::BuildConfig,
+    base_path: &str,
+    output: &str,
+) -> Result<(), String> {
+    let base = fs::read(base_path).map_err(|e| format!("read {base_path}: {e}"))?;
+    let t_build = Instant::now();
+    let (bytes, report) =
+        compress_incremental(csrv, config, &base).map_err(|e| format!("{base_path}: {e}"))?;
+    let build_time = t_build.elapsed();
+    write_atomic(Path::new(output), &bytes)?;
+    say!(
+        "{output}: {} bytes container, {} of {} shard(s) spliced from {base_path}, {} rebuilt ({})",
+        bytes.len(),
+        report.spliced(),
+        report.shards.len(),
+        report.rebuilt(),
+        secs(build_time),
+    );
+    let mut sidecar = format!("# rebuild provenance: {output} from base {base_path}\n");
+    if let Some(reason) = &report.full_reason {
+        say!("  full rebuild: {reason}");
+        sidecar.push_str(&format!("full-rebuild-reason: {reason}\n"));
+    }
+    for (i, p) in report.shards.iter().enumerate() {
+        sidecar.push_str(&format!("shard {i}: {}\n", p.name()));
+    }
+    let sidecar_path = format!("{output}.rebuild");
+    fs::write(&sidecar_path, sidecar).map_err(|e| format!("write {sidecar_path}: {e}"))?;
+    say!("  provenance : {sidecar_path}");
+    Ok(())
+}
+
 fn cmd_compress(args: &Args) -> Result<(), String> {
     let [input, output] = &args.positional[..] else {
         return Err("compress needs <in.txt> <out.gcms>".into());
@@ -321,6 +400,15 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     }
     let dense = read_dense(input)?;
     let csrv = CsrvMatrix::from_dense(&dense).map_err(|e| e.to_string())?;
+    if let Some(base_path) = args.flag("base") {
+        if emit_plans {
+            return Err(
+                "--base inherits the plan policy from the base container; drop --emit-plans"
+                    .to_string(),
+            );
+        }
+        return compress_with_base(&csrv, &config, base_path, output);
+    }
     let artifacts = gcm_pipeline::global().build(&csrv, &config);
     let stats = artifacts.stats.clone();
     let model = ShardedModel::from_artifacts(artifacts);
@@ -358,7 +446,20 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         model.num_shards(),
         100.0 * container_len as f64 / dense.uncompressed_bytes().max(1) as f64,
     );
+    // A fresh build supersedes any provenance left by an earlier
+    // incremental rebuild of the same output path.
+    let _ = fs::remove_file(format!("{output}.rebuild"));
     report_build_stats(&stats);
+    if config.grammar.is_some() {
+        say!(
+            "  grammar    : {} (per shard: {})",
+            config.grammar.map_or("-", |g| g.name()),
+            (0..model.num_shards())
+                .map(|i| model.shard_grammar(i).map_or("-", |g| g.name()))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
     if let Some(plan_time) = plan_time {
         if model.is_planned() {
             say!(
@@ -374,6 +475,137 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         }
     }
     say!("  save       : {}", secs(save_time));
+    Ok(())
+}
+
+/// One `bench-build` grid cell: a full pipeline build plus a planned
+/// right-multiply timing for a (grammar stage × encoding) pair.
+struct BenchCell {
+    stage: &'static str,
+    encoding: &'static str,
+    rules: usize,
+    bytes: usize,
+    build_ms: f64,
+    mvm_ns_per_row: f64,
+    shard_stages: Vec<&'static str>,
+}
+
+fn cmd_bench_build(args: &Args) -> Result<(), String> {
+    let [input] = &args.positional[..] else {
+        return Err("bench-build needs <in.txt>".into());
+    };
+    let shards = args.bounded_flag("shards", 4, 1)?;
+    let blocks = args.bounded_flag("blocks", 2, 1)?;
+    let repeat = args.bounded_flag("repeat", 9, 1)?;
+    let dense = read_dense(input)?;
+    let csrv = CsrvMatrix::from_dense(&dense).map_err(|e| e.to_string())?;
+    say!(
+        "bench-build {input}: {} x {} ({} non-zeroes), {shards} shard(s), {blocks} block(s), {repeat} timed iteration(s)",
+        dense.rows(),
+        dense.cols(),
+        dense.nnz(),
+    );
+    say!("  stage      encoding    rules    bytes  build_ms  mvm_ns/row  per-shard stages");
+    let mut cells: Vec<BenchCell> = Vec::new();
+    for grammar in [
+        GrammarChoice::RePair,
+        GrammarChoice::MrRePair,
+        GrammarChoice::Auto,
+    ] {
+        for &encoding in Encoding::ALL.iter() {
+            let config = gcm_pipeline::BuildConfig {
+                backend: Backend::Compressed,
+                encoding: EncodingChoice::Fixed(encoding),
+                grammar: Some(grammar),
+                shards,
+                blocks,
+                reorder: None,
+            };
+            let t_build = Instant::now();
+            let artifacts = gcm_pipeline::global().build(&csrv, &config);
+            let build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+            let stats = artifacts.stats.clone();
+            let rules: usize = stats.shards.iter().map(|s| s.grammar_rules).sum();
+            let bytes: usize = stats.shards.iter().map(|s| s.encoded_bytes).sum();
+            let model = ShardedModel::from_artifacts(artifacts);
+            model.prewarm_with(1, &ServeOptions::planned());
+            let x = vec![1.0; model.cols()];
+            let mut y = vec![0.0; model.rows()];
+            // One untimed pass warms every shard workspace.
+            model
+                .right_multiply_panel(1, &x, &mut y)
+                .map_err(|e| e.to_string())?;
+            let t_mvm = Instant::now();
+            for _ in 0..repeat {
+                model
+                    .right_multiply_panel(1, &x, &mut y)
+                    .map_err(|e| e.to_string())?;
+            }
+            let mvm_ns_per_row =
+                t_mvm.elapsed().as_nanos() as f64 / (repeat * model.rows().max(1)) as f64;
+            let shard_stages: Vec<&'static str> = (0..model.num_shards())
+                .map(|i| model.shard_grammar(i).map_or("-", |g| g.name()))
+                .collect();
+            say!(
+                "  {:<10} {:<9} {:>8} {:>8} {:>9.2} {:>11.1}  {}",
+                grammar.name(),
+                encoding.name(),
+                rules,
+                bytes,
+                build_ms,
+                mvm_ns_per_row,
+                shard_stages.join(" "),
+            );
+            cells.push(BenchCell {
+                stage: grammar.name(),
+                encoding: encoding.name(),
+                rules,
+                bytes,
+                build_ms,
+                mvm_ns_per_row,
+                shard_stages,
+            });
+        }
+    }
+    if let Ok(path) = std::env::var("GCM_BENCH_JSON") {
+        let path = if path.is_empty() || path == "1" {
+            "BENCH_grammar.json".to_string()
+        } else {
+            path
+        };
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"matrix\": {{\"source\": {input:?}, \"rows\": {}, \"cols\": {}, \"nnz\": {}}},\n",
+            dense.rows(),
+            dense.cols(),
+            dense.nnz(),
+        ));
+        json.push_str(&format!(
+            "  \"shards\": {shards},\n  \"blocks\": {blocks},\n"
+        ));
+        json.push_str("  \"grid\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"stage\": \"{}\", \"encoding\": \"{}\", \"rules\": {}, \"bytes\": {}, \
+                 \"build_ms\": {:.3}, \"planned_mvm_ns_per_row\": {:.1}, \"shard_stages\": [{}]}}{}\n",
+                c.stage,
+                c.encoding,
+                c.rules,
+                c.bytes,
+                c.build_ms,
+                c.mvm_ns_per_row,
+                c.shard_stages
+                    .iter()
+                    .map(|s| format!("\"{s}\""))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 < cells.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+        say!("  json       : {path}");
+    }
     Ok(())
 }
 
@@ -426,23 +658,35 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
         // Bare GCMMAT1/GCMMAT2 compatibility payloads have no table.
         Err(_) => vec![bytes.len(); model.num_shards()],
     };
-    say!("    shard     rows      nnz    rules    bytes  encoding  reorder");
+    say!("    shard     rows      nnz    rules    bytes  encoding  grammar    reorder");
     for (i, payload) in payload_bytes.iter().enumerate() {
         let shard = model.shard_model(i);
         say!(
-            "    {:>5} {:>8} {:>8} {:>8} {:>8}  {:<8}  {}",
+            "    {:>5} {:>8} {:>8} {:>8} {:>8}  {:<8}  {:<9}  {}",
             i,
             shard.rows(),
             shard.nnz(),
             shard.grammar_rules(),
             payload,
             shard.encoding().map_or("-", |e| e.name()),
+            model.shard_grammar(i).map_or("-", |g| g.name()),
             match (model.shard_reorder(i), model.shard_col_order(i)) {
                 (Some(algo), _) => algo.name(),
                 (None, Some(_)) => "recorded",
                 (None, None) => "none",
             },
         );
+    }
+    // Rebuild provenance lives in the sidecar `gcm compress --base`
+    // writes next to the container, never in the container itself.
+    match fs::read_to_string(format!("{input}.rebuild")) {
+        Ok(text) => {
+            say!("  rebuild    : incremental (sidecar {input}.rebuild)");
+            for line in text.lines().filter(|l| !l.starts_with('#')) {
+                say!("    {line}");
+            }
+        }
+        Err(_) => say!("  rebuild    : fresh build (no provenance sidecar)"),
     }
     say!(
         "  stored     : {} bytes (representation)",
@@ -756,6 +1000,7 @@ fn selftest_case(
         shards,
         blocks: 2,
         reorder,
+        grammar: None,
     };
     let built = ShardedModel::from_dense(dense, &opts).map_err(|e| format!("{tag}: {e}"))?;
     let path = dir.join(format!("{tag}.gcms"));
@@ -976,13 +1221,16 @@ fn run() -> Result<(), String> {
         "compress" => &[
             "backend",
             "encoding",
+            "grammar",
             "shards",
             "blocks",
             "reorder",
             "reorder-scope",
             "emit-plans",
             "plan-f32",
+            "base",
         ],
+        "bench-build" => &["shards", "blocks", "repeat"],
         "inspect" => &[],
         "multiply" => &[
             "left", "batch", "vector", "out", "plan", "plan-f32", "repeat", "rows", "sparse-x",
@@ -1007,6 +1255,7 @@ fn run() -> Result<(), String> {
     match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "compress" => cmd_compress(&args),
+        "bench-build" => cmd_bench_build(&args),
         "inspect" => cmd_inspect(&args),
         "multiply" => cmd_multiply(&args),
         "solve" => cmd_solve(&args),

@@ -5,9 +5,11 @@
 //! ```text
 //! magic "GCMSERV1" | u8 container version | u8 backend tag
 //! rows | cols | num_shards
-//! per shard: [u8 reorder algorithm tag   -- versions 2, 3, and 4]
+//! per shard: [u8 reorder algorithm tag   -- versions 2 and up]
+//!            [u8 grammar stage tag,      -- version 5
+//!             u64 LE fingerprint if tag != 0]
 //!            payload_len | payload bytes
-//! [plan section                          -- version 4 only
+//! [plan section                          -- versions 4 and 5
 //!  per shard: u8 plan kind (0 none, 1 f64, 2 f32)
 //!             if kind != 0: blob_count | blob_count × (len | blob)]
 //! u64 LE FNV-1a checksum of every preceding byte
@@ -28,10 +30,16 @@
 //! little-endian `GCMPLAN1` blob form (one blob per row block), so a
 //! loader restores them with a validated cast — no RePair decode, no
 //! recompilation ([`gcm_core::plan_compiles`] stays flat), load time
-//! independent of grammar size. The writer emits the lowest version
-//! that can represent the model (plain containers stay byte-identical
-//! with pre-v2 writers; the plan section is opt-in via
-//! [`to_bytes_with_plans`]); the reader accepts all four.
+//! independent of grammar size. **Version 5** adds per-shard **grammar
+//! provenance**: a stage tag naming the grammar construction (RePair or
+//! MR-RePair) plus the FNV-64 fingerprint of the shard's build-time
+//! input rows — the handle `gcm compress --base` matches unchanged
+//! shards by (see [`compress_incremental`](crate::incremental)). The
+//! writer emits the lowest version that can represent the model (plain
+//! containers stay byte-identical with pre-v2 writers; the plan section
+//! is opt-in via [`to_bytes_with_plans`]; grammar metadata appears only
+//! under an explicit grammar-stage policy); the reader accepts all
+//! five.
 //!
 //! Shard payloads by backend:
 //!
@@ -64,6 +72,7 @@ use gcm_core::serial;
 use gcm_core::{BlockedMatrix, KernelPlan, KernelPlanF32};
 use gcm_encodings::varint;
 use gcm_matrix::{io as mio, MatrixError, ParallelCsrv};
+use gcm_pipeline::GrammarStage;
 use gcm_reorder::ReorderAlgorithm;
 
 use crate::model::{Backend, Model, ModelPlan};
@@ -87,10 +96,20 @@ pub const VERSION_ENCODINGS: u8 = 3;
 /// recompiled from the grammar. Emitted only by
 /// [`to_bytes_with_plans`] on models that hold compiled plans.
 pub const VERSION_PLANS: u8 = 4;
+/// Container version with per-shard **grammar provenance**: a stage tag
+/// (which grammar construction compressed the shard — RePair or
+/// MR-RePair) and the u64 FNV fingerprint of the shard's build-time
+/// input rows, written between the reorder tag and the payload length.
+/// The fingerprint is what `gcm compress --base` matches unchanged
+/// shards by. Version 5 always carries the v4 plan section (per-shard
+/// kind bytes; `0` = no plan). Emitted only when a build ran with an
+/// explicit grammar-stage policy — legacy builds keep emitting v1–v4
+/// byte-identically.
+pub const VERSION_GRAMMAR: u8 = 5;
 
 /// Stable on-disk tag of a reorder algorithm (version 2 provenance
 /// byte); `0` = no reorder recorded.
-fn reorder_tag(algo: Option<ReorderAlgorithm>) -> u8 {
+pub(crate) fn reorder_tag(algo: Option<ReorderAlgorithm>) -> u8 {
     match algo {
         None => 0,
         Some(ReorderAlgorithm::Lkh) => 1,
@@ -108,6 +127,26 @@ fn tag_reorder(t: u8) -> Option<Option<ReorderAlgorithm>> {
         2 => Some(Some(ReorderAlgorithm::PathCover)),
         3 => Some(Some(ReorderAlgorithm::PathCoverPlus)),
         4 => Some(Some(ReorderAlgorithm::Mwm)),
+        _ => None,
+    }
+}
+
+/// Stable on-disk tag of a grammar stage (version 5 provenance byte);
+/// `0` = no stage recorded (legacy shard spliced into a v5 container).
+pub(crate) fn grammar_tag(stage: Option<GrammarStage>) -> u8 {
+    match stage {
+        None => 0,
+        Some(GrammarStage::RePair) => 1,
+        Some(GrammarStage::MrRePair) => 2,
+    }
+}
+
+/// Inverse of [`grammar_tag`]; outer `None` = invalid tag.
+fn tag_grammar(t: u8) -> Option<Option<GrammarStage>> {
+    match t {
+        0 => Some(None),
+        1 => Some(Some(GrammarStage::RePair)),
+        2 => Some(Some(GrammarStage::MrRePair)),
         _ => None,
     }
 }
@@ -208,7 +247,7 @@ fn read_col_order(
     Ok(Some(order))
 }
 
-fn shard_payload(model: &Model, col_order: Option<&[u32]>) -> Vec<u8> {
+pub(crate) fn shard_payload(model: &Model, col_order: Option<&[u32]>) -> Vec<u8> {
     let mut out = Vec::new();
     match model {
         Model::Csrv(m) => {
@@ -310,7 +349,7 @@ pub fn to_bytes_with_plans(model: &ShardedModel) -> Vec<u8> {
 
 /// One plan's on-disk form: the kind byte (1 = `f64`, 2 = `f32`) and
 /// one `GCMPLAN1` blob per row block.
-fn plan_blobs(plan: &ModelPlan) -> (u8, Vec<Vec<u8>>) {
+pub(crate) fn plan_blobs(plan: &ModelPlan) -> (u8, Vec<Vec<u8>>) {
     match plan {
         ModelPlan::Compressed(p) => (1, vec![p.to_bytes()]),
         ModelPlan::Blocked(ps) => (1, ps.iter().map(KernelPlan::to_bytes).collect()),
@@ -321,6 +360,10 @@ fn plan_blobs(plan: &ModelPlan) -> (u8, Vec<Vec<u8>>) {
 
 fn encode(model: &ShardedModel, with_plans: bool) -> Vec<u8> {
     let with_plans = with_plans && model.shard_slice().iter().any(|s| s.plan().is_some());
+    let with_grammar = model
+        .shard_slice()
+        .iter()
+        .any(|s| s.grammar.is_some() || s.fingerprint.is_some());
     let new_encoding = model
         .shard_slice()
         .iter()
@@ -329,7 +372,9 @@ fn encode(model: &ShardedModel, with_plans: bool) -> Vec<u8> {
         .shard_slice()
         .iter()
         .any(|s| s.col_order.is_some() || s.reorder.is_some());
-    let version = if with_plans {
+    let version = if with_grammar {
+        VERSION_GRAMMAR
+    } else if with_plans {
         VERSION_PLANS
     } else if new_encoding {
         VERSION_ENCODINGS
@@ -349,13 +394,23 @@ fn encode(model: &ShardedModel, with_plans: bool) -> Vec<u8> {
         if version >= VERSION_PER_SHARD {
             out.push(reorder_tag(shard.reorder));
         }
+        if version >= VERSION_GRAMMAR {
+            let tag = grammar_tag(shard.grammar);
+            out.push(tag);
+            if tag != 0 {
+                out.extend_from_slice(&shard.fingerprint.unwrap_or(0).to_le_bytes());
+            }
+        }
         let payload = shard_payload(&shard.model, shard.col_order.as_deref());
         varint::write_u64(&mut out, payload.len() as u64);
         out.extend_from_slice(&payload);
     }
     if version >= VERSION_PLANS {
         for shard in model.shard_slice() {
-            match shard.plan() {
+            // A grammar-bearing container is v5 regardless of the plan
+            // policy, so gate the blobs on the caller's request rather
+            // than the version.
+            match shard.plan().filter(|_| with_plans) {
                 None => out.push(0),
                 Some(plan) => {
                     let (kind, blobs) = plan_blobs(plan);
@@ -379,7 +434,7 @@ fn encode(model: &ShardedModel, with_plans: bool) -> Vec<u8> {
 /// path) or to inspect a model without materialising it.
 #[derive(Debug, Clone)]
 pub struct ShardTable {
-    /// Container version ([`VERSION`] through [`VERSION_PLANS`]).
+    /// Container version ([`VERSION`] through [`VERSION_GRAMMAR`]).
     pub version: u8,
     /// Backend of every shard.
     pub backend: Backend,
@@ -402,6 +457,13 @@ pub struct ShardTable {
     /// (`f32`); meaningful only where
     /// [`plan_ranges`](Self::plan_ranges) is non-empty.
     pub plan_f32: Vec<bool>,
+    /// Per-shard grammar-stage provenance (all `None` below
+    /// [`VERSION_GRAMMAR`], and for shards written without a
+    /// grammar-stage policy).
+    pub grammar_stages: Vec<Option<GrammarStage>>,
+    /// Per-shard input fingerprints for incremental rebuilds; recorded
+    /// exactly where [`grammar_stages`](Self::grammar_stages) is `Some`.
+    pub fingerprints: Vec<Option<u64>>,
 }
 
 impl ShardTable {
@@ -423,7 +485,7 @@ impl ShardTable {
             )));
         }
         let version = data[8];
-        if !(VERSION..=VERSION_PLANS).contains(&version) {
+        if !(VERSION..=VERSION_GRAMMAR).contains(&version) {
             return Err(corrupt(format!("unsupported container version {version}")));
         }
         let backend = Backend::from_tag(data[9]).ok_or_else(|| corrupt("unknown backend tag"))?;
@@ -450,6 +512,8 @@ impl ShardTable {
         let num_shards = num_shards as usize;
         let mut shard_ranges = Vec::with_capacity(num_shards);
         let mut reorder_algos = Vec::with_capacity(num_shards);
+        let mut grammar_stages = Vec::with_capacity(num_shards);
+        let mut fingerprints = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
             if version >= VERSION_PER_SHARD {
                 let tag = *data
@@ -463,6 +527,31 @@ impl ShardTable {
                 pos += 1;
             } else {
                 reorder_algos.push(None);
+            }
+            if version >= VERSION_GRAMMAR {
+                let tag = *data
+                    .get(pos)
+                    .filter(|_| pos < body_len)
+                    .ok_or_else(|| corrupt(format!("missing shard {i} grammar tag")))?;
+                let stage = tag_grammar(tag)
+                    .ok_or_else(|| corrupt(format!("unknown shard {i} grammar tag {tag}")))?;
+                pos += 1;
+                if stage.is_some() {
+                    let end = pos
+                        .checked_add(8)
+                        .filter(|&e| e <= body_len)
+                        .ok_or_else(|| corrupt(format!("missing shard {i} fingerprint")))?;
+                    let fp =
+                        u64::from_le_bytes(data[pos..end].try_into().expect("8 bytes checked"));
+                    fingerprints.push(Some(fp));
+                    pos = end;
+                } else {
+                    fingerprints.push(None);
+                }
+                grammar_stages.push(stage);
+            } else {
+                grammar_stages.push(None);
+                fingerprints.push(None);
             }
             let len = varint::read_u64(data, &mut pos)
                 .ok_or_else(|| corrupt(format!("bad shard {i} length")))?;
@@ -525,6 +614,8 @@ impl ShardTable {
             reorder_algos,
             plan_ranges,
             plan_f32,
+            grammar_stages,
+            fingerprints,
         })
     }
 
@@ -580,11 +671,11 @@ fn decode_shard_plan(
 ) -> Result<ModelPlan, ServeError> {
     let ranges = &table.plan_ranges[i];
     let dims: Vec<(usize, usize, usize)> = match model {
-        Model::Compressed(m) => vec![(m.rows(), m.cols(), m.num_rules())],
+        Model::Compressed(m) => vec![(m.rows(), m.cols(), m.lowered_rules())],
         Model::Blocked(m) => m
             .blocks()
             .iter()
-            .map(|b| (b.rows(), b.cols(), b.num_rules()))
+            .map(|b| (b.rows(), b.cols(), b.lowered_rules()))
             .collect(),
         _ => {
             return Err(corrupt(format!(
@@ -712,7 +803,13 @@ fn decode(data: &[u8], parallel: bool) -> Result<ShardedModel, ServeError> {
                 }
             }
         }
-        parts.push((model, order, table.reorder_algos[i]));
+        parts.push((
+            model,
+            order,
+            table.reorder_algos[i],
+            table.grammar_stages[i],
+            table.fingerprints[i],
+        ));
     }
     let model = ShardedModel::from_shards(parts, table.cols);
     if model.rows() != table.rows {
@@ -775,7 +872,7 @@ impl ShardedModel {
         Self::write_atomic(path, &self.to_bytes_with_plans())
     }
 
-    fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
@@ -1345,5 +1442,191 @@ mod tests {
         assert_eq!(back.rows(), model.rows());
         assert_eq!(back.stored_bytes(), model.stored_bytes());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grammar_metadata_roundtrips_in_version5_containers() {
+        use crate::sharded::ServeOptions;
+        use gcm_pipeline::GrammarChoice;
+        let dense = sample();
+        for backend in [Backend::Compressed, Backend::Blocked] {
+            for grammar in [
+                GrammarChoice::RePair,
+                GrammarChoice::MrRePair,
+                GrammarChoice::Auto,
+            ] {
+                for plans in [false, true] {
+                    let model = ShardedModel::from_dense(
+                        &dense,
+                        &BuildOptions {
+                            backend,
+                            shards: 2,
+                            blocks: 2,
+                            grammar: Some(grammar),
+                            ..BuildOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    let bytes = if plans {
+                        model.prewarm_with(1, &ServeOptions::planned());
+                        model.to_bytes_with_plans()
+                    } else {
+                        model.to_bytes()
+                    };
+                    let tag = format!("{} {grammar:?} plans={plans}", backend.name());
+                    assert_eq!(bytes[8], VERSION_GRAMMAR, "{tag}: grammar metadata => v5");
+                    let table = ShardTable::parse(&bytes).unwrap();
+                    assert_eq!(table.plan_bytes() > 0, plans, "{tag}");
+                    for i in 0..2 {
+                        assert!(table.grammar_stages[i].is_some(), "{tag} shard {i}");
+                        assert!(table.fingerprints[i].is_some(), "{tag} shard {i}");
+                    }
+                    let back = ShardedModel::from_bytes(&bytes).expect("v5 roundtrip");
+                    for i in 0..2 {
+                        assert_eq!(back.shard_grammar(i), model.shard_grammar(i), "{tag}");
+                        assert_eq!(
+                            back.shard_fingerprint(i),
+                            model.shard_fingerprint(i),
+                            "{tag}"
+                        );
+                    }
+                    // Re-serialising the loaded model reproduces the
+                    // container byte-for-byte: nothing is lost in the
+                    // v5 round-trip.
+                    let again = if plans {
+                        back.to_bytes_with_plans()
+                    } else {
+                        back.to_bytes()
+                    };
+                    assert_eq!(again, bytes, "{tag}: reserialise");
+                    let x = vec![1.0; 8];
+                    let mut y_a = vec![0.0; 37];
+                    let mut y_b = vec![0.0; 37];
+                    model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+                    back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+                    assert_eq!(y_a, y_b, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_builds_keep_emitting_pre_v5_bytes() {
+        // `grammar: None` is the compatibility path: no per-shard
+        // metadata, and the writer picks the same pre-grammar version.
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let bytes = model.to_bytes();
+        assert!(bytes[8] < VERSION_GRAMMAR);
+        let table = ShardTable::parse(&bytes).unwrap();
+        assert_eq!(table.grammar_stages, vec![None, None]);
+        assert_eq!(table.fingerprints, vec![None, None]);
+        let back = ShardedModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.shard_grammar(0), None);
+        assert_eq!(back.shard_fingerprint(0), None);
+    }
+
+    #[test]
+    fn version5_accepts_metadata_free_shards() {
+        // A v5 container may carry stage tag 0 for shards spliced from
+        // legacy builds: synthesise one from a plain v1 container (its
+        // dims are small enough that every header varint is one byte).
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let plain = model.to_bytes();
+        let table = ShardTable::parse(&plain).unwrap();
+        let mut v5 = Vec::new();
+        v5.extend_from_slice(MAGIC);
+        v5.push(VERSION_GRAMMAR);
+        v5.push(model.backend().tag());
+        varint::write_u64(&mut v5, model.rows() as u64);
+        varint::write_u64(&mut v5, model.cols() as u64);
+        varint::write_u64(&mut v5, model.num_shards() as u64);
+        for range in &table.shard_ranges {
+            v5.push(0); // no reorder
+            v5.push(0); // no grammar stage, so no fingerprint either
+            varint::write_u64(&mut v5, range.len() as u64);
+            v5.extend_from_slice(&plain[range.clone()]);
+        }
+        v5.extend_from_slice(&[0, 0]); // plan kinds: v5 always has them
+        let sum = fnv1a64(&v5);
+        v5.extend_from_slice(&sum.to_le_bytes());
+        let back = ShardedModel::from_bytes(&v5).expect("metadata-free v5 must load");
+        assert_eq!(back.num_shards(), 2);
+        assert_eq!(back.shard_grammar(0), None);
+        assert_eq!(back.shard_fingerprint(0), None);
+        let x = vec![1.0; 8];
+        let mut y_a = vec![0.0; 37];
+        let mut y_b = vec![0.0; 37];
+        model.right_multiply_panel(1, &x, &mut y_a).unwrap();
+        back.right_multiply_panel(1, &x, &mut y_b).unwrap();
+        assert_eq!(y_a, y_b);
+    }
+
+    #[test]
+    fn forged_grammar_metadata_is_rejected() {
+        use gcm_pipeline::GrammarChoice;
+        fn refresh_checksum(bytes: &mut [u8]) {
+            let body = bytes.len() - 8;
+            let sum = fnv1a64(&bytes[..body]);
+            bytes[body..].copy_from_slice(&sum.to_le_bytes());
+        }
+        let dense = sample();
+        let model = ShardedModel::from_dense(
+            &dense,
+            &BuildOptions {
+                shards: 2,
+                grammar: Some(GrammarChoice::MrRePair),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let bytes = model.to_bytes();
+        // Header varints (37 rows, 8 cols, 2 shards) are one byte each,
+        // so shard 0's reorder tag is at 13 and its grammar tag at 14.
+        assert_eq!(bytes[13], 0, "no reorder recorded");
+        assert_eq!(bytes[14], 2, "mr-repair stage tag");
+
+        // Unknown stage tag.
+        let mut bad = bytes.clone();
+        bad[14] = 9;
+        refresh_checksum(&mut bad);
+        let err = ShardedModel::from_bytes(&bad).expect_err("tag 9 is corrupt");
+        assert!(err.to_string().contains("grammar tag"), "{err}");
+
+        // A container truncated inside the fingerprint is rejected at
+        // the bounds check, before anything is sized from it.
+        let mut truncated = bytes[..18].to_vec(); // tag + 3 of 8 fp bytes
+        truncated.extend_from_slice(&[0u8; 8]);
+        refresh_checksum(&mut truncated);
+        let err = ShardedModel::from_bytes(&truncated).expect_err("truncated fp is corrupt");
+        assert!(
+            err.to_string().contains("fingerprint") || err.to_string().contains("shard"),
+            "{err}"
+        );
+
+        // Flipping a fingerprint byte still parses (the fingerprint is
+        // provenance, not a structural field) but changes the recorded
+        // value — and the checksum catches the flip without the refresh.
+        let mut flipped = bytes.clone();
+        flipped[15] ^= 0xFF;
+        assert!(ShardedModel::from_bytes(&flipped).is_err(), "checksum");
+        refresh_checksum(&mut flipped);
+        let back = ShardedModel::from_bytes(&flipped).expect("fp is not structural");
+        assert_ne!(back.shard_fingerprint(0), model.shard_fingerprint(0));
     }
 }

@@ -37,6 +37,7 @@
 //! (see `ROADMAP.md`).
 
 pub mod container;
+pub mod incremental;
 pub mod metrics;
 pub mod model;
 pub mod protocol;
@@ -45,6 +46,7 @@ pub mod server;
 pub mod sharded;
 
 pub use container::{ServeError, ShardTable};
+pub use incremental::{compress_incremental, RebuildReport, ShardProvenance};
 pub use model::{Backend, Model, ModelPlan};
 pub use registry::{ModelStore, Registry};
 pub use server::{Engine, Server, ServerConfig, ServerHandle};
@@ -53,4 +55,6 @@ pub use sharded::{BuildOptions, ServeOptions, ShardedModel};
 /// Re-exported pipeline vocabulary: building goes through the staged
 /// `gcm-pipeline` (serve is its consumer), and these types appear in
 /// [`BuildOptions`] and the artifact-level API.
-pub use gcm_pipeline::{BuildArtifacts, BuildConfig, EncodingChoice, Pipeline, ReorderMode};
+pub use gcm_pipeline::{
+    BuildArtifacts, BuildConfig, EncodingChoice, GrammarChoice, GrammarStage, Pipeline, ReorderMode,
+};

@@ -25,7 +25,9 @@ use gcm_core::Encoding;
 use gcm_encodings::HeapSize;
 use gcm_matrix::matvec::{check_left_batch, check_panels, check_right_batch};
 use gcm_matrix::{CsrvMatrix, DenseMatrix, MatVec, MatrixError, Workspace};
-use gcm_pipeline::{BuildArtifacts, BuildConfig, EncodingChoice, ReorderMode};
+use gcm_pipeline::{
+    BuildArtifacts, BuildConfig, EncodingChoice, GrammarChoice, GrammarStage, ReorderMode,
+};
 use gcm_reorder::ReorderAlgorithm;
 
 use crate::model::{Backend, Model, ModelPlan};
@@ -43,6 +45,10 @@ pub struct BuildOptions {
     pub backend: Backend,
     /// Grammar encoding (compressed backends).
     pub encoding: Encoding,
+    /// Grammar-stage policy (compressed backends). `None` keeps the
+    /// legacy RePair build with no per-shard grammar metadata, so
+    /// containers stay byte-identical to pre-grammar-stage builds.
+    pub grammar: Option<GrammarChoice>,
     /// Number of row shards (clamped to `1..=rows`).
     pub shards: usize,
     /// Row blocks *inside* each shard (`blocked` / `parcsrv` backends).
@@ -59,6 +65,7 @@ impl Default for BuildOptions {
         Self {
             backend: Backend::Compressed,
             encoding: Encoding::ReAns,
+            grammar: None,
             shards: 1,
             blocks: 4,
             reorder: None,
@@ -72,6 +79,7 @@ impl BuildOptions {
         BuildConfig {
             backend: self.backend,
             encoding: EncodingChoice::Fixed(self.encoding),
+            grammar: self.grammar,
             shards: self.shards,
             blocks: self.blocks,
             reorder: self.reorder,
@@ -133,6 +141,13 @@ pub(crate) struct Shard {
     /// Algorithm that produced [`col_order`](Self::col_order), when
     /// known (build-time provenance; `GCMSERV1` v2 persists it).
     pub(crate) reorder: Option<ReorderAlgorithm>,
+    /// Grammar stage that compressed this shard, when recorded
+    /// (`GCMSERV1` v5 persists it; `None` on legacy builds).
+    pub(crate) grammar: Option<GrammarStage>,
+    /// Fingerprint of the shard's build-time input rows
+    /// ([`gcm_pipeline::shard_fingerprint`]), when recorded — the
+    /// handle incremental rebuilds match unchanged shards by.
+    pub(crate) fingerprint: Option<u64>,
     /// Compiled execution plan, set once by a plan-enabled prewarm
     /// (`None` inside = backend has nothing to plan). Read-only after
     /// initialisation, so the serving hot path pays one atomic load.
@@ -341,7 +356,15 @@ impl ShardedModel {
             artifacts
                 .shards
                 .into_iter()
-                .map(|s| (Model::from(s.artifact), s.col_order, s.reorder))
+                .map(|s| {
+                    (
+                        Model::from(s.artifact),
+                        s.col_order,
+                        s.reorder,
+                        s.grammar,
+                        s.fingerprint,
+                    )
+                })
                 .collect(),
             cols,
         )
@@ -357,26 +380,34 @@ impl ShardedModel {
         Self::from_shards(
             models
                 .into_iter()
-                .map(|m| (m, col_order.clone(), None))
+                .map(|m| (m, col_order.clone(), None, None, None))
                 .collect(),
             cols,
         )
     }
 
     /// Assembles a sharded model from per-shard `(model, column order,
-    /// reorder algorithm)` triples — the general constructor behind
+    /// reorder algorithm, grammar stage, input fingerprint)` tuples —
+    /// the general constructor behind
     /// [`from_artifacts`](Self::from_artifacts) and the container
-    /// loader, where every shard carries its own permutation.
+    /// loader, where every shard carries its own metadata.
     ///
     /// # Panics
     /// Panics if a shard disagrees on the column count.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn from_shards(
-        parts: Vec<(Model, Option<Vec<u32>>, Option<ReorderAlgorithm>)>,
+        parts: Vec<(
+            Model,
+            Option<Vec<u32>>,
+            Option<ReorderAlgorithm>,
+            Option<GrammarStage>,
+            Option<u64>,
+        )>,
         cols: usize,
     ) -> Self {
         let mut shards = Vec::with_capacity(parts.len());
         let mut rows = 0usize;
-        for (model, col_order, reorder) in parts {
+        for (model, col_order, reorder, grammar, fingerprint) in parts {
             assert_eq!(model.cols(), cols, "shard column mismatch");
             let model_rows = model.rows();
             shards.push(Shard {
@@ -384,6 +415,8 @@ impl ShardedModel {
                 row_offset: rows,
                 col_order,
                 reorder,
+                grammar,
+                fingerprint,
                 plan: OnceLock::new(),
                 ws: Mutex::new(Workspace::new()),
                 partial: Mutex::new(Vec::new()),
@@ -466,6 +499,19 @@ impl ShardedModel {
     /// (build provenance, persisted by `GCMSERV1` version 2).
     pub fn shard_reorder(&self, i: usize) -> Option<ReorderAlgorithm> {
         self.shards[i].reorder
+    }
+
+    /// The grammar stage shard `i` was compressed with, when recorded
+    /// (build provenance, persisted by `GCMSERV1` version 5).
+    pub fn shard_grammar(&self, i: usize) -> Option<GrammarStage> {
+        self.shards[i].grammar
+    }
+
+    /// The build-time input fingerprint of shard `i`, when recorded
+    /// ([`gcm_pipeline::shard_fingerprint`]; persisted by `GCMSERV1`
+    /// version 5 for incremental rebuilds).
+    pub fn shard_fingerprint(&self, i: usize) -> Option<u64> {
+        self.shards[i].fingerprint
     }
 
     /// Total representation size across shards (container framing

@@ -310,6 +310,97 @@ fn forged_plan_sections_are_rejected_within_budget() {
     assert!(back.is_planned());
 }
 
+/// Version-5 grammar metadata and incrementally **spliced** plan
+/// sections behind a valid checksum: the fuzz target is a container
+/// produced by `compress_incremental` (some shards spliced byte-ranges
+/// from a base, one rebuilt), because that is the writer most likely to
+/// misalign a section. Truncation at every boundary is rejected; every
+/// single-byte corruption — grammar tags, fingerprints, payloads, and
+/// plan blobs alike — either fails validation or yields a model that
+/// still multiplies safely, never panicking and never letting a forged
+/// length size an allocation past the 1 MiB budget.
+#[test]
+fn forged_grammar_tags_and_spliced_plan_sections_stay_within_budget() {
+    use gcm_serve::{compress_incremental, BuildConfig, EncodingChoice, GrammarChoice};
+    let mut dense = DenseMatrix::zeros(26, 7);
+    for r in 0..26 {
+        for c in 0..7 {
+            if (r * 2 + c) % 3 != 0 {
+                dense.set(r, c, (((r + c) % 5) + 1) as f64 * 0.5);
+            }
+        }
+    }
+    let config = BuildConfig {
+        backend: Backend::Compressed,
+        encoding: EncodingChoice::Fixed(Encoding::ReAns),
+        grammar: Some(GrammarChoice::MrRePair),
+        shards: 3,
+        blocks: 2,
+        reorder: None,
+    };
+    let csrv = CsrvMatrix::from_dense(&dense).unwrap();
+    let base_model =
+        gcm_serve::ShardedModel::from_artifacts(gcm_pipeline::global().build(&csrv, &config));
+    base_model.prewarm_with(1, &ServeOptions::planned());
+    let base = base_model.to_bytes_with_plans();
+
+    // Perturb the last row with an already-interned value so only the
+    // final shard's fingerprint changes: the result splices two shards'
+    // payloads and plan blobs from `base` and rebuilds one.
+    let mut changed = dense;
+    changed.set(25, 0, 1.5);
+    let changed_csrv = CsrvMatrix::from_dense(&changed).unwrap();
+    let (bytes, report) = compress_incremental(&changed_csrv, &config, &base).unwrap();
+    assert!(report.full_reason.is_none(), "base must be splice-eligible");
+    assert!(report.spliced() >= 1, "fuzz target must contain splices");
+    let table = ShardTable::parse(&bytes).unwrap();
+    assert!(table.plan_bytes() > 0, "spliced plans must be present");
+    assert!(
+        table.grammar_stages.iter().all(Option::is_some),
+        "every shard must carry a stage tag"
+    );
+
+    for cut in 0..bytes.len() {
+        assert!(
+            ShardedModel::from_bytes(&bytes[..cut]).is_err(),
+            "v5 truncation at {cut}/{} must be rejected",
+            bytes.len()
+        );
+    }
+
+    for i in 0..bytes.len() - 8 {
+        for flip in [0x01u8, 0xFF] {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= flip;
+            refresh_checksum(&mut mutated);
+            let live = alloc::reset_peak();
+            if let Ok(model) = ShardedModel::from_bytes(&mutated) {
+                let x = vec![1.0; model.cols()];
+                let mut y = vec![0.0; model.rows()];
+                model.right_multiply_panel(1, &x, &mut y).unwrap();
+            }
+            let grown = alloc::peak_bytes().saturating_sub(live);
+            assert!(
+                grown < (1 << 20),
+                "v5 flip {flip:#04x} at byte {i} allocated {grown} bytes"
+            );
+        }
+    }
+
+    // Control: the untouched spliced container loads, carries its
+    // metadata, and serves the perturbed matrix correctly.
+    let back = ShardedModel::from_bytes(&bytes).unwrap();
+    assert!(back.is_planned());
+    let x = vec![1.0; 7];
+    let mut y = vec![0.0; 26];
+    let mut y_ref = vec![0.0; 26];
+    back.right_multiply_panel(1, &x, &mut y).unwrap();
+    changed_csrv.right_multiply(&x, &mut y_ref).unwrap();
+    for (a, b) in y.iter().zip(&y_ref) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
 #[test]
 fn appended_and_garbage_input_is_rejected() {
     let bytes = sample_container(Backend::Compressed);

@@ -461,6 +461,113 @@ fn sparse_right_products_match_the_dense_path_exactly() {
     }
 }
 
+/// MR-RePair and per-shard auto grammar selection must be invisible to
+/// the products: across the shape grid, both compressed serve backends,
+/// every encoding, shard counts, and streaming + planned + planned-f32
+/// serving — after a save → load round-trip through the version-5
+/// container — right/left panels match the dense oracle to 1e-9 (1e-3
+/// for f32 plans) and sparse-input right products stay bit-equal to the
+/// same model's dense-input path.
+#[test]
+fn grammar_stage_shards_match_the_oracle_everywhere() {
+    use gcm_serve::GrammarChoice;
+    let k = 2usize;
+    for (shape, dense) in matrix_grid() {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let b_right = input_panel(cols, k, 3);
+        let b_left = input_panel(rows, k, 4);
+        let ym_oracle = dense.right_multiply_matrix(&b_right).unwrap();
+        let xm_oracle = dense.left_multiply_matrix(&b_left).unwrap();
+        let sparse_x: Vec<(u32, f64)> = (0..cols as u32)
+            .step_by(2)
+            .map(|j| (j, 0.75 + f64::from(j % 3)))
+            .collect();
+        for grammar in [GrammarChoice::MrRePair, GrammarChoice::Auto] {
+            for backend in [Backend::Compressed, Backend::Blocked] {
+                let encodings: &[Encoding] = match backend {
+                    Backend::Compressed => &Encoding::ALL,
+                    _ => &[Encoding::ReAns],
+                };
+                for &encoding in encodings {
+                    for shards in [1usize, 3] {
+                        let opts = BuildOptions {
+                            backend,
+                            encoding,
+                            shards,
+                            blocks: 2,
+                            grammar: Some(grammar),
+                            ..BuildOptions::default()
+                        };
+                        let built = ShardedModel::from_dense(&dense, &opts).expect("build");
+                        let bytes = built.to_bytes();
+                        for mode in ["streaming", "planned", "planned-f32"] {
+                            let tag = format!(
+                                "{shape}/{}-{}-{:?}-s{shards}-{mode}",
+                                backend.name(),
+                                encoding.name(),
+                                grammar,
+                            );
+                            // A fresh load per mode: plans compile once
+                            // per model, so each precision gets its own.
+                            let model = ShardedModel::from_bytes(&bytes).expect("v5 round-trip");
+                            for i in 0..model.num_shards() {
+                                assert!(
+                                    model.shard_grammar(i).is_some(),
+                                    "{tag}: stage must survive the container"
+                                );
+                            }
+                            let tol = match mode {
+                                "planned" => {
+                                    model.prewarm_with(k, &ServeOptions::planned());
+                                    assert!(model.is_planned(), "{tag}");
+                                    TOL
+                                }
+                                "planned-f32" => {
+                                    model.prewarm_with(k, &ServeOptions::planned_f32());
+                                    assert!(model.is_planned(), "{tag}");
+                                    1e-3
+                                }
+                                _ => TOL,
+                            };
+                            let mut ym = vec![0.0; rows * k];
+                            model
+                                .right_multiply_panel(k, b_right.as_slice(), &mut ym)
+                                .unwrap();
+                            let mut xm = vec![0.0; cols * k];
+                            model
+                                .left_multiply_panel(k, b_left.as_slice(), &mut xm)
+                                .unwrap();
+                            for (i, (g, w)) in ym.iter().zip(ym_oracle.as_slice()).enumerate() {
+                                assert!((g - w).abs() <= tol, "{tag} right {i}: {g} vs {w}");
+                            }
+                            for (i, (g, w)) in xm.iter().zip(xm_oracle.as_slice()).enumerate() {
+                                assert!((g - w).abs() <= tol, "{tag} left {i}: {g} vs {w}");
+                            }
+                            // Sparse input: bit-equal to the same
+                            // model's dense-input product.
+                            let mut x_dense = vec![0.0; cols];
+                            for &(j, v) in &sparse_x {
+                                x_dense[j as usize] = v;
+                            }
+                            let mut y_dense = vec![0.0; rows];
+                            model
+                                .right_multiply_panel(1, &x_dense, &mut y_dense)
+                                .unwrap();
+                            let mut y_sparse = vec![42.0; rows];
+                            model
+                                .right_multiply_sparse(&sparse_x, &mut y_sparse)
+                                .unwrap();
+                            for (i, (s, d)) in y_sparse.iter().zip(&y_dense).enumerate() {
+                                assert!(s == d, "{tag} sparse row {i}: {s} != {d}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn every_backend_rejects_mismatched_dimensions() {
     let dense = matrix_grid()

@@ -57,6 +57,7 @@ fn parallel_and_sequential_builds_yield_bit_identical_containers() {
                     blocks: 2,
                     reorder,
                     encoding,
+                    grammar: None,
                 };
                 let par = ShardedModel::from_artifacts(pipeline.build(&csrv, &config));
                 let seq = ShardedModel::from_artifacts(pipeline.build_sequential(&csrv, &config));

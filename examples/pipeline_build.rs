@@ -33,6 +33,7 @@ fn main() {
         shards: 4,
         blocks: 2,
         reorder: Some(ReorderMode::PerShard(ReorderAlgorithm::PathCover)),
+        grammar: None,
     };
 
     // Stage execution: every shard independently runs

@@ -80,7 +80,8 @@ pub mod prelude {
         CsrMatrix, CsrvMatrix, DenseMatrix, MatVec, MatrixError, ParallelCsrv, RowBlocks, Workspace,
     };
     pub use gcm_pipeline::{
-        BuildArtifacts, BuildConfig, EncodingChoice, Pipeline, ReorderMode, ShardArtifact,
+        BuildArtifacts, BuildConfig, EncodingChoice, GrammarChoice, GrammarStage, Pipeline,
+        ReorderMode, ShardArtifact,
     };
     pub use gcm_reorder::{
         canonical_row_order, frequency_row_order, reorder_blocks, reorder_columns, Csm, CsmConfig,
@@ -88,7 +89,8 @@ pub mod prelude {
     };
     pub use gcm_repair::{RePair, RePairConfig, RePairScratch, Slp};
     pub use gcm_serve::{
-        Backend, BuildOptions, Engine, ModelPlan, ModelStore, Registry, ServeError, ServeOptions,
-        Server, ServerConfig, ServerHandle, ShardedModel,
+        compress_incremental, Backend, BuildOptions, Engine, ModelPlan, ModelStore, RebuildReport,
+        Registry, ServeError, ServeOptions, Server, ServerConfig, ServerHandle, ShardProvenance,
+        ShardedModel,
     };
 }
